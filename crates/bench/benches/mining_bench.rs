@@ -1,0 +1,62 @@
+//! Measurement-analytics benchmarks: LCS, Jaccard and pattern-mining
+//! scaling over corpus size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mining::lcs::{lcs, lcs_length, mine_common_patterns, MinerConfig, SupportMode};
+use mining::pairwise_similarities;
+use scenario::{generate_corpus, LongitudinalConfig};
+use std::hint::black_box;
+
+fn bench_lcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lcs");
+    for n in [16usize, 64, 256] {
+        let a: Vec<u16> = (0..n).map(|i| (i * 7 % 50) as u16).collect();
+        let b_seq: Vec<u16> = (0..n).map(|i| (i * 11 % 50) as u16).collect();
+        group.bench_with_input(BenchmarkId::new("length_only", n), &n, |bch, _| {
+            bch.iter(|| black_box(lcs_length(&a, &b_seq)))
+        });
+        group.bench_with_input(BenchmarkId::new("reconstruct", n), &n, |bch, _| {
+            bch.iter(|| black_box(lcs(&a, &b_seq)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_analytics");
+    group.sample_size(10);
+    for incidents in [60usize, 228] {
+        let cfg = LongitudinalConfig {
+            total_incidents: incidents,
+            critical_occurrences: incidents / 2,
+            ..Default::default()
+        };
+        let store = generate_corpus(&cfg);
+        group.bench_with_input(BenchmarkId::new("pairwise_jaccard", incidents), &store, |b, s| {
+            b.iter(|| black_box(pairwise_similarities(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("mine_patterns", incidents), &store, |b, s| {
+            b.iter(|| {
+                let cfg = MinerConfig {
+                    min_len: 4,
+                    support: SupportMode::LcsPeers,
+                    ..Default::default()
+                };
+                black_box(mine_common_patterns(s, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    group.sample_size(10);
+    group.bench_function("generate_228_incidents", |b| {
+        b.iter(|| black_box(generate_corpus(&LongitudinalConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcs, bench_corpus_analytics, bench_corpus_generation);
+criterion_main!(benches);

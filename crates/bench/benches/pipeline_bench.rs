@@ -1,0 +1,159 @@
+//! Alert-pipeline benchmarks: symbolization, filtering (the 25 M → 191 K
+//! stage, ablation (c)), and the end-to-end record path, sequential vs
+//! crossbeam-streaming.
+
+use alertlib::{Alert, Entity, FilterConfig, ScanFilter, Symbolizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+use simnet::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use telemetry::record::{ConnRecord, LogRecord};
+
+fn probe_record(i: u64) -> LogRecord {
+    LogRecord::Conn(ConnRecord {
+        ts: SimTime::from_secs(i),
+        uid: FlowId(i),
+        orig_h: format!("103.102.{}.{}", (i / 250) % 250, i % 250).parse().unwrap(),
+        orig_p: 40_000,
+        resp_h: format!("141.142.2.{}", 1 + (i % 250)).parse().unwrap(),
+        resp_p: 22,
+        proto: Proto::Tcp,
+        service: Service::Ssh,
+        duration: SimDuration::ZERO,
+        orig_bytes: 0,
+        resp_bytes: 0,
+        conn_state: ConnState::S0,
+        direction: Direction::Inbound,
+    })
+}
+
+fn scan_alert(i: u64) -> Alert {
+    Alert::new(
+        SimTime::from_secs(i),
+        alertlib::AlertKind::PortScan,
+        Entity::Address(format!("103.102.{}.{}", (i / 250) % 16, i % 250).parse().unwrap()),
+    )
+}
+
+fn bench_symbolize(c: &mut Criterion) {
+    let records: Vec<LogRecord> = (0..10_000).map(probe_record).collect();
+    let mut group = c.benchmark_group("symbolize");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("conn_records_10k", |b| {
+        b.iter(|| {
+            let mut sym = Symbolizer::with_defaults();
+            let mut out = Vec::with_capacity(4);
+            let mut n = 0usize;
+            for r in &records {
+                out.clear();
+                n += sym.symbolize_into(r, &mut out);
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_filter");
+    for n in [10_000u64, 100_000] {
+        let alerts: Vec<Alert> = (0..n).map(scan_alert).collect();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("windowed_dedup", n), &alerts, |b, alerts| {
+            b.iter(|| {
+                let mut f = ScanFilter::new(FilterConfig::default());
+                let mut admitted = 0usize;
+                for a in alerts {
+                    if f.admit(a) {
+                        admitted += 1;
+                    }
+                }
+                black_box(admitted)
+            })
+        });
+        // Ablation (c): no filter — every alert goes downstream.
+        group.bench_with_input(BenchmarkId::new("no_filter", n), &alerts, |b, alerts| {
+            b.iter(|| {
+                let mut admitted = 0usize;
+                for a in alerts {
+                    admitted += a.kind.index(); // minimal downstream touch
+                }
+                black_box(admitted)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_vs_sequential(c: &mut Criterion) {
+    let records: Vec<LogRecord> = (0..50_000).map(probe_record).collect();
+    let mut group = c.benchmark_group("pipeline_50k_records");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut sym = Symbolizer::with_defaults();
+            let mut filt = ScanFilter::new(FilterConfig::default());
+            let mut tagger = detect::AttackTagger::new(
+                detect::toy_training_model(),
+                detect::TaggerConfig::default(),
+            );
+            let mut detections = 0u64;
+            for r in &records {
+                for a in sym.symbolize(r) {
+                    if filt.admit(&a) && tagger.observe(&a).is_some() {
+                        detections += 1;
+                    }
+                }
+            }
+            black_box(detections)
+        })
+    });
+    group.bench_function("crossbeam_streaming", |b| {
+        b.iter(|| {
+            let stats = testbed::process_records(
+                records.clone(),
+                Symbolizer::with_defaults(),
+                ScanFilter::new(FilterConfig::default()),
+                detect::AttackTagger::new(
+                    detect::toy_training_model(),
+                    detect::TaggerConfig::default(),
+                ),
+            );
+            black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bhr(c: &mut Criterion) {
+    use bhr::NullRouteTable;
+    let mut table = NullRouteTable::new();
+    for i in 0..10_000u32 {
+        table.block(
+            std::net::Ipv4Addr::from(0x0A00_0000 + i),
+            "bench",
+            SimTime::from_secs(0),
+            None,
+        );
+    }
+    c.bench_function("bhr_lookup_10k_table", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(table.is_blocked(
+                std::net::Ipv4Addr::from(0x0A00_0000 + (i % 20_000)),
+                SimTime::from_secs(1),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_symbolize,
+    bench_filter,
+    bench_streaming_vs_sequential,
+    bench_bhr
+);
+criterion_main!(benches);

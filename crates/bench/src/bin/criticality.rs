@@ -1,0 +1,59 @@
+//! E7 — Insights 3 & 4: alert timing and criticality.
+//!
+//! Insight 3: automated-phase alert gaps are machine-paced; the manual
+//! attack stage "exhibits significant variability".
+//! Insight 4: "19 unique critical alerts, which occur 98 times"; when a
+//! critical alert appears, preemption is already lost.
+
+use bench::{banner, compare, write_artifact};
+use mining::{compare_phase_timing, measure_criticality};
+
+fn main() {
+    banner("Insights 3 + 4: timing and criticality (E7)");
+    let store = bench::standard_corpus();
+
+    let crit = measure_criticality(&store);
+    println!("unique critical kinds    : {}", crit.unique_critical_kinds);
+    println!("critical occurrences     : {}", crit.critical_occurrences);
+    println!("incidents with criticals : {}/{}", crit.incidents_with_critical, crit.total_incidents);
+    println!(
+        "mean relative position of first critical: {:.3} (1.0 = last alert)",
+        crit.mean_first_critical_position
+    );
+    println!("mean preemption budget   : {:.1} alerts before damage", crit.mean_preemption_budget);
+    println!();
+    compare("unique critical kinds", crit.unique_critical_kinds as f64, 19.0);
+    compare("critical occurrences", crit.critical_occurrences as f64, 98.0);
+    assert!(crit.criticals_come_late(), "Insight 4: criticals must come late");
+
+    let timing = compare_phase_timing(&store).expect("corpus has both phases");
+    println!();
+    println!(
+        "automated phase: {} gaps, mean {:.1}s, cv {:.2}",
+        timing.automated.gaps, timing.automated.mean_gap_secs, timing.automated.cv
+    );
+    println!(
+        "manual phase   : {} gaps, mean {:.1}s, cv {:.2}",
+        timing.manual.gaps, timing.manual.mean_gap_secs, timing.manual.cv
+    );
+    println!("manual phase more variable: {}", timing.manual_more_variable());
+    assert!(timing.manual_more_variable(), "Insight 3 must hold");
+
+    write_artifact(
+        "criticality",
+        &serde_json::json!({
+            "unique_critical_kinds": crit.unique_critical_kinds,
+            "critical_occurrences": crit.critical_occurrences,
+            "incidents_with_critical": crit.incidents_with_critical,
+            "mean_first_critical_position": crit.mean_first_critical_position,
+            "mean_preemption_budget": crit.mean_preemption_budget,
+            "timing": {
+                "automated_cv": timing.automated.cv,
+                "manual_cv": timing.manual.cv,
+                "automated_mean_gap_secs": timing.automated.mean_gap_secs,
+                "manual_mean_gap_secs": timing.manual.mean_gap_secs,
+            },
+            "paper": {"unique_critical_kinds": 19, "critical_occurrences": 98},
+        }),
+    );
+}

@@ -1,0 +1,41 @@
+//! E6 — the S1 motif claim: "first observed in 2002, continues to appear
+//! in attacks as of 2024 and was found in 60.08% (137 out of more than
+//! 200) of past security incidents."
+
+use bench::{banner, compare, write_artifact};
+use mining::{measure_recurrence, s1_pattern};
+use scenario::pin_motif_span;
+
+fn main() {
+    banner("S1 motif recurrence (E6)");
+    let mut store = bench::standard_corpus();
+    pin_motif_span(&mut store);
+    let rec = measure_recurrence(&store, &s1_pattern());
+
+    println!(
+        "motif: download source over HTTP -> compile kernel module -> erase forensic trace"
+    );
+    println!("incidents containing motif : {}/{}", rec.hits, rec.total);
+    println!("first year                 : {:?}", rec.first_year);
+    println!("last year                  : {:?}", rec.last_year);
+    println!("span                       : {:?} years", rec.span_years());
+    println!("distinct years             : {}", rec.years.len());
+    println!();
+    compare("support fraction", rec.support_fraction(), 0.6008);
+    compare("hits", rec.hits as f64, 137.0);
+    assert!(rec.first_year.unwrap_or(9999) <= 2002, "recurrence must reach back to 2002");
+    assert!(rec.last_year.unwrap_or(0) >= 2024, "recurrence must reach 2024");
+
+    write_artifact(
+        "s1_recurrence",
+        &serde_json::json!({
+            "hits": rec.hits,
+            "total": rec.total,
+            "support_fraction": rec.support_fraction(),
+            "first_year": rec.first_year,
+            "last_year": rec.last_year,
+            "years": rec.years,
+            "paper": {"support": 0.6008, "hits": 137, "first": 2002, "last": 2024},
+        }),
+    );
+}

@@ -1,0 +1,113 @@
+//! E1 — Table I: overview of the security incidents dataset.
+//!
+//! Streams the 24-year synthetic alert corpus (≈25 M alerts) through the
+//! repeated-scan filter and prints the same rows Table I reports. The raw
+//! stream is never materialized: constant-memory fold, as the real
+//! pipeline would run.
+
+use alertlib::filter::{FilterConfig, ScanFilter};
+use bench::{banner, compare, write_artifact};
+use scenario::background::VolumeModel;
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+fn main() {
+    banner("Table I: dataset overview (E1)");
+    let t0 = std::time::Instant::now();
+
+    // 24 years of background: the paper's 25 M notice-log alerts are the
+    // corpus *after* collection, dominated by recent years. We model the
+    // daily volume ramping linearly from ~2% to 100% of the modern rate
+    // and scale the modern rate so the 24-year total lands near 25 M.
+    let years = 24u64;
+    let days = years * 365;
+    let modern = VolumeModel::default();
+    // Integral of the ramp ≈ days * mean * (0.02+1.0)/2. Solve for a scale
+    // that yields 25 M total.
+    let target_total = 25_000_000f64;
+    let scale = target_total / (days as f64 * modern.daily_mean * 0.51);
+
+    // The paper's 191 K are "alerts directly related to successful
+    // attacks": repeated-scan dedup *plus* correlation to the forensic
+    // windows of the 228 incidents. Precompute those windows (day index ×
+    // victim /24) from the corpus ground truth.
+    let corpus = bench::standard_corpus();
+    let mut window_days: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut victim_blocks: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for inc in corpus.iter() {
+        if let (Some(s), Some(e)) = (inc.start_ts(), inc.alerts.last().map(|a| a.ts)) {
+            // Forensic window: the incident span plus five days of context
+            // either side (the report's "raw logs of both legitimate user
+            // activities and attack activities").
+            for d in s.day_index().saturating_sub(5)..=e.day_index() + 5 {
+                window_days.insert(d);
+            }
+        }
+        for m in &inc.report.machines {
+            if let Some(ip) = m.strip_prefix("host-").and_then(|s| s.parse::<std::net::Ipv4Addr>().ok())
+            {
+                victim_blocks.insert(u32::from(ip) >> 8);
+            }
+        }
+    }
+
+    let mut rng = SimRng::seed(0x7AB1E);
+    let mut filter = ScanFilter::new(FilterConfig::default());
+    let mut total: u64 = 0;
+    let mut admitted: u64 = 0;
+    let mut correlated: u64 = 0;
+    let start = SimTime::from_date(2000, 1, 1);
+    for d in 0..days {
+        let ramp = 0.02 + 0.98 * d as f64 / days as f64;
+        let model = VolumeModel {
+            daily_mean: modern.daily_mean * ramp * scale,
+            daily_std: modern.daily_std * ramp * scale,
+            ..modern.clone()
+        };
+        let day_start = start + SimDuration::from_days(d);
+        let in_window = window_days.contains(&day_start.day_index());
+        scenario::background::stream_day(&model, &mut rng, day_start, &mut |alert| {
+            total += 1;
+            if filter.admit(&alert) && in_window {
+                admitted += 1;
+                let dst_hit = alert
+                    .dst
+                    .is_some_and(|dst| victim_blocks.contains(&(u32::from(dst) >> 8)));
+                if dst_hit {
+                    correlated += 1;
+                }
+            }
+        });
+    }
+
+    // Incident-related alerts always survive both stages.
+    let incident_alerts = corpus.total_alerts() as u64;
+    let filtered = correlated + incident_alerts;
+
+    println!("\n{:<38}{:>14}", "Data", "Size");
+    println!("{:<38}{:>14}", "Total alerts", total);
+    println!("{:<38}{:>14}", "Alerts after being filtered", filtered);
+    println!("{:<38}{:>14}", "Successful attacks (incidents)", corpus.len());
+    println!("{:<38}{:>14}", "Time period", "2000-2024");
+    println!();
+    compare("total alerts", total as f64, 25_000_000.0);
+    compare("alerts after filtering", filtered as f64, 191_000.0);
+    compare("incidents", corpus.len() as f64, 228.0);
+    println!(
+        "scan-dedup pass admitted {:.3}% of the stream; incident-window correlation kept {admitted} in-window, {correlated} victim-correlated",
+        100.0 * filter.stats().reduction()
+    );
+    println!("elapsed: {:?}", t0.elapsed());
+
+    write_artifact(
+        "table1",
+        &serde_json::json!({
+            "total_alerts": total,
+            "alerts_after_filter": filtered,
+            "incidents": corpus.len(),
+            "incident_alerts": incident_alerts,
+            "period": "2000-2024",
+            "paper": {"total_alerts": 25_000_000u64, "alerts_after_filter": 191_000, "incidents": "more than 200"},
+        }),
+    );
+}

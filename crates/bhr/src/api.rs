@@ -1,0 +1,159 @@
+//! Programmable BHR API.
+//!
+//! §IV: the testbed interfaces "with a Black Hole router through
+//! automated/programmable Application Programming Interface (API) of the
+//! Black Hole Router for real-time response". The API mirrors the verbs of
+//! `ncsa/bhr-client` (block / unblock / query / list) over a shared,
+//! thread-safe table, and keeps an audit log of every call.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use simnet::time::{SimDuration, SimTime};
+
+use crate::table::{Block, NullRouteTable, TableStats};
+
+/// One audited API call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    pub ts: SimTime,
+    pub command: String,
+    pub addr: Option<Ipv4Addr>,
+    pub detail: String,
+}
+
+/// Shared handle to the BHR. Cloneable; all clones address the same table.
+#[derive(Debug, Clone, Default)]
+pub struct BhrHandle {
+    inner: Arc<Mutex<NullRouteTable>>,
+    audit: Arc<Mutex<Vec<AuditEntry>>>,
+}
+
+impl BhrHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log(&self, ts: SimTime, command: &str, addr: Option<Ipv4Addr>, detail: impl Into<String>) {
+        self.audit.lock().push(AuditEntry {
+            ts,
+            command: command.to_string(),
+            addr,
+            detail: detail.into(),
+        });
+    }
+
+    /// `bhr-client block`: install a null route.
+    pub fn block(
+        &self,
+        ts: SimTime,
+        addr: Ipv4Addr,
+        reason: impl Into<String>,
+        ttl: Option<SimDuration>,
+    ) {
+        let reason = reason.into();
+        self.inner.lock().block(addr, reason.clone(), ts, ttl);
+        self.log(ts, "block", Some(addr), reason);
+    }
+
+    /// `bhr-client unblock`: remove a null route.
+    pub fn unblock(&self, ts: SimTime, addr: Ipv4Addr) -> bool {
+        let removed = self.inner.lock().unblock(addr).is_some();
+        self.log(ts, "unblock", Some(addr), if removed { "removed" } else { "not-found" });
+        removed
+    }
+
+    /// `bhr-client query`: look up an address (audited, non-routing).
+    pub fn query(&self, ts: SimTime, addr: Ipv4Addr) -> Option<Block> {
+        let found = self.inner.lock().query(addr).cloned();
+        self.log(ts, "query", Some(addr), if found.is_some() { "blocked" } else { "clear" });
+        found
+    }
+
+    /// `bhr-client list`: snapshot of active blocks.
+    pub fn list(&self, ts: SimTime) -> Vec<(Ipv4Addr, Block)> {
+        let snapshot: Vec<_> =
+            self.inner.lock().list().map(|(a, b)| (*a, b.clone())).collect();
+        self.log(ts, "list", None, format!("{} entries", snapshot.len()));
+        snapshot
+    }
+
+    /// Routing-path check (not audited; the router calls this per flow).
+    pub fn is_blocked(&self, ts: SimTime, addr: Ipv4Addr) -> bool {
+        self.inner.lock().is_blocked(addr, ts)
+    }
+
+    /// Sweep expired routes.
+    pub fn sweep(&self, ts: SimTime) -> usize {
+        let n = self.inner.lock().sweep(ts);
+        self.log(ts, "sweep", None, format!("{n} expired"));
+        n
+    }
+
+    pub fn stats(&self) -> TableStats {
+        self.inner.lock().stats()
+    }
+
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        self.audit.lock().clone()
+    }
+
+    pub fn active_blocks(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn api_verbs_and_audit() {
+        let bhr = BhrHandle::new();
+        let t0 = SimTime::from_secs(0);
+        bhr.block(t0, addr("103.102.1.1"), "mass-scanner", None);
+        assert!(bhr.query(t0, addr("103.102.1.1")).is_some());
+        assert_eq!(bhr.list(t0).len(), 1);
+        assert!(bhr.unblock(t0, addr("103.102.1.1")));
+        assert!(!bhr.unblock(t0, addr("103.102.1.1")));
+        let log = bhr.audit_log();
+        let commands: Vec<_> = log.iter().map(|e| e.command.as_str()).collect();
+        assert_eq!(commands, vec!["block", "query", "list", "unblock", "unblock"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let bhr = BhrHandle::new();
+        let clone = bhr.clone();
+        bhr.block(SimTime::from_secs(0), addr("1.1.1.1"), "x", None);
+        assert!(clone.is_blocked(SimTime::from_secs(1), addr("1.1.1.1")));
+        assert_eq!(clone.active_blocks(), 1);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let bhr = BhrHandle::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let b = bhr.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        let a: Ipv4Addr = format!("10.{i}.{}.{}", j / 250, j % 250).parse().unwrap();
+                        b.block(SimTime::from_secs(j as u64), a, "load", None);
+                        assert!(b.is_blocked(SimTime::from_secs(j as u64), a));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bhr.active_blocks(), 800);
+    }
+}

@@ -1,0 +1,190 @@
+//! The null-route table.
+//!
+//! NCSA's Black Hole Router holds null routes for blocked sources; routes
+//! can expire. The table records every lookup so the testbed can report
+//! figures like "26.85 million scans recorded in one hour" (Fig. 1's data
+//! source).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use simnet::rng::FxHashMap;
+use simnet::time::{SimDuration, SimTime};
+
+/// One null-route entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub reason: String,
+    pub inserted: SimTime,
+    /// `None` = permanent.
+    pub expires: Option<SimTime>,
+}
+
+impl Block {
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.expires.map_or(true, |e| t < e)
+    }
+}
+
+/// Table counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    pub blocks_added: u64,
+    pub blocks_removed: u64,
+    pub blocks_expired: u64,
+    pub lookups: u64,
+    /// Lookups that hit an active block — i.e., packets recorded by the
+    /// black hole.
+    pub hits: u64,
+}
+
+/// The null-route table.
+#[derive(Debug, Default)]
+pub struct NullRouteTable {
+    entries: FxHashMap<Ipv4Addr, Block>,
+    stats: TableStats,
+}
+
+impl NullRouteTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a null route. Re-blocking overwrites the existing entry.
+    pub fn block(
+        &mut self,
+        addr: Ipv4Addr,
+        reason: impl Into<String>,
+        now: SimTime,
+        ttl: Option<SimDuration>,
+    ) {
+        self.stats.blocks_added += 1;
+        self.entries.insert(
+            addr,
+            Block { reason: reason.into(), inserted: now, expires: ttl.map(|d| now + d) },
+        );
+    }
+
+    /// Remove a null route. Returns the removed entry, if any.
+    pub fn unblock(&mut self, addr: Ipv4Addr) -> Option<Block> {
+        let removed = self.entries.remove(&addr);
+        if removed.is_some() {
+            self.stats.blocks_removed += 1;
+        }
+        removed
+    }
+
+    /// Whether traffic from `addr` is null-routed at time `t`. Expired
+    /// entries are lazily removed.
+    pub fn is_blocked(&mut self, addr: Ipv4Addr, t: SimTime) -> bool {
+        self.stats.lookups += 1;
+        match self.entries.get(&addr) {
+            Some(b) if b.active_at(t) => {
+                self.stats.hits += 1;
+                true
+            }
+            Some(_) => {
+                self.entries.remove(&addr);
+                self.stats.blocks_expired += 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Read-only query that does not count as a routing lookup.
+    pub fn query(&self, addr: Ipv4Addr) -> Option<&Block> {
+        self.entries.get(&addr)
+    }
+
+    /// Sweep all expired entries.
+    pub fn sweep(&mut self, t: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, b| b.active_at(t));
+        let removed = before - self.entries.len();
+        self.stats.blocks_expired += removed as u64;
+        removed
+    }
+
+    /// Active block list (unordered).
+    pub fn list(&self) -> impl Iterator<Item = (&Ipv4Addr, &Block)> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn block_and_lookup() {
+        let mut t = NullRouteTable::new();
+        t.block(addr("103.102.1.1"), "mass-scanner", SimTime::from_secs(0), None);
+        assert!(t.is_blocked(addr("103.102.1.1"), SimTime::from_secs(100)));
+        assert!(!t.is_blocked(addr("8.8.8.8"), SimTime::from_secs(100)));
+        let s = t.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut t = NullRouteTable::new();
+        t.block(addr("1.1.1.1"), "temp", SimTime::from_secs(0), Some(SimDuration::from_secs(60)));
+        assert!(t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(59)));
+        assert!(!t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(61)));
+        assert_eq!(t.len(), 0, "expired entry lazily removed");
+        assert_eq!(t.stats().blocks_expired, 1);
+    }
+
+    #[test]
+    fn unblock_removes() {
+        let mut t = NullRouteTable::new();
+        t.block(addr("1.1.1.1"), "x", SimTime::from_secs(0), None);
+        let removed = t.unblock(addr("1.1.1.1")).unwrap();
+        assert_eq!(removed.reason, "x");
+        assert!(t.unblock(addr("1.1.1.1")).is_none());
+        assert!(!t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn sweep_removes_expired_in_bulk() {
+        let mut t = NullRouteTable::new();
+        for i in 0..10 {
+            t.block(
+                addr(&format!("10.0.0.{i}")),
+                "ttl",
+                SimTime::from_secs(0),
+                Some(SimDuration::from_secs(10)),
+            );
+        }
+        t.block(addr("10.0.1.1"), "permanent", SimTime::from_secs(0), None);
+        assert_eq!(t.sweep(SimTime::from_secs(100)), 10);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reblock_overwrites() {
+        let mut t = NullRouteTable::new();
+        t.block(addr("1.1.1.1"), "first", SimTime::from_secs(0), Some(SimDuration::from_secs(5)));
+        t.block(addr("1.1.1.1"), "second", SimTime::from_secs(1), None);
+        assert_eq!(t.query(addr("1.1.1.1")).unwrap().reason, "second");
+        assert!(t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(1_000)));
+    }
+}

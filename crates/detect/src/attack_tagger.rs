@@ -1,0 +1,302 @@
+//! The factor-graph AttackTagger detector.
+//!
+//! Per §IV and refs [5], [6]: each attack entity (user account or source
+//! address) carries a chain of hidden attack stages linked by learned
+//! transition factors, with learned observation factors tying each stage to
+//! the observed alert. Online, the detector maintains the *filtered*
+//! posterior P(stage | alerts so far) — strictly causal, as preemption
+//! requires — and raises a detection the moment the probability that the
+//! entity is in an attack stage (but not yet at damage) crosses the
+//! decision threshold.
+//!
+//! This is exactly Remark 2's prescription: the model "must incorporate
+//! conditional probabilities of an alert being in a successful attack and
+//! normal operational conditions".
+
+use alertlib::alert::Alert;
+use alertlib::taxonomy::AlertKind;
+use factorgraph::chain::ChainModel;
+use serde::{Deserialize, Serialize};
+use simnet::rng::FxHashMap;
+use simnet::time::SimTime;
+
+use crate::stage::Stage;
+
+/// Decision configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaggerConfig {
+    /// Posterior mass over attack stages required to raise a detection.
+    pub threshold: f64,
+    /// Stages counted as "attack underway".
+    pub decision_stages: Vec<Stage>,
+    /// Cap on per-entity history; older alerts are already folded into the
+    /// forward message, so this only bounds the reported context.
+    pub max_context: usize,
+}
+
+impl Default for TaggerConfig {
+    fn default() -> Self {
+        TaggerConfig {
+            threshold: 0.8,
+            decision_stages: vec![Stage::Foothold, Stage::Escalation, Stage::Lateral],
+            max_context: 64,
+        }
+    }
+}
+
+/// A raised detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// When the detection fired.
+    pub ts: SimTime,
+    /// Index of the triggering alert within the entity's session.
+    pub alert_index: usize,
+    /// The triggering alert kind.
+    pub trigger: AlertKind,
+    /// Posterior mass over the decision stages at the trigger.
+    pub score: f64,
+    /// Most likely stage at the trigger.
+    pub stage: Stage,
+}
+
+/// Per-entity forward-filter state.
+#[derive(Debug, Clone)]
+struct EntityState {
+    /// Current filtered posterior over stages.
+    alpha: Vec<f64>,
+    /// Number of alerts folded in.
+    steps: usize,
+    /// Whether a detection has already been raised (latched).
+    detected: bool,
+}
+
+/// The online AttackTagger.
+#[derive(Debug, Clone)]
+pub struct AttackTagger {
+    model: ChainModel,
+    cfg: TaggerConfig,
+    states: FxHashMap<String, EntityState>,
+}
+
+impl AttackTagger {
+    /// Create from a trained chain model (states = [`Stage::COUNT`],
+    /// observations = [`AlertKind::COUNT`]).
+    pub fn new(model: ChainModel, cfg: TaggerConfig) -> AttackTagger {
+        assert_eq!(model.n_states(), Stage::COUNT, "model must have one state per stage");
+        assert_eq!(model.n_obs(), AlertKind::COUNT, "model must cover the full taxonomy");
+        AttackTagger { model, cfg, states: FxHashMap::default() }
+    }
+
+    pub fn config(&self) -> &TaggerConfig {
+        &self.cfg
+    }
+
+    pub fn model(&self) -> &ChainModel {
+        &self.model
+    }
+
+    /// Posterior mass on the decision stages.
+    fn decision_mass(&self, alpha: &[f64]) -> f64 {
+        self.cfg.decision_stages.iter().map(|s| alpha[s.index()]).sum()
+    }
+
+    /// One O(S²) forward-filter step folding `obs` into `alpha`.
+    fn step(&self, alpha: &mut Vec<f64>, steps: usize, obs: usize) {
+        let s_n = Stage::COUNT;
+        let mut next = vec![0.0f64; s_n];
+        if steps == 0 {
+            for (s, n) in next.iter_mut().enumerate() {
+                *n = self.model.prior()[s] * self.model.emit(s, obs);
+            }
+        } else {
+            for s in 0..s_n {
+                let mut acc = 0.0;
+                for ps in 0..s_n {
+                    acc += alpha[ps] * self.model.trans(ps, s);
+                }
+                next[s] = acc * self.model.emit(s, obs);
+            }
+        }
+        let norm: f64 = next.iter().sum();
+        if norm > 0.0 {
+            for x in &mut next {
+                *x /= norm;
+            }
+        } else {
+            let u = 1.0 / s_n as f64;
+            next.fill(u);
+        }
+        *alpha = next;
+    }
+
+    /// Observe one alert online. Returns a detection the first time the
+    /// entity's posterior crosses the threshold (latched per entity).
+    pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
+        let key = alert.entity.key();
+        // Take the state out to satisfy the borrow checker around `step`.
+        let mut state = self.states.remove(&key).unwrap_or(EntityState {
+            alpha: vec![0.0; Stage::COUNT],
+            steps: 0,
+            detected: false,
+        });
+        let obs = alert.kind.index();
+        let steps = state.steps;
+        self.step(&mut state.alpha, steps, obs);
+        state.steps += 1;
+        let mut result = None;
+        if !state.detected {
+            let score = self.decision_mass(&state.alpha);
+            if score >= self.cfg.threshold {
+                state.detected = true;
+                let mut best = 0;
+                for s in 1..Stage::COUNT {
+                    if state.alpha[s] > state.alpha[best] {
+                        best = s;
+                    }
+                }
+                result = Some(Detection {
+                    ts: alert.ts,
+                    alert_index: state.steps - 1,
+                    trigger: alert.kind,
+                    score,
+                    stage: Stage::from_index(best),
+                });
+            }
+        }
+        self.states.insert(key, state);
+        result
+    }
+
+    /// The current filtered posterior for an entity, if it has been seen.
+    pub fn posterior(&self, entity_key: &str) -> Option<&[f64]> {
+        self.states.get(entity_key).map(|s| s.alpha.as_slice())
+    }
+
+    /// Forget all per-entity state.
+    pub fn reset(&mut self) {
+        self.states.clear();
+    }
+
+    /// Number of tracked entities.
+    pub fn tracked_entities(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Offline convenience: scan a whole session and return the first
+    /// detection, as the evaluation harness does.
+    pub fn scan(&self, alerts: &[Alert]) -> Option<Detection> {
+        let mut fresh = AttackTagger {
+            model: self.model.clone(),
+            cfg: self.cfg.clone(),
+            states: FxHashMap::default(),
+        };
+        for a in alerts {
+            if let Some(d) = fresh.observe(a) {
+                return Some(d);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::toy_training_model;
+    use alertlib::alert::Entity;
+
+    fn alert(t: u64, kind: AlertKind, user: &str) -> Alert {
+        Alert::new(SimTime::from_secs(t), kind, Entity::User(user.into()))
+    }
+
+    #[test]
+    fn benign_stream_stays_quiet() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        for t in 0..50u64 {
+            let a = alert(t, AlertKind::LoginSuccess, "alice");
+            assert!(tagger.observe(&a).is_none(), "false positive at t={t}");
+        }
+    }
+
+    #[test]
+    fn s1_attack_detected_before_damage() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let seq = [
+            (0, AlertKind::PortScan),
+            (10, AlertKind::DownloadSensitive),
+            (20, AlertKind::CompileKernelModule),
+            (30, AlertKind::LogWipe),
+            (40, AlertKind::DataExfiltration), // damage
+        ];
+        let mut detection = None;
+        for (t, k) in seq {
+            if let Some(d) = tagger.observe(&alert(t, k, "eve")) {
+                detection = Some(d);
+                break;
+            }
+        }
+        let d = detection.expect("attack must be detected");
+        assert!(d.ts < SimTime::from_secs(40), "must preempt the damage step");
+        assert!(d.score >= 0.8);
+        assert!(d.stage.is_attack());
+    }
+
+    #[test]
+    fn detection_latches_per_entity() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let mut count = 0;
+        for t in 0..10u64 {
+            let a = alert(t, AlertKind::KnownMalwareDownload, "eve");
+            if tagger.observe(&a).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 1, "detection should fire once per entity");
+    }
+
+    #[test]
+    fn entities_tracked_independently() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        tagger.observe(&alert(0, AlertKind::DownloadSensitive, "eve"));
+        tagger.observe(&alert(1, AlertKind::LoginSuccess, "alice"));
+        assert_eq!(tagger.tracked_entities(), 2);
+        let eve = tagger.posterior("user:eve").unwrap();
+        let alice = tagger.posterior("user:alice").unwrap();
+        let attack_mass = |p: &[f64]| p[Stage::Foothold.index()] + p[Stage::Escalation.index()];
+        assert!(attack_mass(eve) > attack_mass(alice));
+    }
+
+    #[test]
+    fn scan_matches_streaming() {
+        let tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let session: Vec<Alert> = [
+            AlertKind::PortScan,
+            AlertKind::DownloadSensitive,
+            AlertKind::CompileKernelModule,
+            AlertKind::LogWipe,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| alert(i as u64, k, "eve"))
+        .collect();
+        let offline = tagger.scan(&session).expect("detected offline");
+        let mut online = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let mut online_det = None;
+        for a in &session {
+            if let Some(d) = online.observe(a) {
+                online_det = Some(d);
+                break;
+            }
+        }
+        assert_eq!(Some(offline), online_det);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        tagger.observe(&alert(0, AlertKind::PortScan, "x"));
+        assert_eq!(tagger.tracked_entities(), 1);
+        tagger.reset();
+        assert_eq!(tagger.tracked_entities(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Critical-alert-only baseline.
+//!
+//! Insight 4: critical alerts reliably indicate successful attacks but
+//! "cannot be used to preempt attacks because their occurrences indicate
+//! that the system integrity has already been compromised". This detector
+//! fires on the first critical alert — by construction it detects but
+//! never preempts, which is exactly the contrast the evaluation needs.
+
+use alertlib::alert::Alert;
+
+use crate::attack_tagger::Detection;
+use crate::stage::Stage;
+
+/// Fires on the first critical alert in a session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CriticalOnlyDetector;
+
+impl CriticalOnlyDetector {
+    pub fn new() -> Self {
+        CriticalOnlyDetector
+    }
+
+    /// Scan a session for the first critical alert.
+    pub fn scan(&self, alerts: &[Alert]) -> Option<Detection> {
+        alerts.iter().enumerate().find(|(_, a)| a.is_critical()).map(|(i, a)| Detection {
+            ts: a.ts,
+            alert_index: i,
+            trigger: a.kind,
+            score: 1.0,
+            stage: Stage::Damage,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertlib::alert::Entity;
+    use alertlib::taxonomy::AlertKind;
+    use simnet::time::SimTime;
+
+    fn alert(t: u64, kind: AlertKind) -> Alert {
+        Alert::new(SimTime::from_secs(t), kind, Entity::User("e".into()))
+    }
+
+    #[test]
+    fn fires_on_first_critical() {
+        use AlertKind::*;
+        let det = CriticalOnlyDetector::new();
+        let session = vec![
+            alert(0, DownloadSensitive),
+            alert(10, PrivilegeEscalation),
+            alert(20, DataExfiltration),
+        ];
+        let d = det.scan(&session).unwrap();
+        assert_eq!(d.alert_index, 1);
+        assert_eq!(d.trigger, PrivilegeEscalation);
+        assert_eq!(d.stage, Stage::Damage);
+    }
+
+    #[test]
+    fn silent_without_criticals() {
+        use AlertKind::*;
+        let det = CriticalOnlyDetector::new();
+        assert!(det.scan(&[alert(0, DownloadSensitive), alert(1, LogWipe)]).is_none());
+    }
+}

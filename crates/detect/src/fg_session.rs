@@ -1,0 +1,300 @@
+//! Full factor-graph session model (skip-chain extension).
+//!
+//! The chain model of [`crate::attack_tagger`] links consecutive events
+//! only. The factor-graph formulation of ref [6] is richer: repeated
+//! observations of the *same alert kind* within a session are linked by
+//! additional "skip" factors, encoding that recurrences of an indicative
+//! alert refer to the same underlying attack state even when far apart in
+//! the stream. The resulting graph is loopy; inference uses damped
+//! sum-product BP, and falls back to exact behaviour on skip-free
+//! sessions (where the graph is the chain).
+//!
+//! This module is the offline/forensic analysis counterpart to the online
+//! chain filter: given a full session, it produces smoothed per-event
+//! stage posteriors with the skip evidence folded in.
+
+use alertlib::alert::Alert;
+use factorgraph::chain::ChainModel;
+use factorgraph::factor::Factor;
+use factorgraph::graph::FactorGraph;
+use factorgraph::sumproduct::{run, BpOptions};
+use serde::{Deserialize, Serialize};
+use simnet::rng::FxHashMap;
+
+use crate::stage::Stage;
+
+/// Configuration of the session factor graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionGraphConfig {
+    /// Strength of the skip factor: probability mass placed on the two
+    /// linked events being in the same stage (vs. uniform elsewhere).
+    /// 0.5 = no information; 1.0 = hard equality.
+    pub skip_agreement: f64,
+    /// Only link recurrences of kinds at least this severe (linking scan
+    /// noise would shackle the whole session together).
+    pub min_skip_severity: alertlib::taxonomy::Severity,
+    /// Cap on skip links per kind (first occurrence links to at most this
+    /// many later recurrences).
+    pub max_skips_per_kind: usize,
+    /// BP options (damping is required on loopy sessions).
+    pub max_iters: usize,
+    pub damping: f64,
+}
+
+impl Default for SessionGraphConfig {
+    fn default() -> Self {
+        SessionGraphConfig {
+            skip_agreement: 0.8,
+            min_skip_severity: alertlib::taxonomy::Severity::Significant,
+            max_skips_per_kind: 3,
+            max_iters: 200,
+            damping: 0.3,
+        }
+    }
+}
+
+/// Result of session-graph inference.
+#[derive(Debug, Clone)]
+pub struct SessionPosteriors {
+    /// Per-event stage marginals.
+    pub marginals: Vec<Vec<f64>>,
+    /// Number of skip factors added.
+    pub skip_factors: usize,
+    /// Whether BP converged.
+    pub converged: bool,
+}
+
+impl SessionPosteriors {
+    /// The most probable stage at event `t`.
+    pub fn stage_at(&self, t: usize) -> Stage {
+        let m = &self.marginals[t];
+        let mut best = 0;
+        for s in 1..m.len() {
+            if m[s] > m[best] {
+                best = s;
+            }
+        }
+        Stage::from_index(best)
+    }
+
+    /// Posterior mass on attack stages (≥ Foothold) at event `t`.
+    pub fn attack_mass(&self, t: usize) -> f64 {
+        self.marginals[t][Stage::Foothold.index()..].iter().sum()
+    }
+}
+
+/// Build the session factor graph: the chain (prior, transition, emission
+/// folded on evidence) plus skip-agreement factors between recurrences of
+/// indicative kinds.
+pub fn build_session_graph(
+    model: &ChainModel,
+    alerts: &[Alert],
+    cfg: &SessionGraphConfig,
+) -> (FactorGraph, usize) {
+    let obs: Vec<usize> = alerts.iter().map(|a| a.kind.index()).collect();
+    let mut graph = model.to_factor_graph(&obs);
+    let s = model.n_states();
+    // Skip factors: link the first occurrence of an indicative kind to its
+    // later recurrences.
+    let mut first_seen: FxHashMap<usize, (u32, usize)> = FxHashMap::default();
+    let mut skips = 0;
+    for (t, a) in alerts.iter().enumerate() {
+        if a.severity() < cfg.min_skip_severity {
+            continue;
+        }
+        let kind = a.kind.index();
+        match first_seen.get_mut(&kind) {
+            None => {
+                first_seen.insert(kind, (t as u32, 0));
+            }
+            Some((anchor, used)) if *used < cfg.max_skips_per_kind => {
+                let anchor_var = factorgraph::VarId(*anchor);
+                let here = factorgraph::VarId(t as u32);
+                let same = cfg.skip_agreement;
+                let diff = (1.0 - same) / (s as f64 - 1.0).max(1.0);
+                let table = Factor::from_fn(vec![anchor_var, here], vec![s, s], |a| {
+                    if a[0] == a[1] {
+                        same
+                    } else {
+                        diff
+                    }
+                });
+                graph.add_factor(table);
+                *used += 1;
+                skips += 1;
+            }
+            Some(_) => {}
+        }
+    }
+    (graph, skips)
+}
+
+/// Infer smoothed stage posteriors for a session with the skip-chain model.
+pub fn infer_session(
+    model: &ChainModel,
+    alerts: &[Alert],
+    cfg: &SessionGraphConfig,
+) -> SessionPosteriors {
+    if alerts.is_empty() {
+        return SessionPosteriors { marginals: Vec::new(), skip_factors: 0, converged: true };
+    }
+    let (graph, skip_factors) = build_session_graph(model, alerts, cfg);
+    let result = run(
+        &graph,
+        &BpOptions { max_iters: cfg.max_iters, damping: cfg.damping, tolerance: 1e-8 },
+    );
+    SessionPosteriors {
+        marginals: result.marginals,
+        skip_factors,
+        converged: result.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::toy_training_model;
+    use alertlib::alert::Entity;
+    use alertlib::taxonomy::AlertKind;
+    use simnet::time::SimTime;
+
+    fn alert(t: u64, kind: AlertKind) -> Alert {
+        Alert::new(SimTime::from_secs(t), kind, Entity::User("e".into()))
+    }
+
+    #[test]
+    fn skip_free_session_matches_chain_smoothing() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        // No repeated Significant kinds → zero skip factors → chain.
+        let session =
+            vec![alert(0, PortScan), alert(1, DownloadSensitive), alert(2, LogWipe)];
+        let cfg = SessionGraphConfig::default();
+        let post = infer_session(&model, &session, &cfg);
+        assert_eq!(post.skip_factors, 0);
+        assert!(post.converged);
+        let obs: Vec<usize> = session.iter().map(|a| a.kind.index()).collect();
+        let exact = model.posteriors(&obs);
+        for t in 0..session.len() {
+            for s in 0..Stage::COUNT {
+                assert!(
+                    (post.marginals[t][s] - exact[t][s]).abs() < 1e-5,
+                    "t={t} s={s}: {} vs {}",
+                    post.marginals[t][s],
+                    exact[t][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_factors_added_for_recurring_significant_kinds() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        let session = vec![
+            alert(0, DownloadSensitive),
+            alert(1, PortScan),
+            alert(2, DownloadSensitive),
+            alert(3, DownloadSensitive),
+        ];
+        let (graph, skips) =
+            build_session_graph(&model, &session, &SessionGraphConfig::default());
+        assert_eq!(skips, 2, "two recurrences of the indicative kind");
+        // Graph is loopy once skips coexist with the chain.
+        assert!(!graph.is_forest());
+    }
+
+    #[test]
+    fn noise_recurrences_not_linked() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        let session: Vec<Alert> = (0..6).map(|t| alert(t, PortScan)).collect();
+        let (_, skips) = build_session_graph(&model, &session, &SessionGraphConfig::default());
+        assert_eq!(skips, 0, "scan noise must not be shackled together");
+    }
+
+    #[test]
+    fn skip_evidence_raises_recurrence_confidence() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        // An ambiguous early download in benign context, whose *recurrence*
+        // later sits in a clearly malicious context. The skip factor pipes
+        // that late confidence back to the early anchor; without skips
+        // (same session, skips disabled) the anchor stays colder.
+        let session = vec![
+            alert(0, LoginSuccess),
+            alert(1, DownloadSensitive), // anchor
+            alert(2, JobSubmit),
+            alert(3, LoginSuccess),
+            alert(4, DownloadSensitive), // recurrence, then escalation:
+            alert(5, CompileKernelModule),
+            alert(6, LogWipe),
+        ];
+        let with_skips = infer_session(&model, &session, &SessionGraphConfig::default());
+        let no_skips = infer_session(
+            &model,
+            &session,
+            &SessionGraphConfig {
+                min_skip_severity: alertlib::taxonomy::Severity::Critical,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with_skips.skip_factors, 1);
+        assert_eq!(no_skips.skip_factors, 0);
+        assert!(
+            with_skips.attack_mass(1) > no_skips.attack_mass(1),
+            "skip evidence must warm the anchor: {} vs {}",
+            with_skips.attack_mass(1),
+            no_skips.attack_mass(1)
+        );
+    }
+
+    #[test]
+    fn max_skips_cap_respected() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        let session: Vec<Alert> = (0..10).map(|t| alert(t, DownloadSensitive)).collect();
+        let cfg = SessionGraphConfig { max_skips_per_kind: 2, ..Default::default() };
+        let (_, skips) = build_session_graph(&model, &session, &cfg);
+        assert_eq!(skips, 2);
+    }
+
+    #[test]
+    fn ransomware_session_stages_progress() {
+        let model = toy_training_model();
+        let session: Vec<Alert> = scenario_kinds()
+            .into_iter()
+            .enumerate()
+            .map(|(t, k)| alert(t as u64, k))
+            .collect();
+        let post = infer_session(&model, &session, &SessionGraphConfig::default());
+        assert!(post.converged);
+        // Late events sit in attack stages with high confidence.
+        let last = session.len() - 1;
+        assert!(post.attack_mass(last) > 0.9, "got {}", post.attack_mass(last));
+        assert!(post.stage_at(last) >= Stage::Lateral);
+    }
+
+    fn scenario_kinds() -> Vec<AlertKind> {
+        use AlertKind::*;
+        vec![
+            RepeatedProbeDb,
+            DefaultCredentialUse,
+            DbVersionRecon,
+            ElfMagicInDbBlob,
+            LoExportExecution,
+            FileDropTmp,
+            SshKeyEnumeration,
+            LateralMovementAttempt,
+            C2Communication,
+        ]
+    }
+
+    #[test]
+    fn empty_session() {
+        let model = toy_training_model();
+        let post = infer_session(&model, &[], &SessionGraphConfig::default());
+        assert!(post.marginals.is_empty());
+        assert!(post.converged);
+    }
+}

@@ -1,0 +1,166 @@
+//! Entity sessionization.
+//!
+//! §III-B's threat model: AttackTagger "treats it as a single attack if an
+//! attacker moves laterally using the same user account" and as separate
+//! attacks when different accounts are used. Sessionization groups the
+//! interleaved alert stream into per-entity, time-ordered sessions.
+
+use alertlib::alert::{Alert, Entity};
+use simnet::rng::FxHashMap;
+use simnet::time::{SimDuration, SimTime};
+
+/// A per-entity alert session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub entity: Entity,
+    pub alerts: Vec<Alert>,
+}
+
+impl Session {
+    pub fn start(&self) -> Option<SimTime> {
+        self.alerts.first().map(|a| a.ts)
+    }
+
+    pub fn end(&self) -> Option<SimTime> {
+        self.alerts.last().map(|a| a.ts)
+    }
+
+    pub fn len(&self) -> usize {
+        self.alerts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.alerts.is_empty()
+    }
+}
+
+/// Streaming sessionizer with an idle-gap cutoff: if an entity is silent
+/// longer than `idle_gap`, its next alert opens a new session.
+#[derive(Debug)]
+pub struct Sessionizer {
+    idle_gap: SimDuration,
+    open: FxHashMap<String, Session>,
+    closed: Vec<Session>,
+}
+
+impl Sessionizer {
+    pub fn new(idle_gap: SimDuration) -> Self {
+        Sessionizer { idle_gap, open: FxHashMap::default(), closed: Vec::new() }
+    }
+
+    /// Feed one alert (must arrive in global time order).
+    pub fn push(&mut self, alert: Alert) {
+        let key = alert.entity.key();
+        match self.open.get_mut(&key) {
+            Some(session) => {
+                let stale = session
+                    .end()
+                    .is_some_and(|e| alert.ts.saturating_since(e) > self.idle_gap);
+                if stale {
+                    let finished = std::mem::replace(
+                        session,
+                        Session { entity: alert.entity.clone(), alerts: Vec::new() },
+                    );
+                    self.closed.push(finished);
+                }
+                session.alerts.push(alert);
+            }
+            None => {
+                self.open.insert(
+                    key,
+                    Session { entity: alert.entity.clone(), alerts: vec![alert] },
+                );
+            }
+        }
+    }
+
+    /// Close all open sessions and return everything, ordered by session
+    /// start time.
+    pub fn finish(mut self) -> Vec<Session> {
+        let mut all = self.closed;
+        all.extend(self.open.drain().map(|(_, s)| s));
+        all.sort_by_key(|s| s.start());
+        all
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// One-shot helper: sessionize a time-ordered batch with an idle gap.
+pub fn sessionize(alerts: impl IntoIterator<Item = Alert>, idle_gap: SimDuration) -> Vec<Session> {
+    let mut s = Sessionizer::new(idle_gap);
+    for a in alerts {
+        s.push(a);
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertlib::taxonomy::AlertKind;
+
+    fn alert(t: u64, entity: Entity) -> Alert {
+        Alert::new(SimTime::from_secs(t), AlertKind::LoginSuccess, entity)
+    }
+
+    #[test]
+    fn groups_by_entity() {
+        let alerts = vec![
+            alert(0, Entity::User("a".into())),
+            alert(1, Entity::User("b".into())),
+            alert(2, Entity::User("a".into())),
+        ];
+        let sessions = sessionize(alerts, SimDuration::from_hours(1));
+        assert_eq!(sessions.len(), 2);
+        let a = sessions.iter().find(|s| s.entity == Entity::User("a".into())).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn idle_gap_splits_sessions() {
+        let alerts = vec![
+            alert(0, Entity::User("a".into())),
+            alert(10, Entity::User("a".into())),
+            alert(10_000, Entity::User("a".into())), // > 1h later
+        ];
+        let sessions = sessionize(alerts, SimDuration::from_hours(1));
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].len(), 2);
+        assert_eq!(sessions[1].len(), 1);
+    }
+
+    #[test]
+    fn same_account_across_sources_is_one_session() {
+        // Threat model: multiple attackers, one account → one attack.
+        let mut a1 = alert(0, Entity::User("eve".into()));
+        a1.src = Some("1.1.1.1".parse().unwrap());
+        let mut a2 = alert(5, Entity::User("eve".into()));
+        a2.src = Some("2.2.2.2".parse().unwrap());
+        let sessions = sessionize(vec![a1, a2], SimDuration::from_hours(1));
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].len(), 2);
+    }
+
+    #[test]
+    fn sessions_ordered_by_start() {
+        let alerts = vec![
+            alert(50, Entity::User("late".into())),
+            alert(1, Entity::User("early".into())),
+            alert(51, Entity::User("late".into())),
+        ];
+        let mut s = Sessionizer::new(SimDuration::from_hours(1));
+        // Feed in time order.
+        let mut sorted = alerts;
+        sorted.sort_by_key(|a| a.ts);
+        for a in sorted {
+            s.push(a);
+        }
+        assert_eq!(s.open_count(), 2);
+        let sessions = s.finish();
+        assert_eq!(sessions[0].entity, Entity::User("early".into()));
+    }
+}

@@ -1,0 +1,197 @@
+//! Training the AttackTagger model from labeled incidents.
+//!
+//! Supervised maximum-likelihood over the annotated corpus (§II-A): each
+//! incident's alert-kind sequence is labeled with monotone attack stages;
+//! benign sessions contribute the "normal operational conditions" side of
+//! Remark 2's conditional probabilities. Laplace smoothing keeps unseen
+//! alert kinds from zeroing posteriors, which is what lets the model
+//! generalize "to unseen attacks".
+
+use alertlib::alert::Alert;
+use alertlib::store::IncidentStore;
+use alertlib::taxonomy::AlertKind;
+use factorgraph::chain::ChainModel;
+use factorgraph::learn::ChainLearner;
+
+use crate::stage::{monotone_stage_labels, Stage};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Laplace smoothing constant.
+    pub smoothing: f64,
+    /// Weight applied to benign sessions relative to incidents. Benign
+    /// traffic vastly outnumbers attacks in the wild; the model should see
+    /// that imbalance.
+    pub benign_weight: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { smoothing: 0.05, benign_weight: 1.0 }
+    }
+}
+
+/// Train from an incident corpus plus benign sessions.
+pub fn train(
+    store: &IncidentStore,
+    benign_sessions: &[Vec<Alert>],
+    cfg: &TrainConfig,
+) -> ChainModel {
+    let mut learner = ChainLearner::new(Stage::COUNT, AlertKind::COUNT, cfg.smoothing);
+    for inc in store.iter() {
+        let kinds = inc.kind_sequence();
+        let stages = monotone_stage_labels(&kinds);
+        let state_idx: Vec<usize> = stages.iter().map(|s| s.index()).collect();
+        let obs_idx: Vec<usize> = kinds.iter().map(|k| k.index()).collect();
+        learner.observe(&state_idx, &obs_idx);
+    }
+    for session in benign_sessions {
+        let obs_idx: Vec<usize> = session.iter().map(|a| a.kind.index()).collect();
+        let state_idx = vec![Stage::Benign.index(); obs_idx.len()];
+        learner.observe_weighted(&state_idx, &obs_idx, cfg.benign_weight);
+    }
+    learner.build()
+}
+
+/// A small hand-built training corpus for unit tests and examples: a few
+/// canonical attack progressions plus plentiful benign traffic. Produces a
+/// model with the qualitative shape of the paper's detector.
+pub fn toy_training_model() -> ChainModel {
+    use alertlib::alert::Entity;
+    use alertlib::store::{Incident, IncidentId};
+    use simnet::time::SimTime;
+
+    let mut store = IncidentStore::new();
+    let mk = |kinds: &[AlertKind]| {
+        let mut inc = Incident::new(IncidentId(0), "train", 2020);
+        for (i, &k) in kinds.iter().enumerate() {
+            inc.push_alert(Alert::new(SimTime::from_secs(i as u64), k, Entity::User("a".into())));
+        }
+        inc
+    };
+    use AlertKind::*;
+    // Rootkit / S1 family.
+    for _ in 0..6 {
+        store.add(mk(&[PortScan, DownloadSensitive, CompileKernelModule, LogWipe, DataExfiltration]));
+    }
+    // Ransomware family (the §V case study shape).
+    for _ in 0..6 {
+        store.add(mk(&[
+            RepeatedProbeDb,
+            DefaultCredentialUse,
+            DbVersionRecon,
+            ElfMagicInDbBlob,
+            LoExportExecution,
+            FileDropTmp,
+            SshKeyEnumeration,
+            KnownHostsEnumeration,
+            LateralMovementAttempt,
+            C2Communication,
+            MassFileEncryption,
+        ]));
+    }
+    // Credential-theft family.
+    for _ in 0..4 {
+        store.add(mk(&[
+            BruteForcePassword,
+            StolenCredentialLogin,
+            PasswordFileAccess,
+            SshKeyEnumeration,
+            InternalPivotLogin,
+            SshKeyTheftConfirmed,
+        ]));
+    }
+    // Cryptominer family.
+    for _ in 0..3 {
+        store.add(mk(&[
+            VulnScan,
+            RemoteCodeExecAttempt,
+            DownloadBinaryUnknown,
+            Base64DecodeExec,
+            CryptominerDeployed,
+        ]));
+    }
+    // Known-malware smash-and-grab.
+    for _ in 0..3 {
+        store.add(mk(&[KnownMalwareDownload, ReverseShellPattern, PrivilegeEscalation]));
+    }
+    // Scan-only campaigns that never escalate — Remark 2: most attempts
+    // fail. Without these, the transition prior alone would carry any
+    // post-scan alert into Foothold (a false-positive machine).
+    for _ in 0..12 {
+        store.add(mk(&[PortScan, AddressSweep, VulnScan, PortScan, RepeatedProbeDb]));
+        store.add(mk(&[AddressSweep, BruteForcePassword, BruteForcePassword, PortScan]));
+    }
+
+    // Benign sessions: logins, jobs, compiles, transfers.
+    let benign_kinds: &[&[AlertKind]] = &[
+        &[LoginSuccess, JobSubmit, JobSubmit, FileTransfer],
+        &[LoginSuccess, CompileSource, JobSubmit],
+        &[LoginSuccess, SoftwareInstall, FileTransfer, JobSubmit],
+        &[LoginSuccess, LoginFailed, LoginSuccess, JobSubmit],
+        &[LoginUnusualHour, JobSubmit, FileTransfer],
+    ];
+    let mut benign = Vec::new();
+    for _ in 0..8 {
+        for seq in benign_kinds {
+            let session: Vec<Alert> = seq
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| {
+                    Alert::new(SimTime::from_secs(i as u64), k, Entity::User("b".into()))
+                })
+                .collect();
+            benign.push(session);
+        }
+    }
+    train(&store, &benign, &TrainConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_model_shapes() {
+        let m = toy_training_model();
+        assert_eq!(m.n_states(), Stage::COUNT);
+        assert_eq!(m.n_obs(), AlertKind::COUNT);
+        // Benign state strongly emits logins.
+        assert!(
+            m.emit(Stage::Benign.index(), AlertKind::LoginSuccess.index())
+                > m.emit(Stage::Benign.index(), AlertKind::LogWipe.index())
+        );
+        // Foothold state emits download-sensitive far more than benign does.
+        assert!(
+            m.emit(Stage::Foothold.index(), AlertKind::DownloadSensitive.index())
+                > 10.0 * m.emit(Stage::Benign.index(), AlertKind::DownloadSensitive.index())
+        );
+    }
+
+    #[test]
+    fn transitions_progress_forward() {
+        let m = toy_training_model();
+        // From foothold, staying or escalating dominates regressing.
+        let stay_or_up: f64 = (Stage::Foothold.index()..Stage::COUNT)
+            .map(|to| m.trans(Stage::Foothold.index(), to))
+            .sum();
+        assert!(stay_or_up > 0.8, "got {stay_or_up}");
+    }
+
+    #[test]
+    fn filtering_separates_attack_from_benign() {
+        let m = toy_training_model();
+        use AlertKind::*;
+        let attack: Vec<usize> =
+            [DownloadSensitive, CompileKernelModule].iter().map(|k| k.index()).collect();
+        let benign: Vec<usize> = [LoginSuccess, JobSubmit].iter().map(|k| k.index()).collect();
+        let (a, _) = m.filter(&attack);
+        let (b, _) = m.filter(&benign);
+        let attack_mass = |p: &[f64]| {
+            p[Stage::Foothold.index()] + p[Stage::Escalation.index()] + p[Stage::Lateral.index()]
+        };
+        assert!(attack_mass(&a[1]) > 0.8);
+        assert!(attack_mass(&b[1]) < 0.2);
+    }
+}

@@ -1,0 +1,358 @@
+//! Exact inference on chain-structured models.
+//!
+//! The AttackTagger detector (refs [5], [6] of the paper) models each
+//! attack entity as a chain of hidden attack stages `s_1 → s_2 → … → s_n`
+//! with one observed alert per step. This module provides the exact,
+//! numerically scaled algorithms on that chain: forward filtering (the
+//! *causal* posterior a preemption model must use online), forward-backward
+//! smoothing, Viterbi MAP decoding and sequence likelihood — all O(n·S²).
+
+use serde::{Deserialize, Serialize};
+
+use crate::factor::Factor;
+use crate::graph::FactorGraph;
+
+/// A stationary chain model: prior, transition and emission tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainModel {
+    n_states: usize,
+    n_obs: usize,
+    /// `prior[s]` = P(s_1 = s).
+    prior: Vec<f64>,
+    /// `trans[from * n_states + to]` = P(s_{t+1} = to | s_t = from).
+    trans: Vec<f64>,
+    /// `emit[s * n_obs + o]` = P(o_t = o | s_t = s).
+    emit: Vec<f64>,
+}
+
+fn assert_distribution(v: &[f64], what: &str) {
+    let sum: f64 = v.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "{what} must sum to 1 (got {sum})"
+    );
+    assert!(v.iter().all(|&x| x >= 0.0), "{what} must be non-negative");
+}
+
+impl ChainModel {
+    /// Create a model, validating that every row is a distribution.
+    pub fn new(n_states: usize, n_obs: usize, prior: Vec<f64>, trans: Vec<f64>, emit: Vec<f64>) -> ChainModel {
+        assert_eq!(prior.len(), n_states);
+        assert_eq!(trans.len(), n_states * n_states);
+        assert_eq!(emit.len(), n_states * n_obs);
+        assert_distribution(&prior, "prior");
+        for s in 0..n_states {
+            assert_distribution(&trans[s * n_states..(s + 1) * n_states], "transition row");
+            assert_distribution(&emit[s * n_obs..(s + 1) * n_obs], "emission row");
+        }
+        ChainModel { n_states, n_obs, prior, trans, emit }
+    }
+
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    pub fn prior(&self) -> &[f64] {
+        &self.prior
+    }
+
+    /// P(to | from).
+    #[inline]
+    pub fn trans(&self, from: usize, to: usize) -> f64 {
+        self.trans[from * self.n_states + to]
+    }
+
+    /// P(obs | state).
+    #[inline]
+    pub fn emit(&self, state: usize, obs: usize) -> f64 {
+        self.emit[state * self.n_obs + obs]
+    }
+
+    /// Forward (filtering) pass: `alpha[t][s] = P(s_t = s | o_1..o_t)`,
+    /// plus the log-likelihood of the observations. This is the quantity an
+    /// online preemption model thresholds after every alert.
+    pub fn filter(&self, obs: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        let s_n = self.n_states;
+        let mut alphas = Vec::with_capacity(obs.len());
+        let mut loglik = 0.0;
+        let mut prev: Vec<f64> = Vec::new();
+        for (t, &o) in obs.iter().enumerate() {
+            assert!(o < self.n_obs, "observation {o} out of range");
+            let mut a = vec![0.0f64; s_n];
+            if t == 0 {
+                for s in 0..s_n {
+                    a[s] = self.prior[s] * self.emit(s, o);
+                }
+            } else {
+                for s in 0..s_n {
+                    let mut acc = 0.0;
+                    for ps in 0..s_n {
+                        acc += prev[ps] * self.trans(ps, s);
+                    }
+                    a[s] = acc * self.emit(s, o);
+                }
+            }
+            let norm: f64 = a.iter().sum();
+            if norm > 0.0 {
+                for x in &mut a {
+                    *x /= norm;
+                }
+                loglik += norm.ln();
+            } else {
+                // Impossible observation under the model: fall back to
+                // uniform and a heavy likelihood penalty.
+                let u = 1.0 / s_n as f64;
+                for x in &mut a {
+                    *x = u;
+                }
+                loglik += f64::MIN_POSITIVE.ln();
+            }
+            prev.clone_from(&a);
+            alphas.push(a);
+        }
+        (alphas, loglik)
+    }
+
+    /// Smoothed posteriors `gamma[t][s] = P(s_t = s | o_1..o_n)` via scaled
+    /// forward-backward.
+    pub fn posteriors(&self, obs: &[usize]) -> Vec<Vec<f64>> {
+        if obs.is_empty() {
+            return Vec::new();
+        }
+        let s_n = self.n_states;
+        let (alphas, _) = self.filter(obs);
+        let n = obs.len();
+        let mut betas = vec![vec![1.0f64; s_n]; n];
+        for t in (0..n - 1).rev() {
+            let o_next = obs[t + 1];
+            let mut b = vec![0.0f64; s_n];
+            for s in 0..s_n {
+                let mut acc = 0.0;
+                for ns in 0..s_n {
+                    acc += self.trans(s, ns) * self.emit(ns, o_next) * betas[t + 1][ns];
+                }
+                b[s] = acc;
+            }
+            let norm: f64 = b.iter().sum();
+            if norm > 0.0 {
+                for x in &mut b {
+                    *x /= norm;
+                }
+            }
+            betas[t] = b;
+        }
+        let mut gammas = Vec::with_capacity(n);
+        for t in 0..n {
+            let mut g: Vec<f64> = (0..s_n).map(|s| alphas[t][s] * betas[t][s]).collect();
+            let norm: f64 = g.iter().sum();
+            if norm > 0.0 {
+                for x in &mut g {
+                    *x /= norm;
+                }
+            }
+            gammas.push(g);
+        }
+        gammas
+    }
+
+    /// Viterbi MAP decode in log domain. Returns the best state sequence
+    /// and its log-probability.
+    pub fn viterbi(&self, obs: &[usize]) -> (Vec<usize>, f64) {
+        if obs.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let s_n = self.n_states;
+        let n = obs.len();
+        let log = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+        let mut delta: Vec<f64> = (0..s_n)
+            .map(|s| log(self.prior[s]) + log(self.emit(s, obs[0])))
+            .collect();
+        let mut backptr = vec![vec![0usize; s_n]; n];
+        for t in 1..n {
+            let mut next = vec![f64::NEG_INFINITY; s_n];
+            for s in 0..s_n {
+                let e = log(self.emit(s, obs[t]));
+                for ps in 0..s_n {
+                    let cand = delta[ps] + log(self.trans(ps, s)) + e;
+                    if cand > next[s] {
+                        next[s] = cand;
+                        backptr[t][s] = ps;
+                    }
+                }
+            }
+            delta = next;
+        }
+        let mut best = 0;
+        for s in 1..s_n {
+            if delta[s] > delta[best] {
+                best = s;
+            }
+        }
+        let best_logp = delta[best];
+        let mut path = vec![0usize; n];
+        path[n - 1] = best;
+        for t in (1..n).rev() {
+            path[t - 1] = backptr[t][path[t]];
+        }
+        (path, best_logp)
+    }
+
+    /// Log-likelihood of an observation sequence.
+    pub fn loglik(&self, obs: &[usize]) -> f64 {
+        self.filter(obs).1
+    }
+
+    /// Build the equivalent factor graph for an observation sequence, with
+    /// emissions reduced on the evidence. Used to cross-validate chain
+    /// inference against generic BP.
+    pub fn to_factor_graph(&self, obs: &[usize]) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let states: Vec<_> = obs.iter().map(|_| g.add_variable(self.n_states)).collect();
+        if let Some(&first) = states.first() {
+            // Prior × emission at t=0.
+            let o0 = obs[0];
+            let table: Vec<f64> = (0..self.n_states).map(|s| self.prior[s] * self.emit(s, o0)).collect();
+            g.add_factor(Factor::new(vec![first], vec![self.n_states], table));
+        }
+        for t in 1..states.len() {
+            let o = obs[t];
+            let (a, b) = (states[t - 1], states[t]);
+            let table = Factor::from_fn(
+                vec![a, b],
+                vec![self.n_states, self.n_states],
+                |assign| self.trans(assign[0], assign[1]) * self.emit(assign[1], o),
+            );
+            g.add_factor(table);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sumproduct::{brute_force_marginals, run, BpOptions};
+
+    /// A 2-state weather-like model.
+    fn toy() -> ChainModel {
+        ChainModel::new(
+            2,
+            3,
+            vec![0.6, 0.4],
+            vec![0.7, 0.3, 0.4, 0.6],
+            vec![0.5, 0.4, 0.1, 0.1, 0.3, 0.6],
+        )
+    }
+
+    #[test]
+    fn filter_is_normalized_per_step() {
+        let m = toy();
+        let (alphas, ll) = m.filter(&[0, 1, 2, 2, 0]);
+        for a in &alphas {
+            let s: f64 = a.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(ll < 0.0);
+    }
+
+    #[test]
+    fn posteriors_match_factor_graph_bp() {
+        let m = toy();
+        let obs = vec![0, 2, 1, 2];
+        let gammas = m.posteriors(&obs);
+        let g = m.to_factor_graph(&obs);
+        let bp = run(&g, &BpOptions::default());
+        for (t, gamma) in gammas.iter().enumerate() {
+            for s in 0..2 {
+                assert!(
+                    (gamma[s] - bp.marginals[t][s]).abs() < 1e-6,
+                    "t={t} s={s}: fb {} vs bp {}",
+                    gamma[s],
+                    bp.marginals[t][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posteriors_match_brute_force() {
+        let m = toy();
+        let obs = vec![2, 2, 0];
+        let gammas = m.posteriors(&obs);
+        let exact = brute_force_marginals(&m.to_factor_graph(&obs));
+        for (t, gamma) in gammas.iter().enumerate() {
+            for s in 0..2 {
+                assert!((gamma[s] - exact[t][s]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_agrees_with_exhaustive_search() {
+        let m = toy();
+        let obs = vec![0, 2, 2, 1];
+        let (path, logp) = m.viterbi(&obs);
+        // Exhaustive: enumerate all 2^4 state paths.
+        let mut best_path = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for code in 0..16u32 {
+            let states: Vec<usize> = (0..4).map(|t| ((code >> t) & 1) as usize).collect();
+            let mut p = m.prior()[states[0]] * m.emit(states[0], obs[0]);
+            for t in 1..4 {
+                p *= m.trans(states[t - 1], states[t]) * m.emit(states[t], obs[t]);
+            }
+            if p.ln() > best {
+                best = p.ln();
+                best_path = states;
+            }
+        }
+        assert_eq!(path, best_path);
+        assert!((logp - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglik_decreases_with_unlikely_observations() {
+        let m = toy();
+        // State 0 emits obs 2 rarely; a run of 2s is less likely than 0s
+        // under the prior-favored state.
+        let likely = m.loglik(&[0, 0, 0]);
+        let unlikely = m.loglik(&[2, 2, 2]);
+        assert!(likely > unlikely);
+    }
+
+    #[test]
+    fn empty_sequence_handled() {
+        let m = toy();
+        assert!(m.posteriors(&[]).is_empty());
+        let (p, l) = m.viterbi(&[]);
+        assert!(p.is_empty());
+        assert_eq!(l, 0.0);
+    }
+
+    #[test]
+    fn filtering_is_causal_smoothing_is_not() {
+        let m = toy();
+        let obs_a = vec![0, 0, 2];
+        let obs_b = vec![0, 0, 0];
+        let (fa, _) = m.filter(&obs_a);
+        let (fb, _) = m.filter(&obs_b);
+        // Filtered estimate at t=1 cannot depend on the future observation.
+        assert_eq!(fa[1], fb[1]);
+        // Smoothed estimate at t=1 does.
+        let ga = m.posteriors(&obs_a);
+        let gb = m.posteriors(&obs_b);
+        assert_ne!(ga[1], gb[1]);
+    }
+
+    #[test]
+    fn invalid_rows_rejected() {
+        assert!(std::panic::catch_unwind(|| {
+            ChainModel::new(2, 2, vec![0.5, 0.6], vec![0.5; 4], vec![0.5; 4])
+        })
+        .is_err());
+    }
+}

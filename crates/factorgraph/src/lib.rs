@@ -1,0 +1,45 @@
+//! # factorgraph — discrete probabilistic graphical models
+//!
+//! The inference substrate behind the paper's preemption models ([5], [6]):
+//! "Factor-Graph-based models ... to infer hidden attack states and stop
+//! attacks before the damage."
+//!
+//! - [`variable`], [`factor`] — discrete variables and tabular factors
+//!   (product, marginalize, reduce, normalize).
+//! - [`graph`] — the bipartite factor graph with forest detection.
+//! - [`sumproduct`] — loopy/exaсt sum-product BP + brute-force validator.
+//! - [`maxproduct`] — max-product MAP inference.
+//! - [`chain`] — exact O(n·S²) filtering / smoothing / Viterbi on the
+//!   per-entity attack-stage chains the detector runs online.
+//! - [`learn`] — MLE with Laplace smoothing from labeled incidents.
+//!
+//! ## Example: infer a hidden attack stage
+//! ```
+//! use factorgraph::chain::ChainModel;
+//! use factorgraph::learn::ChainLearner;
+//!
+//! // Two stages (benign=0, malicious=1), three alert symbols.
+//! let mut learner = ChainLearner::new(2, 3, 0.1);
+//! learner.observe(&[0, 1, 1], &[0, 1, 2]); // a labeled past incident
+//! learner.observe(&[0, 0, 0], &[0, 0, 0]); // benign activity
+//! let model: ChainModel = learner.build();
+//!
+//! // Online filtering over a new alert sequence.
+//! let (posterior, _ll) = model.filter(&[0, 1]);
+//! assert!(posterior[1][1] > 0.5, "second alert points at the malicious stage");
+//! ```
+
+pub mod chain;
+pub mod factor;
+pub mod graph;
+pub mod learn;
+pub mod maxproduct;
+pub mod sumproduct;
+pub mod variable;
+
+pub use chain::ChainModel;
+pub use factor::Factor;
+pub use graph::{FactorGraph, FactorId};
+pub use learn::ChainLearner;
+pub use sumproduct::{BpOptions, BpResult};
+pub use variable::{VarId, Variable};

@@ -1,0 +1,392 @@
+//! Sum-product belief propagation.
+//!
+//! Flooding-schedule message passing on the bipartite factor graph, with
+//! per-message normalization for numerical stability and optional damping
+//! for loopy graphs. On forests (which [`crate::graph::FactorGraph::is_forest`]
+//! detects) the marginals are exact after `diameter` iterations; on loopy
+//! graphs this is the standard loopy-BP approximation the AttackTagger
+//! models of the paper rely on.
+
+use crate::factor::Factor;
+use crate::graph::{FactorGraph, FactorId};
+use crate::variable::VarId;
+
+/// Options for a BP run.
+#[derive(Debug, Clone)]
+pub struct BpOptions {
+    /// Maximum flooding iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the max absolute message change.
+    pub tolerance: f64,
+    /// Damping in `[0, 1)`: new = (1-d)*computed + d*old.
+    pub damping: f64,
+}
+
+impl Default for BpOptions {
+    fn default() -> Self {
+        BpOptions { max_iters: 100, tolerance: 1e-9, damping: 0.0 }
+    }
+}
+
+/// Result of a BP run.
+#[derive(Debug, Clone)]
+pub struct BpResult {
+    /// Per-variable normalized marginals, indexed by `VarId`.
+    pub marginals: Vec<Vec<f64>>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the message updates converged below tolerance.
+    pub converged: bool,
+}
+
+impl BpResult {
+    /// Marginal distribution of one variable.
+    pub fn marginal(&self, var: VarId) -> &[f64] {
+        &self.marginals[var.0 as usize]
+    }
+
+    /// MAP estimate per variable from the marginals (max-marginal decoding).
+    pub fn argmax(&self, var: VarId) -> usize {
+        let m = self.marginal(var);
+        let mut best = 0;
+        for (i, &v) in m.iter().enumerate() {
+            if v > m[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Edge-indexed message storage: for each factor, one message slot per
+/// scope position in each direction.
+struct Messages {
+    /// `var_to_fac[f][i]` = message from factor f's i-th scope var to f.
+    var_to_fac: Vec<Vec<Vec<f64>>>,
+    /// `fac_to_var[f][i]` = message from f to its i-th scope var.
+    fac_to_var: Vec<Vec<Vec<f64>>>,
+}
+
+impl Messages {
+    fn new(graph: &FactorGraph) -> Messages {
+        let mut var_to_fac = Vec::with_capacity(graph.num_factors());
+        let mut fac_to_var = Vec::with_capacity(graph.num_factors());
+        for f in graph.factors() {
+            let slots: Vec<Vec<f64>> =
+                f.cards().iter().map(|&c| vec![1.0 / c as f64; c]).collect();
+            var_to_fac.push(slots.clone());
+            fac_to_var.push(slots);
+        }
+        Messages { var_to_fac, fac_to_var }
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    } else {
+        let u = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Run sum-product BP and return per-variable marginals.
+pub fn run(graph: &FactorGraph, opts: &BpOptions) -> BpResult {
+    let mut msgs = Messages::new(graph);
+    let mut iterations = 0;
+    let mut converged = false;
+
+    // Pre-compute, for each variable, its (factor, position) incidences.
+    let mut incidences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_variables()];
+    for (fi, f) in graph.factors().iter().enumerate() {
+        for (pos, v) in f.vars().iter().enumerate() {
+            incidences[v.0 as usize].push((fi, pos));
+        }
+    }
+
+    let mut scratch = Vec::new();
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        let mut max_delta: f64 = 0.0;
+
+        // Variable → factor messages: product of other incoming messages.
+        for (vi, inc) in incidences.iter().enumerate() {
+            let card = graph.variable(VarId(vi as u32)).card;
+            for &(fi, pos) in inc {
+                scratch.clear();
+                scratch.resize(card, 1.0);
+                for &(ofi, opos) in inc {
+                    if (ofi, opos) == (fi, pos) {
+                        continue;
+                    }
+                    for (k, s) in scratch.iter_mut().enumerate() {
+                        *s *= msgs.fac_to_var[ofi][opos][k];
+                    }
+                }
+                normalize(&mut scratch);
+                let slot = &mut msgs.var_to_fac[fi][pos];
+                for k in 0..card {
+                    let new =
+                        (1.0 - opts.damping) * scratch[k] + opts.damping * slot[k];
+                    max_delta = max_delta.max((new - slot[k]).abs());
+                    slot[k] = new;
+                }
+            }
+        }
+
+        // Factor → variable messages: marginalize factor times other
+        // incoming variable messages.
+        for (fi, f) in graph.factors().iter().enumerate() {
+            let nscope = f.vars().len();
+            for pos in 0..nscope {
+                let card = f.cards()[pos];
+                scratch.clear();
+                scratch.resize(card, 0.0);
+                // Iterate all assignments of the factor scope.
+                let mut assignment = vec![0usize; nscope];
+                for &val in f.table() {
+                    let mut w = val;
+                    if w != 0.0 {
+                        for (opos, &a) in assignment.iter().enumerate() {
+                            if opos != pos {
+                                w *= msgs.var_to_fac[fi][opos][a];
+                            }
+                        }
+                        scratch[assignment[pos]] += w;
+                    }
+                    for d in (0..nscope).rev() {
+                        assignment[d] += 1;
+                        if assignment[d] < f.cards()[d] {
+                            break;
+                        }
+                        assignment[d] = 0;
+                    }
+                }
+                normalize(&mut scratch);
+                let slot = &mut msgs.fac_to_var[fi][pos];
+                for k in 0..card {
+                    let new =
+                        (1.0 - opts.damping) * scratch[k] + opts.damping * slot[k];
+                    max_delta = max_delta.max((new - slot[k]).abs());
+                    slot[k] = new;
+                }
+            }
+        }
+
+        if max_delta < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    // Beliefs: product of all incoming factor messages.
+    let mut marginals = Vec::with_capacity(graph.num_variables());
+    for (vi, inc) in incidences.iter().enumerate() {
+        let card = graph.variable(VarId(vi as u32)).card;
+        let mut belief = vec![1.0; card];
+        for &(fi, pos) in inc {
+            for (k, b) in belief.iter_mut().enumerate() {
+                *b *= msgs.fac_to_var[fi][pos][k];
+            }
+        }
+        normalize(&mut belief);
+        marginals.push(belief);
+    }
+    BpResult { marginals, iterations, converged }
+}
+
+/// Exact marginals by brute-force enumeration — O(∏ card). Testing and
+/// validation utility; compare BP against this on small graphs.
+pub fn brute_force_marginals(graph: &FactorGraph) -> Vec<Vec<f64>> {
+    let cards: Vec<usize> = graph.variables().iter().map(|v| v.card).collect();
+    let n = cards.len();
+    let total: usize = cards.iter().product();
+    let mut marginals: Vec<Vec<f64>> = cards.iter().map(|&c| vec![0.0; c]).collect();
+    let mut assignment = vec![0usize; n];
+    for _ in 0..total {
+        let w = graph.joint_value(&assignment);
+        for (vi, &val) in assignment.iter().enumerate() {
+            marginals[vi][val] += w;
+        }
+        for d in (0..n).rev() {
+            assignment[d] += 1;
+            if assignment[d] < cards[d] {
+                break;
+            }
+            assignment[d] = 0;
+        }
+    }
+    for m in &mut marginals {
+        normalize(m);
+    }
+    marginals
+}
+
+/// Evidence helper: returns a copy of the graph with `var = value` clamped
+/// by appending an indicator factor.
+pub fn with_evidence(graph: &FactorGraph, evidence: &[(VarId, usize)]) -> FactorGraph {
+    let mut g = graph.clone();
+    for &(var, value) in evidence {
+        let card = graph.variable(var).card;
+        let mut table = vec![0.0; card];
+        table[value] = 1.0;
+        g.add_factor(Factor::new(vec![var], vec![card], table));
+    }
+    g
+}
+
+/// Identify the factor most responsible for a variable's belief — a simple
+/// explanation facility for operator-facing output.
+pub fn dominant_factor(graph: &FactorGraph, result: &BpResult, var: VarId) -> Option<FactorId> {
+    let best_state = result.argmax(var);
+    graph
+        .factors_of(var)
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let fa = factor_support(graph.factor(a), var, best_state);
+            let fb = factor_support(graph.factor(b), var, best_state);
+            fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+fn factor_support(f: &Factor, var: VarId, state: usize) -> f64 {
+    let reduced = f.reduce(var, state);
+    let total: f64 = f.table().iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    reduced.table().iter().sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn single_variable_prior() {
+        let mut g = FactorGraph::new();
+        let x = g.add_variable(3);
+        g.add_factor(Factor::new(vec![x], vec![3], vec![1.0, 2.0, 7.0]));
+        let r = run(&g, &BpOptions::default());
+        assert!(r.converged);
+        assert!(close(r.marginal(x), &[0.1, 0.2, 0.7], 1e-9));
+        assert_eq!(r.argmax(x), 2);
+    }
+
+    #[test]
+    fn chain_matches_brute_force() {
+        let mut g = FactorGraph::new();
+        let x0 = g.add_variable(2);
+        let x1 = g.add_variable(3);
+        let x2 = g.add_variable(2);
+        g.add_factor(Factor::new(vec![x0], vec![2], vec![0.3, 0.7]));
+        g.add_factor(Factor::from_fn(vec![x0, x1], vec![2, 3], |a| {
+            0.5 + (a[0] + a[1]) as f64 * 0.25
+        }));
+        g.add_factor(Factor::from_fn(vec![x1, x2], vec![3, 2], |a| {
+            1.0 + (a[0] * 2 + a[1]) as f64 * 0.1
+        }));
+        let r = run(&g, &BpOptions::default());
+        let exact = brute_force_marginals(&g);
+        assert!(r.converged);
+        for (vi, m) in exact.iter().enumerate() {
+            assert!(
+                close(&r.marginals[vi], m, 1e-7),
+                "var {vi}: bp {:?} vs exact {:?}",
+                r.marginals[vi],
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn tree_with_branching_matches_brute_force() {
+        let mut g = FactorGraph::new();
+        let root = g.add_variable(2);
+        let kids: Vec<VarId> = (0..3).map(|_| g.add_variable(2)).collect();
+        g.add_factor(Factor::new(vec![root], vec![2], vec![0.4, 0.6]));
+        for (i, &k) in kids.iter().enumerate() {
+            g.add_factor(Factor::from_fn(vec![root, k], vec![2, 2], move |a| {
+                if a[0] == a[1] {
+                    0.8 + i as f64 * 0.01
+                } else {
+                    0.2
+                }
+            }));
+        }
+        assert!(g.is_forest());
+        let r = run(&g, &BpOptions::default());
+        let exact = brute_force_marginals(&g);
+        for (vi, m) in exact.iter().enumerate() {
+            assert!(close(&r.marginals[vi], m, 1e-7), "var {vi}");
+        }
+    }
+
+    #[test]
+    fn loopy_graph_converges_with_damping() {
+        // A frustrated 3-cycle of pairwise agreement factors.
+        let mut g = FactorGraph::new();
+        let xs: Vec<VarId> = (0..3).map(|_| g.add_variable(2)).collect();
+        for i in 0..3 {
+            let a = xs[i];
+            let b = xs[(i + 1) % 3];
+            g.add_factor(Factor::from_fn(vec![a, b], vec![2, 2], |v| {
+                if v[0] == v[1] {
+                    0.9
+                } else {
+                    0.1
+                }
+            }));
+        }
+        g.add_factor(Factor::new(vec![xs[0]], vec![2], vec![0.8, 0.2]));
+        assert!(!g.is_forest());
+        let r = run(&g, &BpOptions { damping: 0.3, ..Default::default() });
+        assert!(r.converged, "loopy BP should converge with damping");
+        // Loopy BP must at least agree on the MAP structure: all variables
+        // pulled toward state 0 by the x0 prior.
+        for &x in &xs {
+            assert_eq!(r.argmax(x), 0);
+        }
+    }
+
+    #[test]
+    fn evidence_clamping() {
+        let mut g = FactorGraph::new();
+        let x0 = g.add_variable(2);
+        let x1 = g.add_variable(2);
+        g.add_factor(Factor::from_fn(vec![x0, x1], vec![2, 2], |a| {
+            if a[0] == a[1] {
+                0.9
+            } else {
+                0.1
+            }
+        }));
+        let clamped = with_evidence(&g, &[(x0, 1)]);
+        let r = run(&clamped, &BpOptions::default());
+        assert_eq!(r.argmax(x0), 1);
+        assert!(r.marginal(x1)[1] > 0.85);
+    }
+
+    #[test]
+    fn dominant_factor_identified() {
+        let mut g = FactorGraph::new();
+        let x = g.add_variable(2);
+        let weak = g.add_factor(Factor::new(vec![x], vec![2], vec![0.5, 0.5]));
+        let strong = g.add_factor(Factor::new(vec![x], vec![2], vec![0.05, 0.95]));
+        let r = run(&g, &BpOptions::default());
+        assert_eq!(r.argmax(x), 1);
+        let dom = dominant_factor(&g, &r, x).unwrap();
+        assert_eq!(dom, strong);
+        assert_ne!(dom, weak);
+    }
+}

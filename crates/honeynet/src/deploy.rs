@@ -1,0 +1,394 @@
+//! Honeynet deployment: entry points, forwarding, and session handling.
+//!
+//! §IV-C: "We allocated a dedicated /24 IP space containing sixteen entry
+//! points to such a database. Each entry point is a Virtual Machine that
+//! forwards incoming traffic to an isolated container containing the
+//! vulnerable or semi-open database."
+//!
+//! The deployment owns the emulated services and converts attacker session
+//! activity into the **observable action stream**: every command yields the
+//! `Db`/`FileOp`/`Flow` actions that the monitors will see once scheduled
+//! into the engine.
+
+use std::net::Ipv4Addr;
+
+use simnet::action::{Action, DbAction, DbCommandKind, FileOp, FileOpAction};
+use simnet::addr::Cidr;
+use simnet::flow::{ConnState, Flow, FlowId, Service};
+use simnet::rng::FxHashMap;
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::{HostId, HostRole, Topology, Zone};
+
+use crate::container::{ContainerImage, ContainerPool};
+use crate::isolation::OverlayNetwork;
+use crate::postgres::PostgresEmulator;
+use crate::service::{Credential, ServiceEvent, SessionCtx, VulnerableService};
+use crate::vrt::SnapshotRepo;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Which /24 of the production /16 hosts the honeynet.
+    pub honeynet_octet: u64,
+    /// Number of entry-point VMs (the paper uses sixteen).
+    pub entry_points: usize,
+    /// PostgreSQL version to emulate (VRT-resolved).
+    pub pg_version: String,
+    /// VRT build date for the container image.
+    pub build_date: SimTime,
+    /// Container TTL (short-lived instances).
+    pub container_ttl: SimDuration,
+    /// Extra accepted credentials (planted hints); the default
+    /// `postgres:postgres` pair is always accepted.
+    pub extra_credentials: Vec<Credential>,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            honeynet_octet: 77,
+            entry_points: 16,
+            pg_version: "9.4.21".into(),
+            build_date: SimTime::from_date(2019, 6, 1),
+            container_ttl: SimDuration::from_hours(12),
+            extra_credentials: Vec::new(),
+        }
+    }
+}
+
+/// Per-entry-point state.
+struct Entry {
+    container_host: HostId,
+    service: PostgresEmulator,
+}
+
+/// Deployment statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeployStats {
+    pub sessions_opened: u64,
+    pub auth_successes: u64,
+    pub auth_failures: u64,
+    pub commands: u64,
+    pub files_dropped: u64,
+    pub egress_attempts: u64,
+}
+
+/// The deployed honeynet.
+pub struct HoneynetDeployment {
+    cidr: Cidr,
+    entries: FxHashMap<Ipv4Addr, Entry>,
+    entry_addrs: Vec<Ipv4Addr>,
+    sessions: FxHashMap<(Ipv4Addr, Ipv4Addr), SessionCtx>,
+    pool: ContainerPool,
+    overlay: OverlayNetwork,
+    next_flow: u64,
+    stats: DeployStats,
+}
+
+impl HoneynetDeployment {
+    /// Install the honeynet into a topology: entry-point VMs on the
+    /// honeynet /24 plus one backing container host each (overlay
+    /// addresses are private to the sandbox).
+    pub fn install(topo: &mut Topology, cfg: &DeployConfig) -> HoneynetDeployment {
+        let production = simnet::addr::ncsa_production();
+        let cidr = production.subblock(cfg.honeynet_octet, 24);
+        let repo = SnapshotRepo::with_debian_history();
+        let snapshot = repo
+            .resolve(cfg.build_date, &["postgresql"])
+            .expect("VRT history covers the build date");
+        let image = ContainerImage {
+            name: format!("pg-honeypot-{}", cfg.pg_version),
+            snapshot,
+            services: vec![("postgresql".into(), 5432)],
+        };
+        let pool =
+            ContainerPool::new(image, cfg.entry_points, cfg.container_ttl, cfg.build_date);
+        let mut overlay = OverlayNetwork::new("10.77.0.0/16".parse().expect("static CIDR"));
+
+        let mut creds = vec![Credential::new("postgres", "postgres")];
+        creds.extend(cfg.extra_credentials.iter().cloned());
+
+        let mut entries = FxHashMap::default();
+        let mut entry_addrs = Vec::with_capacity(cfg.entry_points);
+        for i in 0..cfg.entry_points {
+            let addr = cidr.nth(i as u64 + 10);
+            topo.add_host(format!("hpot-entry{:02}", i + 1), addr, Zone::Honeynet, HostRole::EntryPoint);
+            let ctr_addr = overlay.allocate();
+            let container_host = topo.add_host(
+                format!("hpot-ctr{:02}", i + 1),
+                ctr_addr,
+                Zone::Honeynet,
+                HostRole::Database,
+            );
+            entries.insert(
+                addr,
+                Entry {
+                    container_host,
+                    service: PostgresEmulator::new(&cfg.pg_version, creds.clone()),
+                },
+            );
+            entry_addrs.push(addr);
+        }
+        HoneynetDeployment {
+            cidr,
+            entries,
+            entry_addrs,
+            sessions: FxHashMap::default(),
+            pool,
+            overlay,
+            next_flow: 0x4850_0000,
+            stats: DeployStats::default(),
+        }
+    }
+
+    /// The honeynet /24.
+    pub fn cidr(&self) -> Cidr {
+        self.cidr
+    }
+
+    /// Entry-point addresses, in order.
+    pub fn entry_addrs(&self) -> &[Ipv4Addr] {
+        &self.entry_addrs
+    }
+
+    pub fn stats(&self) -> DeployStats {
+        self.stats
+    }
+
+    pub fn pool(&self) -> &ContainerPool {
+        &self.pool
+    }
+
+    /// Periodic maintenance (recycle short-lived containers).
+    pub fn tick(&mut self, now: SimTime) -> usize {
+        self.pool.tick(now)
+    }
+
+    fn fresh_flow(&mut self, t: SimTime, src: Ipv4Addr, dst: Ipv4Addr, bytes: u64) -> Flow {
+        self.next_flow += 1;
+        Flow {
+            id: FlowId(self.next_flow),
+            start: t,
+            duration: SimDuration::from_millis(200),
+            src,
+            src_port: 40_000 + (self.next_flow % 20_000) as u16,
+            dst,
+            dst_port: 5432,
+            proto: simnet::flow::Proto::Tcp,
+            state: ConnState::SF,
+            service: Service::Postgres,
+            orig_bytes: bytes,
+            resp_bytes: 256,
+        }
+    }
+
+    /// Attacker authentication against an entry point. Returns whether it
+    /// succeeded plus the observable actions to schedule.
+    pub fn db_connect(
+        &mut self,
+        t: SimTime,
+        src: Ipv4Addr,
+        entry: Ipv4Addr,
+        user: &str,
+        password: &str,
+    ) -> (bool, Vec<(SimTime, Action)>) {
+        let flow = self.fresh_flow(t, src, entry, 512);
+        let Some(e) = self.entries.get_mut(&entry) else {
+            return (false, Vec::new());
+        };
+        self.stats.sessions_opened += 1;
+        let success = e.service.try_auth(user, password);
+        if success {
+            self.stats.auth_successes += 1;
+            self.sessions.insert(
+                (src, entry),
+                SessionCtx { user: Some(user.to_string()), commands: 0 },
+            );
+        } else {
+            self.stats.auth_failures += 1;
+        }
+        let container_host = e.container_host;
+        let action = Action::Db(DbAction {
+            flow,
+            target: Some(container_host),
+            user: user.to_string(),
+            command: DbCommandKind::Auth { success },
+            statement: format!("auth {user}"),
+        });
+        (success, vec![(t, action)])
+    }
+
+    /// Attacker command in an open session. Returns the protocol reply and
+    /// the observable actions to schedule.
+    pub fn db_command(
+        &mut self,
+        t: SimTime,
+        src: Ipv4Addr,
+        entry: Ipv4Addr,
+        command: &str,
+    ) -> (Option<String>, Vec<(SimTime, Action)>) {
+        let Some(session_key) = self.sessions.get(&(src, entry)).map(|_| (src, entry)) else {
+            return (None, Vec::new());
+        };
+        let flow = self.fresh_flow(t, src, entry, command.len() as u64 + 64);
+        let e = self.entries.get_mut(&entry).expect("session implies entry");
+        let mut session = self.sessions.remove(&session_key).expect("checked above");
+        let user = session.user.clone().unwrap_or_default();
+        let outcome = e.service.execute(&mut session, command);
+        self.sessions.insert(session_key, session);
+        self.stats.commands += 1;
+        // Mark a backing container as touched for early recycling
+        // (containers are fungible behind the forwarder).
+        if let Some(c) = self.pool.running_mut().next() {
+            c.touch();
+        }
+
+        let container_host = e.container_host;
+        let mut actions: Vec<(SimTime, Action)> = Vec::with_capacity(outcome.events.len());
+        for ev in &outcome.events {
+            match ev {
+                ServiceEvent::Db { command, statement } => {
+                    actions.push((
+                        t,
+                        Action::Db(DbAction {
+                            flow: flow.clone(),
+                            target: Some(container_host),
+                            user: user.clone(),
+                            command: command.clone(),
+                            statement: statement.clone(),
+                        }),
+                    ));
+                }
+                ServiceEvent::FileDropped { path, process } => {
+                    self.stats.files_dropped += 1;
+                    actions.push((
+                        t + SimDuration::from_millis(50),
+                        Action::FileOp(FileOpAction {
+                            host: container_host,
+                            user: user.clone(),
+                            path: path.clone(),
+                            op: FileOp::Create,
+                            process: process.clone(),
+                        }),
+                    ));
+                }
+                ServiceEvent::EgressAttempt { dst, port } => {
+                    self.stats.egress_attempts += 1;
+                    self.next_flow += 1;
+                    let egress = Flow::probe(FlowId(self.next_flow), t, entry, *dst, *port);
+                    actions.push((t + SimDuration::from_millis(80), Action::Flow(egress)));
+                }
+                ServiceEvent::CommandExecuted { cmdline } => {
+                    actions.push((
+                        t + SimDuration::from_millis(60),
+                        Action::Exec(simnet::action::ExecAction {
+                            host: container_host,
+                            user: user.clone(),
+                            pid: (self.next_flow & 0xFFFF) as u32,
+                            ppid: 1,
+                            exe: "/bin/sh".into(),
+                            cmdline: cmdline.clone(),
+                        }),
+                    ));
+                }
+            }
+        }
+        (Some(outcome.reply), actions)
+    }
+
+    /// Overlay allocation count (diagnostics).
+    pub fn overlay_allocated(&self) -> u64 {
+        self.overlay.allocated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::NcsaTopologyBuilder;
+
+    fn deployed() -> (Topology, HoneynetDeployment) {
+        let mut topo = NcsaTopologyBuilder::default().build();
+        let dep = HoneynetDeployment::install(&mut topo, &DeployConfig::default());
+        (topo, dep)
+    }
+
+    #[test]
+    fn sixteen_entry_points_on_the_slash24() {
+        let (topo, dep) = deployed();
+        assert_eq!(dep.entry_addrs().len(), 16);
+        for addr in dep.entry_addrs() {
+            assert!(dep.cidr().contains(*addr));
+            let host = topo.host_by_addr(*addr).expect("entry registered in topology");
+            assert_eq!(host.role, HostRole::EntryPoint);
+            assert_eq!(host.zone, Zone::Honeynet);
+        }
+        assert_eq!(dep.overlay_allocated(), 16);
+    }
+
+    #[test]
+    fn default_credentials_work_wrong_ones_fail() {
+        let (_topo, mut dep) = deployed();
+        let entry = dep.entry_addrs()[0];
+        let src: Ipv4Addr = "111.200.1.1".parse().unwrap();
+        let (ok, actions) =
+            dep.db_connect(SimTime::from_secs(0), src, entry, "postgres", "postgres");
+        assert!(ok);
+        assert_eq!(actions.len(), 1);
+        match &actions[0].1 {
+            Action::Db(d) => assert!(matches!(d.command, DbCommandKind::Auth { success: true })),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (ok, _) = dep.db_connect(SimTime::from_secs(1), src, entry, "postgres", "wrong");
+        assert!(!ok);
+        assert_eq!(dep.stats().auth_failures, 1);
+    }
+
+    #[test]
+    fn ransomware_steps_produce_observable_actions() {
+        let (_topo, mut dep) = deployed();
+        let entry = dep.entry_addrs()[0];
+        let src: Ipv4Addr = "111.200.1.1".parse().unwrap();
+        dep.db_connect(SimTime::from_secs(0), src, entry, "postgres", "postgres");
+        // Step 1: version recon.
+        let (reply, actions) =
+            dep.db_command(SimTime::from_secs(1), src, entry, "SHOW server_version_num");
+        assert_eq!(reply.as_deref(), Some("90421"));
+        assert_eq!(actions.len(), 1);
+        // Step 2: ELF payload into a largeobject.
+        let stmt = format!("SELECT lo_from_bytea(0, decode('7f454c46{}','hex'))", "00".repeat(64));
+        let (_, actions) = dep.db_command(SimTime::from_secs(2), src, entry, &stmt);
+        assert!(actions.iter().any(|(_, a)| matches!(
+            a,
+            Action::Db(d) if matches!(&d.command, DbCommandKind::LargeObjectWrite { hex_prefix, .. } if hex_prefix == "7F454C46")
+        )));
+        // Step 3: lo_export drops /tmp/kp → Db action + FileOp action.
+        let (_, actions) =
+            dep.db_command(SimTime::from_secs(3), src, entry, "SELECT lo_export(16384, '/tmp/kp')");
+        assert!(actions.iter().any(|(_, a)| matches!(a, Action::FileOp(f) if f.path == "/tmp/kp")));
+        assert_eq!(dep.stats().files_dropped, 1);
+        assert_eq!(dep.stats().commands, 3);
+    }
+
+    #[test]
+    fn commands_without_session_rejected() {
+        let (_topo, mut dep) = deployed();
+        let entry = dep.entry_addrs()[0];
+        let src: Ipv4Addr = "111.200.1.1".parse().unwrap();
+        let (reply, actions) = dep.db_command(SimTime::from_secs(0), src, entry, "SELECT 1");
+        assert!(reply.is_none());
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn touched_containers_recycle_on_tick() {
+        let (_topo, mut dep) = deployed();
+        let entry = dep.entry_addrs()[0];
+        let src: Ipv4Addr = "111.200.1.1".parse().unwrap();
+        dep.db_connect(SimTime::from_secs(0), src, entry, "postgres", "postgres");
+        dep.db_command(SimTime::from_secs(1), src, entry, "SELECT 1");
+        let recycled = dep.tick(SimTime::from_secs(2));
+        assert_eq!(recycled, 1, "touched container recycled early");
+        assert_eq!(dep.pool().running_count(), 16, "pool reprovisioned to target");
+    }
+}

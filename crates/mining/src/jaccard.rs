@@ -1,0 +1,119 @@
+//! Pairwise attack similarity (Fig. 3a).
+//!
+//! Insight 1: *"more than 95% of attacks have up to 33% of similar alerts"*
+//! — measured as pairwise Jaccard similarity between the alert-kind sets of
+//! incidents, plotted as a CDF. The pairwise sweep is data-parallel over
+//! incident pairs (rayon).
+
+use alertlib::store::IncidentStore;
+use alertlib::taxonomy::AlertKind;
+use rayon::prelude::*;
+use simnet::rng::FxHashSet;
+
+use crate::stats::Cdf;
+
+/// Jaccard similarity of two sets: |A∩B| / |A∪B|. Returns 1 for two empty
+/// sets (identical by convention).
+pub fn jaccard(a: &FxHashSet<AlertKind>, b: &FxHashSet<AlertKind>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// All pairwise similarities between incidents in the store.
+pub fn pairwise_similarities(store: &IncidentStore) -> Vec<f64> {
+    let sets: Vec<FxHashSet<AlertKind>> = store.iter().map(|i| i.kind_set()).collect();
+    let n = sets.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Parallel over the row index; each row computes its upper-triangle
+    // entries. Work per row shrinks with i, but rayon's dynamic splitting
+    // balances that.
+    (0..n - 1)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let sets = &sets;
+            (i + 1..n).map(move |j| jaccard(&sets[i], &sets[j]))
+        })
+        .collect()
+}
+
+/// The similarity CDF of Fig. 3a.
+pub fn similarity_cdf(store: &IncidentStore) -> Cdf {
+    Cdf::new(pairwise_similarities(store))
+}
+
+/// The headline statistic of Insight 1: the fraction of pairs whose
+/// similarity is at most `threshold` (paper: ≥95% of pairs ≤ 0.33).
+pub fn fraction_pairs_below(store: &IncidentStore, threshold: f64) -> f64 {
+    similarity_cdf(store).fraction_le(threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertlib::alert::{Alert, Entity};
+    use alertlib::store::{Incident, IncidentId};
+    use simnet::time::SimTime;
+
+    fn set(kinds: &[AlertKind]) -> FxHashSet<AlertKind> {
+        kinds.iter().copied().collect()
+    }
+
+    fn incident(kinds: &[AlertKind]) -> Incident {
+        let mut inc = Incident::new(IncidentId(0), "t", 2020);
+        for (i, &k) in kinds.iter().enumerate() {
+            inc.push_alert(Alert::new(SimTime::from_secs(i as u64), k, Entity::Unknown));
+        }
+        inc
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = set(&[AlertKind::PortScan, AlertKind::DownloadSensitive]);
+        let b = set(&[AlertKind::PortScan, AlertKind::LogWipe]);
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty = FxHashSet::default();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn pairwise_count_is_n_choose_2() {
+        let mut store = IncidentStore::new();
+        for _ in 0..10 {
+            store.add(incident(&[AlertKind::PortScan]));
+        }
+        assert_eq!(pairwise_similarities(&store).len(), 45);
+    }
+
+    #[test]
+    fn identical_incidents_fully_similar() {
+        let mut store = IncidentStore::new();
+        store.add(incident(&[AlertKind::PortScan, AlertKind::LogWipe]));
+        store.add(incident(&[AlertKind::PortScan, AlertKind::LogWipe]));
+        let sims = pairwise_similarities(&store);
+        assert_eq!(sims, vec![1.0]);
+    }
+
+    #[test]
+    fn disjoint_incidents_zero_similarity() {
+        let mut store = IncidentStore::new();
+        store.add(incident(&[AlertKind::PortScan]));
+        store.add(incident(&[AlertKind::LogWipe]));
+        assert_eq!(pairwise_similarities(&store), vec![0.0]);
+        assert_eq!(fraction_pairs_below(&store, 0.33), 1.0);
+    }
+
+    #[test]
+    fn single_incident_no_pairs() {
+        let mut store = IncidentStore::new();
+        store.add(incident(&[AlertKind::PortScan]));
+        assert!(pairwise_similarities(&store).is_empty());
+    }
+}

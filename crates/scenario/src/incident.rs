@@ -1,0 +1,295 @@
+//! Incident synthesis.
+//!
+//! Realizes an attack signature into a full [`Incident`]: attacker address,
+//! compromised account, noise prologue (the automated probing every attack
+//! rides in on), the signature steps at manual-phase pacing, optional S1
+//! motif weaving, and an optional terminal critical alert (the damage the
+//! preemption models must beat).
+
+use alertlib::alert::{Alert, Entity};
+use alertlib::annotate::GroundTruth;
+use alertlib::store::{Incident, IncidentId};
+use alertlib::taxonomy::AlertKind;
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+use crate::library::s1_motif;
+use crate::template::Delay;
+
+/// Options for one incident realization.
+#[derive(Debug, Clone)]
+pub struct IncidentSpec {
+    pub family: String,
+    pub year: i32,
+    /// The core signature kinds (in order).
+    pub signature: Vec<AlertKind>,
+    /// Number of noise alerts preceding the attack.
+    pub noise_prologue: usize,
+    /// Weave the S1 motif into the body if not already present.
+    pub weave_s1: bool,
+    /// Terminal critical alert, if the attack reaches damage.
+    pub critical: Option<AlertKind>,
+}
+
+/// Pool of user names the generator assigns to compromised accounts.
+const USERS: &[&str] = &[
+    "jsmith", "mchen", "akumar", "lgarcia", "tnguyen", "rjones", "bwilson", "kpatel", "dlee",
+    "sbrown",
+];
+
+/// Noise kinds for the automated prologue. The pool is deliberately wide:
+/// each incident samples a small sub-pool from it, so the scan noise two
+/// incidents share is usually small — which is what keeps pairwise
+/// similarity under Fig. 3a's 33% knee.
+const NOISE: &[AlertKind] = &[
+    AlertKind::PortScan,
+    AlertKind::AddressSweep,
+    AlertKind::VulnScan,
+    AlertKind::BruteForcePassword,
+    AlertKind::RepeatedProbeDb,
+    AlertKind::SqlInjectionProbe,
+    AlertKind::LoginFailed,
+    AlertKind::RemoteCodeExecAttempt,
+    AlertKind::AuthBypassAttempt,
+    AlertKind::LoginNewGeolocation,
+];
+
+/// Generate one incident starting at `start`.
+pub fn generate_incident(rng: &mut SimRng, start: SimTime, spec: &IncidentSpec) -> Incident {
+    let attacker_ip: std::net::Ipv4Addr = std::net::Ipv4Addr::from(u32::from_be_bytes([
+        rng.range_u64(1, 223) as u8,
+        rng.range_u64(0, 255) as u8,
+        rng.range_u64(0, 255) as u8,
+        rng.range_u64(1, 255) as u8,
+    ]));
+    let victim_ip: std::net::Ipv4Addr =
+        simnet::addr::ncsa_production().nth(rng.range_u64(256, 60_000));
+    let user = (*rng.pick(USERS)).to_string();
+
+    // Assemble the kind sequence: noise prologue, then the signature with
+    // the optional motif woven in, then the critical.
+    let mut body: Vec<AlertKind> = spec.signature.clone();
+    if spec.weave_s1 {
+        let motif = s1_motif();
+        let already = alertlib_is_subsequence(&motif, &body);
+        if !already {
+            // Insert motif kinds at strictly ascending random positions so
+            // the motif stays in order.
+            let mut pos = rng.index(body.len() + 1);
+            for k in motif {
+                body.insert(pos, k);
+                let lo = pos + 1;
+                let hi = body.len() + 1;
+                pos = lo + rng.index(hi - lo);
+            }
+        }
+    }
+
+    let mut inc = Incident::new(IncidentId(0), spec.family.clone(), spec.year);
+    inc.report = GroundTruth {
+        users: vec![user.clone()],
+        machines: vec![format!("host-{}", victim_ip)],
+        attacker_ips: vec![attacker_ip],
+    };
+
+    let mut t = start;
+    // Noise prologue: attributed to the attacker address (unauthenticated).
+    // Each incident draws a small noise sub-pool (1–3 kinds) and paces the
+    // probes at scanner rate (exponential, seconds apart — Insight 3's
+    // low-variance automated phase).
+    let sub_pool: Vec<AlertKind> = {
+        let mut pool = NOISE.to_vec();
+        rng.shuffle(&mut pool);
+        // One noise kind per incident: a given attacker's probing tool is
+        // monotonous, and cross-incident noise overlap stays rare.
+        pool.truncate(1);
+        pool
+    };
+    let scanner_delay = Delay::Exponential { mean_secs: 5.0 };
+    for _ in 0..spec.noise_prologue {
+        t += scanner_delay.sample(rng);
+        let kind = *rng.pick(&sub_pool);
+        inc.push_alert(
+            Alert::new(t, kind, Entity::Address(attacker_ip))
+                .with_src(attacker_ip)
+                .with_dst(victim_ip)
+                .with_message(format!("{} from {}", kind.symbol(), attacker_ip)),
+        );
+    }
+    // Contextual long-tail alerts: every real incident carries a couple of
+    // one-off alerts specific to its circumstances. They widen the
+    // kind-set unions, which is what keeps cross-incident Jaccard low.
+    let context_pool: Vec<AlertKind> = AlertKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| {
+            use alertlib::taxonomy::Severity::*;
+            matches!(k.severity(), Attempt | Significant) && !body.contains(k)
+        })
+        .collect();
+    let mut context_pool = context_pool;
+    rng.shuffle(&mut context_pool);
+    for k in context_pool.into_iter().take(2) {
+        let pos = rng.index(body.len() + 1);
+        body.insert(pos, k);
+    }
+
+    // Body: attributed to the compromised account. Pacing follows the
+    // alert class (Insight 3): scan-class alerts are machine-paced even
+    // mid-attack; everything else follows the manual heavy-tailed model.
+    for kind in &body {
+        let delay = if kind.is_noise() {
+            Delay::Exponential { mean_secs: 5.0 }
+        } else {
+            Delay::manual()
+        };
+        t += delay.sample(rng);
+        inc.push_alert(
+            Alert::new(t, *kind, Entity::User(user.clone()))
+                .with_src(attacker_ip)
+                .with_dst(victim_ip)
+                .with_message(kind.symbol().to_string()),
+        );
+    }
+    if let Some(critical) = spec.critical {
+        t += Delay::manual().sample(rng);
+        inc.push_alert(
+            Alert::new(t, critical, Entity::User(user.clone()))
+                .with_src(attacker_ip)
+                .with_dst(victim_ip)
+                .with_message(critical.symbol().to_string()),
+        );
+    }
+    inc
+}
+
+/// Generate benign user sessions (for detector training and false-positive
+/// measurement).
+pub fn benign_sessions(rng: &mut SimRng, n: usize, start: SimTime) -> Vec<Vec<Alert>> {
+    use AlertKind::*;
+    let shapes: &[&[AlertKind]] = &[
+        &[LoginSuccess, JobSubmit, JobSubmit, FileTransfer],
+        &[LoginSuccess, CompileSource, JobSubmit, JobSubmit],
+        &[LoginSuccess, SoftwareInstall, FileTransfer],
+        &[LoginSuccess, LoginFailed, LoginSuccess, JobSubmit],
+        &[LoginUnusualHour, JobSubmit, FileTransfer, JobSubmit],
+        &[LoginSuccess, FileTransfer, FileTransfer, FileTransfer, JobSubmit],
+    ];
+    (0..n)
+        .map(|i| {
+            let shape = rng.pick(shapes);
+            let user = format!("{}{}", rng.pick(USERS), i % 7);
+            let mut t = start + SimDuration::from_secs(rng.range_u64(0, 86_400));
+            shape
+                .iter()
+                .map(|&k| {
+                    t += SimDuration::from_secs(rng.range_u64(30, 3_600));
+                    Alert::new(t, k, Entity::User(user.clone()))
+                        .with_message(k.symbol().to_string())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Local subsequence check (mirror of `mining::is_subsequence`, kept here
+/// to avoid a dependency cycle).
+fn alertlib_is_subsequence(needle: &[AlertKind], haystack: &[AlertKind]) -> bool {
+    let mut it = needle.iter();
+    let mut next = it.next();
+    for x in haystack {
+        match next {
+            Some(n) if n == x => next = it.next(),
+            Some(_) => {}
+            None => return true,
+        }
+    }
+    next.is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AlertKind::*;
+
+    fn spec() -> IncidentSpec {
+        IncidentSpec {
+            family: "test".into(),
+            year: 2015,
+            signature: vec![StolenCredentialLogin, SshKeyEnumeration, InternalPivotLogin],
+            noise_prologue: 4,
+            weave_s1: false,
+            critical: Some(DataExfiltration),
+        }
+    }
+
+    #[test]
+    fn incident_structure() {
+        let mut rng = SimRng::seed(1);
+        let inc = generate_incident(&mut rng, SimTime::from_date(2015, 3, 1), &spec());
+        // 4 noise + 3 signature + 2 contextual + 1 critical.
+        assert_eq!(inc.len(), 4 + 3 + 2 + 1);
+        assert_eq!(inc.year, 2015);
+        // Noise first, then user-attributed body, critical last.
+        assert!(matches!(
+            inc.alerts[0].severity(),
+            alertlib::taxonomy::Severity::Noise | alertlib::taxonomy::Severity::Attempt
+        ));
+        assert!(inc.alerts.last().unwrap().is_critical());
+        assert_eq!(inc.first_damage_ts(), Some(inc.alerts.last().unwrap().ts));
+        // Ground truth populated.
+        assert_eq!(inc.report.users.len(), 1);
+        assert_eq!(inc.report.attacker_ips.len(), 1);
+        // Time-ordered.
+        for w in inc.alerts.windows(2) {
+            assert!(w[1].ts >= w[0].ts);
+        }
+    }
+
+    #[test]
+    fn motif_weaving_preserves_order() {
+        let mut rng = SimRng::seed(2);
+        let mut s = spec();
+        s.weave_s1 = true;
+        for _ in 0..50 {
+            let inc = generate_incident(&mut rng, SimTime::from_date(2016, 1, 1), &s);
+            let kinds = inc.kind_sequence();
+            assert!(
+                alertlib_is_subsequence(&s1_motif(), &kinds),
+                "motif must be present in order: {kinds:?}"
+            );
+            // Original signature preserved as a subsequence too.
+            assert!(alertlib_is_subsequence(&s.signature, &kinds));
+        }
+    }
+
+    #[test]
+    fn no_critical_when_not_requested() {
+        let mut rng = SimRng::seed(3);
+        let mut s = spec();
+        s.critical = None;
+        let inc = generate_incident(&mut rng, SimTime::from_date(2015, 3, 1), &s);
+        assert!(inc.first_damage_ts().is_none());
+    }
+
+    #[test]
+    fn benign_sessions_are_benign() {
+        let mut rng = SimRng::seed(4);
+        let sessions = benign_sessions(&mut rng, 20, SimTime::from_date(2020, 1, 1));
+        assert_eq!(sessions.len(), 20);
+        for s in &sessions {
+            assert!(!s.is_empty());
+            assert!(s.iter().all(|a| !a.is_critical()));
+            for w in s.windows(2) {
+                assert!(w[1].ts >= w[0].ts);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_incident(&mut SimRng::seed(9), SimTime::from_date(2015, 3, 1), &spec());
+        let b = generate_incident(&mut SimRng::seed(9), SimTime::from_date(2015, 3, 1), &spec());
+        assert_eq!(a.alerts, b.alerts);
+    }
+}

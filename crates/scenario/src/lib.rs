@@ -1,0 +1,35 @@
+//! # scenario — workloads, incidents and attack scripts
+//!
+//! Everything stochastic the testbed consumes, all seeded and
+//! reproducible:
+//!
+//! - [`template`] — attack step templates with Insight-3 delay models.
+//! - [`library`] — eight attack families + the S1..S43 pattern catalogue
+//!   with Fig. 3b's support distribution.
+//! - [`incident`] — incident realization (noise prologue, motif weaving,
+//!   terminal criticals) and benign sessions.
+//! - [`longitudinal`] — the 24-year, 228-incident corpus calibrated to
+//!   Table I / Insight 4 (19 critical kinds × 98 occurrences, 60.08% S1).
+//! - [`background`] — mass-scanner + legit background streams (Fig. 2's
+//!   94 K/day) and the Fig. 1 flow sample.
+//! - [`ransomware`] — the §V case-study playbook, including Fig. 5's
+//!   lateral-movement script and the 12-day production wave.
+
+pub mod background;
+pub mod incident;
+pub mod library;
+pub mod longitudinal;
+pub mod ransomware;
+pub mod template;
+
+pub use background::{
+    fig1_flows, sample_daily_volume, stream_day, stream_days, Fig1Config, Fig1GroundTruth,
+    VolumeModel,
+};
+pub use incident::{benign_sessions, generate_incident, IncidentSpec};
+pub use library::{s1_motif, s_pattern_signatures, s_pattern_supports, standard_library};
+pub use longitudinal::{generate_corpus, pin_motif_span, LongitudinalConfig};
+pub use ransomware::{
+    build_scenario, expected_honeypot_kinds, RansomwareConfig, RansomwareScenario, FIG5_SCRIPT,
+};
+pub use template::{AttackTemplate, Delay, Step};

@@ -1,0 +1,231 @@
+//! The attack family library and the S-pattern catalogue.
+//!
+//! Eight parameterized attack families cover the spectrum the paper's
+//! corpus spans ("from simple SQL Injections to sophisticated SSH
+//! keyloggers, ransomware and their variants"), and a deterministic
+//! generator produces the 43 recurring signature sequences (S1..S43) with
+//! the support distribution of Fig. 3b (most frequent seen 14 times,
+//! lengths two to fourteen).
+
+use alertlib::taxonomy::AlertKind;
+use simnet::rng::SimRng;
+
+use crate::template::{AttackTemplate, Delay, Step};
+
+/// The eight canonical attack families.
+pub fn standard_library() -> Vec<AttackTemplate> {
+    use AlertKind::*;
+    let auto = Delay::automated;
+    let manual = Delay::manual;
+    vec![
+        AttackTemplate::new(
+            "rootkit-s1",
+            vec![
+                Step::always(PortScan, auto()),
+                Step::always(BruteForcePassword, auto()),
+                Step::always(StolenCredentialLogin, manual()),
+                Step::always(DownloadSensitive, manual()),
+                Step::always(CompileKernelModule, manual()),
+                Step::always(KernelModuleLoaded, manual()),
+                Step::always(LogWipe, manual()),
+                Step::sometimes(RootkitInstalled, manual(), 0.6),
+            ],
+        ),
+        AttackTemplate::new(
+            "ransomware-db",
+            vec![
+                Step::always(RepeatedProbeDb, auto()),
+                Step::always(DefaultCredentialUse, manual()),
+                Step::always(DbVersionRecon, manual()),
+                Step::always(ElfMagicInDbBlob, manual()),
+                Step::always(LoExportExecution, manual()),
+                Step::always(FileDropTmp, manual()),
+                Step::always(SshKeyEnumeration, manual()),
+                Step::always(KnownHostsEnumeration, manual()),
+                Step::always(LateralMovementAttempt, manual()),
+                Step::always(C2Communication, manual()),
+                Step::sometimes(MassFileEncryption, manual(), 0.7),
+            ],
+        ),
+        AttackTemplate::new(
+            "ssh-keylogger",
+            vec![
+                Step::always(BruteForcePassword, auto()),
+                Step::always(StolenCredentialLogin, manual()),
+                Step::always(DownloadSensitive, manual()),
+                Step::always(CompileSource, manual()),
+                Step::always(NewServiceInstall, manual()),
+                Step::always(HistoryCleared, manual()),
+                Step::sometimes(CredentialDatabaseDump, manual(), 0.5),
+            ],
+        ),
+        AttackTemplate::new(
+            "credential-theft",
+            vec![
+                Step::always(LoginNewGeolocation, manual()),
+                Step::always(PasswordFileAccess, manual()),
+                Step::always(SshKeyEnumeration, manual()),
+                Step::always(InternalPivotLogin, manual()),
+                Step::sometimes(SshKeyTheftConfirmed, manual(), 0.6),
+            ],
+        ),
+        AttackTemplate::new(
+            "sqli-webapp",
+            vec![
+                Step::always(VulnScan, auto()),
+                Step::always(SqlInjectionProbe, auto()),
+                Step::always(SqlInjectionProbe, manual()),
+                Step::always(AnomalousDataVolume, manual()),
+                Step::sometimes(DataExfiltration, manual(), 0.5),
+            ],
+        ),
+        AttackTemplate::new(
+            "cryptominer",
+            vec![
+                Step::always(VulnScan, auto()),
+                Step::always(RemoteCodeExecAttempt, manual()),
+                Step::always(DownloadBinaryUnknown, manual()),
+                Step::always(Base64DecodeExec, manual()),
+                Step::always(CronEntryAdded, manual()),
+                Step::sometimes(CryptominerDeployed, manual(), 0.8),
+            ],
+        ),
+        AttackTemplate::new(
+            "data-exfil",
+            vec![
+                Step::always(GhostAccountLogin, manual()),
+                Step::always(BashHistoryAccess, manual()),
+                Step::always(ArchiveStaging, manual()),
+                Step::always(AnomalousDataVolume, manual()),
+                Step::sometimes(PiiInOutboundHttp, manual(), 0.5),
+            ],
+        ),
+        AttackTemplate::new(
+            "irc-botnet",
+            vec![
+                Step::always(PortScan, auto()),
+                Step::always(BruteForcePassword, auto()),
+                Step::always(StolenCredentialLogin, manual()),
+                Step::always(DownloadBinaryUnknown, manual()),
+                Step::always(IrcConnection, manual()),
+                Step::always(OutboundScanning, manual()),
+                Step::sometimes(DdosParticipation, manual(), 0.4),
+            ],
+        ),
+    ]
+}
+
+/// Fig. 3b's support distribution: 43 counts, most frequent 14, tail of 2s.
+pub fn s_pattern_supports() -> Vec<usize> {
+    let mut v = vec![14, 12, 11, 10, 9, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 5, 4, 4, 4, 4, 4];
+    v.extend(std::iter::repeat(3).take(8));
+    v.extend(std::iter::repeat(2).take(14));
+    debug_assert_eq!(v.len(), 43);
+    v
+}
+
+/// Kinds eligible to appear inside S-pattern signatures (attack-indicative,
+/// non-critical — criticals are appended separately so patterns stay
+/// preemptable).
+fn signature_pool() -> Vec<AlertKind> {
+    AlertKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| {
+            use alertlib::taxonomy::Severity::*;
+            matches!(k.severity(), Attempt | Significant)
+        })
+        .collect()
+}
+
+/// Generate the 43 distinct S-pattern signatures, lengths 2..=14, seeded
+/// deterministically. The first signatures reuse the canonical family
+/// signatures so the most frequent patterns are the "classic" attacks.
+pub fn s_pattern_signatures(rng: &mut SimRng) -> Vec<Vec<AlertKind>> {
+    let mut signatures: Vec<Vec<AlertKind>> = Vec::with_capacity(43);
+    // Seed with family signatures (truncated to ≤14).
+    for t in standard_library() {
+        let mut sig = t.signature();
+        sig.truncate(14);
+        if sig.len() >= 2 && !signatures.contains(&sig) {
+            signatures.push(sig);
+        }
+    }
+    let pool = signature_pool();
+    // Length plan for the generated remainder: spread 2..=14.
+    let mut next_len = 2usize;
+    while signatures.len() < 43 {
+        let len = next_len;
+        next_len = if next_len >= 14 { 2 } else { next_len + 1 };
+        // Draw distinct kinds for the signature.
+        let mut sig = Vec::with_capacity(len);
+        let mut guard = 0;
+        while sig.len() < len && guard < 1_000 {
+            guard += 1;
+            let k = *rng.pick(&pool);
+            if !sig.contains(&k) {
+                sig.push(k);
+            }
+        }
+        if sig.len() == len && !signatures.contains(&sig) {
+            signatures.push(sig);
+        }
+    }
+    signatures
+}
+
+/// The S1 motif of §I: download source over unsecured HTTP → compile as a
+/// kernel module → erase the forensic trace.
+pub fn s1_motif() -> [AlertKind; 3] {
+    [AlertKind::DownloadSensitive, AlertKind::CompileKernelModule, AlertKind::LogWipe]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_eight_families_with_valid_signatures() {
+        let lib = standard_library();
+        assert_eq!(lib.len(), 8);
+        for t in &lib {
+            assert!(t.signature().len() >= 4, "{} signature too short", t.family);
+        }
+        let families: Vec<_> = lib.iter().map(|t| t.family.clone()).collect();
+        assert!(families.contains(&"ransomware-db".to_string()));
+    }
+
+    #[test]
+    fn supports_match_fig3b_shape() {
+        let s = s_pattern_supports();
+        assert_eq!(s.len(), 43);
+        assert_eq!(s[0], 14, "most frequent pattern seen 14 times");
+        assert_eq!(*s.last().unwrap(), 2);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "supports must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn signatures_are_distinct_and_bounded() {
+        let mut rng = SimRng::seed(42);
+        let sigs = s_pattern_signatures(&mut rng);
+        assert_eq!(sigs.len(), 43);
+        for s in &sigs {
+            assert!(s.len() >= 2 && s.len() <= 14, "length {} out of range", s.len());
+            // No critical kinds inside signatures.
+            assert!(s.iter().all(|k| !k.is_critical()));
+        }
+        let mut dedup = sigs.clone();
+        dedup.sort_by_key(|s| s.iter().map(|k| k.index()).collect::<Vec<_>>());
+        dedup.dedup();
+        assert_eq!(dedup.len(), 43, "signatures must be distinct");
+    }
+
+    #[test]
+    fn signatures_deterministic_per_seed() {
+        let a = s_pattern_signatures(&mut SimRng::seed(5));
+        let b = s_pattern_signatures(&mut SimRng::seed(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,201 @@
+//! Generic discrete-event queue.
+//!
+//! A stable min-heap keyed by `(SimTime, sequence)`: events scheduled for
+//! the same instant pop in insertion order, which keeps every simulation
+//! deterministic for a given seed. The queue is payload-generic so each
+//! subsystem (flow engine, honeypot sessions, attacker scripts) can schedule
+//! its own event type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event plus its scheduled time.
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (max-heap) pops the earliest event first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue with the clock at the simulation epoch.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::EPOCH }
+    }
+
+    /// Empty queue with the clock at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: start }
+    }
+
+    /// The current simulation clock: the time of the last popped event, or
+    /// the start time if nothing has been popped yet.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in a DES; this clamps to the
+    /// current clock in release builds and panics in debug builds.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time: at, seq, payload });
+    }
+
+    /// Schedule `payload` `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: T) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drain and process every event up to (and including) `horizon`,
+    /// allowing handlers to schedule further events.
+    pub fn run_until(&mut self, horizon: SimTime, mut handler: impl FnMut(&mut Self, SimTime, T)) {
+        while let Some(t) = self.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let ev = self.pop().expect("peeked event vanished");
+            handler(self, ev.time, ev.payload);
+        }
+        self.now = self.now.max(horizon.min(self.now.max(horizon)));
+    }
+
+    /// Drain and process all pending events to exhaustion.
+    pub fn run_to_completion(&mut self, mut handler: impl FnMut(&mut Self, SimTime, T)) {
+        while let Some(ev) = self.pop() {
+            handler(self, ev.time, ev.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), "c");
+        q.schedule(SimTime::from_secs(10), "a");
+        q.schedule(SimTime::from_secs(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(42), ());
+        assert_eq!(q.now(), SimTime::EPOCH);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn handlers_can_reschedule() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0u32);
+        let mut seen = Vec::new();
+        q.run_to_completion(|q, t, gen| {
+            seen.push(gen);
+            if gen < 4 {
+                q.schedule(t + SimDuration::from_secs(1), gen + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut q = EventQueue::new();
+        for s in 1..=10 {
+            q.schedule(SimTime::from_secs(s), s);
+        }
+        let mut seen = Vec::new();
+        q.run_until(SimTime::from_secs(5), |_, _, s| seen.push(s));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn schedule_in_uses_current_clock() {
+        let mut q = EventQueue::starting_at(SimTime::from_secs(100));
+        q.schedule_in(SimDuration::from_secs(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(105)));
+    }
+}

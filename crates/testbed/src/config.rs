@@ -1,0 +1,66 @@
+//! Testbed configuration.
+
+use std::net::Ipv4Addr;
+
+use alertlib::filter::FilterConfig;
+use alertlib::symbolize::SymbolizerConfig;
+use bhr::policy::AutoBlockPolicy;
+use detect::attack_tagger::TaggerConfig;
+use honeynet::deploy::DeployConfig;
+use simnet::time::{SimDuration, SimTime};
+use telemetry::zeek::ZeekConfig;
+
+/// Full configuration of the ATTACKTAGGER testbed (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Simulation start time.
+    pub start: SimTime,
+    /// Honeynet deployment parameters (§IV-C).
+    pub deploy: DeployConfig,
+    /// Zeek policy tuning.
+    pub zeek: ZeekConfig,
+    /// Symbolization rules.
+    pub symbolizer: SymbolizerConfig,
+    /// Repeated-scan filter.
+    pub filter: FilterConfig,
+    /// Factor-graph detector decision config.
+    pub tagger: TaggerConfig,
+    /// Mass-scanner auto-block policy (None disables).
+    pub auto_block: Option<AutoBlockPolicy>,
+    /// Whether detections trigger a BHR block of the attacker source.
+    pub block_on_detection: bool,
+    /// TTL for detection-triggered blocks.
+    pub detection_block_ttl: Option<SimDuration>,
+    /// Known C2 endpoints fed to the symbolizer (threat intel).
+    pub c2_feed: Vec<Ipv4Addr>,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            start: SimTime::from_date(2024, 10, 1),
+            deploy: DeployConfig::default(),
+            zeek: ZeekConfig::default(),
+            symbolizer: SymbolizerConfig::default(),
+            filter: FilterConfig::default(),
+            tagger: TaggerConfig::default(),
+            auto_block: Some(AutoBlockPolicy::default()),
+            block_on_detection: true,
+            detection_block_ttl: None,
+            c2_feed: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = TestbedConfig::default();
+        assert!(cfg.block_on_detection);
+        assert_eq!(cfg.deploy.entry_points, 16);
+        assert!(cfg.auto_block.is_some());
+    }
+}

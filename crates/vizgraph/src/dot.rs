@@ -1,0 +1,165 @@
+//! Graphviz DOT import/export.
+//!
+//! §II-B prints the connection data in DOT: each line a
+//! `src -> dst` pair with addresses anonymized to their first two octets
+//! (`103.102. -> 141.142.`). The writer reproduces that format exactly;
+//! the parser reads it back for round-trip tests and external data.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeGroup};
+
+/// Export options.
+#[derive(Debug, Clone, Copy)]
+pub struct DotOptions {
+    /// Anonymize IPv4-looking labels to `a.b.` (paper's privacy format).
+    pub anonymize: bool,
+    /// Emit fill colors per node group.
+    pub colors: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { anonymize: true, colors: false }
+    }
+}
+
+fn anonymize_label(label: &str) -> String {
+    if let Ok(addr) = label.parse::<std::net::Ipv4Addr>() {
+        simnet::addr::anonymize(addr)
+    } else {
+        label.to_string()
+    }
+}
+
+fn color_of(group: NodeGroup) -> &'static str {
+    match group {
+        NodeGroup::MassScanner => "orange",
+        NodeGroup::Scanner => "gold",
+        NodeGroup::Attacker => "red",
+        NodeGroup::Target => "blue",
+        NodeGroup::Internal => "lightblue",
+        NodeGroup::External => "gray",
+    }
+}
+
+/// Write a graph as DOT.
+pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::with_capacity(graph.edge_count() * 24 + 64);
+    out.push_str("digraph {\n");
+    if opts.colors {
+        for n in graph.nodes() {
+            let label =
+                if opts.anonymize { anonymize_label(&n.label) } else { n.label.clone() };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [style=filled, fillcolor={}];",
+                label,
+                color_of(n.group)
+            );
+        }
+    }
+    for &(a, b) in graph.edges() {
+        let la = &graph.node(a).label;
+        let lb = &graph.node(b).label;
+        let (la, lb) = if opts.anonymize {
+            (anonymize_label(la), anonymize_label(lb))
+        } else {
+            (la.clone(), lb.clone())
+        };
+        let _ = writeln!(out, "  {} -> {}", la, lb);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a simple DOT digraph (only `a -> b` edge lines are honored).
+/// Returns `None` if the text is not a digraph block.
+pub fn from_dot(text: &str) -> Option<Graph> {
+    let mut lines = text.lines().map(str::trim);
+    let header = lines.find(|l| !l.is_empty())?;
+    if !header.starts_with("digraph") {
+        return None;
+    }
+    let mut g = Graph::new();
+    for line in lines {
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((src, dst)) = line.split_once("->") else { continue };
+        let clean = |s: &str| s.trim().trim_matches('"').trim_end_matches(';').trim_matches('"').to_string();
+        let (src, dst) = (clean(src), clean(dst.trim_end_matches(';')));
+        if src.is_empty() || dst.is_empty() {
+            continue;
+        }
+        let a = g.add_node(src, NodeGroup::External);
+        let b = g.add_node(dst, NodeGroup::External);
+        g.add_edge(a, b);
+    }
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let scanner = g.add_node("103.102.8.9", NodeGroup::MassScanner);
+        let t1 = g.add_node("141.142.5.10", NodeGroup::Internal);
+        let t2 = g.add_node("141.142.9.20", NodeGroup::Internal);
+        g.add_edge(scanner, t1);
+        g.add_edge(scanner, t2);
+        g
+    }
+
+    #[test]
+    fn paper_format_exactly() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.starts_with("digraph {\n"));
+        assert!(dot.contains("  103.102. -> 141.142.\n"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unanonymized_keeps_full_addresses() {
+        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: false });
+        assert!(dot.contains("103.102.8.9 -> 141.142.5.10"));
+    }
+
+    #[test]
+    fn colors_emitted_when_requested() {
+        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: true });
+        assert!(dot.contains("fillcolor=orange"));
+        assert!(dot.contains("fillcolor=lightblue"));
+    }
+
+    #[test]
+    fn roundtrip_parse() {
+        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: false });
+        let parsed = from_dot(&dot).expect("valid digraph");
+        assert_eq!(parsed.node_count(), 3);
+        assert_eq!(parsed.edge_count(), 2);
+        assert!(parsed.id_of("103.102.8.9").is_some());
+    }
+
+    #[test]
+    fn parse_paper_sample() {
+        let text = r#"digraph {
+            194.28. -> 143.219.
+            71.201. -> 143.219.
+            103.102. -> 141.142.
+            103.102. -> 141.142.
+        }"#;
+        let g = from_dot(text).unwrap();
+        // Five distinct anonymized endpoints; the duplicate edge collapses.
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn non_digraph_rejected() {
+        assert!(from_dot("graph { a -- b }").is_none());
+        assert!(from_dot("").is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! SVG rendering of laid-out graphs.
+//!
+//! Produces the Fig. 1-style picture: edges as thin lines, nodes as small
+//! circles colored by role (mass scanner orange at the center of its star,
+//! real attacker red, targets blue, legit traffic gray).
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeGroup};
+use crate::layout::Positions;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    pub width: f64,
+    pub height: f64,
+    pub node_radius: f64,
+    pub edge_opacity: f64,
+    /// Scale node radius by sqrt(degree) to make hubs visible.
+    pub scale_by_degree: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 1_600.0,
+            height: 1_600.0,
+            node_radius: 1.6,
+            edge_opacity: 0.25,
+            scale_by_degree: true,
+        }
+    }
+}
+
+fn fill_of(group: NodeGroup) -> &'static str {
+    match group {
+        NodeGroup::MassScanner => "#ff8c00",
+        NodeGroup::Scanner => "#ffd700",
+        NodeGroup::Attacker => "#d00000",
+        NodeGroup::Target => "#0033cc",
+        NodeGroup::Internal => "#7eb6ff",
+        NodeGroup::External => "#9a9a9a",
+    }
+}
+
+/// Render to an SVG string.
+pub fn to_svg(graph: &Graph, positions: &Positions, opts: &SvgOptions) -> String {
+    assert_eq!(graph.node_count(), positions.len(), "positions must match nodes");
+    let mut out = String::with_capacity(graph.node_count() * 64 + graph.edge_count() * 64);
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+    if graph.node_count() == 0 {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    // Fit positions into the viewport with a 5% margin.
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in positions {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let margin = 0.05;
+    let sx = opts.width * (1.0 - 2.0 * margin) / span_x;
+    let sy = opts.height * (1.0 - 2.0 * margin) / span_y;
+    let s = sx.min(sy);
+    let tx = |x: f64| (x - min_x) * s + opts.width * margin;
+    let ty = |y: f64| (y - min_y) * s + opts.height * margin;
+
+    let _ = writeln!(
+        out,
+        "<g stroke=\"#555\" stroke-width=\"0.4\" stroke-opacity=\"{}\">",
+        opts.edge_opacity
+    );
+    for &(a, b) in graph.edges() {
+        let (ax, ay) = positions[a as usize];
+        let (bx, by) = positions[b as usize];
+        let _ = writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>",
+            tx(ax),
+            ty(ay),
+            tx(bx),
+            ty(by)
+        );
+    }
+    out.push_str("</g>\n");
+    for (i, n) in graph.nodes().iter().enumerate() {
+        let (x, y) = positions[i];
+        let r = if opts.scale_by_degree {
+            opts.node_radius * (1.0 + (graph.degree(i as u32) as f64).sqrt() * 0.3)
+        } else {
+            opts.node_radius
+        };
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.2}\" fill=\"{}\"/>",
+            tx(x),
+            ty(y),
+            r,
+            fill_of(n.group)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn svg_structure() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", NodeGroup::MassScanner);
+        let b = g.add_node("b", NodeGroup::Target);
+        g.add_edge(a, b);
+        let svg = to_svg(&g, &vec![(0.0, 0.0), (1.0, 1.0)], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert!(svg.contains("#ff8c00"), "mass scanner colored orange");
+        assert!(svg.contains("#0033cc"), "target colored blue");
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = Graph::new();
+        let svg = to_svg(&g, &Vec::new(), &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn hub_scaled_by_degree() {
+        let mut g = Graph::new();
+        let hub = g.add_node("hub", NodeGroup::MassScanner);
+        let mut positions = vec![(0.0, 0.0)];
+        for i in 0..100 {
+            let l = g.add_node(format!("l{i}"), NodeGroup::Internal);
+            g.add_edge(hub, l);
+            positions.push((i as f64, 1.0));
+        }
+        let svg = to_svg(&g, &positions, &SvgOptions::default());
+        // Hub circle radius > leaf radius: find the orange circle's r.
+        let orange = svg.lines().find(|l| l.contains("#ff8c00")).unwrap();
+        let leaf = svg.lines().find(|l| l.contains("#7eb6ff")).unwrap();
+        let radius = |line: &str| -> f64 {
+            let start = line.find("r=\"").unwrap() + 3;
+            let end = line[start..].find('"').unwrap();
+            line[start..start + end].parse().unwrap()
+        };
+        assert!(radius(orange) > 2.0 * radius(leaf));
+    }
+}

