@@ -78,7 +78,15 @@ pub struct Alert {
 impl Alert {
     /// Minimal constructor for tests and generators.
     pub fn new(ts: SimTime, kind: AlertKind, entity: Entity) -> Alert {
-        Alert { ts, kind, entity, host: None, src: None, dst: None, message: String::new() }
+        Alert {
+            ts,
+            kind,
+            entity,
+            host: None,
+            src: None,
+            dst: None,
+            message: String::new(),
+        }
     }
 
     pub fn with_src(mut self, src: Ipv4Addr) -> Alert {

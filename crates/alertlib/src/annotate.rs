@@ -111,7 +111,9 @@ impl Default for Annotator {
 
 impl Annotator {
     pub fn new(ambiguous: impl IntoIterator<Item = AlertKind>) -> Self {
-        Annotator { ambiguous: ambiguous.into_iter().collect() }
+        Annotator {
+            ambiguous: ambiguous.into_iter().collect(),
+        }
     }
 
     /// Whether a kind requires expert review.
@@ -137,16 +139,30 @@ impl Annotator {
     /// (the "expert" of §II-A reads the incident report).
     pub fn annotate(&self, alert: &Alert, gt: &GroundTruth) -> Annotation {
         match self.auto_label(alert.kind) {
-            Some(label) => Annotation { label, method: Method::Auto },
+            Some(label) => Annotation {
+                label,
+                method: Method::Auto,
+            },
             None => {
-                let label = if gt.implicates(alert) { Label::Malicious } else { Label::Benign };
-                Annotation { label, method: Method::Expert }
+                let label = if gt.implicates(alert) {
+                    Label::Malicious
+                } else {
+                    Label::Benign
+                };
+                Annotation {
+                    label,
+                    method: Method::Expert,
+                }
             }
         }
     }
 
     /// Annotate a batch and produce the coverage report (experiment E10).
-    pub fn annotate_batch(&self, alerts: &[Alert], gt: &GroundTruth) -> (Vec<Annotation>, AnnotationReport) {
+    pub fn annotate_batch(
+        &self,
+        alerts: &[Alert],
+        gt: &GroundTruth,
+    ) -> (Vec<Annotation>, AnnotationReport) {
         let mut report = AnnotationReport::default();
         let mut labels = Vec::with_capacity(alerts.len());
         for a in alerts {
@@ -189,8 +205,14 @@ mod tests {
     #[test]
     fn significant_and_critical_auto_malicious() {
         let ann = Annotator::default();
-        assert_eq!(ann.auto_label(AlertKind::KnownMalwareDownload), Some(Label::Malicious));
-        assert_eq!(ann.auto_label(AlertKind::PrivilegeEscalation), Some(Label::Malicious));
+        assert_eq!(
+            ann.auto_label(AlertKind::KnownMalwareDownload),
+            Some(Label::Malicious)
+        );
+        assert_eq!(
+            ann.auto_label(AlertKind::PrivilegeEscalation),
+            Some(Label::Malicious)
+        );
     }
 
     #[test]

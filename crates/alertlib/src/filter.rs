@@ -119,8 +119,7 @@ impl ScanFilter {
     pub fn admit(&mut self, alert: &Alert) -> bool {
         self.stats.seen += 1;
         let dedup = alert.kind.is_noise()
-            || (self.cfg.dedup_attempts
-                && alert.severity() == crate::taxonomy::Severity::Attempt);
+            || (self.cfg.dedup_attempts && alert.severity() == crate::taxonomy::Severity::Attempt);
         if !dedup {
             self.stats.admitted += 1;
             return true;
@@ -130,7 +129,10 @@ impl ScanFilter {
             source: Self::source_key(&alert.entity, alert.src),
             kind: alert.kind.index() as u16,
         };
-        let w = self.state.entry(key).or_insert(Window { start: alert.ts, admitted: 0 });
+        let w = self.state.entry(key).or_insert(Window {
+            start: alert.ts,
+            admitted: 0,
+        });
         if alert.ts.saturating_since(w.start) > self.cfg.window {
             w.start = alert.ts;
             w.admitted = 0;
@@ -162,7 +164,8 @@ impl ScanFilter {
         }
         self.last_sweep = now;
         let horizon = self.cfg.window + self.cfg.window;
-        self.state.retain(|_, w| now.saturating_since(w.start) <= horizon);
+        self.state
+            .retain(|_, w| now.saturating_since(w.start) <= horizon);
     }
 
     /// Number of live `(source, kind)` windows (for tests/metrics).
@@ -245,7 +248,10 @@ mod tests {
         };
         assert!(f.admit(&brute(0)));
         assert!(!f.admit(&brute(1)));
-        let mut f2 = ScanFilter::new(FilterConfig { dedup_attempts: false, ..Default::default() });
+        let mut f2 = ScanFilter::new(FilterConfig {
+            dedup_attempts: false,
+            ..Default::default()
+        });
         assert!(f2.admit(&brute(0)));
         assert!(f2.admit(&brute(1)));
     }
@@ -258,15 +264,26 @@ mod tests {
         });
         for i in 0..1_000u64 {
             // Each source appears once, far apart in time.
-            f.admit(&scan_alert(i * 40, &format!("10.{}.{}.1", i / 250, i % 250)));
+            f.admit(&scan_alert(
+                i * 40,
+                &format!("10.{}.{}.1", i / 250, i % 250),
+            ));
         }
-        assert!(f.live_windows() < 16, "stale windows were not swept: {}", f.live_windows());
+        assert!(
+            f.live_windows() < 16,
+            "stale windows were not swept: {}",
+            f.live_windows()
+        );
     }
 
     #[test]
     fn user_and_address_entities_keyed_separately() {
         let mut f = ScanFilter::default();
-        let a1 = Alert::new(SimTime::from_secs(0), AlertKind::PortScan, Entity::User("x".into()));
+        let a1 = Alert::new(
+            SimTime::from_secs(0),
+            AlertKind::PortScan,
+            Entity::User("x".into()),
+        );
         let a2 = Alert::new(
             SimTime::from_secs(0),
             AlertKind::PortScan,

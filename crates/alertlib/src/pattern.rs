@@ -17,7 +17,9 @@ pub struct Pattern {
 
 impl Pattern {
     pub fn new(pattern: impl Into<String>) -> Pattern {
-        Pattern { raw: pattern.into() }
+        Pattern {
+            raw: pattern.into(),
+        }
     }
 
     /// The raw pattern text.
@@ -115,7 +117,10 @@ mod tests {
         let p = Pattern::new("insmod *");
         assert!(p.matches("insmod rootkit.ko"));
         assert_eq!(p.as_str(), "insmod *");
-        assert!(matches_any(&[Pattern::new("a*"), Pattern::new("b*")], "beta"));
+        assert!(matches_any(
+            &[Pattern::new("a*"), Pattern::new("b*")],
+            "beta"
+        ));
         assert!(!matches_any(&[Pattern::new("a*")], "beta"));
     }
 }

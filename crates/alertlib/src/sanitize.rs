@@ -23,7 +23,12 @@ pub struct SanitizeConfig {
 
 impl Default for SanitizeConfig {
     fn default() -> Self {
-        SanitizeConfig { mask_ips: true, mask_emails: true, mask_digit_runs: 6, mask_home_dirs: true }
+        SanitizeConfig {
+            mask_ips: true,
+            mask_emails: true,
+            mask_digit_runs: 6,
+            mask_home_dirs: true,
+        }
     }
 }
 
@@ -101,7 +106,8 @@ fn mask_ipv4(input: &str) -> String {
                     None => break,
                 }
             }
-            let tail_ok = pos >= bytes.len() || (!bytes[pos].is_ascii_digit() && bytes[pos] != b'.');
+            let tail_ok =
+                pos >= bytes.len() || (!bytes[pos].is_ascii_digit() && bytes[pos] != b'.');
             if octets == 4 && tail_ok {
                 out.push_str(&input[i..first_two_end]);
                 out.push_str(".xxx.yyy");
@@ -117,7 +123,8 @@ fn mask_ipv4(input: &str) -> String {
 
 /// Find the byte range of an email address at or after `from`.
 fn find_email(bytes: &[u8], from: usize) -> Option<(usize, usize)> {
-    let is_local = |b: u8| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b'+';
+    let is_local =
+        |b: u8| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-' || b == b'+';
     let is_domain = |b: u8| b.is_ascii_alphanumeric() || b == b'.' || b == b'-';
     let mut i = from;
     while i < bytes.len() {
@@ -228,7 +235,10 @@ mod tests {
     #[test]
     fn ip_masking_matches_paper_format() {
         assert_eq!(scrub("wget 64.215.4.5/abs.c"), "wget 64.215.xxx.yyy/abs.c");
-        assert_eq!(scrub("from 111.200.8.77 connecting"), "from 111.200.xxx.yyy connecting");
+        assert_eq!(
+            scrub("from 111.200.8.77 connecting"),
+            "from 111.200.xxx.yyy connecting"
+        );
     }
 
     #[test]
@@ -246,7 +256,10 @@ mod tests {
 
     #[test]
     fn email_masked() {
-        assert_eq!(scrub("contact alice.b@example.edu now"), "contact <email> now");
+        assert_eq!(
+            scrub("contact alice.b@example.edu now"),
+            "contact <email> now"
+        );
         assert_eq!(scrub("no at sign here"), "no at sign here");
         assert_eq!(scrub("not@nodots"), "not@nodots");
     }
@@ -272,9 +285,15 @@ mod tests {
 
     #[test]
     fn config_toggles() {
-        let cfg = SanitizeConfig { mask_ips: false, ..Default::default() };
+        let cfg = SanitizeConfig {
+            mask_ips: false,
+            ..Default::default()
+        };
         assert_eq!(sanitize(&cfg, "64.215.4.5"), "64.215.4.5");
-        let cfg = SanitizeConfig { mask_digit_runs: 0, ..Default::default() };
+        let cfg = SanitizeConfig {
+            mask_digit_runs: 0,
+            ..Default::default()
+        };
         assert_eq!(sanitize(&cfg, "123456789"), "123456789");
     }
 }

@@ -41,13 +41,19 @@ pub struct Incident {
 
 impl Incident {
     pub fn new(id: IncidentId, family: impl Into<String>, year: i32) -> Incident {
-        Incident { id, family: family.into(), year, report: GroundTruth::default(), alerts: Vec::new() }
+        Incident {
+            id,
+            family: family.into(),
+            year,
+            report: GroundTruth::default(),
+            alerts: Vec::new(),
+        }
     }
 
     /// Append an alert; alerts must be pushed in time order.
     pub fn push_alert(&mut self, alert: Alert) {
         debug_assert!(
-            self.alerts.last().map_or(true, |last| last.ts <= alert.ts),
+            self.alerts.last().is_none_or(|last| last.ts <= alert.ts),
             "alerts must be time-ordered"
         );
         self.alerts.push(alert);
@@ -141,7 +147,9 @@ impl IncidentStore {
 
     /// Incidents in a year range (inclusive).
     pub fn by_years(&self, from: i32, to: i32) -> impl Iterator<Item = &Incident> {
-        self.incidents.iter().filter(move |i| i.year >= from && i.year <= to)
+        self.incidents
+            .iter()
+            .filter(move |i| i.year >= from && i.year <= to)
     }
 
     /// Total alerts across all incidents.
@@ -163,7 +171,11 @@ impl IncidentStore {
         if self.incidents.is_empty() {
             return 0.0;
         }
-        let hits = self.incidents.iter().filter(|i| i.contains_subsequence(pattern)).count();
+        let hits = self
+            .incidents
+            .iter()
+            .filter(|i| i.contains_subsequence(pattern))
+            .count();
         hits as f64 / self.incidents.len() as f64
     }
 }

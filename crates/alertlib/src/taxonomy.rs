@@ -268,7 +268,10 @@ mod tests {
         ] {
             assert_ne!(k.severity(), Severity::Critical, "{k} must be preemptable");
         }
-        assert_eq!(AlertKind::DownloadSensitive.symbol(), "alert_download_sensitive");
+        assert_eq!(
+            AlertKind::DownloadSensitive.symbol(),
+            "alert_download_sensitive"
+        );
     }
 
     #[test]
@@ -277,7 +280,10 @@ mod tests {
             assert!(
                 matches!(
                     k.phase(),
-                    Phase::Impact | Phase::Exfiltration | Phase::PrivilegeEscalation | Phase::DefenseEvasion
+                    Phase::Impact
+                        | Phase::Exfiltration
+                        | Phase::PrivilegeEscalation
+                        | Phase::DefenseEvasion
                 ),
                 "{k} has unexpectedly early phase {:?}",
                 k.phase()
@@ -295,8 +301,11 @@ mod tests {
 
     #[test]
     fn noise_kinds_are_scan_like() {
-        let noise: Vec<_> =
-            AlertKind::ALL.iter().filter(|k| k.is_noise()).map(|k| k.symbol()).collect();
+        let noise: Vec<_> = AlertKind::ALL
+            .iter()
+            .filter(|k| k.is_noise())
+            .map(|k| k.symbol())
+            .collect();
         assert!(noise.contains(&"alert_port_scan"));
         assert!(noise.contains(&"alert_address_sweep"));
     }

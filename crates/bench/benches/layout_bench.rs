@@ -19,7 +19,11 @@ fn star_graph(leaves: usize) -> Graph {
 fn random_bodies(n: usize) -> Vec<Body> {
     let mut rng = SimRng::seed(1);
     (0..n)
-        .map(|_| Body { x: rng.uniform(-100.0, 100.0), y: rng.uniform(-100.0, 100.0), mass: 1.0 })
+        .map(|_| Body {
+            x: rng.uniform(-100.0, 100.0),
+            y: rng.uniform(-100.0, 100.0),
+            mass: 1.0,
+        })
         .collect()
 }
 
@@ -29,16 +33,20 @@ fn bench_quadtree_theta(c: &mut Criterion) {
     let kernel = |d: f64, m: f64| m * 100.0 / d;
     let mut group = c.benchmark_group("repulsion_5k_bodies");
     for theta in [0.0, 0.5, 0.9, 1.2] {
-        group.bench_with_input(BenchmarkId::new("barnes_hut", theta), &theta, |b, &theta| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for body in bodies.iter().step_by(50) {
-                    let (fx, fy) = tree.force_at(body.x, body.y, theta, -1, &kernel);
-                    acc += fx + fy;
-                }
-                black_box(acc)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("barnes_hut", theta),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for body in bodies.iter().step_by(50) {
+                        let (fx, fy) = tree.force_at(body.x, body.y, theta, -1, &kernel);
+                        acc += fx + fy;
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.bench_function("naive_exact", |b| {
         b.iter(|| {
@@ -60,13 +68,21 @@ fn bench_layout_scaling(c: &mut Criterion) {
         let g = star_graph(n);
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
             b.iter(|| {
-                let cfg = LayoutConfig { max_iters: 10, parallel: true, ..Default::default() };
+                let cfg = LayoutConfig {
+                    max_iters: 10,
+                    parallel: true,
+                    ..Default::default()
+                };
                 black_box(layout(g, &cfg))
             })
         });
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
             b.iter(|| {
-                let cfg = LayoutConfig { max_iters: 10, parallel: false, ..Default::default() };
+                let cfg = LayoutConfig {
+                    max_iters: 10,
+                    parallel: false,
+                    ..Default::default()
+                };
                 black_box(layout(g, &cfg))
             })
         });

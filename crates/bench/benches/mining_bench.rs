@@ -32,19 +32,25 @@ fn bench_corpus_analytics(c: &mut Criterion) {
             ..Default::default()
         };
         let store = generate_corpus(&cfg);
-        group.bench_with_input(BenchmarkId::new("pairwise_jaccard", incidents), &store, |b, s| {
-            b.iter(|| black_box(pairwise_similarities(s)))
-        });
-        group.bench_with_input(BenchmarkId::new("mine_patterns", incidents), &store, |b, s| {
-            b.iter(|| {
-                let cfg = MinerConfig {
-                    min_len: 4,
-                    support: SupportMode::LcsPeers,
-                    ..Default::default()
-                };
-                black_box(mine_common_patterns(s, &cfg))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_jaccard", incidents),
+            &store,
+            |b, s| b.iter(|| black_box(pairwise_similarities(s))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mine_patterns", incidents),
+            &store,
+            |b, s| {
+                b.iter(|| {
+                    let cfg = MinerConfig {
+                        min_len: 4,
+                        support: SupportMode::LcsPeers,
+                        ..Default::default()
+                    };
+                    black_box(mine_common_patterns(s, &cfg))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,5 +64,10 @@ fn bench_corpus_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lcs, bench_corpus_analytics, bench_corpus_generation);
+criterion_group!(
+    benches,
+    bench_lcs,
+    bench_corpus_analytics,
+    bench_corpus_generation
+);
 criterion_main!(benches);

@@ -13,7 +13,9 @@ fn probe_record(i: u64) -> LogRecord {
     LogRecord::Conn(ConnRecord {
         ts: SimTime::from_secs(i),
         uid: FlowId(i),
-        orig_h: format!("103.102.{}.{}", (i / 250) % 250, i % 250).parse().unwrap(),
+        orig_h: format!("103.102.{}.{}", (i / 250) % 250, i % 250)
+            .parse()
+            .unwrap(),
         orig_p: 40_000,
         resp_h: format!("141.142.2.{}", 1 + (i % 250)).parse().unwrap(),
         resp_p: 22,
@@ -31,7 +33,11 @@ fn scan_alert(i: u64) -> Alert {
     Alert::new(
         SimTime::from_secs(i),
         alertlib::AlertKind::PortScan,
-        Entity::Address(format!("103.102.{}.{}", (i / 250) % 16, i % 250).parse().unwrap()),
+        Entity::Address(
+            format!("103.102.{}.{}", (i / 250) % 16, i % 250)
+                .parse()
+                .unwrap(),
+        ),
     )
 }
 
@@ -59,18 +65,22 @@ fn bench_filter(c: &mut Criterion) {
     for n in [10_000u64, 100_000] {
         let alerts: Vec<Alert> = (0..n).map(scan_alert).collect();
         group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::new("windowed_dedup", n), &alerts, |b, alerts| {
-            b.iter(|| {
-                let mut f = ScanFilter::new(FilterConfig::default());
-                let mut admitted = 0usize;
-                for a in alerts {
-                    if f.admit(a) {
-                        admitted += 1;
+        group.bench_with_input(
+            BenchmarkId::new("windowed_dedup", n),
+            &alerts,
+            |b, alerts| {
+                b.iter(|| {
+                    let mut f = ScanFilter::new(FilterConfig::default());
+                    let mut admitted = 0usize;
+                    for a in alerts {
+                        if f.admit(a) {
+                            admitted += 1;
+                        }
                     }
-                }
-                black_box(admitted)
-            })
-        });
+                    black_box(admitted)
+                })
+            },
+        );
         // Ablation (c): no filter — every alert goes downstream.
         group.bench_with_input(BenchmarkId::new("no_filter", n), &alerts, |b, alerts| {
             b.iter(|| {

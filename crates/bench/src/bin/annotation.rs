@@ -47,7 +47,10 @@ fn main() {
     println!("malicious (incidents) : {malicious}");
     println!();
     compare("auto-annotation fraction", auto_fraction, 0.997);
-    assert!(auto_fraction > 0.98, "the overwhelming majority must be automatic");
+    assert!(
+        auto_fraction > 0.98,
+        "the overwhelming majority must be automatic"
+    );
 
     write_artifact(
         "annotation",

@@ -1,0 +1,249 @@
+//! BENCH_1 — the repo's first measured perf milestone: factor-graph
+//! inference throughput, seed vs. stride/workspace engine.
+//!
+//! Emits `BENCH_1.json` (at the workspace root, or `$BENCH_OUT`) with:
+//! - chain filter / Viterbi / smoothing throughput at several lengths;
+//! - generic BP on a 24-step chain vs. the exact forward–backward
+//!   baseline (acceptance: within 5×);
+//! - the skip-chain session workload: seed flooding implementation vs.
+//!   the optimized engine, serial / parallel / residual schedules
+//!   (acceptance: ≥ 3× on the serial schedule);
+//! - online `AttackTagger::observe` throughput.
+//!
+//! Run with: `cargo run --release -p bench --bin bench1`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use detect::fg_session::{build_session_graph, SessionGraphConfig};
+use factorgraph::chain::{ChainGraphBuffer, ChainModel};
+use factorgraph::graph::FactorGraph;
+use factorgraph::sumproduct::{reference, run_in, BpOptions, BpSchedule, BpWorkspace};
+
+/// Mean ns/iteration of `f`, sized to fill ~`window_ms` of wall clock.
+fn time_ns(window_ms: u64, mut f: impl FnMut()) -> f64 {
+    let warm = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm.elapsed().as_millis() < (window_ms / 10).max(1) as u128 {
+        f();
+        warm_iters += 1;
+    }
+    let per = warm.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters = ((window_ms as f64 / 1e3) / per).ceil().max(1.0) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn detector_scale_model() -> ChainModel {
+    let s = detect::Stage::COUNT;
+    let o = alertlib::AlertKind::COUNT;
+    let mut learner = factorgraph::learn::ChainLearner::new(s, o, 0.1);
+    for i in 0..10usize {
+        let states: Vec<usize> = (0..s).collect();
+        let obs: Vec<usize> = (0..s).map(|k| (k * 7 + i) % o).collect();
+        learner.observe(&states, &obs);
+    }
+    learner.build()
+}
+
+fn session_alerts(len: usize) -> Vec<alertlib::Alert> {
+    use alertlib::{Alert, AlertKind, Entity};
+    use simnet::time::SimTime;
+    let indicative = [
+        AlertKind::DownloadSensitive,
+        AlertKind::CompileKernelModule,
+        AlertKind::SshKeyEnumeration,
+    ];
+    (0..len)
+        .map(|t| {
+            let kind = if t % 5 == 2 {
+                indicative[(t / 5) % indicative.len()]
+            } else {
+                AlertKind::from_index((t * 13) % alertlib::AlertKind::COUNT)
+            };
+            Alert::new(SimTime::from_secs(t as u64), kind, Entity::User("u".into()))
+        })
+        .collect()
+}
+
+fn session_opts(cfg: &SessionGraphConfig, schedule: BpSchedule) -> BpOptions {
+    BpOptions {
+        max_iters: cfg.max_iters,
+        damping: cfg.damping,
+        tolerance: 1e-8,
+        schedule,
+    }
+}
+
+fn main() {
+    let window_ms: u64 = std::env::var("BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let model = detector_scale_model();
+
+    bench::banner("BENCH_1: chain inference throughput");
+    let mut chain_rows = Vec::new();
+    for len in [16usize, 64, 256] {
+        let obs: Vec<usize> = (0..len).map(|i| (i * 13) % model.n_obs()).collect();
+        let filter = time_ns(window_ms, || {
+            black_box(model.filter(black_box(&obs)));
+        });
+        let viterbi = time_ns(window_ms, || {
+            black_box(model.viterbi(black_box(&obs)));
+        });
+        let posteriors = time_ns(window_ms, || {
+            black_box(model.posteriors(black_box(&obs)));
+        });
+        let throughput = |ns: f64| len as f64 * 1e9 / ns;
+        println!(
+            "len {len:>4}: filter {filter:>12.0} ns ({:>12.0} alerts/s)  viterbi {viterbi:>12.0} ns  posteriors {posteriors:>12.0} ns",
+            throughput(filter)
+        );
+        chain_rows.push(serde_json::json!({
+            "len": len,
+            "filter_ns": filter,
+            "viterbi_ns": viterbi,
+            "posteriors_ns": posteriors,
+            "filter_alerts_per_sec": throughput(filter),
+        }));
+    }
+
+    bench::banner("BENCH_1: generic BP vs exact chain (24 steps)");
+    let obs: Vec<usize> = (0..24).map(|i| (i * 13) % model.n_obs()).collect();
+    let fb_ns = time_ns(window_ms, || {
+        black_box(model.posteriors(black_box(&obs)));
+    });
+    let seed_ns = time_ns(window_ms, || {
+        let g = model.to_factor_graph(&obs);
+        black_box(reference::run(&g, &BpOptions::default()));
+    });
+    let mut buf = ChainGraphBuffer::new();
+    let mut ws = BpWorkspace::default();
+    let opt_ns = time_ns(window_ms, || {
+        model.fill_factor_graph(&obs, &mut buf);
+        black_box(run_in(buf.graph(), &BpOptions::default(), &mut ws));
+    });
+    let bp_vs_exact = opt_ns / fb_ns;
+    println!("forward_backward {fb_ns:>12.0} ns");
+    println!(
+        "seed generic BP  {seed_ns:>12.0} ns  ({:.1}x exact)",
+        seed_ns / fb_ns
+    );
+    println!("optimized BP     {opt_ns:>12.0} ns  ({bp_vs_exact:.1}x exact)");
+
+    bench::banner("BENCH_1: skip-chain session workload, seed vs stride/workspace");
+    let tagger_model = detect::toy_training_model();
+    let cfg = SessionGraphConfig::default();
+    let mut session_rows = Vec::new();
+    let mut serial_speedup_128 = 0.0;
+    for len in [32usize, 128] {
+        let alerts = session_alerts(len);
+        let (graph, skips) = build_session_graph(&tagger_model, &alerts, &cfg);
+        assert!(skips > 0, "workload must be loopy");
+        let bench_schedule = |g: &FactorGraph, schedule: BpSchedule| {
+            let mut ws = BpWorkspace::new(g);
+            let opts = session_opts(&cfg, schedule);
+            time_ns(window_ms, || {
+                black_box(run_in(g, &opts, &mut ws));
+            })
+        };
+        let seed = {
+            let opts = session_opts(&cfg, BpSchedule::Flood);
+            time_ns(window_ms, || {
+                black_box(reference::run(&graph, &opts));
+            })
+        };
+        let serial = bench_schedule(&graph, BpSchedule::Flood);
+        let parallel = bench_schedule(&graph, BpSchedule::ParallelFlood);
+        let residual = bench_schedule(&graph, BpSchedule::Residual);
+        let speedup = seed / serial;
+        if len == 128 {
+            serial_speedup_128 = speedup;
+        }
+        println!(
+            "len {len:>4} ({skips} skips): seed {seed:>12.0} ns  serial {serial:>12.0} ns ({speedup:.1}x)  parallel {parallel:>12.0} ns ({:.1}x)  residual {residual:>12.0} ns ({:.1}x)",
+            seed / parallel,
+            seed / residual
+        );
+        session_rows.push(serde_json::json!({
+            "len": len,
+            "skip_factors": skips,
+            "seed_flooding_ns": seed,
+            "stride_serial_ns": serial,
+            "stride_parallel_ns": parallel,
+            "stride_residual_ns": residual,
+            "serial_speedup": speedup,
+            "parallel_speedup": seed / parallel,
+            "residual_speedup": seed / residual,
+        }));
+    }
+
+    bench::banner("BENCH_1: online tagger throughput");
+    use alertlib::{Alert, Entity};
+    use detect::{AttackTagger, TaggerConfig};
+    use simnet::time::SimTime;
+    let mut tagger = AttackTagger::new(tagger_model.clone(), TaggerConfig::default());
+    let mut i = 0u64;
+    let observe_ns = time_ns(window_ms, || {
+        i += 1;
+        let a = Alert::new(
+            SimTime::from_secs(i),
+            alertlib::AlertKind::from_index((i % 40) as usize),
+            Entity::User(format!("u{}", i % 64)),
+        );
+        black_box(tagger.observe(&a));
+    });
+    println!(
+        "attack_tagger_observe {observe_ns:>10.0} ns  ({:.0} alerts/s)",
+        1e9 / observe_ns
+    );
+
+    let artifact = serde_json::json!({
+        "bench": "BENCH_1",
+        "chain": chain_rows,
+        "bp_vs_exact_chain_24": {
+            "forward_backward_ns": fb_ns,
+            "seed_bp_ns": seed_ns,
+            "optimized_bp_ns": opt_ns,
+            "optimized_over_exact": bp_vs_exact,
+            "acceptance_max_ratio": 5.0,
+            "acceptance_met": bp_vs_exact <= 5.0,
+        },
+        "skip_chain_session": session_rows,
+        "acceptance": {
+            "serial_speedup_at_128": serial_speedup_128,
+            "required_speedup": 3.0,
+            "met": serial_speedup_128 >= 3.0,
+        },
+        "attack_tagger_observe_ns": observe_ns,
+    });
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_1.json".to_string());
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&artifact).expect("serialize"),
+    )
+    .expect("write BENCH_1.json");
+    println!("\n[artifact] {out}");
+    // Threshold enforcement is opt-out (`BENCH_ENFORCE=0`): shared CI
+    // runners have enough timing variance to fail the gates spuriously,
+    // so CI records the artifact and only local/dedicated runs enforce.
+    let enforce = std::env::var("BENCH_ENFORCE").map_or(true, |v| v != "0");
+    if enforce {
+        assert!(
+            bp_vs_exact <= 5.0,
+            "generic BP must stay within 5x of exact forward-backward (got {bp_vs_exact:.1}x)"
+        );
+        assert!(
+            serial_speedup_128 >= 3.0,
+            "stride/workspace engine must beat the seed flooding implementation 3x (got {serial_speedup_128:.1}x)"
+        );
+    } else if bp_vs_exact > 5.0 || serial_speedup_128 < 3.0 {
+        println!(
+            "WARNING: acceptance thresholds missed (bp_vs_exact={bp_vs_exact:.1}x, serial_speedup={serial_speedup_128:.1}x) — not enforced (BENCH_ENFORCE=0)"
+        );
+    }
+}

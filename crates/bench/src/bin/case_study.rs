@@ -34,7 +34,9 @@ fn main() {
     let report = tb.run();
     println!("pipeline run in {:?}", t0.elapsed());
 
-    let first = report.first_notification().expect("must detect the ransomware");
+    let first = report
+        .first_notification()
+        .expect("must detect the ransomware");
     let lead = production_time - first;
     let lead_days = lead.as_secs_f64() / 86_400.0;
     println!("\nfull-testbed first notification: {first}");
@@ -49,7 +51,8 @@ fn main() {
     let session: Vec<alertlib::Alert> = {
         use simnet::engine::ActionSink;
         let mut topo = simnet::topology::NcsaTopologyBuilder::default().build();
-        let mut dep = honeynet::HoneynetDeployment::install(&mut topo, &honeynet::DeployConfig::default());
+        let mut dep =
+            honeynet::HoneynetDeployment::install(&mut topo, &honeynet::DeployConfig::default());
         let replay = build_scenario(&topo, &mut dep, &rw);
         let mut engine = simnet::engine::Engine::new(topo, SimTime::from_date(2024, 10, 1));
         for (t, a) in replay.actions {
@@ -72,12 +75,18 @@ fn main() {
         }
         session
     };
-    println!("\nhoneypot-phase session alerts for entity user:postgres: {}", session.len());
+    println!(
+        "\nhoneypot-phase session alerts for entity user:postgres: {}",
+        session.len()
+    );
 
     let tagger = AttackTagger::new(bench::standard_model(), TaggerConfig::default());
     let rules = RuleBasedDetector::with_default_rules();
     let critical = CriticalOnlyDetector::new();
-    println!("\n{:<16}{:>12}{:>20}{:>14}", "detector", "detected", "at alert index", "lead (days)");
+    println!(
+        "\n{:<16}{:>12}{:>20}{:>14}",
+        "detector", "detected", "at alert index", "lead (days)"
+    );
     let mut rows = Vec::new();
     for (name, det) in [
         ("attack-tagger", &tagger as &dyn detect::SequenceDetector),
@@ -92,7 +101,10 @@ fn main() {
                 } else {
                     -((d.ts - production_time).as_days() as i64)
                 };
-                println!("{:<16}{:>12}{:>20}{:>14}", name, "yes", d.alert_index, lead_days);
+                println!(
+                    "{:<16}{:>12}{:>20}{:>14}",
+                    name, "yes", d.alert_index, lead_days
+                );
                 rows.push(serde_json::json!({
                     "detector": name, "detected": true,
                     "alert_index": d.alert_index, "lead_days": lead_days,

@@ -15,16 +15,33 @@ fn main() {
     let crit = measure_criticality(&store);
     println!("unique critical kinds    : {}", crit.unique_critical_kinds);
     println!("critical occurrences     : {}", crit.critical_occurrences);
-    println!("incidents with criticals : {}/{}", crit.incidents_with_critical, crit.total_incidents);
+    println!(
+        "incidents with criticals : {}/{}",
+        crit.incidents_with_critical, crit.total_incidents
+    );
     println!(
         "mean relative position of first critical: {:.3} (1.0 = last alert)",
         crit.mean_first_critical_position
     );
-    println!("mean preemption budget   : {:.1} alerts before damage", crit.mean_preemption_budget);
+    println!(
+        "mean preemption budget   : {:.1} alerts before damage",
+        crit.mean_preemption_budget
+    );
     println!();
-    compare("unique critical kinds", crit.unique_critical_kinds as f64, 19.0);
-    compare("critical occurrences", crit.critical_occurrences as f64, 98.0);
-    assert!(crit.criticals_come_late(), "Insight 4: criticals must come late");
+    compare(
+        "unique critical kinds",
+        crit.unique_critical_kinds as f64,
+        19.0,
+    );
+    compare(
+        "critical occurrences",
+        crit.critical_occurrences as f64,
+        98.0,
+    );
+    assert!(
+        crit.criticals_come_late(),
+        "Insight 4: criticals must come late"
+    );
 
     let timing = compare_phase_timing(&store).expect("corpus has both phases");
     println!();
@@ -36,7 +53,10 @@ fn main() {
         "manual phase   : {} gaps, mean {:.1}s, cv {:.2}",
         timing.manual.gaps, timing.manual.mean_gap_secs, timing.manual.cv
     );
-    println!("manual phase more variable: {}", timing.manual_more_variable());
+    println!(
+        "manual phase more variable: {}",
+        timing.manual_more_variable()
+    );
     assert!(timing.manual_more_variable(), "Insight 3 must hold");
 
     write_artifact(

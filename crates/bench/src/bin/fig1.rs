@@ -37,16 +37,28 @@ fn main() {
     for h in top_hubs(&graph, 3) {
         println!("  hub {:<18} degree {}", h.label, h.degree);
     }
-    let attacker_id = graph.id_of(&gt.attacker.to_string()).expect("attacker present");
+    let attacker_id = graph
+        .id_of(&gt.attacker.to_string())
+        .expect("attacker present");
     println!(
         "real attack: {} -> 2 internal targets (degree {})",
         gt.attacker,
         graph.degree(attacker_id)
     );
-    assert_eq!(graph.degree(attacker_id), 2, "part B is exactly two connections");
+    assert_eq!(
+        graph.degree(attacker_id),
+        2,
+        "part B is exactly two connections"
+    );
 
     let t0 = std::time::Instant::now();
-    let (positions, stats) = layout(&graph, &LayoutConfig { max_iters: 60, ..Default::default() });
+    let (positions, stats) = layout(
+        &graph,
+        &LayoutConfig {
+            max_iters: 60,
+            ..Default::default()
+        },
+    );
     let elapsed = t0.elapsed();
     println!(
         "layout: levels={} iterations={} converged={} elapsed={:?}",
@@ -55,7 +67,9 @@ fn main() {
 
     // Structural check: the scanner star is tight around its hub compared
     // with the diffuse legit cloud (Fig. 1's visual contrast).
-    let scanner_id = graph.id_of(&gt.mass_scanner.to_string()).expect("scanner present");
+    let scanner_id = graph
+        .id_of(&gt.mass_scanner.to_string())
+        .expect("scanner present");
     let (sx, sy) = positions[scanner_id as usize];
     let mut star_d = Vec::new();
     for (i, n) in graph.nodes().iter().enumerate() {

@@ -24,7 +24,10 @@ fn main() {
         let day_start = start + SimDuration::from_days(d);
         let mut scans = 0u64;
         let total = stream_day(&model, &mut rng, day_start, &mut |a| {
-            if matches!(a.kind, alertlib::AlertKind::PortScan | alertlib::AlertKind::AddressSweep) {
+            if matches!(
+                a.kind,
+                alertlib::AlertKind::PortScan | alertlib::AlertKind::AddressSweep
+            ) {
                 scans += 1;
             }
         });
@@ -36,7 +39,12 @@ fn main() {
     for (d, (&total, &scans)) in series.iter().zip(&scan_counts).enumerate() {
         let date = (start + SimDuration::from_days(d as u64)).date();
         if d % 7 == 0 || d == days as usize - 1 {
-            println!("{:<12}{:>12}{:>16}", format!("{} {:02}", date.month_abbrev(), date.day), total, scans);
+            println!(
+                "{:<12}{:>12}{:>16}",
+                format!("{} {:02}", date.month_abbrev(), date.day),
+                total,
+                scans
+            );
         }
     }
 

@@ -12,7 +12,12 @@ fn main() {
     let store = bench::standard_corpus();
     let t0 = std::time::Instant::now();
     let cdf = similarity_cdf(&store);
-    println!("incidents: {}  pairs: {}  ({:?})", store.len(), cdf.len(), t0.elapsed());
+    println!(
+        "incidents: {}  pairs: {}  ({:?})",
+        store.len(),
+        cdf.len(),
+        t0.elapsed()
+    );
 
     println!("\n{:<14}{:>10}", "similarity", "CDF");
     let mut points = Vec::new();
@@ -23,7 +28,11 @@ fn main() {
         println!("{:<14.2}{:>10.4}", x, f);
     }
     println!();
-    compare("fraction of pairs <= 0.33 similarity", cdf.fraction_le(0.33), 0.95);
+    compare(
+        "fraction of pairs <= 0.33 similarity",
+        cdf.fraction_le(0.33),
+        0.95,
+    );
     println!("median similarity: {:.3}", cdf.quantile(0.5));
     println!("p95 similarity   : {:.3}", cdf.quantile(0.95));
 

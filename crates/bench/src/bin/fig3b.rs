@@ -27,13 +27,25 @@ fn main() {
     for p in &patterns {
         let preview: Vec<&str> = p.seq.iter().take(5).map(|k| k.symbol()).collect();
         let ellipsis = if p.seq.len() > 5 { ", …" } else { "" };
-        println!("{:<6}{:>9}{:>7}  [{}{}]", p.name(), p.support, p.len(), preview.join(", "), ellipsis);
+        println!(
+            "{:<6}{:>9}{:>7}  [{}{}]",
+            p.name(),
+            p.support,
+            p.len(),
+            preview.join(", "),
+            ellipsis
+        );
     }
 
     // The generator's planted family-size distribution (the ground truth
     // the paper's own histogram shape encodes: max 14, tail of 2s).
     let planted = scenario::s_pattern_supports();
-    println!("\nplanted family sizes: max={} min={} n={}", planted[0], planted.last().unwrap(), planted.len());
+    println!(
+        "\nplanted family sizes: max={} min={} n={}",
+        planted[0],
+        planted.last().unwrap(),
+        planted.len()
+    );
     println!();
     compare("number of patterns", patterns.len() as f64, 43.0);
     compare("planted max support", planted[0] as f64, 14.0);

@@ -96,7 +96,10 @@ fn main() {
     println!("  detections            : {}", report.detections);
     println!("  blocked sources       : {}", report.blocked_sources);
     println!("\nin-line pipeline: {n_actions} actions in {elapsed:?} ({throughput:.0} actions/s)");
-    assert_eq!(report.detections, 3, "the three embedded attacks must be detected");
+    assert_eq!(
+        report.detections, 3,
+        "the three embedded attacks must be detected"
+    );
     for n in &report.notifications {
         println!("  [{}] {}", n.ts, n.message);
     }

@@ -20,8 +20,11 @@ fn main() {
     let tagger = AttackTagger::new(model, TaggerConfig::default());
     let rules = RuleBasedDetector::with_default_rules();
     let critical = CriticalOnlyDetector::new();
-    let detectors: Vec<(&str, &dyn SequenceDetector)> =
-        vec![("attack-tagger", &tagger), ("rule-based", &rules), ("critical-only", &critical)];
+    let detectors: Vec<(&str, &dyn SequenceDetector)> = vec![
+        ("attack-tagger", &tagger),
+        ("rule-based", &rules),
+        ("critical-only", &critical),
+    ];
 
     // Prefix sweep over *attack-session* alerts: the detector keys on the
     // compromised account's entity (§III-B), so Insight 2's "two to four
@@ -66,16 +69,28 @@ fn main() {
     // Insight 2's effective range: by 2–4 session alerts the factor-graph
     // model has substantial detection; one alert is not enough.
     let tagger_sweep = prefix_sweep(&tagger, &session_store, 4);
-    let rate_at = |k: usize| tagger_sweep.iter().find(|(kk, _)| *kk == k).map(|(_, r)| *r).unwrap_or(0.0);
+    let rate_at = |k: usize| {
+        tagger_sweep
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
     println!(
         "\ninsight 2 check: tagger detection at k=1: {:.3}, k=4: {:.3}",
         rate_at(1),
         rate_at(4)
     );
-    assert!(rate_at(4) > 0.8, "2-4 session alerts must be the effective range");
+    assert!(
+        rate_at(4) > 0.8,
+        "2-4 session alerts must be the effective range"
+    );
 
     // Full evaluation: recall / precision / preemption / lead.
-    println!("\nfull-sequence evaluation (with {} benign sessions):", benign.len());
+    println!(
+        "\nfull-sequence evaluation (with {} benign sessions):",
+        benign.len()
+    );
     println!(
         "{:<16}{:>8}{:>10}{:>8}{:>12}{:>12}{:>14}",
         "detector", "recall", "precision", "f1", "preempted", "rate", "lead (h)"
@@ -111,7 +126,10 @@ fn main() {
         tagger_eval.preemption_rate > critical_eval.preemption_rate,
         "the factor-graph model must preempt where critical-only cannot"
     );
-    assert_eq!(critical_eval.preemption_rate, 0.0, "Insight 4: critical-only never preempts");
+    assert_eq!(
+        critical_eval.preemption_rate, 0.0,
+        "Insight 4: critical-only never preempts"
+    );
 
     write_artifact(
         "preemption_range",

@@ -12,9 +12,7 @@ fn main() {
     pin_motif_span(&mut store);
     let rec = measure_recurrence(&store, &s1_pattern());
 
-    println!(
-        "motif: download source over HTTP -> compile kernel module -> erase forensic trace"
-    );
+    println!("motif: download source over HTTP -> compile kernel module -> erase forensic trace");
     println!("incidents containing motif : {}/{}", rec.hits, rec.total);
     println!("first year                 : {:?}", rec.first_year);
     println!("last year                  : {:?}", rec.last_year);
@@ -23,8 +21,14 @@ fn main() {
     println!();
     compare("support fraction", rec.support_fraction(), 0.6008);
     compare("hits", rec.hits as f64, 137.0);
-    assert!(rec.first_year.unwrap_or(9999) <= 2002, "recurrence must reach back to 2002");
-    assert!(rec.last_year.unwrap_or(0) >= 2024, "recurrence must reach 2024");
+    assert!(
+        rec.first_year.unwrap_or(9999) <= 2002,
+        "recurrence must reach back to 2002"
+    );
+    assert!(
+        rec.last_year.unwrap_or(0) >= 2024,
+        "recurrence must reach 2024"
+    );
 
     write_artifact(
         "s1_recurrence",

@@ -44,7 +44,9 @@ fn main() {
             }
         }
         for m in &inc.report.machines {
-            if let Some(ip) = m.strip_prefix("host-").and_then(|s| s.parse::<std::net::Ipv4Addr>().ok())
+            if let Some(ip) = m
+                .strip_prefix("host-")
+                .and_then(|s| s.parse::<std::net::Ipv4Addr>().ok())
             {
                 victim_blocks.insert(u32::from(ip) >> 8);
             }
@@ -87,7 +89,11 @@ fn main() {
     println!("\n{:<38}{:>14}", "Data", "Size");
     println!("{:<38}{:>14}", "Total alerts", total);
     println!("{:<38}{:>14}", "Alerts after being filtered", filtered);
-    println!("{:<38}{:>14}", "Successful attacks (incidents)", corpus.len());
+    println!(
+        "{:<38}{:>14}",
+        "Successful attacks (incidents)",
+        corpus.len()
+    );
     println!("{:<38}{:>14}", "Time period", "2000-2024");
     println!();
     compare("total alerts", total as f64, 25_000_000.0);

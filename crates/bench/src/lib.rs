@@ -31,8 +31,11 @@ pub fn artifact_dir() -> PathBuf {
 /// Write a JSON artifact and report the path.
 pub fn write_artifact(name: &str, value: &serde_json::Value) {
     let path = artifact_dir().join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write artifact");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write artifact");
     println!("[artifact] {}", path.display());
 }
 
@@ -44,7 +47,11 @@ pub fn banner(title: &str) {
 /// Compare a measured value against the paper's value, reporting the
 /// relative deviation.
 pub fn compare(label: &str, measured: f64, paper: f64) {
-    let rel = if paper != 0.0 { (measured - paper) / paper * 100.0 } else { 0.0 };
+    let rel = if paper != 0.0 {
+        (measured - paper) / paper * 100.0
+    } else {
+        0.0
+    };
     println!("{label:<44} measured={measured:>12.4}  paper={paper:>12.4}  ({rel:+.1}%)");
 }
 

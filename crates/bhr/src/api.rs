@@ -61,21 +61,35 @@ impl BhrHandle {
     /// `bhr-client unblock`: remove a null route.
     pub fn unblock(&self, ts: SimTime, addr: Ipv4Addr) -> bool {
         let removed = self.inner.lock().unblock(addr).is_some();
-        self.log(ts, "unblock", Some(addr), if removed { "removed" } else { "not-found" });
+        self.log(
+            ts,
+            "unblock",
+            Some(addr),
+            if removed { "removed" } else { "not-found" },
+        );
         removed
     }
 
     /// `bhr-client query`: look up an address (audited, non-routing).
     pub fn query(&self, ts: SimTime, addr: Ipv4Addr) -> Option<Block> {
         let found = self.inner.lock().query(addr).cloned();
-        self.log(ts, "query", Some(addr), if found.is_some() { "blocked" } else { "clear" });
+        self.log(
+            ts,
+            "query",
+            Some(addr),
+            if found.is_some() { "blocked" } else { "clear" },
+        );
         found
     }
 
     /// `bhr-client list`: snapshot of active blocks.
     pub fn list(&self, ts: SimTime) -> Vec<(Ipv4Addr, Block)> {
-        let snapshot: Vec<_> =
-            self.inner.lock().list().map(|(a, b)| (*a, b.clone())).collect();
+        let snapshot: Vec<_> = self
+            .inner
+            .lock()
+            .list()
+            .map(|(a, b)| (*a, b.clone()))
+            .collect();
         self.log(ts, "list", None, format!("{} entries", snapshot.len()));
         snapshot
     }
@@ -124,7 +138,10 @@ mod tests {
         assert!(!bhr.unblock(t0, addr("103.102.1.1")));
         let log = bhr.audit_log();
         let commands: Vec<_> = log.iter().map(|e| e.command.as_str()).collect();
-        assert_eq!(commands, vec!["block", "query", "list", "unblock", "unblock"]);
+        assert_eq!(
+            commands,
+            vec!["block", "query", "list", "unblock", "unblock"]
+        );
     }
 
     #[test]
@@ -144,7 +161,8 @@ mod tests {
                 let b = bhr.clone();
                 std::thread::spawn(move || {
                     for j in 0..100 {
-                        let a: Ipv4Addr = format!("10.{i}.{}.{}", j / 250, j % 250).parse().unwrap();
+                        let a: Ipv4Addr =
+                            format!("10.{i}.{}.{}", j / 250, j % 250).parse().unwrap();
                         b.block(SimTime::from_secs(j as u64), a, "load", None);
                         assert!(b.is_blocked(SimTime::from_secs(j as u64), a));
                     }

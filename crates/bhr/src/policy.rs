@@ -80,7 +80,10 @@ impl BhrFilter {
 
     fn note_probe(&mut self, t: SimTime, src: Ipv4Addr) {
         let Some(policy) = &self.policy else { return };
-        let w = self.probes.entry(src).or_insert(ProbeWindow { start: t, count: 0 });
+        let w = self
+            .probes
+            .entry(src)
+            .or_insert(ProbeWindow { start: t, count: 0 });
         if t.saturating_since(w.start) > policy.window {
             w.start = t;
             w.count = 0;
@@ -88,7 +91,8 @@ impl BhrFilter {
         w.count += 1;
         if w.count >= policy.max_probes {
             self.auto_blocks += 1;
-            self.handle.block(t, src, "auto: scan rate exceeded", policy.block_ttl);
+            self.handle
+                .block(t, src, "auto: scan rate exceeded", policy.block_ttl);
             self.probes.remove(&src);
         }
     }
@@ -169,7 +173,10 @@ mod tests {
         // One probe every 2 minutes: window keeps resetting.
         for i in 0..30u64 {
             let f = probe(i * 120, "77.72.1.1", (i % 250) as u8);
-            assert_eq!(filter.check(SimTime::from_secs(i * 120), &f), RouteDecision::Forward);
+            assert_eq!(
+                filter.check(SimTime::from_secs(i * 120), &f),
+                RouteDecision::Forward
+            );
         }
         assert_eq!(filter.auto_blocks(), 0);
     }
@@ -179,9 +186,17 @@ mod tests {
         let handle = BhrHandle::new();
         let mut filter = BhrFilter::new(handle.clone(), None);
         let f = probe(0, "111.200.1.1", 5);
-        assert_eq!(filter.check(SimTime::from_secs(0), &f), RouteDecision::Forward);
+        assert_eq!(
+            filter.check(SimTime::from_secs(0), &f),
+            RouteDecision::Forward
+        );
         // Operator blocks via the API (detector-driven remediation).
-        handle.block(SimTime::from_secs(1), "111.200.1.1".parse().unwrap(), "ransomware C2", None);
+        handle.block(
+            SimTime::from_secs(1),
+            "111.200.1.1".parse().unwrap(),
+            "ransomware C2",
+            None,
+        );
         let f2 = probe(2, "111.200.1.1", 6);
         assert!(matches!(
             filter.check(SimTime::from_secs(2), &f2),
@@ -194,7 +209,11 @@ mod tests {
         let handle = BhrHandle::new();
         let mut filter = BhrFilter::new(
             handle,
-            Some(AutoBlockPolicy { max_probes: 2, window: SimDuration::from_hours(1), block_ttl: None }),
+            Some(AutoBlockPolicy {
+                max_probes: 2,
+                window: SimDuration::from_hours(1),
+                block_ttl: None,
+            }),
         );
         for i in 0..10u64 {
             let f = Flow::established(
@@ -208,7 +227,10 @@ mod tests {
                 1_000,
                 1_000,
             );
-            assert_eq!(filter.check(SimTime::from_secs(i), &f), RouteDecision::Forward);
+            assert_eq!(
+                filter.check(SimTime::from_secs(i), &f),
+                RouteDecision::Forward
+            );
         }
         assert_eq!(filter.auto_blocks(), 0);
     }

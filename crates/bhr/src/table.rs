@@ -22,7 +22,7 @@ pub struct Block {
 
 impl Block {
     pub fn active_at(&self, t: SimTime) -> bool {
-        self.expires.map_or(true, |e| t < e)
+        self.expires.is_none_or(|e| t < e)
     }
 }
 
@@ -61,7 +61,11 @@ impl NullRouteTable {
         self.stats.blocks_added += 1;
         self.entries.insert(
             addr,
-            Block { reason: reason.into(), inserted: now, expires: ttl.map(|d| now + d) },
+            Block {
+                reason: reason.into(),
+                inserted: now,
+                expires: ttl.map(|d| now + d),
+            },
         );
     }
 
@@ -135,7 +139,12 @@ mod tests {
     #[test]
     fn block_and_lookup() {
         let mut t = NullRouteTable::new();
-        t.block(addr("103.102.1.1"), "mass-scanner", SimTime::from_secs(0), None);
+        t.block(
+            addr("103.102.1.1"),
+            "mass-scanner",
+            SimTime::from_secs(0),
+            None,
+        );
         assert!(t.is_blocked(addr("103.102.1.1"), SimTime::from_secs(100)));
         assert!(!t.is_blocked(addr("8.8.8.8"), SimTime::from_secs(100)));
         let s = t.stats();
@@ -146,7 +155,12 @@ mod tests {
     #[test]
     fn ttl_expiry() {
         let mut t = NullRouteTable::new();
-        t.block(addr("1.1.1.1"), "temp", SimTime::from_secs(0), Some(SimDuration::from_secs(60)));
+        t.block(
+            addr("1.1.1.1"),
+            "temp",
+            SimTime::from_secs(0),
+            Some(SimDuration::from_secs(60)),
+        );
         assert!(t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(59)));
         assert!(!t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(61)));
         assert_eq!(t.len(), 0, "expired entry lazily removed");
@@ -182,7 +196,12 @@ mod tests {
     #[test]
     fn reblock_overwrites() {
         let mut t = NullRouteTable::new();
-        t.block(addr("1.1.1.1"), "first", SimTime::from_secs(0), Some(SimDuration::from_secs(5)));
+        t.block(
+            addr("1.1.1.1"),
+            "first",
+            SimTime::from_secs(0),
+            Some(SimDuration::from_secs(5)),
+        );
         t.block(addr("1.1.1.1"), "second", SimTime::from_secs(1), None);
         assert_eq!(t.query(addr("1.1.1.1")).unwrap().reason, "second");
         assert!(t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(1_000)));

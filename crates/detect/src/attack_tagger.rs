@@ -76,15 +76,31 @@ pub struct AttackTagger {
     model: ChainModel,
     cfg: TaggerConfig,
     states: FxHashMap<String, EntityState>,
+    /// Scratch for the forward-filter step, reused across `observe`
+    /// calls so the per-alert hot path does not allocate.
+    scratch: Vec<f64>,
 }
 
 impl AttackTagger {
     /// Create from a trained chain model (states = [`Stage::COUNT`],
     /// observations = [`AlertKind::COUNT`]).
     pub fn new(model: ChainModel, cfg: TaggerConfig) -> AttackTagger {
-        assert_eq!(model.n_states(), Stage::COUNT, "model must have one state per stage");
-        assert_eq!(model.n_obs(), AlertKind::COUNT, "model must cover the full taxonomy");
-        AttackTagger { model, cfg, states: FxHashMap::default() }
+        assert_eq!(
+            model.n_states(),
+            Stage::COUNT,
+            "model must have one state per stage"
+        );
+        assert_eq!(
+            model.n_obs(),
+            AlertKind::COUNT,
+            "model must cover the full taxonomy"
+        );
+        AttackTagger {
+            model,
+            cfg,
+            states: FxHashMap::default(),
+            scratch: vec![0.0; Stage::COUNT],
+        }
     }
 
     pub fn config(&self) -> &TaggerConfig {
@@ -95,76 +111,83 @@ impl AttackTagger {
         &self.model
     }
 
-    /// Posterior mass on the decision stages.
-    fn decision_mass(&self, alpha: &[f64]) -> f64 {
-        self.cfg.decision_stages.iter().map(|s| alpha[s.index()]).sum()
-    }
-
-    /// One O(S²) forward-filter step folding `obs` into `alpha`.
-    fn step(&self, alpha: &mut Vec<f64>, steps: usize, obs: usize) {
+    /// One O(S²) forward-filter step folding `obs` into `alpha`, staged
+    /// through `scratch` (no allocation).
+    fn step(model: &ChainModel, alpha: &mut [f64], scratch: &mut [f64], steps: usize, obs: usize) {
         let s_n = Stage::COUNT;
-        let mut next = vec![0.0f64; s_n];
         if steps == 0 {
-            for (s, n) in next.iter_mut().enumerate() {
-                *n = self.model.prior()[s] * self.model.emit(s, obs);
+            for (s, n) in scratch.iter_mut().enumerate() {
+                *n = model.prior()[s] * model.emit(s, obs);
             }
         } else {
-            for s in 0..s_n {
+            for (s, n) in scratch.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for ps in 0..s_n {
-                    acc += alpha[ps] * self.model.trans(ps, s);
+                for (ps, &a) in alpha.iter().enumerate() {
+                    acc += a * model.trans(ps, s);
                 }
-                next[s] = acc * self.model.emit(s, obs);
+                *n = acc * model.emit(s, obs);
             }
         }
-        let norm: f64 = next.iter().sum();
+        let norm: f64 = scratch.iter().sum();
         if norm > 0.0 {
-            for x in &mut next {
+            for x in scratch.iter_mut() {
                 *x /= norm;
             }
         } else {
             let u = 1.0 / s_n as f64;
-            next.fill(u);
+            scratch.fill(u);
         }
-        *alpha = next;
+        alpha.copy_from_slice(scratch);
     }
 
     /// Observe one alert online. Returns a detection the first time the
     /// entity's posterior crosses the threshold (latched per entity).
+    ///
+    /// Allocation-free per call for already-tracked entities (the entity
+    /// key string aside); a new entity allocates its posterior vector
+    /// once.
     pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
         let key = alert.entity.key();
-        // Take the state out to satisfy the borrow checker around `step`.
-        let mut state = self.states.remove(&key).unwrap_or(EntityState {
+        let state = self.states.entry(key).or_insert_with(|| EntityState {
             alpha: vec![0.0; Stage::COUNT],
             steps: 0,
             detected: false,
         });
         let obs = alert.kind.index();
-        let steps = state.steps;
-        self.step(&mut state.alpha, steps, obs);
+        Self::step(
+            &self.model,
+            &mut state.alpha,
+            &mut self.scratch,
+            state.steps,
+            obs,
+        );
         state.steps += 1;
-        let mut result = None;
-        if !state.detected {
-            let score = self.decision_mass(&state.alpha);
-            if score >= self.cfg.threshold {
-                state.detected = true;
-                let mut best = 0;
-                for s in 1..Stage::COUNT {
-                    if state.alpha[s] > state.alpha[best] {
-                        best = s;
-                    }
-                }
-                result = Some(Detection {
-                    ts: alert.ts,
-                    alert_index: state.steps - 1,
-                    trigger: alert.kind,
-                    score,
-                    stage: Stage::from_index(best),
-                });
+        if state.detected {
+            return None;
+        }
+        let score = self
+            .cfg
+            .decision_stages
+            .iter()
+            .map(|s| state.alpha[s.index()])
+            .sum::<f64>();
+        if score < self.cfg.threshold {
+            return None;
+        }
+        state.detected = true;
+        let mut best = 0;
+        for s in 1..Stage::COUNT {
+            if state.alpha[s] > state.alpha[best] {
+                best = s;
             }
         }
-        self.states.insert(key, state);
-        result
+        Some(Detection {
+            ts: alert.ts,
+            alert_index: state.steps - 1,
+            trigger: alert.kind,
+            score,
+            stage: Stage::from_index(best),
+        })
     }
 
     /// The current filtered posterior for an entity, if it has been seen.
@@ -189,6 +212,7 @@ impl AttackTagger {
             model: self.model.clone(),
             cfg: self.cfg.clone(),
             states: FxHashMap::default(),
+            scratch: vec![0.0; Stage::COUNT],
         };
         for a in alerts {
             if let Some(d) = fresh.observe(a) {
@@ -236,7 +260,10 @@ mod tests {
             }
         }
         let d = detection.expect("attack must be detected");
-        assert!(d.ts < SimTime::from_secs(40), "must preempt the damage step");
+        assert!(
+            d.ts < SimTime::from_secs(40),
+            "must preempt the damage step"
+        );
         assert!(d.score >= 0.8);
         assert!(d.stage.is_attack());
     }

@@ -22,13 +22,17 @@ impl CriticalOnlyDetector {
 
     /// Scan a session for the first critical alert.
     pub fn scan(&self, alerts: &[Alert]) -> Option<Detection> {
-        alerts.iter().enumerate().find(|(_, a)| a.is_critical()).map(|(i, a)| Detection {
-            ts: a.ts,
-            alert_index: i,
-            trigger: a.kind,
-            score: 1.0,
-            stage: Stage::Damage,
-        })
+        alerts
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.is_critical())
+            .map(|(i, a)| Detection {
+                ts: a.ts,
+                alert_index: i,
+                trigger: a.kind,
+                score: 1.0,
+                stage: Stage::Damage,
+            })
     }
 }
 
@@ -62,6 +66,8 @@ mod tests {
     fn silent_without_criticals() {
         use AlertKind::*;
         let det = CriticalOnlyDetector::new();
-        assert!(det.scan(&[alert(0, DownloadSensitive), alert(1, LogWipe)]).is_none());
+        assert!(det
+            .scan(&[alert(0, DownloadSensitive), alert(1, LogWipe)])
+            .is_none());
     }
 }

@@ -12,14 +12,22 @@
 //! This module is the offline/forensic analysis counterpart to the online
 //! chain filter: given a full session, it produces smoothed per-event
 //! stage posteriors with the skip evidence folded in.
+//!
+//! Batch workloads should hold a [`SessionEngine`]: it keeps the session
+//! graph in a [`ChainGraphBuffer`] and the BP state in a reused
+//! [`BpWorkspace`], so consecutive sessions with the same shape (same
+//! length, same skip links — the common case when rescoring one entity's
+//! session as it grows, or sweeping model variants over a fixed corpus)
+//! rewrite factor tables in place and run inference with zero
+//! steady-state allocation.
 
 use alertlib::alert::Alert;
-use factorgraph::chain::ChainModel;
+use factorgraph::chain::{ChainGraphBuffer, ChainModel};
 use factorgraph::factor::Factor;
 use factorgraph::graph::FactorGraph;
-use factorgraph::sumproduct::{run, BpOptions};
+use factorgraph::sumproduct::{run_in, BpOptions, BpSchedule, BpStats, BpWorkspace};
+use factorgraph::VarId;
 use serde::{Deserialize, Serialize};
-use simnet::rng::FxHashMap;
 
 use crate::stage::Stage;
 
@@ -39,6 +47,8 @@ pub struct SessionGraphConfig {
     /// BP options (damping is required on loopy sessions).
     pub max_iters: usize,
     pub damping: f64,
+    /// Message-passing schedule for the loopy solve.
+    pub schedule: BpSchedule,
 }
 
 impl Default for SessionGraphConfig {
@@ -49,6 +59,18 @@ impl Default for SessionGraphConfig {
             max_skips_per_kind: 3,
             max_iters: 200,
             damping: 0.3,
+            schedule: BpSchedule::Flood,
+        }
+    }
+}
+
+impl SessionGraphConfig {
+    fn bp_options(&self) -> BpOptions {
+        BpOptions {
+            max_iters: self.max_iters,
+            damping: self.damping,
+            tolerance: 1e-8,
+            schedule: self.schedule,
         }
     }
 }
@@ -83,74 +105,184 @@ impl SessionPosteriors {
     }
 }
 
+/// Collect the skip links `(anchor, recurrence)` a session induces under
+/// `cfg`, appending to `out` (which is cleared first).
+fn collect_skip_links(alerts: &[Alert], cfg: &SessionGraphConfig, out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    // Few distinct indicative kinds per session: linear scan beats a map
+    // and allocates nothing. `seen` tracks (kind, anchor, links_used);
+    // the slot count must cover every distinct kind a session can
+    // contain, i.e. the whole taxonomy.
+    const SEEN_SLOTS: usize = 128;
+    const {
+        assert!(
+            alertlib::taxonomy::AlertKind::COUNT <= SEEN_SLOTS,
+            "taxonomy outgrew the skip-link scratch table"
+        )
+    };
+    let mut seen: [(usize, u32, usize); SEEN_SLOTS] = [(usize::MAX, 0, 0); SEEN_SLOTS];
+    let mut seen_len = 0usize;
+    for (t, a) in alerts.iter().enumerate() {
+        if a.severity() < cfg.min_skip_severity {
+            continue;
+        }
+        let kind = a.kind.index();
+        match seen[..seen_len].iter_mut().find(|e| e.0 == kind) {
+            None => {
+                if seen_len < seen.len() {
+                    seen[seen_len] = (kind, t as u32, 0);
+                    seen_len += 1;
+                }
+            }
+            Some(entry) if entry.2 < cfg.max_skips_per_kind => {
+                out.push((entry.1, t as u32));
+                entry.2 += 1;
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn skip_factor(s: usize, cfg: &SessionGraphConfig, anchor: u32, here: u32) -> Factor {
+    let same = cfg.skip_agreement;
+    let diff = (1.0 - same) / (s as f64 - 1.0).max(1.0);
+    Factor::from_fn(vec![VarId(anchor), VarId(here)], vec![s, s], |a| {
+        if a[0] == a[1] {
+            same
+        } else {
+            diff
+        }
+    })
+}
+
+/// Reusable skip-chain inference engine. See the module docs for the
+/// reuse semantics.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    model: ChainModel,
+    cfg: SessionGraphConfig,
+    buf: ChainGraphBuffer,
+    /// Skip links materialized in `buf`'s graph.
+    links: Vec<(u32, u32)>,
+    ws: BpWorkspace,
+    /// Scratch: observation symbols of the current session.
+    obs: Vec<usize>,
+    /// Scratch: links the current session wants.
+    want: Vec<(u32, u32)>,
+}
+
+impl SessionEngine {
+    pub fn new(model: ChainModel, cfg: SessionGraphConfig) -> SessionEngine {
+        SessionEngine {
+            model,
+            cfg,
+            buf: ChainGraphBuffer::new(),
+            links: Vec::new(),
+            ws: BpWorkspace::default(),
+            obs: Vec::new(),
+            want: Vec::new(),
+        }
+    }
+
+    pub fn model(&self) -> &ChainModel {
+        &self.model
+    }
+
+    pub fn config(&self) -> &SessionGraphConfig {
+        &self.cfg
+    }
+
+    /// Run inference for a session, reusing the graph and workspace.
+    /// Returns the skip-factor count and BP statistics; read posteriors
+    /// back through [`SessionEngine::marginal`] / `attack_mass` without
+    /// allocating.
+    pub fn run(&mut self, alerts: &[Alert]) -> (usize, BpStats) {
+        self.obs.clear();
+        self.obs.extend(alerts.iter().map(|a| a.kind.index()));
+        collect_skip_links(alerts, &self.cfg, &mut self.want);
+
+        let same_shape = self.buf.chain_len() == self.obs.len() && self.links == self.want;
+        if !same_shape {
+            self.buf.reset();
+        }
+        // Same shape ⇒ in-place table refresh (skip factors are constant
+        // tables, nothing to update); otherwise a full rebuild.
+        self.model.fill_factor_graph(&self.obs, &mut self.buf);
+        if !same_shape {
+            let s = self.model.n_states();
+            for &(anchor, here) in &self.want {
+                self.buf
+                    .append_factor(skip_factor(s, &self.cfg, anchor, here));
+            }
+            std::mem::swap(&mut self.links, &mut self.want);
+        }
+
+        let stats = run_in(self.buf.graph(), &self.cfg.bp_options(), &mut self.ws);
+        (self.links.len(), stats)
+    }
+
+    /// Stage marginal of event `t` from the last [`SessionEngine::run`].
+    pub fn marginal(&self, t: usize) -> &[f64] {
+        self.ws.marginal(VarId(t as u32))
+    }
+
+    /// Posterior mass on attack stages (≥ Foothold) at event `t`.
+    pub fn attack_mass(&self, t: usize) -> f64 {
+        self.marginal(t)[Stage::Foothold.index()..].iter().sum()
+    }
+
+    /// Allocating convenience: full [`SessionPosteriors`].
+    pub fn infer(&mut self, alerts: &[Alert]) -> SessionPosteriors {
+        if alerts.is_empty() {
+            return SessionPosteriors {
+                marginals: Vec::new(),
+                skip_factors: 0,
+                converged: true,
+            };
+        }
+        let (skip_factors, stats) = self.run(alerts);
+        SessionPosteriors {
+            marginals: (0..alerts.len())
+                .map(|t| self.marginal(t).to_vec())
+                .collect(),
+            skip_factors,
+            converged: stats.converged,
+        }
+    }
+}
+
 /// Build the session factor graph: the chain (prior, transition, emission
 /// folded on evidence) plus skip-agreement factors between recurrences of
-/// indicative kinds.
+/// indicative kinds. One-shot helper; batch callers use [`SessionEngine`].
 pub fn build_session_graph(
     model: &ChainModel,
     alerts: &[Alert],
     cfg: &SessionGraphConfig,
 ) -> (FactorGraph, usize) {
     let obs: Vec<usize> = alerts.iter().map(|a| a.kind.index()).collect();
-    let mut graph = model.to_factor_graph(&obs);
+    let mut buf = ChainGraphBuffer::new();
+    model.fill_factor_graph(&obs, &mut buf);
+    let mut links = Vec::new();
+    collect_skip_links(alerts, cfg, &mut links);
     let s = model.n_states();
-    // Skip factors: link the first occurrence of an indicative kind to its
-    // later recurrences.
-    let mut first_seen: FxHashMap<usize, (u32, usize)> = FxHashMap::default();
-    let mut skips = 0;
-    for (t, a) in alerts.iter().enumerate() {
-        if a.severity() < cfg.min_skip_severity {
-            continue;
-        }
-        let kind = a.kind.index();
-        match first_seen.get_mut(&kind) {
-            None => {
-                first_seen.insert(kind, (t as u32, 0));
-            }
-            Some((anchor, used)) if *used < cfg.max_skips_per_kind => {
-                let anchor_var = factorgraph::VarId(*anchor);
-                let here = factorgraph::VarId(t as u32);
-                let same = cfg.skip_agreement;
-                let diff = (1.0 - same) / (s as f64 - 1.0).max(1.0);
-                let table = Factor::from_fn(vec![anchor_var, here], vec![s, s], |a| {
-                    if a[0] == a[1] {
-                        same
-                    } else {
-                        diff
-                    }
-                });
-                graph.add_factor(table);
-                *used += 1;
-                skips += 1;
-            }
-            Some(_) => {}
-        }
+    for &(anchor, here) in &links {
+        buf.append_factor(skip_factor(s, cfg, anchor, here));
     }
-    (graph, skips)
+    (buf.into_graph(), links.len())
 }
 
-/// Infer smoothed stage posteriors for a session with the skip-chain model.
+/// Infer smoothed stage posteriors for a session with the skip-chain
+/// model. One-shot helper; batch callers use [`SessionEngine`].
 pub fn infer_session(
     model: &ChainModel,
     alerts: &[Alert],
     cfg: &SessionGraphConfig,
 ) -> SessionPosteriors {
-    if alerts.is_empty() {
-        return SessionPosteriors { marginals: Vec::new(), skip_factors: 0, converged: true };
-    }
-    let (graph, skip_factors) = build_session_graph(model, alerts, cfg);
-    let result = run(
-        &graph,
-        &BpOptions { max_iters: cfg.max_iters, damping: cfg.damping, tolerance: 1e-8 },
-    );
-    SessionPosteriors {
-        marginals: result.marginals,
-        skip_factors,
-        converged: result.converged,
-    }
+    SessionEngine::new(model.clone(), cfg.clone()).infer(alerts)
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::train::toy_training_model;
@@ -167,8 +299,11 @@ mod tests {
         use AlertKind::*;
         let model = toy_training_model();
         // No repeated Significant kinds → zero skip factors → chain.
-        let session =
-            vec![alert(0, PortScan), alert(1, DownloadSensitive), alert(2, LogWipe)];
+        let session = vec![
+            alert(0, PortScan),
+            alert(1, DownloadSensitive),
+            alert(2, LogWipe),
+        ];
         let cfg = SessionGraphConfig::default();
         let post = infer_session(&model, &session, &cfg);
         assert_eq!(post.skip_factors, 0);
@@ -197,8 +332,7 @@ mod tests {
             alert(2, DownloadSensitive),
             alert(3, DownloadSensitive),
         ];
-        let (graph, skips) =
-            build_session_graph(&model, &session, &SessionGraphConfig::default());
+        let (graph, skips) = build_session_graph(&model, &session, &SessionGraphConfig::default());
         assert_eq!(skips, 2, "two recurrences of the indicative kind");
         // Graph is loopy once skips coexist with the chain.
         assert!(!graph.is_forest());
@@ -254,7 +388,10 @@ mod tests {
         use AlertKind::*;
         let model = toy_training_model();
         let session: Vec<Alert> = (0..10).map(|t| alert(t, DownloadSensitive)).collect();
-        let cfg = SessionGraphConfig { max_skips_per_kind: 2, ..Default::default() };
+        let cfg = SessionGraphConfig {
+            max_skips_per_kind: 2,
+            ..Default::default()
+        };
         let (_, skips) = build_session_graph(&model, &session, &cfg);
         assert_eq!(skips, 2);
     }
@@ -271,7 +408,11 @@ mod tests {
         assert!(post.converged);
         // Late events sit in attack stages with high confidence.
         let last = session.len() - 1;
-        assert!(post.attack_mass(last) > 0.9, "got {}", post.attack_mass(last));
+        assert!(
+            post.attack_mass(last) > 0.9,
+            "got {}",
+            post.attack_mass(last)
+        );
         assert!(post.stage_at(last) >= Stage::Lateral);
     }
 
@@ -296,5 +437,80 @@ mod tests {
         let post = infer_session(&model, &[], &SessionGraphConfig::default());
         assert!(post.marginals.is_empty());
         assert!(post.converged);
+    }
+
+    #[test]
+    fn engine_reuse_matches_one_shot_inference() {
+        use AlertKind::*;
+        let model = toy_training_model();
+        let cfg = SessionGraphConfig::default();
+        let mut engine = SessionEngine::new(model.clone(), cfg.clone());
+        let sessions: Vec<Vec<Alert>> = vec![
+            // Same shape twice (exercises the in-place refresh)...
+            vec![
+                alert(0, PortScan),
+                alert(1, DownloadSensitive),
+                alert(2, LogWipe),
+            ],
+            vec![
+                alert(0, LoginSuccess),
+                alert(1, JobSubmit),
+                alert(2, PortScan),
+            ],
+            // ...then a shape change (length and skip links).
+            vec![
+                alert(0, DownloadSensitive),
+                alert(1, PortScan),
+                alert(2, DownloadSensitive),
+                alert(3, LogWipe),
+            ],
+        ];
+        for session in &sessions {
+            let reused = engine.infer(session);
+            let fresh = infer_session(&model, session, &cfg);
+            assert_eq!(reused.skip_factors, fresh.skip_factors);
+            for t in 0..session.len() {
+                for s in 0..Stage::COUNT {
+                    assert!(
+                        (reused.marginals[t][s] - fresh.marginals[t][s]).abs() < 1e-12,
+                        "t={t} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_residual_schedules_agree_on_sessions() {
+        let model = toy_training_model();
+        let session: Vec<Alert> = scenario_kinds()
+            .into_iter()
+            .chain(scenario_kinds())
+            .enumerate()
+            .map(|(t, k)| alert(t as u64, k))
+            .collect();
+        let base = infer_session(&model, &session, &SessionGraphConfig::default());
+        for schedule in [BpSchedule::ParallelFlood, BpSchedule::Residual] {
+            let alt = infer_session(
+                &model,
+                &session,
+                &SessionGraphConfig {
+                    schedule,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(alt.skip_factors, base.skip_factors);
+            assert!(alt.converged, "{schedule:?}");
+            for t in 0..session.len() {
+                for s in 0..Stage::COUNT {
+                    assert!(
+                        (alt.marginals[t][s] - base.marginals[t][s]).abs() < 1e-4,
+                        "{schedule:?} t={t} s={s}: {} vs {}",
+                        alt.marginals[t][s],
+                        base.marginals[t][s]
+                    );
+                }
+            }
+        }
     }
 }

@@ -127,10 +127,17 @@ pub fn evaluate(
 
     let detected = outcomes.iter().filter(|o| o.detected).count();
     let preempted = outcomes.iter().filter(|o| o.preempted).count();
-    let mut leads: Vec<f64> =
-        outcomes.iter().filter_map(|o| o.lead).map(|l| l.as_secs_f64()).collect();
+    let mut leads: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.lead)
+        .map(|l| l.as_secs_f64())
+        .collect();
     leads.sort_by(|a, b| a.partial_cmp(b).expect("finite leads"));
-    let recall = if outcomes.is_empty() { 0.0 } else { detected as f64 / outcomes.len() as f64 };
+    let recall = if outcomes.is_empty() {
+        0.0
+    } else {
+        detected as f64 / outcomes.len() as f64
+    };
     let precision = if detected + false_positives == 0 {
         1.0
     } else {
@@ -141,9 +148,16 @@ pub fn evaluate(
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    let mean_lead =
-        if leads.is_empty() { 0.0 } else { leads.iter().sum::<f64>() / leads.len() as f64 };
-    let median_lead = if leads.is_empty() { 0.0 } else { leads[leads.len() / 2] };
+    let mean_lead = if leads.is_empty() {
+        0.0
+    } else {
+        leads.iter().sum::<f64>() / leads.len() as f64
+    };
+    let median_lead = if leads.is_empty() {
+        0.0
+    } else {
+        leads[leads.len() / 2]
+    };
     let summary = EvalSummary {
         detector: det.name().to_string(),
         incidents: outcomes.len(),
@@ -184,7 +198,11 @@ pub fn prefix_sweep(
                     det.scan(&inc.alerts[..n]).is_some()
                 })
                 .count();
-            let rate = if store.is_empty() { 0.0 } else { hits as f64 / store.len() as f64 };
+            let rate = if store.is_empty() {
+                0.0
+            } else {
+                hits as f64 / store.len() as f64
+            };
             (k, rate)
         })
         .collect()
@@ -235,7 +253,11 @@ mod tests {
                     .iter()
                     .enumerate()
                     .map(|(i, &k)| {
-                        Alert::new(SimTime::from_secs(i as u64), k, Entity::User("alice".into()))
+                        Alert::new(
+                            SimTime::from_secs(i as u64),
+                            k,
+                            Entity::User("alice".into()),
+                        )
                     })
                     .collect()
             })
@@ -257,7 +279,10 @@ mod tests {
         let critical = CriticalOnlyDetector::new();
         let (_, crit_sum) = evaluate(&critical, &store, &benign);
         assert_eq!(crit_sum.detected, 5);
-        assert_eq!(crit_sum.preempted, 0, "critical-only never preempts (Insight 4)");
+        assert_eq!(
+            crit_sum.preempted, 0,
+            "critical-only never preempts (Insight 4)"
+        );
         assert_eq!(crit_sum.preemption_rate, 0.0);
     }
 
@@ -268,7 +293,11 @@ mod tests {
         let (outcomes, sum) = evaluate(&rules, &store, &[]);
         assert_eq!(sum.preempted, 5);
         for o in outcomes {
-            assert_eq!(o.alerts_to_detect, Some(3), "s1 rule completes at the third alert");
+            assert_eq!(
+                o.alerts_to_detect,
+                Some(3),
+                "s1 rule completes at the third alert"
+            );
             assert!(o.lead.is_some());
         }
     }

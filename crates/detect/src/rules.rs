@@ -25,7 +25,11 @@ pub struct Rule {
 impl Rule {
     pub fn new(name: impl Into<String>, sequence: Vec<AlertKind>, window: SimDuration) -> Rule {
         assert!(!sequence.is_empty(), "rule needs at least one kind");
-        Rule { name: name.into(), sequence, window }
+        Rule {
+            name: name.into(),
+            sequence,
+            window,
+        }
     }
 }
 
@@ -45,13 +49,29 @@ impl RuleBasedDetector {
         use AlertKind::*;
         let d = SimDuration::from_hours(48);
         Self::new(vec![
-            Rule::new("s1-rootkit", vec![DownloadSensitive, CompileKernelModule], d),
-            Rule::new("db-payload-staging", vec![DbVersionRecon, ElfMagicInDbBlob], d),
+            Rule::new(
+                "s1-rootkit",
+                vec![DownloadSensitive, CompileKernelModule],
+                d,
+            ),
+            Rule::new(
+                "db-payload-staging",
+                vec![DbVersionRecon, ElfMagicInDbBlob],
+                d,
+            ),
             Rule::new("db-file-drop", vec![ElfMagicInDbBlob, LoExportExecution], d),
-            Rule::new("ssh-key-lateral", vec![SshKeyEnumeration, LateralMovementAttempt], d),
+            Rule::new(
+                "ssh-key-lateral",
+                vec![SshKeyEnumeration, LateralMovementAttempt],
+                d,
+            ),
             Rule::new("known-malware", vec![KnownMalwareDownload], d),
             Rule::new("honeytoken", vec![HoneytokenAccess], d),
-            Rule::new("rce-chain", vec![RemoteCodeExecAttempt, DownloadBinaryUnknown], d),
+            Rule::new(
+                "rce-chain",
+                vec![RemoteCodeExecAttempt, DownloadBinaryUnknown],
+                d,
+            ),
         ])
     }
 
@@ -146,7 +166,11 @@ mod tests {
     #[test]
     fn window_expiry_blocks_match() {
         use AlertKind::*;
-        let rule = Rule::new("slow", vec![DownloadSensitive, CompileKernelModule], SimDuration::from_secs(10));
+        let rule = Rule::new(
+            "slow",
+            vec![DownloadSensitive, CompileKernelModule],
+            SimDuration::from_secs(10),
+        );
         let det = RuleBasedDetector::new(vec![rule]);
         let session = vec![alert(0, DownloadSensitive), alert(100, CompileKernelModule)];
         assert!(det.scan(&session).is_none());
@@ -155,7 +179,11 @@ mod tests {
     #[test]
     fn reanchoring_finds_later_start() {
         use AlertKind::*;
-        let rule = Rule::new("pair", vec![DownloadSensitive, CompileKernelModule], SimDuration::from_secs(10));
+        let rule = Rule::new(
+            "pair",
+            vec![DownloadSensitive, CompileKernelModule],
+            SimDuration::from_secs(10),
+        );
         let det = RuleBasedDetector::new(vec![rule]);
         // First DownloadSensitive expires, second anchors a valid match.
         let session = vec![

@@ -45,7 +45,11 @@ pub struct Sessionizer {
 
 impl Sessionizer {
     pub fn new(idle_gap: SimDuration) -> Self {
-        Sessionizer { idle_gap, open: FxHashMap::default(), closed: Vec::new() }
+        Sessionizer {
+            idle_gap,
+            open: FxHashMap::default(),
+            closed: Vec::new(),
+        }
     }
 
     /// Feed one alert (must arrive in global time order).
@@ -59,7 +63,10 @@ impl Sessionizer {
                 if stale {
                     let finished = std::mem::replace(
                         session,
-                        Session { entity: alert.entity.clone(), alerts: Vec::new() },
+                        Session {
+                            entity: alert.entity.clone(),
+                            alerts: Vec::new(),
+                        },
                     );
                     self.closed.push(finished);
                 }
@@ -68,7 +75,10 @@ impl Sessionizer {
             None => {
                 self.open.insert(
                     key,
-                    Session { entity: alert.entity.clone(), alerts: vec![alert] },
+                    Session {
+                        entity: alert.entity.clone(),
+                        alerts: vec![alert],
+                    },
                 );
             }
         }
@@ -116,7 +126,10 @@ mod tests {
         ];
         let sessions = sessionize(alerts, SimDuration::from_hours(1));
         assert_eq!(sessions.len(), 2);
-        let a = sessions.iter().find(|s| s.entity == Entity::User("a".into())).unwrap();
+        let a = sessions
+            .iter()
+            .find(|s| s.entity == Entity::User("a".into()))
+            .unwrap();
         assert_eq!(a.len(), 2);
     }
 

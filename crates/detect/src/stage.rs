@@ -66,9 +66,7 @@ impl Stage {
             | Phase::Persistence
             | Phase::CredentialAccess => Stage::Foothold,
             Phase::PrivilegeEscalation | Phase::DefenseEvasion => Stage::Escalation,
-            Phase::LateralMovement | Phase::Collection | Phase::CommandAndControl => {
-                Stage::Lateral
-            }
+            Phase::LateralMovement | Phase::Collection | Phase::CommandAndControl => Stage::Lateral,
             Phase::Exfiltration | Phase::Impact => Stage::Damage,
         }
     }

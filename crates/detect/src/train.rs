@@ -28,7 +28,10 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { smoothing: 0.05, benign_weight: 1.0 }
+        TrainConfig {
+            smoothing: 0.05,
+            benign_weight: 1.0,
+        }
     }
 }
 
@@ -66,14 +69,24 @@ pub fn toy_training_model() -> ChainModel {
     let mk = |kinds: &[AlertKind]| {
         let mut inc = Incident::new(IncidentId(0), "train", 2020);
         for (i, &k) in kinds.iter().enumerate() {
-            inc.push_alert(Alert::new(SimTime::from_secs(i as u64), k, Entity::User("a".into())));
+            inc.push_alert(Alert::new(
+                SimTime::from_secs(i as u64),
+                k,
+                Entity::User("a".into()),
+            ));
         }
         inc
     };
     use AlertKind::*;
     // Rootkit / S1 family.
     for _ in 0..6 {
-        store.add(mk(&[PortScan, DownloadSensitive, CompileKernelModule, LogWipe, DataExfiltration]));
+        store.add(mk(&[
+            PortScan,
+            DownloadSensitive,
+            CompileKernelModule,
+            LogWipe,
+            DataExfiltration,
+        ]));
     }
     // Ransomware family (the §V case study shape).
     for _ in 0..6 {
@@ -114,14 +127,29 @@ pub fn toy_training_model() -> ChainModel {
     }
     // Known-malware smash-and-grab.
     for _ in 0..3 {
-        store.add(mk(&[KnownMalwareDownload, ReverseShellPattern, PrivilegeEscalation]));
+        store.add(mk(&[
+            KnownMalwareDownload,
+            ReverseShellPattern,
+            PrivilegeEscalation,
+        ]));
     }
     // Scan-only campaigns that never escalate — Remark 2: most attempts
     // fail. Without these, the transition prior alone would carry any
     // post-scan alert into Foothold (a false-positive machine).
     for _ in 0..12 {
-        store.add(mk(&[PortScan, AddressSweep, VulnScan, PortScan, RepeatedProbeDb]));
-        store.add(mk(&[AddressSweep, BruteForcePassword, BruteForcePassword, PortScan]));
+        store.add(mk(&[
+            PortScan,
+            AddressSweep,
+            VulnScan,
+            PortScan,
+            RepeatedProbeDb,
+        ]));
+        store.add(mk(&[
+            AddressSweep,
+            BruteForcePassword,
+            BruteForcePassword,
+            PortScan,
+        ]));
     }
 
     // Benign sessions: logins, jobs, compiles, transfers.
@@ -164,8 +192,10 @@ mod tests {
         );
         // Foothold state emits download-sensitive far more than benign does.
         assert!(
-            m.emit(Stage::Foothold.index(), AlertKind::DownloadSensitive.index())
-                > 10.0 * m.emit(Stage::Benign.index(), AlertKind::DownloadSensitive.index())
+            m.emit(
+                Stage::Foothold.index(),
+                AlertKind::DownloadSensitive.index()
+            ) > 10.0 * m.emit(Stage::Benign.index(), AlertKind::DownloadSensitive.index())
         );
     }
 
@@ -183,9 +213,14 @@ mod tests {
     fn filtering_separates_attack_from_benign() {
         let m = toy_training_model();
         use AlertKind::*;
-        let attack: Vec<usize> =
-            [DownloadSensitive, CompileKernelModule].iter().map(|k| k.index()).collect();
-        let benign: Vec<usize> = [LoginSuccess, JobSubmit].iter().map(|k| k.index()).collect();
+        let attack: Vec<usize> = [DownloadSensitive, CompileKernelModule]
+            .iter()
+            .map(|k| k.index())
+            .collect();
+        let benign: Vec<usize> = [LoginSuccess, JobSubmit]
+            .iter()
+            .map(|k| k.index())
+            .collect();
         let (a, _) = m.filter(&attack);
         let (b, _) = m.filter(&benign);
         let attack_mass = |p: &[f64]| {

@@ -27,16 +27,19 @@ pub struct ChainModel {
 
 fn assert_distribution(v: &[f64], what: &str) {
     let sum: f64 = v.iter().sum();
-    assert!(
-        (sum - 1.0).abs() < 1e-6,
-        "{what} must sum to 1 (got {sum})"
-    );
+    assert!((sum - 1.0).abs() < 1e-6, "{what} must sum to 1 (got {sum})");
     assert!(v.iter().all(|&x| x >= 0.0), "{what} must be non-negative");
 }
 
 impl ChainModel {
     /// Create a model, validating that every row is a distribution.
-    pub fn new(n_states: usize, n_obs: usize, prior: Vec<f64>, trans: Vec<f64>, emit: Vec<f64>) -> ChainModel {
+    pub fn new(
+        n_states: usize,
+        n_obs: usize,
+        prior: Vec<f64>,
+        trans: Vec<f64>,
+        emit: Vec<f64>,
+    ) -> ChainModel {
         assert_eq!(prior.len(), n_states);
         assert_eq!(trans.len(), n_states * n_states);
         assert_eq!(emit.len(), n_states * n_obs);
@@ -45,7 +48,13 @@ impl ChainModel {
             assert_distribution(&trans[s * n_states..(s + 1) * n_states], "transition row");
             assert_distribution(&emit[s * n_obs..(s + 1) * n_obs], "emission row");
         }
-        ChainModel { n_states, n_obs, prior, trans, emit }
+        ChainModel {
+            n_states,
+            n_obs,
+            prior,
+            trans,
+            emit,
+        }
     }
 
     pub fn n_states(&self) -> usize {
@@ -75,6 +84,7 @@ impl ChainModel {
     /// Forward (filtering) pass: `alpha[t][s] = P(s_t = s | o_1..o_t)`,
     /// plus the log-likelihood of the observations. This is the quantity an
     /// online preemption model thresholds after every alert.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn filter(&self, obs: &[usize]) -> (Vec<Vec<f64>>, f64) {
         let s_n = self.n_states;
         let mut alphas = Vec::with_capacity(obs.len());
@@ -106,9 +116,7 @@ impl ChainModel {
                 // Impossible observation under the model: fall back to
                 // uniform and a heavy likelihood penalty.
                 let u = 1.0 / s_n as f64;
-                for x in &mut a {
-                    *x = u;
-                }
+                a.fill(u);
                 loglik += f64::MIN_POSITIVE.ln();
             }
             prev.clone_from(&a);
@@ -119,6 +127,7 @@ impl ChainModel {
 
     /// Smoothed posteriors `gamma[t][s] = P(s_t = s | o_1..o_n)` via scaled
     /// forward-backward.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn posteriors(&self, obs: &[usize]) -> Vec<Vec<f64>> {
         if obs.is_empty() {
             return Vec::new();
@@ -161,6 +170,7 @@ impl ChainModel {
 
     /// Viterbi MAP decode in log domain. Returns the best state sequence
     /// and its log-probability.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn viterbi(&self, obs: &[usize]) -> (Vec<usize>, f64) {
         if obs.is_empty() {
             return (Vec::new(), 0.0);
@@ -209,30 +219,110 @@ impl ChainModel {
     /// Build the equivalent factor graph for an observation sequence, with
     /// emissions reduced on the evidence. Used to cross-validate chain
     /// inference against generic BP.
+    ///
+    /// Allocates a fresh graph per call; repeated inference should hold a
+    /// [`ChainGraphBuffer`] and use [`ChainModel::fill_factor_graph`],
+    /// which rewrites tables in place whenever the sequence length is
+    /// unchanged.
     pub fn to_factor_graph(&self, obs: &[usize]) -> FactorGraph {
+        let mut buf = ChainGraphBuffer::new();
+        self.fill_factor_graph(obs, &mut buf);
+        buf.into_graph()
+    }
+
+    /// Materialize the factor graph for `obs` into `buf`. When the buffer
+    /// already holds a chain of the same length over the same state
+    /// count, only the table values are rewritten — no allocation, no
+    /// graph reconstruction — which also lets an attached
+    /// [`crate::BpWorkspace`] keep its shape index across sessions.
+    pub fn fill_factor_graph(&self, obs: &[usize], buf: &mut ChainGraphBuffer) {
+        let s = self.n_states;
+        if buf.len == obs.len() && buf.n_states == s {
+            // In-place refresh: factor 0 is prior × emission, factor t is
+            // transition × emission for step t.
+            if let Some(&o0) = obs.first() {
+                buf.graph
+                    .factor_mut(crate::graph::FactorId(0))
+                    .fill_from_fn(|a| self.prior[a[0]] * self.emit(a[0], o0));
+            }
+            for (t, &o) in obs.iter().enumerate().skip(1) {
+                buf.graph
+                    .factor_mut(crate::graph::FactorId(t as u32))
+                    .fill_from_fn(|a| self.trans(a[0], a[1]) * self.emit(a[1], o));
+            }
+            return;
+        }
         let mut g = FactorGraph::new();
-        let states: Vec<_> = obs.iter().map(|_| g.add_variable(self.n_states)).collect();
+        let states: Vec<_> = obs.iter().map(|_| g.add_variable(s)).collect();
         if let Some(&first) = states.first() {
-            // Prior × emission at t=0.
             let o0 = obs[0];
-            let table: Vec<f64> = (0..self.n_states).map(|s| self.prior[s] * self.emit(s, o0)).collect();
-            g.add_factor(Factor::new(vec![first], vec![self.n_states], table));
+            let table: Vec<f64> = (0..s)
+                .map(|st| self.prior[st] * self.emit(st, o0))
+                .collect();
+            g.add_factor(Factor::new(vec![first], vec![s], table));
         }
         for t in 1..states.len() {
             let o = obs[t];
             let (a, b) = (states[t - 1], states[t]);
-            let table = Factor::from_fn(
-                vec![a, b],
-                vec![self.n_states, self.n_states],
-                |assign| self.trans(assign[0], assign[1]) * self.emit(assign[1], o),
-            );
-            g.add_factor(table);
+            g.add_factor(Factor::from_fn(vec![a, b], vec![s, s], |assign| {
+                self.trans(assign[0], assign[1]) * self.emit(assign[1], o)
+            }));
         }
-        g
+        buf.graph = g;
+        buf.len = obs.len();
+        buf.n_states = s;
+    }
+}
+
+/// A reusable chain-graph buffer: holds the materialized factor graph of
+/// the most recent observation sequence so same-length refills rewrite
+/// factor tables in place instead of rebuilding the graph.
+#[derive(Debug, Clone, Default)]
+pub struct ChainGraphBuffer {
+    graph: FactorGraph,
+    len: usize,
+    n_states: usize,
+}
+
+impl ChainGraphBuffer {
+    pub fn new() -> ChainGraphBuffer {
+        ChainGraphBuffer::default()
+    }
+
+    /// The factor graph of the last [`ChainModel::fill_factor_graph`].
+    pub fn graph(&self) -> &FactorGraph {
+        &self.graph
+    }
+
+    /// Append an extra factor on top of the chain (e.g. a skip-agreement
+    /// factor of the session model). Appended factors sit after the
+    /// chain factors, so a same-length [`ChainModel::fill_factor_graph`]
+    /// refresh leaves them intact.
+    pub fn append_factor(&mut self, factor: Factor) -> crate::graph::FactorId {
+        self.graph.add_factor(factor)
+    }
+
+    /// Drop the materialized graph so the next fill rebuilds from
+    /// scratch (used when appended factors must change).
+    pub fn reset(&mut self) {
+        self.graph = FactorGraph::new();
+        self.len = 0;
+        self.n_states = 0;
+    }
+
+    /// Chain length currently materialized.
+    pub fn chain_len(&self) -> usize {
+        self.len
+    }
+
+    /// Consume the buffer, yielding the graph.
+    pub fn into_graph(self) -> FactorGraph {
+        self.graph
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::sumproduct::{brute_force_marginals, run, BpOptions};

@@ -1,0 +1,1609 @@
+//! The belief-propagation engine core shared by [`crate::sumproduct`]
+//! and [`crate::maxproduct`].
+//!
+//! Messages live in two flat `f64` arenas indexed by precomputed edge
+//! offsets rather than per-edge `Vec`s:
+//!
+//! - the **variable→factor** arena is laid out *variable-grouped*: every
+//!   variable's outgoing messages are contiguous, so the variable sweep
+//!   writes disjoint contiguous slices;
+//! - the **factor→variable** arena is laid out *factor-grouped*: every
+//!   factor's outgoing messages are contiguous, so the factor sweep
+//!   writes disjoint contiguous slices.
+//!
+//! Each sweep phase only *reads* the other arena, which makes the
+//! flooding schedule embarrassingly parallel without double buffering:
+//! the parallel schedule computes bit-identical messages to the serial
+//! one, it just partitions the writes across threads with recursive
+//! `rayon::join` splits.
+//!
+//! Factor→variable marginalization walks tables with stride arithmetic:
+//! unary factors copy, pairwise factors run a matrix–vector kernel, and
+//! higher arities expand the full incoming-message product in one O(size)
+//! pass and then divide out the target position's own message (with an
+//! exact odometer fallback for (near-)zero entries, the only place an
+//! assignment vector survives).
+//!
+//! A [`BpWorkspace`] is built once per graph *shape* and reused across
+//! runs: once `prepare` has seen the shape, repeated serial-schedule runs
+//! perform **zero heap allocation** (asserted by
+//! `tests/alloc_free.rs`).
+
+use crate::graph::{FactorGraph, FactorId};
+use crate::variable::VarId;
+
+/// Below this value a message entry is treated as zero and the
+/// divide-out-own-message shortcut falls back to the exact odometer walk.
+const DIV_EPS: f64 = 1e-290;
+
+/// Message-passing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BpSchedule {
+    /// Serial flooding sweep (variables, then factors). The default.
+    #[default]
+    Flood,
+    /// Flooding sweep with both phases parallelized over disjoint arena
+    /// slices (`rayon::join` splits). Identical results to [`Flood`],
+    /// worth it on large session graphs.
+    ///
+    /// [`Flood`]: BpSchedule::Flood
+    ParallelFlood,
+    /// Residual-priority serial schedule: always update the factor whose
+    /// inputs changed most. Converges in far fewer message updates on
+    /// loopy session graphs.
+    Residual,
+}
+
+/// Counters from an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpStats {
+    /// Flooding iterations (for the residual schedule: total factor
+    /// updates divided by the factor count, rounded up).
+    pub iterations: usize,
+    /// Whether the message deltas fell below tolerance.
+    pub converged: bool,
+    /// Individual factor→variable message-set updates performed.
+    pub factor_updates: usize,
+}
+
+/// Static shape index of a factor graph: CSR adjacency in both
+/// directions, message-arena offsets, and table strides.
+#[derive(Debug, Clone, Default)]
+struct GraphIndex {
+    nv: usize,
+    nf: usize,
+    /// CSR: edge ids (factor-grouped) of factor `fi` are
+    /// `factor_edge_start[fi]..factor_edge_start[fi+1]`.
+    factor_edge_start: Vec<u32>,
+    /// Per edge (factor-grouped): scope variable.
+    edge_var: Vec<u32>,
+    /// Per edge: owning factor (inverse of the CSR, O(1) lookups).
+    edge_factor: Vec<u32>,
+    /// Per edge: variable cardinality (= message length).
+    edge_card: Vec<u32>,
+    /// Per edge: stride of this scope position in the factor table.
+    edge_stride: Vec<u32>,
+    /// Per edge: offset of its factor→variable message in the
+    /// factor-grouped arena.
+    edge_f2v_off: Vec<u32>,
+    /// Per edge: offset of its variable→factor message in the
+    /// variable-grouped arena.
+    edge_v2f_off: Vec<u32>,
+    /// Per variable: cardinality.
+    var_card: Vec<u32>,
+    /// CSR: positions into `var_edge_ids` per variable.
+    var_edge_start: Vec<u32>,
+    /// Edge ids (factor-grouped numbering) incident to each variable.
+    var_edge_ids: Vec<u32>,
+    /// Per variable: start of its contiguous block in the
+    /// variable-grouped arena.
+    var_v2f_start: Vec<u32>,
+    /// Per variable: offset of its belief in the belief arena.
+    var_belief_off: Vec<u32>,
+    /// Total message floats (length of each arena).
+    arena_len: usize,
+    /// Total belief floats.
+    belief_len: usize,
+    max_card: usize,
+    max_degree: usize,
+    max_table: usize,
+    max_arity: usize,
+    /// Whether the graph is a forest — in which case every schedule
+    /// short-circuits to the exact two-pass tree sweep.
+    is_forest: bool,
+    /// BFS order over bipartite nodes (vars `0..nv`, factors `nv..`),
+    /// roots first; drives the tree sweep.
+    bfs_order: Vec<u32>,
+    /// Per bipartite node: the edge to its BFS parent (`NO_PARENT` for
+    /// roots). Only meaningful when `is_forest`.
+    parent_edge: Vec<u32>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl GraphIndex {
+    #[allow(clippy::needless_range_loop)] // offsets accumulate across arrays
+    fn build(graph: &FactorGraph) -> GraphIndex {
+        let nv = graph.num_variables();
+        let nf = graph.num_factors();
+        let mut idx = GraphIndex {
+            nv,
+            nf,
+            ..GraphIndex::default()
+        };
+
+        idx.var_card = graph.variables().iter().map(|v| v.card as u32).collect();
+        idx.max_card = graph.variables().iter().map(|v| v.card).max().unwrap_or(0);
+
+        // Factor-grouped edges + strides + f2v offsets.
+        idx.factor_edge_start = Vec::with_capacity(nf + 1);
+        idx.factor_edge_start.push(0);
+        let mut f2v_off = 0u32;
+        for f in graph.factors() {
+            let arity = f.vars().len();
+            idx.max_arity = idx.max_arity.max(arity);
+            idx.max_table = idx.max_table.max(f.size());
+            let mut stride = f.size() as u32;
+            let fi = idx.factor_edge_start.len() as u32 - 1;
+            for (pos, v) in f.vars().iter().enumerate() {
+                let card = f.cards()[pos] as u32;
+                stride /= card;
+                idx.edge_var.push(v.0);
+                idx.edge_factor.push(fi);
+                idx.edge_card.push(card);
+                idx.edge_stride.push(stride);
+                idx.edge_f2v_off.push(f2v_off);
+                idx.edge_v2f_off.push(0); // filled below
+                f2v_off += card;
+            }
+            idx.factor_edge_start.push(idx.edge_var.len() as u32);
+        }
+        idx.arena_len = f2v_off as usize;
+
+        // Variable-grouped incidence + v2f offsets + belief offsets.
+        let mut degree = vec![0u32; nv];
+        for &v in &idx.edge_var {
+            degree[v as usize] += 1;
+        }
+        idx.max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+        idx.var_edge_start = Vec::with_capacity(nv + 1);
+        idx.var_edge_start.push(0);
+        idx.var_v2f_start = Vec::with_capacity(nv);
+        idx.var_belief_off = Vec::with_capacity(nv);
+        let mut v2f_off = 0u32;
+        let mut belief_off = 0u32;
+        let mut acc = 0u32;
+        for v in 0..nv {
+            idx.var_v2f_start.push(v2f_off);
+            idx.var_belief_off.push(belief_off);
+            acc += degree[v];
+            idx.var_edge_start.push(acc);
+            v2f_off += degree[v] * idx.var_card[v];
+            belief_off += idx.var_card[v];
+        }
+        idx.belief_len = belief_off as usize;
+
+        // Fill var_edge_ids and edge_v2f_off in variable-grouped order.
+        idx.var_edge_ids = vec![0u32; idx.edge_var.len()];
+        let mut cursor: Vec<u32> = idx.var_edge_start[..nv].to_vec();
+        let mut slot: Vec<u32> = idx.var_v2f_start.clone();
+        for eid in 0..idx.edge_var.len() {
+            let v = idx.edge_var[eid] as usize;
+            idx.var_edge_ids[cursor[v] as usize] = eid as u32;
+            cursor[v] += 1;
+            idx.edge_v2f_off[eid] = slot[v];
+            slot[v] += idx.var_card[v];
+        }
+
+        // BFS forest over the bipartite graph: nodes are vars (0..nv)
+        // and factors (nv..nv+nf). A graph is a forest iff every edge is
+        // a tree edge: edges == nodes - components.
+        let nodes = nv + nf;
+        idx.parent_edge = vec![NO_PARENT; nodes];
+        idx.bfs_order = Vec::with_capacity(nodes);
+        let mut visited = vec![false; nodes];
+        let mut components = 0usize;
+        for root in 0..nodes {
+            if visited[root] {
+                continue;
+            }
+            components += 1;
+            visited[root] = true;
+            idx.bfs_order.push(root as u32);
+            let mut head = idx.bfs_order.len() - 1;
+            while head < idx.bfs_order.len() {
+                let node = idx.bfs_order[head] as usize;
+                head += 1;
+                // Direct field indexing (not the CSR helper methods):
+                // the queue grows while adjacency is being read.
+                let edges = if node < nv {
+                    idx.var_edge_start[node]..idx.var_edge_start[node + 1]
+                } else {
+                    idx.factor_edge_start[node - nv]..idx.factor_edge_start[node - nv + 1]
+                };
+                for k in edges {
+                    let eid = if node < nv {
+                        idx.var_edge_ids[k as usize]
+                    } else {
+                        k
+                    };
+                    let peer = if node < nv {
+                        nv + idx.edge_factor[eid as usize] as usize
+                    } else {
+                        idx.edge_var[eid as usize] as usize
+                    };
+                    if !visited[peer] {
+                        visited[peer] = true;
+                        idx.parent_edge[peer] = eid;
+                        idx.bfs_order.push(peer as u32);
+                    }
+                }
+            }
+        }
+        idx.is_forest = idx.edge_var.len() == nodes - components;
+        idx
+    }
+
+    /// Whether this index still describes `graph`'s shape (same
+    /// variables, cardinalities, factor scopes). Allocation-free.
+    fn matches(&self, graph: &FactorGraph) -> bool {
+        if graph.num_variables() != self.nv || graph.num_factors() != self.nf {
+            return false;
+        }
+        if graph
+            .variables()
+            .iter()
+            .zip(&self.var_card)
+            .any(|(v, &c)| v.card as u32 != c)
+        {
+            return false;
+        }
+        let mut eid = 0usize;
+        for (fi, f) in graph.factors().iter().enumerate() {
+            let end = self.factor_edge_start[fi + 1] as usize;
+            if eid + f.vars().len() != end {
+                return false;
+            }
+            for v in f.vars() {
+                if self.edge_var[eid] != v.0 {
+                    return false;
+                }
+                eid += 1;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn factor_edges(&self, fi: usize) -> std::ops::Range<usize> {
+        self.factor_edge_start[fi] as usize..self.factor_edge_start[fi + 1] as usize
+    }
+
+    #[inline]
+    fn var_edges(&self, vi: usize) -> &[u32] {
+        &self.var_edge_ids[self.var_edge_start[vi] as usize..self.var_edge_start[vi + 1] as usize]
+    }
+}
+
+/// Reusable inference state: the shape index, both message arenas, the
+/// belief arena, and every scratch buffer the sweeps need. Build (or
+/// [`prepare`](BpWorkspace::prepare)) once per graph shape; rerun freely.
+#[derive(Debug, Clone, Default)]
+pub struct BpWorkspace {
+    idx: GraphIndex,
+    /// Variable→factor messages, variable-grouped.
+    v2f: Vec<f64>,
+    /// Factor→variable messages, factor-grouped.
+    f2v: Vec<f64>,
+    /// Normalized beliefs, one block per variable.
+    beliefs: Vec<f64>,
+    /// Per-message scratch (max cardinality).
+    scratch: Vec<f64>,
+    /// Prefix products for the variable sweep (max_degree × max_card).
+    pre: Vec<f64>,
+    /// Suffix products for the variable sweep.
+    suf: Vec<f64>,
+    /// Full-table product expansion for arity ≥ 3 factors.
+    prod: Vec<f64>,
+    /// Odometer digits for the zero-message fallback path.
+    digits: Vec<usize>,
+    /// Residual-schedule priority heap: (residual, factor) with lazy
+    /// invalidation against `residuals`.
+    heap: Vec<(f64, u32)>,
+    /// Current residual per factor.
+    residuals: Vec<f64>,
+    /// Per-factor structure classification, rebuilt per run (tables can
+    /// be refreshed in place between runs): `(same, diff)` for pairwise
+    /// agreement tables, NaN sentinel for dense ones.
+    agreement: Vec<(f64, f64)>,
+}
+
+impl BpWorkspace {
+    /// Build a workspace sized for `graph`.
+    pub fn new(graph: &FactorGraph) -> BpWorkspace {
+        let mut ws = BpWorkspace::default();
+        ws.rebuild(graph);
+        ws
+    }
+
+    /// Point the workspace at `graph`: reuses every buffer when the shape
+    /// matches the previous run (the zero-allocation steady state),
+    /// rebuilds the index otherwise. Returns `true` if a rebuild
+    /// happened.
+    pub fn prepare(&mut self, graph: &FactorGraph) -> bool {
+        if self.idx.matches(graph) {
+            return false;
+        }
+        self.rebuild(graph);
+        true
+    }
+
+    fn rebuild(&mut self, graph: &FactorGraph) {
+        self.idx = GraphIndex::build(graph);
+        let idx = &self.idx;
+        self.v2f.resize(idx.arena_len, 0.0);
+        self.f2v.resize(idx.arena_len, 0.0);
+        self.beliefs.resize(idx.belief_len, 0.0);
+        self.scratch.resize(2 * idx.max_card, 0.0);
+        self.pre.resize(idx.max_degree * idx.max_card, 0.0);
+        self.suf.resize(idx.max_degree * idx.max_card, 0.0);
+        self.prod.resize(idx.max_table, 0.0);
+        self.digits.resize(idx.max_arity, 0);
+        self.residuals.resize(idx.nf, 0.0);
+        self.agreement.resize(idx.nf, (f64::NAN, f64::NAN));
+        self.heap.clear();
+        self.heap
+            .reserve(heap_capacity(idx.nf).saturating_sub(self.heap.capacity()));
+    }
+
+    /// Number of message floats per arena (edges weighted by cardinality).
+    pub fn arena_len(&self) -> usize {
+        self.idx.arena_len
+    }
+
+    /// The normalized belief of `var` from the last run.
+    pub fn marginal(&self, var: VarId) -> &[f64] {
+        let vi = var.0 as usize;
+        let off = self.idx.var_belief_off[vi] as usize;
+        &self.beliefs[off..off + self.idx.var_card[vi] as usize]
+    }
+
+    /// Allocating convenience: beliefs as one `Vec` per variable.
+    pub fn marginals_vec(&self) -> Vec<Vec<f64>> {
+        (0..self.idx.nv)
+            .map(|vi| self.marginal(VarId(vi as u32)).to_vec())
+            .collect()
+    }
+
+    /// MAP decode per variable from the current beliefs (ties toward the
+    /// lower state), written into `out` without allocating beyond its
+    /// capacity.
+    pub fn map_assignment_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for vi in 0..self.idx.nv {
+            let m = self.marginal(VarId(vi as u32));
+            let mut best = 0;
+            for (k, &x) in m.iter().enumerate() {
+                if x > m[best] {
+                    best = k;
+                }
+            }
+            out.push(best);
+        }
+    }
+
+    /// Classify pairwise factors whose table is `same` on the diagonal
+    /// and `diff` off it (the session model's skip-agreement factors):
+    /// those marginalize in O(card) instead of O(card²). Runs once per
+    /// `run` because tables may be refreshed in place between runs.
+    fn classify_factors(&mut self, graph: &FactorGraph) {
+        for (slot, f) in self.agreement.iter_mut().zip(graph.factors()) {
+            *slot = (f64::NAN, f64::NAN);
+            let cards = f.cards();
+            if cards.len() != 2 || cards[0] != cards[1] || cards[0] < 2 {
+                continue;
+            }
+            let c = cards[0];
+            let t = f.table();
+            let (same, diff) = (t[0], t[1]);
+            let uniform =
+                (0..c).all(|i| (0..c).all(|j| t[i * c + j] == if i == j { same } else { diff }));
+            if uniform {
+                *slot = (same, diff);
+            }
+        }
+    }
+
+    fn reset_messages<const MAX: bool>(&mut self) {
+        for eid in 0..self.idx.edge_var.len() {
+            let card = self.idx.edge_card[eid] as usize;
+            let init = if MAX { 1.0 } else { 1.0 / card as f64 };
+            let vo = self.idx.edge_v2f_off[eid] as usize;
+            self.v2f[vo..vo + card].fill(init);
+            let fo = self.idx.edge_f2v_off[eid] as usize;
+            self.f2v[fo..fo + card].fill(init);
+        }
+    }
+
+    /// Run the engine. `MAX=false` is sum-product, `MAX=true` is
+    /// max-product. Allocation-free when `prepare` did not rebuild and
+    /// the schedule is serial.
+    pub(crate) fn run<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        opts: &crate::sumproduct::BpOptions,
+    ) -> BpStats {
+        self.prepare(graph);
+        self.classify_factors(graph);
+        self.reset_messages::<MAX>();
+        // On forests every schedule short-circuits to the exact two-pass
+        // tree sweep: O(2·edges) message sends instead of O(diameter)
+        // flooding iterations, no damping needed (the result is the BP
+        // fixed point computed directly).
+        let stats = if self.idx.is_forest {
+            self.run_tree::<MAX>(graph)
+        } else {
+            match opts.schedule {
+                BpSchedule::Flood => self.run_flood::<MAX>(graph, opts, false),
+                BpSchedule::ParallelFlood => self.run_flood::<MAX>(graph, opts, true),
+                BpSchedule::Residual => self.run_residual::<MAX>(graph, opts),
+            }
+        };
+        self.compute_beliefs::<MAX>();
+        stats
+    }
+
+    /// Exact two-pass message passing on a forest: leaves→roots, then
+    /// roots→leaves, each directed edge computed exactly once.
+    fn run_tree<const MAX: bool>(&mut self, graph: &FactorGraph) -> BpStats {
+        let idx = &self.idx;
+        let nv = idx.nv;
+        // Upward: reverse BFS order, every non-root node sends to its
+        // parent. All inputs of a message are final when it is sent.
+        for i in (0..idx.bfs_order.len()).rev() {
+            let node = idx.bfs_order[i] as usize;
+            let pe = idx.parent_edge[node];
+            if pe == NO_PARENT {
+                continue;
+            }
+            if node < nv {
+                send_var_exact::<MAX>(idx, node, pe as usize, &self.f2v, &mut self.v2f);
+            } else {
+                send_factor_exact::<MAX>(
+                    idx,
+                    graph,
+                    node - nv,
+                    pe as usize,
+                    &self.v2f,
+                    &mut self.f2v,
+                    &mut self.prod,
+                    &mut self.digits,
+                );
+            }
+        }
+        // Downward: BFS order, every node sends along its child edges
+        // (the edges whose other endpoint has them as parent edge).
+        for i in 0..idx.bfs_order.len() {
+            let node = idx.bfs_order[i] as usize;
+            if node < nv {
+                for k in idx.var_edge_start[node]..idx.var_edge_start[node + 1] {
+                    let eid = idx.var_edge_ids[k as usize] as usize;
+                    let peer = nv + idx.edge_factor[eid] as usize;
+                    if idx.parent_edge[peer] == eid as u32 {
+                        send_var_exact::<MAX>(idx, node, eid, &self.f2v, &mut self.v2f);
+                    }
+                }
+            } else {
+                for eid in idx.factor_edges(node - nv) {
+                    let peer = idx.edge_var[eid] as usize;
+                    if idx.parent_edge[peer] == eid as u32 {
+                        send_factor_exact::<MAX>(
+                            idx,
+                            graph,
+                            node - nv,
+                            eid,
+                            &self.v2f,
+                            &mut self.f2v,
+                            &mut self.prod,
+                            &mut self.digits,
+                        );
+                    }
+                }
+            }
+        }
+        BpStats {
+            iterations: if idx.nf == 0 { 1 } else { 2 },
+            converged: true,
+            factor_updates: idx.nf,
+        }
+    }
+
+    fn run_flood<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        opts: &crate::sumproduct::BpOptions,
+        parallel: bool,
+    ) -> BpStats {
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut factor_updates = 0;
+        for iter in 0..opts.max_iters {
+            iterations = iter + 1;
+            factor_updates += self.idx.nf;
+            let delta = if parallel {
+                self.flood_iteration_parallel::<MAX>(graph, opts.damping)
+            } else {
+                self.flood_iteration_serial::<MAX>(graph, opts.damping)
+            };
+            if delta < opts.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        BpStats {
+            iterations,
+            converged,
+            factor_updates,
+        }
+    }
+
+    fn flood_iteration_serial<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        damping: f64,
+    ) -> f64 {
+        let idx = &self.idx;
+        let mut max_delta = 0.0f64;
+        // Phase 1: variable → factor (reads f2v, writes v2f).
+        for vi in 0..idx.nv {
+            let start = idx.var_v2f_start[vi] as usize;
+            let deg = idx.var_edges(vi).len();
+            let len = deg * idx.var_card[vi] as usize;
+            let d = update_var_messages::<MAX>(
+                idx,
+                vi,
+                &self.f2v,
+                &mut self.v2f[start..start + len],
+                &mut self.pre,
+                &mut self.suf,
+                damping,
+            );
+            max_delta = max_delta.max(d);
+        }
+        // Phase 2: factor → variable (reads v2f, writes f2v).
+        for fi in 0..idx.nf {
+            let edges = idx.factor_edges(fi);
+            if edges.is_empty() {
+                continue;
+            }
+            let start = idx.edge_f2v_off[edges.start] as usize;
+            let end =
+                idx.edge_f2v_off[edges.end - 1] as usize + idx.edge_card[edges.end - 1] as usize;
+            let d = update_factor_messages::<MAX>(
+                idx,
+                graph,
+                fi,
+                self.agreement[fi],
+                &self.v2f,
+                &mut self.f2v[start..start + (end - start)],
+                &mut self.prod,
+                &mut self.digits,
+                &mut self.scratch,
+                damping,
+            );
+            max_delta = max_delta.max(d);
+        }
+        max_delta
+    }
+
+    fn flood_iteration_parallel<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        damping: f64,
+    ) -> f64 {
+        // On a single hardware thread the split overhead (and per-chunk
+        // scratch) buys nothing: fall through to the serial sweep, which
+        // computes identical messages anyway.
+        if rayon::current_num_threads() <= 1 {
+            return self.flood_iteration_serial::<MAX>(graph, damping);
+        }
+        let idx = &self.idx;
+        let d1 = par_var_sweep::<MAX>(idx, &self.f2v, 0, idx.nv, &mut self.v2f, damping);
+        let d2 = par_factor_sweep::<MAX>(
+            idx,
+            graph,
+            &self.agreement,
+            &self.v2f,
+            0,
+            idx.nf,
+            &mut self.f2v,
+            damping,
+        );
+        d1.max(d2)
+    }
+
+    fn run_residual<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        opts: &crate::sumproduct::BpOptions,
+    ) -> BpStats {
+        let nf = self.idx.nf;
+        if nf == 0 {
+            return BpStats {
+                iterations: 1,
+                converged: true,
+                factor_updates: 0,
+            };
+        }
+        // Seed with one serial flooding iteration; its per-factor deltas
+        // become the initial residuals.
+        self.heap.clear();
+        let mut factor_updates = nf;
+        {
+            let idx = &self.idx;
+            for vi in 0..idx.nv {
+                let start = idx.var_v2f_start[vi] as usize;
+                let len = idx.var_edges(vi).len() * idx.var_card[vi] as usize;
+                update_var_messages::<MAX>(
+                    idx,
+                    vi,
+                    &self.f2v,
+                    &mut self.v2f[start..start + len],
+                    &mut self.pre,
+                    &mut self.suf,
+                    opts.damping,
+                );
+            }
+        }
+        for fi in 0..nf {
+            let d = self.update_one_factor::<MAX>(graph, fi, opts.damping);
+            self.residuals[fi] = d;
+            heap_push(&mut self.heap, &self.residuals, (d, fi as u32));
+        }
+        // Priority loop: total update budget mirrors flooding's worst case.
+        let budget = opts.max_iters.saturating_mul(nf);
+        let mut converged = false;
+        while let Some((res, fi)) = heap_pop(&mut self.heap, &self.residuals) {
+            if res < opts.tolerance {
+                converged = true;
+                break;
+            }
+            if factor_updates >= budget {
+                break;
+            }
+            factor_updates += 1;
+            let fi = fi as usize;
+            // Refresh the inputs of `fi`: only the messages *into* this
+            // factor, one per scope variable.
+            {
+                let idx = &self.idx;
+                for e in idx.factor_edges(fi) {
+                    send_var_damped::<MAX>(
+                        idx,
+                        e,
+                        &self.f2v,
+                        &mut self.v2f,
+                        &mut self.scratch,
+                        opts.damping,
+                    );
+                }
+            }
+            let d = self.update_one_factor::<MAX>(graph, fi, opts.damping);
+            self.residuals[fi] = 0.0;
+            // The change propagates to every other factor sharing a
+            // variable with `fi`.
+            for e in self.idx.factor_edges(fi) {
+                let vi = self.idx.edge_var[e] as usize;
+                for k in self.idx.var_edge_start[vi]..self.idx.var_edge_start[vi + 1] {
+                    let other_eid = self.idx.var_edge_ids[k as usize] as usize;
+                    let other_fi = self.idx.factor_of_edge(other_eid);
+                    if other_fi != fi && d > self.residuals[other_fi] {
+                        self.residuals[other_fi] = d;
+                        heap_push(&mut self.heap, &self.residuals, (d, other_fi as u32));
+                    }
+                }
+            }
+        }
+        if self.heap.is_empty() {
+            converged = true;
+        }
+        BpStats {
+            iterations: factor_updates.div_ceil(nf),
+            converged,
+            factor_updates,
+        }
+    }
+
+    fn update_one_factor<const MAX: bool>(
+        &mut self,
+        graph: &FactorGraph,
+        fi: usize,
+        damping: f64,
+    ) -> f64 {
+        let idx = &self.idx;
+        let edges = idx.factor_edges(fi);
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let start = idx.edge_f2v_off[edges.start] as usize;
+        let end = idx.edge_f2v_off[edges.end - 1] as usize + idx.edge_card[edges.end - 1] as usize;
+        update_factor_messages::<MAX>(
+            idx,
+            graph,
+            fi,
+            self.agreement[fi],
+            &self.v2f,
+            &mut self.f2v[start..end],
+            &mut self.prod,
+            &mut self.digits,
+            &mut self.scratch,
+            damping,
+        )
+    }
+
+    fn compute_beliefs<const MAX: bool>(&mut self) {
+        let idx = &self.idx;
+        for vi in 0..idx.nv {
+            let off = idx.var_belief_off[vi] as usize;
+            let card = idx.var_card[vi] as usize;
+            let belief = &mut self.beliefs[off..off + card];
+            belief.fill(1.0);
+            for &eid in idx.var_edges(vi) {
+                let fo = idx.edge_f2v_off[eid as usize] as usize;
+                for (k, b) in belief.iter_mut().enumerate() {
+                    *b *= self.f2v[fo + k];
+                }
+            }
+            // Beliefs are reported as distributions in both modes.
+            normalize_sum(belief);
+        }
+    }
+}
+
+impl GraphIndex {
+    /// The factor owning a (factor-grouped) edge id.
+    #[inline]
+    fn factor_of_edge(&self, eid: usize) -> usize {
+        self.edge_factor[eid] as usize
+    }
+}
+
+fn heap_capacity(nf: usize) -> usize {
+    (nf * 8).max(1024)
+}
+
+/// Push with lazy invalidation; compacts in place (never reallocates)
+/// when the preallocated capacity is reached.
+fn heap_push(heap: &mut Vec<(f64, u32)>, residuals: &[f64], entry: (f64, u32)) {
+    if heap.len() == heap.capacity() {
+        // Keep only entries that still reflect the live residual, one per
+        // factor (the first, i.e. topmost, occurrence wins).
+        let mut i = 0;
+        while i < heap.len() {
+            let (r, fi) = heap[i];
+            if (r - residuals[fi as usize]).abs() > f64::EPSILON * r.abs() {
+                heap.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Restore the heap property after the retains.
+        let n = heap.len();
+        for i in (0..n / 2).rev() {
+            sift_down(heap, i);
+        }
+        if heap.len() == heap.capacity() {
+            // Every factor live and distinct — cannot happen with
+            // capacity ≥ 8·nf, but stay safe.
+            return;
+        }
+    }
+    heap.push(entry);
+    let last = heap.len() - 1;
+    sift_up(heap, last);
+}
+
+fn heap_pop(heap: &mut Vec<(f64, u32)>, residuals: &[f64]) -> Option<(f64, u32)> {
+    while let Some(&(r, fi)) = heap.first() {
+        let n = heap.len();
+        heap.swap(0, n - 1);
+        heap.pop();
+        if !heap.is_empty() {
+            sift_down(heap, 0);
+        }
+        // Stale entries (superseded by a later push) are skipped.
+        if (r - residuals[fi as usize]).abs() <= f64::EPSILON * r.abs() {
+            return Some((r, fi));
+        }
+    }
+    None
+}
+
+fn sift_up(heap: &mut [(f64, u32)], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent].0 >= heap[i].0 {
+            break;
+        }
+        heap.swap(parent, i);
+        i = parent;
+    }
+}
+
+fn sift_down(heap: &mut [(f64, u32)], mut i: usize) {
+    let n = heap.len();
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut largest = i;
+        if l < n && heap[l].0 > heap[largest].0 {
+            largest = l;
+        }
+        if r < n && heap[r].0 > heap[largest].0 {
+            largest = r;
+        }
+        if largest == i {
+            return;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+#[inline]
+fn normalize_sum(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    } else {
+        let u = 1.0 / v.len() as f64;
+        v.fill(u);
+    }
+}
+
+#[inline]
+fn normalize_max(v: &mut [f64]) {
+    let m = v.iter().fold(0.0f64, |acc, &x| acc.max(x));
+    if m > 0.0 {
+        for x in v.iter_mut() {
+            *x /= m;
+        }
+    } else {
+        v.fill(1.0);
+    }
+}
+
+#[inline]
+fn normalize<const MAX: bool>(v: &mut [f64]) {
+    if MAX {
+        normalize_max(v)
+    } else {
+        normalize_sum(v)
+    }
+}
+
+/// Normalize-and-damp in one pass, without materializing the normalized
+/// message. Equivalent to `normalize::<MAX>(fresh); damp_into(..)` up to
+/// one ulp per entry (the division is replaced by a precomputed
+/// reciprocal — six serialized divides per message would dominate the
+/// sweep cost).
+#[inline]
+fn norm_damp_from<const MAX: bool>(slot: &mut [f64], fresh: &[f64], damping: f64) -> f64 {
+    let norm = if MAX {
+        fresh.iter().fold(0.0f64, |acc, &x| acc.max(x))
+    } else {
+        fresh.iter().sum()
+    };
+    let mut delta = 0.0f64;
+    if norm > 0.0 {
+        let scale = (1.0 - damping) / norm;
+        for (s, &f) in slot.iter_mut().zip(fresh) {
+            let new = f * scale + damping * *s;
+            delta = delta.max((new - *s).abs());
+            *s = new;
+        }
+    } else {
+        let u = if MAX { 1.0 } else { 1.0 / slot.len() as f64 };
+        for s in slot.iter_mut() {
+            let new = (1.0 - damping) * u + damping * *s;
+            delta = delta.max((new - *s).abs());
+            *s = new;
+        }
+    }
+    delta
+}
+
+/// Send one exact (undamped) var→factor message along `eid`: the
+/// normalized product of the variable's other incoming messages, written
+/// straight into the arena. Used by the tree sweep.
+fn send_var_exact<const MAX: bool>(
+    idx: &GraphIndex,
+    vi: usize,
+    eid: usize,
+    f2v: &[f64],
+    v2f: &mut [f64],
+) {
+    let card = idx.var_card[vi] as usize;
+    let off = idx.edge_v2f_off[eid] as usize;
+    let slot = &mut v2f[off..off + card];
+    slot.fill(1.0);
+    for k in idx.var_edge_start[vi]..idx.var_edge_start[vi + 1] {
+        let other = idx.var_edge_ids[k as usize] as usize;
+        if other == eid {
+            continue;
+        }
+        let fo = idx.edge_f2v_off[other] as usize;
+        for (s, &m) in slot.iter_mut().zip(&f2v[fo..fo + card]) {
+            *s *= m;
+        }
+    }
+    normalize::<MAX>(slot);
+}
+
+/// Send one damped var→factor message along `eid` (the residual
+/// schedule's input-refresh step). Returns the message delta.
+fn send_var_damped<const MAX: bool>(
+    idx: &GraphIndex,
+    eid: usize,
+    f2v: &[f64],
+    v2f: &mut [f64],
+    scratch: &mut [f64],
+    damping: f64,
+) -> f64 {
+    let vi = idx.edge_var[eid] as usize;
+    let card = idx.var_card[vi] as usize;
+    let fresh = &mut scratch[..card];
+    fresh.fill(1.0);
+    for k in idx.var_edge_start[vi]..idx.var_edge_start[vi + 1] {
+        let other = idx.var_edge_ids[k as usize] as usize;
+        if other == eid {
+            continue;
+        }
+        let fo = idx.edge_f2v_off[other] as usize;
+        for (s, &m) in fresh.iter_mut().zip(&f2v[fo..fo + card]) {
+            *s *= m;
+        }
+    }
+    let off = idx.edge_v2f_off[eid] as usize;
+    norm_damp_from::<MAX>(&mut v2f[off..off + card], fresh, damping)
+}
+
+/// Send one exact (undamped) factor→var message along `eid`, written
+/// straight into the arena. Used by the tree sweep.
+#[allow(clippy::too_many_arguments)]
+fn send_factor_exact<const MAX: bool>(
+    idx: &GraphIndex,
+    graph: &FactorGraph,
+    fi: usize,
+    eid: usize,
+    v2f: &[f64],
+    f2v: &mut [f64],
+    prod: &mut [f64],
+    digits: &mut [usize],
+) {
+    let edges = idx.factor_edges(fi);
+    let pos = eid - edges.start;
+    let table = graph.factor(FactorId(fi as u32)).table();
+    let card = idx.edge_card[eid] as usize;
+    let off = idx.edge_f2v_off[eid] as usize;
+    // Split so `out` can be written while other f2v slots stay shared.
+    let out: &mut [f64] = &mut f2v[off..off + card];
+    match edges.len() {
+        1 => out.copy_from_slice(&table[..card]),
+        2 => {
+            let other = if pos == 0 {
+                edges.start + 1
+            } else {
+                edges.start
+            };
+            let oc = idx.edge_card[other] as usize;
+            let m = {
+                let o = idx.edge_v2f_off[other] as usize;
+                &v2f[o..o + oc]
+            };
+            if pos == 0 {
+                for (a, slot) in out.iter_mut().enumerate() {
+                    let row = &table[a * oc..(a + 1) * oc];
+                    let mut acc = 0.0f64;
+                    if MAX {
+                        for (b, &t) in row.iter().enumerate() {
+                            acc = acc.max(t * m[b]);
+                        }
+                    } else {
+                        for (b, &t) in row.iter().enumerate() {
+                            acc += t * m[b];
+                        }
+                    }
+                    *slot = acc;
+                }
+            } else {
+                out.fill(0.0);
+                for (a, &w) in m.iter().enumerate() {
+                    let row = &table[a * card..(a + 1) * card];
+                    if MAX {
+                        for (b, &t) in row.iter().enumerate() {
+                            let x = t * w;
+                            if x > out[b] {
+                                out[b] = x;
+                            }
+                        }
+                    } else {
+                        for (b, &t) in row.iter().enumerate() {
+                            out[b] += t * w;
+                        }
+                    }
+                }
+            }
+        }
+        _ => {
+            let size = table.len();
+            let mut len = 1usize;
+            prod[0] = 1.0;
+            for e in edges.clone() {
+                let c = idx.edge_card[e] as usize;
+                let o = idx.edge_v2f_off[e] as usize;
+                let m = &v2f[o..o + c];
+                for prefix in (0..len).rev() {
+                    let base = prod[prefix];
+                    for (x, &mx) in m.iter().enumerate().rev() {
+                        prod[prefix * c + x] = base * mx;
+                    }
+                }
+                len *= c;
+            }
+            let stride = idx.edge_stride[eid] as usize;
+            let own = {
+                let o = idx.edge_v2f_off[eid] as usize;
+                &v2f[o..o + card]
+            };
+            out.fill(0.0);
+            let block = stride * card;
+            let mut a0 = 0usize;
+            while a0 < size {
+                let mut base = a0;
+                for slot in out.iter_mut() {
+                    let mut acc = *slot;
+                    if MAX {
+                        for b in 0..stride {
+                            let x = table[base + b] * prod[base + b];
+                            if x > acc {
+                                acc = x;
+                            }
+                        }
+                    } else {
+                        for b in 0..stride {
+                            acc += table[base + b] * prod[base + b];
+                        }
+                    }
+                    *slot = acc;
+                    base += stride;
+                }
+                a0 += block;
+            }
+            for (k, slot) in out.iter_mut().enumerate() {
+                if own[k] > DIV_EPS {
+                    *slot /= own[k];
+                } else {
+                    *slot =
+                        slice_leave_one_out::<MAX>(idx, table, edges.clone(), pos, k, v2f, digits);
+                }
+            }
+        }
+    }
+    normalize::<MAX>(out);
+}
+
+/// Recompute all outgoing messages of variable `vi` into its contiguous
+/// `v2f` block (prefix/suffix products: O(degree · card) total).
+fn update_var_messages<const MAX: bool>(
+    idx: &GraphIndex,
+    vi: usize,
+    f2v: &[f64],
+    v2f_block: &mut [f64],
+    pre: &mut [f64],
+    suf: &mut [f64],
+    damping: f64,
+) -> f64 {
+    let card = idx.var_card[vi] as usize;
+    let edges = idx.var_edges(vi);
+    let deg = edges.len();
+    if deg == 0 {
+        return 0.0;
+    }
+    if deg == 1 {
+        // Sole message: the neutral element (normalized).
+        let init = if MAX { 1.0 } else { 1.0 / card as f64 };
+        let mut delta = 0.0f64;
+        for s in v2f_block.iter_mut() {
+            let new = (1.0 - damping) * init + damping * *s;
+            delta = delta.max((new - *s).abs());
+            *s = new;
+        }
+        return delta;
+    }
+    if deg == 2 {
+        // Dominant chain case: each outgoing message is just the other
+        // edge's incoming message, normalized — no products at all.
+        let f0 = idx.edge_f2v_off[edges[0] as usize] as usize;
+        let f1 = idx.edge_f2v_off[edges[1] as usize] as usize;
+        let (out0, out1) = v2f_block.split_at_mut(card);
+        let mut delta = 0.0f64;
+        for (slot, inc) in [(out0, f1), (out1, f0)] {
+            delta = delta.max(norm_damp_from::<MAX>(slot, &f2v[inc..inc + card], damping));
+        }
+        return delta;
+    }
+    // pre[i] = prod of incoming messages before edge i, suf[i] = after.
+    for k in 0..card {
+        pre[k] = 1.0;
+        suf[(deg - 1) * card + k] = 1.0;
+    }
+    for i in 0..deg - 1 {
+        let fo = idx.edge_f2v_off[edges[i] as usize] as usize;
+        for k in 0..card {
+            pre[(i + 1) * card + k] = pre[i * card + k] * f2v[fo + k];
+        }
+    }
+    for i in (1..deg).rev() {
+        let fo = idx.edge_f2v_off[edges[i] as usize] as usize;
+        for k in 0..card {
+            suf[(i - 1) * card + k] = suf[i * card + k] * f2v[fo + k];
+        }
+    }
+    let mut delta = 0.0f64;
+    for i in 0..deg {
+        let slot = &mut v2f_block[i * card..(i + 1) * card];
+        // Compute the fresh message in place of the suffix row (it is
+        // consumed exactly once, here).
+        let fresh = &mut suf[i * card..(i + 1) * card];
+        for (f, &p) in fresh.iter_mut().zip(&pre[i * card..(i + 1) * card]) {
+            *f *= p;
+        }
+        delta = delta.max(norm_damp_from::<MAX>(slot, fresh, damping));
+    }
+    delta
+}
+
+/// Recompute all outgoing messages of factor `fi` into its contiguous
+/// `f2v` block. Stride-specialized: unary copy, pairwise mat–vec, and a
+/// product-expansion + divide-out path for arity ≥ 3.
+#[allow(clippy::too_many_arguments)]
+fn update_factor_messages<const MAX: bool>(
+    idx: &GraphIndex,
+    graph: &FactorGraph,
+    fi: usize,
+    agreement: (f64, f64),
+    v2f: &[f64],
+    f2v_block: &mut [f64],
+    prod: &mut [f64],
+    digits: &mut [usize],
+    scratch: &mut [f64],
+    damping: f64,
+) -> f64 {
+    let edges = idx.factor_edges(fi);
+    let arity = edges.len();
+    let table = graph.factor(FactorId(fi as u32)).table();
+    let mut delta = 0.0f64;
+    match arity {
+        0 => {}
+        1 => {
+            let card = idx.edge_card[edges.start] as usize;
+            delta = norm_damp_from::<MAX>(&mut f2v_block[..card], &table[..card], damping);
+        }
+        2 => {
+            let (e0, e1) = (edges.start, edges.start + 1);
+            let (c0, c1) = (idx.edge_card[e0] as usize, idx.edge_card[e1] as usize);
+            let m0 = {
+                let o = idx.edge_v2f_off[e0] as usize;
+                &v2f[o..o + c0]
+            };
+            let m1 = {
+                let o = idx.edge_v2f_off[e1] as usize;
+                &v2f[o..o + c1]
+            };
+            if !agreement.0.is_nan() {
+                // Agreement table: out[a] = diff·Σm + (same−diff)·m[a]
+                // (sum-product) or max(same·m[a], diff·max_{b≠a} m[b])
+                // (max-product) — O(card), no table walk at all.
+                let (same, diff) = agreement;
+                let (out0, out1) = f2v_block.split_at_mut(c0);
+                for (out, m) in [(out0, m1), (&mut *out1, m0)] {
+                    let fresh = &mut scratch[..c0];
+                    if MAX {
+                        // max1/max2 with argmax for the leave-one-out max.
+                        let (mut max1, mut arg1, mut max2) = (0.0f64, usize::MAX, 0.0f64);
+                        for (b, &x) in m.iter().enumerate() {
+                            if x > max1 {
+                                max2 = max1;
+                                max1 = x;
+                                arg1 = b;
+                            } else if x > max2 {
+                                max2 = x;
+                            }
+                        }
+                        for (a, f) in fresh.iter_mut().enumerate() {
+                            let other = if a == arg1 { max2 } else { max1 };
+                            *f = (same * m[a]).max(diff * other);
+                        }
+                    } else {
+                        let total: f64 = m.iter().sum();
+                        for (a, f) in fresh.iter_mut().enumerate() {
+                            *f = diff * (total - m[a]) + same * m[a];
+                        }
+                    }
+                    delta = delta.max(norm_damp_from::<MAX>(out, fresh, damping));
+                }
+                return delta;
+            }
+            // Both directions in one table pass: row a contributes its
+            // m1-weighted fold to out0[a] and its m0[a]-weighted row to
+            // out1.
+            let (fresh0, rest) = scratch.split_at_mut(c0);
+            let fresh1 = &mut rest[..c1];
+            fresh1.fill(0.0);
+            for (a, f0) in fresh0.iter_mut().enumerate() {
+                let row = &table[a * c1..(a + 1) * c1];
+                let w0 = m0[a];
+                let mut acc = 0.0f64;
+                if MAX {
+                    for ((&t, &m), f1) in row.iter().zip(m1).zip(fresh1.iter_mut()) {
+                        acc = acc.max(t * m);
+                        let x = t * w0;
+                        if x > *f1 {
+                            *f1 = x;
+                        }
+                    }
+                } else {
+                    for ((&t, &m), f1) in row.iter().zip(m1).zip(fresh1.iter_mut()) {
+                        acc += t * m;
+                        *f1 += t * w0;
+                    }
+                }
+                *f0 = acc;
+            }
+            let (out0, out1) = f2v_block.split_at_mut(c0);
+            delta = delta.max(norm_damp_from::<MAX>(out0, fresh0, damping));
+            delta = delta.max(norm_damp_from::<MAX>(&mut out1[..c1], fresh1, damping));
+        }
+        _ => {
+            let size = table.len();
+            // Expand prod[idx] = Π_q m_q[digit_q(idx)] in O(size): grow
+            // the prefix-product table position by position, in place,
+            // back to front.
+            let mut len = 1usize;
+            prod[0] = 1.0;
+            for e in edges.clone() {
+                let c = idx.edge_card[e] as usize;
+                let o = idx.edge_v2f_off[e] as usize;
+                let m = &v2f[o..o + c];
+                for prefix in (0..len).rev() {
+                    let base = prod[prefix];
+                    for (x, &mx) in m.iter().enumerate().rev() {
+                        prod[prefix * c + x] = base * mx;
+                    }
+                }
+                len *= c;
+            }
+            debug_assert_eq!(len, size);
+            let mut block_off = 0usize;
+            for (pos, e) in edges.clone().enumerate() {
+                let c = idx.edge_card[e] as usize;
+                let stride = idx.edge_stride[e] as usize;
+                let own = {
+                    let o = idx.edge_v2f_off[e] as usize;
+                    &v2f[o..o + c]
+                };
+                let fresh = &mut scratch[..c];
+                fresh.fill(0.0);
+                // Stride walk: idx = a·(stride·c) + k·stride + b.
+                let block = stride * c;
+                let mut a0 = 0usize;
+                while a0 < size {
+                    let mut base = a0;
+                    for f in fresh.iter_mut() {
+                        let mut acc = *f;
+                        if MAX {
+                            for b in 0..stride {
+                                let x = table[base + b] * prod[base + b];
+                                if x > acc {
+                                    acc = x;
+                                }
+                            }
+                        } else {
+                            for b in 0..stride {
+                                acc += table[base + b] * prod[base + b];
+                            }
+                        }
+                        *f = acc;
+                        base += stride;
+                    }
+                    a0 += block;
+                }
+                // Divide out this position's own incoming message; exact
+                // odometer fallback where it is (near-)zero.
+                for (k, f) in fresh.iter_mut().enumerate() {
+                    if own[k] > DIV_EPS {
+                        *f /= own[k];
+                    } else {
+                        *f = slice_leave_one_out::<MAX>(
+                            idx,
+                            table,
+                            edges.clone(),
+                            pos,
+                            k,
+                            v2f,
+                            digits,
+                        );
+                    }
+                }
+                delta = delta.max(norm_damp_from::<MAX>(
+                    &mut f2v_block[block_off..block_off + c],
+                    fresh,
+                    damping,
+                ));
+                block_off += c;
+            }
+        }
+    }
+    delta
+}
+
+/// Exact Σ/max over the table slice `digit_pos = value` of
+/// `T · Π_{q≠pos} m_q` — the odometer fallback used only when a message
+/// entry is (near-)zero.
+fn slice_leave_one_out<const MAX: bool>(
+    idx: &GraphIndex,
+    table: &[f64],
+    edges: std::ops::Range<usize>,
+    pos: usize,
+    value: usize,
+    v2f: &[f64],
+    digits: &mut [usize],
+) -> f64 {
+    let arity = edges.len();
+    let digits = &mut digits[..arity];
+    digits.fill(0);
+    digits[pos] = value;
+    let mut acc = 0.0f64;
+    'outer: loop {
+        let mut t_idx = 0usize;
+        let mut w = 1.0f64;
+        for (p, e) in edges.clone().enumerate() {
+            t_idx += digits[p] * idx.edge_stride[e] as usize;
+            if p != pos {
+                let o = idx.edge_v2f_off[e] as usize;
+                w *= v2f[o + digits[p]];
+            }
+        }
+        let x = table[t_idx] * w;
+        if MAX {
+            if x > acc {
+                acc = x;
+            }
+        } else {
+            acc += x;
+        }
+        // Advance the odometer over every position except `pos`.
+        for p in (0..arity).rev() {
+            if p == pos {
+                continue;
+            }
+            digits[p] += 1;
+            if digits[p] < idx.edge_card[edges.start + p] as usize {
+                continue 'outer;
+            }
+            digits[p] = 0;
+        }
+        break;
+    }
+    acc
+}
+
+// ---- parallel sweeps (recursive disjoint-slice splits) ----
+
+/// Below this many nodes a parallel split runs serially.
+const PAR_GRAIN: usize = 256;
+
+fn par_var_sweep<const MAX: bool>(
+    idx: &GraphIndex,
+    f2v: &[f64],
+    lo: usize,
+    hi: usize,
+    v2f_block: &mut [f64],
+    damping: f64,
+) -> f64 {
+    if hi - lo <= PAR_GRAIN {
+        let block_base = if lo < idx.nv {
+            idx.var_v2f_start[lo] as usize
+        } else {
+            0
+        };
+        let mut pre = vec![0.0; idx.max_degree * idx.max_card];
+        let mut suf = vec![0.0; idx.max_degree * idx.max_card];
+        let mut delta = 0.0f64;
+        for vi in lo..hi {
+            let start = idx.var_v2f_start[vi] as usize - block_base;
+            let len = idx.var_edges(vi).len() * idx.var_card[vi] as usize;
+            let d = update_var_messages::<MAX>(
+                idx,
+                vi,
+                f2v,
+                &mut v2f_block[start..start + len],
+                &mut pre,
+                &mut suf,
+                damping,
+            );
+            delta = delta.max(d);
+        }
+        return delta;
+    }
+    let mid = (lo + hi) / 2;
+    let base = idx.var_v2f_start[lo] as usize;
+    let split = idx.var_v2f_start[mid] as usize - base;
+    let (left, right) = v2f_block.split_at_mut(split);
+    let (d1, d2) = rayon::join(
+        || par_var_sweep::<MAX>(idx, f2v, lo, mid, left, damping),
+        || par_var_sweep::<MAX>(idx, f2v, mid, hi, right, damping),
+    );
+    d1.max(d2)
+}
+
+fn factor_f2v_base(idx: &GraphIndex, fi: usize) -> usize {
+    let e = idx.factor_edge_start[fi] as usize;
+    if e < idx.edge_f2v_off.len() {
+        idx.edge_f2v_off[e] as usize
+    } else {
+        idx.arena_len
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn par_factor_sweep<const MAX: bool>(
+    idx: &GraphIndex,
+    graph: &FactorGraph,
+    agreement: &[(f64, f64)],
+    v2f: &[f64],
+    lo: usize,
+    hi: usize,
+    f2v_block: &mut [f64],
+    damping: f64,
+) -> f64 {
+    if hi - lo <= PAR_GRAIN {
+        let block_base = if lo < idx.nf {
+            factor_f2v_base(idx, lo)
+        } else {
+            0
+        };
+        let mut prod = vec![0.0; idx.max_table];
+        let mut digits = vec![0usize; idx.max_arity];
+        let mut scratch = vec![0.0; 2 * idx.max_card];
+        let mut delta = 0.0f64;
+        #[allow(clippy::needless_range_loop)] // fi also names the factor itself
+        for fi in lo..hi {
+            let edges = idx.factor_edges(fi);
+            if edges.is_empty() {
+                continue;
+            }
+            let start = idx.edge_f2v_off[edges.start] as usize - block_base;
+            let end = idx.edge_f2v_off[edges.end - 1] as usize
+                + idx.edge_card[edges.end - 1] as usize
+                - block_base;
+            let d = update_factor_messages::<MAX>(
+                idx,
+                graph,
+                fi,
+                agreement[fi],
+                v2f,
+                &mut f2v_block[start..end],
+                &mut prod,
+                &mut digits,
+                &mut scratch,
+                damping,
+            );
+            delta = delta.max(d);
+        }
+        return delta;
+    }
+    let mid = (lo + hi) / 2;
+    let base = factor_f2v_base(idx, lo);
+    let split = factor_f2v_base(idx, mid) - base;
+    let (left, right) = f2v_block.split_at_mut(split);
+    let (d1, d2) = rayon::join(
+        || par_factor_sweep::<MAX>(idx, graph, agreement, v2f, lo, mid, left, damping),
+        || par_factor_sweep::<MAX>(idx, graph, agreement, v2f, mid, hi, right, damping),
+    );
+    d1.max(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::Factor;
+
+    fn chain(n: usize, card: usize) -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let vars: Vec<VarId> = (0..n).map(|_| g.add_variable(card)).collect();
+        g.add_factor(Factor::from_fn(vec![vars[0]], vec![card], |a| {
+            1.0 + a[0] as f64
+        }));
+        for t in 1..n {
+            g.add_factor(Factor::from_fn(
+                vec![vars[t - 1], vars[t]],
+                vec![card, card],
+                |a| 1.0 + ((a[0] * 3 + a[1] * 7) % 5) as f64,
+            ));
+        }
+        g
+    }
+
+    #[test]
+    fn index_offsets_are_consistent() {
+        let g = chain(5, 3);
+        let idx = GraphIndex::build(&g);
+        assert_eq!(idx.nv, 5);
+        assert_eq!(idx.nf, 5);
+        assert_eq!(idx.arena_len, (1 + 4 * 2) * 3);
+        // Every edge's v2f offset lies inside its variable's block.
+        for eid in 0..idx.edge_var.len() {
+            let v = idx.edge_var[eid] as usize;
+            let lo = idx.var_v2f_start[v];
+            let hi = lo + idx.var_edges(v).len() as u32 * idx.var_card[v];
+            assert!((lo..hi).contains(&idx.edge_v2f_off[eid]));
+        }
+        // Strides: pairwise factors are row-major, last var fastest.
+        let e = idx.factor_edges(1);
+        assert_eq!(idx.edge_stride[e.start], 3);
+        assert_eq!(idx.edge_stride[e.start + 1], 1);
+    }
+
+    #[test]
+    fn matches_detects_shape_changes() {
+        let g = chain(4, 2);
+        let idx = GraphIndex::build(&g);
+        assert!(idx.matches(&g));
+        let g2 = chain(5, 2);
+        assert!(!idx.matches(&g2));
+        let g3 = chain(4, 3);
+        assert!(!idx.matches(&g3));
+    }
+
+    #[test]
+    fn factor_of_edge_inverts_csr() {
+        let g = chain(6, 2);
+        let idx = GraphIndex::build(&g);
+        for fi in 0..idx.nf {
+            for e in idx.factor_edges(fi) {
+                assert_eq!(idx.factor_of_edge(e), fi, "edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn heap_push_pop_priority() {
+        let residuals = vec![0.5, 0.9, 0.1];
+        let mut heap = Vec::with_capacity(8);
+        heap_push(&mut heap, &residuals, (0.5, 0));
+        heap_push(&mut heap, &residuals, (0.9, 1));
+        heap_push(&mut heap, &residuals, (0.1, 2));
+        assert_eq!(heap_pop(&mut heap, &residuals), Some((0.9, 1)));
+        assert_eq!(heap_pop(&mut heap, &residuals), Some((0.5, 0)));
+        assert_eq!(heap_pop(&mut heap, &residuals), Some((0.1, 2)));
+        assert_eq!(heap_pop(&mut heap, &residuals), None);
+    }
+
+    #[test]
+    fn heap_skips_stale_entries() {
+        let mut residuals = vec![0.5];
+        let mut heap = Vec::with_capacity(8);
+        heap_push(&mut heap, &residuals, (0.5, 0));
+        residuals[0] = 0.7;
+        heap_push(&mut heap, &residuals, (0.7, 0));
+        assert_eq!(heap_pop(&mut heap, &residuals), Some((0.7, 0)));
+        assert_eq!(
+            heap_pop(&mut heap, &residuals),
+            None,
+            "stale 0.5 entry dropped"
+        );
+    }
+}

@@ -28,7 +28,13 @@ impl Factor {
     pub fn new(vars: Vec<VarId>, cards: Vec<usize>, table: Vec<f64>) -> Factor {
         assert_eq!(vars.len(), cards.len(), "scope/cardinality length mismatch");
         let size: usize = cards.iter().product();
-        assert_eq!(table.len(), size, "table size {} != expected {}", table.len(), size);
+        assert_eq!(
+            table.len(),
+            size,
+            "table size {} != expected {}",
+            table.len(),
+            size
+        );
         for i in 0..vars.len() {
             for j in (i + 1)..vars.len() {
                 assert_ne!(vars[i], vars[j], "duplicate variable {} in scope", vars[i]);
@@ -42,11 +48,7 @@ impl Factor {
     }
 
     /// Create a factor by evaluating `f` on every assignment.
-    pub fn from_fn(
-        vars: Vec<VarId>,
-        cards: Vec<usize>,
-        f: impl Fn(&[usize]) -> f64,
-    ) -> Factor {
+    pub fn from_fn(vars: Vec<VarId>, cards: Vec<usize>, f: impl Fn(&[usize]) -> f64) -> Factor {
         let size: usize = cards.iter().product();
         let mut table = Vec::with_capacity(size);
         let mut assignment = vec![0usize; cards.len()];
@@ -85,6 +87,33 @@ impl Factor {
         &self.table
     }
 
+    /// Overwrite the table in place by evaluating `f` on every
+    /// assignment, without reallocating. The scope (and therefore the
+    /// table length) is unchanged; entries must stay finite and
+    /// non-negative, as in [`Factor::new`].
+    pub fn fill_from_fn(&mut self, f: impl FnMut(&[usize]) -> f64) {
+        let mut f = f;
+        let mut assignment = [0usize; 8];
+        let arity = self.cards.len();
+        assert!(arity <= 8, "fill_from_fn supports arity ≤ 8");
+        let assignment = &mut assignment[..arity];
+        for slot in &mut self.table {
+            let v = f(assignment);
+            debug_assert!(
+                v.is_finite() && v >= 0.0,
+                "factor entries must stay non-negative"
+            );
+            *slot = v;
+            for d in (0..arity).rev() {
+                assignment[d] += 1;
+                if assignment[d] < self.cards[d] {
+                    break;
+                }
+                assignment[d] = 0;
+            }
+        }
+    }
+
     /// Number of table entries.
     pub fn size(&self) -> usize {
         self.table.len()
@@ -100,7 +129,12 @@ impl Factor {
         debug_assert_eq!(assignment.len(), self.vars.len());
         let mut idx = 0;
         for (d, &val) in assignment.iter().enumerate() {
-            debug_assert!(val < self.cards[d], "value {} out of range for position {}", val, d);
+            debug_assert!(
+                val < self.cards[d],
+                "value {} out of range for position {}",
+                val,
+                d
+            );
             idx = idx * self.cards[d] + val;
         }
         idx
@@ -164,7 +198,10 @@ impl Factor {
     fn marginalize_impl(&self, keep: &[VarId], max_mode: bool) -> Factor {
         let kept: Vec<usize> = keep
             .iter()
-            .map(|v| self.position(*v).expect("marginalize: variable not in scope"))
+            .map(|v| {
+                self.position(*v)
+                    .expect("marginalize: variable not in scope")
+            })
             .collect();
         let out_cards: Vec<usize> = kept.iter().map(|&p| self.cards[p]).collect();
         let out_size: usize = out_cards.iter().product();
@@ -288,7 +325,11 @@ mod tests {
 
     #[test]
     fn indexing_last_var_fastest() {
-        let f = Factor::new(vec![v(0), v(1)], vec![2, 3], (0..6).map(|x| x as f64).collect());
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![2, 3],
+            (0..6).map(|x| x as f64).collect(),
+        );
         assert_eq!(f.value(&[0, 0]), 0.0);
         assert_eq!(f.value(&[0, 2]), 2.0);
         assert_eq!(f.value(&[1, 0]), 3.0);
@@ -343,7 +384,11 @@ mod tests {
 
     #[test]
     fn reduce_conditions_on_evidence() {
-        let f = Factor::new(vec![v(0), v(1)], vec![2, 3], (0..6).map(|x| x as f64).collect());
+        let f = Factor::new(
+            vec![v(0), v(1)],
+            vec![2, 3],
+            (0..6).map(|x| x as f64).collect(),
+        );
         let r = f.reduce(v(0), 1);
         assert_eq!(r.vars(), &[v(1)]);
         assert_eq!(r.table(), &[3.0, 4.0, 5.0]);

@@ -73,6 +73,15 @@ impl FactorGraph {
         &self.factors[id.0 as usize]
     }
 
+    /// Mutable access to a factor, for in-place table refresh via
+    /// [`Factor::fill_from_fn`] when reusing a graph across observation
+    /// sequences. The scope cannot change through this handle in a way
+    /// that would desynchronize the adjacency (only table values are
+    /// mutable through `Factor`'s API).
+    pub fn factor_mut(&mut self, id: FactorId) -> &mut Factor {
+        &mut self.factors[id.0 as usize]
+    }
+
     pub fn factors(&self) -> &[Factor] {
         &self.factors
     }
@@ -138,8 +147,16 @@ mod tests {
         let x1 = g.add_variable(2);
         let x2 = g.add_variable(2);
         g.add_factor(Factor::new(vec![x0], vec![2], vec![0.6, 0.4]));
-        g.add_factor(Factor::new(vec![x0, x1], vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]));
-        g.add_factor(Factor::new(vec![x1, x2], vec![2, 2], vec![0.7, 0.3, 0.3, 0.7]));
+        g.add_factor(Factor::new(
+            vec![x0, x1],
+            vec![2, 2],
+            vec![0.9, 0.1, 0.2, 0.8],
+        ));
+        g.add_factor(Factor::new(
+            vec![x1, x2],
+            vec![2, 2],
+            vec![0.7, 0.3, 0.3, 0.7],
+        ));
         g
     }
 

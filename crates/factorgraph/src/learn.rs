@@ -40,7 +40,11 @@ impl ChainLearner {
 
     /// Ingest one labeled sequence. `states` and `obs` must be parallel.
     pub fn observe(&mut self, states: &[usize], obs: &[usize]) {
-        assert_eq!(states.len(), obs.len(), "states/observations length mismatch");
+        assert_eq!(
+            states.len(),
+            obs.len(),
+            "states/observations length mismatch"
+        );
         if states.is_empty() {
             return;
         }
@@ -95,9 +99,14 @@ impl ChainLearner {
     /// Finalize into a [`ChainModel`].
     pub fn build(&self) -> ChainModel {
         let prior = Self::normalize_rows(&self.prior_counts, 1, self.n_states, self.smoothing);
-        let trans =
-            Self::normalize_rows(&self.trans_counts, self.n_states, self.n_states, self.smoothing);
-        let emit = Self::normalize_rows(&self.emit_counts, self.n_states, self.n_obs, self.smoothing);
+        let trans = Self::normalize_rows(
+            &self.trans_counts,
+            self.n_states,
+            self.n_states,
+            self.smoothing,
+        );
+        let emit =
+            Self::normalize_rows(&self.emit_counts, self.n_states, self.n_obs, self.smoothing);
         ChainModel::new(self.n_states, self.n_obs, prior, trans, emit)
     }
 }

@@ -7,8 +7,12 @@
 //! - [`variable`], [`factor`] — discrete variables and tabular factors
 //!   (product, marginalize, reduce, normalize).
 //! - [`graph`] — the bipartite factor graph with forest detection.
-//! - [`sumproduct`] — loopy/exaсt sum-product BP + brute-force validator.
-//! - [`maxproduct`] — max-product MAP inference.
+//! - [`engine`] — the stride/arena message-passing core: flat message
+//!   arenas, precomputed edge offsets and table strides, pairwise
+//!   kernels, and the reusable zero-allocation [`BpWorkspace`].
+//! - [`sumproduct`] — loopy/exact sum-product BP + brute-force validator
+//!   (the seed implementation survives as `sumproduct::reference`).
+//! - [`maxproduct`] — max-product MAP inference on the same engine.
 //! - [`chain`] — exact O(n·S²) filtering / smoothing / Viterbi on the
 //!   per-entity attack-stage chains the detector runs online.
 //! - [`learn`] — MLE with Laplace smoothing from labeled incidents.
@@ -30,6 +34,7 @@
 //! ```
 
 pub mod chain;
+pub mod engine;
 pub mod factor;
 pub mod graph;
 pub mod learn;
@@ -37,7 +42,8 @@ pub mod maxproduct;
 pub mod sumproduct;
 pub mod variable;
 
-pub use chain::ChainModel;
+pub use chain::{ChainGraphBuffer, ChainModel};
+pub use engine::{BpSchedule, BpStats, BpWorkspace};
 pub use factor::Factor;
 pub use graph::{FactorGraph, FactorId};
 pub use learn::ChainLearner;

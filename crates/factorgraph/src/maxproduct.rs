@@ -1,12 +1,15 @@
 //! Max-product belief propagation (MAP inference).
 //!
-//! Flooding-schedule max-product with per-message normalization; decoding
-//! takes the argmax of the max-marginal beliefs. Exact on forests; on
-//! chains it agrees with Viterbi (tested against
-//! [`crate::chain::ChainModel::viterbi`]).
+//! Runs on the same stride/arena engine as [`crate::sumproduct`] with the
+//! semiring switched to (max, ×): the flat message arenas, the pairwise
+//! specialization, the reusable [`BpWorkspace`] and all three schedules
+//! carry over; messages are normalized by their maximum (the seed
+//! convention) and decoding takes the argmax of the max-marginal
+//! beliefs. Exact on forests; on chains it agrees with Viterbi (tested
+//! against [`crate::chain::ChainModel::viterbi`]).
 
 use crate::graph::FactorGraph;
-use crate::sumproduct::BpOptions;
+use crate::sumproduct::{BpOptions, BpStats, BpWorkspace};
 use crate::variable::VarId;
 
 /// Result of a max-product run.
@@ -20,130 +23,41 @@ pub struct MapResult {
     pub converged: bool,
 }
 
-fn normalize(v: &mut [f64]) {
-    let m: f64 = v.iter().fold(0.0f64, |acc, &x| acc.max(x));
-    if m > 0.0 {
-        for x in v.iter_mut() {
-            *x /= m;
-        }
-    } else {
-        for x in v.iter_mut() {
-            *x = 1.0;
-        }
+/// Run max-product BP.
+///
+/// Convenience wrapper building a throwaway workspace; hot paths should
+/// hold a [`BpWorkspace`] and call [`run_in`].
+pub fn run(graph: &FactorGraph, opts: &BpOptions) -> MapResult {
+    let mut ws = BpWorkspace::new(graph);
+    let stats = run_in(graph, opts, &mut ws);
+    let mut assignment = Vec::with_capacity(graph.num_variables());
+    ws.map_assignment_into(&mut assignment);
+    MapResult {
+        assignment,
+        beliefs: ws.marginals_vec(),
+        iterations: stats.iterations,
+        converged: stats.converged,
     }
 }
 
-/// Run max-product BP.
-pub fn run(graph: &FactorGraph, opts: &BpOptions) -> MapResult {
-    let nf = graph.num_factors();
-    // Messages per (factor, scope position), both directions.
-    let mut var_to_fac: Vec<Vec<Vec<f64>>> = Vec::with_capacity(nf);
-    let mut fac_to_var: Vec<Vec<Vec<f64>>> = Vec::with_capacity(nf);
-    for f in graph.factors() {
-        let slots: Vec<Vec<f64>> = f.cards().iter().map(|&c| vec![1.0; c]).collect();
-        var_to_fac.push(slots.clone());
-        fac_to_var.push(slots);
-    }
-    let mut incidences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_variables()];
-    for (fi, f) in graph.factors().iter().enumerate() {
-        for (pos, v) in f.vars().iter().enumerate() {
-            incidences[v.0 as usize].push((fi, pos));
-        }
-    }
+/// Run max-product BP inside a reusable workspace; read the decode back
+/// with [`BpWorkspace::map_assignment_into`] or
+/// [`BpWorkspace::marginal`]. Allocation-free at steady state on the
+/// serial schedule, like the sum-product path.
+pub fn run_in(graph: &FactorGraph, opts: &BpOptions, ws: &mut BpWorkspace) -> BpStats {
+    ws.run::<true>(graph, opts)
+}
 
-    let mut iterations = 0;
-    let mut converged = false;
-    let mut scratch: Vec<f64> = Vec::new();
-    for iter in 0..opts.max_iters {
-        iterations = iter + 1;
-        let mut max_delta: f64 = 0.0;
-
-        for (vi, inc) in incidences.iter().enumerate() {
-            let card = graph.variable(VarId(vi as u32)).card;
-            for &(fi, pos) in inc {
-                scratch.clear();
-                scratch.resize(card, 1.0);
-                for &(ofi, opos) in inc {
-                    if (ofi, opos) == (fi, pos) {
-                        continue;
-                    }
-                    for (k, s) in scratch.iter_mut().enumerate() {
-                        *s *= fac_to_var[ofi][opos][k];
-                    }
-                }
-                normalize(&mut scratch);
-                for k in 0..card {
-                    let new = (1.0 - opts.damping) * scratch[k]
-                        + opts.damping * var_to_fac[fi][pos][k];
-                    max_delta = max_delta.max((new - var_to_fac[fi][pos][k]).abs());
-                    var_to_fac[fi][pos][k] = new;
-                }
-            }
-        }
-
-        for (fi, f) in graph.factors().iter().enumerate() {
-            let nscope = f.vars().len();
-            for pos in 0..nscope {
-                let card = f.cards()[pos];
-                scratch.clear();
-                scratch.resize(card, 0.0);
-                let mut assignment = vec![0usize; nscope];
-                for &val in f.table() {
-                    let mut w = val;
-                    for (opos, &a) in assignment.iter().enumerate() {
-                        if opos != pos {
-                            w *= var_to_fac[fi][opos][a];
-                        }
-                    }
-                    let slot = assignment[pos];
-                    if w > scratch[slot] {
-                        scratch[slot] = w;
-                    }
-                    for d in (0..nscope).rev() {
-                        assignment[d] += 1;
-                        if assignment[d] < f.cards()[d] {
-                            break;
-                        }
-                        assignment[d] = 0;
-                    }
-                }
-                normalize(&mut scratch);
-                for k in 0..card {
-                    let new = (1.0 - opts.damping) * scratch[k]
-                        + opts.damping * fac_to_var[fi][pos][k];
-                    max_delta = max_delta.max((new - fac_to_var[fi][pos][k]).abs());
-                    fac_to_var[fi][pos][k] = new;
-                }
-            }
-        }
-
-        if max_delta < opts.tolerance {
-            converged = true;
-            break;
+/// The MAP state of one variable from a finished workspace run.
+pub fn map_state(ws: &BpWorkspace, var: VarId) -> usize {
+    let m = ws.marginal(var);
+    let mut best = 0;
+    for (k, &x) in m.iter().enumerate() {
+        if x > m[best] {
+            best = k;
         }
     }
-
-    let mut beliefs = Vec::with_capacity(graph.num_variables());
-    let mut assignment = Vec::with_capacity(graph.num_variables());
-    for (vi, inc) in incidences.iter().enumerate() {
-        let card = graph.variable(VarId(vi as u32)).card;
-        let mut belief = vec![1.0; card];
-        for &(fi, pos) in inc {
-            for (k, b) in belief.iter_mut().enumerate() {
-                *b *= fac_to_var[fi][pos][k];
-            }
-        }
-        normalize(&mut belief);
-        let mut best = 0;
-        for k in 1..card {
-            if belief[k] > belief[best] {
-                best = k;
-            }
-        }
-        assignment.push(best);
-        beliefs.push(belief);
-    }
-    MapResult { assignment, beliefs, iterations, converged }
+    best
 }
 
 #[cfg(test)]
@@ -151,6 +65,7 @@ mod tests {
     use super::*;
     use crate::chain::ChainModel;
     use crate::factor::Factor;
+    use crate::sumproduct::BpSchedule;
 
     #[test]
     fn single_factor_map() {
@@ -174,9 +89,21 @@ mod tests {
         for obs in [vec![0, 1, 2], vec![2, 2, 2, 0], vec![0, 0, 1, 2, 2]] {
             let (vit, _) = m.viterbi(&obs);
             let g = m.to_factor_graph(&obs);
-            let r = run(&g, &BpOptions::default());
-            assert!(r.converged);
-            assert_eq!(r.assignment, vit, "obs {obs:?}");
+            for schedule in [
+                BpSchedule::Flood,
+                BpSchedule::ParallelFlood,
+                BpSchedule::Residual,
+            ] {
+                let r = run(
+                    &g,
+                    &BpOptions {
+                        schedule,
+                        ..Default::default()
+                    },
+                );
+                assert!(r.converged, "{schedule:?}");
+                assert_eq!(r.assignment, vit, "obs {obs:?} ({schedule:?})");
+            }
         }
     }
 
@@ -188,11 +115,35 @@ mod tests {
         let x = g.add_variable(2);
         let y = g.add_variable(2);
         // P(x,y): (0,0)=0.35 (0,1)=0.05 (1,0)=0.3 (1,1)=0.3
-        g.add_factor(Factor::new(vec![x, y], vec![2, 2], vec![0.35, 0.05, 0.3, 0.3]));
+        g.add_factor(Factor::new(
+            vec![x, y],
+            vec![2, 2],
+            vec![0.35, 0.05, 0.3, 0.3],
+        ));
         let map = run(&g, &BpOptions::default());
         assert_eq!(map.assignment, vec![0, 0], "joint mode is (0,0)");
         let sp = crate::sumproduct::run(&g, &BpOptions::default());
         // Marginal over x: P(x=1) = 0.6 > P(x=0) = 0.4.
         assert_eq!(sp.argmax(crate::variable::VarId(0)), 1);
+    }
+
+    #[test]
+    fn workspace_reuse_for_map() {
+        let m = ChainModel::new(
+            2,
+            2,
+            vec![0.7, 0.3],
+            vec![0.8, 0.2, 0.3, 0.7],
+            vec![0.9, 0.1, 0.2, 0.8],
+        );
+        let mut ws = BpWorkspace::default();
+        let mut decode = Vec::new();
+        for obs in [vec![0, 0, 1, 1], vec![1, 1, 0, 0], vec![0, 1, 0, 1]] {
+            let g = m.to_factor_graph(&obs);
+            run_in(&g, &BpOptions::default(), &mut ws);
+            ws.map_assignment_into(&mut decode);
+            let (vit, _) = m.viterbi(&obs);
+            assert_eq!(decode, vit, "obs {obs:?}");
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Property tests for the stride/arena BP engine (proptest):
+//!
+//! - on random small **forests**, every schedule of the optimized engine
+//!   reproduces the exact brute-force marginals;
+//! - on random **loopy** graphs, the optimized flooding schedule matches
+//!   the seed flooding implementation (`sumproduct::reference`) message
+//!   for message, and the alternative schedules land within loopy-BP
+//!   tolerance of it;
+//! - max-product on random chains agrees with Viterbi.
+
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+use factorgraph::factor::Factor;
+use factorgraph::graph::FactorGraph;
+use factorgraph::sumproduct::{
+    brute_force_marginals, reference, run, run_in, BpOptions, BpSchedule, BpWorkspace,
+};
+use factorgraph::{maxproduct, ChainModel, VarId};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random positive table entry in (0.05, 1.05).
+fn entry(seed: u64, salt: u64) -> f64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    0.05 + (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A random forest: variables with random cardinalities, a unary prior
+/// each, and pairwise factors that never close a cycle (each variable
+/// attaches to one earlier variable).
+fn random_forest(seed: u64, nv: usize, max_card: usize) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let cards: Vec<usize> = (0..nv)
+        .map(|i| 1 + (entry(seed, i as u64) * max_card as f64) as usize % max_card)
+        .collect();
+    let vars: Vec<VarId> = cards.iter().map(|&c| g.add_variable(c)).collect();
+    for (i, &v) in vars.iter().enumerate() {
+        let c = cards[i];
+        g.add_factor(Factor::from_fn(vec![v], vec![c], |a| {
+            entry(seed, 1000 + (i * 7 + a[0]) as u64)
+        }));
+        if i > 0 {
+            // Attach to a pseudo-random earlier variable: still a forest.
+            let parent = (entry(seed, 2000 + i as u64) * i as f64) as usize % i;
+            let (pv, pc) = (vars[parent], cards[parent]);
+            g.add_factor(Factor::from_fn(vec![pv, v], vec![pc, c], |a| {
+                entry(seed, 3000 + (i * 31 + a[0] * 5 + a[1]) as u64)
+            }));
+        }
+    }
+    g
+}
+
+/// A random loopy graph: a ring of pairwise factors plus chords.
+fn random_loopy(seed: u64, nv: usize, chords: usize) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let card = 2 + (seed % 2) as usize;
+    let vars: Vec<VarId> = (0..nv).map(|_| g.add_variable(card)).collect();
+    g.add_factor(Factor::from_fn(vec![vars[0]], vec![card], |a| {
+        entry(seed, a[0] as u64)
+    }));
+    for i in 0..nv {
+        let (a, b) = (vars[i], vars[(i + 1) % nv]);
+        g.add_factor(Factor::from_fn(vec![a, b], vec![card, card], |v| {
+            entry(seed, 100 + (i * 17 + v[0] * 3 + v[1]) as u64)
+        }));
+    }
+    for k in 0..chords {
+        let i = (entry(seed, 500 + k as u64) * nv as f64) as usize % nv;
+        let j = (i + nv / 2) % nv;
+        if i != j {
+            g.add_factor(Factor::from_fn(
+                vec![vars[i.min(j)], vars[i.max(j)]],
+                vec![card, card],
+                |v| entry(seed, 900 + (k * 13 + v[0] * 7 + v[1]) as u64),
+            ));
+        }
+    }
+    g
+}
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forests: the optimized engine is exact, on every schedule.
+    #[test]
+    fn forest_marginals_match_brute_force(seed in 0u64..10_000, nv in 1usize..7) {
+        let g = random_forest(seed, nv, 3);
+        prop_assert!(g.is_forest());
+        let exact = brute_force_marginals(&g);
+        for schedule in [BpSchedule::Flood, BpSchedule::ParallelFlood, BpSchedule::Residual] {
+            let r = run(&g, &BpOptions { schedule, ..Default::default() });
+            prop_assert!(r.converged, "{schedule:?} did not converge");
+            for (vi, m) in exact.iter().enumerate() {
+                prop_assert!(
+                    close(&r.marginals[vi], m, 1e-7),
+                    "{schedule:?} var {vi}: {:?} vs {:?}", r.marginals[vi], m
+                );
+            }
+        }
+    }
+
+    /// Loopy graphs: the optimized flooding schedule reproduces the seed
+    /// flooding implementation essentially exactly (same schedule, same
+    /// damping, same normalization — only the storage changed), and the
+    /// other schedules agree within loopy-BP tolerance.
+    #[test]
+    fn loopy_flooding_matches_seed_implementation(seed in 0u64..10_000, nv in 3usize..8, chords in 0usize..3) {
+        let g = random_loopy(seed, nv, chords);
+        let opts = BpOptions { damping: 0.3, max_iters: 300, ..Default::default() };
+        let slow = reference::run(&g, &opts);
+        let fast = run(&g, &opts);
+        prop_assert_eq!(fast.converged, slow.converged);
+        prop_assert_eq!(fast.iterations, slow.iterations);
+        for vi in 0..g.num_variables() {
+            prop_assert!(
+                close(&fast.marginals[vi], &slow.marginals[vi], 1e-9),
+                "var {}: {:?} vs {:?}", vi, fast.marginals[vi], slow.marginals[vi]
+            );
+        }
+        if slow.converged {
+            for schedule in [BpSchedule::ParallelFlood, BpSchedule::Residual] {
+                let alt = run(&g, &BpOptions { schedule, ..opts.clone() });
+                prop_assert!(alt.converged, "{schedule:?}");
+                for vi in 0..g.num_variables() {
+                    prop_assert!(
+                        close(&alt.marginals[vi], &slow.marginals[vi], 1e-3),
+                        "{schedule:?} var {}: {:?} vs {:?}",
+                        vi, alt.marginals[vi], slow.marginals[vi]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Workspace reuse across random same-length chains changes no
+    /// answers relative to fresh runs.
+    #[test]
+    fn workspace_reuse_is_transparent(seed in 0u64..10_000, len in 1usize..9) {
+        let s = 3usize;
+        let o = 4usize;
+        let dirich = |salt: u64, n: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..n).map(|i| entry(seed, salt + i as u64)).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / sum).collect()
+        };
+        let prior = dirich(1, s);
+        let trans: Vec<f64> = (0..s).flat_map(|r| dirich(10 + r as u64, s)).collect();
+        let emit: Vec<f64> = (0..s).flat_map(|r| dirich(20 + r as u64, o)).collect();
+        let m = ChainModel::new(s, o, prior, trans, emit);
+        let mut ws = BpWorkspace::default();
+        for round in 0..3u64 {
+            let obs: Vec<usize> =
+                (0..len).map(|t| (entry(seed, 40 + round * 64 + t as u64) * o as f64) as usize % o).collect();
+            let g = m.to_factor_graph(&obs);
+            run_in(&g, &BpOptions::default(), &mut ws);
+            let fb = m.posteriors(&obs);
+            for (t, gamma) in fb.iter().enumerate() {
+                prop_assert!(
+                    close(ws.marginal(VarId(t as u32)), gamma, 1e-7),
+                    "round {} t {}", round, t
+                );
+            }
+        }
+    }
+
+    /// Max-product on random chains = Viterbi.
+    #[test]
+    fn max_product_matches_viterbi(seed in 0u64..10_000, len in 1usize..9) {
+        let s = 3usize;
+        let o = 3usize;
+        let dirich = |salt: u64, n: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..n).map(|i| entry(seed, salt + i as u64)).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / sum).collect()
+        };
+        let m = ChainModel::new(
+            s,
+            o,
+            dirich(1, s),
+            (0..s).flat_map(|r| dirich(10 + r as u64, s)).collect(),
+            (0..s).flat_map(|r| dirich(20 + r as u64, o)).collect(),
+        );
+        let obs: Vec<usize> =
+            (0..len).map(|t| (entry(seed, 99 + t as u64) * o as f64) as usize % o).collect();
+        let (vit, vit_logp) = m.viterbi(&obs);
+        let g = m.to_factor_graph(&obs);
+        let r = maxproduct::run(&g, &BpOptions::default());
+        prop_assert!(r.converged);
+        // Per-variable argmax decoding is only unambiguous when no
+        // variable's max-marginal has a (numerical) tie at the top; random
+        // chains do hit genuine ties (verified against brute force), and
+        // there any tie-break is admissible — so only the tie-free cases
+        // pin the exact Viterbi path.
+        let tied = r.beliefs.iter().any(|b| {
+            let mut sorted = b.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            sorted.len() > 1 && (sorted[0] - sorted[1]).abs() < 1e-9
+        });
+        if !tied {
+            prop_assert_eq!(&r.assignment, &vit, "obs {:?}", obs);
+            // And the decode achieves the Viterbi log-probability.
+            let mut p = m.prior()[r.assignment[0]].ln() + m.emit(r.assignment[0], obs[0]).ln();
+            for t in 1..len {
+                p += m.trans(r.assignment[t - 1], r.assignment[t]).ln()
+                    + m.emit(r.assignment[t], obs[t]).ln();
+            }
+            prop_assert!((p - vit_logp).abs() < 1e-9);
+        }
+    }
+}

@@ -110,7 +110,10 @@ impl CauditHoneypot {
             return (false, None, Vec::new());
         };
         self.stats.attempts += 1;
-        let em = self.emulators.get_mut(&entry).expect("target implies emulator");
+        let em = self
+            .emulators
+            .get_mut(&entry)
+            .expect("target implies emulator");
         use crate::service::VulnerableService;
         let success = em.try_auth(user, secret);
         let channel = if success {
@@ -244,8 +247,12 @@ mod tests {
     #[test]
     fn commands_observable_on_container_host() {
         let (mut pot, addrs) = deployed();
-        let actions =
-            pot.command(SimTime::from_secs(5), addrs[2], "svcbackup", "cat ~/.ssh/known_hosts");
+        let actions = pot.command(
+            SimTime::from_secs(5),
+            addrs[2],
+            "svcbackup",
+            "cat ~/.ssh/known_hosts",
+        );
         match &actions[0].1 {
             Action::Exec(e) => {
                 assert_eq!(e.host, HostId(102));
@@ -266,7 +273,14 @@ mod tests {
             "y",
         );
         assert!(!ok && ch.is_none() && actions.is_empty());
-        assert!(pot.command(SimTime::from_secs(0), "10.0.0.1".parse().unwrap(), "x", "id").is_empty());
+        assert!(pot
+            .command(
+                SimTime::from_secs(0),
+                "10.0.0.1".parse().unwrap(),
+                "x",
+                "id"
+            )
+            .is_empty());
     }
 
     #[test]
@@ -283,7 +297,9 @@ mod tests {
             &hint.credential.user,
             &hint.credential.secret,
         );
-        let Action::SshAuth(auth) = &actions[0].1 else { panic!("expected ssh auth") };
+        let Action::SshAuth(auth) = &actions[0].1 else {
+            panic!("expected ssh auth")
+        };
         let record = telemetry::record::LogRecord::Ssh(telemetry::record::SshRecord {
             ts: actions[0].0,
             uid: auth.flow.id,

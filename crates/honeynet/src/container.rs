@@ -117,12 +117,17 @@ impl ContainerPool {
 
     /// Number of running instances.
     pub fn running_count(&self) -> usize {
-        self.instances.iter().filter(|c| c.state == InstanceState::Running).count()
+        self.instances
+            .iter()
+            .filter(|c| c.state == InstanceState::Running)
+            .count()
     }
 
     /// Borrow a running instance by index (round-robin by id).
     pub fn running_mut(&mut self) -> impl Iterator<Item = &mut Container> {
-        self.instances.iter_mut().filter(|c| c.state == InstanceState::Running)
+        self.instances
+            .iter_mut()
+            .filter(|c| c.state == InstanceState::Running)
     }
 
     /// Get a specific instance.
@@ -144,7 +149,8 @@ impl ContainerPool {
                 recycled += 1;
             }
         }
-        self.instances.retain(|c| c.state != InstanceState::Destroyed);
+        self.instances
+            .retain(|c| c.state != InstanceState::Destroyed);
         self.scale_to_target(now);
         recycled
     }
@@ -172,7 +178,9 @@ mod tests {
 
     fn image() -> ContainerImage {
         let repo = SnapshotRepo::with_debian_history();
-        let snapshot = repo.resolve(SimTime::from_date(2019, 6, 1), &["postgresql"]).unwrap();
+        let snapshot = repo
+            .resolve(SimTime::from_date(2019, 6, 1), &["postgresql"])
+            .unwrap();
         ContainerImage {
             name: "pg-honeypot".into(),
             snapshot,
@@ -223,7 +231,12 @@ mod tests {
     #[test]
     fn image_is_immutable_across_recycles() {
         let mut pool = ContainerPool::new(image(), 1, SimDuration::from_hours(1), SimTime::EPOCH);
-        let v0 = pool.image().snapshot.version_of("postgresql").unwrap().to_string();
+        let v0 = pool
+            .image()
+            .snapshot
+            .version_of("postgresql")
+            .unwrap()
+            .to_string();
         pool.tick(SimTime::from_secs(7_200));
         assert_eq!(pool.image().snapshot.version_of("postgresql").unwrap(), v0);
     }

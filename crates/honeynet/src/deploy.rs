@@ -101,8 +101,7 @@ impl HoneynetDeployment {
             snapshot,
             services: vec![("postgresql".into(), 5432)],
         };
-        let pool =
-            ContainerPool::new(image, cfg.entry_points, cfg.container_ttl, cfg.build_date);
+        let pool = ContainerPool::new(image, cfg.entry_points, cfg.container_ttl, cfg.build_date);
         let mut overlay = OverlayNetwork::new("10.77.0.0/16".parse().expect("static CIDR"));
 
         let mut creds = vec![Credential::new("postgres", "postgres")];
@@ -112,7 +111,12 @@ impl HoneynetDeployment {
         let mut entry_addrs = Vec::with_capacity(cfg.entry_points);
         for i in 0..cfg.entry_points {
             let addr = cidr.nth(i as u64 + 10);
-            topo.add_host(format!("hpot-entry{:02}", i + 1), addr, Zone::Honeynet, HostRole::EntryPoint);
+            topo.add_host(
+                format!("hpot-entry{:02}", i + 1),
+                addr,
+                Zone::Honeynet,
+                HostRole::EntryPoint,
+            );
             let ctr_addr = overlay.allocate();
             let container_host = topo.add_host(
                 format!("hpot-ctr{:02}", i + 1),
@@ -202,7 +206,10 @@ impl HoneynetDeployment {
             self.stats.auth_successes += 1;
             self.sessions.insert(
                 (src, entry),
-                SessionCtx { user: Some(user.to_string()), commands: 0 },
+                SessionCtx {
+                    user: Some(user.to_string()),
+                    commands: 0,
+                },
             );
         } else {
             self.stats.auth_failures += 1;
@@ -319,7 +326,9 @@ mod tests {
         assert_eq!(dep.entry_addrs().len(), 16);
         for addr in dep.entry_addrs() {
             assert!(dep.cidr().contains(*addr));
-            let host = topo.host_by_addr(*addr).expect("entry registered in topology");
+            let host = topo
+                .host_by_addr(*addr)
+                .expect("entry registered in topology");
             assert_eq!(host.role, HostRole::EntryPoint);
             assert_eq!(host.zone, Zone::Honeynet);
         }
@@ -356,16 +365,25 @@ mod tests {
         assert_eq!(reply.as_deref(), Some("90421"));
         assert_eq!(actions.len(), 1);
         // Step 2: ELF payload into a largeobject.
-        let stmt = format!("SELECT lo_from_bytea(0, decode('7f454c46{}','hex'))", "00".repeat(64));
+        let stmt = format!(
+            "SELECT lo_from_bytea(0, decode('7f454c46{}','hex'))",
+            "00".repeat(64)
+        );
         let (_, actions) = dep.db_command(SimTime::from_secs(2), src, entry, &stmt);
         assert!(actions.iter().any(|(_, a)| matches!(
             a,
             Action::Db(d) if matches!(&d.command, DbCommandKind::LargeObjectWrite { hex_prefix, .. } if hex_prefix == "7F454C46")
         )));
         // Step 3: lo_export drops /tmp/kp → Db action + FileOp action.
-        let (_, actions) =
-            dep.db_command(SimTime::from_secs(3), src, entry, "SELECT lo_export(16384, '/tmp/kp')");
-        assert!(actions.iter().any(|(_, a)| matches!(a, Action::FileOp(f) if f.path == "/tmp/kp")));
+        let (_, actions) = dep.db_command(
+            SimTime::from_secs(3),
+            src,
+            entry,
+            "SELECT lo_export(16384, '/tmp/kp')",
+        );
+        assert!(actions
+            .iter()
+            .any(|(_, a)| matches!(a, Action::FileOp(f) if f.path == "/tmp/kp")));
         assert_eq!(dep.stats().files_dropped, 1);
         assert_eq!(dep.stats().commands, 3);
     }
@@ -389,6 +407,10 @@ mod tests {
         dep.db_command(SimTime::from_secs(1), src, entry, "SELECT 1");
         let recycled = dep.tick(SimTime::from_secs(2));
         assert_eq!(recycled, 1, "touched container recycled early");
-        assert_eq!(dep.pool().running_count(), 16, "pool reprovisioned to target");
+        assert_eq!(
+            dep.pool().running_count(),
+            16,
+            "pool reprovisioned to target"
+        );
     }
 }

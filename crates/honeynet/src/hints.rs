@@ -60,18 +60,16 @@ pub struct HintPublisher {
 
 impl HintPublisher {
     pub fn new() -> HintPublisher {
-        HintPublisher { hints: Vec::new(), by_secret: FxHashMap::default() }
+        HintPublisher {
+            hints: Vec::new(),
+            by_secret: FxHashMap::default(),
+        }
     }
 
     /// Plant one unique credential per channel for a service URL. The
     /// secret embeds a per-channel random token so collisions across
     /// channels are (deterministically, per seed) impossible.
-    pub fn plant_all(
-        &mut self,
-        rng: &mut SimRng,
-        user: &str,
-        service_url: &str,
-    ) -> Vec<Hint> {
+    pub fn plant_all(&mut self, rng: &mut SimRng, user: &str, service_url: &str) -> Vec<Hint> {
         LeakChannel::ALL
             .iter()
             .map(|&channel| self.plant(rng, channel, user, service_url))
@@ -142,9 +140,20 @@ mod tests {
         let mut rng = SimRng::seed(8);
         let mut pub_ = HintPublisher::new();
         let git = pub_.plant(&mut rng, LeakChannel::Git, "svcbackup", "ssh://login01");
-        let paste = pub_.plant(&mut rng, LeakChannel::Pastebin, "svcbackup", "ssh://login01");
-        assert_eq!(pub_.attribute(&git.credential.secret), Some(LeakChannel::Git));
-        assert_eq!(pub_.attribute(&paste.credential.secret), Some(LeakChannel::Pastebin));
+        let paste = pub_.plant(
+            &mut rng,
+            LeakChannel::Pastebin,
+            "svcbackup",
+            "ssh://login01",
+        );
+        assert_eq!(
+            pub_.attribute(&git.credential.secret),
+            Some(LeakChannel::Git)
+        );
+        assert_eq!(
+            pub_.attribute(&paste.credential.secret),
+            Some(LeakChannel::Pastebin)
+        );
         assert_eq!(pub_.attribute("never-planted"), None);
     }
 
@@ -153,7 +162,9 @@ mod tests {
         let plant = |seed| {
             let mut rng = SimRng::seed(seed);
             let mut p = HintPublisher::new();
-            p.plant(&mut rng, LeakChannel::Git, "u", "url").credential.secret
+            p.plant(&mut rng, LeakChannel::Git, "u", "url")
+                .credential
+                .secret
         };
         assert_eq!(plant(1), plant(1));
         assert_ne!(plant(1), plant(2));

@@ -35,7 +35,11 @@ pub struct EgressDrop {
 
 impl EgressFirewall {
     pub fn new(contained: Vec<Cidr>) -> EgressFirewall {
-        EgressFirewall { contained, allow: Vec::new(), drops: 0 }
+        EgressFirewall {
+            contained,
+            allow: Vec::new(),
+            drops: 0,
+        }
     }
 
     /// Allow traffic to a destination block (optionally one port).
@@ -51,7 +55,7 @@ impl EgressFirewall {
     fn is_allowed(&self, dst: Ipv4Addr, port: u16) -> bool {
         self.allow
             .iter()
-            .any(|(c, p)| c.contains(dst) && p.map_or(true, |pp| pp == port))
+            .any(|(c, p)| c.contains(dst) && p.is_none_or(|pp| pp == port))
     }
 
     /// Whether a flow from the honeynet should be dropped. Replies *into*
@@ -149,17 +153,19 @@ impl telemetry::monitor::Monitor for IsolationMonitor {
         }
         let Some(flow) = action.flow() else { return };
         self.drops_seen += 1;
-        out.push(telemetry::record::LogRecord::Notice(telemetry::record::NoticeRecord {
-            ts: ctx.time,
-            note: telemetry::record::NoticeKind::Custom("alert_egress_drop".into()),
-            msg: format!(
-                "egress containment dropped {} -> {}:{}",
-                flow.src, flow.dst, flow.dst_port
-            ),
-            src: flow.src,
-            dst: Some(flow.dst),
-            sub: "honeynet isolation".into(),
-        }));
+        out.push(telemetry::record::LogRecord::Notice(
+            telemetry::record::NoticeRecord {
+                ts: ctx.time,
+                note: telemetry::record::NoticeKind::Custom("alert_egress_drop".into()),
+                msg: format!(
+                    "egress containment dropped {} -> {}:{}",
+                    flow.src, flow.dst, flow.dst_port
+                ),
+                src: flow.src,
+                dst: Some(flow.dst),
+                sub: "honeynet isolation".into(),
+            },
+        ));
     }
 }
 
@@ -201,9 +207,15 @@ mod tests {
     fn inbound_and_intra_honeynet_allowed() {
         let mut fw = EgressFirewall::new(vec![honeynet_cidr()]);
         let inbound = flow("111.200.1.1", "141.142.77.10", 5432);
-        assert_eq!(fw.check(SimTime::from_secs(0), &inbound), RouteDecision::Forward);
+        assert_eq!(
+            fw.check(SimTime::from_secs(0), &inbound),
+            RouteDecision::Forward
+        );
         let intra = flow("141.142.77.10", "141.142.77.11", 22);
-        assert_eq!(fw.check(SimTime::from_secs(0), &intra), RouteDecision::Forward);
+        assert_eq!(
+            fw.check(SimTime::from_secs(0), &intra),
+            RouteDecision::Forward
+        );
     }
 
     #[test]
@@ -211,9 +223,15 @@ mod tests {
         let mut fw = EgressFirewall::new(vec![honeynet_cidr()]);
         fw.allow("192.168.100.0/24".parse().unwrap(), Some(514));
         let to_collector = flow("141.142.77.10", "192.168.100.3", 514);
-        assert_eq!(fw.check(SimTime::from_secs(0), &to_collector), RouteDecision::Forward);
+        assert_eq!(
+            fw.check(SimTime::from_secs(0), &to_collector),
+            RouteDecision::Forward
+        );
         let wrong_port = flow("141.142.77.10", "192.168.100.3", 80);
-        assert!(matches!(fw.check(SimTime::from_secs(0), &wrong_port), RouteDecision::Drop(_)));
+        assert!(matches!(
+            fw.check(SimTime::from_secs(0), &wrong_port),
+            RouteDecision::Drop(_)
+        ));
     }
 
     #[test]

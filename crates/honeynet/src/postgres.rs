@@ -65,8 +65,7 @@ impl PostgresEmulator {
 
     /// `9.4.21` → `90421`.
     fn version_num_of(version: &str) -> String {
-        let parts: Vec<u32> =
-            version.split('.').map(|p| p.parse().unwrap_or(0)).collect();
+        let parts: Vec<u32> = version.split('.').map(|p| p.parse().unwrap_or(0)).collect();
         match parts.as_slice() {
             [maj, min, patch, ..] => format!("{}{:02}{:02}", maj, min, patch),
             [maj, min] => format!("{}{:02}00", maj, min),
@@ -135,7 +134,10 @@ impl VulnerableService for PostgresEmulator {
     }
 
     fn try_auth(&mut self, user: &str, secret: &str) -> bool {
-        let ok = self.credentials.iter().any(|c| c.user == user && c.secret == secret);
+        let ok = self
+            .credentials
+            .iter()
+            .any(|c| c.user == user && c.secret == secret);
         if !ok {
             self.auth_failures += 1;
         }
@@ -162,10 +164,17 @@ impl VulnerableService for PostgresEmulator {
             let prefix: String = hex.chars().take(8).collect::<String>().to_ascii_uppercase();
             let oid = self.next_oid;
             self.next_oid += 1;
-            self.largeobjects.push(LargeObject { oid, hex_prefix: prefix.clone(), bytes });
+            self.largeobjects.push(LargeObject {
+                oid,
+                hex_prefix: prefix.clone(),
+                bytes,
+            });
             return CommandOutcome::ok(format!("lo_from_bytea\n-----\n{oid}")).with_event(
                 ServiceEvent::Db {
-                    command: DbCommandKind::LargeObjectWrite { hex_prefix: prefix, bytes },
+                    command: DbCommandKind::LargeObjectWrite {
+                        hex_prefix: prefix,
+                        bytes,
+                    },
                     statement: truncate_stmt(trimmed),
                 },
             );
@@ -179,7 +188,10 @@ impl VulnerableService for PostgresEmulator {
                     command: DbCommandKind::LoExport { path: path.clone() },
                     statement: truncate_stmt(trimmed),
                 })
-                .with_event(ServiceEvent::FileDropped { path, process: "postgres".into() });
+                .with_event(ServiceEvent::FileDropped {
+                    path,
+                    process: "postgres".into(),
+                });
         }
 
         if let Some(prog) = Self::parse_copy_program(trimmed) {
@@ -187,7 +199,9 @@ impl VulnerableService for PostgresEmulator {
                 let prog = prog.to_string();
                 return CommandOutcome::ok("COPY 0")
                     .with_event(ServiceEvent::Db {
-                        command: DbCommandKind::CopyFromProgram { program: prog.clone() },
+                        command: DbCommandKind::CopyFromProgram {
+                            program: prog.clone(),
+                        },
                         statement: truncate_stmt(trimmed),
                     })
                     .with_event(ServiceEvent::CommandExecuted { cmdline: prog });
@@ -219,7 +233,10 @@ mod tests {
     fn authed() -> (PostgresEmulator, SessionCtx) {
         let mut pg = PostgresEmulator::with_default_credentials("9.4.21");
         assert!(pg.try_auth("postgres", "postgres"));
-        let session = SessionCtx { user: Some("postgres".into()), commands: 0 };
+        let session = SessionCtx {
+            user: Some("postgres".into()),
+            commands: 0,
+        };
         (pg, session)
     }
 
@@ -254,7 +271,10 @@ mod tests {
         assert_eq!(out.reply, "90421");
         assert!(matches!(
             out.events[0],
-            ServiceEvent::Db { command: DbCommandKind::ShowVersion, .. }
+            ServiceEvent::Db {
+                command: DbCommandKind::ShowVersion,
+                ..
+            }
         ));
     }
 
@@ -305,7 +325,10 @@ mod tests {
 
         let mut patched = PostgresEmulator::with_default_credentials("9.4.26");
         assert!(patched.try_auth("postgres", "postgres"));
-        let mut s2 = SessionCtx { user: Some("postgres".into()), commands: 0 };
+        let mut s2 = SessionCtx {
+            user: Some("postgres".into()),
+            commands: 0,
+        };
         let out = patched.execute(&mut s2, "COPY t FROM PROGRAM 'id'");
         assert!(!out.ok);
     }
@@ -317,7 +340,10 @@ mod tests {
         assert!(out.ok);
         assert!(matches!(
             out.events[0],
-            ServiceEvent::Db { command: DbCommandKind::Query, .. }
+            ServiceEvent::Db {
+                command: DbCommandKind::Query,
+                ..
+            }
         ));
         assert_eq!(s.commands, 1);
     }
@@ -325,7 +351,10 @@ mod tests {
     #[test]
     fn long_statements_truncated_in_audit() {
         let (mut pg, mut s) = authed();
-        let stmt = format!("SELECT lo_from_bytea(0, decode('{}','hex'))", "7f".repeat(10_000));
+        let stmt = format!(
+            "SELECT lo_from_bytea(0, decode('{}','hex'))",
+            "7f".repeat(10_000)
+        );
         let out = pg.execute(&mut s, &stmt);
         match &out.events[0] {
             ServiceEvent::Db { statement, .. } => {

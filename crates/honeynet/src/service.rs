@@ -19,7 +19,10 @@ pub struct Credential {
 
 impl Credential {
     pub fn new(user: impl Into<String>, secret: impl Into<String>) -> Credential {
-        Credential { user: user.into(), secret: secret.into() }
+        Credential {
+            user: user.into(),
+            secret: secret.into(),
+        }
     }
 }
 
@@ -27,7 +30,10 @@ impl Credential {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServiceEvent {
     /// A database wire command was executed (observed by the DB audit log).
-    Db { command: DbCommandKind, statement: String },
+    Db {
+        command: DbCommandKind,
+        statement: String,
+    },
     /// A file appeared on the container's disk.
     FileDropped { path: String, process: String },
     /// The service attempted a new outbound connection (to be stopped by
@@ -48,11 +54,19 @@ pub struct CommandOutcome {
 
 impl CommandOutcome {
     pub fn ok(reply: impl Into<String>) -> CommandOutcome {
-        CommandOutcome { reply: reply.into(), events: Vec::new(), ok: true }
+        CommandOutcome {
+            reply: reply.into(),
+            events: Vec::new(),
+            ok: true,
+        }
     }
 
     pub fn err(reply: impl Into<String>) -> CommandOutcome {
-        CommandOutcome { reply: reply.into(), events: Vec::new(), ok: false }
+        CommandOutcome {
+            reply: reply.into(),
+            events: Vec::new(),
+            ok: false,
+        }
     }
 
     pub fn with_event(mut self, ev: ServiceEvent) -> CommandOutcome {

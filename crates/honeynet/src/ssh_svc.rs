@@ -26,7 +26,10 @@ pub struct SshEmulator {
 
 impl SshEmulator {
     pub fn new(accepted: Vec<Credential>) -> SshEmulator {
-        SshEmulator { accepted, captured: Vec::new() }
+        SshEmulator {
+            accepted,
+            captured: Vec::new(),
+        }
     }
 
     /// Every attempt seen so far (the honeypot's credential-capture log).
@@ -58,7 +61,10 @@ impl VulnerableService for SshEmulator {
     }
 
     fn try_auth(&mut self, user: &str, secret: &str) -> bool {
-        let success = self.accepted.iter().any(|c| c.user == user && c.secret == secret);
+        let success = self
+            .accepted
+            .iter()
+            .any(|c| c.user == user && c.secret == secret);
         self.captured.push(CapturedAttempt {
             user: user.to_string(),
             secret: secret.to_string(),
@@ -96,7 +102,10 @@ mod tests {
     #[test]
     fn commands_pass_through_as_events() {
         let mut ssh = SshEmulator::new(vec![]);
-        let mut session = SessionCtx { user: Some("svcbackup".into()), commands: 0 };
+        let mut session = SessionCtx {
+            user: Some("svcbackup".into()),
+            commands: 0,
+        };
         let out = ssh.execute(&mut session, "cat ~/.ssh/known_hosts");
         assert!(out.ok);
         assert!(matches!(

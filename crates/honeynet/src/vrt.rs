@@ -46,7 +46,10 @@ pub struct Snapshot {
 impl Snapshot {
     /// The pinned version of a package, if present.
     pub fn version_of(&self, package: &str) -> Option<&str> {
-        self.packages.iter().find(|(p, _)| p == package).map(|(_, v)| v.as_str())
+        self.packages
+            .iter()
+            .find(|(p, _)| p == package)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -150,15 +153,20 @@ impl SnapshotRepo {
             if pinned.iter().any(|(p, _)| *p == pkg) {
                 continue;
             }
-            let upload =
-                self.latest_before(&pkg, date).ok_or_else(|| VrtError::MissingPackage(pkg.clone()))?;
+            let upload = self
+                .latest_before(&pkg, date)
+                .ok_or_else(|| VrtError::MissingPackage(pkg.clone()))?;
             pinned.push((pkg.clone(), upload.version.clone()));
             for dep in &upload.depends {
                 queue.push(dep.clone());
             }
         }
         pinned.sort();
-        Ok(Snapshot { date, release, packages: pinned })
+        Ok(Snapshot {
+            date,
+            release,
+            packages: pinned,
+        })
     }
 
     /// Vulnerabilities present in a snapshot.
@@ -230,7 +238,9 @@ mod tests {
         // §IV-A: input 20140401 → distribution released just before the
         // date (wheezy) with the vulnerable openssl and its dependencies.
         let repo = SnapshotRepo::with_debian_history();
-        let snap = repo.resolve(SimTime::from_date(2014, 4, 1), &["openssl"]).unwrap();
+        let snap = repo
+            .resolve(SimTime::from_date(2014, 4, 1), &["openssl"])
+            .unwrap();
         assert_eq!(snap.release.name, "wheezy");
         assert_eq!(snap.version_of("openssl"), Some("1.0.1f"));
         // Transitive closure pinned too.
@@ -243,15 +253,22 @@ mod tests {
     #[test]
     fn post_fix_date_resolves_patched_version() {
         let repo = SnapshotRepo::with_debian_history();
-        let snap = repo.resolve(SimTime::from_date(2014, 6, 1), &["openssl"]).unwrap();
+        let snap = repo
+            .resolve(SimTime::from_date(2014, 6, 1), &["openssl"])
+            .unwrap();
         assert_eq!(snap.version_of("openssl"), Some("1.0.1g"));
-        assert!(repo.vulnerabilities_in(&snap).iter().all(|v| v.name != "Heartbleed"));
+        assert!(repo
+            .vulnerabilities_in(&snap)
+            .iter()
+            .all(|v| v.name != "Heartbleed"));
     }
 
     #[test]
     fn old_date_resolves_old_stack() {
         let repo = SnapshotRepo::with_debian_history();
-        let snap = repo.resolve(SimTime::from_date(2007, 1, 1), &["openssl"]).unwrap();
+        let snap = repo
+            .resolve(SimTime::from_date(2007, 1, 1), &["openssl"])
+            .unwrap();
         assert_eq!(snap.release.name, "sarge");
         assert_eq!(snap.version_of("openssl"), Some("0.9.8c"));
     }
@@ -259,28 +276,36 @@ mod tests {
     #[test]
     fn missing_package_errors() {
         let repo = SnapshotRepo::with_debian_history();
-        let err = repo.resolve(SimTime::from_date(2014, 4, 1), &["nonexistent"]).unwrap_err();
+        let err = repo
+            .resolve(SimTime::from_date(2014, 4, 1), &["nonexistent"])
+            .unwrap_err();
         assert_eq!(err, VrtError::MissingPackage("nonexistent".into()));
     }
 
     #[test]
     fn date_before_any_release_errors() {
         let repo = SnapshotRepo::with_debian_history();
-        let err = repo.resolve(SimTime::from_date(2004, 1, 1), &["openssl"]).unwrap_err();
+        let err = repo
+            .resolve(SimTime::from_date(2004, 1, 1), &["openssl"])
+            .unwrap_err();
         assert_eq!(err, VrtError::NoRelease);
     }
 
     #[test]
     fn postgres_vulnerable_snapshot() {
         let repo = SnapshotRepo::with_debian_history();
-        let snap = repo.resolve(SimTime::from_date(2019, 6, 1), &["postgresql"]).unwrap();
+        let snap = repo
+            .resolve(SimTime::from_date(2019, 6, 1), &["postgresql"])
+            .unwrap();
         assert_eq!(snap.version_of("postgresql"), Some("9.4.21"));
         assert!(repo
             .vulnerabilities_in(&snap)
             .iter()
             .any(|v| v.id == "CVE-2019-9193"));
         // A 2021 build gets the patched version.
-        let snap2 = repo.resolve(SimTime::from_date(2021, 1, 1), &["postgresql"]).unwrap();
+        let snap2 = repo
+            .resolve(SimTime::from_date(2021, 1, 1), &["postgresql"])
+            .unwrap();
         assert_eq!(snap2.version_of("postgresql"), Some("9.4.26"));
         assert!(repo.vulnerabilities_in(&snap2).is_empty());
     }

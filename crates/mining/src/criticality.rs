@@ -66,7 +66,13 @@ pub fn measure_criticality(store: &IncidentStore) -> CriticalityReport {
             }
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     CriticalityReport {
         unique_critical_kinds: kinds.len(),
         critical_occurrences: occurrences,
@@ -96,7 +102,11 @@ mod tests {
     fn counts_unique_kinds_and_occurrences() {
         use AlertKind::*;
         let mut store = IncidentStore::new();
-        store.add(incident(&[PortScan, DownloadSensitive, PrivilegeEscalation]));
+        store.add(incident(&[
+            PortScan,
+            DownloadSensitive,
+            PrivilegeEscalation,
+        ]));
         store.add(incident(&[PortScan, PrivilegeEscalation, DataExfiltration]));
         store.add(incident(&[PortScan, LoginFailed]));
         let r = measure_criticality(&store);

@@ -26,7 +26,11 @@ pub fn lcs_length<T: Eq>(a: &[T], b: &[T]) -> usize {
         let mut prev_diag = 0;
         for (j, y) in short.iter().enumerate() {
             let up = row[j + 1];
-            row[j + 1] = if x == y { prev_diag + 1 } else { up.max(row[j]) };
+            row[j + 1] = if x == y {
+                prev_diag + 1
+            } else {
+                up.max(row[j])
+            };
             prev_diag = up;
         }
     }
@@ -223,7 +227,11 @@ pub fn mine_common_patterns(store: &IncidentStore, cfg: &MinerConfig) -> Vec<Com
     scored
         .into_iter()
         .enumerate()
-        .map(|(i, (seq, support))| CommonPattern { rank: i + 1, seq, support })
+        .map(|(i, (seq, support))| CommonPattern {
+            rank: i + 1,
+            seq,
+            support,
+        })
         .collect()
 }
 
@@ -274,7 +282,12 @@ mod tests {
         let mut store = IncidentStore::new();
         // The S1 motif with different noise around it.
         for extra in [PortScan, BruteForcePassword, VulnScan, LoginFailed] {
-            store.add(incident(&[extra, DownloadSensitive, CompileKernelModule, LogWipe]));
+            store.add(incident(&[
+                extra,
+                DownloadSensitive,
+                CompileKernelModule,
+                LogWipe,
+            ]));
         }
         // One unrelated incident.
         store.add(incident(&[SqlInjectionProbe, DataExfiltration]));
@@ -282,7 +295,10 @@ mod tests {
         assert!(!patterns.is_empty());
         let top = &patterns[0];
         assert_eq!(top.name(), "S1");
-        assert_eq!(top.seq, vec![DownloadSensitive, CompileKernelModule, LogWipe]);
+        assert_eq!(
+            top.seq,
+            vec![DownloadSensitive, CompileKernelModule, LogWipe]
+        );
         assert_eq!(top.support, 4);
     }
 
@@ -293,7 +309,10 @@ mod tests {
         store.add(incident(&[PortScan, LogWipe]));
         store.add(incident(&[PortScan, LogWipe]));
         store.add(incident(&[SqlInjectionProbe, RansomNoteDropped]));
-        let cfg = MinerConfig { min_support: 3, ..Default::default() };
+        let cfg = MinerConfig {
+            min_support: 3,
+            ..Default::default()
+        };
         let patterns = mine_common_patterns(&store, &cfg);
         assert!(patterns.is_empty());
     }
@@ -304,8 +323,14 @@ mod tests {
         let mut store = IncidentStore::new();
         // Many distinct pairwise motifs.
         let kinds = [
-            PortScan, VulnScan, BruteForcePassword, DownloadSensitive, CompileSource,
-            LogWipe, HistoryCleared, SshKeyEnumeration,
+            PortScan,
+            VulnScan,
+            BruteForcePassword,
+            DownloadSensitive,
+            CompileSource,
+            LogWipe,
+            HistoryCleared,
+            SshKeyEnumeration,
         ];
         for i in 0..kinds.len() {
             for j in 0..kinds.len() {
@@ -314,7 +339,11 @@ mod tests {
                 }
             }
         }
-        let cfg = MinerConfig { max_patterns: 5, min_support: 2, ..Default::default() };
+        let cfg = MinerConfig {
+            max_patterns: 5,
+            min_support: 2,
+            ..Default::default()
+        };
         let patterns = mine_common_patterns(&store, &cfg);
         assert!(patterns.len() <= 5);
         // Ranks are 1-based and ordered by support.

@@ -63,7 +63,11 @@ pub fn measure_recurrence(store: &IncidentStore, pattern: &[AlertKind]) -> Recur
 /// The canonical S1 pattern of the paper: download source over unsecured
 /// HTTP → compile as kernel module → erase the forensic trace.
 pub fn s1_pattern() -> Vec<AlertKind> {
-    vec![AlertKind::DownloadSensitive, AlertKind::CompileKernelModule, AlertKind::LogWipe]
+    vec![
+        AlertKind::DownloadSensitive,
+        AlertKind::CompileKernelModule,
+        AlertKind::LogWipe,
+    ]
 }
 
 #[cfg(test)]
@@ -85,9 +89,15 @@ mod tests {
     fn recurrence_counts_and_span() {
         use AlertKind::*;
         let mut store = IncidentStore::new();
-        store.add(incident(2002, &[PortScan, DownloadSensitive, CompileKernelModule, LogWipe]));
+        store.add(incident(
+            2002,
+            &[PortScan, DownloadSensitive, CompileKernelModule, LogWipe],
+        ));
         store.add(incident(2010, &[SqlInjectionProbe]));
-        store.add(incident(2024, &[DownloadSensitive, VulnScan, CompileKernelModule, LogWipe]));
+        store.add(incident(
+            2024,
+            &[DownloadSensitive, VulnScan, CompileKernelModule, LogWipe],
+        ));
         let r = measure_recurrence(&store, &s1_pattern());
         assert_eq!(r.hits, 2);
         assert_eq!(r.total, 3);

@@ -78,7 +78,9 @@ pub struct Histogram {
 
 impl Histogram {
     pub fn new(bins: usize) -> Histogram {
-        Histogram { counts: vec![0; bins] }
+        Histogram {
+            counts: vec![0; bins],
+        }
     }
 
     pub fn add(&mut self, bin: usize) {
@@ -141,7 +143,13 @@ impl Summary {
             min = min.min(s);
             max = max.max(s);
         }
-        Some(Summary { n, mean, std_dev: var.sqrt(), min, max })
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Coefficient of variation (σ/μ) — the dispersion measure behind

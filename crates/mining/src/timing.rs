@@ -39,7 +39,12 @@ pub struct PhaseTiming {
 impl PhaseTiming {
     fn from_gaps(gaps: &[f64]) -> Option<PhaseTiming> {
         let s = Summary::of(gaps)?;
-        Some(PhaseTiming { gaps: s.n, mean_gap_secs: s.mean, std_gap_secs: s.std_dev, cv: s.cv() })
+        Some(PhaseTiming {
+            gaps: s.n,
+            mean_gap_secs: s.mean,
+            std_gap_secs: s.std_dev,
+            cv: s.cv(),
+        })
     }
 }
 
@@ -94,7 +99,9 @@ pub fn compare_phase_timing(store: &IncidentStore) -> Option<TimingComparison> {
     let mut manual_gaps = Vec::new();
     for inc in store.iter() {
         for w in inc.alerts.windows(2) {
-            let (Some(a), Some(b)) = (phase_class(&w[0]), phase_class(&w[1])) else { continue };
+            let (Some(a), Some(b)) = (phase_class(&w[0]), phase_class(&w[1])) else {
+                continue;
+            };
             if a != b {
                 continue;
             }
@@ -138,10 +145,10 @@ mod tests {
     #[test]
     fn phase_split_by_severity() {
         let alerts = vec![
-            alert(0, AlertKind::PortScan),           // Noise → automated
-            alert(1, AlertKind::BruteForcePassword), // Attempt → automated
-            alert(2, AlertKind::LoginSuccess),       // Info → neither
-            alert(3, AlertKind::DownloadSensitive),  // Significant → manual
+            alert(0, AlertKind::PortScan),            // Noise → automated
+            alert(1, AlertKind::BruteForcePassword),  // Attempt → automated
+            alert(2, AlertKind::LoginSuccess),        // Info → neither
+            alert(3, AlertKind::DownloadSensitive),   // Significant → manual
             alert(4, AlertKind::PrivilegeEscalation), // Critical → manual
         ];
         let (auto, manual) = split_phases(&alerts);
@@ -160,12 +167,20 @@ mod tests {
         // Manual: wildly varying gaps.
         let manual_times = [200u64, 210, 400, 2_000, 2_010, 9_000];
         for (i, &t) in manual_times.iter().enumerate() {
-            let k = if i % 2 == 0 { AlertKind::DownloadSensitive } else { AlertKind::LogWipe };
+            let k = if i % 2 == 0 {
+                AlertKind::DownloadSensitive
+            } else {
+                AlertKind::LogWipe
+            };
             inc.push_alert(alert(t, k));
         }
         store.add(inc);
         let cmp = compare_phase_timing(&store).unwrap();
-        assert!(cmp.automated.cv < 0.01, "metronome CV ~0, got {}", cmp.automated.cv);
+        assert!(
+            cmp.automated.cv < 0.01,
+            "metronome CV ~0, got {}",
+            cmp.automated.cv
+        );
         assert!(cmp.manual_more_variable());
         assert!(cmp.manual.cv > 0.5);
     }

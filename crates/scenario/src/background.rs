@@ -79,7 +79,9 @@ pub fn stream_day(
     // Scanner address pool for the day, derived deterministically.
     let day_tag = day_start.day_index() as u32;
     let scanner_addr = |rank: usize| -> Ipv4Addr {
-        let x = (rank as u32).wrapping_mul(2_654_435_761).wrapping_add(day_tag * 97);
+        let x = (rank as u32)
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(day_tag * 97);
         Ipv4Addr::from(0x0100_0000u32 | (x % 0xDE00_0000))
     };
     for i in 0..total {
@@ -87,8 +89,14 @@ pub fn stream_day(
         let alert = if i < scans {
             let src = scanner_addr(zipf_scanners.sample(rng));
             let dst = simnet::addr::ncsa_production().nth(rng.range_u64(0, 65_536));
-            let kind = if rng.chance(0.85) { AlertKind::PortScan } else { AlertKind::AddressSweep };
-            Alert::new(t, kind, Entity::Address(src)).with_src(src).with_dst(dst)
+            let kind = if rng.chance(0.85) {
+                AlertKind::PortScan
+            } else {
+                AlertKind::AddressSweep
+            };
+            Alert::new(t, kind, Entity::Address(src))
+                .with_src(src)
+                .with_dst(dst)
         } else {
             let (kind, _) = OTHER_KINDS[rng.weighted_index(&other_weights)];
             let src_idx = rng.index(model.legit_sources_per_day.max(1));
@@ -172,7 +180,8 @@ pub fn fig1_flows(cfg: &Fig1Config, rng: &mut SimRng) -> (Vec<Flow>, Fig1GroundT
         attacker: "132.45.67.89".parse().expect("static"),
         targets: [production.nth(4_321), production.nth(9_876)],
     };
-    let mut flows = Vec::with_capacity(cfg.scanner_flows + cfg.secondary_flows + cfg.legit_flows + 2);
+    let mut flows =
+        Vec::with_capacity(cfg.scanner_flows + cfg.secondary_flows + cfg.legit_flows + 2);
     let mut id = 0u64;
     let mut next_id = || {
         id += 1;
@@ -199,7 +208,7 @@ pub fn fig1_flows(cfg: &Fig1Config, rng: &mut SimRng) -> (Vec<Flow>, Fig1GroundT
         let src_i = rng.index(cfg.legit_nodes);
         let dst_i = rng.index(cfg.legit_nodes);
         let addr_of = |j: usize| -> Ipv4Addr {
-            if j % 2 == 0 {
+            if j.is_multiple_of(2) {
                 // External endpoint: hash to a public-looking address.
                 let x = (j as u32).wrapping_mul(2_654_435_761);
                 Ipv4Addr::from(0x0200_0000u32 | (x % 0xC000_0000))
@@ -254,11 +263,11 @@ mod tests {
         let model = VolumeModel::default();
         let mut rng = SimRng::seed(11);
         let n = 500;
-        let samples: Vec<f64> =
-            (0..n).map(|_| sample_daily_volume(&model, &mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_daily_volume(&model, &mut rng) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let std =
-            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((mean - 94_238.0).abs() < 4_000.0, "mean {mean}");
         assert!((std - 23_547.0).abs() < 4_000.0, "std {std}");
     }
@@ -269,15 +278,23 @@ mod tests {
         let mut rng = SimRng::seed(12);
         let mut scans = 0u64;
         let mut total = 0u64;
-        let n = stream_day(&model, &mut rng, SimTime::from_date(2024, 10, 1), &mut |a| {
-            total += 1;
-            if matches!(a.kind, AlertKind::PortScan | AlertKind::AddressSweep) {
-                scans += 1;
-            }
-        });
+        let n = stream_day(
+            &model,
+            &mut rng,
+            SimTime::from_date(2024, 10, 1),
+            &mut |a| {
+                total += 1;
+                if matches!(a.kind, AlertKind::PortScan | AlertKind::AddressSweep) {
+                    scans += 1;
+                }
+            },
+        );
         assert_eq!(n, total);
         let frac = scans as f64 / total as f64;
-        assert!((frac - 80_000.0 / 94_238.0).abs() < 0.03, "scan fraction {frac}");
+        assert!(
+            (frac - 80_000.0 / 94_238.0).abs() < 0.03,
+            "scan fraction {frac}"
+        );
     }
 
     #[test]
@@ -288,7 +305,11 @@ mod tests {
         let mut last = day;
         stream_day(&model, &mut rng, day, &mut |a| {
             assert!(a.ts >= last);
-            assert_eq!(a.ts.day_index(), day.day_index(), "alert stays within its day");
+            assert_eq!(
+                a.ts.day_index(),
+                day.day_index(),
+                "alert stays within its day"
+            );
             last = a.ts;
         });
     }
@@ -305,18 +326,32 @@ mod tests {
         let attack: Vec<_> = flows.iter().filter(|f| f.src == gt.attacker).collect();
         assert_eq!(attack.len(), 2);
         assert!(attack.iter().all(|f| f.state.established()));
-        assert!(attack.iter().all(|f| simnet::addr::ncsa_production().contains(f.dst)));
+        assert!(attack
+            .iter()
+            .all(|f| simnet::addr::ncsa_production().contains(f.dst)));
         // Scanner probes are probe-like (recorded by the black hole).
-        assert!(flows.iter().filter(|f| f.src == gt.mass_scanner).all(|f| f.state.probe_like()));
+        assert!(flows
+            .iter()
+            .filter(|f| f.src == gt.mass_scanner)
+            .all(|f| f.state.probe_like()));
     }
 
     #[test]
     fn multi_day_stream_counts() {
-        let model = VolumeModel { daily_mean: 1_000.0, daily_std: 100.0, ..Default::default() };
+        let model = VolumeModel {
+            daily_mean: 1_000.0,
+            daily_std: 100.0,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed(15);
         let mut count = 0u64;
-        let (total, per_day) =
-            stream_days(&model, &mut rng, SimTime::from_date(2024, 10, 1), 5, &mut |_| count += 1);
+        let (total, per_day) = stream_days(
+            &model,
+            &mut rng,
+            SimTime::from_date(2024, 10, 1),
+            5,
+            &mut |_| count += 1,
+        );
         assert_eq!(per_day.len(), 5);
         assert_eq!(total, count);
         assert_eq!(total, per_day.iter().sum::<u64>());

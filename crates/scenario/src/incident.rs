@@ -173,7 +173,13 @@ pub fn benign_sessions(rng: &mut SimRng, n: usize, start: SimTime) -> Vec<Vec<Al
         &[LoginSuccess, SoftwareInstall, FileTransfer],
         &[LoginSuccess, LoginFailed, LoginSuccess, JobSubmit],
         &[LoginUnusualHour, JobSubmit, FileTransfer, JobSubmit],
-        &[LoginSuccess, FileTransfer, FileTransfer, FileTransfer, JobSubmit],
+        &[
+            LoginSuccess,
+            FileTransfer,
+            FileTransfer,
+            FileTransfer,
+            JobSubmit,
+        ],
     ];
     (0..n)
         .map(|i| {
@@ -288,8 +294,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate_incident(&mut SimRng::seed(9), SimTime::from_date(2015, 3, 1), &spec());
-        let b = generate_incident(&mut SimRng::seed(9), SimTime::from_date(2015, 3, 1), &spec());
+        let a = generate_incident(
+            &mut SimRng::seed(9),
+            SimTime::from_date(2015, 3, 1),
+            &spec(),
+        );
+        let b = generate_incident(
+            &mut SimRng::seed(9),
+            SimTime::from_date(2015, 3, 1),
+            &spec(),
+        );
         assert_eq!(a.alerts, b.alerts);
     }
 }

@@ -117,9 +117,11 @@ pub fn standard_library() -> Vec<AttackTemplate> {
 
 /// Fig. 3b's support distribution: 43 counts, most frequent 14, tail of 2s.
 pub fn s_pattern_supports() -> Vec<usize> {
-    let mut v = vec![14, 12, 11, 10, 9, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 5, 4, 4, 4, 4, 4];
-    v.extend(std::iter::repeat(3).take(8));
-    v.extend(std::iter::repeat(2).take(14));
+    let mut v = vec![
+        14, 12, 11, 10, 9, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 5, 4, 4, 4, 4, 4,
+    ];
+    v.extend(std::iter::repeat_n(3, 8));
+    v.extend(std::iter::repeat_n(2, 14));
     debug_assert_eq!(v.len(), 43);
     v
 }
@@ -177,7 +179,11 @@ pub fn s_pattern_signatures(rng: &mut SimRng) -> Vec<Vec<AlertKind>> {
 /// The S1 motif of §I: download source over unsecured HTTP → compile as a
 /// kernel module → erase the forensic trace.
 pub fn s1_motif() -> [AlertKind; 3] {
-    [AlertKind::DownloadSensitive, AlertKind::CompileKernelModule, AlertKind::LogWipe]
+    [
+        AlertKind::DownloadSensitive,
+        AlertKind::CompileKernelModule,
+        AlertKind::LogWipe,
+    ]
 }
 
 #[cfg(test)]
@@ -212,7 +218,11 @@ mod tests {
         let sigs = s_pattern_signatures(&mut rng);
         assert_eq!(sigs.len(), 43);
         for s in &sigs {
-            assert!(s.len() >= 2 && s.len() <= 14, "length {} out of range", s.len());
+            assert!(
+                s.len() >= 2 && s.len() <= 14,
+                "length {} out of range",
+                s.len()
+            );
             // No critical kinds inside signatures.
             assert!(s.iter().all(|k| !k.is_critical()));
         }

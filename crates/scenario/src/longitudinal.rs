@@ -113,7 +113,11 @@ pub fn generate_corpus(cfg: &LongitudinalConfig) -> IncidentStore {
     // critical kinds assigned round-robin so every kind occurs.
     let criticals: Vec<AlertKind> = AlertKind::critical_kinds().collect();
     let mut critical_plan: Vec<Option<AlertKind>> = vec![None; cfg.total_incidents];
-    for (n, slot) in critical_plan.iter_mut().take(cfg.critical_occurrences).enumerate() {
+    for (n, slot) in critical_plan
+        .iter_mut()
+        .take(cfg.critical_occurrences)
+        .enumerate()
+    {
         *slot = Some(criticals[n % criticals.len()]);
     }
     rng.shuffle(&mut critical_plan);
@@ -159,10 +163,10 @@ pub fn pin_motif_span(store: &mut IncidentStore) {
         if !has {
             continue;
         }
-        if first.map_or(true, |f| snapshot[f].1 > *year) {
+        if first.is_none_or(|f| snapshot[f].1 > *year) {
             first = Some(*i);
         }
-        if last.map_or(true, |l| snapshot[l].1 < *year) {
+        if last.is_none_or(|l| snapshot[l].1 < *year) {
             last = Some(*i);
         }
     }

@@ -127,14 +127,21 @@ pub fn build_scenario(
         let base = cfg.probe_start + SimDuration::from_days(day);
         for (i, &entry) in deployment.entry_addrs().iter().enumerate() {
             let t = base + SimDuration::from_mins(7 * (i as u64 + 1));
-            actions.push((t, Action::Flow(fresh_flow(t, cfg.attacker, entry, 5432, false))));
+            actions.push((
+                t,
+                Action::Flow(fresh_flow(t, cfg.attacker, entry, 5432, false)),
+            ));
         }
     }
 
     // --- Oct 30: entry with privileged access (default credentials). ---
     let mut t = cfg.entry;
-    let (ok, auth_actions) = deployment.db_connect(t, cfg.attacker, entry_addr, "postgres", "postgres");
-    assert!(ok, "honeypot must accept the advertised default credentials");
+    let (ok, auth_actions) =
+        deployment.db_connect(t, cfg.attacker, entry_addr, "postgres", "postgres");
+    assert!(
+        ok,
+        "honeypot must accept the advertised default credentials"
+    );
     actions.extend(auth_actions);
 
     // Step 1: reconnaissance.
@@ -153,8 +160,12 @@ pub fn build_scenario(
 
     // Step 3: drop /tmp/kp via lo_export.
     t += SimDuration::from_mins(2);
-    let (_, acts) =
-        deployment.db_command(t, cfg.attacker, entry_addr, "SELECT lo_export(16384, '/tmp/kp')");
+    let (_, acts) = deployment.db_command(
+        t,
+        cfg.attacker,
+        entry_addr,
+        "SELECT lo_export(16384, '/tmp/kp')",
+    );
     actions.extend(acts);
 
     // --- Lateral movement: the Fig. 5 script on the compromised host. ---
@@ -233,10 +244,14 @@ pub fn build_scenario(
 
     // --- Trace wiping (Fig. 5's final lines). ---
     let wipe_base = c2_time + SimDuration::from_mins(1);
-    for (i, path) in
-        ["/var/spool/mail/root", "/var/log/wtmp", "/var/log/secure", "/var/log/cron"]
-            .iter()
-            .enumerate()
+    for (i, path) in [
+        "/var/spool/mail/root",
+        "/var/log/wtmp",
+        "/var/log/secure",
+        "/var/log/cron",
+    ]
+    .iter()
+    .enumerate()
     {
         actions.push((
             wipe_base + SimDuration::from_secs(i as u64),
@@ -254,7 +269,10 @@ pub fn build_scenario(
     let production_time = cfg.entry + cfg.production_delay;
     let production_victim = production.nth(1_025);
     // 03:44 downloads from the incident snippet.
-    for (i, uri) in ["/sys.x86_64", "/ldr.sh?e7945e_postgres:postgres"].iter().enumerate() {
+    for (i, uri) in ["/sys.x86_64", "/ldr.sh?e7945e_postgres:postgres"]
+        .iter()
+        .enumerate()
+    {
         let dt = production_time + SimDuration::from_secs(30 * i as u64);
         actions.push((
             dt,
@@ -277,7 +295,12 @@ pub fn build_scenario(
                 host: cfg.c2_server.to_string(),
                 uri: uri.to_string(),
                 status: 200,
-                mime: if i == 0 { "application/x-executable" } else { "text/x-shellscript" }.into(),
+                mime: if i == 0 {
+                    "application/x-executable"
+                } else {
+                    "text/x-shellscript"
+                }
+                .into(),
                 user_agent: "curl/7.61".into(),
             }),
         ));
@@ -287,11 +310,19 @@ pub fn build_scenario(
     for i in 0..40u64 {
         let st = scan_base + SimDuration::from_secs(i);
         let dst = production.nth(2_000 + i * 13);
-        actions.push((st, Action::Flow(fresh_flow(st, production_victim, dst, 22, false))));
+        actions.push((
+            st,
+            Action::Flow(fresh_flow(st, production_victim, dst, 22, false)),
+        ));
     }
 
     actions.sort_by_key(|(t, _)| *t);
-    RansomwareScenario { actions, c2_time, production_time, production_victim }
+    RansomwareScenario {
+        actions,
+        c2_time,
+        production_time,
+        production_victim,
+    }
 }
 
 /// The alert-kind sequence the honeypot phase is expected to produce —
@@ -332,7 +363,11 @@ mod tests {
         for w in s.actions.windows(2) {
             assert!(w[1].0 >= w[0].0);
         }
-        assert!(s.actions.len() > 400, "probing + attack + wave: got {}", s.actions.len());
+        assert!(
+            s.actions.len() > 400,
+            "probing + attack + wave: got {}",
+            s.actions.len()
+        );
     }
 
     #[test]
@@ -420,7 +455,12 @@ mod tests {
                 _ => None,
             })
             .collect();
-        for p in ["/var/spool/mail/root", "/var/log/wtmp", "/var/log/secure", "/var/log/cron"] {
+        for p in [
+            "/var/spool/mail/root",
+            "/var/log/wtmp",
+            "/var/log/secure",
+            "/var/log/cron",
+        ] {
             assert!(wiped.contains(&p), "{p} must be wiped");
         }
     }

@@ -41,7 +41,10 @@ impl Delay {
     /// Typical manual-phase delay (minutes to hours, heavy-tailed).
     pub fn manual() -> Delay {
         // exp(7) ≈ 18 min median, sigma 1.4 → long tail into hours.
-        Delay::LogNormal { mu: 7.0, sigma: 1.4 }
+        Delay::LogNormal {
+            mu: 7.0,
+            sigma: 1.4,
+        }
     }
 }
 
@@ -58,11 +61,19 @@ pub struct Step {
 
 impl Step {
     pub fn always(kind: AlertKind, delay: Delay) -> Step {
-        Step { kind, delay, probability: 1.0 }
+        Step {
+            kind,
+            delay,
+            probability: 1.0,
+        }
     }
 
     pub fn sometimes(kind: AlertKind, delay: Delay, probability: f64) -> Step {
-        Step { kind, delay, probability }
+        Step {
+            kind,
+            delay,
+            probability,
+        }
     }
 }
 
@@ -76,12 +87,19 @@ pub struct AttackTemplate {
 impl AttackTemplate {
     pub fn new(family: impl Into<String>, steps: Vec<Step>) -> AttackTemplate {
         assert!(!steps.is_empty(), "template needs at least one step");
-        AttackTemplate { family: family.into(), steps }
+        AttackTemplate {
+            family: family.into(),
+            steps,
+        }
     }
 
     /// The deterministic kind signature (all always-steps).
     pub fn signature(&self) -> Vec<AlertKind> {
-        self.steps.iter().filter(|s| s.probability >= 1.0).map(|s| s.kind).collect()
+        self.steps
+            .iter()
+            .filter(|s| s.probability >= 1.0)
+            .map(|s| s.kind)
+            .collect()
     }
 
     /// Realize the step sequence: per-step `(offset_from_start, kind)`.
@@ -131,9 +149,11 @@ mod tests {
     #[test]
     fn optional_steps_sometimes_skipped() {
         let mut rng = SimRng::seed(2);
-        let lens: Vec<usize> = (0..200).map(|_| template().realize(&mut rng).len()).collect();
-        assert!(lens.iter().any(|&l| l == 3));
-        assert!(lens.iter().any(|&l| l == 4));
+        let lens: Vec<usize> = (0..200)
+            .map(|_| template().realize(&mut rng).len())
+            .collect();
+        assert!(lens.contains(&3));
+        assert!(lens.contains(&4));
     }
 
     #[test]
@@ -157,7 +177,10 @@ mod tests {
             var.sqrt() / m
         };
         assert!(cv(&auto) < 1e-9, "fixed delay has no variance");
-        assert!(cv(&manual) > 1.0, "manual delays are high-variance (Insight 3)");
+        assert!(
+            cv(&manual) > 1.0,
+            "manual delays are high-variance (Insight 3)"
+        );
     }
 
     #[test]

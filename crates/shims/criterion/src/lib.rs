@@ -1,0 +1,312 @@
+//! Offline stand-in for `criterion`: the same bench-authoring surface
+//! (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `Throughput`), with a simple warmup-then-measure timer instead of
+//! criterion's statistical machinery.
+//!
+//! Measurement: each benchmark warms up for ~a tenth of the sample
+//! window, picks an iteration count to fill the window, and reports the
+//! mean time per iteration (plus throughput when declared). The window
+//! defaults to 300 ms and can be tuned with `SHIM_BENCH_MS`. A CLI
+//! filter argument (as passed by `cargo bench -- <filter>`) restricts
+//! which benchmarks run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier `function/parameter` within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    window: Duration,
+    /// Mean ns/iter recorded by the last `iter` call.
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, storing the mean ns/iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: run until a tenth of the window has elapsed, counting
+        // iterations to size the measurement batch.
+        let warmup_target = self.window / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup_target {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((self.window.as_secs_f64() * 0.9 / per_iter) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:7.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:7.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:7.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:7.2} {unit}/s")
+    }
+}
+
+/// Top-level driver; mirror of `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    window: Duration,
+    benchmarks_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("SHIM_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            filter: None,
+            window: Duration::from_millis(ms),
+            benchmarks_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the bench CLI: the first non-flag argument is a substring
+    /// filter, as with real criterion.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    fn enabled(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        if !self.enabled(label) {
+            return;
+        }
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            window: self.window,
+            result_ns: &mut ns,
+        };
+        f(&mut b);
+        self.benchmarks_run += 1;
+        let mut line = format!("{label:<52} time: {}", human_time(ns));
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(
+                    "   thrpt: {}",
+                    human_rate(n as f64 * 1e9 / ns, "elem")
+                ));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    "   thrpt: {}",
+                    human_rate(n as f64 * 1e9 / ns, "B")
+                ));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.label, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) completed", self.benchmarks_run);
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted and ignored: the shim's timer has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a group function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            filter: None,
+            window: Duration::from_millis(5),
+            benchmarks_run: 0,
+        }
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn group_flow_and_filter() {
+        let mut c = quick();
+        c.filter = Some("keep".to_string());
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("keep", 4), &4u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.bench_function("skipped", |b| b.iter(|| black_box(0)));
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 1, "filter must skip non-matching benches");
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::channel`'s
+//! bounded MPMC channel as used by the streaming pipeline. Backed by
+//! `std::sync::mpsc::sync_channel`, with the receiver wrapped in an
+//! `Arc<Mutex<..>>` so it is `Clone` (MPMC) like crossbeam's.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel. `Clone`-able; `send` blocks
+    /// while the channel is full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half. `Clone`-able (competing consumers), iterable until
+    /// every sender disconnects.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive. The inner mutex is only held for bounded
+        /// slices (timeout polls), so competing consumers and
+        /// `try_recv` callers are never blocked behind an idle waiter.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                let polled = {
+                    let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+                    guard.recv_timeout(std::time::Duration::from_millis(1))
+                };
+                match polled {
+                    Ok(v) => return Ok(v),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RecvError),
+                }
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.try_recv()
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Borrowing iterator: yields until all senders hang up.
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Owning iterator, so `for x in rx` works like crossbeam's.
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self)
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Bounded channel with capacity `cap` (capacity 0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn fifo_through_threads() {
+        let (tx, rx) = bounded::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1_000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = rx.into_iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn iteration_ends_on_sender_drop() {
+        let (tx, rx) = bounded::<u8>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<u8> = (&rx).into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real `serde` cannot be vendored. The workspace only *annotates*
+//! types as serializable (deriving the traits and occasionally marking
+//! fields `#[serde(skip)]`); no code path serializes through the trait
+//! machinery — machine-readable artifacts are produced via the dynamic
+//! `serde_json::Value` shim instead. The traits here are therefore empty
+//! markers with blanket impls, and the derives (re-exported from the
+//! `serde_derive` shim) expand to nothing.
+//!
+//! Swapping the real serde back in is a one-line change per manifest; no
+//! source file needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}

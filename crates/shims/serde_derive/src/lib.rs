@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! This workspace builds in an offline container, so the real `serde`
+//! cannot be fetched. Nothing in the workspace performs real
+//! serialization through the `Serialize`/`Deserialize` traits (the only
+//! JSON emitted goes through the `serde_json` shim's dynamic `Value`),
+//! so the derives only need to (a) parse successfully and (b) accept
+//! `#[serde(...)]` helper attributes. They expand to nothing; the trait
+//! obligations are satisfied by blanket impls in the `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_json`, covering the subset the workspace
+//! uses: the dynamic [`Value`] tree, the [`json!`] constructor macro, and
+//! compact/pretty serialization to strings. Object keys preserve
+//! insertion order (like serde_json with its `preserve_order` feature),
+//! so artifact files diff cleanly across runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integers are kept exact so artifacts print `137`, not
+/// `137.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's `null`.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A dynamically-typed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; returns `Null` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1)
+                })
+            }
+            Value::Object(fields) => {
+                write_seq(out, indent, level, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, None, 0);
+    Ok(s)
+}
+
+/// Two-space-indented serialization, matching serde_json's pretty style.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, Some(2), 0);
+    Ok(s)
+}
+
+/// Serialization error (cannot occur for `Value` trees; kept for API
+/// compatibility with call sites that `.expect(..)` the result).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---- conversions used by json!{} interpolation sites ----
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+/// Tuples become two-element arrays (used for `(x, y)` sweep points).
+impl<A, B> From<(A, B)> for Value
+where
+    Value: From<A> + From<B>,
+{
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![Value::from(a), Value::from(b)])
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::I64(v as i64)) }
+        }
+    )*};
+}
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => Value::from(x),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T: Clone> From<&[T]> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<T: Clone> From<&Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<K: Into<String>, V> From<BTreeMap<K, V>> for Value
+where
+    Value: From<V>,
+{
+    fn from(m: BTreeMap<K, V>) -> Value {
+        Value::Object(
+            m.into_iter()
+                .map(|(k, v)| (k.into(), Value::from(v)))
+                .collect(),
+        )
+    }
+}
+
+/// Build a [`Value`] with JSON syntax; interpolated expressions go
+/// through `Value::from`.
+///
+/// Values in objects/arrays may be JSON literals (`null`, `true`,
+/// nested `{..}`/`[..]`) or arbitrary Rust expressions; literal forms are
+/// tried first so a nested `{"a": 1}` is parsed as JSON rather than as a
+/// (malformed) block expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!(() $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: array accumulator — `[done elems] remaining tokens...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ([ $($done:expr),* ]) => { $crate::Value::Array(vec![ $($done),* ]) };
+    // JSON-literal elements, with and without a following comma.
+    ([ $($done:expr),* ] null , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null ] $($rest)*)
+    };
+    ([ $($done:expr),* ] null) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null ])
+    };
+    ([ $($done:expr),* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json_object!(() $($inner)*) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] { $($inner:tt)* }) => {
+        $crate::json_array!([ $($done,)* $crate::json_object!(() $($inner)*) ])
+    };
+    ([ $($done:expr),* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json_array!([] $($inner)*) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] [ $($inner:tt)* ]) => {
+        $crate::json_array!([ $($done,)* $crate::json_array!([] $($inner)*) ])
+    };
+    // Arbitrary expression elements.
+    ([ $($done:expr),* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ])
+    };
+}
+
+/// Internal: object accumulator — `(done pairs) remaining tokens...`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (( $($done:expr),* )) => { $crate::Value::Object(vec![ $($done),* ]) };
+    // JSON-literal values, with and without a following comma.
+    (( $($done:expr),* ) $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::Value::Null) ) $($rest)*)
+    };
+    (( $($done:expr),* ) $key:literal : null) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::Value::Null) ))
+    };
+    (( $($done:expr),* ) $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::json_object!(() $($inner)*)) ) $($rest)*)
+    };
+    (( $($done:expr),* ) $key:literal : { $($inner:tt)* }) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::json_object!(() $($inner)*)) ))
+    };
+    (( $($done:expr),* ) $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::json_array!([] $($inner)*)) ) $($rest)*)
+    };
+    (( $($done:expr),* ) $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::json_array!([] $($inner)*)) ))
+    };
+    // Arbitrary expression values.
+    (( $($done:expr),* ) $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::Value::from($val)) ) $($rest)*)
+    };
+    (( $($done:expr),* ) $key:literal : $val:expr) => {
+        $crate::json_object!(( $($done,)* ($key.to_string(), $crate::Value::from($val)) ))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_interpolation() {
+        let n = 3usize;
+        let v = json!({
+            "name": "bp",
+            "n": n,
+            "pi": 3.5,
+            "ok": true,
+            "missing": null,
+            "opt": Some(7u32),
+            "none": Option::<u32>::None,
+            "seq": [1, 2, 3],
+            "nested": {"a": [true, "x"]},
+        });
+        assert_eq!(v.get("name").as_str(), Some("bp"));
+        assert_eq!(v.get("n").as_f64(), Some(3.0));
+        assert_eq!(v.get("opt").as_f64(), Some(7.0));
+        assert!(v.get("none").is_null());
+        assert_eq!(v.get("seq").as_array().unwrap().len(), 3);
+        assert_eq!(v.get("nested").get("a").as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_roundtrips_integers_exactly() {
+        let v = json!({"hits": 137u64, "neg": -3i64});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"hits\": 137"), "{s}");
+        assert!(s.contains("\"neg\": -3"), "{s}");
+        assert_eq!(to_string(&v).unwrap(), "{\"hits\":137,\"neg\":-3}");
+    }
+
+    #[test]
+    fn escaping() {
+        let v = json!({"msg": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"msg\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn vec_interpolation() {
+        let years: Vec<i32> = vec![2002, 2024];
+        let v = json!({ "years": years });
+        assert_eq!(v.get("years").as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn expression_values() {
+        // Method-call and path expressions must interpolate, not parse as
+        // JSON literals.
+        let xs = [1.0f64, 2.0, 3.0];
+        let v = json!({
+            "sum": xs.iter().sum::<f64>(),
+            "arr": xs.iter().map(|x| json!(x * 2.0)).collect::<Vec<_>>(),
+        });
+        assert_eq!(v.get("sum").as_f64(), Some(6.0));
+        assert_eq!(v.get("arr").as_array().unwrap().len(), 3);
+    }
+}

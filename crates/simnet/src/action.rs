@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn largeobject_write_carries_elf_prefix() {
-        let cmd = DbCommandKind::LargeObjectWrite { hex_prefix: "7F454C46".into(), bytes: 48_000 };
+        let cmd = DbCommandKind::LargeObjectWrite {
+            hex_prefix: "7F454C46".into(),
+            bytes: 48_000,
+        };
         match cmd {
             DbCommandKind::LargeObjectWrite { ref hex_prefix, .. } => {
                 assert!(hex_prefix.starts_with("7F454C46"));

@@ -75,7 +75,11 @@ impl Cidr {
     /// # Panics
     /// Panics if `i >= self.size()`.
     pub fn nth(&self, i: u64) -> Ipv4Addr {
-        assert!(i < self.size(), "index {i} out of range for /{}", self.prefix);
+        assert!(
+            i < self.size(),
+            "index {i} out of range for /{}",
+            self.prefix
+        );
         Ipv4Addr::from(self.base + i as u32)
     }
 
@@ -91,11 +95,20 @@ impl Cidr {
     /// # Panics
     /// Panics if `sub_prefix < self.prefix` or the index is out of range.
     pub fn subblock(&self, i: u64, sub_prefix: u8) -> Cidr {
-        assert!(sub_prefix >= self.prefix && sub_prefix <= 32, "invalid sub-prefix");
+        assert!(
+            sub_prefix >= self.prefix && sub_prefix <= 32,
+            "invalid sub-prefix"
+        );
         let count = 1u64 << (sub_prefix - self.prefix);
-        assert!(i < count, "sub-block index {i} out of range ({count} sub-blocks)");
+        assert!(
+            i < count,
+            "sub-block index {i} out of range ({count} sub-blocks)"
+        );
         let step = 1u64 << (32 - sub_prefix);
-        Cidr { base: self.base + (i * step) as u32, prefix: sub_prefix }
+        Cidr {
+            base: self.base + (i * step) as u32,
+            prefix: sub_prefix,
+        }
     }
 
     /// Whether another block lies entirely inside this one.

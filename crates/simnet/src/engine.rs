@@ -160,7 +160,8 @@ mod tests {
             action: &Action,
             _queue: &mut EventQueue<Action>,
         ) {
-            self.seen.push((ctx.time, action.kind_name(), ctx.delivered()));
+            self.seen
+                .push((ctx.time, action.kind_name(), ctx.delivered()));
         }
     }
 

@@ -29,7 +29,10 @@ impl<T> Eq for Scheduled<T> {}
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so BinaryHeap (max-heap) pops the earliest event first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<T> PartialOrd for Scheduled<T> {
@@ -55,12 +58,20 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Empty queue with the clock at the simulation epoch.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::EPOCH }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::EPOCH,
+        }
     }
 
     /// Empty queue with the clock at `start`.
     pub fn starting_at(start: SimTime) -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: start }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: start,
+        }
     }
 
     /// The current simulation clock: the time of the last popped event, or
@@ -84,11 +95,19 @@ impl<T> EventQueue<T> {
     /// Scheduling in the past is a logic error in a DES; this clamps to the
     /// current clock in release builds and panics in debug builds.
     pub fn schedule(&mut self, at: SimTime, payload: T) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, payload });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` `delay` after the current clock.

@@ -59,7 +59,10 @@ impl ConnState {
 
     /// Whether this state is the signature of a failed probe.
     pub fn probe_like(self) -> bool {
-        matches!(self, ConnState::S0 | ConnState::Rej | ConnState::Rstos0 | ConnState::Sh)
+        matches!(
+            self,
+            ConnState::S0 | ConnState::Rej | ConnState::Rstos0 | ConnState::Sh
+        )
     }
 
     /// The Zeek `conn_state` string.
@@ -213,13 +216,7 @@ impl Flow {
     }
 
     /// A failed probe (scan) against `dst:dst_port`.
-    pub fn probe(
-        id: FlowId,
-        start: SimTime,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        dst_port: u16,
-    ) -> Flow {
+    pub fn probe(id: FlowId, start: SimTime, src: Ipv4Addr, dst: Ipv4Addr, dst_port: u16) -> Flow {
         Flow {
             id,
             start,

@@ -42,25 +42,27 @@ pub mod addr;
 pub mod engine;
 pub mod event;
 pub mod flow;
-pub mod router;
 pub mod rng;
+pub mod router;
 pub mod time;
 pub mod topology;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::action::{
-        Action, AuditAction, AuthMethod, DbAction, DbCommandKind, ExecAction, FileOp,
-        FileOpAction, HttpAction, SshAuthAction,
+        Action, AuditAction, AuthMethod, DbAction, DbCommandKind, ExecAction, FileOp, FileOpAction,
+        HttpAction, SshAuthAction,
     };
     pub use crate::addr::{anonymize, ncsa_production, ncsa_secondary, Cidr};
     pub use crate::engine::{ActionSink, Engine, EventCtx};
     pub use crate::event::EventQueue;
     pub use crate::flow::{ConnState, Direction, Flow, FlowId, Proto, Service};
+    pub use crate::rng::{FxHashMap, FxHashSet, SimRng, Zipf};
     pub use crate::router::{
         BorderRouter, DropReason, ForwardAll, RouteDecision, RouteFilter, RouteOutcome,
     };
-    pub use crate::rng::{FxHashMap, FxHashSet, SimRng, Zipf};
     pub use crate::time::{CivilDate, SimDuration, SimTime};
-    pub use crate::topology::{Host, HostId, HostRole, NcsaTopologyBuilder, Subnet, Topology, Zone};
+    pub use crate::topology::{
+        Host, HostId, HostRole, NcsaTopologyBuilder, Subnet, Topology, Zone,
+    };
 }

@@ -27,7 +27,10 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), gauss_spare: None }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
     }
 
     /// Derive an independent child generator. Used to give each subsystem
@@ -200,7 +203,10 @@ impl Zipf {
     /// Draw a rank in `0..n`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let x = rng.f64();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -309,9 +315,11 @@ mod tests {
         let mut rng = SimRng::seed(2);
         for &lambda in &[3.0, 100.0] {
             let n = 50_000;
-            let mean =
-                (0..n).map(|_| rng.poisson(lambda)).sum::<u64>() as f64 / n as f64;
-            assert!((mean - lambda).abs() / lambda < 0.03, "lambda {lambda} mean {mean}");
+            let mean = (0..n).map(|_| rng.poisson(lambda)).sum::<u64>() as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.03,
+                "lambda {lambda} mean {mean}"
+            );
         }
     }
 
@@ -327,13 +335,12 @@ mod tests {
     fn zipf_rank_zero_most_frequent() {
         let mut rng = SimRng::seed(4);
         let z = Zipf::new(50, 1.1);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
         }
         assert!(counts[0] > counts[1]);
         assert!(counts[1] > counts[10]);
-        assert!(counts.iter().all(|&c| c > 0 || true));
     }
 
     #[test]

@@ -163,7 +163,9 @@ mod tests {
     impl RouteFilter for DropExternal {
         fn check(&mut self, _t: SimTime, flow: &Flow) -> RouteDecision {
             if flow.src.octets()[0] == 103 {
-                RouteDecision::Drop(DropReason::NullRouted { reason: "mass-scanner".into() })
+                RouteDecision::Drop(DropReason::NullRouted {
+                    reason: "mass-scanner".into(),
+                })
             } else {
                 RouteDecision::Forward
             }
@@ -171,7 +173,13 @@ mod tests {
     }
 
     fn probe(src: &str, dst: &str) -> Flow {
-        Flow::probe(FlowId(0), SimTime::EPOCH, src.parse().unwrap(), dst.parse().unwrap(), 22)
+        Flow::probe(
+            FlowId(0),
+            SimTime::EPOCH,
+            src.parse().unwrap(),
+            dst.parse().unwrap(),
+            22,
+        )
     }
 
     #[test]
@@ -191,9 +199,19 @@ mod tests {
         let topo = NcsaTopologyBuilder::default().build();
         let mut router = BorderRouter::new();
         let mut filter = DropExternal;
-        let out = router.route(&topo, &mut filter, SimTime::EPOCH, &probe("103.102.1.1", "141.142.2.1"));
+        let out = router.route(
+            &topo,
+            &mut filter,
+            SimTime::EPOCH,
+            &probe("103.102.1.1", "141.142.2.1"),
+        );
         assert!(!out.delivered());
-        let out = router.route(&topo, &mut filter, SimTime::EPOCH, &probe("9.9.9.9", "141.142.2.1"));
+        let out = router.route(
+            &topo,
+            &mut filter,
+            SimTime::EPOCH,
+            &probe("9.9.9.9", "141.142.2.1"),
+        );
         assert!(out.delivered());
         let s = router.stats();
         assert_eq!(s.inbound, 2);
@@ -207,7 +225,12 @@ mod tests {
         let topo = NcsaTopologyBuilder::default().build();
         let mut router = BorderRouter::new();
         let mut f = ForwardAll;
-        let out = router.route(&topo, &mut f, SimTime::EPOCH, &probe("1.2.3.4", "141.142.2.1"));
+        let out = router.route(
+            &topo,
+            &mut f,
+            SimTime::EPOCH,
+            &probe("1.2.3.4", "141.142.2.1"),
+        );
         assert!(out.delivered());
         assert_eq!(out.direction, Direction::Inbound);
     }

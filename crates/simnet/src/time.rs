@@ -60,13 +60,17 @@ impl SimTime {
     /// Panics if the date precedes the simulation epoch (year 2000).
     pub fn from_date(year: i32, month: u32, day: u32) -> Self {
         let days = days_from_civil(year, month, day) - EPOCH_2000_DAYS;
-        assert!(days >= 0, "date {year}-{month:02}-{day:02} precedes the 2000-01-01 epoch");
+        assert!(
+            days >= 0,
+            "date {year}-{month:02}-{day:02} precedes the 2000-01-01 epoch"
+        );
         SimTime(days as u64 * NANOS_PER_DAY)
     }
 
     /// Construct from a calendar date and a time of day.
     pub fn from_datetime(year: i32, month: u32, day: u32, h: u32, m: u32, s: u32) -> Self {
-        Self::from_date(year, month, day) + SimDuration::from_secs((h as u64 * 60 + m as u64) * 60 + s as u64)
+        Self::from_date(year, month, day)
+            + SimDuration::from_secs((h as u64 * 60 + m as u64) * 60 + s as u64)
     }
 
     /// Nanoseconds since the simulation epoch.
@@ -95,7 +99,11 @@ impl SimTime {
     /// `(hour, minute, second)` within the day.
     pub fn time_of_day(self) -> (u32, u32, u32) {
         let secs = (self.0 % NANOS_PER_DAY) / NANOS_PER_SEC;
-        ((secs / 3600) as u32, ((secs / 60) % 60) as u32, (secs % 60) as u32)
+        (
+            (secs / 3600) as u32,
+            ((secs / 60) % 60) as u32,
+            (secs % 60) as u32,
+        )
     }
 
     /// Saturating difference between two instants.
@@ -200,7 +208,11 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.date();
         let (h, m, s) = self.time_of_day();
-        write!(f, "{:04}-{:02}-{:02} {:02}:{:02}:{:02}", d.year, d.month, d.day, h, m, s)
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            d.year, d.month, d.day, h, m, s
+        )
     }
 }
 

@@ -94,7 +94,11 @@ impl Topology {
 
     /// Register a subnet. Returns its index.
     pub fn add_subnet(&mut self, name: impl Into<String>, cidr: Cidr, zone: Zone) -> usize {
-        self.subnets.push(Subnet { name: name.into(), cidr, zone });
+        self.subnets.push(Subnet {
+            name: name.into(),
+            cidr,
+            zone,
+        });
         self.subnets.len() - 1
     }
 
@@ -115,7 +119,14 @@ impl Topology {
         );
         let id = HostId(self.hosts.len() as u32);
         let monitored = !matches!(zone, Zone::External);
-        self.hosts.push(Host { id, name: name.into(), addr, zone, role, monitored });
+        self.hosts.push(Host {
+            id,
+            name: name.into(),
+            addr,
+            zone,
+            role,
+            monitored,
+        });
         self.by_addr.insert(addr, id);
         id
     }
@@ -230,13 +241,30 @@ impl NcsaTopologyBuilder {
         };
         add_range(&mut topo, 1, self.login_nodes, "login", HostRole::Login);
         add_range(&mut topo, 2, self.compute_nodes, "cn", HostRole::Compute);
-        add_range(&mut topo, 10, self.storage_nodes, "store", HostRole::Storage);
+        add_range(
+            &mut topo,
+            10,
+            self.storage_nodes,
+            "store",
+            HostRole::Storage,
+        );
         add_range(&mut topo, 11, self.database_nodes, "db", HostRole::Database);
-        add_range(&mut topo, 12, self.workstations, "ws", HostRole::Workstation);
+        add_range(
+            &mut topo,
+            12,
+            self.workstations,
+            "ws",
+            HostRole::Workstation,
+        );
 
         // Zeek cluster / collector on the management net.
         topo.add_host("zeek-mgr", mgmt.nth(2), Zone::Management, HostRole::Monitor);
-        topo.add_host("log-collector", mgmt.nth(3), Zone::Management, HostRole::Monitor);
+        topo.add_host(
+            "log-collector",
+            mgmt.nth(3),
+            Zone::Management,
+            HostRole::Monitor,
+        );
         topo
     }
 }

@@ -16,6 +16,9 @@ pub struct MonitorHub {
     monitors: Vec<Box<dyn Monitor>>,
     records: Vec<LogRecord>,
     counts: FxHashMap<RecordKind, u64>,
+    /// Reused staging buffer for monitor output, so the per-action hot
+    /// path does not allocate a fresh `Vec` per event.
+    scratch: Vec<LogRecord>,
 }
 
 impl MonitorHub {
@@ -61,11 +64,16 @@ impl MonitorHub {
 
     /// Flush windowed monitor state.
     pub fn flush(&mut self) {
-        let mut out = Vec::new();
+        self.scratch.clear();
         for m in &mut self.monitors {
-            m.flush(&mut out);
+            m.flush(&mut self.scratch);
         }
-        for r in out {
+        self.commit_scratch();
+    }
+
+    /// Move staged records into the time-ordered log, updating counts.
+    fn commit_scratch(&mut self) {
+        for r in self.scratch.drain(..) {
             *self.counts.entry(r.kind()).or_insert(0) += 1;
             self.records.push(r);
         }
@@ -74,14 +82,11 @@ impl MonitorHub {
 
 impl ActionSink for MonitorHub {
     fn on_action(&mut self, ctx: &EventCtx<'_>, action: &Action, _queue: &mut EventQueue<Action>) {
-        let mut out = Vec::new();
+        self.scratch.clear();
         for m in &mut self.monitors {
-            m.observe(ctx, action, &mut out);
+            m.observe(ctx, action, &mut self.scratch);
         }
-        for r in out {
-            *self.counts.entry(r.kind()).or_insert(0) += 1;
-            self.records.push(r);
-        }
+        self.commit_scratch();
     }
 }
 

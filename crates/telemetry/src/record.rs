@@ -348,7 +348,13 @@ mod tests {
     #[test]
     fn notice_kind_display_matches_zeek_convention() {
         assert_eq!(NoticeKind::AddressScan.to_string(), "Scan::Address_Scan");
-        assert_eq!(NoticeKind::PasswordGuessing.to_string(), "SSH::Password_Guessing");
-        assert_eq!(NoticeKind::Custom("Ransomware_Lateral".into()).to_string(), "Site::Ransomware_Lateral");
+        assert_eq!(
+            NoticeKind::PasswordGuessing.to_string(),
+            "SSH::Password_Guessing"
+        );
+        assert_eq!(
+            NoticeKind::Custom("Ransomware_Lateral".into()).to_string(),
+            "Site::Ransomware_Lateral"
+        );
     }
 }

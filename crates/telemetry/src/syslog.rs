@@ -18,7 +18,15 @@ pub fn render_syslog(r: &LogRecord) -> String {
     let mut line = String::with_capacity(96);
     let d = ts.date();
     let (h, m, s) = ts.time_of_day();
-    let _ = write!(line, "{} {:2} {:02}:{:02}:{:02} ", d.month_abbrev(), d.day, h, m, s);
+    let _ = write!(
+        line,
+        "{} {:2} {:02}:{:02}:{:02} ",
+        d.month_abbrev(),
+        d.day,
+        h,
+        m,
+        s
+    );
     match r {
         LogRecord::Conn(c) => {
             let _ = write!(
@@ -68,7 +76,10 @@ pub fn render_syslog(r: &LogRecord) -> String {
         }
         LogRecord::Auth(a) => {
             let outcome = if a.success { "Accepted" } else { "Failed" };
-            let src = a.src_addr.map(|s| s.to_string()).unwrap_or_else(|| "-".into());
+            let src = a
+                .src_addr
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into());
             let _ = write!(
                 line,
                 "{} sshd: {} {:?} for {} from {}",
@@ -102,7 +113,14 @@ pub fn render_snippet(r: &LogRecord, host_label: &str) -> String {
             "{:02}:{:02}:{:02} [{}] wget {}{} ({} \"OK\" [{}]",
             h, m, s, host_label, hh.host, hh.uri, hh.status, hh.uid.0
         ),
-        other => format!("{:02}:{:02}:{:02} [{}] {}", h, m, s, host_label, render_syslog(other)),
+        other => format!(
+            "{:02}:{:02}:{:02} [{}] {}",
+            h,
+            m,
+            s,
+            host_label,
+            render_syslog(other)
+        ),
     }
 }
 
@@ -123,8 +141,28 @@ pub fn zeek_tsv_header(kind: RecordKind) -> String {
             "resp_bytes",
             "conn_state",
         ],
-        RecordKind::Http => &["ts", "uid", "id.orig_h", "id.resp_h", "method", "host", "uri", "status_code", "resp_mime_types", "user_agent"],
-        RecordKind::Ssh => &["ts", "uid", "id.orig_h", "id.resp_h", "user", "auth_method", "auth_success", "client"],
+        RecordKind::Http => &[
+            "ts",
+            "uid",
+            "id.orig_h",
+            "id.resp_h",
+            "method",
+            "host",
+            "uri",
+            "status_code",
+            "resp_mime_types",
+            "user_agent",
+        ],
+        RecordKind::Ssh => &[
+            "ts",
+            "uid",
+            "id.orig_h",
+            "id.resp_h",
+            "user",
+            "auth_method",
+            "auth_success",
+            "client",
+        ],
         RecordKind::Notice => &["ts", "note", "msg", "src", "dst", "sub"],
         _ => &["ts", "host", "user", "detail"],
     };
@@ -152,7 +190,16 @@ pub fn zeek_tsv_row(r: &LogRecord) -> String {
         ),
         LogRecord::Http(h) => format!(
             "{:.6}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            ts_secs, h.uid, h.orig_h, h.resp_h, h.method, h.host, h.uri, h.status, h.mime, h.user_agent
+            ts_secs,
+            h.uid,
+            h.orig_h,
+            h.resp_h,
+            h.method,
+            h.host,
+            h.uri,
+            h.status,
+            h.mime,
+            h.user_agent
         ),
         LogRecord::Ssh(s) => format!(
             "{:.6}\t{}\t{}\t{}\t{}\t{:?}\t{}\t{}",
@@ -170,7 +217,10 @@ pub fn zeek_tsv_row(r: &LogRecord) -> String {
         other => format!(
             "{:.6}\t{}\t{}\t{}",
             ts_secs,
-            other.host().map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+            other
+                .host()
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "-".into()),
             other.user().unwrap_or("-"),
             render_syslog(other)
         ),
@@ -255,7 +305,10 @@ mod tests {
     fn snippet_format_matches_paper_example() {
         let t = SimTime::from_datetime(2002, 6, 1, 23, 15, 22);
         let s = render_snippet(&http_at(t), "internal-host");
-        assert_eq!(s, "23:15:22 [internal-host] wget 64.215.4.5/abs.c (200 \"OK\" [7036]");
+        assert_eq!(
+            s,
+            "23:15:22 [internal-host] wget 64.215.4.5/abs.c (200 \"OK\" [7036]"
+        );
     }
 
     #[test]

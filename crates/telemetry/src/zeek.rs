@@ -143,9 +143,7 @@ impl ZeekMonitor {
                 note: NoticeKind::AddressScan,
                 msg: format!(
                     "{} scanned at least {} unique hosts on port {}",
-                    flow.src,
-                    self.cfg.scan_threshold,
-                    flow.dst_port
+                    flow.src, self.cfg.scan_threshold, flow.dst_port
                 ),
                 src: flow.src,
                 dst: None,
@@ -163,9 +161,7 @@ impl ZeekMonitor {
                 note: NoticeKind::PortScan,
                 msg: format!(
                     "{} scanned at least {} unique ports of host {}",
-                    flow.src,
-                    self.cfg.port_scan_threshold,
-                    flow.dst
+                    flow.src, self.cfg.port_scan_threshold, flow.dst
                 ),
                 src: flow.src,
                 dst: Some(flow.dst),
@@ -201,7 +197,9 @@ impl ZeekMonitor {
 
     /// Whether an HTTP host header is a bare IPv4 address.
     fn is_raw_ip_host(host: &str) -> bool {
-        host.split(':').next().is_some_and(|h| h.parse::<Ipv4Addr>().is_ok())
+        host.split(':')
+            .next()
+            .is_some_and(|h| h.parse::<Ipv4Addr>().is_ok())
     }
 
     /// Whether the response looks like fetched code or a binary.
@@ -209,7 +207,9 @@ impl ZeekMonitor {
         matches!(
             mime,
             "application/x-executable" | "application/x-elf" | "text/x-c" | "text/x-shellscript"
-        ) || [".sh", ".c", ".x86_64", ".elf", ".bin"].iter().any(|ext| uri.ends_with(ext))
+        ) || [".sh", ".c", ".x86_64", ".elf", ".bin"]
+            .iter()
+            .any(|ext| uri.ends_with(ext))
     }
 }
 
@@ -291,7 +291,12 @@ mod tests {
     use simnet::topology::{NcsaTopologyBuilder, Topology};
 
     fn ctx<'a>(topo: &'a Topology, t: SimTime) -> EventCtx<'a> {
-        EventCtx { time: t, direction: Direction::Inbound, dropped: None, topo }
+        EventCtx {
+            time: t,
+            direction: Direction::Inbound,
+            dropped: None,
+            topo,
+        }
     }
 
     fn probe_at(t: u64, src: &str, dst: &str, port: u16) -> Action {
@@ -411,9 +416,9 @@ mod tests {
             user_agent: "Wget/1.21".into(),
         });
         zeek.observe(&ctx(&topo, SimTime::from_secs(1)), &a, &mut out);
-        assert!(out
-            .iter()
-            .any(|r| matches!(r, LogRecord::Notice(n) if n.note == NoticeKind::ExecutableFromRawIp)));
+        assert!(out.iter().any(
+            |r| matches!(r, LogRecord::Notice(n) if n.note == NoticeKind::ExecutableFromRawIp)
+        ));
         // conn + http + notice
         assert_eq!(out.len(), 3);
     }
@@ -423,7 +428,9 @@ mod tests {
         let topo = NcsaTopologyBuilder::default().build();
         let mut zeek = ZeekMonitor::with_defaults();
         let mut out = Vec::new();
-        let reason = simnet::router::DropReason::NullRouted { reason: "test".into() };
+        let reason = simnet::router::DropReason::NullRouted {
+            reason: "test".into(),
+        };
         let c = EventCtx {
             time: SimTime::from_secs(1),
             direction: Direction::Inbound,

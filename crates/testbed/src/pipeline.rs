@@ -154,7 +154,10 @@ mod tests {
 
     fn sink() -> PipelineSink {
         PipelineSink::new(
-            vec![Box::new(ZeekMonitor::with_defaults()), Box::new(HostMonitor::new())],
+            vec![
+                Box::new(ZeekMonitor::with_defaults()),
+                Box::new(HostMonitor::new()),
+            ],
             Symbolizer::new(SymbolizerConfig::default()),
             ScanFilter::new(FilterConfig::default()),
             AttackTagger::new(toy_training_model(), TaggerConfig::default()),
@@ -191,7 +194,10 @@ mod tests {
             "scan flood must collapse: {}",
             report.alerts_filtered
         );
-        assert_eq!(report.detections, 0, "scans alone must not trigger preemption");
+        assert_eq!(
+            report.detections, 0,
+            "scans alone must not trigger preemption"
+        );
     }
 
     #[test]
@@ -271,6 +277,8 @@ mod tests {
         let report = s.finish();
         assert!(report.detections >= 1, "beaconing must be detected");
         assert_eq!(report.blocked_sources, 1);
-        assert!(s.bhr().is_blocked(SimTime::from_secs(600), "141.142.77.10".parse().unwrap()));
+        assert!(s
+            .bhr()
+            .is_blocked(SimTime::from_secs(600), "141.142.77.10".parse().unwrap()));
     }
 }

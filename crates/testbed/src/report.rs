@@ -96,14 +96,7 @@ pub fn render_incident_report(report: &RunReport) -> String {
         let _ = writeln!(
             out,
             "  {} {:02}:{:02}  Alerted to {} activity by {}: trigger {} (stage {}, p={:.2})",
-            d,
-            h,
-            m,
-            n.source,
-            n.entity,
-            n.detection.trigger,
-            n.detection.stage,
-            n.detection.score
+            d, h, m, n.source, n.entity, n.detection.trigger, n.detection.stage, n.detection.score
         );
     }
     if let Some(first) = report.first_notification() {
@@ -167,7 +160,10 @@ mod tests {
             source: "attack-tagger".into(),
         });
         let rendered = render_incident_report(&r);
-        assert!(rendered.contains("03:44"), "snippet-style timestamp: {rendered}");
+        assert!(
+            rendered.contains("03:44"),
+            "snippet-style timestamp: {rendered}"
+        );
         assert!(rendered.contains("alert_elf_in_db_blob"));
         assert!(rendered.contains("user postgres"));
         assert!(rendered.contains("First warning delivered"));

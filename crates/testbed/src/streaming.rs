@@ -106,7 +106,12 @@ pub fn process_records(
         let alerts = symbolize.join().expect("symbolize thread");
         let admitted = filtering.join().expect("filter thread");
         let detections = detecting.join().expect("detect thread");
-        StreamStats { records, alerts, admitted, detections }
+        StreamStats {
+            records,
+            alerts,
+            admitted,
+            detections,
+        }
     })
 }
 
@@ -186,6 +191,9 @@ mod tests {
         let (sym, filt, tag) = stages();
         let stats = process_records(records, sym, filt, tag);
         assert_eq!(stats.records, 100_000);
-        assert!(stats.admitted < stats.alerts / 10, "filter collapses the flood");
+        assert!(
+            stats.admitted < stats.alerts / 10,
+            "filter collapses the flood"
+        );
     }
 }

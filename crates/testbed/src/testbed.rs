@@ -78,7 +78,7 @@ impl Testbed {
     }
 
     pub fn topology(&self) -> &Topology {
-        &self.engine.topology()
+        self.engine.topology()
     }
 
     pub fn deployment_mut(&mut self) -> &mut HoneynetDeployment {
@@ -171,7 +171,10 @@ mod tests {
             "141.142.1.1".parse().unwrap(),
             22,
         );
-        assert!(matches!(chain.check(SimTime::EPOCH, &f), RouteDecision::Drop(_)));
+        assert!(matches!(
+            chain.check(SimTime::EPOCH, &f),
+            RouteDecision::Drop(_)
+        ));
     }
 
     #[test]
@@ -190,10 +193,19 @@ mod tests {
         // Something inside the honeynet calls out.
         tb.schedule(vec![(
             t,
-            Action::Flow(Flow::probe(FlowId(7), t, entry, "194.145.22.33".parse().unwrap(), 443)),
+            Action::Flow(Flow::probe(
+                FlowId(7),
+                t,
+                entry,
+                "194.145.22.33".parse().unwrap(),
+                443,
+            )),
         )]);
         let report = tb.run();
-        assert_eq!(report.router.dropped, 1, "egress containment must drop the flow");
+        assert_eq!(
+            report.router.dropped, 1,
+            "egress containment must drop the flow"
+        );
         // The isolation monitor turned the drop into an alert.
         assert!(report.alerts >= 1);
     }
@@ -202,7 +214,8 @@ mod tests {
     fn run_is_repeatable_with_persistent_blocks() {
         let mut tb = Testbed::new(TestbedConfig::default());
         let t0 = tb.config().start;
-        tb.bhr().block(t0, "103.102.1.1".parse().unwrap(), "manual", None);
+        tb.bhr()
+            .block(t0, "103.102.1.1".parse().unwrap(), "manual", None);
         let t = t0 + SimDuration::from_secs(5);
         tb.schedule(vec![(
             t,
@@ -229,6 +242,9 @@ mod tests {
             )),
         )]);
         let r2 = tb.run();
-        assert_eq!(r2.router.dropped, 2, "router stats accumulate; block persisted");
+        assert_eq!(
+            r2.router.dropped, 2,
+            "router stats accumulate; block persisted"
+        );
     }
 }

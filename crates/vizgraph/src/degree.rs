@@ -20,7 +20,11 @@ pub struct HubEntry {
 /// Top-k nodes by degree, descending.
 pub fn top_hubs(graph: &Graph, k: usize) -> Vec<HubEntry> {
     let mut entries: Vec<HubEntry> = (0..graph.node_count() as u32)
-        .map(|i| HubEntry { node: i, label: graph.node(i).label.clone(), degree: graph.degree(i) })
+        .map(|i| HubEntry {
+            node: i,
+            label: graph.node(i).label.clone(),
+            degree: graph.degree(i),
+        })
         .collect();
     entries.sort_by(|a, b| b.degree.cmp(&a.degree).then_with(|| a.node.cmp(&b.node)));
     entries.truncate(k);
@@ -42,8 +46,10 @@ pub fn hub_dominance(graph: &Graph) -> f64 {
     if graph.edge_count() == 0 {
         return 0.0;
     }
-    let max_degree =
-        (0..graph.node_count() as u32).map(|i| graph.degree(i)).max().unwrap_or(0);
+    let max_degree = (0..graph.node_count() as u32)
+        .map(|i| graph.degree(i))
+        .max()
+        .unwrap_or(0);
     max_degree as f64 / (2.0 * graph.edge_count() as f64)
 }
 
@@ -66,7 +72,11 @@ pub fn annotate_scanners(graph: &mut Graph, threshold: f64) -> usize {
     let scanners = structural_scanners(graph, threshold);
     let mut annotated = 0;
     for (rank, hub) in scanners.iter().enumerate() {
-        let group = if rank == 0 { NodeGroup::MassScanner } else { NodeGroup::Scanner };
+        let group = if rank == 0 {
+            NodeGroup::MassScanner
+        } else {
+            NodeGroup::Scanner
+        };
         let label = hub.label.clone();
         if graph.annotate(&label, group) {
             annotated += 1;

@@ -20,7 +20,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { anonymize: true, colors: false }
+        DotOptions {
+            anonymize: true,
+            colors: false,
+        }
     }
 }
 
@@ -49,8 +52,11 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
     out.push_str("digraph {\n");
     if opts.colors {
         for n in graph.nodes() {
-            let label =
-                if opts.anonymize { anonymize_label(&n.label) } else { n.label.clone() };
+            let label = if opts.anonymize {
+                anonymize_label(&n.label)
+            } else {
+                n.label.clone()
+            };
             let _ = writeln!(
                 out,
                 "  \"{}\" [style=filled, fillcolor={}];",
@@ -86,8 +92,16 @@ pub fn from_dot(text: &str) -> Option<Graph> {
         if line.starts_with('}') {
             break;
         }
-        let Some((src, dst)) = line.split_once("->") else { continue };
-        let clean = |s: &str| s.trim().trim_matches('"').trim_end_matches(';').trim_matches('"').to_string();
+        let Some((src, dst)) = line.split_once("->") else {
+            continue;
+        };
+        let clean = |s: &str| {
+            s.trim()
+                .trim_matches('"')
+                .trim_end_matches(';')
+                .trim_matches('"')
+                .to_string()
+        };
         let (src, dst) = (clean(src), clean(dst.trim_end_matches(';')));
         if src.is_empty() || dst.is_empty() {
             continue;
@@ -123,20 +137,38 @@ mod tests {
 
     #[test]
     fn unanonymized_keeps_full_addresses() {
-        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: false });
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                anonymize: false,
+                colors: false,
+            },
+        );
         assert!(dot.contains("103.102.8.9 -> 141.142.5.10"));
     }
 
     #[test]
     fn colors_emitted_when_requested() {
-        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: true });
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                anonymize: false,
+                colors: true,
+            },
+        );
         assert!(dot.contains("fillcolor=orange"));
         assert!(dot.contains("fillcolor=lightblue"));
     }
 
     #[test]
     fn roundtrip_parse() {
-        let dot = to_dot(&sample(), &DotOptions { anonymize: false, colors: false });
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                anonymize: false,
+                colors: false,
+            },
+        );
         let parsed = from_dot(&dot).expect("valid digraph");
         assert_eq!(parsed.node_count(), 3);
         assert_eq!(parsed.edge_count(), 2);

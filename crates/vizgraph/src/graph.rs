@@ -132,8 +132,12 @@ impl Graph {
 
     /// Rebuild the label index and adjacency (after deserialization).
     pub fn rebuild_indexes(&mut self) {
-        self.by_label =
-            self.nodes.iter().enumerate().map(|(i, n)| (n.label.clone(), i as u32)).collect();
+        self.by_label = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.label.clone(), i as u32))
+            .collect();
         self.adjacency = vec![Vec::new(); self.nodes.len()];
         self.edge_set = self.edges.iter().copied().collect();
         let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
@@ -152,8 +156,16 @@ impl Graph {
 pub fn graph_from_flows(flows: &[Flow], internal_is: impl Fn(Ipv4Addr) -> bool) -> Graph {
     let mut g = Graph::new();
     for f in flows {
-        let sg = if internal_is(f.src) { NodeGroup::Internal } else { NodeGroup::External };
-        let dg = if internal_is(f.dst) { NodeGroup::Internal } else { NodeGroup::External };
+        let sg = if internal_is(f.src) {
+            NodeGroup::Internal
+        } else {
+            NodeGroup::External
+        };
+        let dg = if internal_is(f.dst) {
+            NodeGroup::Internal
+        } else {
+            NodeGroup::External
+        };
         let s = g.add_node(f.src.to_string(), sg);
         let d = g.add_node(f.dst.to_string(), dg);
         g.add_edge(s, d);

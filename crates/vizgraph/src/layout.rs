@@ -94,10 +94,11 @@ fn coarsen(adjacency: &[Vec<(u32, f64)>], weights: &[f64]) -> Option<Level> {
         }
         let mut best: Option<(u32, f64)> = None;
         for &(v, w) in &adjacency[u] {
-            if matched[v as usize] == u32::MAX && v as usize != u {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((v, w));
-                }
+            if matched[v as usize] == u32::MAX
+                && v as usize != u
+                && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((v, w));
             }
         }
         let cid = coarse_count;
@@ -128,7 +129,11 @@ fn coarsen(adjacency: &[Vec<(u32, f64)>], weights: &[f64]) -> Option<Level> {
             }
         }
     }
-    Some(Level { adjacency: coarse_adj, weights: coarse_w, mapping: matched })
+    Some(Level {
+        adjacency: coarse_adj,
+        weights: coarse_w,
+        mapping: matched,
+    })
 }
 
 /// One force-directed refinement pass on an abstract weighted graph.
@@ -255,7 +260,13 @@ pub fn layout(graph: &Graph, cfg: &LayoutConfig) -> (Positions, LayoutStats) {
 
     // Refine coarsest, then interpolate down.
     if let Some(last) = levels.last() {
-        refine(&last.adjacency, &last.weights, &mut positions, cfg, &mut stats);
+        refine(
+            &last.adjacency,
+            &last.weights,
+            &mut positions,
+            cfg,
+            &mut stats,
+        );
     }
     for li in (0..levels.len()).rev() {
         // Expand positions from level li to the finer level (li-1 or 0).
@@ -309,8 +320,9 @@ mod tests {
 
     fn path_graph(n: usize) -> Graph {
         let mut g = Graph::new();
-        let ids: Vec<u32> =
-            (0..n).map(|i| g.add_node(format!("n{i}"), NodeGroup::Internal)).collect();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| g.add_node(format!("n{i}"), NodeGroup::Internal))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1]);
         }
@@ -334,18 +346,28 @@ mod tests {
     #[test]
     fn connected_nodes_end_up_closer_than_random_pairs() {
         let g = path_graph(40);
-        let cfg = LayoutConfig { parallel: false, ..Default::default() };
+        let cfg = LayoutConfig {
+            parallel: false,
+            ..Default::default()
+        };
         let (pos, _) = layout(&g, &cfg);
         let mean_edge = mean_edge_length(&g, &pos);
         // Mean distance between far-apart path nodes:
         let far = dist(pos[0], pos[39]);
-        assert!(far > 3.0 * mean_edge, "path endpoints spread out: {far} vs {mean_edge}");
+        assert!(
+            far > 3.0 * mean_edge,
+            "path endpoints spread out: {far} vs {mean_edge}"
+        );
     }
 
     #[test]
     fn star_hub_is_central() {
         let g = star_graph(60);
-        let cfg = LayoutConfig { parallel: false, seed: 3, ..Default::default() };
+        let cfg = LayoutConfig {
+            parallel: false,
+            seed: 3,
+            ..Default::default()
+        };
         let (pos, _) = layout(&g, &cfg);
         // The hub should sit near the leaves' centroid — the visual
         // signature of the Fig. 1 mass scanner.
@@ -368,9 +390,17 @@ mod tests {
     #[test]
     fn multilevel_kicks_in_for_larger_graphs() {
         let g = path_graph(500);
-        let cfg = LayoutConfig { parallel: false, max_iters: 30, ..Default::default() };
+        let cfg = LayoutConfig {
+            parallel: false,
+            max_iters: 30,
+            ..Default::default()
+        };
         let (_, stats) = layout(&g, &cfg);
-        assert!(stats.levels > 1, "expected coarsening, got {} levels", stats.levels);
+        assert!(
+            stats.levels > 1,
+            "expected coarsening, got {} levels",
+            stats.levels
+        );
     }
 
     #[test]
@@ -378,8 +408,22 @@ mod tests {
         // Same seed → same deterministic force sums (rayon only changes
         // evaluation order of an identical pure map).
         let g = star_graph(50);
-        let seq = layout(&g, &LayoutConfig { parallel: false, ..Default::default() }).0;
-        let par = layout(&g, &LayoutConfig { parallel: true, ..Default::default() }).0;
+        let seq = layout(
+            &g,
+            &LayoutConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .0;
+        let par = layout(
+            &g,
+            &LayoutConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .0;
         for (a, b) in seq.iter().zip(&par) {
             assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
         }
@@ -392,7 +436,13 @@ mod tests {
         assert!(pos.is_empty());
         let mut g1 = Graph::new();
         g1.add_node("only", NodeGroup::Internal);
-        let (pos, _) = layout(&g1, &LayoutConfig { parallel: false, ..Default::default() });
+        let (pos, _) = layout(
+            &g1,
+            &LayoutConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(pos.len(), 1);
         assert!(pos[0].0.is_finite());
     }

@@ -20,7 +20,9 @@ pub mod layout;
 pub mod quadtree;
 pub mod svg;
 
-pub use degree::{annotate_scanners, degree_histogram, hub_dominance, structural_scanners, top_hubs, HubEntry};
+pub use degree::{
+    annotate_scanners, degree_histogram, hub_dominance, structural_scanners, top_hubs, HubEntry,
+};
 pub use dot::{from_dot, to_dot, DotOptions};
 pub use graph::{graph_from_flows, Graph, Node, NodeGroup};
 pub use layout::{layout, mean_edge_length, LayoutConfig, LayoutStats, Positions};

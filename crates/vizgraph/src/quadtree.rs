@@ -32,7 +32,16 @@ struct Cell {
 
 impl Cell {
     fn new(cx: f64, cy: f64, half: f64) -> Cell {
-        Cell { cx, cy, half, mass: 0.0, com_x: 0.0, com_y: 0.0, child: -1, body: -1 }
+        Cell {
+            cx,
+            cy,
+            half,
+            mass: 0.0,
+            com_x: 0.0,
+            com_y: 0.0,
+            child: -1,
+            body: -1,
+        }
     }
 
     fn quadrant_of(&self, x: f64, y: f64) -> usize {
@@ -69,7 +78,11 @@ impl QuadTree {
         }
         let half = ((max_x - min_x).max(max_y - min_y) / 2.0).max(1e-9) * 1.001;
         let mut tree = QuadTree {
-            cells: vec![Cell::new((min_x + max_x) / 2.0, (min_y + max_y) / 2.0, half)],
+            cells: vec![Cell::new(
+                (min_x + max_x) / 2.0,
+                (min_y + max_y) / 2.0,
+                half,
+            )],
             bodies: bodies.to_vec(),
             max_depth: 48,
         };
@@ -246,7 +259,11 @@ mod tests {
     fn random_bodies(n: usize, seed: u64) -> Vec<Body> {
         let mut rng = SimRng::seed(seed);
         (0..n)
-            .map(|_| Body { x: rng.uniform(-100.0, 100.0), y: rng.uniform(-100.0, 100.0), mass: 1.0 })
+            .map(|_| Body {
+                x: rng.uniform(-100.0, 100.0),
+                y: rng.uniform(-100.0, 100.0),
+                mass: 1.0,
+            })
             .collect()
     }
 
@@ -263,7 +280,10 @@ mod tests {
             let b = bodies[i];
             let (ax, ay) = tree.force_at(b.x, b.y, 0.0, i as i32, &kernel);
             let (ex, ey) = QuadTree::force_exact(&bodies, b.x, b.y, i as i32, &kernel);
-            assert!((ax - ex).abs() < 1e-6 && (ay - ey).abs() < 1e-6, "θ=0 must be exact");
+            assert!(
+                (ax - ex).abs() < 1e-6 && (ay - ey).abs() < 1e-6,
+                "θ=0 must be exact"
+            );
         }
     }
 
@@ -283,13 +303,27 @@ mod tests {
             count += 1;
         }
         let mean_err = rel_err_sum / count as f64;
-        assert!(mean_err < 0.1, "mean relative error {mean_err} too large for θ=0.8");
+        assert!(
+            mean_err < 0.1,
+            "mean relative error {mean_err} too large for θ=0.8"
+        );
     }
 
     #[test]
     fn coincident_bodies_handled() {
-        let mut bodies = vec![Body { x: 1.0, y: 1.0, mass: 1.0 }; 10];
-        bodies.push(Body { x: 5.0, y: 5.0, mass: 1.0 });
+        let mut bodies = vec![
+            Body {
+                x: 1.0,
+                y: 1.0,
+                mass: 1.0
+            };
+            10
+        ];
+        bodies.push(Body {
+            x: 5.0,
+            y: 5.0,
+            mass: 1.0,
+        });
         let tree = QuadTree::build(&bodies);
         let (fx, fy) = tree.force_at(5.0, 5.0, 0.5, 10, &kernel);
         // All mass at (1,1) pushes the probe toward +x,+y.
@@ -299,7 +333,11 @@ mod tests {
 
     #[test]
     fn single_body_tree() {
-        let bodies = vec![Body { x: 0.0, y: 0.0, mass: 2.0 }];
+        let bodies = vec![Body {
+            x: 0.0,
+            y: 0.0,
+            mass: 2.0,
+        }];
         let tree = QuadTree::build(&bodies);
         let (fx, fy) = tree.force_at(10.0, 0.0, 0.8, -1, &kernel);
         assert!(fx > 0.0);
@@ -310,6 +348,10 @@ mod tests {
     fn tree_size_is_linear_ish() {
         let bodies = random_bodies(10_000, 3);
         let tree = QuadTree::build(&bodies);
-        assert!(tree.cell_count() < 10_000 * 8, "cells: {}", tree.cell_count());
+        assert!(
+            tree.cell_count() < 10_000 * 8,
+            "cells: {}",
+            tree.cell_count()
+        );
     }
 }

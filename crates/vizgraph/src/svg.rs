@@ -45,7 +45,11 @@ fn fill_of(group: NodeGroup) -> &'static str {
 
 /// Render to an SVG string.
 pub fn to_svg(graph: &Graph, positions: &Positions, opts: &SvgOptions) -> String {
-    assert_eq!(graph.node_count(), positions.len(), "positions must match nodes");
+    assert_eq!(
+        graph.node_count(),
+        positions.len(),
+        "positions must match nodes"
+    );
     let mut out = String::with_capacity(graph.node_count() * 64 + graph.edge_count() * 64);
     let _ = writeln!(
         out,

@@ -23,12 +23,30 @@ fn main() {
     for i in 0..5_000u64 {
         let t = start + SimDuration::from_millis(i * 20); // 50 probes/sec
         id += 1;
-        actions.push((t, Action::Flow(Flow::probe(FlowId(id), t, fast, production.nth(i % 65_536), 5432))));
+        actions.push((
+            t,
+            Action::Flow(Flow::probe(
+                FlowId(id),
+                t,
+                fast,
+                production.nth(i % 65_536),
+                5432,
+            )),
+        ));
     }
     for i in 0..60u64 {
         let t = start + SimDuration::from_mins(i * 3); // one probe per 3 min
         id += 1;
-        actions.push((t, Action::Flow(Flow::probe(FlowId(id), t, slow, production.nth(i * 997 % 65_536), 22))));
+        actions.push((
+            t,
+            Action::Flow(Flow::probe(
+                FlowId(id),
+                t,
+                slow,
+                production.nth(i * 997 % 65_536),
+                22,
+            )),
+        ));
     }
     tb.schedule(actions);
     let report = tb.run();
@@ -45,7 +63,13 @@ fn main() {
     for e in tb.bhr().audit_log().iter().take(5) {
         println!("  [{}] {} {:?} {}", e.ts, e.command, e.addr, e.detail);
     }
-    assert!(tb.bhr().is_blocked(t_end, fast), "rate policy must catch the fast scanner");
-    assert!(!tb.bhr().is_blocked(t_end, slow), "slow scanner stays under the rate threshold");
+    assert!(
+        tb.bhr().is_blocked(t_end, fast),
+        "rate policy must catch the fast scanner"
+    );
+    assert!(
+        !tb.bhr().is_blocked(t_end, slow),
+        "slow scanner stays under the rate threshold"
+    );
     println!("done.");
 }

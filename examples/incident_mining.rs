@@ -24,7 +24,10 @@ fn main() {
     let cdf = similarity_cdf(&store);
     println!("=== Insight 1: attack similarity (Fig. 3a) ===");
     println!("pairs          : {}", cdf.len());
-    println!("fraction <=33% : {:.3} (paper: >= 0.95)", cdf.fraction_le(0.33));
+    println!(
+        "fraction <=33% : {:.3} (paper: >= 0.95)",
+        cdf.fraction_le(0.33)
+    );
     println!("median         : {:.3}", cdf.quantile(0.5));
     println!();
 
@@ -34,7 +37,11 @@ fn main() {
     // 60% motif prevalence).
     let patterns = mine_common_patterns(
         &store,
-        &MinerConfig { min_len: 4, support: mining::lcs::SupportMode::LcsPeers, ..Default::default() },
+        &MinerConfig {
+            min_len: 4,
+            support: mining::lcs::SupportMode::LcsPeers,
+            ..Default::default()
+        },
     );
     println!("=== Insight 2: common sequences (Fig. 3b) ===");
     println!("patterns mined : {}", patterns.len());
@@ -44,7 +51,11 @@ fn main() {
             p.name(),
             p.support,
             p.len(),
-            p.seq.iter().map(|k| k.symbol()).collect::<Vec<_>>().join(", ")
+            p.seq
+                .iter()
+                .map(|k| k.symbol())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     println!();
@@ -58,7 +69,10 @@ fn main() {
         rec.hits,
         rec.total
     );
-    println!("span           : {:?} - {:?}", rec.first_year, rec.last_year);
+    println!(
+        "span           : {:?} - {:?}",
+        rec.first_year, rec.last_year
+    );
     println!();
 
     // Insight 3: timing dispersion.
@@ -79,11 +93,20 @@ fn main() {
     // Insight 4: criticality.
     let crit = measure_criticality(&store);
     println!("=== Insight 4: critical alerts ===");
-    println!("unique critical kinds : {} (paper: 19)", crit.unique_critical_kinds);
-    println!("occurrences           : {} (paper: 98)", crit.critical_occurrences);
+    println!(
+        "unique critical kinds : {} (paper: 19)",
+        crit.unique_critical_kinds
+    );
+    println!(
+        "occurrences           : {} (paper: 98)",
+        crit.critical_occurrences
+    );
     println!(
         "mean relative position of first critical: {:.2} (late in the timeline)",
         crit.mean_first_critical_position
     );
-    println!("mean preemption budget: {:.1} alerts", crit.mean_preemption_budget);
+    println!(
+        "mean preemption budget: {:.1} alerts",
+        crit.mean_preemption_budget
+    );
 }

@@ -41,12 +41,17 @@ fn main() {
     println!("=== Ransomware case study (§V) ===");
     println!("{}", report.summary());
     println!();
-    let first = report.first_notification().expect("the ransomware must be detected");
+    let first = report
+        .first_notification()
+        .expect("the ransomware must be detected");
     println!("first operator notification : {first}");
     println!("ransomware C2 communication : {c2_time}");
     println!("production wave begins      : {production_time}");
     let lead = production_time - first;
-    println!("preemption lead time        : {lead} ({} days)", lead.as_days());
+    println!(
+        "preemption lead time        : {lead} ({} days)",
+        lead.as_days()
+    );
     for n in report.notifications.iter().take(3) {
         println!("  -> [{}] {}", n.ts, n.message);
     }
@@ -54,7 +59,10 @@ fn main() {
         first <= c2_time,
         "detection must happen no later than the C2 step the paper reports"
     );
-    assert!(lead.as_days() >= 11, "the paper's 12-day lead should hold approximately");
+    assert!(
+        lead.as_days() >= 11,
+        "the paper's 12-day lead should hold approximately"
+    );
     println!();
     println!(
         "honeypot stats: {} sessions, {} auth failures, {} files dropped",

@@ -19,10 +19,14 @@ fn main() {
     let (flows, gt) = fig1_flows(&Fig1Config::default(), &mut rng);
     println!("generated {} flows", flows.len());
 
-    let mut graph =
-        graph_from_flows(&flows, |a| simnet::addr::ncsa_production().contains(a)
-            || simnet::addr::ncsa_secondary().contains(a));
-    println!("graph: {} nodes, {} edges (paper: 29,075 / 27,336)", graph.node_count(), graph.edge_count());
+    let mut graph = graph_from_flows(&flows, |a| {
+        simnet::addr::ncsa_production().contains(a) || simnet::addr::ncsa_secondary().contains(a)
+    });
+    println!(
+        "graph: {} nodes, {} edges (paper: 29,075 / 27,336)",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // Annotate: scanners structurally, attacker/targets from ground truth
     // (the paper annotates manually by cross-examining detector output).
@@ -37,7 +41,10 @@ fn main() {
         println!("  hub {} degree {}", h.label, h.degree);
     }
 
-    let cfg = LayoutConfig { max_iters: 60, ..Default::default() };
+    let cfg = LayoutConfig {
+        max_iters: 60,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let (positions, stats) = layout(&graph, &cfg);
     println!(

@@ -3,7 +3,6 @@
 
 use attack_tagger::prelude::*;
 use scenario::{build_scenario, RansomwareConfig};
-use simnet::prelude::*;
 
 /// The §V ransomware is preempted with ~12 days of lead over the
 /// production wave, and the attacker source ends up null-routed.
@@ -24,9 +23,16 @@ fn ransomware_preempted_with_twelve_day_lead() {
     let report = tb.run();
 
     let first = report.first_notification().expect("detection required");
-    assert!(first <= c2_time, "preemption must be no later than the C2 step");
+    assert!(
+        first <= c2_time,
+        "preemption must be no later than the C2 step"
+    );
     let lead = production_time - first;
-    assert!(lead.as_days() >= 11, "expected ~12 days of lead, got {}", lead.as_days());
+    assert!(
+        lead.as_days() >= 11,
+        "expected ~12 days of lead, got {}",
+        lead.as_days()
+    );
     assert!(report.detections >= 1);
     // The ransomware source was null-routed by the response stage.
     assert!(
@@ -58,8 +64,14 @@ fn scanner_flood_absorbed_without_false_positives() {
     }
     tb.schedule(actions);
     let report = tb.run();
-    assert_eq!(report.detections, 0, "scans alone must not raise detections");
-    assert!(report.router.dropped > 9_000, "auto-block must absorb the flood");
+    assert_eq!(
+        report.detections, 0,
+        "scans alone must not raise detections"
+    );
+    assert!(
+        report.router.dropped > 9_000,
+        "auto-block must absorb the flood"
+    );
     assert!(
         report.alerts_filtered < 100,
         "scan filter must collapse the flood (got {})",
@@ -84,8 +96,16 @@ fn corpus_train_evaluate_loop() {
     let tagger = AttackTagger::new(model, TaggerConfig::default());
     let (_, tagger_eval) = detect::evaluate(&tagger, &store, &benign);
     assert!(tagger_eval.recall > 0.9, "recall {}", tagger_eval.recall);
-    assert!(tagger_eval.precision > 0.9, "precision {}", tagger_eval.precision);
-    assert!(tagger_eval.preemption_rate > 0.4, "preemption {}", tagger_eval.preemption_rate);
+    assert!(
+        tagger_eval.precision > 0.9,
+        "precision {}",
+        tagger_eval.precision
+    );
+    assert!(
+        tagger_eval.preemption_rate > 0.4,
+        "preemption {}",
+        tagger_eval.preemption_rate
+    );
 
     let critical = CriticalOnlyDetector::new();
     let (_, crit_eval) = detect::evaluate(&critical, &store, &benign);
@@ -105,7 +125,13 @@ fn honeynet_egress_containment_alerts() {
         let t = start + SimDuration::from_secs(30 * i);
         actions.push((
             t,
-            Action::Flow(Flow::probe(FlowId(i), t, entry, "194.145.22.33".parse().unwrap(), 443)),
+            Action::Flow(Flow::probe(
+                FlowId(i),
+                t,
+                entry,
+                "194.145.22.33".parse().unwrap(),
+                443,
+            )),
         ));
     }
     tb.schedule(actions);
@@ -127,12 +153,25 @@ fn runs_are_deterministic() {
             let dst = simnet::addr::ncsa_production().nth(rng.range_u64(0, 65_536));
             actions.push((
                 t,
-                Action::Flow(Flow::probe(FlowId(i), t, "91.247.1.1".parse().unwrap(), dst, 22)),
+                Action::Flow(Flow::probe(
+                    FlowId(i),
+                    t,
+                    "91.247.1.1".parse().unwrap(),
+                    dst,
+                    22,
+                )),
             ));
         }
         tb.schedule(actions);
         let r = tb.run();
-        (r.actions, r.records, r.alerts, r.alerts_filtered, r.detections, r.router.dropped)
+        (
+            r.actions,
+            r.records,
+            r.alerts,
+            r.alerts_filtered,
+            r.detections,
+            r.router.dropped,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -143,16 +182,22 @@ fn runs_are_deterministic() {
 fn vrt_gates_vulnerability_exposure() {
     use honeynet::{PostgresEmulator, SnapshotRepo};
     let repo = SnapshotRepo::with_debian_history();
-    let old = repo.resolve(SimTime::from_date(2019, 6, 1), &["postgresql"]).unwrap();
-    let new = repo.resolve(SimTime::from_date(2021, 1, 1), &["postgresql"]).unwrap();
+    let old = repo
+        .resolve(SimTime::from_date(2019, 6, 1), &["postgresql"])
+        .unwrap();
+    let new = repo
+        .resolve(SimTime::from_date(2021, 1, 1), &["postgresql"])
+        .unwrap();
 
     for (snap, expect_rce) in [(old, true), (new, false)] {
         let version = snap.version_of("postgresql").unwrap();
         let mut pg = PostgresEmulator::with_default_credentials(version);
         use honeynet::VulnerableService;
         assert!(pg.try_auth("postgres", "postgres"));
-        let mut session =
-            honeynet::SessionCtx { user: Some("postgres".into()), commands: 0 };
+        let mut session = honeynet::SessionCtx {
+            user: Some("postgres".into()),
+            commands: 0,
+        };
         let out = pg.execute(&mut session, "COPY t FROM PROGRAM 'id'");
         assert_eq!(out.ok, expect_rce, "version {version}");
     }
@@ -164,7 +209,12 @@ fn fig1_graph_structure() {
     use scenario::{fig1_flows, Fig1Config};
     use vizgraph::{graph_from_flows, top_hubs};
     let mut rng = SimRng::seed(1);
-    let cfg = Fig1Config { scanner_flows: 2_000, secondary_flows: 100, legit_nodes: 3_000, legit_flows: 2_500 };
+    let cfg = Fig1Config {
+        scanner_flows: 2_000,
+        secondary_flows: 100,
+        legit_nodes: 3_000,
+        legit_flows: 2_500,
+    };
     let (flows, gt) = fig1_flows(&cfg, &mut rng);
     let graph = graph_from_flows(&flows, |a| simnet::addr::ncsa_production().contains(a));
     // The mass scanner is the top hub; the real attack is two edges.

@@ -119,8 +119,14 @@ fn claim_effective_range_two_to_four() {
     );
     let tagger = AttackTagger::new(model, TaggerConfig::default());
     let sweep = detect::prefix_sweep(&tagger, &sessions, 4);
-    assert_eq!(sweep[0].1, 0.0, "one alert cannot be preempted (sudden attacks)");
-    assert!(sweep[3].1 > 0.9, "four session alerts must be in the effective range");
+    assert_eq!(
+        sweep[0].1, 0.0,
+        "one alert cannot be preempted (sudden attacks)"
+    );
+    assert!(
+        sweep[3].1 > 0.9,
+        "four session alerts must be in the effective range"
+    );
 }
 
 /// §V: the honeypot accepts the advertised default credentials and the
@@ -137,12 +143,17 @@ fn claim_ransomware_surface() {
     assert!(ok, "default credentials advertised in §IV-B must work");
     let (reply, _) = dep.db_command(t, src, entry, "SHOW server_version_num");
     assert_eq!(reply.as_deref(), Some("90421"), "step 1: version recon");
-    let stmt = format!("SELECT lo_from_bytea(0, decode('7f454c46{}','hex'))", "00".repeat(32));
+    let stmt = format!(
+        "SELECT lo_from_bytea(0, decode('7f454c46{}','hex'))",
+        "00".repeat(32)
+    );
     let (_, actions) = dep.db_command(t, src, entry, &stmt);
     assert!(!actions.is_empty(), "step 2: ELF staging observed");
     let (_, actions) = dep.db_command(t, src, entry, "SELECT lo_export(16384, '/tmp/kp')");
     assert!(
-        actions.iter().any(|(_, a)| matches!(a, Action::FileOp(f) if f.path == "/tmp/kp")),
+        actions
+            .iter()
+            .any(|(_, a)| matches!(a, Action::FileOp(f) if f.path == "/tmp/kp")),
         "step 3: /tmp/kp dropped"
     );
 }
@@ -152,9 +163,14 @@ fn claim_ransomware_surface() {
 #[test]
 fn claim_vrt_heartbleed_example() {
     let repo = SnapshotRepo::with_debian_history();
-    let snap = repo.resolve(SimTime::from_date(2014, 4, 1), &["openssl"]).unwrap();
+    let snap = repo
+        .resolve(SimTime::from_date(2014, 4, 1), &["openssl"])
+        .unwrap();
     assert_eq!(snap.release.name, "wheezy");
-    assert!(repo.vulnerabilities_in(&snap).iter().any(|v| v.name == "Heartbleed"));
+    assert!(repo
+        .vulnerabilities_in(&snap)
+        .iter()
+        .any(|v| v.name == "Heartbleed"));
 }
 
 /// Fig. 2: ~94K alerts/day, ~80K of which are repeated scans.

@@ -42,7 +42,7 @@ proptest! {
         prop_assert!((direct - total).abs() < 1e-9 * total.max(1.0));
         if f.vars().len() >= 2 {
             let first = f.vars()[0];
-            let step = f.marginalize(&f.vars()[1..].to_vec()).marginalize(&[]);
+            let step = f.marginalize(&f.vars()[1..]).marginalize(&[]);
             prop_assert!((step.table()[0] - total).abs() < 1e-9 * total.max(1.0));
             let _ = first;
         }
