@@ -47,6 +47,18 @@ impl Entity {
             _ => None,
         }
     }
+
+    /// Stable 64-bit hash of the entity, for partitioning per-entity work
+    /// (detector shards) without allocating the [`Entity::key`] string.
+    /// All alerts of one entity land on the same shard, which is what makes
+    /// per-entity detector state shardable at all (§III-B: one entity = one
+    /// attack session).
+    pub fn shard_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = simnet::rng::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for Entity {
@@ -142,6 +154,16 @@ mod tests {
         assert_eq!(u.key(), "user:alice");
         assert_eq!(u.user(), Some("alice"));
         assert_eq!(a.user(), None);
+    }
+
+    #[test]
+    fn shard_key_is_stable_and_discriminates() {
+        let u = Entity::User("alice".into());
+        assert_eq!(u.shard_key(), Entity::User("alice".into()).shard_key());
+        // User "10.0.0.1" and address 10.0.0.1 must not collide by
+        // construction (tagged hashing).
+        let a = Entity::Address("10.0.0.1".parse().unwrap());
+        assert_ne!(Entity::User("10.0.0.1".into()).shard_key(), a.shard_key());
     }
 
     #[test]

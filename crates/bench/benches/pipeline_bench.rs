@@ -1,6 +1,6 @@
 //! Alert-pipeline benchmarks: symbolization, filtering (the 25 M → 191 K
-//! stage, ablation (c)), and the end-to-end record path, sequential vs
-//! crossbeam-streaming.
+//! stage, ablation (c)), and the end-to-end record path under each stage
+//! executor (inline / threaded / sharded; see `testbed::stage`).
 
 use alertlib::{Alert, Entity, FilterConfig, ScanFilter, Symbolizer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -119,18 +119,31 @@ fn bench_streaming_vs_sequential(c: &mut Criterion) {
             black_box(detections)
         })
     });
-    group.bench_function("crossbeam_streaming", |b| {
+    group.bench_function("inline_executor", |b| {
         b.iter(|| {
-            let stats = testbed::process_records(
-                records.clone(),
-                Symbolizer::with_defaults(),
-                ScanFilter::new(FilterConfig::default()),
-                detect::AttackTagger::new(
-                    detect::toy_training_model(),
-                    detect::TaggerConfig::default(),
-                ),
-            );
-            black_box(stats)
+            let report = testbed::PipelineBuilder::new()
+                .alert_retention(0)
+                .build()
+                .run_inline(records.clone());
+            black_box(report.stats)
+        })
+    });
+    group.bench_function("threaded_executor", |b| {
+        b.iter(|| {
+            let report = testbed::PipelineBuilder::new()
+                .alert_retention(0)
+                .build()
+                .run_threaded(records.clone());
+            black_box(report.stats)
+        })
+    });
+    group.bench_function("sharded_executor", |b| {
+        b.iter(|| {
+            let report = testbed::PipelineBuilder::new()
+                .alert_retention(0)
+                .build()
+                .run_sharded(records.clone());
+            black_box(report.stats)
         })
     });
     group.finish();

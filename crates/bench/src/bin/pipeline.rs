@@ -129,12 +129,16 @@ fn main() {
     };
     let n_records = records.len();
     let t1 = std::time::Instant::now();
-    let stats = testbed::process_records(
-        records,
-        alertlib::Symbolizer::with_defaults(),
-        alertlib::ScanFilter::default(),
-        detect::AttackTagger::new(bench::standard_model(), detect::TaggerConfig::default()),
-    );
+    let stream_report = testbed::PipelineBuilder::new()
+        .tagger(detect::AttackTagger::new(
+            bench::standard_model(),
+            detect::TaggerConfig::default(),
+        ))
+        .executor(testbed::ExecutorKind::Threaded)
+        .alert_retention(0)
+        .build()
+        .run(records);
+    let stats = stream_report.stats;
     let stream_elapsed = t1.elapsed();
     println!(
         "\nstreaming pipeline: {} records in {:?} ({:.0} records/s) -> {} alerts, {} admitted, {} detections",

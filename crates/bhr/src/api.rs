@@ -58,6 +58,26 @@ impl BhrHandle {
         self.log(ts, "block", Some(addr), reason);
     }
 
+    /// Batched `block`: install many null routes taking each lock once,
+    /// for response stages that emit blocks per pipeline batch instead of
+    /// per detection.
+    pub fn block_batch<I>(&self, blocks: I)
+    where
+        I: IntoIterator<Item = (SimTime, Ipv4Addr, String, Option<SimDuration>)>,
+    {
+        let mut table = self.inner.lock();
+        let mut audit = self.audit.lock();
+        for (ts, addr, reason, ttl) in blocks {
+            table.block(addr, reason.clone(), ts, ttl);
+            audit.push(AuditEntry {
+                ts,
+                command: "block".to_string(),
+                addr: Some(addr),
+                detail: reason,
+            });
+        }
+    }
+
     /// `bhr-client unblock`: remove a null route.
     pub fn unblock(&self, ts: SimTime, addr: Ipv4Addr) -> bool {
         let removed = self.inner.lock().unblock(addr).is_some();
@@ -142,6 +162,19 @@ mod tests {
             commands,
             vec!["block", "query", "list", "unblock", "unblock"]
         );
+    }
+
+    #[test]
+    fn block_batch_matches_singles() {
+        let bhr = BhrHandle::new();
+        let t0 = SimTime::from_secs(0);
+        bhr.block_batch(
+            (0..5u8).map(|i| (t0, Ipv4Addr::new(10, 0, 0, i), format!("batch {i}"), None)),
+        );
+        assert_eq!(bhr.active_blocks(), 5);
+        let log = bhr.audit_log();
+        assert_eq!(log.len(), 5);
+        assert!(log.iter().all(|e| e.command == "block"));
     }
 
     #[test]

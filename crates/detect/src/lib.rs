@@ -11,6 +11,7 @@
 //!   construction cannot preempt (Insight 4).
 //! - [`fg_session`] — the full (loopy) skip-chain session factor graph of
 //!   ref [6], for offline forensic inference.
+//! - [`online`] — online per-entity adapter for the offline baselines.
 //! - [`stage`] — the hidden attack-stage vocabulary.
 //! - [`sessionize`] — entity sessionization per the §III-B threat model.
 //! - [`train`] — supervised MLE training from annotated incidents.
@@ -20,6 +21,7 @@ pub mod attack_tagger;
 pub mod critical;
 pub mod fg_session;
 pub mod metrics;
+pub mod online;
 pub mod rules;
 pub mod sessionize;
 pub mod stage;
@@ -29,6 +31,7 @@ pub use attack_tagger::{AttackTagger, Detection, TaggerConfig};
 pub use critical::CriticalOnlyDetector;
 pub use fg_session::{build_session_graph, infer_session, SessionGraphConfig, SessionPosteriors};
 pub use metrics::{evaluate, prefix_sweep, EvalSummary, IncidentOutcome, SequenceDetector};
+pub use online::OnlineSessionDetector;
 pub use rules::{Rule, RuleBasedDetector};
 pub use sessionize::{sessionize, Session, Sessionizer};
 pub use stage::{monotone_stage_labels, Stage};

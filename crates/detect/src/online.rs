@@ -1,0 +1,163 @@
+//! Online adapter for offline session-scan detectors.
+//!
+//! The baseline detectors ([`RuleBasedDetector`](crate::rules::RuleBasedDetector),
+//! [`CriticalOnlyDetector`](crate::critical::CriticalOnlyDetector)) expose an
+//! offline `scan(&[Alert])` API over a whole session. The streaming pipeline
+//! needs the same decision *online*: one alert at a time, detection raised at
+//! the earliest alert that completes a match, latched per entity (§III-B:
+//! one entity = one attack session).
+//!
+//! [`OnlineSessionDetector`] buffers a bounded per-entity session and
+//! re-scans it on every appended alert. Sessions are short (tens of alerts)
+//! and the scanners are linear-ish, so the re-scan is cheap; the context cap
+//! bounds memory on adversarially long sessions.
+
+use std::collections::VecDeque;
+
+use alertlib::alert::Alert;
+use simnet::rng::{FxHashMap, FxHashSet};
+
+use crate::attack_tagger::Detection;
+use crate::metrics::SequenceDetector;
+
+/// Default per-entity context cap (alerts retained for re-scanning).
+pub const DEFAULT_SESSION_CONTEXT: usize = 256;
+
+/// Streams alerts into per-entity sessions and raises each entity's first
+/// detection online, replicating the offline `scan` decision.
+#[derive(Debug, Clone)]
+pub struct OnlineSessionDetector<D> {
+    detector: D,
+    sessions: FxHashMap<String, VecDeque<Alert>>,
+    latched: FxHashSet<String>,
+    /// Per-entity session cap; oldest alerts are dropped beyond it
+    /// (O(1) ring-buffer eviction).
+    max_context: usize,
+}
+
+impl<D: SequenceDetector> OnlineSessionDetector<D> {
+    pub fn new(detector: D) -> Self {
+        Self::with_context(detector, DEFAULT_SESSION_CONTEXT)
+    }
+
+    pub fn with_context(detector: D, max_context: usize) -> Self {
+        assert!(max_context > 0, "context cap must be positive");
+        OnlineSessionDetector {
+            detector,
+            sessions: FxHashMap::default(),
+            latched: FxHashSet::default(),
+            max_context,
+        }
+    }
+
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Number of entities with buffered session state (latched entities
+    /// drop their buffers and are not counted).
+    pub fn tracked_entities(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Observe one alert; returns the entity's first detection when the
+    /// buffered session first matches (latched thereafter).
+    ///
+    /// Latched entities are not buffered: their session can never be
+    /// scanned again, so the buffer is dropped on latch and later alerts
+    /// cost one hash lookup, no clone.
+    pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
+        let key = alert.entity.key();
+        if self.latched.contains(&key) {
+            return None;
+        }
+        let session = self.sessions.entry(key.clone()).or_default();
+        if session.len() == self.max_context {
+            session.pop_front();
+        }
+        session.push_back(alert.clone());
+        let detection = self.detector.scan(session.make_contiguous())?;
+        self.sessions.remove(&key);
+        self.latched.insert(key);
+        Some(detection)
+    }
+
+    /// Forget all per-entity state.
+    pub fn reset(&mut self) {
+        self.sessions.clear();
+        self.latched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::CriticalOnlyDetector;
+    use crate::rules::RuleBasedDetector;
+    use alertlib::alert::Entity;
+    use alertlib::taxonomy::AlertKind;
+    use simnet::time::SimTime;
+
+    fn alert(t: u64, kind: AlertKind, user: &str) -> Alert {
+        Alert::new(SimTime::from_secs(t), kind, Entity::User(user.into()))
+    }
+
+    #[test]
+    fn online_matches_offline_first_detection() {
+        use AlertKind::*;
+        let session = vec![
+            alert(0, PortScan, "eve"),
+            alert(10, DownloadSensitive, "eve"),
+            alert(20, CompileKernelModule, "eve"),
+            alert(30, LogWipe, "eve"),
+        ];
+        let offline = RuleBasedDetector::with_default_rules()
+            .scan(&session)
+            .expect("offline detection");
+        let mut online = OnlineSessionDetector::new(RuleBasedDetector::with_default_rules());
+        let mut first = None;
+        for a in &session {
+            if let Some(d) = online.observe(a) {
+                first = Some(d);
+                break;
+            }
+        }
+        assert_eq!(first, Some(offline));
+    }
+
+    #[test]
+    fn detection_latches_per_entity() {
+        use AlertKind::*;
+        let mut online = OnlineSessionDetector::new(CriticalOnlyDetector::new());
+        let mut fired = 0;
+        for t in 0..5 {
+            if online
+                .observe(&alert(t, PrivilegeEscalation, "eve"))
+                .is_some()
+            {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+        // A different entity gets its own latch.
+        assert!(online
+            .observe(&alert(9, PrivilegeEscalation, "mallory"))
+            .is_some());
+        // Both entities latched -> both session buffers dropped.
+        assert_eq!(online.tracked_entities(), 0);
+        assert_eq!(online.latched.len(), 2);
+    }
+
+    #[test]
+    fn context_cap_bounds_sessions() {
+        use AlertKind::*;
+        let mut online =
+            OnlineSessionDetector::with_context(RuleBasedDetector::with_default_rules(), 4);
+        for t in 0..100 {
+            online.observe(&alert(t, LoginSuccess, "alice"));
+        }
+        assert_eq!(online.sessions.get("user:alice").unwrap().len(), 4);
+        online.reset();
+        assert_eq!(online.tracked_entities(), 0);
+    }
+}

@@ -14,12 +14,16 @@
 //!   94 K/day) and the Fig. 1 flow sample.
 //! - [`ransomware`] — the §V case-study playbook, including Fig. 5's
 //!   lateral-movement script and the 12-day production wave.
+//! - [`stream`] — raw [`LogRecord`](telemetry::record::LogRecord) streams
+//!   (scan floods + benign flows + per-user command sessions) for the
+//!   streaming executors and their benchmarks.
 
 pub mod background;
 pub mod incident;
 pub mod library;
 pub mod longitudinal;
 pub mod ransomware;
+pub mod stream;
 pub mod template;
 
 pub use background::{
@@ -32,4 +36,5 @@ pub use longitudinal::{generate_corpus, pin_motif_span, LongitudinalConfig};
 pub use ransomware::{
     build_scenario, expected_honeypot_kinds, RansomwareConfig, RansomwareScenario, FIG5_SCRIPT,
 };
+pub use stream::{record_stream, RecordStreamConfig};
 pub use template::{AttackTemplate, Delay, Step};

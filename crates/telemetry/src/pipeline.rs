@@ -42,6 +42,20 @@ impl MonitorHub {
         hub
     }
 
+    /// Build a hub around an existing monitor fleet.
+    pub fn with_monitors(monitors: Vec<Box<dyn Monitor>>) -> Self {
+        MonitorHub {
+            monitors,
+            ..Self::default()
+        }
+    }
+
+    /// Take the monitor fleet out of the hub (e.g. to hand it to a
+    /// pipeline builder), discarding collected records.
+    pub fn into_monitors(self) -> Vec<Box<dyn Monitor>> {
+        self.monitors
+    }
+
     /// All records collected so far.
     pub fn records(&self) -> &[LogRecord] {
         &self.records
@@ -120,6 +134,16 @@ mod tests {
         assert_eq!(hub.total(), 5);
         let drained = hub.drain();
         assert_eq!(drained.len(), 5);
+        assert!(hub.records().is_empty());
+    }
+
+    #[test]
+    fn monitor_fleet_round_trips_through_hub() {
+        let hub = MonitorHub::standard();
+        let monitors = hub.into_monitors();
+        assert_eq!(monitors.len(), 2);
+        let hub = MonitorHub::with_monitors(monitors);
+        assert_eq!(hub.total(), 0);
         assert!(hub.records().is_empty());
     }
 

@@ -7,8 +7,80 @@ use alertlib::symbolize::SymbolizerConfig;
 use bhr::policy::AutoBlockPolicy;
 use detect::attack_tagger::TaggerConfig;
 use honeynet::deploy::DeployConfig;
+use serde::{Deserialize, Serialize};
 use simnet::time::{SimDuration, SimTime};
 use telemetry::zeek::ZeekConfig;
+
+/// Which executor drives an assembled record pipeline
+/// (see [`crate::stage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorKind {
+    /// All stages run in the caller's thread, batch by batch. The
+    /// deterministic reference; also what the closed-loop simulation sink
+    /// uses.
+    Inline,
+    /// One thread per stage, bounded channels carrying record/alert
+    /// batches between them.
+    Threaded,
+    /// Like [`ExecutorKind::Threaded`], but the detect stage is
+    /// partitioned by entity hash into shards driven on the rayon worker
+    /// pool.
+    Sharded,
+}
+
+/// Batching / capacity / sharding knobs shared by every executor.
+///
+/// Defaults: `batch_size` 256 (large enough to amortize channel costs,
+/// small enough to keep stages busy), `stage_capacity` 4096 in-flight
+/// items per inter-stage channel (back-pressure bound; the pre-redesign
+/// pipeline hardcoded this as `STAGE_CAPACITY`), `detect_shards` 0 =
+/// one shard per available core, `alert_retention` 10 000 retained
+/// post-filter alerts (drop-oldest beyond that; see
+/// [`crate::stage::AlertRetention`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineTuning {
+    /// Executor used by [`crate::stage::BuiltPipeline::run`].
+    pub executor: ExecutorKind,
+    /// Records/alerts moved between stages per channel send.
+    pub batch_size: usize,
+    /// Maximum in-flight items buffered between two stages (rounded up to
+    /// whole batches, minimum one batch).
+    pub stage_capacity: usize,
+    /// Detect-stage shard count for [`ExecutorKind::Sharded`];
+    /// `0` = one shard per available core.
+    pub detect_shards: usize,
+    /// Cap on retained post-filter alerts (drop-oldest, counted);
+    /// `0` disables retention entirely.
+    pub alert_retention: usize,
+}
+
+impl Default for PipelineTuning {
+    fn default() -> Self {
+        PipelineTuning {
+            executor: ExecutorKind::Threaded,
+            batch_size: 256,
+            stage_capacity: 4_096,
+            detect_shards: 0,
+            alert_retention: 10_000,
+        }
+    }
+}
+
+impl PipelineTuning {
+    /// Effective shard count.
+    pub fn shards(&self) -> usize {
+        if self.detect_shards == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.detect_shards
+        }
+    }
+
+    /// Channel depth in batches implied by `stage_capacity`.
+    pub fn channel_batches(&self) -> usize {
+        (self.stage_capacity / self.batch_size.max(1)).max(1)
+    }
+}
 
 /// Full configuration of the ATTACKTAGGER testbed (Fig. 4).
 #[derive(Debug, Clone)]
@@ -33,6 +105,8 @@ pub struct TestbedConfig {
     pub detection_block_ttl: Option<SimDuration>,
     /// Known C2 endpoints fed to the symbolizer (threat intel).
     pub c2_feed: Vec<Ipv4Addr>,
+    /// Pipeline batching / capacity / sharding knobs.
+    pub tuning: PipelineTuning,
 }
 
 impl Default for TestbedConfig {
@@ -48,6 +122,7 @@ impl Default for TestbedConfig {
             block_on_detection: true,
             detection_block_ttl: None,
             c2_feed: Vec::new(),
+            tuning: PipelineTuning::default(),
         }
     }
 }
@@ -62,5 +137,23 @@ mod tests {
         assert!(cfg.block_on_detection);
         assert_eq!(cfg.deploy.entry_points, 16);
         assert!(cfg.auto_block.is_some());
+        assert_eq!(cfg.tuning.batch_size, 256);
+        assert_eq!(cfg.tuning.stage_capacity, 4_096);
+        assert!(cfg.tuning.shards() >= 1);
+        assert_eq!(cfg.tuning.channel_batches(), 16);
+    }
+
+    #[test]
+    fn tuning_derived_quantities_clamp() {
+        let mut t = PipelineTuning {
+            batch_size: 10_000,
+            stage_capacity: 100,
+            detect_shards: 3,
+            ..PipelineTuning::default()
+        };
+        assert_eq!(t.channel_batches(), 1, "capacity below one batch clamps");
+        assert_eq!(t.shards(), 3);
+        t.detect_shards = 0;
+        assert_eq!(t.shards(), rayon::current_num_threads().max(1));
     }
 }

@@ -8,10 +8,17 @@
 //! operator notifications — the mechanism that preempted the §V ransomware
 //! twelve days before it hit production).
 //!
-//! - [`config`] — one struct configuring every stage.
+//! - [`config`] — one struct configuring every stage, including the
+//!   pipeline batching / capacity / sharding knobs.
+//! - [`stage`] — **the composable stage API**: the [`Stage`](stage::Stage)
+//!   trait, adapters for every Fig. 4 component,
+//!   [`PipelineBuilder`](stage::PipelineBuilder), and the inline /
+//!   threaded / sharded executors. Both deployments below are thin
+//!   wrappers over it.
 //! - [`pipeline`] — the in-line, closed-loop detection sink.
 //! - [`testbed`] — the orchestrator wiring topology, honeynet, filters.
-//! - [`streaming`] — crossbeam-threaded stage pipeline for throughput.
+//! - [`streaming`] — record-driven runs for throughput
+//!   (compatibility entry point [`process_records`]).
 //! - [`report`] — run reports and operator notifications.
 //!
 //! ## Example
@@ -31,22 +38,38 @@
 //! let report = tb.run();
 //! assert_eq!(report.actions, 1);
 //! ```
+//!
+//! ## Stream example (builder API)
+//! ```
+//! use testbed::prelude::*;
+//!
+//! let report = PipelineBuilder::new()
+//!     .executor(ExecutorKind::Sharded)
+//!     .batch_size(128)
+//!     .build()
+//!     .run(Vec::<telemetry::LogRecord>::new());
+//! assert_eq!(report.stats.records, 0);
+//! ```
 
 pub mod config;
 pub mod pipeline;
 pub mod report;
+pub mod stage;
 pub mod streaming;
 pub mod testbed;
 
-pub use config::TestbedConfig;
+pub use config::{ExecutorKind, PipelineTuning, TestbedConfig};
 pub use pipeline::PipelineSink;
 pub use report::{OperatorNotification, RunReport};
+pub use stage::{BuiltPipeline, PipelineBuilder, Stage, StreamReport};
 pub use streaming::{process_records, StreamStats};
 pub use testbed::{FilterChain, Testbed};
 
 /// Common imports for testbed users.
 pub mod prelude {
-    pub use crate::config::TestbedConfig;
+    pub use crate::config::{ExecutorKind, PipelineTuning, TestbedConfig};
     pub use crate::report::{OperatorNotification, RunReport};
+    pub use crate::stage::{BuiltPipeline, PipelineBuilder, StreamReport};
+    pub use crate::streaming::StreamStats;
     pub use crate::testbed::Testbed;
 }

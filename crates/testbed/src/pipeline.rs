@@ -6,6 +6,13 @@
 //! blocking the attacker source at the BHR and notifying operators. The
 //! BHR handle is shared with the border filter, so a block takes effect on
 //! the *next* flow from that source: a genuinely closed loop.
+//!
+//! Since the stage-API redesign the sink is a thin adapter: the stage
+//! chain itself lives in [`crate::stage`] (shared with the streaming
+//! executors) and is assembled by
+//! [`PipelineBuilder`](crate::stage::PipelineBuilder); the sink merely
+//! feeds it one action's records at a time under the engine's live
+//! [`EventCtx`].
 
 use alertlib::alert::Alert;
 use alertlib::filter::ScanFilter;
@@ -15,34 +22,29 @@ use detect::attack_tagger::AttackTagger;
 use simnet::action::Action;
 use simnet::engine::{ActionSink, EventCtx};
 use simnet::event::EventQueue;
-use simnet::rng::FxHashSet;
 use simnet::time::SimDuration;
 use telemetry::monitor::Monitor;
 use telemetry::record::LogRecord;
 
-use crate::report::{OperatorNotification, RunReport};
+use crate::report::RunReport;
+use crate::stage::adapters::MonitorStage;
+use crate::stage::builder::{BuiltPipeline, PipelineBuilder};
+use crate::stage::executor::InlineCore;
 
-/// The pipeline stage counters + the detection loop.
+/// The closed-loop pipeline sink: stage counters + the detection loop.
 pub struct PipelineSink {
-    monitors: Vec<Box<dyn Monitor>>,
-    symbolizer: Symbolizer,
-    filter: ScanFilter,
-    tagger: AttackTagger,
-    bhr: BhrHandle,
-    block_on_detection: bool,
-    detection_block_ttl: Option<SimDuration>,
-    blocked: FxHashSet<std::net::Ipv4Addr>,
+    monitors: MonitorStage,
+    core: InlineCore,
     pub report: RunReport,
-    /// Retain filtered alerts for post-run analysis (bounded by caller's
-    /// workload size; disable for the 25 M-alert streaming experiments).
-    pub keep_alerts: bool,
-    pub alerts: Vec<Alert>,
-    // Reused scratch buffers (alloc-free steady state).
+    // Reused scratch buffer (alloc-free steady state).
     records_scratch: Vec<LogRecord>,
-    alerts_scratch: Vec<Alert>,
 }
 
 impl PipelineSink {
+    /// Compatibility constructor mirroring the pre-redesign signature;
+    /// equivalent to assembling the same stages with
+    /// [`PipelineBuilder`] and calling
+    /// [`build_sink`](PipelineBuilder::build_sink).
     pub fn new(
         monitors: Vec<Box<dyn Monitor>>,
         symbolizer: Symbolizer,
@@ -52,34 +54,55 @@ impl PipelineSink {
         block_on_detection: bool,
         detection_block_ttl: Option<SimDuration>,
     ) -> PipelineSink {
+        PipelineBuilder::new()
+            .symbolizer(symbolizer)
+            .filter(filter)
+            .tagger(tagger)
+            .bhr(bhr)
+            .block_on_detection(block_on_detection, detection_block_ttl)
+            .build_sink(monitors)
+    }
+
+    pub(crate) fn from_built(monitors: MonitorStage, built: BuiltPipeline) -> PipelineSink {
         PipelineSink {
             monitors,
-            symbolizer,
-            filter,
-            tagger,
-            bhr,
-            block_on_detection,
-            detection_block_ttl,
-            blocked: FxHashSet::default(),
+            core: InlineCore::new(built),
             report: RunReport::default(),
-            keep_alerts: true,
-            alerts: Vec::new(),
             records_scratch: Vec::with_capacity(8),
-            alerts_scratch: Vec::with_capacity(8),
         }
     }
 
     /// The shared BHR handle (also used by the border filter).
     pub fn bhr(&self) -> &BhrHandle {
-        &self.bhr
+        self.core.response.bhr()
+    }
+
+    /// Post-filter alerts retained for analysis (capped drop-oldest; see
+    /// [`AlertRetention`](crate::stage::AlertRetention) and the
+    /// `alert_retention` tuning knob).
+    pub fn retained_alerts(&self) -> impl Iterator<Item = &Alert> {
+        self.core.retention.iter()
+    }
+
+    /// Alerts not retained because of the retention cap.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.core.retention.dropped()
     }
 
     /// Finalize counters into the report (router stats are filled by the
     /// caller who owns the engine).
     pub fn finish(&mut self) -> RunReport {
-        self.report.filter = self.filter.stats();
-        self.report.bhr = self.bhr.stats();
-        self.report.blocked_sources = self.blocked.len() as u64;
+        self.report.records = self.core.stats.records;
+        self.report.alerts = self.core.stats.alerts;
+        self.report.alerts_filtered = self.core.stats.admitted;
+        self.report.detections = self.core.stats.detections;
+        self.report
+            .notifications
+            .append(&mut self.core.notifications);
+        self.report.filter = self.core.filter.stats();
+        self.report.bhr = self.bhr().stats();
+        self.report.blocked_sources = self.core.response.blocked_sources();
+        self.report.alerts_dropped = self.core.retention.dropped();
         self.report.clone()
     }
 }
@@ -87,54 +110,20 @@ impl PipelineSink {
 impl ActionSink for PipelineSink {
     fn on_action(&mut self, ctx: &EventCtx<'_>, action: &Action, _queue: &mut EventQueue<Action>) {
         self.report.actions += 1;
-        // Stage 1: monitors.
         self.records_scratch.clear();
-        for m in &mut self.monitors {
-            m.observe(ctx, action, &mut self.records_scratch);
-        }
-        self.report.records += self.records_scratch.len() as u64;
-        // Stage 2: symbolization.
-        self.alerts_scratch.clear();
-        for r in &self.records_scratch {
-            self.symbolizer.symbolize_into(r, &mut self.alerts_scratch);
-        }
-        self.report.alerts += self.alerts_scratch.len() as u64;
-        // Stage 3: repeated-scan filter + online detection + response.
-        for alert in self.alerts_scratch.drain(..) {
-            if !self.filter.admit(&alert) {
-                continue;
-            }
-            self.report.alerts_filtered += 1;
-            if let Some(detection) = self.tagger.observe(&alert) {
-                self.report.detections += 1;
-                // Response and remediation (Fig. 4 part b).
-                if self.block_on_detection {
-                    if let Some(src) = alert.src {
-                        if self.blocked.insert(src) {
-                            self.bhr.block(
-                                ctx.time,
-                                src,
-                                format!("detector: {} at {}", detection.trigger, detection.stage),
-                                self.detection_block_ttl,
-                            );
-                        }
-                    }
-                }
-                self.report.notifications.push(OperatorNotification {
-                    ts: ctx.time,
-                    entity: alert.entity.clone(),
-                    detection: detection.clone(),
-                    message: format!(
-                        "preemption: {} reached stage '{}' (p={:.2}) on alert {}",
-                        alert.entity, detection.stage, detection.score, detection.trigger
-                    ),
-                    source: "attack-tagger".into(),
-                });
-            }
-            if self.keep_alerts {
-                self.alerts.push(alert);
-            }
-        }
+        self.monitors
+            .observe(ctx, action, &mut self.records_scratch);
+        // Responses (block install time, TTL anchor, notification time)
+        // are stamped with the engine's event time, exactly as the
+        // pre-redesign sink did.
+        self.core
+            .process_records_at(Some(ctx.time), &self.records_scratch);
+        // Mirror the core counters so the public `report` stays live
+        // mid-run, as it always was.
+        self.report.records = self.core.stats.records;
+        self.report.alerts = self.core.stats.alerts;
+        self.report.alerts_filtered = self.core.stats.admitted;
+        self.report.detections = self.core.stats.detections;
     }
 }
 
@@ -197,6 +186,11 @@ mod tests {
         assert_eq!(
             report.detections, 0,
             "scans alone must not trigger preemption"
+        );
+        assert_eq!(
+            s.retained_alerts().count() as u64 + s.alerts_dropped(),
+            report.alerts_filtered,
+            "retention accounts for every admitted alert"
         );
     }
 
@@ -280,5 +274,33 @@ mod tests {
         assert!(s
             .bhr()
             .is_blocked(SimTime::from_secs(600), "141.142.77.10".parse().unwrap()));
+    }
+
+    #[test]
+    fn retention_cap_bounds_sink_memory() {
+        let topo = NcsaTopologyBuilder::default().build();
+        let mut engine = Engine::new(topo, SimTime::EPOCH);
+        for i in 0..50u64 {
+            let t = SimTime::from_secs(i * 3600);
+            // Distinct sources so the scan filter admits each probe.
+            engine.schedule(
+                t,
+                Action::Flow(Flow::probe(
+                    FlowId(i),
+                    t,
+                    format!("103.{}.1.1", 1 + i).parse().unwrap(),
+                    "141.142.2.7".parse().unwrap(),
+                    22,
+                )),
+            );
+        }
+        let mut s = PipelineBuilder::new()
+            .alert_retention(5)
+            .build_sink(vec![Box::new(ZeekMonitor::with_defaults())]);
+        engine.run(&mut [&mut s]);
+        let report = s.finish();
+        assert!(report.alerts_filtered >= 50);
+        assert_eq!(s.retained_alerts().count(), 5, "cap enforced");
+        assert_eq!(report.alerts_dropped, report.alerts_filtered - 5);
     }
 }

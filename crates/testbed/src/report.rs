@@ -43,6 +43,8 @@ pub struct RunReport {
     pub bhr: TableStats,
     /// Sources blocked during the run.
     pub blocked_sources: u64,
+    /// Admitted alerts not retained for analysis (retention cap).
+    pub alerts_dropped: u64,
 }
 
 impl RunReport {

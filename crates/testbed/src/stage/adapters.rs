@@ -1,0 +1,561 @@
+//! [`Stage`] adapters wrapping the existing Fig. 4 components.
+//!
+//! Each adapter owns the component it wraps and exposes the batched
+//! [`Stage`] interface; the detection adapters additionally guarantee the
+//! **1:1 contract** the sharded executor relies on: exactly one
+//! [`DetectOutcome`] is emitted per input alert, in input order.
+
+use std::net::Ipv4Addr;
+
+use alertlib::alert::Alert;
+use alertlib::filter::{FilterStats, ScanFilter};
+use alertlib::symbolize::Symbolizer;
+use bhr::api::BhrHandle;
+use detect::attack_tagger::AttackTagger;
+use detect::critical::CriticalOnlyDetector;
+use detect::online::OnlineSessionDetector;
+use detect::rules::RuleBasedDetector;
+use detect::Detection;
+use simnet::action::Action;
+use simnet::engine::EventCtx;
+use simnet::flow::Direction;
+use simnet::rng::FxHashSet;
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::Topology;
+use telemetry::monitor::Monitor;
+use telemetry::record::LogRecord;
+
+use crate::report::OperatorNotification;
+use crate::stage::Stage;
+
+/// An action with its observation context, for driving [`MonitorStage`]
+/// outside the simulation engine (which supplies a live [`EventCtx`]).
+#[derive(Debug, Clone)]
+pub struct TimedAction {
+    pub time: SimTime,
+    pub direction: Direction,
+    pub action: Action,
+}
+
+/// The monitor fleet as a stage: fans each action out to every monitor in
+/// registration order (§III-B: one action can be witnessed by several
+/// monitors).
+pub struct MonitorStage {
+    monitors: Vec<Box<dyn Monitor>>,
+    /// Topology used to synthesize an [`EventCtx`] when driven as a
+    /// batched [`Stage`]; the closed-loop sink instead passes the
+    /// engine's live context to [`MonitorStage::observe`].
+    topology: Option<Topology>,
+}
+
+impl MonitorStage {
+    pub fn new(monitors: Vec<Box<dyn Monitor>>) -> Self {
+        MonitorStage {
+            monitors,
+            topology: None,
+        }
+    }
+
+    /// Attach a topology so the stage can be driven from [`TimedAction`]s
+    /// without a running engine.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Observe one action under the engine's live context — the single
+    /// definition of the monitor fan-out both deployments share.
+    pub fn observe(&mut self, ctx: &EventCtx<'_>, action: &Action, out: &mut Vec<LogRecord>) {
+        for m in &mut self.monitors {
+            m.observe(ctx, action, out);
+        }
+    }
+
+    /// Drain windowed monitor state (pending scan notices etc.).
+    pub fn flush_records(&mut self, out: &mut Vec<LogRecord>) {
+        for m in &mut self.monitors {
+            m.flush(out);
+        }
+    }
+}
+
+impl Stage<TimedAction, LogRecord> for MonitorStage {
+    fn name(&self) -> &'static str {
+        "monitors"
+    }
+
+    fn process_batch(&mut self, input: &[TimedAction], out: &mut Vec<LogRecord>) {
+        let topo = self
+            .topology
+            .as_ref()
+            .expect("MonitorStage needs with_topology() to run as a batched stage");
+        for ta in input {
+            let ctx = EventCtx {
+                time: ta.time,
+                direction: ta.direction,
+                dropped: None,
+                topo,
+            };
+            for m in &mut self.monitors {
+                m.observe(&ctx, &ta.action, out);
+            }
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<LogRecord>) {
+        self.flush_records(out);
+    }
+}
+
+/// Symbolization: records → alerts (§II-A).
+#[derive(Debug, Clone)]
+pub struct SymbolizeStage {
+    symbolizer: Symbolizer,
+}
+
+impl SymbolizeStage {
+    pub fn new(symbolizer: Symbolizer) -> Self {
+        SymbolizeStage { symbolizer }
+    }
+
+    pub fn symbolizer(&self) -> &Symbolizer {
+        &self.symbolizer
+    }
+}
+
+impl Stage<LogRecord, Alert> for SymbolizeStage {
+    fn name(&self) -> &'static str {
+        "symbolize"
+    }
+
+    fn process_batch(&mut self, input: &[LogRecord], out: &mut Vec<Alert>) {
+        for r in input {
+            self.symbolizer.symbolize_into(r, out);
+        }
+    }
+}
+
+/// The repeated-scan filter as a stage (admitted alerts pass through).
+#[derive(Debug)]
+pub struct FilterStage {
+    filter: ScanFilter,
+}
+
+impl FilterStage {
+    pub fn new(filter: ScanFilter) -> Self {
+        FilterStage { filter }
+    }
+
+    pub fn stats(&self) -> FilterStats {
+        self.filter.stats()
+    }
+
+    /// Owned-batch variant for executors: drains `batch`, moving admitted
+    /// alerts into `out` (no clones on the hot path). Leaves `batch`
+    /// empty with its capacity intact.
+    pub fn admit_drain(&mut self, batch: &mut Vec<Alert>, out: &mut Vec<Alert>) {
+        for a in batch.drain(..) {
+            if self.filter.admit(&a) {
+                out.push(a);
+            }
+        }
+    }
+}
+
+impl Stage<Alert, Alert> for FilterStage {
+    fn name(&self) -> &'static str {
+        "scan-filter"
+    }
+
+    fn process_batch(&mut self, input: &[Alert], out: &mut Vec<Alert>) {
+        for a in input {
+            if self.filter.admit(a) {
+                out.push(a.clone());
+            }
+        }
+    }
+}
+
+/// One admitted alert annotated with the detector's verdict. Detection
+/// stages emit exactly one outcome per input alert, in order.
+#[derive(Debug, Clone)]
+pub struct DetectOutcome {
+    pub alert: Alert,
+    pub detection: Option<Detection>,
+}
+
+/// The factor-graph [`AttackTagger`] as a detection stage.
+#[derive(Debug, Clone)]
+pub struct TagStage {
+    tagger: AttackTagger,
+}
+
+impl TagStage {
+    pub fn new(tagger: AttackTagger) -> Self {
+        TagStage { tagger }
+    }
+
+    pub fn tagger(&self) -> &AttackTagger {
+        &self.tagger
+    }
+
+    fn outcome(&mut self, alert: Alert) -> DetectOutcome {
+        DetectOutcome {
+            detection: self.tagger.observe(&alert),
+            alert,
+        }
+    }
+}
+
+impl Stage<Alert, DetectOutcome> for TagStage {
+    fn name(&self) -> &'static str {
+        "attack-tagger"
+    }
+
+    fn process_batch(&mut self, input: &[Alert], out: &mut Vec<DetectOutcome>) {
+        for a in input {
+            let o = self.outcome(a.clone());
+            out.push(o);
+        }
+    }
+}
+
+/// A session-scan baseline (rule-based or critical-only) as an online
+/// detection stage, via [`OnlineSessionDetector`].
+#[derive(Debug, Clone)]
+pub struct BaselineStage<D> {
+    name: &'static str,
+    online: OnlineSessionDetector<D>,
+}
+
+impl<D: detect::SequenceDetector> BaselineStage<D> {
+    pub fn new(name: &'static str, detector: D) -> Self {
+        BaselineStage {
+            name,
+            online: OnlineSessionDetector::new(detector),
+        }
+    }
+
+    fn outcome(&mut self, alert: Alert) -> DetectOutcome {
+        DetectOutcome {
+            detection: self.online.observe(&alert),
+            alert,
+        }
+    }
+}
+
+impl<D: detect::SequenceDetector + Send> Stage<Alert, DetectOutcome> for BaselineStage<D> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process_batch(&mut self, input: &[Alert], out: &mut Vec<DetectOutcome>) {
+        for a in input {
+            let o = self.outcome(a.clone());
+            out.push(o);
+        }
+    }
+}
+
+/// The detection slot of an assembled pipeline. An enum (rather than a
+/// boxed trait object) so the sharded executor can clone per-entity-empty
+/// replicas for its shards.
+#[derive(Debug, Clone)]
+pub enum DetectorStage {
+    Tagger(TagStage),
+    Rules(BaselineStage<RuleBasedDetector>),
+    Critical(BaselineStage<CriticalOnlyDetector>),
+}
+
+impl DetectorStage {
+    pub fn tagger(tagger: AttackTagger) -> Self {
+        DetectorStage::Tagger(TagStage::new(tagger))
+    }
+
+    pub fn rules(rules: RuleBasedDetector) -> Self {
+        DetectorStage::Rules(BaselineStage::new("rule-based", rules))
+    }
+
+    pub fn critical() -> Self {
+        DetectorStage::Critical(BaselineStage::new(
+            "critical-only",
+            CriticalOnlyDetector::new(),
+        ))
+    }
+
+    /// Detector source label carried on operator notifications.
+    pub fn source(&self) -> &'static str {
+        match self {
+            DetectorStage::Tagger(_) => "attack-tagger",
+            DetectorStage::Rules(_) => "rule-based",
+            DetectorStage::Critical(_) => "critical-only",
+        }
+    }
+
+    /// Owned-batch variant for executors: drains `batch`, emitting one
+    /// outcome per alert (no clones). Leaves `batch` empty with its
+    /// capacity intact.
+    pub fn process_drain(&mut self, batch: &mut Vec<Alert>, out: &mut Vec<DetectOutcome>) {
+        for a in batch.drain(..) {
+            let o = match self {
+                DetectorStage::Tagger(s) => s.outcome(a),
+                DetectorStage::Rules(s) => s.outcome(a),
+                DetectorStage::Critical(s) => s.outcome(a),
+            };
+            out.push(o);
+        }
+    }
+}
+
+impl Stage<Alert, DetectOutcome> for DetectorStage {
+    fn name(&self) -> &'static str {
+        match self {
+            DetectorStage::Tagger(s) => s.name(),
+            DetectorStage::Rules(s) => s.name(),
+            DetectorStage::Critical(s) => s.name(),
+        }
+    }
+
+    fn process_batch(&mut self, input: &[Alert], out: &mut Vec<DetectOutcome>) {
+        match self {
+            DetectorStage::Tagger(s) => s.process_batch(input, out),
+            DetectorStage::Rules(s) => s.process_batch(input, out),
+            DetectorStage::Critical(s) => s.process_batch(input, out),
+        }
+    }
+}
+
+/// Response and remediation (Fig. 4 part b): block the attacker source at
+/// the BHR (deduplicated per source, batched per pipeline batch) and emit
+/// an operator notification per detection.
+pub struct ResponseStage {
+    bhr: BhrHandle,
+    block_on_detection: bool,
+    detection_block_ttl: Option<SimDuration>,
+    blocked: FxHashSet<Ipv4Addr>,
+    source: &'static str,
+    pending_blocks: Vec<(SimTime, Ipv4Addr, String, Option<SimDuration>)>,
+}
+
+impl ResponseStage {
+    pub fn new(
+        bhr: BhrHandle,
+        block_on_detection: bool,
+        detection_block_ttl: Option<SimDuration>,
+        source: &'static str,
+    ) -> Self {
+        ResponseStage {
+            bhr,
+            block_on_detection,
+            detection_block_ttl,
+            blocked: FxHashSet::default(),
+            source,
+            pending_blocks: Vec::new(),
+        }
+    }
+
+    pub fn bhr(&self) -> &BhrHandle {
+        &self.bhr
+    }
+
+    /// Distinct sources blocked by this stage.
+    pub fn blocked_sources(&self) -> u64 {
+        self.blocked.len() as u64
+    }
+
+    /// Respond to a batch of outcomes. `now` is the response timestamp
+    /// (block install time, TTL anchor, notification time): the
+    /// closed-loop sink passes the engine's event time; record-stream
+    /// executors pass `None`, anchoring each response at its alert's
+    /// observation timestamp.
+    pub fn respond(
+        &mut self,
+        now: Option<SimTime>,
+        input: &[DetectOutcome],
+        out: &mut Vec<OperatorNotification>,
+    ) {
+        for o in input {
+            let Some(detection) = &o.detection else {
+                continue;
+            };
+            let ts = now.unwrap_or(o.alert.ts);
+            if self.block_on_detection {
+                if let Some(src) = o.alert.src {
+                    if self.blocked.insert(src) {
+                        self.pending_blocks.push((
+                            ts,
+                            src,
+                            format!("detector: {} at {}", detection.trigger, detection.stage),
+                            self.detection_block_ttl,
+                        ));
+                    }
+                }
+            }
+            out.push(OperatorNotification {
+                ts,
+                entity: o.alert.entity.clone(),
+                detection: detection.clone(),
+                message: format!(
+                    "preemption: {} reached stage '{}' (p={:.2}) on alert {}",
+                    o.alert.entity, detection.stage, detection.score, detection.trigger
+                ),
+                source: self.source.into(),
+            });
+        }
+        if !self.pending_blocks.is_empty() {
+            self.bhr.block_batch(self.pending_blocks.drain(..));
+        }
+    }
+}
+
+impl Stage<DetectOutcome, OperatorNotification> for ResponseStage {
+    fn name(&self) -> &'static str {
+        "response"
+    }
+
+    fn process_batch(&mut self, input: &[DetectOutcome], out: &mut Vec<OperatorNotification>) {
+        self.respond(None, input, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alertlib::alert::Entity;
+    use alertlib::filter::FilterConfig;
+    use alertlib::symbolize::SymbolizerConfig;
+    use alertlib::taxonomy::AlertKind;
+    use detect::attack_tagger::TaggerConfig;
+    use detect::train::toy_training_model;
+
+    fn alert(t: u64, kind: AlertKind, user: &str) -> Alert {
+        Alert::new(SimTime::from_secs(t), kind, Entity::User(user.into()))
+    }
+
+    #[test]
+    fn tag_stage_emits_one_outcome_per_alert() {
+        let mut stage = TagStage::new(AttackTagger::new(
+            toy_training_model(),
+            TaggerConfig::default(),
+        ));
+        let input = vec![
+            alert(0, AlertKind::DownloadSensitive, "eve"),
+            alert(10, AlertKind::CompileKernelModule, "eve"),
+            alert(20, AlertKind::LogWipe, "eve"),
+        ];
+        let mut out = Vec::new();
+        stage.process_batch(&input, &mut out);
+        assert_eq!(out.len(), input.len(), "1:1 contract");
+        assert!(out.iter().any(|o| o.detection.is_some()));
+    }
+
+    #[test]
+    fn detector_stage_clone_starts_equivalent() {
+        let stage = DetectorStage::rules(RuleBasedDetector::with_default_rules());
+        let mut a = stage.clone();
+        let mut b = stage;
+        let input = vec![
+            alert(0, AlertKind::KnownMalwareDownload, "eve"),
+            alert(1, AlertKind::LoginSuccess, "alice"),
+        ];
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        a.process_batch(&input, &mut oa);
+        b.process_batch(&input, &mut ob);
+        assert_eq!(oa.len(), ob.len());
+        for (x, y) in oa.iter().zip(&ob) {
+            assert_eq!(x.detection, y.detection);
+        }
+    }
+
+    #[test]
+    fn response_blocks_once_per_source_and_notifies() {
+        let bhr = BhrHandle::new();
+        let mut resp = ResponseStage::new(bhr.clone(), true, None, "attack-tagger");
+        let src: Ipv4Addr = "103.102.1.1".parse().unwrap();
+        let d = Detection {
+            ts: SimTime::from_secs(5),
+            alert_index: 0,
+            trigger: AlertKind::C2Communication,
+            score: 0.9,
+            stage: detect::Stage::Foothold,
+        };
+        let outcome = |t: u64| DetectOutcome {
+            alert: alert(t, AlertKind::C2Communication, "eve").with_src(src),
+            detection: Some(d.clone()),
+        };
+        let mut notes = Vec::new();
+        resp.process_batch(&[outcome(5), outcome(6)], &mut notes);
+        assert_eq!(notes.len(), 2, "every detection notifies");
+        assert_eq!(resp.blocked_sources(), 1, "block deduplicated per source");
+        assert!(bhr.is_blocked(SimTime::from_secs(10), src));
+        assert!(notes[0].message.contains("preemption"));
+    }
+
+    #[test]
+    fn monitor_stage_runs_batched_without_an_engine() {
+        use simnet::flow::{Flow, FlowId};
+        // A monitor fleet handed over from a MonitorHub, driven as a
+        // batched stage against a synthesized context.
+        let topo = simnet::topology::NcsaTopologyBuilder::default().build();
+        let mut stage = MonitorStage::new(telemetry::MonitorHub::standard().into_monitors())
+            .with_topology(topo);
+        let actions: Vec<TimedAction> = (0..5u64)
+            .map(|i| {
+                let t = SimTime::from_secs(i);
+                TimedAction {
+                    time: t,
+                    direction: Direction::Inbound,
+                    action: Action::Flow(Flow::probe(
+                        FlowId(i),
+                        t,
+                        "103.102.1.1".parse().unwrap(),
+                        "141.142.2.9".parse().unwrap(),
+                        22,
+                    )),
+                }
+            })
+            .collect();
+        let mut records = Vec::new();
+        stage.process_batch(&actions, &mut records);
+        assert_eq!(records.len(), 5, "each probe yields a conn record");
+        stage.flush(&mut records);
+        assert!(records.len() >= 5, "flush may add windowed scan notices");
+    }
+
+    #[test]
+    fn symbolize_and_filter_stages_compose() {
+        use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+        let mut sym = SymbolizeStage::new(Symbolizer::new(SymbolizerConfig::default()));
+        let mut filt = FilterStage::new(ScanFilter::new(FilterConfig::default()));
+        let records: Vec<LogRecord> = (0..50u64)
+            .map(|i| {
+                LogRecord::Conn(telemetry::record::ConnRecord {
+                    ts: SimTime::from_secs(i),
+                    uid: FlowId(i),
+                    orig_h: "103.102.1.1".parse().unwrap(),
+                    orig_p: 40_000,
+                    resp_h: "141.142.2.9".parse().unwrap(),
+                    resp_p: 22,
+                    proto: Proto::Tcp,
+                    service: Service::Ssh,
+                    duration: simnet::time::SimDuration::ZERO,
+                    orig_bytes: 0,
+                    resp_bytes: 0,
+                    conn_state: ConnState::S0,
+                    direction: Direction::Inbound,
+                })
+            })
+            .collect();
+        let mut alerts = Vec::new();
+        sym.process_batch(&records, &mut alerts);
+        assert_eq!(alerts.len(), 50);
+        let mut admitted = Vec::new();
+        filt.process_batch(&alerts, &mut admitted);
+        assert!(
+            admitted.len() < 5,
+            "scan flood collapses: {}",
+            admitted.len()
+        );
+        assert_eq!(filt.stats().seen, 50);
+    }
+}

@@ -1,0 +1,292 @@
+//! Assembling stage chains.
+//!
+//! [`PipelineBuilder`] collects the Fig. 4 components plus the tee points
+//! (alert retention, response wiring) and batching knobs, then produces
+//! either a [`BuiltPipeline`] for record-stream executors or a
+//! [`PipelineSink`](crate::pipeline::PipelineSink) for the closed-loop
+//! simulation engine. Both paths share the exact same stage objects — the
+//! builder is the single place the pipeline shape is defined.
+
+use alertlib::filter::ScanFilter;
+use alertlib::symbolize::Symbolizer;
+use bhr::api::BhrHandle;
+use detect::attack_tagger::AttackTagger;
+use detect::rules::RuleBasedDetector;
+use factorgraph::chain::ChainModel;
+use simnet::time::SimDuration;
+use telemetry::monitor::Monitor;
+use telemetry::record::LogRecord;
+
+use crate::config::{ExecutorKind, PipelineTuning, TestbedConfig};
+use crate::pipeline::PipelineSink;
+use crate::stage::adapters::{
+    DetectorStage, FilterStage, MonitorStage, ResponseStage, SymbolizeStage,
+};
+use crate::stage::executor::{self, StreamReport};
+use crate::stage::AlertRetention;
+
+/// Builder for the Fig. 4 stage chain.
+pub struct PipelineBuilder {
+    symbolizer: Symbolizer,
+    filter: ScanFilter,
+    detector: DetectorStage,
+    bhr: BhrHandle,
+    block_on_detection: bool,
+    detection_block_ttl: Option<SimDuration>,
+    tuning: PipelineTuning,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineBuilder {
+    /// A pipeline with default stages: default symbolizer and scan filter,
+    /// the toy-trained factor-graph detector, a private BHR, and no
+    /// detection-triggered blocking.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            symbolizer: Symbolizer::with_defaults(),
+            filter: ScanFilter::default(),
+            detector: DetectorStage::tagger(AttackTagger::new(
+                detect::train::toy_training_model(),
+                detect::TaggerConfig::default(),
+            )),
+            bhr: BhrHandle::new(),
+            block_on_detection: false,
+            detection_block_ttl: None,
+            tuning: PipelineTuning::default(),
+        }
+    }
+
+    /// Configure every stage from a [`TestbedConfig`] plus a trained
+    /// detector model (the testbed orchestrator's path).
+    pub fn from_config(cfg: &TestbedConfig, model: ChainModel) -> Self {
+        let mut symbolizer_cfg = cfg.symbolizer.clone();
+        for c2 in &cfg.c2_feed {
+            symbolizer_cfg.c2_addresses.insert(*c2);
+        }
+        PipelineBuilder {
+            symbolizer: Symbolizer::new(symbolizer_cfg),
+            filter: ScanFilter::new(cfg.filter.clone()),
+            detector: DetectorStage::tagger(AttackTagger::new(model, cfg.tagger.clone())),
+            bhr: BhrHandle::new(),
+            block_on_detection: cfg.block_on_detection,
+            detection_block_ttl: cfg.detection_block_ttl,
+            tuning: cfg.tuning.clone(),
+        }
+    }
+
+    pub fn symbolizer(mut self, symbolizer: Symbolizer) -> Self {
+        self.symbolizer = symbolizer;
+        self
+    }
+
+    pub fn filter(mut self, filter: ScanFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Use the factor-graph detector.
+    pub fn tagger(mut self, tagger: AttackTagger) -> Self {
+        self.detector = DetectorStage::tagger(tagger);
+        self
+    }
+
+    /// Use the rule-based baseline as the detection stage.
+    pub fn rules_detector(mut self, rules: RuleBasedDetector) -> Self {
+        self.detector = DetectorStage::rules(rules);
+        self
+    }
+
+    /// Use the critical-alert-only baseline as the detection stage.
+    pub fn critical_detector(mut self) -> Self {
+        self.detector = DetectorStage::critical();
+        self
+    }
+
+    /// Install any prepared detection stage.
+    pub fn detector(mut self, detector: DetectorStage) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Share a BHR handle (e.g. the one the border filter consults).
+    pub fn bhr(mut self, bhr: BhrHandle) -> Self {
+        self.bhr = bhr;
+        self
+    }
+
+    /// Whether detections trigger BHR blocks, and with what TTL.
+    pub fn block_on_detection(mut self, block: bool, ttl: Option<SimDuration>) -> Self {
+        self.block_on_detection = block;
+        self.detection_block_ttl = ttl;
+        self
+    }
+
+    pub fn tuning(mut self, tuning: PipelineTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.tuning.executor = executor;
+        self
+    }
+
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.tuning.batch_size = batch_size.max(1);
+        self
+    }
+
+    pub fn stage_capacity(mut self, capacity: usize) -> Self {
+        self.tuning.stage_capacity = capacity.max(1);
+        self
+    }
+
+    pub fn detect_shards(mut self, shards: usize) -> Self {
+        self.tuning.detect_shards = shards;
+        self
+    }
+
+    /// Cap on retained post-filter alerts (0 disables retention).
+    pub fn alert_retention(mut self, cap: usize) -> Self {
+        self.tuning.alert_retention = cap;
+        self
+    }
+
+    /// Assemble the record-stream pipeline.
+    pub fn build(self) -> BuiltPipeline {
+        let source = self.detector.source();
+        BuiltPipeline {
+            symbolize: SymbolizeStage::new(self.symbolizer),
+            filter: FilterStage::new(self.filter),
+            detect: self.detector,
+            response: ResponseStage::new(
+                self.bhr,
+                self.block_on_detection,
+                self.detection_block_ttl,
+                source,
+            ),
+            retention: AlertRetention::new(self.tuning.alert_retention),
+            tuning: self.tuning,
+        }
+    }
+
+    /// Assemble the closed-loop simulation sink around a monitor fleet.
+    pub fn build_sink(self, monitors: Vec<Box<dyn Monitor>>) -> PipelineSink {
+        PipelineSink::from_built(MonitorStage::new(monitors), self.build())
+    }
+}
+
+/// An assembled Fig. 4 record pipeline, ready to be driven by any
+/// executor. The stage chain and its tee points are fixed; only the
+/// execution strategy varies, and every strategy produces an identical
+/// [`StreamReport`].
+pub struct BuiltPipeline {
+    pub(crate) symbolize: SymbolizeStage,
+    pub(crate) filter: FilterStage,
+    pub(crate) detect: DetectorStage,
+    pub(crate) response: ResponseStage,
+    pub(crate) retention: AlertRetention,
+    pub(crate) tuning: PipelineTuning,
+}
+
+impl BuiltPipeline {
+    /// Build directly from live stage components (compatibility path for
+    /// callers that already hold them).
+    pub fn from_stages(
+        symbolizer: Symbolizer,
+        filter: ScanFilter,
+        tagger: AttackTagger,
+        tuning: PipelineTuning,
+    ) -> Self {
+        BuiltPipeline {
+            symbolize: SymbolizeStage::new(symbolizer),
+            filter: FilterStage::new(filter),
+            detect: DetectorStage::tagger(tagger),
+            response: ResponseStage::new(BhrHandle::new(), false, None, "attack-tagger"),
+            retention: AlertRetention::new(tuning.alert_retention),
+            tuning,
+        }
+    }
+
+    pub fn tuning(&self) -> &PipelineTuning {
+        &self.tuning
+    }
+
+    /// Drive the pipeline with the executor selected in the tuning.
+    pub fn run<I>(self, records: I) -> StreamReport
+    where
+        I: IntoIterator<Item = LogRecord> + Send,
+    {
+        match self.tuning.executor {
+            ExecutorKind::Inline => self.run_inline(records),
+            ExecutorKind::Threaded => self.run_threaded(records),
+            ExecutorKind::Sharded => self.run_sharded(records),
+        }
+    }
+
+    /// Sequential execution in the calling thread.
+    pub fn run_inline<I>(self, records: I) -> StreamReport
+    where
+        I: IntoIterator<Item = LogRecord>,
+    {
+        executor::run_inline(self, records)
+    }
+
+    /// One thread per stage, batched bounded channels.
+    pub fn run_threaded<I>(self, records: I) -> StreamReport
+    where
+        I: IntoIterator<Item = LogRecord> + Send,
+    {
+        executor::run_threaded(self, records)
+    }
+
+    /// Threaded, with the detect stage sharded by entity hash across the
+    /// rayon worker pool.
+    pub fn run_sharded<I>(self, records: I) -> StreamReport
+    where
+        I: IntoIterator<Item = LogRecord> + Send,
+    {
+        executor::run_sharded(self, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_knobs_reach_built_pipeline() {
+        let p = PipelineBuilder::new()
+            .batch_size(64)
+            .stage_capacity(512)
+            .detect_shards(3)
+            .alert_retention(7)
+            .executor(ExecutorKind::Sharded)
+            .build();
+        assert_eq!(p.tuning().batch_size, 64);
+        assert_eq!(p.tuning().stage_capacity, 512);
+        assert_eq!(p.tuning().shards(), 3);
+        assert_eq!(p.retention.cap(), 7);
+        assert_eq!(p.tuning().executor, ExecutorKind::Sharded);
+    }
+
+    #[test]
+    fn from_config_carries_c2_feed_and_flags() {
+        let mut cfg = TestbedConfig::default();
+        cfg.c2_feed.push("194.145.22.33".parse().unwrap());
+        cfg.block_on_detection = false;
+        let b = PipelineBuilder::from_config(&cfg, detect::train::toy_training_model());
+        assert!(b
+            .symbolizer
+            .config()
+            .c2_addresses
+            .contains(&"194.145.22.33".parse().unwrap()));
+        assert!(!b.block_on_detection);
+        assert_eq!(b.detector.source(), "attack-tagger");
+    }
+}

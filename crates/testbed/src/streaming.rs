@@ -1,24 +1,32 @@
-//! Multithreaded streaming pipeline.
+//! Streaming (record-driven) pipeline runs.
 //!
 //! The production deployment mirrors "alerts of all production network
-//! traffic" into the models — a throughput problem. This variant overlaps
-//! the pipeline stages on threads connected by bounded crossbeam channels:
+//! traffic" into the models — a throughput problem. Record streams are
+//! driven through the same assembled stage chain the closed-loop sink
+//! uses, by one of three executors (see [`crate::stage::executor`]):
 //!
 //! ```text
-//! records ──▶ [symbolize] ──▶ [filter] ──▶ [detect] ──▶ stats
+//! records ──▶ [symbolize] ──▶ [filter] ──▶ [detect ×K shards] ──▶ response
 //! ```
 //!
-//! Stage state (filter windows, per-entity posteriors) stays thread-local
-//! to its stage, so no locks are needed on the hot path; back-pressure
-//! comes from the bounded channels.
+//! Stage state stays thread-local to its stage (per-entity detector state
+//! thread-local to its *shard*), so no locks are needed on the hot path;
+//! back-pressure comes from the bounded batch channels.
+//!
+//! [`process_records`] is the pre-redesign compatibility entry point; new
+//! code should assemble a [`PipelineBuilder`](crate::stage::PipelineBuilder)
+//! and call [`BuiltPipeline::run`](crate::stage::BuiltPipeline::run), which
+//! also surfaces notifications, BHR response, and retained alerts via
+//! [`StreamReport`](crate::stage::StreamReport).
 
-use alertlib::alert::Alert;
 use alertlib::filter::ScanFilter;
 use alertlib::symbolize::Symbolizer;
-use crossbeam::channel::bounded;
 use detect::attack_tagger::AttackTagger;
 use serde::{Deserialize, Serialize};
 use telemetry::record::LogRecord;
+
+use crate::config::PipelineTuning;
+use crate::stage::builder::BuiltPipeline;
 
 /// Aggregate counters of a streaming run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -29,90 +37,27 @@ pub struct StreamStats {
     pub detections: u64,
 }
 
-/// Channel capacity per stage.
-const STAGE_CAPACITY: usize = 4_096;
-
-/// Run records through the three-stage threaded pipeline.
+/// Run records through the threaded stage pipeline
+/// (compatibility wrapper over the stage API).
 ///
 /// Results are identical to the sequential composition of the same stages
-/// (each stage is internally order-preserving), but wall-clock time
-/// overlaps the stage costs.
+/// (each stage is order-preserving), but wall-clock time overlaps the
+/// stage costs. Equivalent to
+/// `BuiltPipeline::from_stages(..).run_threaded(records).stats`.
 pub fn process_records(
     records: impl IntoIterator<Item = LogRecord> + Send,
-    mut symbolizer: Symbolizer,
-    mut filter: ScanFilter,
-    mut tagger: AttackTagger,
+    symbolizer: Symbolizer,
+    filter: ScanFilter,
+    tagger: AttackTagger,
 ) -> StreamStats {
-    let (rec_tx, rec_rx) = bounded::<LogRecord>(STAGE_CAPACITY);
-    let (alert_tx, alert_rx) = bounded::<Alert>(STAGE_CAPACITY);
-    let (adm_tx, adm_rx) = bounded::<Alert>(STAGE_CAPACITY);
-
-    std::thread::scope(|scope| {
-        // Stage 0: feeder.
-        let feeder = scope.spawn(move || {
-            let mut n = 0u64;
-            for r in records {
-                n += 1;
-                if rec_tx.send(r).is_err() {
-                    break;
-                }
-            }
-            n
-        });
-
-        // Stage 1: symbolization.
-        let symbolize = scope.spawn(move || {
-            let mut produced = 0u64;
-            let mut scratch = Vec::with_capacity(4);
-            for r in rec_rx {
-                scratch.clear();
-                symbolizer.symbolize_into(&r, &mut scratch);
-                for a in scratch.drain(..) {
-                    produced += 1;
-                    if alert_tx.send(a).is_err() {
-                        return produced;
-                    }
-                }
-            }
-            produced
-        });
-
-        // Stage 2: repeated-scan filter.
-        let filtering = scope.spawn(move || {
-            let mut admitted = 0u64;
-            for a in alert_rx {
-                if filter.admit(&a) {
-                    admitted += 1;
-                    if adm_tx.send(a).is_err() {
-                        return admitted;
-                    }
-                }
-            }
-            admitted
-        });
-
-        // Stage 3: detection.
-        let detecting = scope.spawn(move || {
-            let mut detections = 0u64;
-            for a in adm_rx {
-                if tagger.observe(&a).is_some() {
-                    detections += 1;
-                }
-            }
-            detections
-        });
-
-        let records = feeder.join().expect("feeder thread");
-        let alerts = symbolize.join().expect("symbolize thread");
-        let admitted = filtering.join().expect("filter thread");
-        let detections = detecting.join().expect("detect thread");
-        StreamStats {
-            records,
-            alerts,
-            admitted,
-            detections,
-        }
-    })
+    // Stats-only entry point: retention off, like the pre-redesign code.
+    let tuning = PipelineTuning {
+        alert_retention: 0,
+        ..PipelineTuning::default()
+    };
+    BuiltPipeline::from_stages(symbolizer, filter, tagger, tuning)
+        .run_threaded(records)
+        .stats
 }
 
 #[cfg(test)]
@@ -155,7 +100,7 @@ mod tests {
     #[test]
     fn streaming_matches_sequential() {
         let records: Vec<LogRecord> = (0..2_000).map(probe_record).collect();
-        // Sequential reference.
+        // Sequential reference, composed by hand from the raw components.
         let (mut sym, mut filt, mut tag) = stages();
         let mut seq = StreamStats::default();
         for r in &records {

@@ -7,7 +7,6 @@
 
 use bhr::api::BhrHandle;
 use bhr::policy::BhrFilter;
-use detect::attack_tagger::AttackTagger;
 use factorgraph::chain::ChainModel;
 use honeynet::deploy::HoneynetDeployment;
 use honeynet::isolation::EgressFirewall;
@@ -22,8 +21,8 @@ use telemetry::monitor::Monitor;
 use telemetry::zeek::ZeekMonitor;
 
 use crate::config::TestbedConfig;
-use crate::pipeline::PipelineSink;
 use crate::report::RunReport;
+use crate::stage::builder::PipelineBuilder;
 
 /// Chain of border filters: the first `Drop` wins.
 pub struct FilterChain<'a> {
@@ -109,24 +108,14 @@ impl Testbed {
     /// return the report. Can be called repeatedly (state persists:
     /// installed blocks stay installed).
     pub fn run(&mut self) -> RunReport {
-        let mut symbolizer_cfg = self.cfg.symbolizer.clone();
-        for c2 in &self.cfg.c2_feed {
-            symbolizer_cfg.c2_addresses.insert(*c2);
-        }
         let monitors: Vec<Box<dyn Monitor>> = vec![
             Box::new(ZeekMonitor::new(self.cfg.zeek.clone())),
             Box::new(HostMonitor::new()),
             Box::new(honeynet::isolation::IsolationMonitor::new()),
         ];
-        let mut sink = PipelineSink::new(
-            monitors,
-            alertlib::symbolize::Symbolizer::new(symbolizer_cfg),
-            alertlib::filter::ScanFilter::new(self.cfg.filter.clone()),
-            AttackTagger::new(self.model.clone(), self.cfg.tagger.clone()),
-            self.bhr.clone(),
-            self.cfg.block_on_detection,
-            self.cfg.detection_block_ttl,
-        );
+        let mut sink = PipelineBuilder::from_config(&self.cfg, self.model.clone())
+            .bhr(self.bhr.clone())
+            .build_sink(monitors);
 
         let mut bhr_filter = BhrFilter::new(self.bhr.clone(), self.cfg.auto_block.clone());
         let mut egress = EgressFirewall::new(vec![

@@ -1,0 +1,150 @@
+//! Differential properties of the pipeline executors (proptest):
+//!
+//! On randomized mixed record streams (scan floods, benign flows,
+//! Zipf-skewed per-user command sessions) and randomized batching /
+//! capacity / shard-count tuning, the inline, threaded, and sharded
+//! executors must produce results **identical** to the hand-rolled
+//! sequential composition of the raw components: same stats, same
+//! detection stream, same notifications, same retained alerts, same
+//! blocked sources.
+
+use proptest::prelude::*;
+use scenario::stream::{record_stream, RecordStreamConfig};
+use simnet::rng::SimRng;
+use telemetry::record::LogRecord;
+use testbed::stage::{PipelineBuilder, StreamReport};
+use testbed::StreamStats;
+
+fn workload(seed: u64, scans: usize, execs: usize, users: usize) -> Vec<LogRecord> {
+    let cfg = RecordStreamConfig {
+        scan_records: scans,
+        scanners: 1 + seed as usize % 7,
+        benign_flows: scans / 2,
+        exec_records: execs,
+        users,
+        ..RecordStreamConfig::default()
+    };
+    record_stream(&cfg, &mut SimRng::seed(seed))
+}
+
+/// The raw sequential composition, written against the component APIs
+/// directly (no stage machinery) — the ground truth the executors must
+/// reproduce.
+fn sequential_reference(records: &[LogRecord]) -> (StreamStats, Vec<String>) {
+    let mut sym = alertlib::Symbolizer::with_defaults();
+    let mut filt = alertlib::ScanFilter::default();
+    let mut tag = detect::AttackTagger::new(
+        detect::train::toy_training_model(),
+        detect::TaggerConfig::default(),
+    );
+    let mut stats = StreamStats::default();
+    let mut detections = Vec::new();
+    for r in records {
+        stats.records += 1;
+        for a in sym.symbolize(r) {
+            stats.alerts += 1;
+            if filt.admit(&a) {
+                stats.admitted += 1;
+                if let Some(d) = tag.observe(&a) {
+                    stats.detections += 1;
+                    detections.push(format!("{}|{}|{}|{}", a.entity, d.ts, d.trigger, d.stage));
+                }
+            }
+        }
+    }
+    (stats, detections)
+}
+
+fn builder(batch: usize, capacity: usize, shards: usize, retention: usize) -> PipelineBuilder {
+    PipelineBuilder::new()
+        .batch_size(batch)
+        .stage_capacity(capacity)
+        .detect_shards(shards)
+        .alert_retention(retention)
+        .block_on_detection(true, None)
+}
+
+fn detection_keys(report: &StreamReport) -> Vec<String> {
+    report
+        .notifications
+        .iter()
+        .map(|n| {
+            format!(
+                "{}|{}|{}|{}",
+                n.entity, n.detection.ts, n.detection.trigger, n.detection.stage
+            )
+        })
+        .collect()
+}
+
+fn assert_reports_identical(a: &StreamReport, b: &StreamReport) {
+    prop_assert_eq!(a.stats, b.stats);
+    prop_assert_eq!(a.filter, b.filter);
+    prop_assert_eq!(&a.notifications, &b.notifications);
+    prop_assert_eq!(&a.retained_alerts, &b.retained_alerts);
+    prop_assert_eq!(a.alerts_dropped, b.alerts_dropped);
+    prop_assert_eq!(a.blocked_sources, b.blocked_sources);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// All three executors equal the raw sequential composition.
+    #[test]
+    fn executors_match_sequential_reference(
+        seed in 0u64..10_000,
+        batch in 1usize..300,
+        shards in 1usize..9,
+        scans in 0usize..600,
+        execs in 0usize..500,
+        users in 1usize..40,
+    ) {
+        let records = workload(seed, scans, execs, users);
+        let (seq_stats, seq_detections) = sequential_reference(&records);
+        // Stage capacity deliberately small sometimes: back-pressure must
+        // not change results.
+        let capacity = batch * (1 + seed as usize % 4);
+        let retention = seed as usize % 50;
+
+        let inline = builder(batch, capacity, shards, retention)
+            .build()
+            .run_inline(records.clone());
+        prop_assert_eq!(inline.stats, seq_stats);
+        prop_assert_eq!(detection_keys(&inline), seq_detections.clone());
+        prop_assert_eq!(
+            inline.retained_alerts.len() as u64 + inline.alerts_dropped,
+            inline.stats.admitted
+        );
+
+        let threaded = builder(batch, capacity, shards, retention)
+            .build()
+            .run_threaded(records.clone());
+        assert_reports_identical(&inline, &threaded);
+
+        let sharded = builder(batch, capacity, shards, retention)
+            .build()
+            .run_sharded(records);
+        assert_reports_identical(&inline, &sharded);
+    }
+
+    /// The rule-based baseline detector shards identically too (its
+    /// per-entity session state follows the same entity partition).
+    #[test]
+    fn baseline_detector_shards_identically(
+        seed in 0u64..10_000,
+        shards in 2usize..8,
+        execs in 1usize..400,
+        users in 1usize..25,
+    ) {
+        let records = workload(seed, 100, execs, users);
+        let build = || {
+            PipelineBuilder::new()
+                .rules_detector(detect::RuleBasedDetector::with_default_rules())
+                .batch_size(64)
+                .detect_shards(shards)
+        };
+        let inline = build().build().run_inline(records.clone());
+        let sharded = build().build().run_sharded(records);
+        assert_reports_identical(&inline, &sharded);
+    }
+}

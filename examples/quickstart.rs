@@ -1,5 +1,6 @@
 //! Quickstart: stand up the testbed, replay a classic S1 attack hidden in
-//! scan noise, and watch the factor-graph detector preempt it.
+//! scan noise, and watch the factor-graph detector preempt it — then run
+//! the same stage pipeline as a sharded record stream via the builder API.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,7 +9,12 @@
 use attack_tagger::prelude::*;
 
 fn main() {
-    let mut tb = Testbed::new(TestbedConfig::default());
+    // Part 1 — closed loop: the simulation engine drives the pipeline
+    // sink (inline executor) with response wired back to the border BHR.
+    // Pipeline knobs (batching, retention, shards) live on the config.
+    let mut cfg = TestbedConfig::default();
+    cfg.tuning.alert_retention = 2_000;
+    let mut tb = Testbed::new(cfg);
     let start = tb.config().start;
 
     // Background: a mass scanner hammering SSH across the production /16.
@@ -62,6 +68,42 @@ fn main() {
     println!(
         "scan noise collapsed by the filter: {} alerts seen -> {} admitted",
         report.filter.seen, report.filter.admitted
+    );
+
+    // Part 2 — the same Fig. 4 chain as a record-stream pipeline,
+    // assembled explicitly with the builder and driven by the sharded
+    // executor (detect stage partitioned per entity across the worker
+    // pool). Results are byte-identical to the sequential executor.
+    let records = scenario::record_stream(
+        &scenario::RecordStreamConfig {
+            scan_records: 20_000,
+            benign_flows: 5_000,
+            exec_records: 10_000,
+            users: 500,
+            ..scenario::RecordStreamConfig::default()
+        },
+        &mut SimRng::seed(7),
+    );
+    let n = records.len();
+    let stream = PipelineBuilder::new()
+        .executor(ExecutorKind::Sharded)
+        .batch_size(256)
+        .alert_retention(1_000)
+        .block_on_detection(true, None)
+        .build()
+        .run(records);
+    println!();
+    println!(
+        "sharded stream: {n} records -> {} alerts, {} admitted, {} detections, {} retained (+{} dropped)",
+        stream.stats.alerts,
+        stream.stats.admitted,
+        stream.stats.detections,
+        stream.retained_alerts.len(),
+        stream.alerts_dropped,
+    );
+    assert!(
+        stream.stats.detections > 0,
+        "the command sessions should trip the detector"
     );
     println!("done.");
 }

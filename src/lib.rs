@@ -82,6 +82,9 @@ pub mod prelude {
         Action, Cidr, Engine, ExecAction, Flow, FlowId, SimDuration, SimRng, SimTime, Topology,
     };
     pub use telemetry::{LogRecord, MonitorHub, ZeekMonitor};
-    pub use testbed::{RunReport, Testbed, TestbedConfig};
+    pub use testbed::{
+        BuiltPipeline, ExecutorKind, PipelineBuilder, PipelineTuning, RunReport, StreamReport,
+        Testbed, TestbedConfig,
+    };
     pub use vizgraph::{Graph, LayoutConfig};
 }
