@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use bench::detection_bytes;
 use scenario::stream::{record_stream, RecordStreamConfig};
 use simnet::rng::SimRng;
 use telemetry::record::LogRecord;
@@ -31,27 +32,6 @@ fn pipeline(shards: usize) -> PipelineBuilder {
         .block_on_detection(true, None)
         .detect_shards(shards)
         .alert_retention(1_000)
-}
-
-/// Serialized detection stream: the byte-identity witness.
-fn detection_bytes(report: &StreamReport) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::new();
-    for n in &report.notifications {
-        let _ = writeln!(
-            s,
-            "{}|{}|{}|{}|{}|{:.9}|{}|{}",
-            n.ts,
-            n.entity,
-            n.source,
-            n.detection.ts,
-            n.detection.trigger,
-            n.detection.score,
-            n.detection.stage,
-            n.message,
-        );
-    }
-    s
 }
 
 fn timed<F: FnOnce() -> StreamReport>(f: F) -> (StreamReport, f64) {

@@ -1,0 +1,155 @@
+//! BENCH_3 — adversarial campaign throughput + preemption evaluation.
+//!
+//! The workload is a `scenario::mutate` campaign: hundreds of concurrent
+//! mutated attack sessions (step drops, same-rank reorders, cover
+//! interleave, low-and-slow dilation, decoys, lateral hops) multiplexed
+//! with a `scenario::stream` background load of over a million records.
+//! The campaign runs on the inline and sharded executors; the harness
+//! asserts the two detection streams are **byte-identical**, then scores
+//! the run against ground truth with `testbed::eval`: per-family
+//! preemption rate, lead-time distribution (seconds and attack-step
+//! records), and FP rate per million background records.
+//!
+//! Emits `BENCH_3.json` (at the workspace root, or `$BENCH_OUT`).
+//! Run with: `cargo run --release -p bench --bin bench3`
+//! Scale the workload with `BENCH_SCALE` (default 1.0; CI uses 0.2).
+
+use std::time::Instant;
+
+use bench::detection_bytes;
+use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
+use scenario::stream::RecordStreamConfig;
+use simnet::rng::SimRng;
+use simnet::time::SimDuration;
+use testbed::stage::PipelineBuilder;
+use testbed::TestbedConfig;
+
+fn pipeline(cfg: &TestbedConfig) -> PipelineBuilder {
+    PipelineBuilder::from_config(cfg, bench::standard_model()).alert_retention(1_000)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    bench::banner("BENCH_3: adversarial campaign engine + preemption evaluation");
+
+    let sessions = ((240.0 * scale) as usize).max(16);
+    let campaign_cfg = CampaignConfig {
+        sessions,
+        horizon: SimDuration::from_days(3),
+        mutation: MutationConfig {
+            dilation: 2.0,
+            ..MutationConfig::default()
+        },
+        background: Some(RecordStreamConfig {
+            scan_records: (400_000.0 * scale) as usize,
+            benign_flows: (150_000.0 * scale) as usize,
+            exec_records: (450_000.0 * scale) as usize,
+            users: 4_000,
+            horizon: SimDuration::from_days(3),
+            // Mostly-benign background: the FP-per-million denominator
+            // should measure false alarms, not planted suspicious load.
+            indicative_exec_fraction: 0.02,
+            ..RecordStreamConfig::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    let tb_cfg = TestbedConfig::default();
+
+    let t0 = Instant::now();
+    let mut campaign = generate_campaign(&campaign_cfg, &mut SimRng::seed(tb_cfg.seed));
+    let gen_s = t0.elapsed().as_secs_f64();
+    let n = campaign.records.len();
+    let cores = rayon::current_num_threads();
+    println!(
+        "workload: {n} records, {} sessions ({} attack / {} decoy), {} background, {cores} cores",
+        campaign.truth.sessions.len(),
+        campaign.truth.sessions.iter().filter(|s| !s.decoy).count(),
+        campaign.truth.sessions.iter().filter(|s| s.decoy).count(),
+        campaign.truth.background_records,
+    );
+
+    // Warm the rayon pool and page the workload in once.
+    let _ = pipeline(&tb_cfg)
+        .build()
+        .run_inline(campaign.records.clone());
+
+    // Clones and pipeline assembly stay outside the timed windows; the
+    // final run consumes the campaign records.
+    let records = campaign.records.clone();
+    let built = pipeline(&tb_cfg).build();
+    let t0 = Instant::now();
+    let inline = built.run_inline(records);
+    let inline_s = t0.elapsed().as_secs_f64();
+    let built = pipeline(&tb_cfg).build();
+    let records = std::mem::take(&mut campaign.records);
+    let t0 = Instant::now();
+    let sharded = built.run_sharded(records);
+    let sharded_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        detection_bytes(&inline),
+        detection_bytes(&sharded),
+        "sharded campaign detections must be byte-identical to inline"
+    );
+    assert_eq!(inline.stats, sharded.stats);
+
+    let eval = testbed::evaluate_campaign(&inline, &campaign.truth);
+    let rate = |s: f64| n as f64 / s;
+    let speedup = inline_s / sharded_s;
+    println!(
+        "  stats: {} alerts, {} admitted, {} detections",
+        inline.stats.alerts, inline.stats.admitted, inline.stats.detections
+    );
+    println!("  generate : {gen_s:8.3}s");
+    println!(
+        "  inline   : {inline_s:8.3}s  {:>12.0} rec/s",
+        rate(inline_s)
+    );
+    println!(
+        "  sharded  : {sharded_s:8.3}s  {:>12.0} rec/s  ({speedup:.2}x)",
+        rate(sharded_s)
+    );
+    println!("\n{}", eval.table());
+
+    let artifact = serde_json::json!({
+        "workload": {
+            "records": n,
+            "sessions": sessions,
+            "background_records": campaign.truth.background_records,
+            "dilation": campaign_cfg.mutation.dilation,
+            "scale": scale,
+            "seed": tb_cfg.seed,
+        },
+        "cores": cores,
+        "generate": { "seconds": gen_s },
+        "inline": { "seconds": inline_s, "records_per_sec": rate(inline_s) },
+        "sharded": { "seconds": sharded_s, "records_per_sec": rate(sharded_s), "speedup": speedup },
+        "detections_byte_identical": true,
+        "eval": eval.to_json(),
+    });
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".to_string());
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&artifact).expect("serialize"),
+    )
+    .expect("write BENCH_3.json");
+    println!("[artifact] {out}");
+
+    // Sanity gates that hold at any scale (detection quality, not timing —
+    // timing gates live in bench2 and are host-dependent).
+    assert_eq!(
+        eval.families.len(),
+        8,
+        "preemption table must cover all eight families"
+    );
+    assert!(
+        eval.overall.detected > eval.attack_sessions / 2,
+        "majority of mutated sessions detected ({}/{})",
+        eval.overall.detected,
+        eval.attack_sessions
+    );
+    assert!(eval.overall.preempted > 0, "preemptions observed");
+}

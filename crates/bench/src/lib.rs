@@ -44,6 +44,30 @@ pub fn banner(title: &str) {
     println!("\n==== {title} ====");
 }
 
+/// Serialize a stream report's detection/notification stream to one
+/// canonical string — the byte-identity witness the executor benchmarks
+/// (`bench2`, `bench3`) compare across executors. Defined once so both
+/// benches assert the same identity predicate.
+pub fn detection_bytes(report: &testbed::StreamReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for n in &report.notifications {
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{}|{}|{:.9}|{}|{}",
+            n.ts,
+            n.entity,
+            n.source,
+            n.detection.ts,
+            n.detection.trigger,
+            n.detection.score,
+            n.detection.stage,
+            n.message,
+        );
+    }
+    s
+}
+
 /// Compare a measured value against the paper's value, reporting the
 /// relative deviation.
 pub fn compare(label: &str, measured: f64, paper: f64) {

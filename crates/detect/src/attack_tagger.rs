@@ -195,6 +195,28 @@ impl AttackTagger {
         self.states.get(entity_key).map(|s| s.alpha.as_slice())
     }
 
+    /// Ground-truth hook: whether a detection has latched for this entity.
+    pub fn is_detected(&self, entity_key: &str) -> bool {
+        self.states.get(entity_key).is_some_and(|s| s.detected)
+    }
+
+    /// Ground-truth hook: entity keys with a latched detection, in
+    /// unspecified order. For harnesses and tests that drive a tagger
+    /// directly and want to cross-check a notification stream against
+    /// detector state (the stream-executor path scores from
+    /// notifications alone, since executors consume their detector).
+    pub fn detected_entities(&self) -> impl Iterator<Item = &str> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.detected)
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Ground-truth hook: alerts folded into an entity's filter so far.
+    pub fn entity_steps(&self, entity_key: &str) -> Option<usize> {
+        self.states.get(entity_key).map(|s| s.steps)
+    }
+
     /// Forget all per-entity state.
     pub fn reset(&mut self) {
         self.states.clear();
@@ -325,5 +347,26 @@ mod tests {
         assert_eq!(tagger.tracked_entities(), 1);
         tagger.reset();
         assert_eq!(tagger.tracked_entities(), 0);
+    }
+
+    #[test]
+    fn ground_truth_hooks_mirror_detections() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        for (t, k) in [
+            (0, AlertKind::DownloadSensitive),
+            (10, AlertKind::CompileKernelModule),
+            (20, AlertKind::LogWipe),
+        ] {
+            tagger.observe(&alert(t, k, "eve"));
+        }
+        tagger.observe(&alert(0, AlertKind::LoginSuccess, "alice"));
+        assert!(tagger.is_detected("user:eve"));
+        assert!(!tagger.is_detected("user:alice"));
+        assert!(!tagger.is_detected("user:nobody"));
+        let detected: Vec<&str> = tagger.detected_entities().collect();
+        assert_eq!(detected, vec!["user:eve"]);
+        assert_eq!(tagger.entity_steps("user:eve"), Some(3));
+        assert_eq!(tagger.entity_steps("user:alice"), Some(1));
+        assert_eq!(tagger.entity_steps("user:nobody"), None);
     }
 }

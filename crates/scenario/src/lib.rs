@@ -17,11 +17,17 @@
 //! - [`stream`] — raw [`LogRecord`](telemetry::record::LogRecord) streams
 //!   (scan floods + benign flows + per-user command sessions) for the
 //!   streaming executors and their benchmarks.
+//! - [`mutate`] — the adversarial mutation engine: kill-chain-constrained
+//!   template mutation (drops, reorders, cover interleave, low-and-slow
+//!   dilation, decoys, lateral campaigns) and the [`Campaign`](mutate::Campaign)
+//!   driver multiplexing hundreds of mutated sessions with background load
+//!   into one ground-truthed record stream.
 
 pub mod background;
 pub mod incident;
 pub mod library;
 pub mod longitudinal;
+pub mod mutate;
 pub mod ransomware;
 pub mod stream;
 pub mod template;
@@ -33,6 +39,10 @@ pub use background::{
 pub use incident::{benign_sessions, generate_incident, IncidentSpec};
 pub use library::{s1_motif, s_pattern_signatures, s_pattern_supports, standard_library};
 pub use longitudinal::{generate_corpus, pin_motif_span, LongitudinalConfig};
+pub use mutate::{
+    generate_campaign, Campaign, CampaignConfig, CampaignGroundTruth, KillChain, MutatedSession,
+    MutationConfig, SessionTruth,
+};
 pub use ransomware::{
     build_scenario, expected_honeypot_kinds, RansomwareConfig, RansomwareScenario, FIG5_SCRIPT,
 };

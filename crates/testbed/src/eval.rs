@@ -1,0 +1,537 @@
+//! Preemption evaluation harness.
+//!
+//! Scores a pipeline run ([`StreamReport`]) against the ground truth of an
+//! adversarial campaign ([`CampaignGroundTruth`]): per-family preemption
+//! rate (alert strictly before the family's damage step), lead-time
+//! distributions in simulated seconds *and* in attack-step records, TP/FN
+//! per family, and the false-positive rate per million background records —
+//! the paper's headline metrics, measured over mutating variants instead of
+//! the eight clean templates.
+//!
+//! [`run_campaign`] is the end-to-end path: one [`TestbedConfig::seed`]
+//! drives campaign generation, pipeline assembly and evaluation, so a
+//! whole experiment is reproducible from a single config field.
+
+use std::collections::HashMap;
+
+use factorgraph::chain::ChainModel;
+use scenario::mutate::{generate_campaign, Campaign, CampaignConfig, CampaignGroundTruth};
+use serde::{Deserialize, Serialize};
+use simnet::rng::SimRng;
+use simnet::time::SimTime;
+
+use crate::config::TestbedConfig;
+use crate::stage::{PipelineBuilder, StreamReport};
+
+/// Distribution summary of preemption lead times.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeadTimeStats {
+    /// Preempted sessions contributing a lead time.
+    pub count: usize,
+    pub mean_secs: f64,
+    pub median_secs: f64,
+    pub p10_secs: f64,
+    pub p90_secs: f64,
+    pub max_secs: f64,
+    /// Mean attack-step records between detection and damage.
+    pub mean_records: f64,
+    /// Median attack-step records between detection and damage.
+    pub median_records: f64,
+}
+
+impl LeadTimeStats {
+    fn from_leads(mut secs: Vec<f64>, mut records: Vec<u64>) -> LeadTimeStats {
+        if secs.is_empty() {
+            return LeadTimeStats::default();
+        }
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite lead"));
+        records.sort_unstable();
+        // Nearest-rank index, shared by both samples so the seconds and
+        // records medians pick the same element of their distributions.
+        let rank = |n: usize, p: f64| ((n - 1) as f64 * p).round() as usize;
+        let pct = |v: &[f64], p: f64| v[rank(v.len(), p)];
+        LeadTimeStats {
+            count: secs.len(),
+            mean_secs: secs.iter().sum::<f64>() / secs.len() as f64,
+            median_secs: pct(&secs, 0.5),
+            p10_secs: pct(&secs, 0.1),
+            p90_secs: pct(&secs, 0.9),
+            max_secs: *secs.last().expect("non-empty"),
+            mean_records: records.iter().sum::<u64>() as f64 / records.len() as f64,
+            median_records: records[rank(records.len(), 0.5)] as f64,
+        }
+    }
+}
+
+/// Per-family scoring of one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyEval {
+    pub family: String,
+    /// Attack sessions of this family in the campaign.
+    pub sessions: usize,
+    /// Sessions with at least one detection on a session entity.
+    pub detected: usize,
+    /// Detected strictly before the damage step (or with no damage step).
+    pub preempted: usize,
+    /// Detected, but only at or after damage.
+    pub late: usize,
+    /// Never detected.
+    pub missed: usize,
+    pub preemption_rate: f64,
+    pub lead: LeadTimeStats,
+}
+
+/// The serializable evaluation report of one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Total campaign sessions (attack + decoy).
+    pub sessions: usize,
+    pub attack_sessions: usize,
+    pub decoy_sessions: usize,
+    pub background_records: u64,
+    /// Per-family rows, sorted by family name.
+    pub families: Vec<FamilyEval>,
+    /// Aggregate over all attack sessions.
+    pub overall: FamilyEval,
+    /// Detections attributed to decoy entities (fooled by cover traffic).
+    pub decoy_detections: u64,
+    /// Detections on entities belonging to no campaign session at all —
+    /// false positives on the background load.
+    pub background_false_positives: u64,
+    /// Background false positives per million background records
+    /// (`f64::NAN`-free: 0 when there is no background).
+    pub fp_per_million_background: f64,
+}
+
+impl EvalReport {
+    /// Serialize the report as a JSON value (the `BENCH_3.json` /
+    /// `ADVERSARIAL_EVAL.json` artifact payload).
+    pub fn to_json(&self) -> serde_json::Value {
+        let family_json = |f: &FamilyEval| {
+            serde_json::json!({
+                "family": f.family.clone(),
+                "sessions": f.sessions,
+                "detected": f.detected,
+                "preempted": f.preempted,
+                "late": f.late,
+                "missed": f.missed,
+                "preemption_rate": f.preemption_rate,
+                "lead": {
+                    "count": f.lead.count,
+                    "mean_secs": f.lead.mean_secs,
+                    "median_secs": f.lead.median_secs,
+                    "p10_secs": f.lead.p10_secs,
+                    "p90_secs": f.lead.p90_secs,
+                    "max_secs": f.lead.max_secs,
+                    "mean_records": f.lead.mean_records,
+                    "median_records": f.lead.median_records,
+                },
+            })
+        };
+        let families: Vec<serde_json::Value> = self.families.iter().map(family_json).collect();
+        serde_json::json!({
+            "sessions": self.sessions,
+            "attack_sessions": self.attack_sessions,
+            "decoy_sessions": self.decoy_sessions,
+            "background_records": self.background_records,
+            "families": families,
+            "overall": family_json(&self.overall),
+            "decoy_detections": self.decoy_detections,
+            "background_false_positives": self.background_false_positives,
+            "fp_per_million_background": self.fp_per_million_background,
+        })
+    }
+
+    /// Render the per-family preemption table as aligned text.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>8} {:>12} {:>12}",
+            "family",
+            "sessions",
+            "detected",
+            "preempted",
+            "late",
+            "missed",
+            "preempt%",
+            "lead(med s)",
+            "lead(med rec)"
+        );
+        for f in self.families.iter().chain(std::iter::once(&self.overall)) {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>7.1}% {:>12.0} {:>12.1}",
+                f.family,
+                f.sessions,
+                f.detected,
+                f.preempted,
+                f.late,
+                f.missed,
+                f.preemption_rate * 100.0,
+                f.lead.median_secs,
+                f.lead.median_records,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "decoy detections: {}   background FPs: {} ({:.3}/M records)",
+            self.decoy_detections, self.background_false_positives, self.fp_per_million_background
+        );
+        out
+    }
+}
+
+struct FamilyAccum {
+    sessions: usize,
+    detected: usize,
+    preempted: usize,
+    late: usize,
+    lead_secs: Vec<f64>,
+    lead_records: Vec<u64>,
+}
+
+impl FamilyAccum {
+    fn new() -> FamilyAccum {
+        FamilyAccum {
+            sessions: 0,
+            detected: 0,
+            preempted: 0,
+            late: 0,
+            lead_secs: Vec::new(),
+            lead_records: Vec::new(),
+        }
+    }
+
+    fn finish(self, family: String) -> FamilyEval {
+        let missed = self.sessions - self.detected;
+        FamilyEval {
+            family,
+            sessions: self.sessions,
+            detected: self.detected,
+            preempted: self.preempted,
+            late: self.late,
+            missed,
+            preemption_rate: if self.sessions == 0 {
+                0.0
+            } else {
+                self.preempted as f64 / self.sessions as f64
+            },
+            lead: LeadTimeStats::from_leads(self.lead_secs, self.lead_records),
+        }
+    }
+}
+
+/// Score a pipeline run against campaign ground truth.
+///
+/// A session counts as *detected* when any of its hop entities raised a
+/// notification; its detection instant is the earliest such notification.
+/// *Preempted* means detected strictly before the session's damage step
+/// (sessions without a realized damage step count any detection as
+/// preemptive, mirroring [`detect::metrics`]). Notifications on entities
+/// belonging to no session are background false positives.
+pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> EvalReport {
+    // Earliest notification per entity key.
+    let mut first_detection: HashMap<String, SimTime> = HashMap::new();
+    for n in &report.notifications {
+        let key = n.entity.key();
+        let e = first_detection.entry(key).or_insert(n.detection.ts);
+        if n.detection.ts < *e {
+            *e = n.detection.ts;
+        }
+    }
+
+    let mut families: HashMap<&str, FamilyAccum> = HashMap::new();
+    let mut overall = FamilyAccum::new();
+    let mut decoy_detections = 0u64;
+    let mut session_entities: std::collections::HashSet<&str> = std::collections::HashSet::new();
+
+    for s in &truth.sessions {
+        for k in &s.entity_keys {
+            session_entities.insert(k.as_str());
+        }
+        if s.decoy {
+            if s.entity_keys
+                .iter()
+                .any(|k| first_detection.contains_key(k))
+            {
+                decoy_detections += 1;
+            }
+            continue;
+        }
+        let fam = families
+            .entry(s.family.as_str())
+            .or_insert_with(FamilyAccum::new);
+        fam.sessions += 1;
+        overall.sessions += 1;
+        let det_ts = s
+            .entity_keys
+            .iter()
+            .filter_map(|k| first_detection.get(k))
+            .min()
+            .copied();
+        let Some(det) = det_ts else { continue };
+        fam.detected += 1;
+        overall.detected += 1;
+        match s.damage_ts {
+            Some(damage) if det < damage => {
+                let lead_secs = (damage - det).as_secs_f64();
+                let lead_records = s
+                    .steps
+                    .iter()
+                    .filter(|(t, _)| *t > det && *t <= damage)
+                    .count() as u64;
+                fam.preempted += 1;
+                fam.lead_secs.push(lead_secs);
+                fam.lead_records.push(lead_records);
+                overall.preempted += 1;
+                overall.lead_secs.push(lead_secs);
+                overall.lead_records.push(lead_records);
+            }
+            Some(_) => {
+                fam.late += 1;
+                overall.late += 1;
+            }
+            None => {
+                fam.preempted += 1;
+                overall.preempted += 1;
+            }
+        }
+    }
+
+    let background_false_positives = first_detection
+        .keys()
+        .filter(|k| !session_entities.contains(k.as_str()))
+        .count() as u64;
+
+    let mut family_rows: Vec<FamilyEval> = families
+        .into_iter()
+        .map(|(name, acc)| acc.finish(name.to_string()))
+        .collect();
+    family_rows.sort_by(|a, b| a.family.cmp(&b.family));
+
+    let decoy_sessions = truth.sessions.iter().filter(|s| s.decoy).count();
+    EvalReport {
+        sessions: truth.sessions.len(),
+        attack_sessions: truth.sessions.len() - decoy_sessions,
+        decoy_sessions,
+        background_records: truth.background_records,
+        families: family_rows,
+        overall: overall.finish("overall".to_string()),
+        decoy_detections,
+        background_false_positives,
+        fp_per_million_background: if truth.background_records == 0 {
+            0.0
+        } else {
+            background_false_positives as f64 * 1_000_000.0 / truth.background_records as f64
+        },
+    }
+}
+
+/// One fully scored campaign run.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The generated campaign (records already consumed by the pipeline;
+    /// ground truth retained).
+    pub truth: CampaignGroundTruth,
+    pub stream: StreamReport,
+    pub eval: EvalReport,
+}
+
+/// End-to-end reproducible campaign run: [`TestbedConfig::seed`] seeds the
+/// campaign generator, [`PipelineBuilder::from_config`] assembles the
+/// pipeline (executor per `cfg.tuning`), and the run is scored against the
+/// generated ground truth. Two calls with equal configs are byte-identical.
+pub fn run_campaign(
+    cfg: &TestbedConfig,
+    campaign_cfg: &CampaignConfig,
+    model: ChainModel,
+) -> CampaignRun {
+    let mut rng = SimRng::seed(cfg.seed);
+    let Campaign { records, truth } = generate_campaign(campaign_cfg, &mut rng);
+    let report = PipelineBuilder::from_config(cfg, model)
+        .build()
+        .run(records);
+    let eval = evaluate_campaign(&report, &truth);
+    CampaignRun {
+        truth,
+        stream: report,
+        eval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::mutate::MutationConfig;
+    use scenario::stream::RecordStreamConfig;
+    use simnet::time::SimDuration;
+
+    fn campaign_cfg(sessions: usize) -> CampaignConfig {
+        CampaignConfig {
+            sessions,
+            horizon: SimDuration::from_hours(24),
+            mutation: MutationConfig {
+                decoy_prob: 0.15,
+                ..MutationConfig::default()
+            },
+            background: Some(RecordStreamConfig {
+                scan_records: 2_000,
+                benign_flows: 500,
+                exec_records: 1_500,
+                users: 100,
+                ..RecordStreamConfig::default()
+            }),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_run_detects_and_preempts_mutated_attacks() {
+        let cfg = TestbedConfig::default();
+        let run = run_campaign(&cfg, &campaign_cfg(48), detect::train::toy_training_model());
+        assert_eq!(run.eval.sessions, 48);
+        assert!(run.eval.attack_sessions >= 30);
+        assert_eq!(run.eval.background_records, 4_000);
+        assert!(
+            run.eval.overall.detected > run.eval.attack_sessions / 2,
+            "most mutated sessions detected: {}/{}",
+            run.eval.overall.detected,
+            run.eval.attack_sessions
+        );
+        assert!(
+            run.eval.overall.preempted > 0,
+            "some sessions preempted before damage"
+        );
+        // Accounting: detected = preempted + late; lead stats only count
+        // sessions preempted ahead of a realized damage step.
+        let o = &run.eval.overall;
+        assert_eq!(o.detected, o.preempted + o.late);
+        assert_eq!(o.sessions, o.detected + o.missed);
+        assert!(o.lead.count <= o.preempted);
+        assert!(o.lead.mean_secs >= 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_eval_report() {
+        let cfg = TestbedConfig::default();
+        let a = run_campaign(&cfg, &campaign_cfg(24), detect::train::toy_training_model());
+        let b = run_campaign(&cfg, &campaign_cfg(24), detect::train::toy_training_model());
+        assert_eq!(a.eval, b.eval, "single seed reproduces the whole run");
+        assert_eq!(a.truth, b.truth);
+        let mut other = TestbedConfig::default();
+        other.seed ^= 0xDEAD;
+        let c = run_campaign(
+            &other,
+            &campaign_cfg(24),
+            detect::train::toy_training_model(),
+        );
+        assert_ne!(a.truth, c.truth, "different seed, different campaign");
+    }
+
+    #[test]
+    fn eval_report_serializes_and_tabulates() {
+        let cfg = TestbedConfig::default();
+        let run = run_campaign(&cfg, &campaign_cfg(16), detect::train::toy_training_model());
+        let json = run.eval.to_json();
+        let rendered = serde_json::to_string_pretty(&json).expect("serialize");
+        for key in [
+            "preemption_rate",
+            "fp_per_million_background",
+            "median_records",
+            "overall",
+        ] {
+            assert!(rendered.contains(key), "missing {key}: {rendered}");
+        }
+        assert_eq!(
+            json.get("sessions").as_f64(),
+            Some(16.0),
+            "session count serialized"
+        );
+        let table = run.eval.table();
+        assert!(table.contains("overall"));
+        assert!(table.contains("preempt%"));
+    }
+
+    #[test]
+    fn decoy_detections_do_not_count_as_family_detections() {
+        // All-decoy campaign: no attack sessions, so family rows are empty
+        // and any notification would land in decoy/background buckets.
+        let cfg = TestbedConfig::default();
+        let ccfg = CampaignConfig {
+            sessions: 10,
+            mutation: MutationConfig {
+                decoy_prob: 1.0,
+                ..MutationConfig::default()
+            },
+            background: None,
+            ..CampaignConfig::default()
+        };
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+        assert_eq!(run.eval.attack_sessions, 0);
+        assert_eq!(run.eval.decoy_sessions, 10);
+        assert!(run.eval.families.is_empty());
+        assert_eq!(
+            run.eval.decoy_detections, 0,
+            "benign-shaped decoys must not trip the tagger"
+        );
+    }
+
+    /// The tagger's ground-truth hooks (`detected_entities` etc.) must
+    /// agree with the notification stream the harness scores from: a
+    /// hand-driven tagger over the same campaign latches exactly the
+    /// entities the pipeline notified about.
+    #[test]
+    fn tagger_hooks_cross_check_notification_stream() {
+        let mut rng = SimRng::seed(77);
+        let campaign = generate_campaign(
+            &CampaignConfig {
+                sessions: 12,
+                ..CampaignConfig::default()
+            },
+            &mut rng,
+        );
+        let report = PipelineBuilder::new()
+            .build()
+            .run_inline(campaign.records.clone());
+
+        let mut sym = alertlib::Symbolizer::with_defaults();
+        let mut filt = alertlib::ScanFilter::default();
+        let mut tagger = detect::AttackTagger::new(
+            detect::train::toy_training_model(),
+            detect::TaggerConfig::default(),
+        );
+        for r in &campaign.records {
+            for a in sym.symbolize(r) {
+                if filt.admit(&a) {
+                    tagger.observe(&a);
+                }
+            }
+        }
+        let notified: std::collections::HashSet<String> = report
+            .notifications
+            .iter()
+            .map(|n| n.entity.key())
+            .collect();
+        let latched: std::collections::HashSet<String> =
+            tagger.detected_entities().map(|k| k.to_string()).collect();
+        assert_eq!(notified, latched, "hooks and notifications must agree");
+        assert!(!latched.is_empty(), "campaign must trigger detections");
+        for k in &latched {
+            assert!(tagger.is_detected(k));
+            assert!(tagger.entity_steps(k).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_truth_and_empty_report_are_fine() {
+        let report = PipelineBuilder::new()
+            .build()
+            .run(Vec::<telemetry::LogRecord>::new());
+        let eval = evaluate_campaign(&report, &CampaignGroundTruth::default());
+        assert_eq!(eval.sessions, 0);
+        assert_eq!(eval.overall.preemption_rate, 0.0);
+        assert_eq!(eval.fp_per_million_background, 0.0);
+    }
+}

@@ -19,6 +19,10 @@
 //! - [`testbed`] — the orchestrator wiring topology, honeynet, filters.
 //! - [`streaming`] — record-driven runs for throughput
 //!   (compatibility entry point [`process_records`]).
+//! - [`eval`] — the preemption evaluation harness: scores any executor's
+//!   run of an adversarial [`scenario::mutate`] campaign against ground
+//!   truth (preemption rate, lead-time distributions, per-family TP/FN,
+//!   FP rate per million background records).
 //! - [`report`] — run reports and operator notifications.
 //!
 //! ## Example
@@ -52,6 +56,7 @@
 //! ```
 
 pub mod config;
+pub mod eval;
 pub mod pipeline;
 pub mod report;
 pub mod stage;
@@ -59,6 +64,7 @@ pub mod streaming;
 pub mod testbed;
 
 pub use config::{ExecutorKind, PipelineTuning, TestbedConfig};
+pub use eval::{evaluate_campaign, run_campaign, CampaignRun, EvalReport, FamilyEval};
 pub use pipeline::PipelineSink;
 pub use report::{OperatorNotification, RunReport};
 pub use stage::{BuiltPipeline, PipelineBuilder, Stage, StreamReport};
@@ -68,6 +74,7 @@ pub use testbed::{FilterChain, Testbed};
 /// Common imports for testbed users.
 pub mod prelude {
     pub use crate::config::{ExecutorKind, PipelineTuning, TestbedConfig};
+    pub use crate::eval::{evaluate_campaign, run_campaign, CampaignRun, EvalReport};
     pub use crate::report::{OperatorNotification, RunReport};
     pub use crate::stage::{BuiltPipeline, PipelineBuilder, StreamReport};
     pub use crate::streaming::StreamStats;

@@ -292,6 +292,16 @@ impl DetectorStage {
         }
     }
 
+    /// The underlying factor-graph tagger, when this slot holds one —
+    /// the evaluation harness's ground-truth hook into per-entity
+    /// detection state.
+    pub fn as_tagger(&self) -> Option<&AttackTagger> {
+        match self {
+            DetectorStage::Tagger(s) => Some(s.tagger()),
+            _ => None,
+        }
+    }
+
     /// Owned-batch variant for executors: drains `batch`, emitting one
     /// outcome per alert (no clones). Leaves `batch` empty with its
     /// capacity intact.

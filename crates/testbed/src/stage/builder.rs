@@ -34,6 +34,7 @@ pub struct PipelineBuilder {
     block_on_detection: bool,
     detection_block_ttl: Option<SimDuration>,
     tuning: PipelineTuning,
+    seed: u64,
 }
 
 impl Default for PipelineBuilder {
@@ -58,6 +59,7 @@ impl PipelineBuilder {
             block_on_detection: false,
             detection_block_ttl: None,
             tuning: PipelineTuning::default(),
+            seed: TestbedConfig::default().seed,
         }
     }
 
@@ -76,7 +78,23 @@ impl PipelineBuilder {
             block_on_detection: cfg.block_on_detection,
             detection_block_ttl: cfg.detection_block_ttl,
             tuning: cfg.tuning.clone(),
+            seed: cfg.seed,
         }
+    }
+
+    /// Override the top-level RNG seed (defaults to
+    /// [`TestbedConfig::seed`]'s default, or the config's value when built
+    /// via [`PipelineBuilder::from_config`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The RNG every scenario generator feeding this pipeline should use:
+    /// seeded from the single top-level seed, so workload generation and
+    /// pipeline assembly are reproducible together.
+    pub fn scenario_rng(&self) -> simnet::rng::SimRng {
+        simnet::rng::SimRng::seed(self.seed)
     }
 
     pub fn symbolizer(mut self, symbolizer: Symbolizer) -> Self {
@@ -273,6 +291,22 @@ mod tests {
         assert_eq!(p.tuning().shards(), 3);
         assert_eq!(p.retention.cap(), 7);
         assert_eq!(p.tuning().executor, ExecutorKind::Sharded);
+    }
+
+    #[test]
+    fn seed_plumbs_from_config_into_scenario_rng() {
+        let cfg = TestbedConfig {
+            seed: 0xFEED,
+            ..TestbedConfig::default()
+        };
+        let b = PipelineBuilder::from_config(&cfg, detect::train::toy_training_model());
+        let mut r1 = b.scenario_rng();
+        let mut r2 = simnet::rng::SimRng::seed(0xFEED);
+        assert_eq!(r1.range_u64(0, 1_000), r2.range_u64(0, 1_000));
+        // The builder override wins.
+        let mut r3 = PipelineBuilder::new().seed(7).scenario_rng();
+        let mut r4 = simnet::rng::SimRng::seed(7);
+        assert_eq!(r3.range_u64(0, 1_000), r4.range_u64(0, 1_000));
     }
 
     #[test]

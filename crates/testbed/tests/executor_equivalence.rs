@@ -1,16 +1,20 @@
 //! Differential properties of the pipeline executors (proptest):
 //!
 //! On randomized mixed record streams (scan floods, benign flows,
-//! Zipf-skewed per-user command sessions) and randomized batching /
-//! capacity / shard-count tuning, the inline, threaded, and sharded
-//! executors must produce results **identical** to the hand-rolled
-//! sequential composition of the raw components: same stats, same
-//! detection stream, same notifications, same retained alerts, same
+//! Zipf-skewed per-user command sessions), on randomized **adversarial
+//! campaign workloads** (mutated attack sessions with decoys, lateral
+//! hops and dilation from `scenario::mutate`), and on randomized
+//! batching / capacity / shard-count tuning, the inline, threaded, and
+//! sharded executors must produce results **identical** to the
+//! hand-rolled sequential composition of the raw components: same stats,
+//! same detection stream, same notifications, same retained alerts, same
 //! blocked sources.
 
 use proptest::prelude::*;
+use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
 use scenario::stream::{record_stream, RecordStreamConfig};
 use simnet::rng::SimRng;
+use simnet::time::SimDuration;
 use telemetry::record::LogRecord;
 use testbed::stage::{PipelineBuilder, StreamReport};
 use testbed::StreamStats;
@@ -125,6 +129,70 @@ proptest! {
             .build()
             .run_sharded(records);
         assert_reports_identical(&inline, &sharded);
+    }
+
+    /// Adversarial campaign workloads — mutated multi-entity sessions
+    /// interleaved with background load — shard and thread identically to
+    /// the sequential reference too. This is the workload the preemption
+    /// evaluation harness scores, so executor choice must be invisible to
+    /// `EvalReport` as well.
+    #[test]
+    fn executors_agree_on_mutated_campaigns(
+        seed in 0u64..100_000,
+        sessions in 1usize..32,
+        batch in 1usize..300,
+        shards in 1usize..9,
+        drop_prob in 0.0f64..0.8,
+        lateral_prob in 0.0f64..1.0,
+        decoy_prob in 0.0f64..0.4,
+        dilation_x10 in 10u64..100,
+        background in 0usize..2,
+    ) {
+        let cfg = CampaignConfig {
+            sessions,
+            horizon: SimDuration::from_hours(24),
+            mutation: MutationConfig {
+                drop_prob,
+                lateral_prob,
+                decoy_prob,
+                dilation: dilation_x10 as f64 / 10.0,
+                ..MutationConfig::default()
+            },
+            background: (background == 1).then(|| RecordStreamConfig {
+                scan_records: 300,
+                benign_flows: 100,
+                exec_records: 200,
+                users: 25,
+                ..RecordStreamConfig::default()
+            }),
+            ..CampaignConfig::default()
+        };
+        let campaign = generate_campaign(&cfg, &mut SimRng::seed(seed));
+        let records = campaign.records;
+        let (seq_stats, seq_detections) = sequential_reference(&records);
+        let capacity = batch * (1 + seed as usize % 4);
+        let retention = seed as usize % 64;
+
+        let inline = builder(batch, capacity, shards, retention)
+            .build()
+            .run_inline(records.clone());
+        prop_assert_eq!(inline.stats, seq_stats);
+        prop_assert_eq!(detection_keys(&inline), seq_detections);
+
+        let threaded = builder(batch, capacity, shards, retention)
+            .build()
+            .run_threaded(records.clone());
+        assert_reports_identical(&inline, &threaded);
+
+        let sharded = builder(batch, capacity, shards, retention)
+            .build()
+            .run_sharded(records);
+        assert_reports_identical(&inline, &sharded);
+
+        // Scoring the identical reports yields identical evaluations.
+        let eval_inline = testbed::evaluate_campaign(&inline, &campaign.truth);
+        let eval_sharded = testbed::evaluate_campaign(&sharded, &campaign.truth);
+        prop_assert_eq!(eval_inline, eval_sharded);
     }
 
     /// The rule-based baseline detector shards identically too (its

@@ -77,14 +77,16 @@ pub mod prelude {
     pub use factorgraph::{ChainLearner, ChainModel, Factor, FactorGraph};
     pub use honeynet::{HoneynetDeployment, PostgresEmulator, SnapshotRepo};
     pub use mining::{Cdf, CommonPattern, MinerConfig};
-    pub use scenario::{LongitudinalConfig, RansomwareConfig};
+    pub use scenario::{
+        Campaign, CampaignConfig, LongitudinalConfig, MutationConfig, RansomwareConfig,
+    };
     pub use simnet::prelude::{
         Action, Cidr, Engine, ExecAction, Flow, FlowId, SimDuration, SimRng, SimTime, Topology,
     };
     pub use telemetry::{LogRecord, MonitorHub, ZeekMonitor};
     pub use testbed::{
-        BuiltPipeline, ExecutorKind, PipelineBuilder, PipelineTuning, RunReport, StreamReport,
-        Testbed, TestbedConfig,
+        BuiltPipeline, CampaignRun, EvalReport, ExecutorKind, PipelineBuilder, PipelineTuning,
+        RunReport, StreamReport, Testbed, TestbedConfig,
     };
     pub use vizgraph::{Graph, LayoutConfig};
 }
