@@ -7,11 +7,10 @@
 //! alerts, only the first occurrence per `(source, kind)` per window is
 //! admitted; everything of higher severity passes through untouched.
 
-use std::hash::{Hash, Hasher};
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
-use simnet::rng::{FxHashMap, FxHasher};
+use simnet::rng::FxHashMap;
 use simnet::time::{SimDuration, SimTime};
 
 use crate::alert::{Alert, Entity};
@@ -94,25 +93,15 @@ impl ScanFilter {
         }
     }
 
+    /// The dedup source: the entity's integer id, except that unknown
+    /// entities fall back to their source address so distinct anonymous
+    /// sources keep distinct windows. No hashing, no allocation — the
+    /// window map hashes the `u64` directly.
     fn source_key(entity: &Entity, src: Option<Ipv4Addr>) -> u64 {
-        let mut h = FxHasher::default();
-        match entity {
-            Entity::User(u) => {
-                1u8.hash(&mut h);
-                u.hash(&mut h);
-            }
-            Entity::Address(a) => {
-                2u8.hash(&mut h);
-                u32::from(*a).hash(&mut h);
-            }
-            Entity::Unknown => {
-                3u8.hash(&mut h);
-                if let Some(a) = src {
-                    u32::from(a).hash(&mut h);
-                }
-            }
+        match (entity, src) {
+            (Entity::Unknown, Some(a)) => (4u64 << 32) | u64::from(u32::from(a)),
+            (e, _) => e.id().raw(),
         }
-        h.finish()
     }
 
     /// Whether this alert should pass the filter. Updates internal state.

@@ -19,15 +19,23 @@
 pub mod alert;
 pub mod annotate;
 pub mod filter;
+pub mod message;
 pub mod pattern;
 pub mod sanitize;
 pub mod store;
 pub mod symbolize;
 pub mod taxonomy;
 
-pub use alert::{Alert, Entity};
+/// The shared string-interning layer the record and alert types build on
+/// (implemented in [`simnet::intern`]; re-exported here as the pipeline's
+/// canonical import path).
+pub use simnet::intern;
+
+pub use alert::{Alert, Entity, EntityId};
 pub use annotate::{Annotation, AnnotationReport, Annotator, GroundTruth, Label, Method};
 pub use filter::{FilterConfig, FilterStats, ScanFilter};
+pub use intern::Sym;
+pub use message::MessageSpec;
 pub use sanitize::{contains_pii, sanitize, SanitizeConfig};
 pub use store::{Incident, IncidentId, IncidentStore};
 pub use symbolize::{Symbolizer, SymbolizerConfig};

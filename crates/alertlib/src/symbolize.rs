@@ -18,9 +18,13 @@ use telemetry::record::{
     ConnRecord, DbRecord, HttpRecord, LogRecord, NoticeKind, NoticeRecord, ProcessRecord, SshRecord,
 };
 
+use simnet::intern::Sym;
+use simnet::rng::FxHashMap;
+
 use crate::alert::{Alert, Entity};
+use crate::message::MessageSpec;
 use crate::pattern::{matches_any, Pattern};
-use crate::sanitize::{contains_pii, sanitize, SanitizeConfig};
+use crate::sanitize::{contains_pii, SanitizeConfig};
 use crate::taxonomy::AlertKind;
 
 /// Configuration for the symbolization rules.
@@ -43,7 +47,12 @@ pub struct SymbolizerConfig {
     pub exfil_bytes: u64,
     /// Inclusive local-hour range flagged as unusual login time.
     pub odd_hours: (u32, u32),
-    /// Message sanitization settings.
+    /// Message sanitization settings. Alerts carry lazily rendered
+    /// [`MessageSpec`]s, so this policy applies when a message is
+    /// *surfaced*: render through [`Symbolizer::render_message`] (or
+    /// `MessageSpec::render_with(&cfg.sanitize)`) to honour it. The
+    /// plain `MessageSpec::render` / `Display` path uses
+    /// [`SanitizeConfig::default`].
     pub sanitize: SanitizeConfig,
 }
 
@@ -139,17 +148,38 @@ fn exec_rules() -> &'static [(&'static [&'static str], AlertKind)] {
 }
 
 /// The symbolization engine.
+///
+/// Interning makes the rule engine memoizable: a process record's verdict
+/// depends only on its (interned) command line, and a custom notice's
+/// alert kind only on its (interned) symbol — so both are cached by `Sym`
+/// and the glob/string matching runs once per *distinct* value instead of
+/// once per record. Steady state, `symbolize_into` performs zero heap
+/// allocations.
 #[derive(Debug, Clone)]
 pub struct Symbolizer {
     cfg: SymbolizerConfig,
     alerts_emitted: u64,
+    /// Interned ghost-account set (from `cfg.ghost_accounts`).
+    ghost_users: simnet::rng::FxHashSet<Sym>,
+    /// Interned default-DB-account set (from `cfg.default_db_users`).
+    default_db_users: simnet::rng::FxHashSet<Sym>,
+    /// Memoized first-match verdict of [`exec_rules`] per command line.
+    exec_memo: FxHashMap<Sym, Option<AlertKind>>,
+    /// Memoized [`AlertKind::from_symbol`] per custom notice symbol.
+    notice_memo: FxHashMap<Sym, Option<AlertKind>>,
 }
 
 impl Symbolizer {
     pub fn new(cfg: SymbolizerConfig) -> Self {
+        let ghost_users = cfg.ghost_accounts.iter().map(Sym::from).collect();
+        let default_db_users = cfg.default_db_users.iter().map(Sym::from).collect();
         Symbolizer {
             cfg,
             alerts_emitted: 0,
+            ghost_users,
+            default_db_users,
+            exec_memo: FxHashMap::default(),
+            notice_memo: FxHashMap::default(),
         }
     }
 
@@ -165,12 +195,15 @@ impl Symbolizer {
         self.alerts_emitted
     }
 
-    fn is_internal(&self, addr: Ipv4Addr) -> bool {
-        self.cfg.internal_nets.iter().any(|n| n.contains(addr))
+    /// Render an alert message under this symbolizer's sanitize policy
+    /// (`cfg.sanitize`) — the §II-A scrubbing the eager-string pipeline
+    /// applied at emission time now happens here, at surfacing time.
+    pub fn render_message(&self, msg: &MessageSpec) -> String {
+        msg.render_with(&self.cfg.sanitize)
     }
 
-    fn msg(&self, raw: &str) -> String {
-        sanitize(&self.cfg.sanitize, raw)
+    fn is_internal(&self, addr: Ipv4Addr) -> bool {
+        self.cfg.internal_nets.iter().any(|n| n.contains(addr))
     }
 
     /// Symbolize one record, appending alerts to `out`. Returns the number
@@ -215,10 +248,12 @@ impl Symbolizer {
                 Alert::new(c.ts, kind, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg(&format!(
-                        "{} probe {}:{} state={}",
-                        c.proto, c.resp_h, c.resp_p, c.conn_state
-                    ))),
+                    .with_message(MessageSpec::Probe {
+                        proto: c.proto,
+                        resp_h: c.resp_h,
+                        resp_p: c.resp_p,
+                        state: c.conn_state,
+                    }),
             );
             return;
         }
@@ -227,44 +262,49 @@ impl Symbolizer {
         }
         if self.cfg.c2_addresses.contains(&c.resp_h) {
             out.push(
-                Alert::new(c.ts, AlertKind::C2Communication, entity.clone())
+                Alert::new(c.ts, AlertKind::C2Communication, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(
-                        self.msg(&format!("beacon to known C2 {}:{}", c.resp_h, c.resp_p)),
-                    ),
+                    .with_message(MessageSpec::C2Beacon {
+                        resp_h: c.resp_h,
+                        resp_p: c.resp_p,
+                    }),
             );
         }
         if c.service == Service::Irc {
             out.push(
-                Alert::new(c.ts, AlertKind::IrcConnection, entity.clone())
+                Alert::new(c.ts, AlertKind::IrcConnection, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg("irc connection")),
+                    .with_message(MessageSpec::Static("irc connection")),
             );
         }
         if matches!(c.resp_p, 9001 | 9030) {
             out.push(
-                Alert::new(c.ts, AlertKind::TorConnection, entity.clone())
+                Alert::new(c.ts, AlertKind::TorConnection, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg("tor relay connection")),
+                    .with_message(MessageSpec::Static("tor relay connection")),
             );
         }
         if c.proto == Proto::Icmp && c.orig_bytes > 64 * 1024 {
             out.push(
-                Alert::new(c.ts, AlertKind::IcmpTunnelSuspected, entity.clone())
+                Alert::new(c.ts, AlertKind::IcmpTunnelSuspected, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg(&format!("icmp payload volume {}B", c.orig_bytes))),
+                    .with_message(MessageSpec::IcmpVolume {
+                        bytes: c.orig_bytes,
+                    }),
             );
         }
         if c.service == Service::Dns && c.orig_bytes > 1024 * 1024 {
             out.push(
-                Alert::new(c.ts, AlertKind::DnsTunnelSuspected, entity.clone())
+                Alert::new(c.ts, AlertKind::DnsTunnelSuspected, entity)
                     .with_src(c.orig_h)
                     .with_dst(c.resp_h)
-                    .with_message(self.msg(&format!("dns query volume {}B", c.orig_bytes))),
+                    .with_message(MessageSpec::DnsVolume {
+                        bytes: c.orig_bytes,
+                    }),
             );
         }
         if c.direction == Direction::Outbound {
@@ -273,14 +313,18 @@ impl Symbolizer {
                     Alert::new(c.ts, AlertKind::DataExfiltration, entity)
                         .with_src(c.orig_h)
                         .with_dst(c.resp_h)
-                        .with_message(self.msg(&format!("outbound transfer {}B", c.orig_bytes))),
+                        .with_message(MessageSpec::OutboundVolume {
+                            bytes: c.orig_bytes,
+                        }),
                 );
             } else if c.orig_bytes >= self.cfg.anomalous_bytes {
                 out.push(
                     Alert::new(c.ts, AlertKind::AnomalousDataVolume, entity)
                         .with_src(c.orig_h)
                         .with_dst(c.resp_h)
-                        .with_message(self.msg(&format!("outbound transfer {}B", c.orig_bytes))),
+                        .with_message(MessageSpec::OutboundVolume {
+                            bytes: c.orig_bytes,
+                        }),
                 );
             }
         }
@@ -288,13 +332,18 @@ impl Symbolizer {
 
     fn on_http(&self, h: &HttpRecord, out: &mut Vec<Alert>) {
         let entity = Entity::Address(h.orig_h);
-        let raw = format!("{} {}{} ({})", h.method, h.host, h.uri, h.status);
+        let line = MessageSpec::HttpLine {
+            method: h.method,
+            host: h.host,
+            uri: h.uri,
+            status: h.status,
+        };
         if matches_any(&self.cfg.malware_uri_patterns, &h.uri) {
             out.push(
-                Alert::new(h.ts, AlertKind::KnownMalwareDownload, entity.clone())
+                Alert::new(h.ts, AlertKind::KnownMalwareDownload, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
             return;
         }
@@ -308,36 +357,36 @@ impl Symbolizer {
         if source_ext && h.status == 200 {
             // Source fetched over plaintext HTTP: step 1 of the S1 pattern.
             out.push(
-                Alert::new(h.ts, AlertKind::DownloadSensitive, entity.clone())
+                Alert::new(h.ts, AlertKind::DownloadSensitive, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
         } else if binary_mime && h.status == 200 {
             out.push(
-                Alert::new(h.ts, AlertKind::DownloadBinaryUnknown, entity.clone())
+                Alert::new(h.ts, AlertKind::DownloadBinaryUnknown, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
         }
         if crate::pattern::glob_match("*' OR *", &h.uri)
             || crate::pattern::glob_match("*UNION SELECT*", &h.uri)
         {
             out.push(
-                Alert::new(h.ts, AlertKind::SqlInjectionProbe, entity.clone())
+                Alert::new(h.ts, AlertKind::SqlInjectionProbe, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
         }
         if crate::pattern::glob_match("*.action*", &h.uri) {
             // Apache Struts portal scan (Insight 3's example).
             out.push(
-                Alert::new(h.ts, AlertKind::VulnScan, entity.clone())
+                Alert::new(h.ts, AlertKind::VulnScan, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
         }
         if self.is_internal(h.orig_h) && !self.is_internal(h.resp_h) && contains_pii(&h.uri) {
@@ -347,49 +396,52 @@ impl Symbolizer {
                 Alert::new(h.ts, AlertKind::PiiInOutboundHttp, entity)
                     .with_src(h.orig_h)
                     .with_dst(h.resp_h)
-                    .with_message(self.msg(&raw)),
+                    .with_message(line),
             );
         }
     }
 
     fn on_ssh(&self, s: &SshRecord, out: &mut Vec<Alert>) {
-        let entity = Entity::User(s.user.clone());
+        let entity = Entity::User(s.user);
         if !s.success {
             out.push(
                 Alert::new(s.ts, AlertKind::LoginFailed, entity)
                     .with_src(s.orig_h)
                     .with_dst(s.resp_h)
-                    .with_message(self.msg(&format!("failed ssh auth from {}", s.orig_h))),
+                    .with_message(MessageSpec::SshFailed { orig_h: s.orig_h }),
             );
             return;
         }
         let mut flagged = false;
-        if self.cfg.ghost_accounts.iter().any(|g| g == &s.user) {
+        if self.ghost_users.contains(&s.user) {
             flagged = true;
             out.push(
-                Alert::new(s.ts, AlertKind::GhostAccountLogin, entity.clone())
+                Alert::new(s.ts, AlertKind::GhostAccountLogin, entity)
                     .with_src(s.orig_h)
                     .with_dst(s.resp_h)
-                    .with_message(self.msg(&format!("ghost account {} login", s.user))),
+                    .with_message(MessageSpec::GhostLogin { user: s.user }),
             );
         }
         if s.direction == Direction::Internal {
             flagged = true;
             out.push(
-                Alert::new(s.ts, AlertKind::InternalPivotLogin, entity.clone())
+                Alert::new(s.ts, AlertKind::InternalPivotLogin, entity)
                     .with_src(s.orig_h)
                     .with_dst(s.resp_h)
-                    .with_message(self.msg(&format!("internal ssh {} -> {}", s.orig_h, s.resp_h))),
+                    .with_message(MessageSpec::InternalSsh {
+                        orig_h: s.orig_h,
+                        resp_h: s.resp_h,
+                    }),
             );
         }
         let hour = s.ts.time_of_day().0;
         if hour >= self.cfg.odd_hours.0 && hour <= self.cfg.odd_hours.1 {
             flagged = true;
             out.push(
-                Alert::new(s.ts, AlertKind::LoginUnusualHour, entity.clone())
+                Alert::new(s.ts, AlertKind::LoginUnusualHour, entity)
                     .with_src(s.orig_h)
                     .with_dst(s.resp_h)
-                    .with_message(self.msg(&format!("login at {hour:02}h"))),
+                    .with_message(MessageSpec::LoginAtHour { hour }),
             );
         }
         if !flagged {
@@ -397,24 +449,27 @@ impl Symbolizer {
                 Alert::new(s.ts, AlertKind::LoginSuccess, entity)
                     .with_src(s.orig_h)
                     .with_dst(s.resp_h)
-                    .with_message(self.msg("ssh login")),
+                    .with_message(MessageSpec::Static("ssh login")),
             );
         }
     }
 
-    fn on_notice(&self, n: &NoticeRecord, out: &mut Vec<Alert>) {
+    fn on_notice(&mut self, n: &NoticeRecord, out: &mut Vec<Alert>) {
         let entity = Entity::Address(n.src);
         let kind = match &n.note {
             NoticeKind::AddressScan => Some(AlertKind::AddressSweep),
             NoticeKind::PortScan => Some(AlertKind::PortScan),
             NoticeKind::PasswordGuessing => Some(AlertKind::BruteForcePassword),
             NoticeKind::ExecutableFromRawIp => Some(AlertKind::DownloadSensitive),
-            NoticeKind::Custom(sym) => AlertKind::from_symbol(sym),
+            NoticeKind::Custom(sym) => *self
+                .notice_memo
+                .entry(*sym)
+                .or_insert_with(|| AlertKind::from_symbol(sym.as_str())),
         };
         if let Some(kind) = kind {
             let mut a = Alert::new(n.ts, kind, entity)
                 .with_src(n.src)
-                .with_message(self.msg(&n.msg));
+                .with_message(MessageSpec::Text(n.msg));
             if let Some(d) = n.dst {
                 a = a.with_dst(d);
             }
@@ -422,45 +477,59 @@ impl Symbolizer {
         }
     }
 
-    fn on_process(&self, p: &ProcessRecord, out: &mut Vec<Alert>) {
-        for (patterns, kind) in exec_rules() {
-            if patterns
+    fn on_process(&mut self, p: &ProcessRecord, out: &mut Vec<Alert>) {
+        // The verdict depends only on the command line, so the ordered
+        // glob scan runs once per distinct `cmdline` symbol.
+        let kind = *self.exec_memo.entry(p.cmdline).or_insert_with(|| {
+            let cmdline = p.cmdline.as_str();
+            exec_rules()
                 .iter()
-                .any(|pat| crate::pattern::glob_match(pat, &p.cmdline))
-            {
-                out.push(
-                    Alert::new(p.ts, *kind, Entity::User(p.user.clone()))
-                        .with_host(p.host)
-                        .with_message(self.msg(&format!("[{}] {}", p.hostname, p.cmdline))),
-                );
-                return;
-            }
+                .find(|(patterns, _)| {
+                    patterns
+                        .iter()
+                        .any(|pat| crate::pattern::glob_match(pat, cmdline))
+                })
+                .map(|(_, kind)| *kind)
+        });
+        if let Some(kind) = kind {
+            out.push(
+                Alert::new(p.ts, kind, Entity::User(p.user))
+                    .with_host(p.host)
+                    .with_message(MessageSpec::Exec {
+                        hostname: p.hostname,
+                        cmdline: p.cmdline,
+                    }),
+            );
         }
     }
 
     fn on_file(&self, f: &telemetry::record::FileRecord, out: &mut Vec<Alert>) {
         use simnet::action::FileOp;
-        let entity = Entity::User(f.user.clone());
-        let push = |out: &mut Vec<Alert>, kind: AlertKind, msg: String| {
+        let entity = Entity::User(f.user);
+        let push = |out: &mut Vec<Alert>, kind: AlertKind, msg: MessageSpec| {
             out.push(
-                Alert::new(f.ts, kind, entity.clone())
+                Alert::new(f.ts, kind, entity)
                     .with_host(f.host)
-                    .with_message(self.msg(&msg)),
+                    .with_message(msg),
             );
         };
+        let verb = |verb, path| MessageSpec::FileOp { verb, path };
         let deleting = matches!(f.op, FileOp::Delete | FileOp::Truncate);
         if deleting
             && (crate::pattern::glob_match("/var/log/*", &f.path)
                 || crate::pattern::glob_match("/var/spool/mail/*", &f.path))
         {
-            push(out, AlertKind::LogWipe, format!("wipe {}", f.path));
+            push(out, AlertKind::LogWipe, verb("wipe", f.path));
         } else if deleting && f.path.ends_with(".bash_history") {
-            push(out, AlertKind::HistoryCleared, format!("clear {}", f.path));
+            push(out, AlertKind::HistoryCleared, verb("clear", f.path));
         } else if f.op == FileOp::Create && crate::pattern::glob_match("/tmp/*", &f.path) {
             push(
                 out,
                 AlertKind::FileDropTmp,
-                format!("drop {} by {}", f.path, f.process),
+                MessageSpec::FileDrop {
+                    path: f.path,
+                    process: f.process,
+                },
             );
         } else if matches!(f.op, FileOp::Create | FileOp::Modify)
             && f.path.ends_with(".ssh/authorized_keys")
@@ -468,36 +537,28 @@ impl Symbolizer {
             push(
                 out,
                 AlertKind::SshAuthorizedKeyAdded,
-                format!("modify {}", f.path),
+                verb("modify", f.path),
             );
         } else if f.op == FileOp::Create
             && (crate::pattern::glob_match("*RANSOM*", &f.path)
                 || crate::pattern::glob_match("*ransom*", &f.path))
         {
-            push(
-                out,
-                AlertKind::RansomNoteDropped,
-                format!("note {}", f.path),
-            );
+            push(out, AlertKind::RansomNoteDropped, verb("note", f.path));
         } else if f.op == FileOp::Create && f.path.ends_with(".encrypted") {
-            push(
-                out,
-                AlertKind::MassFileEncryption,
-                format!("encrypt {}", f.path),
-            );
+            push(out, AlertKind::MassFileEncryption, verb("encrypt", f.path));
         } else if crate::pattern::glob_match("/etc/cron*", &f.path) {
-            push(out, AlertKind::CronEntryAdded, format!("cron {}", f.path));
+            push(out, AlertKind::CronEntryAdded, verb("cron", f.path));
         }
     }
 
     fn on_db(&self, d: &DbRecord, out: &mut Vec<Alert>) {
         use simnet::action::DbCommandKind;
-        let entity = Entity::User(d.user.clone());
-        let mut push = |kind: AlertKind, msg: String| {
-            let mut a = Alert::new(d.ts, kind, entity.clone())
+        let entity = Entity::User(d.user);
+        let mut push = |kind: AlertKind, msg: MessageSpec| {
+            let mut a = Alert::new(d.ts, kind, entity)
                 .with_src(d.orig_h)
                 .with_dst(d.resp_h)
-                .with_message(self.msg(&msg));
+                .with_message(msg);
             if let Some(h) = d.host {
                 a = a.with_host(h);
             }
@@ -505,43 +566,53 @@ impl Symbolizer {
         };
         match &d.command {
             DbCommandKind::Auth { success } => {
-                if *success && self.cfg.default_db_users.iter().any(|u| u == &d.user) {
+                if *success && self.default_db_users.contains(&d.user) {
                     push(
                         AlertKind::DefaultCredentialUse,
-                        format!("db auth as default account {}", d.user),
+                        MessageSpec::DbDefaultCred { user: d.user },
                     );
                 } else if !success {
                     push(
                         AlertKind::LoginFailed,
-                        format!("db auth failed for {}", d.user),
+                        MessageSpec::DbAuthFailed { user: d.user },
                     );
                 }
             }
             DbCommandKind::ShowVersion => {
-                push(AlertKind::DbVersionRecon, d.statement.clone());
+                push(AlertKind::DbVersionRecon, MessageSpec::Text(d.statement));
             }
             DbCommandKind::LargeObjectWrite { hex_prefix, bytes } => {
                 if hex_prefix.starts_with("7F454C46") {
                     push(
                         AlertKind::ElfMagicInDbBlob,
-                        format!("largeobject ELF payload ({bytes}B) prefix={hex_prefix}"),
+                        MessageSpec::ElfBlob {
+                            bytes: *bytes,
+                            hex_prefix: hex_prefix.as_str().into(),
+                        },
                     );
                 }
             }
             DbCommandKind::LoExport { path } => {
-                push(AlertKind::LoExportExecution, format!("lo_export to {path}"));
+                push(
+                    AlertKind::LoExportExecution,
+                    MessageSpec::LoExport {
+                        path: path.as_str().into(),
+                    },
+                );
             }
             DbCommandKind::CopyFromProgram { program } => {
                 push(
                     AlertKind::RemoteCodeExecAttempt,
-                    format!("COPY FROM PROGRAM '{program}'"),
+                    MessageSpec::CopyFromProgram {
+                        program: program.as_str().into(),
+                    },
                 );
             }
             DbCommandKind::Query => {
                 if crate::pattern::glob_match("*' OR *", &d.statement)
                     || crate::pattern::glob_match("*UNION SELECT*", &d.statement)
                 {
-                    push(AlertKind::SqlInjectionProbe, d.statement.clone());
+                    push(AlertKind::SqlInjectionProbe, MessageSpec::Text(d.statement));
                 }
             }
         }
@@ -550,23 +621,20 @@ impl Symbolizer {
     fn on_audit(&self, a: &telemetry::record::AuditRecord, out: &mut Vec<Alert>) {
         if a.syscall == "setuid" && a.args.contains('0') && a.exit_code == 0 && a.user != "root" {
             out.push(
-                Alert::new(
-                    a.ts,
-                    AlertKind::PrivilegeEscalation,
-                    Entity::User(a.user.clone()),
-                )
-                .with_host(a.host)
-                .with_message(self.msg(&format!("[{}] setuid(0) by {}", a.hostname, a.user))),
+                Alert::new(a.ts, AlertKind::PrivilegeEscalation, Entity::User(a.user))
+                    .with_host(a.host)
+                    .with_message(MessageSpec::Setuid {
+                        hostname: a.hostname,
+                        user: a.user,
+                    }),
             );
         } else if a.syscall == "ptrace" && a.args.contains("osquery") {
             out.push(
-                Alert::new(
-                    a.ts,
-                    AlertKind::MonitorTampering,
-                    Entity::User(a.user.clone()),
-                )
-                .with_host(a.host)
-                .with_message(self.msg(&format!("[{}] ptrace on monitor", a.hostname))),
+                Alert::new(a.ts, AlertKind::MonitorTampering, Entity::User(a.user))
+                    .with_host(a.host)
+                    .with_message(MessageSpec::MonitorPtrace {
+                        hostname: a.hostname,
+                    }),
             );
         }
     }
@@ -707,7 +775,7 @@ mod tests {
         let alerts = sym().symbolize(&r);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].kind, AlertKind::DownloadSensitive);
-        // Message sanitized: masked IP.
+        // Message sanitized (at render time): masked IP.
         assert!(alerts[0].message.contains("64.215.xxx.yyy"));
     }
 
@@ -912,10 +980,29 @@ mod tests {
             msg: "site policy".into(),
             src: "141.142.77.5".parse().unwrap(),
             dst: None,
-            sub: String::new(),
+            sub: Sym::EMPTY,
         });
         let alerts = sym().symbolize(&r);
         assert_eq!(alerts[0].kind, AlertKind::LateralMovementAttempt);
+    }
+
+    #[test]
+    fn render_message_honours_configured_sanitize_policy() {
+        let mut cfg = SymbolizerConfig::default();
+        cfg.sanitize.mask_ips = false;
+        let mut s = Symbolizer::new(cfg);
+        let alerts = s.symbolize(&conn(
+            ConnState::S0,
+            Direction::Inbound,
+            "103.102.1.1",
+            "141.142.2.1",
+            22,
+            0,
+        ));
+        // The default render path masks; the symbolizer's configured
+        // policy (mask_ips = false) keeps the raw address.
+        assert!(alerts[0].message.render().contains("141.142.xxx.yyy"));
+        assert!(s.render_message(&alerts[0].message).contains("141.142.2.1"));
     }
 
     #[test]

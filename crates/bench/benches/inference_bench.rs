@@ -161,7 +161,7 @@ fn bench_online_step(c: &mut Criterion) {
             let a = Alert::new(
                 SimTime::from_secs(i),
                 alertlib::AlertKind::from_index((i % 40) as usize),
-                Entity::User(format!("u{}", i % 64)),
+                Entity::User(format!("u{}", i % 64).into()),
             );
             black_box(tagger.observe(&a))
         })

@@ -129,6 +129,16 @@ fn main() {
         "sharded": { "seconds": sharded_s, "records_per_sec": rate(sharded_s), "speedup": speedup },
         "detections_byte_identical": true,
         "eval": eval.to_json(),
+        "acceptance": {
+            "sharded_speedup_target": 1.2,
+            // Campaign runs are filter-dominated, so the sharded win is
+            // smaller than BENCH_2's pure-pipeline 2x; like BENCH_2 the
+            // wall-clock gate presumes real parallelism (>= 4 cores) and
+            // is recorded informationally below that.
+            "requires_cores": 4,
+            "applicable": cores >= 4,
+            "pass": cores < 4 || speedup >= 1.2,
+        },
     });
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_3.json".to_string());
     std::fs::write(
@@ -152,4 +162,24 @@ fn main() {
         eval.attack_sessions
     );
     assert!(eval.overall.preempted > 0, "preemptions observed");
+
+    // Wall-clock gate, core-aware like BENCH_2's: only enforceable where
+    // the sharded executor can actually parallelize.
+    let enforce = std::env::var("BENCH_ENFORCE").map_or(true, |v| v != "0");
+    if enforce && cores >= 4 {
+        assert!(
+            speedup >= 1.2,
+            "sharded campaign run must be >= 1.2x inline on this host \
+             (got {speedup:.2}x on {cores} cores)"
+        );
+    } else if speedup < 1.2 {
+        println!(
+            "NOTE: sharded speedup {speedup:.2}x below the 1.2x target — not enforced ({})",
+            if cores < 4 {
+                format!("host has {cores} core(s); the target presumes >= 4")
+            } else {
+                "BENCH_ENFORCE=0".to_string()
+            }
+        );
+    }
 }

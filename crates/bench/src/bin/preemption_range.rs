@@ -37,7 +37,7 @@ fn main() {
             trimmed.report = inc.report.clone();
             for a in &inc.alerts {
                 if matches!(a.entity, alertlib::Entity::User(_)) {
-                    trimmed.push_alert(a.clone());
+                    trimmed.push_alert(*a);
                 }
             }
             if !trimmed.is_empty() {

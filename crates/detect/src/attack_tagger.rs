@@ -13,7 +13,7 @@
 //! conditional probabilities of an alert being in a successful attack and
 //! normal operational conditions".
 
-use alertlib::alert::Alert;
+use alertlib::alert::{Alert, EntityId};
 use alertlib::taxonomy::AlertKind;
 use factorgraph::chain::ChainModel;
 use serde::{Deserialize, Serialize};
@@ -75,7 +75,7 @@ struct EntityState {
 pub struct AttackTagger {
     model: ChainModel,
     cfg: TaggerConfig,
-    states: FxHashMap<String, EntityState>,
+    states: FxHashMap<EntityId, EntityState>,
     /// Scratch for the forward-filter step, reused across `observe`
     /// calls so the per-alert hot path does not allocate.
     scratch: Vec<f64>,
@@ -143,16 +143,18 @@ impl AttackTagger {
     /// Observe one alert online. Returns a detection the first time the
     /// entity's posterior crosses the threshold (latched per entity).
     ///
-    /// Allocation-free per call for already-tracked entities (the entity
-    /// key string aside); a new entity allocates its posterior vector
-    /// once.
+    /// Allocation-free per call for already-tracked entities — the state
+    /// map is keyed by the integer [`EntityId`], so no key string is ever
+    /// built; a new entity allocates its posterior vector once.
     pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
-        let key = alert.entity.key();
-        let state = self.states.entry(key).or_insert_with(|| EntityState {
-            alpha: vec![0.0; Stage::COUNT],
-            steps: 0,
-            detected: false,
-        });
+        let state = self
+            .states
+            .entry(alert.entity.id())
+            .or_insert_with(|| EntityState {
+                alpha: vec![0.0; Stage::COUNT],
+                steps: 0,
+                detected: false,
+            });
         let obs = alert.kind.index();
         Self::step(
             &self.model,
@@ -191,13 +193,18 @@ impl AttackTagger {
     }
 
     /// The current filtered posterior for an entity, if it has been seen.
+    /// Accepts the canonical key string (`user:…` / `addr:…`) — a boundary
+    /// convenience; state itself is keyed by [`EntityId`].
     pub fn posterior(&self, entity_key: &str) -> Option<&[f64]> {
-        self.states.get(entity_key).map(|s| s.alpha.as_slice())
+        let id = EntityId::from_key(entity_key)?;
+        self.states.get(&id).map(|s| s.alpha.as_slice())
     }
 
     /// Ground-truth hook: whether a detection has latched for this entity.
     pub fn is_detected(&self, entity_key: &str) -> bool {
-        self.states.get(entity_key).is_some_and(|s| s.detected)
+        EntityId::from_key(entity_key)
+            .and_then(|id| self.states.get(&id))
+            .is_some_and(|s| s.detected)
     }
 
     /// Ground-truth hook: entity keys with a latched detection, in
@@ -205,16 +212,17 @@ impl AttackTagger {
     /// directly and want to cross-check a notification stream against
     /// detector state (the stream-executor path scores from
     /// notifications alone, since executors consume their detector).
-    pub fn detected_entities(&self) -> impl Iterator<Item = &str> {
+    pub fn detected_entities(&self) -> impl Iterator<Item = String> + '_ {
         self.states
             .iter()
             .filter(|(_, s)| s.detected)
-            .map(|(k, _)| k.as_str())
+            .map(|(id, _)| id.key())
     }
 
     /// Ground-truth hook: alerts folded into an entity's filter so far.
     pub fn entity_steps(&self, entity_key: &str) -> Option<usize> {
-        self.states.get(entity_key).map(|s| s.steps)
+        let id = EntityId::from_key(entity_key)?;
+        self.states.get(&id).map(|s| s.steps)
     }
 
     /// Forget all per-entity state.
@@ -363,8 +371,8 @@ mod tests {
         assert!(tagger.is_detected("user:eve"));
         assert!(!tagger.is_detected("user:alice"));
         assert!(!tagger.is_detected("user:nobody"));
-        let detected: Vec<&str> = tagger.detected_entities().collect();
-        assert_eq!(detected, vec!["user:eve"]);
+        let detected: Vec<String> = tagger.detected_entities().collect();
+        assert_eq!(detected, vec!["user:eve".to_string()]);
         assert_eq!(tagger.entity_steps("user:eve"), Some(3));
         assert_eq!(tagger.entity_steps("user:alice"), Some(1));
         assert_eq!(tagger.entity_steps("user:nobody"), None);

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use alertlib::alert::Alert;
+use alertlib::alert::{Alert, EntityId};
 use simnet::rng::{FxHashMap, FxHashSet};
 
 use crate::attack_tagger::Detection;
@@ -28,8 +28,8 @@ pub const DEFAULT_SESSION_CONTEXT: usize = 256;
 #[derive(Debug, Clone)]
 pub struct OnlineSessionDetector<D> {
     detector: D,
-    sessions: FxHashMap<String, VecDeque<Alert>>,
-    latched: FxHashSet<String>,
+    sessions: FxHashMap<EntityId, VecDeque<Alert>>,
+    latched: FxHashSet<EntityId>,
     /// Per-entity session cap; oldest alerts are dropped beyond it
     /// (O(1) ring-buffer eviction).
     max_context: usize,
@@ -67,15 +67,15 @@ impl<D: SequenceDetector> OnlineSessionDetector<D> {
     /// scanned again, so the buffer is dropped on latch and later alerts
     /// cost one hash lookup, no clone.
     pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
-        let key = alert.entity.key();
+        let key = alert.entity.id();
         if self.latched.contains(&key) {
             return None;
         }
-        let session = self.sessions.entry(key.clone()).or_default();
+        let session = self.sessions.entry(key).or_default();
         if session.len() == self.max_context {
             session.pop_front();
         }
-        session.push_back(alert.clone());
+        session.push_back(*alert);
         let detection = self.detector.scan(session.make_contiguous())?;
         self.sessions.remove(&key);
         self.latched.insert(key);
@@ -156,7 +156,8 @@ mod tests {
         for t in 0..100 {
             online.observe(&alert(t, LoginSuccess, "alice"));
         }
-        assert_eq!(online.sessions.get("user:alice").unwrap().len(), 4);
+        let alice = EntityId::from_key("user:alice").unwrap();
+        assert_eq!(online.sessions.get(&alice).unwrap().len(), 4);
         online.reset();
         assert_eq!(online.tracked_entities(), 0);
     }

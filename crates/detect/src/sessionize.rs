@@ -5,7 +5,7 @@
 //! attacks when different accounts are used. Sessionization groups the
 //! interleaved alert stream into per-entity, time-ordered sessions.
 
-use alertlib::alert::{Alert, Entity};
+use alertlib::alert::{Alert, Entity, EntityId};
 use simnet::rng::FxHashMap;
 use simnet::time::{SimDuration, SimTime};
 
@@ -39,7 +39,7 @@ impl Session {
 #[derive(Debug)]
 pub struct Sessionizer {
     idle_gap: SimDuration,
-    open: FxHashMap<String, Session>,
+    open: FxHashMap<EntityId, Session>,
     closed: Vec<Session>,
 }
 
@@ -54,7 +54,7 @@ impl Sessionizer {
 
     /// Feed one alert (must arrive in global time order).
     pub fn push(&mut self, alert: Alert) {
-        let key = alert.entity.key();
+        let key = alert.entity.id();
         match self.open.get_mut(&key) {
             Some(session) => {
                 let stale = session
@@ -64,7 +64,7 @@ impl Sessionizer {
                     let finished = std::mem::replace(
                         session,
                         Session {
-                            entity: alert.entity.clone(),
+                            entity: alert.entity,
                             alerts: Vec::new(),
                         },
                     );
@@ -76,7 +76,7 @@ impl Sessionizer {
                 self.open.insert(
                     key,
                     Session {
-                        entity: alert.entity.clone(),
+                        entity: alert.entity,
                         alerts: vec![alert],
                     },
                 );

@@ -305,10 +305,10 @@ mod tests {
             uid: auth.flow.id,
             orig_h: auth.flow.src,
             resp_h: auth.flow.dst,
-            user: auth.user.clone(),
+            user: auth.user.as_str().into(),
             method: auth.method,
             success: auth.success,
-            client_banner: auth.client_banner.clone(),
+            client_banner: auth.client_banner.as_str().into(),
             direction: simnet::flow::Direction::Inbound,
         });
         let mut sym = alertlib::Symbolizer::with_defaults(); // ghost list has svcbackup

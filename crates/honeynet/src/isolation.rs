@@ -160,7 +160,8 @@ impl telemetry::monitor::Monitor for IsolationMonitor {
                 msg: format!(
                     "egress containment dropped {} -> {}:{}",
                     flow.src, flow.dst, flow.dst_port
-                ),
+                )
+                .into(),
                 src: flow.src,
                 dst: Some(flow.dst),
                 sub: "honeynet isolation".into(),

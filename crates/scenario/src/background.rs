@@ -102,7 +102,7 @@ pub fn stream_day(
             let src_idx = rng.index(model.legit_sources_per_day.max(1));
             let src = simnet::addr::ncsa_production().nth(256 + src_idx as u64);
             let user = format!("user{:04}", src_idx % 997);
-            Alert::new(t, kind, Entity::User(user)).with_src(src)
+            Alert::new(t, kind, Entity::User(user.into())).with_src(src)
         };
         sink(alert);
     }

@@ -145,19 +145,19 @@ pub fn generate_incident(rng: &mut SimRng, start: SimTime, spec: &IncidentSpec) 
         };
         t += delay.sample(rng);
         inc.push_alert(
-            Alert::new(t, *kind, Entity::User(user.clone()))
+            Alert::new(t, *kind, Entity::User(user.as_str().into()))
                 .with_src(attacker_ip)
                 .with_dst(victim_ip)
-                .with_message(kind.symbol().to_string()),
+                .with_message(kind.symbol()),
         );
     }
     if let Some(critical) = spec.critical {
         t += Delay::manual().sample(rng);
         inc.push_alert(
-            Alert::new(t, critical, Entity::User(user.clone()))
+            Alert::new(t, critical, Entity::User(user.as_str().into()))
                 .with_src(attacker_ip)
                 .with_dst(victim_ip)
-                .with_message(critical.symbol().to_string()),
+                .with_message(critical.symbol()),
         );
     }
     inc
@@ -190,8 +190,7 @@ pub fn benign_sessions(rng: &mut SimRng, n: usize, start: SimTime) -> Vec<Vec<Al
                 .iter()
                 .map(|&k| {
                     t += SimDuration::from_secs(rng.range_u64(30, 3_600));
-                    Alert::new(t, k, Entity::User(user.clone()))
-                        .with_message(k.symbol().to_string())
+                    Alert::new(t, k, Entity::User(user.as_str().into())).with_message(k.symbol())
                 })
                 .collect()
         })

@@ -30,6 +30,7 @@ use std::net::Ipv4Addr;
 
 use alertlib::taxonomy::AlertKind;
 use serde::{Deserialize, Serialize};
+use simnet::intern::Sym;
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
 use telemetry::record::{LogRecord, NoticeKind, NoticeRecord};
@@ -208,19 +209,31 @@ impl MutatedSession {
 
     /// Render the session as time-ordered notice records.
     pub fn records(&self) -> Vec<LogRecord> {
-        self.steps
-            .iter()
-            .map(|s| {
-                LogRecord::Notice(NoticeRecord {
-                    ts: self.start + s.offset,
-                    note: NoticeKind::Custom(s.kind.symbol().to_string()),
-                    msg: format!("campaign session {} {}", self.id, s.kind.symbol()),
-                    src: self.entities[s.entity],
-                    dst: Some(self.victim),
-                    sub: self.family.clone(),
-                })
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.steps.len());
+        self.records_into(&mut out, &mut String::new());
+        out
+    }
+
+    /// Append the session's notice records to `out`, reusing `scratch`
+    /// for the formatted message — the campaign generator's scratch-buffer
+    /// path (one `String` serves every session of a campaign).
+    pub fn records_into(&self, out: &mut Vec<LogRecord>, scratch: &mut String) {
+        use std::fmt::Write as _;
+        let family: Sym = self.family.as_str().into();
+        out.reserve(self.steps.len());
+        for s in &self.steps {
+            let symbol = s.kind.symbol();
+            scratch.clear();
+            let _ = write!(scratch, "campaign session {} {}", self.id, symbol);
+            out.push(LogRecord::Notice(NoticeRecord {
+                ts: self.start + s.offset,
+                note: NoticeKind::Custom(symbol.into()),
+                msg: scratch.as_str().into(),
+                src: self.entities[s.entity],
+                dst: Some(self.victim),
+                sub: family,
+            }));
+        }
     }
 }
 
@@ -524,6 +537,7 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
     let mut records: Vec<LogRecord> = Vec::new();
     let mut truth = CampaignGroundTruth::default();
     let mut entity_counter = 0u32;
+    let mut scratch = String::new();
     let horizon_ns = cfg.horizon.as_nanos().max(1);
 
     for id in 0..cfg.sessions {
@@ -549,7 +563,7 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
                 &mut session_rng,
             )
         };
-        records.extend(session.records());
+        session.records_into(&mut records, &mut scratch);
         truth.sessions.push(SessionTruth {
             id: session.id,
             family: session.family.clone(),

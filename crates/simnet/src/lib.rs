@@ -12,6 +12,8 @@
 //! - [`time`] — nanosecond virtual clock with calendar mapping (2000–2024).
 //! - [`addr`] — CIDR blocks; the production /16 and honeynet /24.
 //! - [`rng`] — seeded randomness, distributions, Fx hashing.
+//! - [`intern`] — process-wide string interning ([`intern::Sym`]).
+//! - [`alloc_count`] — shared counting allocator for alloc-contract tests.
 //! - [`event`] — generic stable discrete-event queue.
 //! - [`topology`] — hosts, subnets, zones; NCSA-like builder.
 //! - [`flow`] — connections with Zeek-style states and service tags.
@@ -39,9 +41,11 @@
 
 pub mod action;
 pub mod addr;
+pub mod alloc_count;
 pub mod engine;
 pub mod event;
 pub mod flow;
+pub mod intern;
 pub mod rng;
 pub mod router;
 pub mod time;
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use crate::engine::{ActionSink, Engine, EventCtx};
     pub use crate::event::EventQueue;
     pub use crate::flow::{ConnState, Direction, Flow, FlowId, Proto, Service};
+    pub use crate::intern::Sym;
     pub use crate::rng::{FxHashMap, FxHashSet, SimRng, Zipf};
     pub use crate::router::{
         BorderRouter, DropReason, ForwardAll, RouteDecision, RouteFilter, RouteOutcome,

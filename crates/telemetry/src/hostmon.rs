@@ -8,6 +8,7 @@
 
 use simnet::action::Action;
 use simnet::engine::EventCtx;
+use simnet::intern::Sym;
 use simnet::topology::HostId;
 
 use crate::monitor::Monitor;
@@ -46,8 +47,8 @@ impl HostMonitor {
         !self.disabled.contains(&host) && ctx.topo.host(host).monitored
     }
 
-    fn hostname(ctx: &EventCtx<'_>, host: HostId) -> String {
-        ctx.topo.host(host).name.clone()
+    fn hostname(ctx: &EventCtx<'_>, host: HostId) -> Sym {
+        ctx.topo.host(host).name.as_str().into()
     }
 }
 
@@ -65,11 +66,11 @@ impl Monitor for HostMonitor {
                         ts: ctx.time,
                         host: e.host,
                         hostname: Self::hostname(ctx, e.host),
-                        user: e.user.clone(),
+                        user: e.user.as_str().into(),
                         pid: e.pid,
                         ppid: e.ppid,
-                        exe: e.exe.clone(),
-                        cmdline: e.cmdline.clone(),
+                        exe: e.exe.as_str().into(),
+                        cmdline: e.cmdline.as_str().into(),
                     }));
                 }
             }
@@ -80,10 +81,10 @@ impl Monitor for HostMonitor {
                         ts: ctx.time,
                         host: f.host,
                         hostname: Self::hostname(ctx, f.host),
-                        user: f.user.clone(),
-                        path: f.path.clone(),
+                        user: f.user.as_str().into(),
+                        path: f.path.as_str().into(),
                         op: f.op,
-                        process: f.process.clone(),
+                        process: f.process.as_str().into(),
                     }));
                 }
             }
@@ -94,9 +95,9 @@ impl Monitor for HostMonitor {
                         ts: ctx.time,
                         host: a.host,
                         hostname: Self::hostname(ctx, a.host),
-                        user: a.user.clone(),
-                        syscall: a.syscall.clone(),
-                        args: a.args.clone(),
+                        user: a.user.as_str().into(),
+                        syscall: a.syscall.as_str().into(),
+                        args: a.args.as_str().into(),
                         exit_code: a.exit_code,
                     }));
                 }
@@ -113,7 +114,7 @@ impl Monitor for HostMonitor {
                             ts: ctx.time,
                             host: target,
                             hostname: Self::hostname(ctx, target),
-                            user: s.user.clone(),
+                            user: s.user.as_str().into(),
                             method: s.method,
                             success: s.success,
                             src_addr: Some(s.flow.src),
@@ -135,9 +136,9 @@ impl Monitor for HostMonitor {
                             orig_h: d.flow.src,
                             resp_h: d.flow.dst,
                             host: Some(target),
-                            user: d.user.clone(),
+                            user: d.user.as_str().into(),
                             command: d.command.clone(),
-                            statement: d.statement.clone(),
+                            statement: d.statement.as_str().into(),
                         }));
                     }
                 }

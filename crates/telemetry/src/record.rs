@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
+use simnet::intern::Sym;
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
 
@@ -39,12 +40,12 @@ pub struct HttpRecord {
     pub uid: FlowId,
     pub orig_h: Ipv4Addr,
     pub resp_h: Ipv4Addr,
-    pub method: String,
-    pub host: String,
-    pub uri: String,
+    pub method: Sym,
+    pub host: Sym,
+    pub uri: Sym,
     pub status: u16,
-    pub mime: String,
-    pub user_agent: String,
+    pub mime: Sym,
+    pub user_agent: Sym,
 }
 
 /// Zeek `ssh.log` entry.
@@ -54,10 +55,10 @@ pub struct SshRecord {
     pub uid: FlowId,
     pub orig_h: Ipv4Addr,
     pub resp_h: Ipv4Addr,
-    pub user: String,
+    pub user: Sym,
     pub method: simnet::action::AuthMethod,
     pub success: bool,
-    pub client_banner: String,
+    pub client_banner: Sym,
     pub direction: Direction,
 }
 
@@ -74,7 +75,7 @@ pub enum NoticeKind {
     ExecutableFromRawIp,
     /// Site-specific policy, by name (the paper: "new alerts ... being
     /// improved and incorporated into Zeek policies").
-    Custom(String),
+    Custom(Sym),
 }
 
 impl fmt::Display for NoticeKind {
@@ -95,11 +96,11 @@ impl fmt::Display for NoticeKind {
 pub struct NoticeRecord {
     pub ts: SimTime,
     pub note: NoticeKind,
-    pub msg: String,
+    pub msg: Sym,
     pub src: Ipv4Addr,
     pub dst: Option<Ipv4Addr>,
     /// Sub-message / additional context.
-    pub sub: String,
+    pub sub: Sym,
 }
 
 /// osquery-like process execution event.
@@ -107,12 +108,12 @@ pub struct NoticeRecord {
 pub struct ProcessRecord {
     pub ts: SimTime,
     pub host: HostId,
-    pub hostname: String,
-    pub user: String,
+    pub hostname: Sym,
+    pub user: Sym,
     pub pid: u32,
     pub ppid: u32,
-    pub exe: String,
-    pub cmdline: String,
+    pub exe: Sym,
+    pub cmdline: Sym,
 }
 
 /// osquery/ossec-like file integrity event.
@@ -120,11 +121,11 @@ pub struct ProcessRecord {
 pub struct FileRecord {
     pub ts: SimTime,
     pub host: HostId,
-    pub hostname: String,
-    pub user: String,
-    pub path: String,
+    pub hostname: Sym,
+    pub user: Sym,
+    pub path: Sym,
     pub op: simnet::action::FileOp,
-    pub process: String,
+    pub process: Sym,
 }
 
 /// Host authentication event (sshd via rsyslog).
@@ -132,8 +133,8 @@ pub struct FileRecord {
 pub struct AuthRecord {
     pub ts: SimTime,
     pub host: HostId,
-    pub hostname: String,
-    pub user: String,
+    pub hostname: Sym,
+    pub user: Sym,
     pub method: simnet::action::AuthMethod,
     pub success: bool,
     pub src_addr: Option<Ipv4Addr>,
@@ -144,10 +145,10 @@ pub struct AuthRecord {
 pub struct AuditRecord {
     pub ts: SimTime,
     pub host: HostId,
-    pub hostname: String,
-    pub user: String,
-    pub syscall: String,
-    pub args: String,
+    pub hostname: Sym,
+    pub user: Sym,
+    pub syscall: Sym,
+    pub args: Sym,
     pub exit_code: i32,
 }
 
@@ -161,9 +162,9 @@ pub struct DbRecord {
     pub orig_h: Ipv4Addr,
     pub resp_h: Ipv4Addr,
     pub host: Option<HostId>,
-    pub user: String,
+    pub user: Sym,
     pub command: simnet::action::DbCommandKind,
-    pub statement: String,
+    pub statement: Sym,
 }
 
 /// Which log stream a record belongs to.
@@ -281,14 +282,20 @@ impl LogRecord {
 
     /// The user account associated with the record, if any. This is the key
     /// the threat model (§III-B) groups attacks by.
-    pub fn user(&self) -> Option<&str> {
+    pub fn user(&self) -> Option<&'static str> {
+        self.user_sym().map(Sym::as_str)
+    }
+
+    /// The user account as an interned symbol (allocation- and
+    /// resolution-free; the key generators and detectors use).
+    pub fn user_sym(&self) -> Option<Sym> {
         match self {
-            LogRecord::Ssh(r) => Some(&r.user),
-            LogRecord::Process(r) => Some(&r.user),
-            LogRecord::File(r) => Some(&r.user),
-            LogRecord::Auth(r) => Some(&r.user),
-            LogRecord::Audit(r) => Some(&r.user),
-            LogRecord::Db(r) => Some(&r.user),
+            LogRecord::Ssh(r) => Some(r.user),
+            LogRecord::Process(r) => Some(r.user),
+            LogRecord::File(r) => Some(r.user),
+            LogRecord::Auth(r) => Some(r.user),
+            LogRecord::Audit(r) => Some(r.user),
+            LogRecord::Db(r) => Some(r.user),
             _ => None,
         }
     }

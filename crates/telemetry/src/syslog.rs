@@ -331,7 +331,7 @@ mod tests {
             msg: "scanner".into(),
             src: "103.102.1.1".parse().unwrap(),
             dst: None,
-            sub: String::new(),
+            sub: simnet::intern::Sym::EMPTY,
         });
         let line = render_syslog(&n);
         assert!(line.contains("Scan::Address_Scan"));

@@ -12,6 +12,7 @@ use std::net::Ipv4Addr;
 use simnet::action::Action;
 use simnet::engine::EventCtx;
 use simnet::flow::Flow;
+use simnet::intern::Sym;
 use simnet::rng::{FxHashMap, FxHashSet};
 use simnet::time::{SimDuration, SimTime};
 
@@ -144,10 +145,11 @@ impl ZeekMonitor {
                 msg: format!(
                     "{} scanned at least {} unique hosts on port {}",
                     flow.src, self.cfg.scan_threshold, flow.dst_port
-                ),
+                )
+                .into(),
                 src: flow.src,
                 dst: None,
-                sub: String::new(),
+                sub: Sym::EMPTY,
             }));
         }
         if !track.port_noticed
@@ -162,10 +164,11 @@ impl ZeekMonitor {
                 msg: format!(
                     "{} scanned at least {} unique ports of host {}",
                     flow.src, self.cfg.port_scan_threshold, flow.dst
-                ),
+                )
+                .into(),
                 src: flow.src,
                 dst: Some(flow.dst),
-                sub: String::new(),
+                sub: Sym::EMPTY,
             }));
         }
     }
@@ -187,10 +190,10 @@ impl ZeekMonitor {
             out.push(LogRecord::Notice(NoticeRecord {
                 ts: t,
                 note: NoticeKind::PasswordGuessing,
-                msg: format!("{} appears to be guessing SSH passwords", src),
+                msg: format!("{} appears to be guessing SSH passwords", src).into(),
                 src,
                 dst: None,
-                sub: format!("{} failures", track.failures),
+                sub: format!("{} failures", track.failures).into(),
             }));
         }
     }
@@ -237,22 +240,23 @@ impl Monitor for ZeekMonitor {
                     uid: h.flow.id,
                     orig_h: h.flow.src,
                     resp_h: h.flow.dst,
-                    method: h.method.clone(),
-                    host: h.host.clone(),
-                    uri: h.uri.clone(),
+                    method: h.method.as_str().into(),
+                    host: h.host.as_str().into(),
+                    uri: h.uri.as_str().into(),
                     status: h.status,
-                    mime: h.mime.clone(),
-                    user_agent: h.user_agent.clone(),
+                    mime: h.mime.as_str().into(),
+                    user_agent: h.user_agent.as_str().into(),
                 }));
                 if Self::is_raw_ip_host(&h.host) && Self::fetches_executable(&h.uri, &h.mime) {
                     self.notice_count += 1;
                     out.push(LogRecord::Notice(NoticeRecord {
                         ts: ctx.time,
                         note: NoticeKind::ExecutableFromRawIp,
-                        msg: format!("executable fetched from raw IP host {}{}", h.host, h.uri),
+                        msg: format!("executable fetched from raw IP host {}{}", h.host, h.uri)
+                            .into(),
                         src: h.flow.src,
                         dst: Some(h.flow.dst),
-                        sub: h.mime.clone(),
+                        sub: h.mime.as_str().into(),
                     }));
                 }
             }
@@ -264,10 +268,10 @@ impl Monitor for ZeekMonitor {
                     uid: s.flow.id,
                     orig_h: s.flow.src,
                     resp_h: s.flow.dst,
-                    user: s.user.clone(),
+                    user: s.user.as_str().into(),
                     method: s.method,
                     success: s.success,
-                    client_banner: s.client_banner.clone(),
+                    client_banner: s.client_banner.as_str().into(),
                     direction: ctx.direction,
                 }));
                 self.track_guess(ctx.time, s.flow.src, s.success, out);

@@ -514,8 +514,7 @@ mod tests {
             .iter()
             .map(|n| n.entity.key())
             .collect();
-        let latched: std::collections::HashSet<String> =
-            tagger.detected_entities().map(|k| k.to_string()).collect();
+        let latched: std::collections::HashSet<String> = tagger.detected_entities().collect();
         assert_eq!(notified, latched, "hooks and notifications must agree");
         assert!(!latched.is_empty(), "campaign must trigger detections");
         for k in &latched {

@@ -170,7 +170,7 @@ impl Stage<Alert, Alert> for FilterStage {
     fn process_batch(&mut self, input: &[Alert], out: &mut Vec<Alert>) {
         for a in input {
             if self.filter.admit(a) {
-                out.push(a.clone());
+                out.push(*a);
             }
         }
     }
@@ -214,8 +214,7 @@ impl Stage<Alert, DetectOutcome> for TagStage {
 
     fn process_batch(&mut self, input: &[Alert], out: &mut Vec<DetectOutcome>) {
         for a in input {
-            let o = self.outcome(a.clone());
-            out.push(o);
+            out.push(self.outcome(*a));
         }
     }
 }
@@ -251,8 +250,7 @@ impl<D: detect::SequenceDetector + Send> Stage<Alert, DetectOutcome> for Baselin
 
     fn process_batch(&mut self, input: &[Alert], out: &mut Vec<DetectOutcome>) {
         for a in input {
-            let o = self.outcome(a.clone());
-            out.push(o);
+            out.push(self.outcome(*a));
         }
     }
 }
@@ -403,7 +401,7 @@ impl ResponseStage {
             }
             out.push(OperatorNotification {
                 ts,
-                entity: o.alert.entity.clone(),
+                entity: o.alert.entity,
                 detection: detection.clone(),
                 message: format!(
                     "preemption: {} reached stage '{}' (p={:.2}) on alert {}",

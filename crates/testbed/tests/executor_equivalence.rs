@@ -15,9 +15,81 @@ use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
 use scenario::stream::{record_stream, RecordStreamConfig};
 use simnet::rng::SimRng;
 use simnet::time::SimDuration;
-use telemetry::record::LogRecord;
+use telemetry::record::{LogRecord, NoticeKind};
 use testbed::stage::{PipelineBuilder, StreamReport};
 use testbed::StreamStats;
+
+/// Rebuild a record through owned `String`s — the string-backed
+/// construction path kept for tests/examples. Every interned field is
+/// resolved to a fresh heap `String` and re-interned via the `From`
+/// conversions a by-hand caller would use, proving the two construction
+/// styles are observationally identical.
+fn string_roundtrip(r: &LogRecord) -> LogRecord {
+    let s = |sym: simnet::intern::Sym| -> simnet::intern::Sym { String::from(sym.as_str()).into() };
+    match r {
+        LogRecord::Conn(c) => LogRecord::Conn(c.clone()),
+        LogRecord::Http(h) => {
+            let mut h = h.clone();
+            h.method = s(h.method);
+            h.host = s(h.host);
+            h.uri = s(h.uri);
+            h.mime = s(h.mime);
+            h.user_agent = s(h.user_agent);
+            LogRecord::Http(h)
+        }
+        LogRecord::Ssh(r) => {
+            let mut r = r.clone();
+            r.user = s(r.user);
+            r.client_banner = s(r.client_banner);
+            LogRecord::Ssh(r)
+        }
+        LogRecord::Notice(n) => {
+            let mut n = n.clone();
+            if let NoticeKind::Custom(sym) = n.note {
+                n.note = NoticeKind::Custom(s(sym));
+            }
+            n.msg = s(n.msg);
+            n.sub = s(n.sub);
+            LogRecord::Notice(n)
+        }
+        LogRecord::Process(p) => {
+            let mut p = p.clone();
+            p.hostname = s(p.hostname);
+            p.user = s(p.user);
+            p.exe = s(p.exe);
+            p.cmdline = s(p.cmdline);
+            LogRecord::Process(p)
+        }
+        LogRecord::File(f) => {
+            let mut f = f.clone();
+            f.hostname = s(f.hostname);
+            f.user = s(f.user);
+            f.path = s(f.path);
+            f.process = s(f.process);
+            LogRecord::File(f)
+        }
+        LogRecord::Auth(a) => {
+            let mut a = a.clone();
+            a.hostname = s(a.hostname);
+            a.user = s(a.user);
+            LogRecord::Auth(a)
+        }
+        LogRecord::Audit(a) => {
+            let mut a = a.clone();
+            a.hostname = s(a.hostname);
+            a.user = s(a.user);
+            a.syscall = s(a.syscall);
+            a.args = s(a.args);
+            LogRecord::Audit(a)
+        }
+        LogRecord::Db(d) => {
+            let mut d = d.clone();
+            d.user = s(d.user);
+            d.statement = s(d.statement);
+            LogRecord::Db(d)
+        }
+    }
+}
 
 fn workload(seed: u64, scans: usize, execs: usize, users: usize) -> Vec<LogRecord> {
     let cfg = RecordStreamConfig {
@@ -193,6 +265,63 @@ proptest! {
         let eval_inline = testbed::evaluate_campaign(&inline, &campaign.truth);
         let eval_sharded = testbed::evaluate_campaign(&sharded, &campaign.truth);
         prop_assert_eq!(eval_inline, eval_sharded);
+    }
+
+    /// Pre-interned generation vs string-backed construction: a campaign
+    /// whose records are round-tripped through owned `String`s (the
+    /// construction path tests and examples use) must flow through the
+    /// pipeline byte-identically — same `StreamReport`, same
+    /// `EvalReport` — on both the inline and sharded executors.
+    #[test]
+    fn interned_and_string_constructed_pipelines_agree(
+        seed in 0u64..100_000,
+        sessions in 1usize..24,
+        drop_prob in 0.0f64..0.8,
+        lateral_prob in 0.0f64..1.0,
+        dilation_x10 in 10u64..60,
+    ) {
+        let cfg = CampaignConfig {
+            sessions,
+            horizon: SimDuration::from_hours(24),
+            mutation: MutationConfig {
+                drop_prob,
+                lateral_prob,
+                dilation: dilation_x10 as f64 / 10.0,
+                ..MutationConfig::default()
+            },
+            background: Some(RecordStreamConfig {
+                scan_records: 300,
+                benign_flows: 100,
+                exec_records: 200,
+                users: 25,
+                ..RecordStreamConfig::default()
+            }),
+            ..CampaignConfig::default()
+        };
+        let campaign = generate_campaign(&cfg, &mut SimRng::seed(seed));
+        let stringed: Vec<LogRecord> =
+            campaign.records.iter().map(string_roundtrip).collect();
+        // Re-interning resolves to the same symbols, so the records are
+        // value-identical before the pipeline even runs...
+        prop_assert_eq!(&stringed, &campaign.records);
+
+        // ...and the pipeline results are byte-identical, inline and
+        // sharded, including the scored evaluation.
+        let interned = builder(64, 256, 3, 50)
+            .build()
+            .run_inline(campaign.records.clone());
+        let from_strings = builder(64, 256, 3, 50)
+            .build()
+            .run_inline(stringed.clone());
+        assert_reports_identical(&interned, &from_strings);
+        let sharded_from_strings = builder(64, 256, 3, 50)
+            .build()
+            .run_sharded(stringed);
+        assert_reports_identical(&interned, &sharded_from_strings);
+
+        let eval_interned = testbed::evaluate_campaign(&interned, &campaign.truth);
+        let eval_strings = testbed::evaluate_campaign(&from_strings, &campaign.truth);
+        prop_assert_eq!(eval_interned, eval_strings);
     }
 
     /// The rule-based baseline detector shards identically too (its

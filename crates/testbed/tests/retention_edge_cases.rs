@@ -16,7 +16,7 @@ fn alert(t: u64) -> Alert {
     Alert::new(
         SimTime::from_secs(t),
         AlertKind::DownloadSensitive,
-        Entity::User(format!("u{t}")),
+        Entity::User(format!("u{t}").into()),
     )
 }
 

@@ -1,0 +1,136 @@
+//! Asserts the interning refactor's core contract: after warmup, the
+//! symbolize → filter → detect hot path performs **zero** heap allocations
+//! per record.
+//!
+//! "Warmup" means one pass over the workload — it interns nothing (the
+//! generators pre-intern), but it does populate the symbolizer's memo
+//! caches, the filter's `(source, kind)` windows, the tagger's per-entity
+//! posterior states, and the alert buffer's capacity. Every subsequent
+//! record then flows `LogRecord` → `Alert` (`Copy`, `MessageSpec` message)
+//! → filter admit (integer-keyed window lookup) → `AttackTagger::observe`
+//! (integer `EntityId` key, reused scratch) without touching the
+//! allocator.
+
+use scenario::stream::{record_stream, RecordStreamConfig};
+use simnet::alloc_count::{allocations, CountingAllocator};
+use simnet::rng::SimRng;
+use telemetry::record::LogRecord;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Serializes measurements: the test harness runs tests on parallel
+/// threads and the allocation counter is process-global.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = MEASURE.lock().unwrap_or_else(|p| p.into_inner());
+    f()
+}
+
+fn workload() -> Vec<LogRecord> {
+    let cfg = RecordStreamConfig {
+        scan_records: 3_000,
+        benign_flows: 1_000,
+        exec_records: 3_000,
+        users: 60,
+        ..RecordStreamConfig::default()
+    };
+    record_stream(&cfg, &mut SimRng::seed(0x5EED))
+}
+
+#[test]
+fn symbolize_filter_observe_steady_state_allocates_nothing() {
+    serialized(|| {
+        let records = workload();
+        let mut sym = alertlib::Symbolizer::with_defaults();
+        let mut filt = alertlib::ScanFilter::default();
+        let mut tagger = detect::AttackTagger::new(
+            detect::train::toy_training_model(),
+            detect::TaggerConfig::default(),
+        );
+        let mut alerts = Vec::with_capacity(64);
+
+        // Warmup: populates memo caches, filter windows, per-entity
+        // detector states, and buffer capacity.
+        let mut warm_admitted = 0u64;
+        for r in &records {
+            alerts.clear();
+            sym.symbolize_into(r, &mut alerts);
+            for a in &alerts {
+                if filt.admit(a) {
+                    warm_admitted += 1;
+                    tagger.observe(a);
+                }
+            }
+        }
+        assert!(warm_admitted > 0, "sanity: the workload produces admits");
+        assert!(tagger.tracked_entities() > 10, "sanity: entities tracked");
+
+        // Steady state: the full hot path must not allocate at all.
+        let (allocs, _) = allocations(|| {
+            for r in &records {
+                alerts.clear();
+                sym.symbolize_into(r, &mut alerts);
+                for a in &alerts {
+                    if filt.admit(a) {
+                        tagger.observe(a);
+                    }
+                }
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "steady-state symbolize_into → filter → observe must not allocate \
+             ({} records)",
+            records.len()
+        );
+    });
+}
+
+#[test]
+fn new_entities_allocate_then_settle() {
+    serialized(|| {
+        // A fresh entity costs bounded one-time state (posterior vector +
+        // map growth); the very next alert from it is free again.
+        let mut tagger = detect::AttackTagger::new(
+            detect::train::toy_training_model(),
+            detect::TaggerConfig::default(),
+        );
+        let alert = |user: &str| {
+            alertlib::Alert::new(
+                simnet::time::SimTime::from_secs(1),
+                alertlib::AlertKind::LoginSuccess,
+                alertlib::Entity::User(user.into()),
+            )
+        };
+        let (first, _) = allocations(|| tagger.observe(&alert("fresh-entity-a")));
+        assert!(first > 0, "first sight of an entity builds its state");
+        let (repeat, _) = allocations(|| {
+            for _ in 0..100 {
+                tagger.observe(&alert("fresh-entity-a"));
+            }
+        });
+        assert_eq!(repeat, 0, "tracked entities are allocation-free");
+    });
+}
+
+#[test]
+fn interned_record_generation_reuses_palettes() {
+    serialized(|| {
+        // Generating the same stream twice interns nothing new the second
+        // time: the per-record cost is the records vector itself, not
+        // per-record strings. (~6 allocations per 1000 records of slack
+        // covers the generator's palette Vecs and the sort's scratch.)
+        let first = workload();
+        let (allocs, second) = allocations(workload);
+        assert_eq!(first, second, "deterministic regeneration");
+        let per_record = allocs as f64 / second.len() as f64;
+        assert!(
+            per_record < 0.05,
+            "regeneration should be palette-backed: {allocs} allocs for {} records",
+            second.len()
+        );
+    });
+}

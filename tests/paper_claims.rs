@@ -102,7 +102,7 @@ fn claim_effective_range_two_to_four() {
         let mut t = alertlib::Incident::new(inc.id, inc.family.clone(), inc.year);
         for a in &inc.alerts {
             if matches!(a.entity, Entity::User(_)) {
-                t.push_alert(a.clone());
+                t.push_alert(*a);
             }
         }
         if !t.is_empty() {
