@@ -1,0 +1,291 @@
+//! BENCH_5 — temporal evasion hardening: detection vs timing dilation.
+//!
+//! PR 3's adversarial harness exposed the order-only chain model's blind
+//! spot: timing dilation (low-and-slow evasion) drove the short-signature
+//! families (sqli-webapp, data-exfil) to 0–50% preemption, because the
+//! tagger saw alert *order* but never the *gaps*. This bench sweeps the
+//! same seed-2809840877 campaign (the BENCH_3 workload) across
+//! 1x/2x/4x/8x/16x dilation with the temporal detector — quantized
+//! inter-alert-gap observation factors, cover-aware emission training,
+//! per-entity evidence decay and session timeout — and gates on the
+//! recovery:
+//!
+//! - **Recovery gate** — sqli-webapp and data-exfil preemption ≥ 70% at
+//!   8x dilation (up from 0–50%).
+//! - **FP budget gate** — FP-per-million at 8x within 1.5x of the 2x
+//!   (BENCH_3-configuration) reference point of the same sweep.
+//! - **Invariants** — inline and sharded detections byte-identical at
+//!   every dilation, and the warmed symbolize → filter → observe path
+//!   still allocation-free (< 0.05 allocs/record) with the new features.
+//!
+//! Emits `BENCH_5.json` (at the workspace root, or `$BENCH_OUT`).
+//! Run with: `cargo run --release -p bench --bin bench5`
+//! Scale the workload with `BENCH_SCALE` (default 1.0; CI uses 0.2 —
+//! the quality gates are asserted at full scale, recorded otherwise).
+
+use std::time::Instant;
+
+use bench::detection_bytes;
+use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
+use scenario::stream::RecordStreamConfig;
+use simnet::alloc_count::{allocations, CountingAllocator};
+use simnet::rng::SimRng;
+use simnet::time::SimDuration;
+use testbed::stage::PipelineBuilder;
+use testbed::TestbedConfig;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const DILATIONS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+/// The sweep point the recovery gate reads.
+const GATE_DILATION: f64 = 8.0;
+/// The BENCH_3-configuration reference point for the FP budget.
+const REFERENCE_DILATION: f64 = 2.0;
+const RECOVERY_FAMILIES: [&str; 2] = ["sqli-webapp", "data-exfil"];
+const RECOVERY_TARGET: f64 = 0.70;
+const FP_BUDGET_RATIO: f64 = 1.5;
+const ALLOC_GATE_PER_RECORD: f64 = 0.05;
+
+fn campaign_cfg(scale: f64, dilation: f64) -> CampaignConfig {
+    CampaignConfig {
+        sessions: ((240.0 * scale) as usize).max(16),
+        horizon: SimDuration::from_days(3),
+        mutation: MutationConfig {
+            dilation,
+            ..MutationConfig::default()
+        },
+        background: Some(RecordStreamConfig {
+            scan_records: (400_000.0 * scale) as usize,
+            benign_flows: (150_000.0 * scale) as usize,
+            exec_records: (450_000.0 * scale) as usize,
+            users: 4_000,
+            horizon: SimDuration::from_days(3),
+            indicative_exec_fraction: 0.02,
+            ..RecordStreamConfig::default()
+        }),
+        ..CampaignConfig::default()
+    }
+}
+
+fn pipeline(cfg: &TestbedConfig, model: factorgraph::chain::ChainModel) -> PipelineBuilder {
+    PipelineBuilder::from_config(cfg, model).alert_retention(1_000)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    bench::banner("BENCH_5: temporal evasion hardening — detection vs dilation");
+
+    let tb_cfg = TestbedConfig::default();
+    let cores = rayon::current_num_threads();
+    let model = bench::standard_model();
+    assert!(
+        model.gap_model().is_some(),
+        "the standard model must carry gap observation tables"
+    );
+
+    let mut points = Vec::new();
+    let family_rate_at = |eval: &testbed::EvalReport, fam: &str| -> f64 {
+        eval.families
+            .iter()
+            .find(|f| f.family == fam)
+            .map(|f| f.preemption_rate)
+            .unwrap_or(0.0)
+    };
+    let mut fp_at_reference = f64::NAN;
+    let mut gate_eval: Option<testbed::EvalReport> = None;
+    let mut steady_allocs_per_record = f64::NAN;
+
+    println!(
+        "{:<9} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9} {:>12}",
+        "dilation", "records", "sqli", "data-exfil", "overall", "fp/M", "inline-s", "mean-gap(s)"
+    );
+    for dilation in DILATIONS {
+        let mut campaign = generate_campaign(
+            &campaign_cfg(scale, dilation),
+            &mut SimRng::seed(tb_cfg.seed),
+        );
+        let n = campaign.records.len();
+
+        // Inline (timed) and sharded runs over the same records; the
+        // detection streams must be byte-identical.
+        let records = campaign.records.clone();
+        let built = pipeline(&tb_cfg, model.clone()).build();
+        let t0 = Instant::now();
+        let inline = built.run_inline(records);
+        let inline_s = t0.elapsed().as_secs_f64();
+        let built = pipeline(&tb_cfg, model.clone()).build();
+        let records = campaign.records.clone();
+        let sharded = built.run_sharded(records);
+        assert_eq!(
+            detection_bytes(&inline),
+            detection_bytes(&sharded),
+            "dilation {dilation}: sharded detections must be byte-identical to inline"
+        );
+        assert_eq!(inline.stats, sharded.stats);
+
+        let eval = testbed::evaluate_campaign(&inline, &campaign.truth);
+        assert_eq!(eval.dilation, dilation, "eval reports its dilation");
+
+        if dilation == REFERENCE_DILATION {
+            fp_at_reference = eval.fp_per_million_background;
+        }
+        if dilation == GATE_DILATION {
+            // Steady-state allocation check on the gate point: warm the
+            // bare hot path once, then count a full second pass.
+            let mut sym = alertlib::Symbolizer::new(tb_cfg.symbolizer.clone());
+            let mut filt = alertlib::ScanFilter::new(tb_cfg.filter.clone());
+            let mut tagger = detect::AttackTagger::new(model.clone(), tb_cfg.tagger.clone());
+            let mut alerts = Vec::with_capacity(64);
+            for r in &campaign.records {
+                alerts.clear();
+                sym.symbolize_into(r, &mut alerts);
+                for a in &alerts {
+                    if filt.admit(a) {
+                        tagger.observe(a);
+                    }
+                }
+            }
+            let (steady_allocs, _) = allocations(|| {
+                let mut d = 0u64;
+                for r in &campaign.records {
+                    alerts.clear();
+                    sym.symbolize_into(r, &mut alerts);
+                    for a in &alerts {
+                        if filt.admit(a) && tagger.observe(a).is_some() {
+                            d += 1;
+                        }
+                    }
+                }
+                d
+            });
+            steady_allocs_per_record = steady_allocs as f64 / n as f64;
+            gate_eval = Some(eval.clone());
+        }
+
+        println!(
+            "{:<9} {:>9} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1} {:>9.3} {:>12.0}",
+            dilation,
+            n,
+            family_rate_at(&eval, "sqli-webapp") * 100.0,
+            family_rate_at(&eval, "data-exfil") * 100.0,
+            eval.overall.preemption_rate * 100.0,
+            eval.fp_per_million_background,
+            inline_s,
+            eval.overall.mean_step_gap_secs,
+        );
+        campaign.records.clear();
+        points.push(serde_json::json!({
+            "dilation": dilation,
+            "records": n,
+            "inline_seconds": inline_s,
+            "detections_byte_identical": true,
+            "eval": eval.to_json(),
+        }));
+    }
+
+    let gate_eval = gate_eval.expect("sweep covers the gate dilation");
+    let sqli = family_rate_at(&gate_eval, RECOVERY_FAMILIES[0]);
+    let exfil = family_rate_at(&gate_eval, RECOVERY_FAMILIES[1]);
+    let fp_at_gate = gate_eval.fp_per_million_background;
+    let fp_ratio = if fp_at_reference > 0.0 {
+        fp_at_gate / fp_at_reference
+    } else if fp_at_gate == 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    };
+    let recovery_pass = sqli >= RECOVERY_TARGET && exfil >= RECOVERY_TARGET;
+    let fp_pass = fp_ratio <= FP_BUDGET_RATIO;
+    let alloc_pass = steady_allocs_per_record < ALLOC_GATE_PER_RECORD;
+
+    println!(
+        "\n8x recovery: sqli-webapp {:.1}% / data-exfil {:.1}% (target >= {:.0}%) -> {}",
+        sqli * 100.0,
+        exfil * 100.0,
+        RECOVERY_TARGET * 100.0,
+        if recovery_pass { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "fp budget  : {fp_at_gate:.1}/M at 8x vs {fp_at_reference:.1}/M at 2x ({fp_ratio:.2}x, limit {FP_BUDGET_RATIO}x) -> {}",
+        if fp_pass { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "allocations: {steady_allocs_per_record:.6}/record steady-state (limit {ALLOC_GATE_PER_RECORD}) -> {}",
+        if alloc_pass { "PASS" } else { "FAIL" },
+    );
+
+    let artifact = serde_json::json!({
+        "workload": {
+            "sessions": ((240.0 * scale) as usize).max(16),
+            "dilations": DILATIONS.to_vec(),
+            "scale": scale,
+            "seed": tb_cfg.seed,
+        },
+        "cores": cores,
+        "points": points,
+        "detections_byte_identical": true,
+        "acceptance": {
+            "dilation_recovery": {
+                "families": RECOVERY_FAMILIES.to_vec(),
+                "at_dilation": GATE_DILATION,
+                "target_preemption_rate": RECOVERY_TARGET,
+                "sqli_webapp": sqli,
+                "data_exfil": exfil,
+                // Gates presume the full 240-session campaign; tiny CI
+                // scales have 3-6 sessions per family and are recorded
+                // informationally.
+                "applicable": scale >= 1.0,
+                "pass": scale < 1.0 || recovery_pass,
+            },
+            "fp_budget": {
+                "reference_dilation": REFERENCE_DILATION,
+                "max_ratio": FP_BUDGET_RATIO,
+                "fp_per_million_reference": fp_at_reference,
+                "fp_per_million_at_gate": fp_at_gate,
+                "ratio": fp_ratio,
+                "applicable": scale >= 1.0,
+                "pass": scale < 1.0 || fp_pass,
+            },
+            "steady_state_allocations": {
+                "per_record": steady_allocs_per_record,
+                "limit": ALLOC_GATE_PER_RECORD,
+                "pass": alloc_pass,
+            },
+        },
+    });
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_5.json".to_string());
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&artifact).expect("serialize"),
+    )
+    .expect("write BENCH_5.json");
+    println!("[artifact] {out}");
+
+    // Hard gates. Allocation and byte-identity hold at any scale; the
+    // detection-quality gates presume the full-scale campaign.
+    assert!(alloc_pass, "steady-state allocations per record regressed");
+    let enforce = std::env::var("BENCH_ENFORCE").map_or(true, |v| v != "0");
+    if enforce && scale >= 1.0 {
+        assert!(
+            recovery_pass,
+            "8x-dilation recovery gate failed: sqli-webapp {sqli:.2}, data-exfil {exfil:.2}"
+        );
+        assert!(
+            fp_pass,
+            "FP budget gate failed: {fp_ratio:.2}x over the 2x reference"
+        );
+    } else if !(recovery_pass && fp_pass) {
+        println!(
+            "NOTE: quality gates not enforced ({})",
+            if scale < 1.0 {
+                format!("BENCH_SCALE={scale} < 1")
+            } else {
+                "BENCH_ENFORCE=0".to_string()
+            }
+        );
+    }
+}

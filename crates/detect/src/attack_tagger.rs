@@ -16,11 +16,65 @@
 use alertlib::alert::{Alert, EntityId};
 use alertlib::taxonomy::AlertKind;
 use factorgraph::chain::ChainModel;
+use factorgraph::timing::GAP_NONE;
 use serde::{Deserialize, Serialize};
 use simnet::rng::FxHashMap;
-use simnet::time::SimTime;
+use simnet::time::{SimDuration, SimTime};
 
 use crate::stage::Stage;
+
+/// Per-entity temporal evidence policy (Insight 3 hardening).
+///
+/// The order-only filter treats an entity's alert stream as one endless
+/// session: evidence accumulates forever, and the hours between alerts
+/// carry no information. This policy adds the time axis in three ways:
+///
+/// - **Evidence decay** — before folding a new alert, the entity's
+///   posterior is relaxed toward the model prior by
+///   `λ = 0.5^(gap / decay_half_life)`: stale suspicion fades instead of
+///   compounding across unrelated activity (the false-positive side of
+///   temporal hardening).
+/// - **Session timeout** — a gap beyond `session_timeout` ends the
+///   entity's session outright: the filter restarts from the prior, as if
+///   the entity were first seen (detection latching is preserved).
+/// - **Gap observations** — when the model carries a
+///   [`factorgraph::timing::GapModel`], the quantized gap preceding each
+///   alert is folded in as one more observation factor, so low-and-slow
+///   tempo *adds* evidence instead of hiding the attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalPolicy {
+    /// Half-life of accumulated per-entity evidence; `None` disables
+    /// decay.
+    pub decay_half_life: Option<SimDuration>,
+    /// Idle gap after which the entity's session is considered over and
+    /// the filter restarts from the prior; `None` disables.
+    pub session_timeout: Option<SimDuration>,
+    /// Fold the model's quantized gap observations into the online filter
+    /// (no-op when the model has no gap tables).
+    pub gap_observations: bool,
+}
+
+impl Default for TemporalPolicy {
+    fn default() -> Self {
+        TemporalPolicy {
+            decay_half_life: Some(SimDuration::from_hours(48)),
+            session_timeout: Some(SimDuration::from_days(7)),
+            gap_observations: true,
+        }
+    }
+}
+
+impl TemporalPolicy {
+    /// The order-only behaviour of the pre-temporal tagger: no decay, no
+    /// timeout, gaps ignored.
+    pub fn disabled() -> TemporalPolicy {
+        TemporalPolicy {
+            decay_half_life: None,
+            session_timeout: None,
+            gap_observations: false,
+        }
+    }
+}
 
 /// Decision configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +86,11 @@ pub struct TaggerConfig {
     /// Cap on per-entity history; older alerts are already folded into the
     /// forward message, so this only bounds the reported context.
     pub max_context: usize,
+    /// Per-entity temporal evidence policy (decay / timeout / gap
+    /// observations). Configs serialized before the temporal extension
+    /// deserialize to the default policy.
+    #[serde(default)]
+    pub temporal: TemporalPolicy,
 }
 
 impl Default for TaggerConfig {
@@ -40,6 +99,7 @@ impl Default for TaggerConfig {
             threshold: 0.8,
             decision_stages: vec![Stage::Foothold, Stage::Escalation, Stage::Lateral],
             max_context: 64,
+            temporal: TemporalPolicy::default(),
         }
     }
 }
@@ -64,10 +124,12 @@ pub struct Detection {
 struct EntityState {
     /// Current filtered posterior over stages.
     alpha: Vec<f64>,
-    /// Number of alerts folded in.
+    /// Number of alerts folded in (since the last session timeout).
     steps: usize,
     /// Whether a detection has already been raised (latched).
     detected: bool,
+    /// Timestamp of the entity's previous alert (gap anchor).
+    last_ts: SimTime,
 }
 
 /// The online AttackTagger.
@@ -107,13 +169,28 @@ impl AttackTagger {
         &self.cfg
     }
 
+    /// Replace the per-entity temporal policy (decay / timeout / gap
+    /// observations). Takes effect from the next [`AttackTagger::observe`];
+    /// existing per-entity posteriors are kept.
+    pub fn set_temporal(&mut self, temporal: TemporalPolicy) {
+        self.cfg.temporal = temporal;
+    }
+
     pub fn model(&self) -> &ChainModel {
         &self.model
     }
 
-    /// One O(S²) forward-filter step folding `obs` into `alpha`, staged
-    /// through `scratch` (no allocation).
-    fn step(model: &ChainModel, alpha: &mut [f64], scratch: &mut [f64], steps: usize, obs: usize) {
+    /// One O(S²) forward-filter step folding `obs` (and, when known, the
+    /// quantized gap bin preceding it) into `alpha`, staged through
+    /// `scratch` (no allocation).
+    fn step(
+        model: &ChainModel,
+        alpha: &mut [f64],
+        scratch: &mut [f64],
+        steps: usize,
+        obs: usize,
+        gap_bin: usize,
+    ) {
         let s_n = Stage::COUNT;
         if steps == 0 {
             for (s, n) in scratch.iter_mut().enumerate() {
@@ -125,7 +202,7 @@ impl AttackTagger {
                 for (ps, &a) in alpha.iter().enumerate() {
                     acc += a * model.trans(ps, s);
                 }
-                *n = acc * model.emit(s, obs);
+                *n = acc * model.emit(s, obs) * model.gap_emit(s, gap_bin);
             }
         }
         let norm: f64 = scratch.iter().sum();
@@ -140,6 +217,20 @@ impl AttackTagger {
         alpha.copy_from_slice(scratch);
     }
 
+    /// Relax `alpha` toward the model prior by `λ = 0.5^(gap/half_life)`:
+    /// both operands are distributions, so the mixture needs no
+    /// renormalization.
+    fn decay(model: &ChainModel, alpha: &mut [f64], gap: SimDuration, half_life: SimDuration) {
+        let hl = half_life.as_secs_f64();
+        if hl <= 0.0 {
+            return;
+        }
+        let lambda = 0.5f64.powf(gap.as_secs_f64() / hl);
+        for (a, &p) in alpha.iter_mut().zip(model.prior()) {
+            *a = lambda * *a + (1.0 - lambda) * p;
+        }
+    }
+
     /// Observe one alert online. Returns a detection the first time the
     /// entity's posterior crosses the threshold (latched per entity).
     ///
@@ -147,6 +238,7 @@ impl AttackTagger {
     /// map is keyed by the integer [`EntityId`], so no key string is ever
     /// built; a new entity allocates its posterior vector once.
     pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
+        let temporal = &self.cfg.temporal;
         let state = self
             .states
             .entry(alert.entity.id())
@@ -154,14 +246,34 @@ impl AttackTagger {
                 alpha: vec![0.0; Stage::COUNT],
                 steps: 0,
                 detected: false,
+                last_ts: alert.ts,
             });
         let obs = alert.kind.index();
+        // Temporal policy: the gap since the entity's previous alert ends
+        // the session (timeout), fades stale evidence (decay), and is
+        // itself an observation (quantized gap factor).
+        let mut gap_bin = GAP_NONE;
+        if state.steps > 0 {
+            let gap = alert.ts.saturating_since(state.last_ts);
+            if temporal.session_timeout.is_some_and(|limit| gap > limit) {
+                state.steps = 0;
+            } else {
+                if let Some(half_life) = temporal.decay_half_life {
+                    Self::decay(&self.model, &mut state.alpha, gap, half_life);
+                }
+                if temporal.gap_observations {
+                    gap_bin = self.model.gap_bin(gap.as_secs_f64());
+                }
+            }
+        }
+        state.last_ts = alert.ts;
         Self::step(
             &self.model,
             &mut state.alpha,
             &mut self.scratch,
             state.steps,
             obs,
+            gap_bin,
         );
         state.steps += 1;
         if state.detected {
@@ -346,6 +458,162 @@ mod tests {
             }
         }
         assert_eq!(Some(offline), online_det);
+    }
+
+    /// With the temporal policy disabled the tagger is the order-only
+    /// filter: shifting every timestamp by days changes nothing.
+    #[test]
+    fn disabled_policy_is_time_invariant() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy::disabled(),
+            ..TaggerConfig::default()
+        };
+        let seq = [
+            AlertKind::PortScan,
+            AlertKind::DownloadSensitive,
+            AlertKind::CompileKernelModule,
+            AlertKind::LogWipe,
+        ];
+        let run = |stride: u64| {
+            let mut tagger = AttackTagger::new(toy_training_model(), cfg.clone());
+            for (i, &k) in seq.iter().enumerate() {
+                tagger.observe(&alert(i as u64 * stride, k, "eve"));
+            }
+            tagger.posterior("user:eve").unwrap().to_vec()
+        };
+        assert_eq!(run(1), run(86_400 * 30), "order-only filter ignores time");
+    }
+
+    /// Evidence decay: the same suspicious pair separated by a long idle
+    /// gap yields a colder posterior than back-to-back, and a decayed
+    /// posterior approaches the prior as the gap grows.
+    #[test]
+    fn decay_relaxes_stale_evidence() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                decay_half_life: Some(SimDuration::from_hours(6)),
+                session_timeout: None,
+                gap_observations: false,
+            },
+            ..TaggerConfig::default()
+        };
+        let attack_mass = |gap_secs: u64| {
+            let mut tagger = AttackTagger::new(toy_training_model(), cfg.clone());
+            tagger.observe(&alert(0, AlertKind::DownloadSensitive, "eve"));
+            tagger.observe(&alert(gap_secs, AlertKind::CompileKernelModule, "eve"));
+            let p = tagger.posterior("user:eve").unwrap();
+            p[Stage::Foothold.index()] + p[Stage::Escalation.index()]
+        };
+        let fresh = attack_mass(60);
+        let stale = attack_mass(86_400 * 2);
+        assert!(
+            fresh > stale,
+            "a two-day-stale foothold must be colder: {fresh} vs {stale}"
+        );
+        let very_stale = attack_mass(86_400 * 30);
+        assert!(very_stale < stale, "decay is monotone in the gap");
+    }
+
+    /// Session timeout: beyond the idle limit the filter restarts from
+    /// the prior — the posterior equals a fresh entity's, not a decayed
+    /// continuation — while the detection latch survives.
+    #[test]
+    fn session_timeout_restarts_the_filter() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                decay_half_life: None,
+                session_timeout: Some(SimDuration::from_hours(24)),
+                gap_observations: false,
+            },
+            ..TaggerConfig::default()
+        };
+        let mut tagger = AttackTagger::new(toy_training_model(), cfg.clone());
+        tagger.observe(&alert(0, AlertKind::DownloadSensitive, "eve"));
+        tagger.observe(&alert(10, AlertKind::CompileKernelModule, "eve"));
+        // 3 days idle, then a benign-looking login.
+        tagger.observe(&alert(86_400 * 3, AlertKind::LoginSuccess, "eve"));
+        let mut fresh = AttackTagger::new(toy_training_model(), cfg);
+        fresh.observe(&alert(0, AlertKind::LoginSuccess, "new"));
+        assert_eq!(
+            tagger.posterior("user:eve").unwrap(),
+            fresh.posterior("user:new").unwrap(),
+            "post-timeout the entity restarts from the prior"
+        );
+        assert_eq!(tagger.entity_steps("user:eve"), Some(1), "steps restart");
+
+        // A latched detection survives the timeout.
+        let mut latched = AttackTagger::new(
+            toy_training_model(),
+            TaggerConfig {
+                temporal: TemporalPolicy {
+                    session_timeout: Some(SimDuration::from_hours(1)),
+                    ..TemporalPolicy::disabled()
+                },
+                ..TaggerConfig::default()
+            },
+        );
+        let mut detections = 0;
+        for t in [0, 10, 20] {
+            if latched
+                .observe(&alert(t, AlertKind::KnownMalwareDownload, "eve"))
+                .is_some()
+            {
+                detections += 1;
+            }
+        }
+        assert_eq!(detections, 1);
+        assert!(latched.is_detected("user:eve"));
+        latched.observe(&alert(86_400, AlertKind::KnownMalwareDownload, "eve"));
+        assert!(
+            latched.is_detected("user:eve"),
+            "latch survives session timeout"
+        );
+    }
+
+    /// Gap observations: with a gap model whose attack stages favour slow
+    /// tempo, the same alert pair scores hotter at a slow gap than the
+    /// order-only filter scores it (Insight 3: low-and-slow is evidence).
+    #[test]
+    fn gap_observations_make_slow_tempo_evidence() {
+        use factorgraph::timing::GapModel;
+        // 2 bins: < 1h, >= 1h. Benign/recon favour fast, attack slow.
+        let mut emit = Vec::new();
+        for s in 0..Stage::COUNT {
+            if s >= Stage::Foothold.index() {
+                emit.extend([0.3, 0.7]);
+            } else {
+                emit.extend([0.8, 0.2]);
+            }
+        }
+        let model =
+            toy_training_model().with_gap_model(GapModel::new(Stage::COUNT, vec![3_600.0], emit));
+        let cfg_gaps = TaggerConfig {
+            temporal: TemporalPolicy {
+                decay_half_life: None,
+                session_timeout: None,
+                gap_observations: true,
+            },
+            ..TaggerConfig::default()
+        };
+        let cfg_plain = TaggerConfig {
+            temporal: TemporalPolicy::disabled(),
+            ..TaggerConfig::default()
+        };
+        let attack_mass = |model: &ChainModel, cfg: &TaggerConfig, gap: u64| {
+            let mut tagger = AttackTagger::new(model.clone(), cfg.clone());
+            tagger.observe(&alert(0, AlertKind::DownloadSensitive, "eve"));
+            tagger.observe(&alert(gap, AlertKind::CompileKernelModule, "eve"));
+            let p = tagger.posterior("user:eve").unwrap();
+            p[Stage::Foothold.index()..].iter().sum::<f64>()
+        };
+        let slow = attack_mass(&model, &cfg_gaps, 8 * 3_600);
+        let fast = attack_mass(&model, &cfg_gaps, 60);
+        let order_only = attack_mass(&model, &cfg_plain, 8 * 3_600);
+        assert!(
+            slow > order_only,
+            "slow tempo adds evidence: {slow} vs {order_only}"
+        );
+        assert!(slow > fast, "slow beats fast under this gap model");
     }
 
     #[test]

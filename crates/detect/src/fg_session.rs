@@ -49,6 +49,18 @@ pub struct SessionGraphConfig {
     pub damping: f64,
     /// Message-passing schedule for the loopy solve.
     pub schedule: BpSchedule,
+    /// Fold the model's quantized inter-alert-gap observations into each
+    /// step's evidence factor (no-op when the model carries no
+    /// [`factorgraph::timing::GapModel`]).
+    #[serde(default = "default_gap_observations")]
+    pub gap_observations: bool,
+}
+
+// Referenced by the `serde(default = ...)` attribute; the offline serde
+// shim's derive does not expand it, hence the explicit allow.
+#[allow(dead_code)]
+fn default_gap_observations() -> bool {
+    true
 }
 
 impl Default for SessionGraphConfig {
@@ -60,6 +72,7 @@ impl Default for SessionGraphConfig {
             max_iters: 200,
             damping: 0.3,
             schedule: BpSchedule::Flood,
+            gap_observations: true,
         }
     }
 }
@@ -143,6 +156,26 @@ fn collect_skip_links(alerts: &[Alert], cfg: &SessionGraphConfig, out: &mut Vec<
     }
 }
 
+/// Quantize a session's inter-alert gaps with the model's bins, appending
+/// to `out` (cleared first only by callers — `out` may be a reused
+/// scratch). The first alert has no gap ([`factorgraph::timing::GAP_NONE`]);
+/// leaves `out` empty when the model carries no gap tables, which
+/// [`ChainModel::fill_factor_graph_timed`] treats as an order-only fill.
+/// The single definition of the session gap semantics — the online tagger
+/// anchors gaps per *entity* instead, but uses the same quantizer.
+fn collect_gap_bins(model: &ChainModel, alerts: &[Alert], out: &mut Vec<usize>) {
+    if model.gap_model().is_none() {
+        return;
+    }
+    out.extend(alerts.iter().enumerate().map(|(t, a)| {
+        if t == 0 {
+            factorgraph::timing::GAP_NONE
+        } else {
+            model.gap_bin(a.ts.saturating_since(alerts[t - 1].ts).as_secs_f64())
+        }
+    }));
+}
+
 fn skip_factor(s: usize, cfg: &SessionGraphConfig, anchor: u32, here: u32) -> Factor {
     let same = cfg.skip_agreement;
     let diff = (1.0 - same) / (s as f64 - 1.0).max(1.0);
@@ -167,6 +200,9 @@ pub struct SessionEngine {
     ws: BpWorkspace,
     /// Scratch: observation symbols of the current session.
     obs: Vec<usize>,
+    /// Scratch: quantized gap bins of the current session (empty when the
+    /// timing side is off).
+    bins: Vec<usize>,
     /// Scratch: links the current session wants.
     want: Vec<(u32, u32)>,
 }
@@ -180,6 +216,7 @@ impl SessionEngine {
             links: Vec::new(),
             ws: BpWorkspace::default(),
             obs: Vec::new(),
+            bins: Vec::new(),
             want: Vec::new(),
         }
     }
@@ -199,6 +236,10 @@ impl SessionEngine {
     pub fn run(&mut self, alerts: &[Alert]) -> (usize, BpStats) {
         self.obs.clear();
         self.obs.extend(alerts.iter().map(|a| a.kind.index()));
+        self.bins.clear();
+        if self.cfg.gap_observations {
+            collect_gap_bins(&self.model, alerts, &mut self.bins);
+        }
         collect_skip_links(alerts, &self.cfg, &mut self.want);
 
         let same_shape = self.buf.chain_len() == self.obs.len() && self.links == self.want;
@@ -206,8 +247,11 @@ impl SessionEngine {
             self.buf.reset();
         }
         // Same shape ⇒ in-place table refresh (skip factors are constant
-        // tables, nothing to update); otherwise a full rebuild.
-        self.model.fill_factor_graph(&self.obs, &mut self.buf);
+        // tables, nothing to update; gap evidence lives in the chain
+        // factor tables, which are rewritten every fill); otherwise a
+        // full rebuild.
+        self.model
+            .fill_factor_graph_timed(&self.obs, &self.bins, &mut self.buf);
         if !same_shape {
             let s = self.model.n_states();
             for &(anchor, here) in &self.want {
@@ -260,8 +304,12 @@ pub fn build_session_graph(
     cfg: &SessionGraphConfig,
 ) -> (FactorGraph, usize) {
     let obs: Vec<usize> = alerts.iter().map(|a| a.kind.index()).collect();
+    let mut bins = Vec::new();
+    if cfg.gap_observations {
+        collect_gap_bins(model, alerts, &mut bins);
+    }
     let mut buf = ChainGraphBuffer::new();
-    model.fill_factor_graph(&obs, &mut buf);
+    model.fill_factor_graph_timed(&obs, &bins, &mut buf);
     let mut links = Vec::new();
     collect_skip_links(alerts, cfg, &mut links);
     let s = model.n_states();
@@ -309,7 +357,18 @@ mod tests {
         assert_eq!(post.skip_factors, 0);
         assert!(post.converged);
         let obs: Vec<usize> = session.iter().map(|a| a.kind.index()).collect();
-        let exact = model.posteriors(&obs);
+        let bins: Vec<usize> = session
+            .iter()
+            .enumerate()
+            .map(|(t, a)| {
+                if t == 0 {
+                    factorgraph::timing::GAP_NONE
+                } else {
+                    model.gap_bin(a.ts.saturating_since(session[t - 1].ts).as_secs_f64())
+                }
+            })
+            .collect();
+        let exact = model.posteriors_timed(&obs, &bins);
         for t in 0..session.len() {
             for s in 0..Stage::COUNT {
                 assert!(
@@ -429,6 +488,74 @@ mod tests {
             LateralMovementAttempt,
             C2Communication,
         ]
+    }
+
+    /// Slow sessions fold real gap bins: the timed session graph must
+    /// match timed chain smoothing on a skip-free session, and differ
+    /// from the order-only solve (the toy gap tables are live).
+    #[test]
+    fn slow_session_gap_evidence_reaches_the_graph() {
+        use AlertKind::*;
+        // The toy corpus's fake 1-second timestamps all fall under the
+        // neutral-gap guard, leaving its learned gap rows uniform — use an
+        // explicit tempo-discriminating gap model instead (fast bin < 1h
+        // favours benign/recon, slow bin favours the attack stages).
+        let mut emit = Vec::new();
+        for s in 0..Stage::COUNT {
+            if s >= Stage::Foothold.index() {
+                emit.extend([0.3, 0.7]);
+            } else {
+                emit.extend([0.8, 0.2]);
+            }
+        }
+        let model = toy_training_model().with_gap_model(factorgraph::timing::GapModel::new(
+            Stage::COUNT,
+            vec![3_600.0],
+            emit,
+        ));
+        assert!(model.gap_model().is_some());
+        // Hours-apart alerts: bins land in informative territory.
+        let session = vec![
+            alert(0, PortScan),
+            alert(8_000, DownloadSensitive),
+            alert(23_000, LogWipe),
+        ];
+        let cfg = SessionGraphConfig::default();
+        let timed = infer_session(&model, &session, &cfg);
+        let order_only = infer_session(
+            &model,
+            &session,
+            &SessionGraphConfig {
+                gap_observations: false,
+                ..cfg.clone()
+            },
+        );
+        let obs: Vec<usize> = session.iter().map(|a| a.kind.index()).collect();
+        let bins: Vec<usize> = vec![
+            factorgraph::timing::GAP_NONE,
+            model.gap_bin(8_000.0),
+            model.gap_bin(15_000.0),
+        ];
+        assert!(bins[1] != factorgraph::timing::GAP_NONE);
+        let exact = model.posteriors_timed(&obs, &bins);
+        let plain = model.posteriors(&obs);
+        let mut saw_difference = false;
+        for t in 0..session.len() {
+            for s in 0..Stage::COUNT {
+                assert!(
+                    (timed.marginals[t][s] - exact[t][s]).abs() < 1e-5,
+                    "timed graph vs timed chain t={t} s={s}"
+                );
+                assert!(
+                    (order_only.marginals[t][s] - plain[t][s]).abs() < 1e-5,
+                    "order-only graph vs plain chain t={t} s={s}"
+                );
+                if (timed.marginals[t][s] - order_only.marginals[t][s]).abs() > 1e-6 {
+                    saw_difference = true;
+                }
+            }
+        }
+        assert!(saw_difference, "gap evidence must move some marginal");
     }
 
     #[test]

@@ -12,8 +12,51 @@ use alertlib::store::IncidentStore;
 use alertlib::taxonomy::AlertKind;
 use factorgraph::chain::ChainModel;
 use factorgraph::learn::ChainLearner;
+use factorgraph::timing::GapLearner;
 
 use crate::stage::{monotone_stage_labels, Stage};
+
+/// Gap (timing) training configuration — learns the
+/// [`factorgraph::timing::GapModel`] attached to the chain model, turning
+/// Insight 3's "attack tempo is evidence" into observation factors.
+#[derive(Debug, Clone)]
+pub struct GapTrainingConfig {
+    /// Quantization bin boundaries, in seconds (upper edges; the last bin
+    /// is open-ended). Coarse log-scale tempo classes.
+    pub boundaries_secs: Vec<f64>,
+    /// Gaps shorter than this carry no evidence, in training or online:
+    /// machine-paced bursts come from scanners, exploit tooling and batch
+    /// jobs alike, so sub-threshold tempo cannot separate stages.
+    pub neutral_below_secs: f64,
+    /// Add-k smoothing on gap-bin counts.
+    pub smoothing: f64,
+    /// Uniform mixture floor on each learned row (bounds the per-step
+    /// likelihood ratio a gap observation can contribute — the
+    /// false-positive guard).
+    pub floor: f64,
+    /// Tempo-augmentation factors: each labeled incident's gaps are
+    /// additionally counted at these dilations, so the attack-stage rows
+    /// cover the low-and-slow variants the mutation engine generates.
+    /// Benign sessions are *not* augmented — low-and-slow is an attacker
+    /// behaviour, and stretching benign tempo would erase exactly the
+    /// contrast the feature exists to capture.
+    pub tempo_augmentation: Vec<f64>,
+}
+
+impl Default for GapTrainingConfig {
+    fn default() -> Self {
+        GapTrainingConfig {
+            // (<1m: neutral) | 1–10m | 10m–1h | 1–4h | 4–24h | ≥24h
+            boundaries_secs: vec![60.0, 600.0, 3_600.0, 14_400.0, 86_400.0],
+            neutral_below_secs: 60.0,
+            smoothing: 0.5,
+            floor: 0.10,
+            // 1x twice: the observed tempo stays the best-supported row
+            // mass; 4x/16x spread the manual heavy tail into the slow bins.
+            tempo_augmentation: vec![1.0, 1.0, 4.0, 16.0],
+        }
+    }
+}
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -24,6 +67,18 @@ pub struct TrainConfig {
     /// traffic vastly outnumbers attacks in the wild; the model should see
     /// that imbalance.
     pub benign_weight: f64,
+    /// Timing side of the model; `None` trains the order-only chain.
+    pub gap: Option<GapTrainingConfig>,
+    /// Cover-activity rate: the assumed fraction of alerts emitted by an
+    /// entity *during* an attack stage that are benign-shaped cover
+    /// (interactive logins, job submissions — the incident corpora's
+    /// annotation windows contain them, and the adversarial mutation
+    /// engine plants them deliberately). The attack-stage emission rows
+    /// are augmented with this much mass spread over the benign sessions'
+    /// empirical kind distribution, so a single cover alert dilutes the
+    /// posterior by a bounded factor instead of collapsing it — without
+    /// this, interleaved benign activity is a perfect evasion. 0 disables.
+    pub cover_rate: f64,
 }
 
 impl Default for TrainConfig {
@@ -31,30 +86,110 @@ impl Default for TrainConfig {
         TrainConfig {
             smoothing: 0.05,
             benign_weight: 1.0,
+            gap: Some(GapTrainingConfig::default()),
+            cover_rate: 0.15,
         }
     }
 }
 
-/// Train from an incident corpus plus benign sessions.
+/// Train from an incident corpus plus benign sessions. With
+/// [`TrainConfig::gap`] set (the default), the incidents' and benign
+/// sessions' alert timestamps additionally train the per-stage gap-bin
+/// emission tables attached to the returned model.
 pub fn train(
     store: &IncidentStore,
     benign_sessions: &[Vec<Alert>],
     cfg: &TrainConfig,
 ) -> ChainModel {
     let mut learner = ChainLearner::new(Stage::COUNT, AlertKind::COUNT, cfg.smoothing);
+    let mut gaps = cfg.gap.as_ref().map(|g| {
+        GapLearner::new(Stage::COUNT, g.boundaries_secs.clone(), g.smoothing)
+            .with_neutral_below(g.neutral_below_secs)
+    });
+    let observe_gaps = |gl: &mut GapLearner,
+                        gcfg: &GapTrainingConfig,
+                        alerts: &[Alert],
+                        states: &[usize],
+                        weight: f64,
+                        augment: bool| {
+        for t in 1..alerts.len() {
+            let gap = alerts[t]
+                .ts
+                .saturating_since(alerts[t - 1].ts)
+                .as_secs_f64();
+            if augment {
+                for &k in &gcfg.tempo_augmentation {
+                    gl.observe_weighted(states[t], gap * k, weight);
+                }
+            } else {
+                gl.observe_weighted(states[t], gap, weight);
+            }
+        }
+    };
     for inc in store.iter() {
         let kinds = inc.kind_sequence();
         let stages = monotone_stage_labels(&kinds);
         let state_idx: Vec<usize> = stages.iter().map(|s| s.index()).collect();
         let obs_idx: Vec<usize> = kinds.iter().map(|k| k.index()).collect();
         learner.observe(&state_idx, &obs_idx);
+        if let (Some(gl), Some(gcfg)) = (gaps.as_mut(), cfg.gap.as_ref()) {
+            observe_gaps(gl, gcfg, &inc.alerts, &state_idx, 1.0, true);
+        }
     }
     for session in benign_sessions {
         let obs_idx: Vec<usize> = session.iter().map(|a| a.kind.index()).collect();
         let state_idx = vec![Stage::Benign.index(); obs_idx.len()];
         learner.observe_weighted(&state_idx, &obs_idx, cfg.benign_weight);
+        if let (Some(gl), Some(gcfg)) = (gaps.as_mut(), cfg.gap.as_ref()) {
+            observe_gaps(gl, gcfg, session, &state_idx, cfg.benign_weight, false);
+        }
     }
-    learner.build()
+    if cfg.cover_rate > 0.0 {
+        augment_cover_emissions(&mut learner, benign_sessions, cfg.cover_rate);
+    }
+    let model = learner.build();
+    match (gaps, cfg.gap.as_ref()) {
+        (Some(gl), Some(gcfg)) => model.with_gap_model(gl.build(gcfg.floor)),
+        _ => model,
+    }
+}
+
+/// Spread `rate` of each attack stage's emission mass over the benign
+/// sessions' empirical kind distribution (see [`TrainConfig::cover_rate`]).
+/// Only the in-attack stages (Foothold → Damage) are augmented: benign and
+/// recon rows already see their own kind mixes in the labeled data.
+fn augment_cover_emissions(learner: &mut ChainLearner, benign_sessions: &[Vec<Alert>], rate: f64) {
+    assert!((0.0..1.0).contains(&rate), "cover rate must be in [0, 1)");
+    let mut kind_counts = vec![0.0f64; AlertKind::COUNT];
+    let mut total = 0.0f64;
+    for session in benign_sessions {
+        for a in session {
+            kind_counts[a.kind.index()] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total == 0.0 {
+        return;
+    }
+    for stage in [
+        Stage::Foothold,
+        Stage::Escalation,
+        Stage::Lateral,
+        Stage::Damage,
+    ] {
+        let s = stage.index();
+        // `cover = attack_mass · rate / (1 - rate)` makes cover kinds
+        // `rate` of the augmented row.
+        let cover_mass = learner.emission_weight(s) * rate / (1.0 - rate);
+        if cover_mass <= 0.0 {
+            continue;
+        }
+        for (k, &c) in kind_counts.iter().enumerate() {
+            if c > 0.0 {
+                learner.observe_emission(s, k, cover_mass * c / total);
+            }
+        }
+    }
 }
 
 /// A small hand-built training corpus for unit tests and examples: a few
@@ -179,6 +314,125 @@ pub fn toy_training_model() -> ChainModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trained_model_carries_gap_tables() {
+        let m = toy_training_model();
+        let gap = m.gap_model().expect("default training attaches gaps");
+        assert_eq!(gap.n_states(), Stage::COUNT);
+        assert_eq!(gap.n_bins(), 6);
+        assert_eq!(gap.neutral_below_secs(), 60.0);
+        // Every row is a distribution with the uniform floor in force.
+        let floor = GapTrainingConfig::default().floor / gap.n_bins() as f64;
+        for s in 0..Stage::COUNT {
+            let row: Vec<f64> = (0..gap.n_bins()).map(|b| gap.emit(s, b)).collect();
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "stage {s} row sums to {sum}");
+            assert!(row.iter().all(|&x| x >= floor - 1e-12));
+        }
+    }
+
+    #[test]
+    fn gap_none_training_is_order_only() {
+        use alertlib::alert::Entity;
+        use alertlib::store::{Incident, IncidentId};
+        use simnet::time::SimTime;
+        let mut store = IncidentStore::new();
+        let mut inc = Incident::new(IncidentId(0), "t", 2020);
+        for (i, k) in [AlertKind::PortScan, AlertKind::LogWipe].iter().enumerate() {
+            inc.push_alert(Alert::new(
+                SimTime::from_secs(i as u64),
+                *k,
+                Entity::User("a".into()),
+            ));
+        }
+        store.add(inc);
+        let m = train(
+            &store,
+            &[],
+            &TrainConfig {
+                gap: None,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(m.gap_model().is_none());
+    }
+
+    /// Cover augmentation bounds the dilution a single benign-shaped
+    /// alert can inflict mid-attack: the emission odds against the attack
+    /// stages drop from catastrophic to bounded, while a model trained
+    /// without cover keeps near-zero benign-kind mass in attack rows.
+    #[test]
+    fn cover_rate_bounds_benign_kind_dilution() {
+        use alertlib::alert::Entity;
+        use simnet::time::SimTime;
+        let store = {
+            let mut s = alertlib::store::IncidentStore::new();
+            let mut inc = alertlib::store::Incident::new(alertlib::store::IncidentId(0), "t", 2020);
+            for (i, k) in [
+                AlertKind::DownloadSensitive,
+                AlertKind::CompileKernelModule,
+                AlertKind::LogWipe,
+            ]
+            .iter()
+            .enumerate()
+            {
+                inc.push_alert(Alert::new(
+                    SimTime::from_secs(i as u64 * 100),
+                    *k,
+                    Entity::User("a".into()),
+                ));
+            }
+            s.add(inc);
+            s
+        };
+        let benign = vec![vec![
+            Alert::new(
+                SimTime::from_secs(0),
+                AlertKind::LoginSuccess,
+                Entity::User("b".into()),
+            ),
+            Alert::new(
+                SimTime::from_secs(60),
+                AlertKind::JobSubmit,
+                Entity::User("b".into()),
+            ),
+        ]];
+        let without = train(
+            &store,
+            &benign,
+            &TrainConfig {
+                cover_rate: 0.0,
+                ..TrainConfig::default()
+            },
+        );
+        let with = train(
+            &store,
+            &benign,
+            &TrainConfig {
+                cover_rate: 0.2,
+                ..TrainConfig::default()
+            },
+        );
+        let s = Stage::Escalation.index();
+        let k = AlertKind::LoginSuccess.index();
+        assert!(
+            with.emit(s, k) > 3.0 * without.emit(s, k),
+            "cover training must lift benign-kind mass in attack rows: {} vs {}",
+            with.emit(s, k),
+            without.emit(s, k)
+        );
+        // The augmentation is rate-bounded: benign kinds take ~the cover
+        // rate of the row, not the row.
+        let cover_mass: f64 = [AlertKind::LoginSuccess, AlertKind::JobSubmit]
+            .iter()
+            .map(|k| with.emit(s, k.index()))
+            .sum();
+        assert!(
+            cover_mass < 0.3,
+            "cover mass stays near the configured rate: {cover_mass}"
+        );
+    }
 
     #[test]
     fn toy_model_shapes() {

@@ -11,8 +11,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::factor::Factor;
 use crate::graph::FactorGraph;
+use crate::timing::{GapModel, GAP_NONE};
 
-/// A stationary chain model: prior, transition and emission tables.
+/// A stationary chain model: prior, transition and emission tables, plus
+/// an optional quantized inter-observation-gap emission model
+/// ([`GapModel`], Insight 3: attack tempo is evidence).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChainModel {
     n_states: usize,
@@ -23,6 +26,11 @@ pub struct ChainModel {
     trans: Vec<f64>,
     /// `emit[s * n_obs + o]` = P(o_t = o | s_t = s).
     emit: Vec<f64>,
+    /// Optional timing side: `P(gap bin | state)` folded in as one more
+    /// observation factor per step. `None` = the order-only model
+    /// (pre-temporal artifacts deserialize with this default).
+    #[serde(default)]
+    gap: Option<GapModel>,
 }
 
 fn assert_distribution(v: &[f64], what: &str) {
@@ -54,7 +62,24 @@ impl ChainModel {
             prior,
             trans,
             emit,
+            gap: None,
         }
+    }
+
+    /// Attach a quantized gap emission model (builder style).
+    pub fn with_gap_model(mut self, gap: GapModel) -> ChainModel {
+        assert_eq!(
+            gap.n_states(),
+            self.n_states,
+            "gap model state count must match the chain"
+        );
+        self.gap = Some(gap);
+        self
+    }
+
+    /// The attached gap model, if any.
+    pub fn gap_model(&self) -> Option<&GapModel> {
+        self.gap.as_ref()
     }
 
     pub fn n_states(&self) -> usize {
@@ -81,21 +106,61 @@ impl ChainModel {
         self.emit[state * self.n_obs + obs]
     }
 
+    /// P(gap bin | state) from the attached gap model; 1.0 (neutral) when
+    /// no gap model is attached or the bin is [`GAP_NONE`].
+    #[inline]
+    pub fn gap_emit(&self, state: usize, gap_bin: usize) -> f64 {
+        match &self.gap {
+            Some(g) => g.emit(state, gap_bin),
+            None => 1.0,
+        }
+    }
+
+    /// Quantize a gap in seconds with the attached gap model's bins;
+    /// [`GAP_NONE`] when the model has no timing side (so the result can
+    /// be fed straight back into [`ChainModel::gap_emit`]).
+    #[inline]
+    pub fn gap_bin(&self, gap_secs: f64) -> usize {
+        match &self.gap {
+            Some(g) => g.bin(gap_secs),
+            None => GAP_NONE,
+        }
+    }
+
     /// Forward (filtering) pass: `alpha[t][s] = P(s_t = s | o_1..o_t)`,
     /// plus the log-likelihood of the observations. This is the quantity an
-    /// online preemption model thresholds after every alert.
-    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    /// online preemption model thresholds after every alert. Order-only:
+    /// any attached gap model is ignored (see [`ChainModel::filter_timed`]).
     pub fn filter(&self, obs: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        self.filter_impl(obs, None)
+    }
+
+    /// Timed forward pass: like [`ChainModel::filter`], but each step also
+    /// folds in the gap-bin observation preceding it ([`GAP_NONE`] entries
+    /// contribute a neutral factor — use it at `t = 0` and wherever the
+    /// gap is unknown). `gap_bins` is parallel to `obs`.
+    pub fn filter_timed(&self, obs: &[usize], gap_bins: &[usize]) -> (Vec<Vec<f64>>, f64) {
+        assert_eq!(
+            obs.len(),
+            gap_bins.len(),
+            "observations/gap-bins length mismatch"
+        );
+        self.filter_impl(obs, Some(gap_bins))
+    }
+
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    fn filter_impl(&self, obs: &[usize], gap_bins: Option<&[usize]>) -> (Vec<Vec<f64>>, f64) {
         let s_n = self.n_states;
         let mut alphas = Vec::with_capacity(obs.len());
         let mut loglik = 0.0;
         let mut prev: Vec<f64> = Vec::new();
         for (t, &o) in obs.iter().enumerate() {
             assert!(o < self.n_obs, "observation {o} out of range");
+            let bin = gap_bins.map_or(GAP_NONE, |g| g[t]);
             let mut a = vec![0.0f64; s_n];
             if t == 0 {
                 for s in 0..s_n {
-                    a[s] = self.prior[s] * self.emit(s, o);
+                    a[s] = self.prior[s] * self.emit(s, o) * self.gap_emit(s, bin);
                 }
             } else {
                 for s in 0..s_n {
@@ -103,7 +168,7 @@ impl ChainModel {
                     for ps in 0..s_n {
                         acc += prev[ps] * self.trans(ps, s);
                     }
-                    a[s] = acc * self.emit(s, o);
+                    a[s] = acc * self.emit(s, o) * self.gap_emit(s, bin);
                 }
             }
             let norm: f64 = a.iter().sum();
@@ -126,23 +191,43 @@ impl ChainModel {
     }
 
     /// Smoothed posteriors `gamma[t][s] = P(s_t = s | o_1..o_n)` via scaled
-    /// forward-backward.
-    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    /// forward-backward. Order-only; see [`ChainModel::posteriors_timed`].
     pub fn posteriors(&self, obs: &[usize]) -> Vec<Vec<f64>> {
+        self.posteriors_impl(obs, None)
+    }
+
+    /// Timed forward-backward smoothing: folds the quantized gap
+    /// observations (parallel to `obs`; [`GAP_NONE`] entries neutral) into
+    /// both sweeps.
+    pub fn posteriors_timed(&self, obs: &[usize], gap_bins: &[usize]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            obs.len(),
+            gap_bins.len(),
+            "observations/gap-bins length mismatch"
+        );
+        self.posteriors_impl(obs, Some(gap_bins))
+    }
+
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    fn posteriors_impl(&self, obs: &[usize], gap_bins: Option<&[usize]>) -> Vec<Vec<f64>> {
         if obs.is_empty() {
             return Vec::new();
         }
         let s_n = self.n_states;
-        let (alphas, _) = self.filter(obs);
+        let (alphas, _) = self.filter_impl(obs, gap_bins);
         let n = obs.len();
         let mut betas = vec![vec![1.0f64; s_n]; n];
         for t in (0..n - 1).rev() {
             let o_next = obs[t + 1];
+            let bin_next = gap_bins.map_or(GAP_NONE, |g| g[t + 1]);
             let mut b = vec![0.0f64; s_n];
             for s in 0..s_n {
                 let mut acc = 0.0;
                 for ns in 0..s_n {
-                    acc += self.trans(s, ns) * self.emit(ns, o_next) * betas[t + 1][ns];
+                    acc += self.trans(s, ns)
+                        * self.emit(ns, o_next)
+                        * self.gap_emit(ns, bin_next)
+                        * betas[t + 1][ns];
                 }
                 b[s] = acc;
             }
@@ -236,19 +321,52 @@ impl ChainModel {
     /// graph reconstruction — which also lets an attached
     /// [`crate::BpWorkspace`] keep its shape index across sessions.
     pub fn fill_factor_graph(&self, obs: &[usize], buf: &mut ChainGraphBuffer) {
+        self.fill_factor_graph_timed(obs, &[], buf);
+    }
+
+    /// Timed variant of [`ChainModel::fill_factor_graph`]: each step's
+    /// evidence-reduced factor additionally folds the quantized gap
+    /// observation preceding it ([`GAP_NONE`] entries are neutral).
+    /// `gap_bins` is parallel to `obs`, or empty for an order-only fill;
+    /// the graph *shape* is identical either way, so same-length refills
+    /// stay in place even when only the gap bins changed.
+    pub fn fill_factor_graph_timed(
+        &self,
+        obs: &[usize],
+        gap_bins: &[usize],
+        buf: &mut ChainGraphBuffer,
+    ) {
+        assert!(
+            gap_bins.is_empty() || gap_bins.len() == obs.len(),
+            "observations/gap-bins length mismatch"
+        );
+        let gb = |t: usize| {
+            if gap_bins.is_empty() {
+                GAP_NONE
+            } else {
+                gap_bins[t]
+            }
+        };
         let s = self.n_states;
         if buf.len == obs.len() && buf.n_states == s {
             // In-place refresh: factor 0 is prior × emission, factor t is
-            // transition × emission for step t.
+            // transition × emission for step t (gap emission folded on
+            // the step's own variable).
             if let Some(&o0) = obs.first() {
+                let b0 = gb(0);
                 buf.graph
                     .factor_mut(crate::graph::FactorId(0))
-                    .fill_from_fn(|a| self.prior[a[0]] * self.emit(a[0], o0));
+                    .fill_from_fn(|a| {
+                        self.prior[a[0]] * self.emit(a[0], o0) * self.gap_emit(a[0], b0)
+                    });
             }
             for (t, &o) in obs.iter().enumerate().skip(1) {
+                let bt = gb(t);
                 buf.graph
                     .factor_mut(crate::graph::FactorId(t as u32))
-                    .fill_from_fn(|a| self.trans(a[0], a[1]) * self.emit(a[1], o));
+                    .fill_from_fn(|a| {
+                        self.trans(a[0], a[1]) * self.emit(a[1], o) * self.gap_emit(a[1], bt)
+                    });
             }
             return;
         }
@@ -256,16 +374,20 @@ impl ChainModel {
         let states: Vec<_> = obs.iter().map(|_| g.add_variable(s)).collect();
         if let Some(&first) = states.first() {
             let o0 = obs[0];
+            let b0 = gb(0);
             let table: Vec<f64> = (0..s)
-                .map(|st| self.prior[st] * self.emit(st, o0))
+                .map(|st| self.prior[st] * self.emit(st, o0) * self.gap_emit(st, b0))
                 .collect();
             g.add_factor(Factor::new(vec![first], vec![s], table));
         }
         for t in 1..states.len() {
             let o = obs[t];
+            let bt = gb(t);
             let (a, b) = (states[t - 1], states[t]);
             g.add_factor(Factor::from_fn(vec![a, b], vec![s, s], |assign| {
-                self.trans(assign[0], assign[1]) * self.emit(assign[1], o)
+                self.trans(assign[0], assign[1])
+                    * self.emit(assign[1], o)
+                    * self.gap_emit(assign[1], bt)
             }));
         }
         buf.graph = g;
@@ -436,6 +558,97 @@ mod tests {
         let ga = m.posteriors(&obs_a);
         let gb = m.posteriors(&obs_b);
         assert_ne!(ga[1], gb[1]);
+    }
+
+    fn toy_with_gaps() -> ChainModel {
+        use crate::timing::GapModel;
+        // 2 gap bins (< 1h / >= 1h): state 0 fast, state 1 slow.
+        toy().with_gap_model(GapModel::new(2, vec![3_600.0], vec![0.9, 0.1, 0.2, 0.8]))
+    }
+
+    #[test]
+    fn timed_filter_with_neutral_bins_matches_order_only() {
+        use crate::timing::GAP_NONE;
+        let m = toy_with_gaps();
+        let obs = vec![0, 1, 2, 2];
+        let (plain, ll_plain) = m.filter(&obs);
+        let (timed, ll_timed) = m.filter_timed(&obs, &[GAP_NONE; 4]);
+        assert_eq!(plain, timed, "GAP_NONE everywhere is a neutral fold");
+        assert!((ll_plain - ll_timed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_filter_shifts_posterior_toward_tempo_matched_state() {
+        use crate::timing::GAP_NONE;
+        let m = toy_with_gaps();
+        let obs = vec![1, 1, 1];
+        let fast_bins = vec![GAP_NONE, 0, 0];
+        let slow_bins = vec![GAP_NONE, 1, 1];
+        let (fast, _) = m.filter_timed(&obs, &fast_bins);
+        let (slow, _) = m.filter_timed(&obs, &slow_bins);
+        assert!(
+            slow[2][1] > fast[2][1],
+            "slow tempo must favour the slow state: {} vs {}",
+            slow[2][1],
+            fast[2][1]
+        );
+    }
+
+    #[test]
+    fn timed_smoothing_matches_timed_factor_graph_bp() {
+        use crate::sumproduct::{run, BpOptions};
+        use crate::timing::GAP_NONE;
+        let m = toy_with_gaps();
+        let obs = vec![0, 2, 1, 2];
+        let bins = vec![GAP_NONE, 1, 0, 1];
+        let gammas = m.posteriors_timed(&obs, &bins);
+        let mut buf = ChainGraphBuffer::new();
+        m.fill_factor_graph_timed(&obs, &bins, &mut buf);
+        let bp = run(buf.graph(), &BpOptions::default());
+        for (t, gamma) in gammas.iter().enumerate() {
+            for s in 0..2 {
+                assert!(
+                    (gamma[s] - bp.marginals[t][s]).abs() < 1e-6,
+                    "t={t} s={s}: fb {} vs bp {}",
+                    gamma[s],
+                    bp.marginals[t][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timed_refill_rewrites_tables_in_place() {
+        use crate::timing::GAP_NONE;
+        let m = toy_with_gaps();
+        let obs = vec![1, 1];
+        let mut buf = ChainGraphBuffer::new();
+        m.fill_factor_graph_timed(&obs, &[GAP_NONE, 0], &mut buf);
+        let (a, _) = m.filter_timed(&obs, &[GAP_NONE, 0]);
+        // Same shape, different bins: the refresh must change the result.
+        m.fill_factor_graph_timed(&obs, &[GAP_NONE, 1], &mut buf);
+        use crate::sumproduct::{run, BpOptions};
+        let bp = run(buf.graph(), &BpOptions::default());
+        let (b, _) = m.filter_timed(&obs, &[GAP_NONE, 1]);
+        assert!((bp.marginals[1][1] - b[1][1]).abs() < 1e-9);
+        assert_ne!(a[1][1], b[1][1], "bin change must reach the tables");
+    }
+
+    #[test]
+    fn gap_model_equality_and_accessors() {
+        let with = toy_with_gaps();
+        let plain = toy();
+        assert_ne!(with, plain, "gap side participates in model equality");
+        assert_eq!(with.clone(), with);
+        assert!(with.gap_model().is_some());
+        assert!(plain.gap_model().is_none());
+        // Neutral accessors on a gap-free model.
+        assert_eq!(plain.gap_emit(0, 3), 1.0);
+        assert_eq!(plain.gap_bin(12_345.0), crate::timing::GAP_NONE);
+        // And real quantization on the gap-carrying one.
+        assert_eq!(with.gap_bin(10.0), 0);
+        assert_eq!(with.gap_bin(7_200.0), 1);
+        assert!((with.gap_emit(1, 1) - 0.8).abs() < 1e-12);
     }
 
     #[test]

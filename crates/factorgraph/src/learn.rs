@@ -76,6 +76,29 @@ impl ChainLearner {
         }
     }
 
+    /// Add weight to a single `(state, observation)` emission cell without
+    /// touching the prior or transition counts. This is the hook for
+    /// marginal emission evidence that carries no sequence context — e.g.
+    /// cover-activity augmentation, where benign-shaped observations are
+    /// known to occur *within* attack-stage windows at some rate but have
+    /// no meaningful position in the labeled chain.
+    pub fn observe_emission(&mut self, state: usize, obs: usize, weight: f64) {
+        assert!(state < self.n_states, "state out of range");
+        assert!(obs < self.n_obs, "observation out of range");
+        if weight <= 0.0 {
+            return;
+        }
+        self.emit_counts[state * self.n_obs + obs] += weight;
+    }
+
+    /// Total emission weight accumulated for a state (the normalizer its
+    /// emission row will be divided by, pre-smoothing).
+    pub fn emission_weight(&self, state: usize) -> f64 {
+        self.emit_counts[state * self.n_obs..(state + 1) * self.n_obs]
+            .iter()
+            .sum()
+    }
+
     pub fn sequences_seen(&self) -> u64 {
         self.sequences_seen
     }

@@ -40,6 +40,7 @@ pub mod graph;
 pub mod learn;
 pub mod maxproduct;
 pub mod sumproduct;
+pub mod timing;
 pub mod variable;
 
 pub use chain::{ChainGraphBuffer, ChainModel};
@@ -48,4 +49,5 @@ pub use factor::Factor;
 pub use graph::{FactorGraph, FactorId};
 pub use learn::ChainLearner;
 pub use sumproduct::{BpOptions, BpResult};
+pub use timing::{GapLearner, GapModel, GAP_NONE};
 pub use variable::{VarId, Variable};

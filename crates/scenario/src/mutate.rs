@@ -184,7 +184,7 @@ impl MutatedSession {
         self.steps
             .iter()
             .find(|s| matches!(s.origin, StepOrigin::Template { .. }) && s.kind.is_critical())
-            .map(|s| self.start + s.offset)
+            .map(|s| self.start.saturating_add(s.offset))
     }
 
     /// Entity keys in hop order (matching `Entity::Address(ip).key()`).
@@ -226,7 +226,7 @@ impl MutatedSession {
             scratch.clear();
             let _ = write!(scratch, "campaign session {} {}", self.id, symbol);
             out.push(LogRecord::Notice(NoticeRecord {
-                ts: self.start + s.offset,
+                ts: self.start.saturating_add(s.offset),
                 note: NoticeKind::Custom(symbol.into()),
                 msg: scratch.as_str().into(),
                 src: self.entities[s.entity],
@@ -336,10 +336,13 @@ pub fn mutate_template(
     }
 
     // 3. Timing: per-step delays from the template models, dilated.
+    //    Saturating accumulation: extreme dilation × a heavy-tailed delay
+    //    can reach the end of representable time, and must clamp there
+    //    rather than wrap the session backwards.
     let mut steps: Vec<PlannedStep> = Vec::with_capacity(kept.len() + cfg.noise_steps);
     let mut t = SimDuration::ZERO;
     for &i in &kept {
-        t += template.steps[i].delay.sample(rng).mul_f64(cfg.dilation);
+        t = t.saturating_add(template.steps[i].delay.sample(rng).mul_f64(cfg.dilation));
         steps.push(PlannedStep {
             offset: t,
             kind: template.steps[i].kind,
@@ -415,7 +418,9 @@ pub fn decoy_session(
     let mut t = SimDuration::ZERO;
     let mut steps = Vec::with_capacity(n);
     for _ in 0..n {
-        t += SimDuration::from_secs(30 + rng.range_u64(0, 3_600)).mul_f64(cfg.dilation);
+        t = t.saturating_add(
+            SimDuration::from_secs(30 + rng.range_u64(0, 3_600)).mul_f64(cfg.dilation),
+        );
         steps.push(PlannedStep {
             offset: t,
             kind: *rng.pick(DECOY_KINDS),
@@ -478,14 +483,58 @@ pub struct SessionTruth {
     /// All attack (template) steps, time-ordered — the record-based
     /// lead-time ruler.
     pub steps: Vec<(SimTime, AlertKind)>,
+    /// Inter-step gaps between consecutive attack steps, in seconds
+    /// (`steps.len() - 1` entries; empty below two steps) — the realized
+    /// tempo of the session, which the detection-vs-dilation curves plot
+    /// the recovery against.
+    #[serde(default)]
+    pub step_gap_secs: Vec<f64>,
+}
+
+impl SessionTruth {
+    /// Mean realized inter-step gap, seconds (0 below two steps).
+    pub fn mean_step_gap_secs(&self) -> f64 {
+        if self.step_gap_secs.is_empty() {
+            return 0.0;
+        }
+        self.step_gap_secs.iter().sum::<f64>() / self.step_gap_secs.len() as f64
+    }
+
+    /// Largest realized inter-step gap, seconds (0 below two steps).
+    pub fn max_step_gap_secs(&self) -> f64 {
+        self.step_gap_secs.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 /// Ground truth for a whole campaign.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignGroundTruth {
     pub sessions: Vec<SessionTruth>,
     /// Background records interleaved (the FP-rate denominator).
     pub background_records: u64,
+    /// The timing-dilation factor the campaign was generated with
+    /// (`MutationConfig::dilation`) — carried so an evaluation scored
+    /// against this truth is a self-describing point on a
+    /// detection-vs-dilation curve.
+    #[serde(default = "default_dilation")]
+    pub dilation: f64,
+}
+
+// Referenced by the `serde(default = ...)` attribute; the offline serde
+// shim's derive does not expand it, hence the explicit allow.
+#[allow(dead_code)]
+fn default_dilation() -> f64 {
+    1.0
+}
+
+impl Default for CampaignGroundTruth {
+    fn default() -> Self {
+        CampaignGroundTruth {
+            sessions: Vec::new(),
+            background_records: 0,
+            dilation: 1.0,
+        }
+    }
 }
 
 impl CampaignGroundTruth {
@@ -535,7 +584,10 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
     let mut background_rng = rng.fork(0xBAC6);
 
     let mut records: Vec<LogRecord> = Vec::new();
-    let mut truth = CampaignGroundTruth::default();
+    let mut truth = CampaignGroundTruth {
+        dilation: cfg.mutation.dilation,
+        ..CampaignGroundTruth::default()
+    };
     let mut entity_counter = 0u32;
     let mut scratch = String::new();
     let horizon_ns = cfg.horizon.as_nanos().max(1);
@@ -564,6 +616,16 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
             )
         };
         session.records_into(&mut records, &mut scratch);
+        let steps: Vec<(SimTime, AlertKind)> = session
+            .steps
+            .iter()
+            .filter(|s| matches!(s.origin, StepOrigin::Template { .. }))
+            .map(|s| (session.start.saturating_add(s.offset), s.kind))
+            .collect();
+        let step_gap_secs: Vec<f64> = steps
+            .windows(2)
+            .map(|w| w[1].0.saturating_since(w[0].0).as_secs_f64())
+            .collect();
         truth.sessions.push(SessionTruth {
             id: session.id,
             family: session.family.clone(),
@@ -571,12 +633,8 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
             entity_keys: session.entity_keys(),
             start: session.start,
             damage_ts: session.damage_ts(),
-            steps: session
-                .steps
-                .iter()
-                .filter(|s| matches!(s.origin, StepOrigin::Template { .. }))
-                .map(|s| (session.start + s.offset, s.kind))
-                .collect(),
+            steps,
+            step_gap_secs,
         });
     }
 

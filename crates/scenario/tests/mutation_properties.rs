@@ -148,8 +148,19 @@ proptest! {
     fn dilation_never_reorders(
         seed in 0u64..100_000,
         sessions in 1usize..24,
+        // Sweeps from mild stretching (1.1x–50x) through absurd dilations
+        // (1e6x–1e10x, where a heavy-tailed manual delay × the factor
+        // reaches the end of representable SimTime): offsets must saturate
+        // there, never wrap a session backwards in time. Odd draws take
+        // the extreme branch: `dilation = draw^2 · 1e6`.
         dilation_x10 in 11u64..500,
+        extreme in 0u64..2,
     ) {
+        let dilation_x10 = if extreme == 1 {
+            dilation_x10 * dilation_x10 * 10_000_000
+        } else {
+            dilation_x10
+        };
         let base = campaign_cfg(
             sessions,
             mutation_cfg(0.25, 0.35, 4, 1.0, 0.1, 0.25),

@@ -22,7 +22,6 @@
 //! Interning cost is paid once per *distinct* string — generators pre-
 //! intern their palettes, so the per-record hot path only copies `u32`s.
 
-use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasherDefault;
@@ -98,11 +97,13 @@ impl AsRef<str> for Sym {
     }
 }
 
-impl Borrow<str> for Sym {
-    fn borrow(&self) -> &str {
-        self.as_str()
-    }
-}
+// NOTE: deliberately NO `Borrow<str>` impl. `Sym`'s `Hash` is over the
+// 32-bit id (the hot-path property: hashing never resolves the table),
+// while `str` hashes its bytes — the `Borrow` contract requires the two
+// to agree, and implementing it would make `HashMap<Sym, _>::get::<str>`
+// compile and then silently miss every key. The consistency proptest in
+// `tests/intern_consistency.rs` pins the invariants that *do* hold
+// (`Eq`/`Ord`/hash agree across `Sym`, `&str` and `String` views).
 
 impl From<&str> for Sym {
     #[inline]

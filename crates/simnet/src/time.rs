@@ -115,6 +115,14 @@ impl SimTime {
     pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_add(d.0).map(SimTime)
     }
+
+    /// Saturating addition: clamps at the end of representable time
+    /// instead of wrapping. Extreme-dilation scenario generators use this
+    /// so a pathological delay product degrades to "very far future"
+    /// rather than a time warp.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
 }
 
 impl SimDuration {
@@ -168,6 +176,12 @@ impl SimDuration {
 
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition: clamps at `u64::MAX` nanoseconds instead of
+    /// wrapping (the `Add` impl panics in debug and wraps in release).
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
     }
 }
 

@@ -1,0 +1,105 @@
+//! Cross-type consistency of [`simnet::intern::Sym`].
+//!
+//! The integer-keyed entity maps (PR 4) lean on three invariants holding
+//! *simultaneously* across the `Sym`, `&str` and `String` views of the
+//! same text — a silent disagreement between any two would corrupt
+//! lookups without a panic:
+//!
+//! 1. `PartialEq` agrees in every direction and with the underlying
+//!    strings.
+//! 2. `Ord` on `Sym` is exactly `Ord` on the resolved strings (ids are
+//!    assigned in intern order, which is *not* lexical order).
+//! 3. `Hash`/`Eq` coherence: two `Sym`s hash equal iff their strings are
+//!    equal (the id is a bijection onto distinct strings), so `Sym` is a
+//!    sound hash key. `Sym`'s hash is the id's hash — NOT the string's —
+//!    which is why `Sym` must not implement `Borrow<str>`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+use simnet::intern::Sym;
+
+fn hash_one<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Strategy strings deliberately collide often (small alphabet, short
+/// lengths) so equal and unequal pairs are both well exercised.
+fn small_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..4, 0..5).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| (b'a' + b) as char)
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eq_ord_hash_agree_across_views(a in small_string(), b in small_string()) {
+        let sa: Sym = a.as_str().into();
+        let sb: Sym = b.clone().into();
+
+        // Round-trip: every view resolves to the source text.
+        prop_assert_eq!(sa.as_str(), a.as_str());
+        prop_assert_eq!(sb.as_str(), b.as_str());
+
+        // PartialEq agreement, all directions and all view pairs.
+        let expect_eq = a == b;
+        prop_assert_eq!(sa == sb, expect_eq, "Sym == Sym");
+        prop_assert_eq!(sa == b.as_str(), expect_eq, "Sym == &str");
+        prop_assert_eq!(b.as_str() == sa, expect_eq, "&str == Sym");
+        prop_assert_eq!(sa == b, expect_eq, "Sym == String");
+        prop_assert_eq!(b == sa, expect_eq, "String == Sym");
+
+        // Ord follows the strings, not the intern-order ids.
+        prop_assert_eq!(sa.cmp(&sb), a.as_str().cmp(b.as_str()), "Ord view");
+        prop_assert_eq!(
+            sa.partial_cmp(&sb),
+            a.as_str().partial_cmp(b.as_str()),
+            "PartialOrd view"
+        );
+
+        // Hash/Eq coherence: same string ⇒ same id ⇒ same hash; distinct
+        // strings ⇒ distinct ids (id hashing is injective on the id, so
+        // unequal Syms of this table never alias by construction).
+        prop_assert_eq!(hash_one(&sa) == hash_one(&sb), expect_eq, "hash/eq");
+        prop_assert_eq!(sa.id() == sb.id(), expect_eq, "id bijection");
+    }
+
+    /// Sorting mixed-origin `Sym`s equals sorting the strings themselves —
+    /// the property integer-keyed report paths rely on when they sort by
+    /// symbol.
+    #[test]
+    fn sym_sort_matches_string_sort(mut texts in proptest::collection::vec(small_string(), 0..12)) {
+        let mut syms: Vec<Sym> = texts.iter().map(|s| Sym::new(s)).collect();
+        syms.sort();
+        texts.sort();
+        let resolved: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        let expected: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(resolved, expected);
+    }
+}
+
+/// A `HashMap` keyed by `Sym` and one keyed by `String` stay in lockstep
+/// under the same inserts — the map-corruption scenario the proptest
+/// exists to rule out, exercised deterministically.
+#[test]
+fn sym_keyed_map_matches_string_keyed_map() {
+    let words = ["alice", "bob", "alice", "", "carol", "bob", "alice"];
+    let mut by_sym: std::collections::HashMap<Sym, u32> = std::collections::HashMap::new();
+    let mut by_string: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    for w in words {
+        *by_sym.entry(Sym::new(w)).or_insert(0) += 1;
+        *by_string.entry(w.to_string()).or_insert(0) += 1;
+    }
+    assert_eq!(by_sym.len(), by_string.len());
+    for (k, v) in &by_string {
+        assert_eq!(by_sym.get(&Sym::new(k)), Some(v), "key {k:?} diverged");
+    }
+}

@@ -5,7 +5,7 @@ use std::net::Ipv4Addr;
 use alertlib::filter::FilterConfig;
 use alertlib::symbolize::SymbolizerConfig;
 use bhr::policy::AutoBlockPolicy;
-use detect::attack_tagger::TaggerConfig;
+use detect::attack_tagger::{TaggerConfig, TemporalPolicy};
 use honeynet::deploy::DeployConfig;
 use serde::{Deserialize, Serialize};
 use simnet::time::{SimDuration, SimTime};
@@ -52,6 +52,13 @@ pub struct PipelineTuning {
     /// Cap on retained post-filter alerts (drop-oldest, counted);
     /// `0` disables retention entirely.
     pub alert_retention: usize,
+    /// Override of the detector's per-entity temporal policy (evidence
+    /// decay half-life, session timeout, gap observations). `None` keeps
+    /// whatever the [`TaggerConfig`] carries — set it here to tune the
+    /// temporal behaviour of an assembled pipeline without rebuilding the
+    /// detector config (the knob the dilation sweeps turn).
+    #[serde(default)]
+    pub temporal: Option<TemporalPolicy>,
 }
 
 impl Default for PipelineTuning {
@@ -62,6 +69,7 @@ impl Default for PipelineTuning {
             stage_capacity: 4_096,
             detect_shards: 0,
             alert_retention: 10_000,
+            temporal: None,
         }
     }
 }

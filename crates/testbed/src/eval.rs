@@ -40,6 +40,19 @@ pub struct LeadTimeStats {
 }
 
 impl LeadTimeStats {
+    /// Nearest-rank index for percentile `p` over `n` sorted samples:
+    /// `⌈p·n⌉ - 1`, clamped into range. Total for every `n` (0 included —
+    /// callers with an empty sample get index 0, which they must guard),
+    /// and consistent across p10/median/p90: at `n = 1` every percentile
+    /// is the single sample, at `n = 2` the median is the lower sample
+    /// (the nearest-rank convention) while p90 is the upper — the
+    /// previous `.round()` form both underflowed at `n = 0` and pulled
+    /// the `n = 2` median *up* while the median convention takes the
+    /// lower rank.
+    fn rank(n: usize, p: f64) -> usize {
+        ((p * n as f64).ceil() as usize).clamp(1, n.max(1)) - 1
+    }
+
     fn from_leads(mut secs: Vec<f64>, mut records: Vec<u64>) -> LeadTimeStats {
         if secs.is_empty() {
             return LeadTimeStats::default();
@@ -48,8 +61,7 @@ impl LeadTimeStats {
         records.sort_unstable();
         // Nearest-rank index, shared by both samples so the seconds and
         // records medians pick the same element of their distributions.
-        let rank = |n: usize, p: f64| ((n - 1) as f64 * p).round() as usize;
-        let pct = |v: &[f64], p: f64| v[rank(v.len(), p)];
+        let pct = |v: &[f64], p: f64| v[Self::rank(v.len(), p)];
         LeadTimeStats {
             count: secs.len(),
             mean_secs: secs.iter().sum::<f64>() / secs.len() as f64,
@@ -58,7 +70,7 @@ impl LeadTimeStats {
             p90_secs: pct(&secs, 0.9),
             max_secs: *secs.last().expect("non-empty"),
             mean_records: records.iter().sum::<u64>() as f64 / records.len() as f64,
-            median_records: records[rank(records.len(), 0.5)] as f64,
+            median_records: records[Self::rank(records.len(), 0.5)] as f64,
         }
     }
 }
@@ -79,6 +91,10 @@ pub struct FamilyEval {
     pub missed: usize,
     pub preemption_rate: f64,
     pub lead: LeadTimeStats,
+    /// Mean realized inter-attack-step gap across the family's sessions,
+    /// in seconds — the tempo axis of a detection-vs-dilation curve.
+    #[serde(default)]
+    pub mean_step_gap_secs: f64,
 }
 
 /// The serializable evaluation report of one campaign run.
@@ -101,6 +117,11 @@ pub struct EvalReport {
     /// Background false positives per million background records
     /// (`f64::NAN`-free: 0 when there is no background).
     pub fp_per_million_background: f64,
+    /// The campaign's timing-dilation factor (from the ground truth), so
+    /// a report is a self-describing point on a detection-vs-dilation
+    /// curve.
+    #[serde(default)]
+    pub dilation: f64,
 }
 
 impl EvalReport {
@@ -116,6 +137,7 @@ impl EvalReport {
                 "late": f.late,
                 "missed": f.missed,
                 "preemption_rate": f.preemption_rate,
+                "mean_step_gap_secs": f.mean_step_gap_secs,
                 "lead": {
                     "count": f.lead.count,
                     "mean_secs": f.lead.mean_secs,
@@ -139,6 +161,7 @@ impl EvalReport {
             "decoy_detections": self.decoy_detections,
             "background_false_positives": self.background_false_positives,
             "fp_per_million_background": self.fp_per_million_background,
+            "dilation": self.dilation,
         })
     }
 
@@ -190,6 +213,8 @@ struct FamilyAccum {
     late: usize,
     lead_secs: Vec<f64>,
     lead_records: Vec<u64>,
+    gap_sum_secs: f64,
+    gap_count: usize,
 }
 
 impl FamilyAccum {
@@ -201,6 +226,8 @@ impl FamilyAccum {
             late: 0,
             lead_secs: Vec::new(),
             lead_records: Vec::new(),
+            gap_sum_secs: 0.0,
+            gap_count: 0,
         }
     }
 
@@ -219,6 +246,11 @@ impl FamilyAccum {
                 self.preempted as f64 / self.sessions as f64
             },
             lead: LeadTimeStats::from_leads(self.lead_secs, self.lead_records),
+            mean_step_gap_secs: if self.gap_count == 0 {
+                0.0
+            } else {
+                self.gap_sum_secs / self.gap_count as f64
+            },
         }
     }
 }
@@ -265,6 +297,12 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
             .or_insert_with(FamilyAccum::new);
         fam.sessions += 1;
         overall.sessions += 1;
+        for &g in &s.step_gap_secs {
+            fam.gap_sum_secs += g;
+            overall.gap_sum_secs += g;
+        }
+        fam.gap_count += s.step_gap_secs.len();
+        overall.gap_count += s.step_gap_secs.len();
         let det_ts = s
             .entity_keys
             .iter()
@@ -326,6 +364,7 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
         } else {
             background_false_positives as f64 * 1_000_000.0 / truth.background_records as f64
         },
+        dilation: truth.dilation,
     }
 }
 
@@ -521,6 +560,128 @@ mod tests {
             assert!(tagger.is_detected(k));
             assert!(tagger.entity_steps(k).is_some());
         }
+    }
+
+    #[test]
+    fn lead_stats_nearest_rank_small_samples() {
+        // n = 0: no sample, all-zero stats (the old shared `rank` closure
+        // underflowed `n - 1` here if reached).
+        let s0 = LeadTimeStats::from_leads(Vec::new(), Vec::new());
+        assert_eq!(s0, LeadTimeStats::default());
+        assert_eq!(LeadTimeStats::rank(0, 0.5), 0, "rank total at n = 0");
+
+        // n = 1: every percentile is the single sample.
+        let s1 = LeadTimeStats::from_leads(vec![7.0], vec![3]);
+        assert_eq!(s1.count, 1);
+        for v in [s1.p10_secs, s1.median_secs, s1.p90_secs, s1.max_secs] {
+            assert_eq!(v, 7.0);
+        }
+        assert_eq!(s1.median_records, 3.0);
+
+        // n = 2: nearest-rank median is the *lower* sample (the old
+        // `.round()` pulled it up to the upper), p10 lower, p90 upper.
+        let s2 = LeadTimeStats::from_leads(vec![10.0, 20.0], vec![1, 5]);
+        assert_eq!(s2.median_secs, 10.0);
+        assert_eq!(s2.p10_secs, 10.0);
+        assert_eq!(s2.p90_secs, 20.0);
+        assert_eq!(s2.max_secs, 20.0);
+        assert_eq!(s2.median_records, 1.0);
+        assert_eq!(s2.mean_secs, 15.0);
+
+        // n = 3: true middle median; p10 lowest, p90 highest.
+        let s3 = LeadTimeStats::from_leads(vec![30.0, 10.0, 20.0], vec![9, 1, 4]);
+        assert_eq!(s3.median_secs, 20.0);
+        assert_eq!(s3.p10_secs, 10.0);
+        assert_eq!(s3.p90_secs, 30.0);
+        assert_eq!(s3.median_records, 4.0);
+    }
+
+    /// Serialized reports must never carry NaN/Inf rates: zero indicative
+    /// background, zero background records, and all-decoy campaigns are
+    /// the denominators that could degenerate.
+    #[test]
+    fn fp_rate_edge_cases_stay_finite_in_json() {
+        let check = |eval: &EvalReport| {
+            assert!(
+                eval.fp_per_million_background.is_finite(),
+                "fp/M must be finite"
+            );
+            assert!(eval.overall.preemption_rate.is_finite());
+            let json = serde_json::to_string(&eval.to_json()).expect("serialize");
+            // `serde_json::json!` maps non-finite floats to null — their
+            // presence would mean a NaN/Inf sneaked into the report.
+            assert!(!json.contains("null"), "no degenerate values: {json}");
+            eval.to_json()
+        };
+
+        // Fully benign background: indicative_exec_fraction = 0.
+        let cfg = TestbedConfig::default();
+        let mut ccfg = campaign_cfg(12);
+        if let Some(b) = &mut ccfg.background {
+            b.indicative_exec_fraction = 0.0;
+        }
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+        let json = check(&run.eval);
+        assert!(json.get("fp_per_million_background").as_f64().is_some());
+
+        // Zero background records.
+        let ccfg = CampaignConfig {
+            sessions: 6,
+            background: None,
+            ..CampaignConfig::default()
+        };
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+        assert_eq!(run.eval.background_records, 0);
+        assert_eq!(run.eval.fp_per_million_background, 0.0);
+        check(&run.eval);
+
+        // All-decoy campaign: no attack sessions at all (every per-family
+        // denominator empty), still no background.
+        let ccfg = CampaignConfig {
+            sessions: 8,
+            mutation: MutationConfig {
+                decoy_prob: 1.0,
+                ..MutationConfig::default()
+            },
+            background: None,
+            ..CampaignConfig::default()
+        };
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+        assert_eq!(run.eval.attack_sessions, 0);
+        assert_eq!(run.eval.fp_per_million_background, 0.0);
+        assert_eq!(run.eval.overall.preemption_rate, 0.0);
+        check(&run.eval);
+    }
+
+    #[test]
+    fn eval_report_carries_dilation_and_tempo() {
+        let cfg = TestbedConfig::default();
+        let mut ccfg = campaign_cfg(16);
+        ccfg.mutation.dilation = 4.0;
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+        assert_eq!(run.truth.dilation, 4.0);
+        assert_eq!(run.eval.dilation, 4.0);
+        assert!(
+            run.eval.overall.mean_step_gap_secs > 0.0,
+            "attack sessions have realized tempo"
+        );
+        // Ground-truth gap stats align with the step timeline.
+        for s in run.truth.sessions.iter().filter(|s| !s.decoy) {
+            assert_eq!(
+                s.step_gap_secs.len(),
+                s.steps.len().saturating_sub(1),
+                "one gap per consecutive step pair"
+            );
+            assert!(s.mean_step_gap_secs() >= 0.0);
+            assert!(s.max_step_gap_secs() >= s.mean_step_gap_secs());
+        }
+        let json = run.eval.to_json();
+        assert_eq!(json.get("dilation").as_f64(), Some(4.0));
+        assert!(json
+            .get("overall")
+            .get("mean_step_gap_secs")
+            .as_f64()
+            .is_some());
     }
 
     #[test]

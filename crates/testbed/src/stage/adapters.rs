@@ -199,6 +199,10 @@ impl TagStage {
         &self.tagger
     }
 
+    pub fn tagger_mut(&mut self) -> &mut AttackTagger {
+        &mut self.tagger
+    }
+
     fn outcome(&mut self, alert: Alert) -> DetectOutcome {
         DetectOutcome {
             detection: self.tagger.observe(&alert),
@@ -297,6 +301,15 @@ impl DetectorStage {
         match self {
             DetectorStage::Tagger(s) => Some(s.tagger()),
             _ => None,
+        }
+    }
+
+    /// Apply a temporal-policy override to the detector, when it is the
+    /// factor-graph tagger (the baselines have no temporal state). This is
+    /// how [`crate::config::PipelineTuning::temporal`] reaches the stage.
+    pub fn apply_temporal(&mut self, temporal: &detect::attack_tagger::TemporalPolicy) {
+        if let DetectorStage::Tagger(s) = self {
+            s.tagger_mut().set_temporal(temporal.clone());
         }
     }
 

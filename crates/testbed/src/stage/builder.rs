@@ -64,7 +64,11 @@ impl PipelineBuilder {
     }
 
     /// Configure every stage from a [`TestbedConfig`] plus a trained
-    /// detector model (the testbed orchestrator's path).
+    /// detector model (the testbed orchestrator's path). A
+    /// [`PipelineTuning::temporal`] override, when set, replaces the
+    /// tagger's per-entity temporal policy at [`PipelineBuilder::build`]
+    /// — the stage-adapter end of the `TestbedConfig::tuning` temporal
+    /// knobs.
     pub fn from_config(cfg: &TestbedConfig, model: ChainModel) -> Self {
         let mut symbolizer_cfg = cfg.symbolizer.clone();
         for c2 in &cfg.c2_feed {
@@ -149,6 +153,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Override the detector's per-entity temporal policy (evidence decay,
+    /// session timeout, gap observations) — recorded in the tuning and
+    /// applied to the tagger stage at [`PipelineBuilder::build`].
+    pub fn temporal(mut self, temporal: detect::attack_tagger::TemporalPolicy) -> Self {
+        self.tuning.temporal = Some(temporal);
+        self
+    }
+
     pub fn executor(mut self, executor: ExecutorKind) -> Self {
         self.tuning.executor = executor;
         self
@@ -176,7 +188,10 @@ impl PipelineBuilder {
     }
 
     /// Assemble the record-stream pipeline.
-    pub fn build(self) -> BuiltPipeline {
+    pub fn build(mut self) -> BuiltPipeline {
+        if let Some(temporal) = &self.tuning.temporal {
+            self.detector.apply_temporal(temporal);
+        }
         let source = self.detector.source();
         BuiltPipeline {
             symbolize: SymbolizeStage::new(self.symbolizer),
