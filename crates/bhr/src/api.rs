@@ -13,7 +13,8 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simnet::time::{SimDuration, SimTime};
 
-use crate::table::{Block, NullRouteTable, TableStats};
+use crate::retry::{BlockBackend, BlockError, ReliableBackend};
+use crate::table::{Block, BlockOutcome, NullRouteTable, TableStats};
 
 /// One audited API call.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,16 +25,46 @@ pub struct AuditEntry {
     pub detail: String,
 }
 
-/// Shared handle to the BHR. Cloneable; all clones address the same table.
-#[derive(Debug, Clone, Default)]
+/// Shared handle to the BHR. Cloneable; all clones address the same table
+/// (and the same delivery backend).
+#[derive(Clone)]
 pub struct BhrHandle {
     inner: Arc<Mutex<NullRouteTable>>,
     audit: Arc<Mutex<Vec<AuditEntry>>>,
+    backend: Arc<Mutex<Box<dyn BlockBackend>>>,
+}
+
+impl std::fmt::Debug for BhrHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BhrHandle")
+            .field("active_blocks", &self.inner.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for BhrHandle {
+    fn default() -> Self {
+        BhrHandle {
+            inner: Arc::default(),
+            audit: Arc::default(),
+            backend: Arc::new(Mutex::new(Box::new(ReliableBackend))),
+        }
+    }
 }
 
 impl BhrHandle {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A handle whose block RPCs go through `backend` — the fault
+    /// injection point for the response path. The default handle uses the
+    /// always-successful [`ReliableBackend`].
+    pub fn with_backend(backend: impl BlockBackend + 'static) -> Self {
+        BhrHandle {
+            backend: Arc::new(Mutex::new(Box::new(backend))),
+            ..Self::default()
+        }
     }
 
     fn log(&self, ts: SimTime, command: &str, addr: Option<Ipv4Addr>, detail: impl Into<String>) {
@@ -45,22 +76,57 @@ impl BhrHandle {
         });
     }
 
-    /// `bhr-client block`: install a null route.
+    /// `bhr-client block`: install a null route. Infallible — bypasses
+    /// the delivery backend (an operator at the console, or legacy
+    /// callers that predate the fallible path). Idempotent: a re-delivery
+    /// of an already-active block with the same reason neither
+    /// double-counts in [`TableStats`] nor spams the audit log.
     pub fn block(
         &self,
         ts: SimTime,
         addr: Ipv4Addr,
         reason: impl Into<String>,
         ttl: Option<SimDuration>,
-    ) {
+    ) -> BlockOutcome {
         let reason = reason.into();
-        self.inner.lock().block(addr, reason.clone(), ts, ttl);
-        self.log(ts, "block", Some(addr), reason);
+        let outcome = self.inner.lock().block(addr, reason.clone(), ts, ttl);
+        if outcome != BlockOutcome::Duplicate {
+            self.log(ts, "block", Some(addr), reason);
+        }
+        outcome
+    }
+
+    /// Fallible `block`: deliver through the configured [`BlockBackend`]
+    /// first; the table is only updated (and the call audited as
+    /// `block`) when the RPC succeeds. A failed delivery is audited as
+    /// `block-failed` and leaves the table untouched — the caller's
+    /// retry policy decides what happens next.
+    pub fn try_block(
+        &self,
+        ts: SimTime,
+        addr: Ipv4Addr,
+        reason: impl Into<String>,
+        ttl: Option<SimDuration>,
+    ) -> Result<BlockOutcome, BlockError> {
+        let reason = reason.into();
+        match self.backend.lock().try_block(ts, addr, &reason, ttl) {
+            Ok(()) => {
+                let outcome = self.inner.lock().block(addr, reason.clone(), ts, ttl);
+                if outcome != BlockOutcome::Duplicate {
+                    self.log(ts, "block", Some(addr), reason);
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.log(ts, "block-failed", Some(addr), e.to_string());
+                Err(e)
+            }
+        }
     }
 
     /// Batched `block`: install many null routes taking each lock once,
     /// for response stages that emit blocks per pipeline batch instead of
-    /// per detection.
+    /// per detection. Idempotent like [`BhrHandle::block`].
     pub fn block_batch<I>(&self, blocks: I)
     where
         I: IntoIterator<Item = (SimTime, Ipv4Addr, String, Option<SimDuration>)>,
@@ -68,7 +134,9 @@ impl BhrHandle {
         let mut table = self.inner.lock();
         let mut audit = self.audit.lock();
         for (ts, addr, reason, ttl) in blocks {
-            table.block(addr, reason.clone(), ts, ttl);
+            if table.block(addr, reason.clone(), ts, ttl) == BlockOutcome::Duplicate {
+                continue;
+            }
             audit.push(AuditEntry {
                 ts,
                 command: "block".to_string(),
@@ -76,6 +144,19 @@ impl BhrHandle {
                 detail: reason,
             });
         }
+    }
+
+    /// Append a caller-defined audit entry (retry schedules, abandoned
+    /// blocks, circuit-breaker transitions — response-path events that
+    /// belong in the same ledger as the API verbs).
+    pub fn audit_event(
+        &self,
+        ts: SimTime,
+        command: &str,
+        addr: Option<Ipv4Addr>,
+        detail: impl Into<String>,
+    ) {
+        self.log(ts, command, addr, detail);
     }
 
     /// `bhr-client unblock`: remove a null route.
@@ -175,6 +256,64 @@ mod tests {
         let log = bhr.audit_log();
         assert_eq!(log.len(), 5);
         assert!(log.iter().all(|e| e.command == "block"));
+    }
+
+    #[test]
+    fn redelivered_block_does_not_spam_the_audit_log() {
+        let bhr = BhrHandle::new();
+        let a = addr("203.0.113.9");
+        // block → retry re-delivery → unblock → re-block.
+        assert_eq!(
+            bhr.block(SimTime::from_secs(0), a, "r", None),
+            BlockOutcome::Added
+        );
+        assert_eq!(
+            bhr.block(SimTime::from_secs(5), a, "r", None),
+            BlockOutcome::Duplicate
+        );
+        assert_eq!(
+            bhr.try_block(SimTime::from_secs(6), a, "r", None),
+            Ok(BlockOutcome::Duplicate)
+        );
+        assert!(bhr.unblock(SimTime::from_secs(10), a));
+        assert_eq!(
+            bhr.block(SimTime::from_secs(20), a, "r", None),
+            BlockOutcome::Added
+        );
+        let commands: Vec<String> = bhr.audit_log().iter().map(|e| e.command.clone()).collect();
+        assert_eq!(
+            commands,
+            vec!["block", "unblock", "block"],
+            "duplicates audit nothing"
+        );
+        let s = bhr.stats();
+        assert_eq!(s.blocks_added, 2);
+        assert_eq!(s.blocks_duplicate, 2);
+        // Batched re-delivery is absorbed the same way.
+        bhr.block_batch(vec![(SimTime::from_secs(30), a, "r".to_string(), None)]);
+        assert_eq!(bhr.audit_log().len(), 3);
+    }
+
+    #[test]
+    fn failing_backend_leaves_the_table_untouched() {
+        use crate::retry::FlakyBackend;
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(2));
+        let a = addr("198.51.100.1");
+        assert!(bhr.try_block(SimTime::from_secs(0), a, "r", None).is_err());
+        assert!(
+            !bhr.is_blocked(SimTime::from_secs(1), a),
+            "no phantom block"
+        );
+        assert_eq!(bhr.stats().blocks_added, 0);
+        assert!(bhr.try_block(SimTime::from_secs(2), a, "r", None).is_err());
+        // Third attempt lands.
+        assert_eq!(
+            bhr.try_block(SimTime::from_secs(4), a, "r", None),
+            Ok(BlockOutcome::Added)
+        );
+        assert!(bhr.is_blocked(SimTime::from_secs(5), a));
+        let commands: Vec<String> = bhr.audit_log().iter().map(|e| e.command.clone()).collect();
+        assert_eq!(commands, vec!["block-failed", "block-failed", "block"]);
     }
 
     #[test]

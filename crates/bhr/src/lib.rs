@@ -13,8 +13,10 @@
 
 pub mod api;
 pub mod policy;
+pub mod retry;
 pub mod table;
 
 pub use api::{AuditEntry, BhrHandle};
 pub use policy::{AutoBlockPolicy, BhrFilter};
-pub use table::{Block, NullRouteTable, TableStats};
+pub use retry::{BlockBackend, BlockError, FlakyBackend, ReliableBackend, RetryPolicy};
+pub use table::{Block, BlockOutcome, NullRouteTable, TableStats};

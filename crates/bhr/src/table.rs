@@ -32,10 +32,32 @@ pub struct TableStats {
     pub blocks_added: u64,
     pub blocks_removed: u64,
     pub blocks_expired: u64,
+    /// Re-blocks of an active entry with a new reason (overwrites).
+    pub blocks_updated: u64,
+    /// Re-deliveries of an already-installed block (same reason, still
+    /// active) — absorbed without touching the entry. Retrying response
+    /// paths make these routine, so they must not inflate
+    /// `blocks_added`.
+    pub blocks_duplicate: u64,
     pub lookups: u64,
     /// Lookups that hit an active block — i.e., packets recorded by the
     /// black hole.
     pub hits: u64,
+}
+
+/// What a `block` call did to the table — lets callers (and the audit
+/// log) distinguish fresh installs from reason changes from idempotent
+/// re-deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockOutcome {
+    /// No active entry existed; a null route was installed.
+    Added,
+    /// An active entry existed with a different reason; it was
+    /// overwritten.
+    Updated,
+    /// An active entry with the same reason already existed; nothing
+    /// changed.
+    Duplicate,
 }
 
 /// The null-route table.
@@ -50,23 +72,41 @@ impl NullRouteTable {
         Self::default()
     }
 
-    /// Install a null route. Re-blocking overwrites the existing entry.
+    /// Install a null route, idempotently. Re-blocking an active entry
+    /// with the same reason is a no-op duplicate (retry deliveries must
+    /// not double-count); re-blocking with a different reason overwrites;
+    /// anything else installs fresh.
     pub fn block(
         &mut self,
         addr: Ipv4Addr,
         reason: impl Into<String>,
         now: SimTime,
         ttl: Option<SimDuration>,
-    ) {
-        self.stats.blocks_added += 1;
+    ) -> BlockOutcome {
+        let reason = reason.into();
+        let outcome = match self.entries.get(&addr) {
+            Some(existing) if existing.active_at(now) => {
+                if existing.reason == reason {
+                    self.stats.blocks_duplicate += 1;
+                    return BlockOutcome::Duplicate;
+                }
+                self.stats.blocks_updated += 1;
+                BlockOutcome::Updated
+            }
+            _ => {
+                self.stats.blocks_added += 1;
+                BlockOutcome::Added
+            }
+        };
         self.entries.insert(
             addr,
             Block {
-                reason: reason.into(),
+                reason,
                 inserted: now,
                 expires: ttl.map(|d| now + d),
             },
         );
+        outcome
     }
 
     /// Remove a null route. Returns the removed entry, if any.
@@ -205,5 +245,83 @@ mod tests {
         t.block(addr("1.1.1.1"), "second", SimTime::from_secs(1), None);
         assert_eq!(t.query(addr("1.1.1.1")).unwrap().reason, "second");
         assert!(t.is_blocked(addr("1.1.1.1"), SimTime::from_secs(1_000)));
+    }
+
+    #[test]
+    fn redelivered_block_is_an_idempotent_duplicate() {
+        let mut t = NullRouteTable::new();
+        let a = addr("203.0.113.7");
+        assert_eq!(
+            t.block(a, "retry-me", SimTime::from_secs(0), None),
+            BlockOutcome::Added
+        );
+        // A retrying response path re-delivers the same block: absorbed,
+        // not double-counted, entry untouched.
+        assert_eq!(
+            t.block(a, "retry-me", SimTime::from_secs(30), None),
+            BlockOutcome::Duplicate
+        );
+        let entry = t.query(a).unwrap().clone();
+        assert_eq!(entry.inserted, SimTime::from_secs(0), "original kept");
+        let s = t.stats();
+        assert_eq!(
+            (s.blocks_added, s.blocks_duplicate, s.blocks_updated),
+            (1, 1, 0)
+        );
+
+        // A different reason is a deliberate overwrite.
+        assert_eq!(
+            t.block(a, "escalated", SimTime::from_secs(60), None),
+            BlockOutcome::Updated
+        );
+        assert_eq!(t.query(a).unwrap().reason, "escalated");
+        assert_eq!(t.stats().blocks_updated, 1);
+    }
+
+    #[test]
+    fn block_retry_unblock_reblock_sequence() {
+        // The satellite regression: block → retry → unblock → re-block.
+        let mut t = NullRouteTable::new();
+        let a = addr("198.51.100.9");
+        assert_eq!(
+            t.block(a, "r", SimTime::from_secs(0), None),
+            BlockOutcome::Added
+        );
+        assert_eq!(
+            t.block(a, "r", SimTime::from_secs(1), None),
+            BlockOutcome::Duplicate
+        );
+        assert!(t.unblock(a).is_some());
+        assert_eq!(
+            t.block(a, "r", SimTime::from_secs(2), None),
+            BlockOutcome::Added
+        );
+        let s = t.stats();
+        assert_eq!(
+            s.blocks_added, 2,
+            "re-block after unblock is a fresh install"
+        );
+        assert_eq!(s.blocks_duplicate, 1);
+        assert_eq!(s.blocks_removed, 1);
+    }
+
+    #[test]
+    fn reblock_after_expiry_counts_as_added() {
+        let mut t = NullRouteTable::new();
+        let a = addr("192.0.2.4");
+        t.block(
+            a,
+            "r",
+            SimTime::from_secs(0),
+            Some(SimDuration::from_secs(10)),
+        );
+        // Entry expired (still resident, but inactive): same reason is a
+        // fresh install, not a duplicate.
+        assert_eq!(
+            t.block(a, "r", SimTime::from_secs(20), None),
+            BlockOutcome::Added
+        );
+        assert_eq!(t.stats().blocks_added, 2);
+        assert_eq!(t.stats().blocks_duplicate, 0);
     }
 }

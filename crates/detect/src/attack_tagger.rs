@@ -52,6 +52,13 @@ pub struct TemporalPolicy {
     /// Fold the model's quantized gap observations into the online filter
     /// (no-op when the model has no gap tables).
     pub gap_observations: bool,
+    /// Degraded-mode duplicate suppression: an alert whose `(ts, kind)`
+    /// exactly matches one already folded into the same entity within
+    /// this window is dropped as a telemetry re-delivery instead of
+    /// double-counting as evidence. `None` (the default) disables
+    /// suppression, preserving the historical filter byte for byte.
+    #[serde(default)]
+    pub dedup_window: Option<SimDuration>,
 }
 
 impl Default for TemporalPolicy {
@@ -60,6 +67,7 @@ impl Default for TemporalPolicy {
             decay_half_life: Some(SimDuration::from_hours(48)),
             session_timeout: Some(SimDuration::from_days(7)),
             gap_observations: true,
+            dedup_window: None,
         }
     }
 }
@@ -72,6 +80,7 @@ impl TemporalPolicy {
             decay_half_life: None,
             session_timeout: None,
             gap_observations: false,
+            dedup_window: None,
         }
     }
 }
@@ -119,6 +128,16 @@ pub struct Detection {
     pub stage: Stage,
 }
 
+/// Slots in the per-entity duplicate-suppression ring. Telemetry
+/// duplicates arrive within a handful of records of the original (the
+/// fault model's reorder window is bounded), so a small fixed ring
+/// suffices and keeps the hot path allocation-free.
+const DEDUP_SLOTS: usize = 8;
+
+/// Sentinel kind index marking an empty dedup slot (no [`AlertKind`]
+/// reaches `u16::MAX`).
+const DEDUP_EMPTY: u16 = u16::MAX;
+
 /// Per-entity forward-filter state.
 #[derive(Debug, Clone)]
 struct EntityState {
@@ -130,6 +149,11 @@ struct EntityState {
     detected: bool,
     /// Timestamp of the entity's previous alert (gap anchor).
     last_ts: SimTime,
+    /// Ring of recently folded `(ts, kind)` pairs for duplicate
+    /// suppression; only maintained when the policy sets a window.
+    recent: [(SimTime, u16); DEDUP_SLOTS],
+    /// Next ring slot to overwrite.
+    recent_head: u8,
 }
 
 /// The online AttackTagger.
@@ -141,6 +165,14 @@ pub struct AttackTagger {
     /// Scratch for the forward-filter step, reused across `observe`
     /// calls so the per-alert hot path does not allocate.
     scratch: Vec<f64>,
+    /// Known telemetry blackout windows, sorted and merged. A gap that
+    /// overlaps one is a sensor outage, not attacker silence: the
+    /// overlapped span is excluded from session-timeout and gap-bin
+    /// accounting (decay still uses wall-clock time — evidence really is
+    /// that old).
+    blackouts: Vec<(SimTime, SimTime)>,
+    /// Alerts dropped as telemetry duplicates.
+    duplicates_suppressed: u64,
 }
 
 impl AttackTagger {
@@ -162,6 +194,8 @@ impl AttackTagger {
             cfg,
             states: FxHashMap::default(),
             scratch: vec![0.0; Stage::COUNT],
+            blackouts: Vec::new(),
+            duplicates_suppressed: 0,
         }
     }
 
@@ -178,6 +212,60 @@ impl AttackTagger {
 
     pub fn model(&self) -> &ChainModel {
         &self.model
+    }
+
+    /// Declare known telemetry blackout windows (operator knowledge —
+    /// e.g. a scheduled collector outage, or the spans of a
+    /// `FaultPlan`). Overlapping/unsorted windows are merged. Gaps that
+    /// overlap a declared window are shrunk by the overlap before the
+    /// session-timeout and gap-observation logic runs, so a dark sensor
+    /// is not read as attacker silence.
+    pub fn set_blackouts(&mut self, mut windows: Vec<(SimTime, SimTime)>) {
+        windows.retain(|(s, e)| e > s);
+        windows.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some((_, last_e)) if s <= *last_e => {
+                    if e > *last_e {
+                        *last_e = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        self.blackouts = merged;
+    }
+
+    /// The declared blackout windows (sorted, merged).
+    pub fn blackouts(&self) -> &[(SimTime, SimTime)] {
+        &self.blackouts
+    }
+
+    /// Alerts dropped as telemetry re-deliveries by the dedup window.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    /// Total overlap of `[from, to]` with the declared blackout windows.
+    pub fn blackout_overlap(&self, from: SimTime, to: SimTime) -> SimDuration {
+        Self::overlap_of(&self.blackouts, from, to)
+    }
+
+    fn overlap_of(blackouts: &[(SimTime, SimTime)], from: SimTime, to: SimTime) -> SimDuration {
+        let mut overlap = SimDuration::ZERO;
+        for &(s, e) in blackouts {
+            if s >= to {
+                break;
+            }
+            if e <= from {
+                continue;
+            }
+            let lo = if s > from { s } else { from };
+            let hi = if e < to { e } else { to };
+            overlap = overlap.saturating_add(hi.saturating_since(lo));
+        }
+        overlap
     }
 
     /// One O(S²) forward-filter step folding `obs` (and, when known, the
@@ -247,22 +335,53 @@ impl AttackTagger {
                 steps: 0,
                 detected: false,
                 last_ts: alert.ts,
+                recent: [(SimTime::EPOCH, DEDUP_EMPTY); DEDUP_SLOTS],
+                recent_head: 0,
             });
         let obs = alert.kind.index();
+        // Degraded-mode duplicate suppression: an exact `(ts, kind)`
+        // re-delivery within the window is telemetry duplication, not new
+        // evidence — drop it before it touches the filter.
+        if let Some(window) = temporal.dedup_window {
+            // The ring remembers the last few folded alerts; an entry
+            // older than the window (relative to the incoming alert) can
+            // no longer match — re-deliveries carry the original
+            // timestamp, so a live duplicate always compares equal.
+            let duplicate = state.recent.iter().any(|&(ts, kind)| {
+                kind == obs as u16 && ts == alert.ts && alert.ts.saturating_since(ts) <= window
+            });
+            if duplicate {
+                self.duplicates_suppressed += 1;
+                return None;
+            }
+            state.recent[state.recent_head as usize] = (alert.ts, obs as u16);
+            state.recent_head = (state.recent_head + 1) % DEDUP_SLOTS as u8;
+        }
         // Temporal policy: the gap since the entity's previous alert ends
         // the session (timeout), fades stale evidence (decay), and is
-        // itself an observation (quantized gap factor).
+        // itself an observation (quantized gap factor). Known blackout
+        // spans are subtracted from the gap first — a dark sensor is not
+        // attacker silence — while decay keeps wall-clock time (the
+        // evidence really is that old).
         let mut gap_bin = GAP_NONE;
         if state.steps > 0 {
             let gap = alert.ts.saturating_since(state.last_ts);
-            if temporal.session_timeout.is_some_and(|limit| gap > limit) {
+            let effective_gap = if self.blackouts.is_empty() {
+                gap
+            } else {
+                gap.saturating_sub(Self::overlap_of(&self.blackouts, state.last_ts, alert.ts))
+            };
+            if temporal
+                .session_timeout
+                .is_some_and(|limit| effective_gap > limit)
+            {
                 state.steps = 0;
             } else {
                 if let Some(half_life) = temporal.decay_half_life {
                     Self::decay(&self.model, &mut state.alpha, gap, half_life);
                 }
                 if temporal.gap_observations {
-                    gap_bin = self.model.gap_bin(gap.as_secs_f64());
+                    gap_bin = self.model.gap_bin(effective_gap.as_secs_f64());
                 }
             }
         }
@@ -355,6 +474,8 @@ impl AttackTagger {
             cfg: self.cfg.clone(),
             states: FxHashMap::default(),
             scratch: vec![0.0; Stage::COUNT],
+            blackouts: self.blackouts.clone(),
+            duplicates_suppressed: 0,
         };
         for a in alerts {
             if let Some(d) = fresh.observe(a) {
@@ -492,8 +613,7 @@ mod tests {
         let cfg = TaggerConfig {
             temporal: TemporalPolicy {
                 decay_half_life: Some(SimDuration::from_hours(6)),
-                session_timeout: None,
-                gap_observations: false,
+                ..TemporalPolicy::disabled()
             },
             ..TaggerConfig::default()
         };
@@ -521,9 +641,8 @@ mod tests {
     fn session_timeout_restarts_the_filter() {
         let cfg = TaggerConfig {
             temporal: TemporalPolicy {
-                decay_half_life: None,
                 session_timeout: Some(SimDuration::from_hours(24)),
-                gap_observations: false,
+                ..TemporalPolicy::disabled()
             },
             ..TaggerConfig::default()
         };
@@ -589,9 +708,8 @@ mod tests {
             toy_training_model().with_gap_model(GapModel::new(Stage::COUNT, vec![3_600.0], emit));
         let cfg_gaps = TaggerConfig {
             temporal: TemporalPolicy {
-                decay_half_life: None,
-                session_timeout: None,
                 gap_observations: true,
+                ..TemporalPolicy::disabled()
             },
             ..TaggerConfig::default()
         };
@@ -614,6 +732,115 @@ mod tests {
             "slow tempo adds evidence: {slow} vs {order_only}"
         );
         assert!(slow > fast, "slow beats fast under this gap model");
+    }
+
+    /// Duplicate suppression: a re-delivered `(ts, kind)` is dropped
+    /// before touching the filter, so the posterior equals the
+    /// single-delivery posterior and the drop is counted.
+    #[test]
+    fn dedup_window_absorbs_redelivered_alerts() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                dedup_window: Some(SimDuration::from_mins(5)),
+                ..TemporalPolicy::disabled()
+            },
+            ..TaggerConfig::default()
+        };
+        let mut deduped = AttackTagger::new(toy_training_model(), cfg.clone());
+        let mut clean = AttackTagger::new(toy_training_model(), cfg.clone());
+        let seq = [
+            (0, AlertKind::PortScan),
+            (10, AlertKind::DownloadSensitive),
+            (20, AlertKind::CompileKernelModule),
+        ];
+        for (t, k) in seq {
+            clean.observe(&alert(t, k, "eve"));
+            deduped.observe(&alert(t, k, "eve"));
+            // At-least-once delivery: every alert arrives twice.
+            deduped.observe(&alert(t, k, "eve"));
+        }
+        assert_eq!(
+            deduped.posterior("user:eve").unwrap(),
+            clean.posterior("user:eve").unwrap(),
+            "duplicates must not double-count as evidence"
+        );
+        assert_eq!(deduped.entity_steps("user:eve"), Some(3));
+        assert_eq!(deduped.duplicates_suppressed(), 3);
+        assert_eq!(clean.duplicates_suppressed(), 0);
+
+        // Distinct alerts at the same timestamp but different kinds are
+        // NOT duplicates.
+        let mut t2 = AttackTagger::new(toy_training_model(), cfg);
+        t2.observe(&alert(0, AlertKind::PortScan, "bob"));
+        t2.observe(&alert(0, AlertKind::DownloadSensitive, "bob"));
+        assert_eq!(t2.entity_steps("user:bob"), Some(2));
+        assert_eq!(t2.duplicates_suppressed(), 0);
+    }
+
+    /// Default policy: no dedup window, so duplicates still fold in (the
+    /// historical behaviour is preserved byte for byte).
+    #[test]
+    fn dedup_is_off_by_default() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        tagger.observe(&alert(0, AlertKind::PortScan, "eve"));
+        tagger.observe(&alert(0, AlertKind::PortScan, "eve"));
+        assert_eq!(tagger.entity_steps("user:eve"), Some(2));
+        assert_eq!(tagger.duplicates_suppressed(), 0);
+    }
+
+    /// A known blackout window is a sensor outage, not attacker silence:
+    /// the overlapped span is excluded from the session-timeout gap, so
+    /// evidence spanning the outage survives where an undeclared gap of
+    /// the same length would restart the filter.
+    #[test]
+    fn known_blackouts_relax_session_timeout() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                session_timeout: Some(SimDuration::from_hours(24)),
+                ..TemporalPolicy::disabled()
+            },
+            ..TaggerConfig::default()
+        };
+        let day = 86_400u64;
+        let run = |blackouts: Vec<(SimTime, SimTime)>| {
+            let mut tagger = AttackTagger::new(toy_training_model(), cfg.clone());
+            tagger.set_blackouts(blackouts);
+            tagger.observe(&alert(0, AlertKind::DownloadSensitive, "eve"));
+            // Next alert three days later — 2.5 of which the collector
+            // was provably dark.
+            tagger.observe(&alert(3 * day, AlertKind::CompileKernelModule, "eve"));
+            tagger.entity_steps("user:eve").unwrap()
+        };
+        assert_eq!(run(vec![]), 1, "undeclared 3-day gap restarts the session");
+        let outage = vec![(SimTime::from_secs(day / 2), SimTime::from_secs(3 * day))];
+        assert_eq!(
+            run(outage),
+            2,
+            "gap net of the declared outage is under the timeout"
+        );
+    }
+
+    /// Blackout windows are merged and overlap accounting is exact.
+    #[test]
+    fn blackout_windows_merge_and_overlap() {
+        let mut tagger = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let s = SimTime::from_secs;
+        tagger.set_blackouts(vec![
+            (s(300), s(400)),
+            (s(100), s(200)),
+            (s(150), s(250)), // overlaps the second window
+            (s(500), s(500)), // empty, dropped
+        ]);
+        assert_eq!(tagger.blackouts(), &[(s(100), s(250)), (s(300), s(400))]);
+        assert_eq!(
+            tagger.blackout_overlap(s(0), s(1_000)),
+            SimDuration::from_secs(250)
+        );
+        assert_eq!(
+            tagger.blackout_overlap(s(120), s(320)),
+            SimDuration::from_secs(150)
+        );
+        assert_eq!(tagger.blackout_overlap(s(420), s(480)), SimDuration::ZERO);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct Sessionizer {
     idle_gap: SimDuration,
     open: FxHashMap<EntityId, Session>,
     closed: Vec<Session>,
+    /// Duplicate-suppression window: an alert exactly matching the tail
+    /// of its entity's open session (same `ts` and `kind`) within the
+    /// window is dropped as a telemetry re-delivery. `None` (default)
+    /// keeps every alert.
+    dedup_window: Option<SimDuration>,
+    duplicates_suppressed: u64,
 }
 
 impl Sessionizer {
@@ -49,7 +55,20 @@ impl Sessionizer {
             idle_gap,
             open: FxHashMap::default(),
             closed: Vec::new(),
+            dedup_window: None,
+            duplicates_suppressed: 0,
         }
+    }
+
+    /// Enable degraded-mode duplicate suppression (see `dedup_window`).
+    pub fn with_dedup_window(mut self, window: SimDuration) -> Self {
+        self.dedup_window = Some(window);
+        self
+    }
+
+    /// Alerts dropped as telemetry re-deliveries.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
     }
 
     /// Feed one alert (must arrive in global time order).
@@ -57,6 +76,17 @@ impl Sessionizer {
         let key = alert.entity.id();
         match self.open.get_mut(&key) {
             Some(session) => {
+                if let Some(window) = self.dedup_window {
+                    let redelivered = session.alerts.last().is_some_and(|last| {
+                        last.ts == alert.ts
+                            && last.kind == alert.kind
+                            && alert.ts.saturating_since(last.ts) <= window
+                    });
+                    if redelivered {
+                        self.duplicates_suppressed += 1;
+                        return;
+                    }
+                }
                 let stale = session
                     .end()
                     .is_some_and(|e| alert.ts.saturating_since(e) > self.idle_gap);
@@ -156,6 +186,28 @@ mod tests {
         let sessions = sessionize(vec![a1, a2], SimDuration::from_hours(1));
         assert_eq!(sessions.len(), 1);
         assert_eq!(sessions[0].len(), 2);
+    }
+
+    #[test]
+    fn dedup_window_drops_redelivered_alerts() {
+        let mut s = Sessionizer::new(SimDuration::from_hours(1))
+            .with_dedup_window(SimDuration::from_mins(5));
+        let eve = || Entity::User("eve".into());
+        s.push(alert(0, eve()));
+        s.push(alert(0, eve())); // at-least-once re-delivery
+        s.push(alert(10, eve()));
+        s.push(alert(10, eve()));
+        assert_eq!(s.duplicates_suppressed(), 2);
+        let sessions = s.finish();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].len(), 2, "one alert per delivery group");
+
+        // Without a window nothing is dropped.
+        let mut plain = Sessionizer::new(SimDuration::from_hours(1));
+        plain.push(alert(0, eve()));
+        plain.push(alert(0, eve()));
+        assert_eq!(plain.duplicates_suppressed(), 0);
+        assert_eq!(plain.finish()[0].len(), 2);
     }
 
     #[test]

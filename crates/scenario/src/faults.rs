@@ -1,0 +1,598 @@
+//! Seeded, deterministic telemetry fault injection.
+//!
+//! Real deployments of the Fig. 4 pipeline do not see the clean record
+//! streams the generators in this crate produce: sensors black out,
+//! forwarders drop and duplicate records, multi-hop log shipping reorders
+//! them, and host clocks drift. ICSSIM-style testbeds make such fault
+//! injection a first-class capability; this module provides it for the
+//! record level of the pipeline, with every fault model driven by one
+//! [`SimRng`] stream so a `(plan, input)` pair reproduces the identical
+//! faulted stream byte for byte.
+//!
+//! Fault models, composable in one [`FaultPlan`]:
+//!
+//! - **i.i.d. record loss** — each record is independently dropped with
+//!   `loss_prob`.
+//! - **Blackout windows** — explicit `[start, end)` intervals during which
+//!   a scope of telemetry (everything, one monitor stream, or one host)
+//!   produces nothing. Windows are declared up front, so they can also be
+//!   handed to the detector as *known* gaps (degraded-mode temporal
+//!   handling) and to the evaluator for per-fault-profile scoring.
+//! - **Record duplication** — each surviving record is re-emitted with
+//!   `dup_prob` (at-least-once log shipping).
+//! - **Bounded reordering** — each record may be delayed by up to
+//!   `reorder_window` stream positions (a release-slot min-heap, so the
+//!   displacement bound is hard in both directions).
+//! - **Per-host clock skew + jitter** — every host clock gets a constant
+//!   offset in `[-max_skew, +max_skew]` (hashed from the plan seed, so it
+//!   is stable per host) and every record an independent jitter in
+//!   `[-jitter, +jitter]`. Negative adjustments saturate at
+//!   [`SimTime::EPOCH`] rather than wrapping.
+//!
+//! The injector is allocation-free in steady state: the reorder heap is
+//! pre-sized to the window and records move through by value.
+
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::HostId;
+use telemetry::record::{LogRecord, RecordKind};
+
+/// Which telemetry a blackout window silences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlackoutScope {
+    /// Every record (site-wide collector outage).
+    All,
+    /// One monitor stream (e.g. the notice pipeline) goes dark.
+    Monitor(RecordKind),
+    /// One host's agents go dark (host-based records only).
+    Host(HostId),
+}
+
+/// One sensor blackout: records in `[start, end)` matching `scope` are
+/// lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlackoutWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+    pub scope: BlackoutScope,
+}
+
+impl BlackoutWindow {
+    /// Whether `record` falls inside this window (by its original,
+    /// pre-skew timestamp) and matches the scope.
+    pub fn silences(&self, record: &LogRecord) -> bool {
+        let ts = record.ts();
+        if ts < self.start || ts >= self.end {
+            return false;
+        }
+        match self.scope {
+            BlackoutScope::All => true,
+            BlackoutScope::Monitor(kind) => record.kind() == kind,
+            BlackoutScope::Host(host) => record.host() == Some(host),
+        }
+    }
+}
+
+/// Per-host clock skew and per-record jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClockSkewConfig {
+    /// Magnitude bound of the constant per-host clock offset; each host
+    /// clock is assigned a stable offset in `[-max_skew, +max_skew]`.
+    pub max_skew: SimDuration,
+    /// Magnitude bound of the independent per-record jitter.
+    pub jitter: SimDuration,
+}
+
+impl ClockSkewConfig {
+    pub fn is_none(&self) -> bool {
+        self.max_skew == SimDuration::ZERO && self.jitter == SimDuration::ZERO
+    }
+}
+
+/// A composable, seeded fault configuration. [`FaultPlan::clean`] is the
+/// identity plan; the `with_*` builders switch individual models on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Label carried through [`FaultStats`] into reports and artifacts.
+    pub profile: String,
+    /// Seed of the injector's own RNG stream — independent of the
+    /// campaign seed, so the same workload can be replayed under many
+    /// fault draws (or the same draws over many workloads).
+    pub seed: u64,
+    /// Independent per-record loss probability.
+    pub loss_prob: f64,
+    /// Per-record duplication probability (applied after loss).
+    pub dup_prob: f64,
+    /// Maximum stream-position displacement of the bounded reorderer;
+    /// `0` disables reordering.
+    pub reorder_window: usize,
+    /// Declared sensor blackout windows.
+    pub blackouts: Vec<BlackoutWindow>,
+    /// Per-host clock skew / per-record jitter.
+    pub clock: ClockSkewConfig,
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            profile: "clean".to_string(),
+            seed,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_window: 0,
+            blackouts: Vec::new(),
+            clock: ClockSkewConfig::default(),
+        }
+    }
+
+    pub fn named(mut self, profile: impl Into<String>) -> FaultPlan {
+        self.profile = profile.into();
+        self
+    }
+
+    pub fn with_loss(mut self, loss_prob: f64) -> FaultPlan {
+        self.loss_prob = loss_prob.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn with_duplication(mut self, dup_prob: f64) -> FaultPlan {
+        self.dup_prob = dup_prob.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn with_reorder(mut self, window: usize) -> FaultPlan {
+        self.reorder_window = window;
+        self
+    }
+
+    pub fn with_blackout(mut self, window: BlackoutWindow) -> FaultPlan {
+        self.blackouts.push(window);
+        self
+    }
+
+    pub fn with_clock(mut self, clock: ClockSkewConfig) -> FaultPlan {
+        self.clock = clock;
+        self
+    }
+
+    /// The time spans of every declared blackout, scope-erased — what an
+    /// operator would hand the detector as "known telemetry gaps".
+    pub fn blackout_spans(&self) -> Vec<(SimTime, SimTime)> {
+        self.blackouts.iter().map(|w| (w.start, w.end)).collect()
+    }
+
+    /// Whether this plan is the identity.
+    pub fn is_clean(&self) -> bool {
+        self.loss_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.reorder_window == 0
+            && self.blackouts.is_empty()
+            && self.clock.is_none()
+    }
+}
+
+/// Counters of everything one injector did, labeled with the plan's
+/// profile — the per-fault-profile annotation the evaluator reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    pub profile: String,
+    /// Records offered to the injector.
+    pub records_in: u64,
+    /// Records emitted (surviving, including duplicates).
+    pub records_out: u64,
+    /// Records dropped by i.i.d. loss.
+    pub lost_iid: u64,
+    /// Records silenced by a blackout window.
+    pub lost_blackout: u64,
+    /// Extra copies emitted by duplication.
+    pub duplicated: u64,
+    /// Records assigned a delayed release slot by the reorderer.
+    pub reordered: u64,
+    /// Records whose timestamp was changed by skew/jitter.
+    pub skewed: u64,
+}
+
+/// Reorder-heap entry, ordered by `(release, seq)` ascending (min-heap via
+/// reversed `Ord`). `release` is the stream position at which the record
+/// may leave the reorderer, so displacement is bounded by the window in
+/// both directions.
+struct HeapEntry {
+    release: u64,
+    seq: u64,
+    record: LogRecord,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.release == other.release && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (release, seq) on top.
+        (other.release, other.seq).cmp(&(self.release, self.seq))
+    }
+}
+impl std::fmt::Debug for HeapEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("release", &self.release)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+/// SplitMix64 — the stable per-host clock-offset hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The streaming fault injector: push records in arrival order, collect
+/// the faulted stream, [`FaultInjector::finish`] at end of stream to drain
+/// the reorder window. Deterministic in `(plan, input)`; batch boundaries
+/// are unobservable, so every pipeline executor sees the identical faulted
+/// stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Stream position of the next record entering the reorderer.
+    seq: u64,
+    heap: BinaryHeap<HeapEntry>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let rng = SimRng::seed(plan.seed);
+        let stats = FaultStats {
+            profile: plan.profile.clone(),
+            ..FaultStats::default()
+        };
+        FaultInjector {
+            heap: BinaryHeap::with_capacity(plan.reorder_window + 2),
+            rng,
+            seq: 0,
+            stats,
+            plan,
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters so far (final after [`FaultInjector::finish`]).
+    pub fn stats(&self) -> FaultStats {
+        self.stats.clone()
+    }
+
+    /// The stable clock offset of the host that produced `record`
+    /// (network-sensor records without a host share one Zeek-cluster
+    /// clock): `(offset, is_negative)`.
+    fn host_skew(&self, record: &LogRecord) -> (SimDuration, bool) {
+        let max = self.plan.clock.max_skew;
+        if max == SimDuration::ZERO {
+            return (SimDuration::ZERO, false);
+        }
+        let clock_id = record.host().map(|h| h.0 as u64 + 1).unwrap_or(0);
+        let h = splitmix64(self.plan.seed ^ clock_id.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        // 53 uniform bits → [0, 1), stretched to [-1, 1).
+        let signed = ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        (max.mul_f64(signed.abs()), signed < 0.0)
+    }
+
+    /// Offer one record; surviving (possibly skewed, duplicated,
+    /// reordered) records are appended to `out`.
+    pub fn push(&mut self, mut record: LogRecord, out: &mut Vec<LogRecord>) {
+        self.stats.records_in += 1;
+        // Blackouts judge the record by its true emission time, before
+        // any clock fault rewrites it.
+        if self.plan.blackouts.iter().any(|w| w.silences(&record)) {
+            self.stats.lost_blackout += 1;
+            return;
+        }
+        // One RNG draw per surviving model keeps the stream a pure
+        // function of the record sequence, independent of batching.
+        if self.rng.chance(self.plan.loss_prob) {
+            self.stats.lost_iid += 1;
+            return;
+        }
+        let (skew, skew_neg) = self.host_skew(&record);
+        let jitter_signed = if self.plan.clock.jitter == SimDuration::ZERO {
+            0.0
+        } else {
+            self.rng.uniform(-1.0, 1.0)
+        };
+        if skew != SimDuration::ZERO || jitter_signed != 0.0 {
+            let orig = record.ts();
+            let mut ts = if skew_neg {
+                orig.saturating_sub(skew)
+            } else {
+                orig.saturating_add(skew)
+            };
+            let jitter = self.plan.clock.jitter.mul_f64(jitter_signed.abs());
+            ts = if jitter_signed < 0.0 {
+                ts.saturating_sub(jitter)
+            } else {
+                ts.saturating_add(jitter)
+            };
+            if ts != orig {
+                self.stats.skewed += 1;
+                record.set_ts(ts);
+            }
+        }
+        let duplicate = self.plan.dup_prob > 0.0 && self.rng.chance(self.plan.dup_prob);
+        if duplicate {
+            self.stats.duplicated += 1;
+            let copy = record.clone();
+            self.enqueue(copy, out);
+        }
+        self.enqueue(record, out);
+    }
+
+    /// Enter the bounded reorderer at the next stream position and emit
+    /// everything whose release slot has arrived.
+    fn enqueue(&mut self, record: LogRecord, out: &mut Vec<LogRecord>) {
+        let seq = self.seq;
+        self.seq += 1;
+        let k = self.plan.reorder_window;
+        let delay = if k == 0 {
+            0
+        } else {
+            self.rng.index(k + 1) as u64
+        };
+        if delay > 0 {
+            self.stats.reordered += 1;
+        }
+        self.heap.push(HeapEntry {
+            release: seq + delay,
+            seq,
+            record,
+        });
+        while self.heap.peek().is_some_and(|e| e.release <= seq) {
+            let e = self.heap.pop().expect("peeked");
+            self.stats.records_out += 1;
+            out.push(e.record);
+        }
+    }
+
+    /// End of stream: drain the reorder window in release order.
+    pub fn finish(&mut self, out: &mut Vec<LogRecord>) {
+        while let Some(e) = self.heap.pop() {
+            self.stats.records_out += 1;
+            out.push(e.record);
+        }
+    }
+}
+
+/// One-shot convenience: run a whole record slice through a fresh
+/// injector.
+pub fn apply_fault_plan(plan: &FaultPlan, records: &[LogRecord]) -> (Vec<LogRecord>, FaultStats) {
+    let mut inj = FaultInjector::new(plan.clone());
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        inj.push(r.clone(), &mut out);
+    }
+    inj.finish(&mut out);
+    (out, inj.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{record_stream, RecordStreamConfig};
+
+    fn workload(n: usize) -> Vec<LogRecord> {
+        record_stream(
+            &RecordStreamConfig {
+                scan_records: n / 2,
+                benign_flows: n / 4,
+                exec_records: n / 4,
+                users: 10,
+                ..RecordStreamConfig::default()
+            },
+            &mut SimRng::seed(42),
+        )
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let records = workload(400);
+        let (out, stats) = apply_fault_plan(&FaultPlan::clean(1), &records);
+        assert_eq!(out, records);
+        assert_eq!(stats.records_in, records.len() as u64);
+        assert_eq!(stats.records_out, records.len() as u64);
+        assert_eq!(stats.lost_iid + stats.lost_blackout + stats.duplicated, 0);
+        assert!(FaultPlan::clean(1).is_clean());
+    }
+
+    #[test]
+    fn same_plan_same_faulted_stream() {
+        let records = workload(600);
+        let plan = FaultPlan::clean(7)
+            .named("mixed")
+            .with_loss(0.2)
+            .with_duplication(0.1)
+            .with_reorder(16)
+            .with_clock(ClockSkewConfig {
+                max_skew: SimDuration::from_secs(30),
+                jitter: SimDuration::from_secs(5),
+            });
+        let (a, sa) = apply_fault_plan(&plan, &records);
+        let (b, sb) = apply_fault_plan(&plan, &records);
+        assert_eq!(a, b, "byte-identical replay");
+        assert_eq!(sa, sb);
+        let other = FaultPlan { seed: 8, ..plan };
+        let (c, _) = apply_fault_plan(&other, &records);
+        assert_ne!(a, c, "different seed, different draws");
+    }
+
+    #[test]
+    fn loss_probability_extremes() {
+        let records = workload(300);
+        let (all, s) = apply_fault_plan(&FaultPlan::clean(3).with_loss(1.0), &records);
+        assert!(all.is_empty());
+        assert_eq!(s.lost_iid, records.len() as u64);
+        let (none, s) = apply_fault_plan(&FaultPlan::clean(3).with_loss(0.0), &records);
+        assert_eq!(none.len(), records.len());
+        assert_eq!(s.lost_iid, 0);
+    }
+
+    #[test]
+    fn blackout_scopes_silence_matching_records() {
+        let records = workload(500);
+        let t0 = records.first().unwrap().ts();
+        let t_end = records.last().unwrap().ts();
+        let all = FaultPlan::clean(5).with_blackout(BlackoutWindow {
+            start: t0,
+            end: t_end.saturating_add(SimDuration::from_secs(1)),
+            scope: BlackoutScope::All,
+        });
+        let (out, s) = apply_fault_plan(&all, &records);
+        assert!(out.is_empty(), "site-wide blackout loses everything");
+        assert_eq!(s.lost_blackout, records.len() as u64);
+
+        // Monitor scope: only that stream goes dark.
+        let kind = RecordKind::Conn;
+        let conn_count = records.iter().filter(|r| r.kind() == kind).count();
+        assert!(conn_count > 0, "workload has conn records");
+        let monitor = FaultPlan::clean(5).with_blackout(BlackoutWindow {
+            start: t0,
+            end: t_end.saturating_add(SimDuration::from_secs(1)),
+            scope: BlackoutScope::Monitor(kind),
+        });
+        let (out, s) = apply_fault_plan(&monitor, &records);
+        assert_eq!(s.lost_blackout, conn_count as u64);
+        assert!(out.iter().all(|r| r.kind() != kind));
+        assert_eq!(out.len(), records.len() - conn_count);
+
+        // Host scope: only that host's host-based records go dark.
+        let host = records.iter().find_map(|r| r.host());
+        if let Some(h) = host {
+            let host_count = records.iter().filter(|r| r.host() == Some(h)).count();
+            let hostp = FaultPlan::clean(5).with_blackout(BlackoutWindow {
+                start: t0,
+                end: t_end.saturating_add(SimDuration::from_secs(1)),
+                scope: BlackoutScope::Host(h),
+            });
+            let (out, s) = apply_fault_plan(&hostp, &records);
+            assert_eq!(s.lost_blackout, host_count as u64);
+            assert!(out.iter().all(|r| r.host() != Some(h)));
+        }
+    }
+
+    #[test]
+    fn duplication_doubles_at_probability_one() {
+        let records = workload(200);
+        let (out, s) = apply_fault_plan(&FaultPlan::clean(9).with_duplication(1.0), &records);
+        assert_eq!(out.len(), 2 * records.len());
+        assert_eq!(s.duplicated, records.len() as u64);
+        assert_eq!(s.records_out, 2 * records.len() as u64);
+        // Each duplicate is adjacent to its original when no reordering is
+        // configured.
+        for pair in out.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_preserves_the_multiset() {
+        let records = workload(800);
+        let k = 12usize;
+        let (out, _) = apply_fault_plan(&FaultPlan::clean(11).with_reorder(k), &records);
+        assert_eq!(out.len(), records.len());
+        // Multiset equality via sorted debug strings (records are not Ord).
+        let key = |r: &LogRecord| format!("{r:?}");
+        let mut a: Vec<String> = records.iter().map(key).collect();
+        let mut b: Vec<String> = out.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "reordering loses nothing and invents nothing");
+        // Displacement bound: record at input position i appears in the
+        // output within [i - k, i + k].
+        let mut pos = std::collections::HashMap::new();
+        for (i, r) in out.iter().enumerate() {
+            pos.entry(key(r)).or_insert_with(Vec::new).push(i);
+        }
+        for (i, r) in records.iter().enumerate() {
+            let positions = &pos[&key(r)];
+            assert!(
+                positions.iter().any(|&j| j + k >= i && j <= i + k),
+                "record {i} displaced beyond the window: {positions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_skew_saturates_at_the_epoch() {
+        // Records right at the epoch with a skew far larger than their
+        // timestamps: negative host offsets and jitter must pin at zero,
+        // never wrap.
+        let records: Vec<LogRecord> = workload(300)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.set_ts(SimTime::from_secs(i as u64 % 5));
+                r
+            })
+            .collect();
+        let plan = FaultPlan::clean(13).with_clock(ClockSkewConfig {
+            max_skew: SimDuration::from_hours(2),
+            jitter: SimDuration::from_mins(10),
+        });
+        let (out, stats) = apply_fault_plan(&plan, &records);
+        assert_eq!(out.len(), records.len());
+        assert!(stats.skewed > 0, "a two-hour skew bound moves clocks");
+        let bound = SimTime::EPOCH
+            .saturating_add(SimDuration::from_secs(5))
+            .saturating_add(SimDuration::from_hours(2))
+            .saturating_add(SimDuration::from_mins(10));
+        for r in &out {
+            assert!(r.ts() >= SimTime::EPOCH, "no wraparound below the epoch");
+            assert!(r.ts() <= bound, "skew bounded by the configured maxima");
+        }
+        // Determinism holds at the epoch boundary too.
+        let (again, _) = apply_fault_plan(&plan, &records);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn host_skew_is_stable_per_host() {
+        // All records of one host move by the same constant when jitter is
+        // off.
+        let records = workload(600);
+        let plan = FaultPlan::clean(17).with_clock(ClockSkewConfig {
+            max_skew: SimDuration::from_mins(30),
+            jitter: SimDuration::ZERO,
+        });
+        let (out, _) = apply_fault_plan(&plan, &records);
+        let mut per_host: std::collections::HashMap<Option<simnet::topology::HostId>, i128> =
+            std::collections::HashMap::new();
+        for (orig, faulted) in records.iter().zip(&out) {
+            let delta = faulted.ts().as_nanos() as i128 - orig.ts().as_nanos() as i128;
+            match per_host.entry(orig.host()) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(delta);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    assert_eq!(*o.get(), delta, "one constant offset per host clock");
+                }
+            }
+        }
+    }
+}

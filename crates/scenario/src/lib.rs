@@ -17,6 +17,9 @@
 //! - [`stream`] — raw [`LogRecord`](telemetry::record::LogRecord) streams
 //!   (scan floods + benign flows + per-user command sessions) for the
 //!   streaming executors and their benchmarks.
+//! - [`faults`] — seeded telemetry fault injection (record loss, sensor
+//!   blackout windows, duplication, bounded reordering, per-host clock
+//!   skew) for degraded-mode evaluation of the pipeline.
 //! - [`mutate`] — the adversarial mutation engine: kill-chain-constrained
 //!   template mutation (drops, reorders, cover interleave, low-and-slow
 //!   dilation, decoys, lateral campaigns) and the [`Campaign`](mutate::Campaign)
@@ -24,6 +27,7 @@
 //!   into one ground-truthed record stream.
 
 pub mod background;
+pub mod faults;
 pub mod incident;
 pub mod library;
 pub mod longitudinal;
@@ -35,6 +39,10 @@ pub mod template;
 pub use background::{
     fig1_flows, sample_daily_volume, stream_day, stream_days, Fig1Config, Fig1GroundTruth,
     VolumeModel,
+};
+pub use faults::{
+    apply_fault_plan, BlackoutScope, BlackoutWindow, ClockSkewConfig, FaultInjector, FaultPlan,
+    FaultStats,
 };
 pub use incident::{benign_sessions, generate_incident, IncidentSpec};
 pub use library::{s1_motif, s_pattern_signatures, s_pattern_supports, standard_library};

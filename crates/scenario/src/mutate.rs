@@ -865,6 +865,37 @@ mod tests {
     }
 
     #[test]
+    fn dilation_composes_with_clock_skew_faults() {
+        use crate::faults::{apply_fault_plan, ClockSkewConfig, FaultPlan};
+        // A low-and-slow campaign run through the clock-fault injector:
+        // the faulted stream keeps every record, moves each timestamp by
+        // at most max_skew + jitter, never underflows the epoch, and is
+        // reproducible draw for draw.
+        let mut cfg = small_cfg(12);
+        cfg.mutation.dilation = 16.0;
+        let campaign = generate_campaign(&cfg, &mut SimRng::seed(27));
+        assert_eq!(campaign.truth.dilation, 16.0);
+        let max_skew = SimDuration::from_mins(20);
+        let jitter = SimDuration::from_secs(90);
+        let plan = FaultPlan::clean(41).with_clock(ClockSkewConfig { max_skew, jitter });
+        let (out, stats) = apply_fault_plan(&plan, &campaign.records);
+        assert_eq!(
+            out.len(),
+            campaign.records.len(),
+            "clock faults lose nothing"
+        );
+        assert!(stats.skewed > 0 && stats.skewed as usize <= out.len());
+        let bound = (max_skew.saturating_add(jitter)).as_nanos() as i128;
+        for (orig, faulted) in campaign.records.iter().zip(&out) {
+            let delta = faulted.ts().as_nanos() as i128 - orig.ts().as_nanos() as i128;
+            assert!(delta.abs() <= bound, "skew bounded: {delta}");
+            assert!(faulted.ts() >= SimTime::EPOCH);
+        }
+        let (again, _) = apply_fault_plan(&plan, &campaign.records);
+        assert_eq!(out, again, "dilated + skewed stream replays identically");
+    }
+
+    #[test]
     fn session_records_symbolize_back_to_planned_kinds() {
         let lib = standard_library();
         let s = mutate_template(

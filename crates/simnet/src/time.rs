@@ -123,6 +123,14 @@ impl SimTime {
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
+
+    /// Saturating subtraction: clamps at the epoch (time zero) instead of
+    /// underflowing. Negative clock skew applied near the start of a
+    /// simulation must pin records at the epoch rather than wrap them to
+    /// the far future.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
 }
 
 impl SimDuration {
@@ -344,6 +352,21 @@ mod tests {
         let b = SimTime::from_secs(10);
         assert_eq!(a.saturating_since(b), SimDuration::ZERO);
         assert_eq!(b.saturating_since(a).as_secs(), 5);
+    }
+
+    #[test]
+    fn saturating_sub_pins_at_epoch() {
+        let t = SimTime::from_secs(5);
+        assert_eq!(
+            t.saturating_sub(SimDuration::from_secs(3)),
+            SimTime::from_secs(2)
+        );
+        assert_eq!(t.saturating_sub(SimDuration::from_secs(5)), SimTime::EPOCH);
+        assert_eq!(t.saturating_sub(SimDuration::from_hours(1)), SimTime::EPOCH);
+        assert_eq!(
+            SimTime::EPOCH.saturating_sub(SimDuration::from_nanos(1)),
+            SimTime::EPOCH
+        );
     }
 
     #[test]

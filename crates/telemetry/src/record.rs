@@ -228,6 +228,22 @@ impl LogRecord {
         }
     }
 
+    /// Overwrite the record timestamp (clock-skew / jitter fault models
+    /// rewrite observation times without touching any other field).
+    pub fn set_ts(&mut self, ts: SimTime) {
+        match self {
+            LogRecord::Conn(r) => r.ts = ts,
+            LogRecord::Http(r) => r.ts = ts,
+            LogRecord::Ssh(r) => r.ts = ts,
+            LogRecord::Notice(r) => r.ts = ts,
+            LogRecord::Process(r) => r.ts = ts,
+            LogRecord::File(r) => r.ts = ts,
+            LogRecord::Auth(r) => r.ts = ts,
+            LogRecord::Audit(r) => r.ts = ts,
+            LogRecord::Db(r) => r.ts = ts,
+        }
+    }
+
     /// The stream this record belongs to.
     pub fn kind(&self) -> RecordKind {
         match self {

@@ -5,6 +5,7 @@ use std::net::Ipv4Addr;
 use alertlib::filter::FilterConfig;
 use alertlib::symbolize::SymbolizerConfig;
 use bhr::policy::AutoBlockPolicy;
+use bhr::retry::RetryPolicy;
 use detect::attack_tagger::{TaggerConfig, TemporalPolicy};
 use honeynet::deploy::DeployConfig;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,13 @@ pub struct PipelineTuning {
     /// detector config (the knob the dilation sweeps turn).
     #[serde(default)]
     pub temporal: Option<TemporalPolicy>,
+    /// Retry schedule for failed response deliveries (block RPCs and
+    /// operator notifications): exponential backoff + jitter, attempt
+    /// cap, per-block deadline and a circuit breaker. Irrelevant — and
+    /// behaviourally invisible — while the BHR backend is the default
+    /// always-successful one.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineTuning {
@@ -70,6 +78,7 @@ impl Default for PipelineTuning {
             detect_shards: 0,
             alert_retention: 10_000,
             temporal: None,
+            retry: RetryPolicy::default(),
         }
     }
 }

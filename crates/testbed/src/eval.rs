@@ -122,6 +122,20 @@ pub struct EvalReport {
     /// curve.
     #[serde(default)]
     pub dilation: f64,
+    /// Fault profile the scored stream ran under (`None` when the
+    /// pipeline carried no fault plan; serialized as `"clean"`), so a
+    /// report is also a self-describing point on a fault-intensity sweep.
+    #[serde(default)]
+    pub fault_profile: Option<String>,
+    /// Alerts dropped by the detector's duplicate-suppression window.
+    #[serde(default)]
+    pub duplicates_suppressed: u64,
+    /// Block RPC re-deliveries attempted by the response retry queue.
+    #[serde(default)]
+    pub blocks_retried: u64,
+    /// Blocks permanently lost (retry cap or deadline exhausted).
+    #[serde(default)]
+    pub blocks_abandoned: u64,
 }
 
 impl EvalReport {
@@ -162,6 +176,13 @@ impl EvalReport {
             "background_false_positives": self.background_false_positives,
             "fp_per_million_background": self.fp_per_million_background,
             "dilation": self.dilation,
+            "fault_profile": self
+                .fault_profile
+                .clone()
+                .unwrap_or_else(|| "clean".to_string()),
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "blocks_retried": self.blocks_retried,
+            "blocks_abandoned": self.blocks_abandoned,
         })
     }
 
@@ -365,6 +386,10 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
             background_false_positives as f64 * 1_000_000.0 / truth.background_records as f64
         },
         dilation: truth.dilation,
+        fault_profile: report.fault.as_ref().map(|f| f.profile.clone()),
+        duplicates_suppressed: report.duplicates_suppressed,
+        blocks_retried: report.blocks_retried,
+        blocks_abandoned: report.blocks_abandoned,
     }
 }
 
@@ -651,6 +676,59 @@ mod tests {
         assert_eq!(run.eval.fp_per_million_background, 0.0);
         assert_eq!(run.eval.overall.preemption_rate, 0.0);
         check(&run.eval);
+    }
+
+    /// Fault accounting flows StreamReport → EvalReport → JSON, and a
+    /// profile with zero sessions (faulted stream scored against empty
+    /// ground truth) keeps every rate finite and the JSON null-free.
+    #[test]
+    fn fault_profile_breakdown_reaches_json_even_with_zero_sessions() {
+        use scenario::faults::FaultPlan;
+        use scenario::{record_stream, RecordStreamConfig};
+        let records = record_stream(
+            &RecordStreamConfig {
+                scan_records: 400,
+                benign_flows: 100,
+                exec_records: 200,
+                users: 20,
+                ..RecordStreamConfig::default()
+            },
+            &mut SimRng::seed(11),
+        );
+        let report = PipelineBuilder::new()
+            .faults(
+                FaultPlan::clean(9)
+                    .named("loss-10pct")
+                    .with_loss(0.10)
+                    .with_duplication(0.05),
+            )
+            .build()
+            .run_inline(records);
+        // Zero-session edge: no ground truth at all for this profile.
+        let eval = evaluate_campaign(&report, &CampaignGroundTruth::default());
+        assert_eq!(eval.fault_profile.as_deref(), Some("loss-10pct"));
+        assert_eq!(eval.sessions, 0);
+        assert_eq!(eval.overall.preemption_rate, 0.0);
+        assert!(eval.fp_per_million_background.is_finite());
+        assert_eq!(eval.blocks_abandoned, 0);
+        let json = serde_json::to_string(&eval.to_json()).expect("serialize");
+        assert!(
+            !json.contains("null"),
+            "zero-session profile stays finite: {json}"
+        );
+        assert!(json.contains("\"fault_profile\":\"loss-10pct\""));
+        assert!(json.contains("duplicates_suppressed"));
+        assert!(json.contains("blocks_retried"));
+
+        // Clean runs serialize the profile as the literal "clean".
+        let clean = PipelineBuilder::new()
+            .build()
+            .run(Vec::<telemetry::LogRecord>::new());
+        let eval = evaluate_campaign(&clean, &CampaignGroundTruth::default());
+        assert_eq!(eval.fault_profile, None);
+        let json = serde_json::to_string(&eval.to_json()).expect("serialize");
+        assert!(json.contains("\"fault_profile\":\"clean\""));
+        assert!(!json.contains("null"));
     }
 
     #[test]

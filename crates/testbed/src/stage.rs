@@ -49,8 +49,8 @@ pub mod builder;
 pub mod executor;
 
 pub use adapters::{
-    BaselineStage, DetectOutcome, DetectorStage, FilterStage, MonitorStage, ResponseStage,
-    SymbolizeStage, TagStage, TimedAction,
+    BaselineStage, DetectOutcome, DetectorStage, FaultStage, FilterStage, MonitorStage,
+    NotifyBackend, ResponseStage, SymbolizeStage, TagStage, TimedAction,
 };
 pub use builder::{BuiltPipeline, PipelineBuilder};
 pub use executor::StreamReport;

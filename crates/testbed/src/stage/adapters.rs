@@ -11,6 +11,7 @@ use alertlib::alert::Alert;
 use alertlib::filter::{FilterStats, ScanFilter};
 use alertlib::symbolize::Symbolizer;
 use bhr::api::BhrHandle;
+use bhr::retry::{BlockError, RetryPolicy};
 use detect::attack_tagger::AttackTagger;
 use detect::critical::CriticalOnlyDetector;
 use detect::online::OnlineSessionDetector;
@@ -19,7 +20,7 @@ use detect::Detection;
 use simnet::action::Action;
 use simnet::engine::EventCtx;
 use simnet::flow::Direction;
-use simnet::rng::FxHashSet;
+use simnet::rng::{FxHashSet, SimRng};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::Topology;
 use telemetry::monitor::Monitor;
@@ -104,6 +105,45 @@ impl Stage<TimedAction, LogRecord> for MonitorStage {
 
     fn flush(&mut self, out: &mut Vec<LogRecord>) {
         self.flush_records(out);
+    }
+}
+
+/// Telemetry fault injection as a stage: sits between generation and
+/// symbolize, corrupting the record stream per a
+/// [`scenario::faults::FaultPlan`] (loss, blackouts, duplication,
+/// bounded reordering, clock skew). Deterministic in `(plan, input)` and
+/// batch-boundary-invariant, so every executor sees the identical
+/// faulted stream.
+#[derive(Debug)]
+pub struct FaultStage {
+    injector: scenario::faults::FaultInjector,
+}
+
+impl FaultStage {
+    pub fn new(plan: scenario::faults::FaultPlan) -> Self {
+        FaultStage {
+            injector: scenario::faults::FaultInjector::new(plan),
+        }
+    }
+
+    pub fn stats(&self) -> scenario::faults::FaultStats {
+        self.injector.stats()
+    }
+}
+
+impl Stage<LogRecord, LogRecord> for FaultStage {
+    fn name(&self) -> &'static str {
+        "fault-injection"
+    }
+
+    fn process_batch(&mut self, input: &[LogRecord], out: &mut Vec<LogRecord>) {
+        for r in input {
+            self.injector.push(r.clone(), out);
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<LogRecord>) {
+        self.injector.finish(out);
     }
 }
 
@@ -264,14 +304,14 @@ impl<D: detect::SequenceDetector + Send> Stage<Alert, DetectOutcome> for Baselin
 /// replicas for its shards.
 #[derive(Debug, Clone)]
 pub enum DetectorStage {
-    Tagger(TagStage),
+    Tagger(Box<TagStage>),
     Rules(BaselineStage<RuleBasedDetector>),
     Critical(BaselineStage<CriticalOnlyDetector>),
 }
 
 impl DetectorStage {
     pub fn tagger(tagger: AttackTagger) -> Self {
-        DetectorStage::Tagger(TagStage::new(tagger))
+        DetectorStage::Tagger(Box::new(TagStage::new(tagger)))
     }
 
     pub fn rules(rules: RuleBasedDetector) -> Self {
@@ -313,6 +353,24 @@ impl DetectorStage {
         }
     }
 
+    /// Declare known telemetry blackout windows to the detector (tagger
+    /// only — the baselines carry no temporal state). See
+    /// [`AttackTagger::set_blackouts`].
+    pub fn apply_blackouts(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        if let DetectorStage::Tagger(s) = self {
+            s.tagger_mut().set_blackouts(windows);
+        }
+    }
+
+    /// Alerts the detector dropped as telemetry re-deliveries (0 for the
+    /// baselines, and for a tagger with no dedup window configured).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        match self {
+            DetectorStage::Tagger(s) => s.tagger().duplicates_suppressed(),
+            _ => 0,
+        }
+    }
+
     /// Owned-batch variant for executors: drains `batch`, emitting one
     /// outcome per alert (no clones). Leaves `batch` empty with its
     /// capacity intact.
@@ -346,19 +404,86 @@ impl Stage<Alert, DetectOutcome> for DetectorStage {
     }
 }
 
+/// Delivery transport for operator notifications. The default path has no
+/// backend at all (every notification lands, exactly the historical
+/// behaviour); an injected backend may fail, feeding the same retry
+/// machinery as blocks.
+pub trait NotifyBackend: Send {
+    fn try_notify(&mut self, note: &OperatorNotification) -> Result<(), BlockError>;
+}
+
+/// A block whose delivery failed, waiting for its next retry slot.
+#[derive(Debug, Clone)]
+struct PendingBlock {
+    addr: Ipv4Addr,
+    reason: String,
+    ttl: Option<SimDuration>,
+    /// When the first delivery failed (deadline anchor).
+    first_failure: SimTime,
+    /// Failed delivery attempts so far.
+    attempts: u32,
+    /// Scheduled time of the next attempt.
+    next_ts: SimTime,
+}
+
+/// A notification whose delivery failed, waiting for its next retry slot.
+struct PendingNote {
+    note: OperatorNotification,
+    first_failure: SimTime,
+    attempts: u32,
+    next_ts: SimTime,
+}
+
+/// Circuit-breaker state for block delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    /// Tripped: no RPCs until `until`.
+    Open {
+        until: SimTime,
+    },
+}
+
 /// Response and remediation (Fig. 4 part b): block the attacker source at
-/// the BHR (deduplicated per source, batched per pipeline batch) and emit
-/// an operator notification per detection.
+/// the BHR (deduplicated per source) and emit an operator notification
+/// per detection.
+///
+/// Delivery is fallible: a failed block RPC (see
+/// [`bhr::retry::BlockBackend`]) enters a pending queue and is retried on
+/// the [`RetryPolicy`]'s backoff schedule — with a circuit breaker that
+/// stops hammering a down router — until it lands, exhausts its attempt
+/// cap, or passes its deadline (then it is *abandoned*, counted and
+/// audited, never silently dropped). Failed notifications get the same
+/// treatment minus the breaker. All retry timing is driven by the alert
+/// timestamps flowing through [`ResponseStage::respond`] (plus
+/// [`Stage::flush`] at end of stream), never by batch boundaries, so
+/// every executor replays the identical schedule.
 pub struct ResponseStage {
     bhr: BhrHandle,
     block_on_detection: bool,
     detection_block_ttl: Option<SimDuration>,
     blocked: FxHashSet<Ipv4Addr>,
     source: &'static str,
-    pending_blocks: Vec<(SimTime, Ipv4Addr, String, Option<SimDuration>)>,
+    retry: RetryPolicy,
+    /// Jitter stream for backoff scheduling; consumed only on failures,
+    /// so the clean path draws nothing.
+    rng: SimRng,
+    notify_backend: Option<Box<dyn NotifyBackend>>,
+    pending_blocks: Vec<PendingBlock>,
+    pending_notes: Vec<PendingNote>,
+    breaker: Breaker,
+    consecutive_failures: u32,
+    blocks_retried: u64,
+    blocks_abandoned: u64,
+    notifications_retried: u64,
+    notifications_abandoned: u64,
 }
 
 impl ResponseStage {
+    /// Seed for the backoff-jitter stream (shared by every executor so
+    /// retry schedules are byte-identical across them).
+    const RETRY_SEED: u64 = 0x5E7_B10C;
+
     pub fn new(
         bhr: BhrHandle,
         block_on_detection: bool,
@@ -371,17 +496,264 @@ impl ResponseStage {
             detection_block_ttl,
             blocked: FxHashSet::default(),
             source,
+            retry: RetryPolicy::default(),
+            rng: SimRng::seed(Self::RETRY_SEED),
+            notify_backend: None,
             pending_blocks: Vec::new(),
+            pending_notes: Vec::new(),
+            breaker: Breaker::Closed,
+            consecutive_failures: 0,
+            blocks_retried: 0,
+            blocks_abandoned: 0,
+            notifications_retried: 0,
+            notifications_abandoned: 0,
         }
+    }
+
+    /// Replace the retry policy (and reseed the jitter stream — pass the
+    /// same seed across executors for byte-identical schedules).
+    pub fn with_retry(mut self, retry: RetryPolicy, seed: u64) -> Self {
+        self.retry = retry;
+        self.rng = SimRng::seed(seed);
+        self
+    }
+
+    /// Route notifications through a fallible backend (fault injection);
+    /// without one every notification lands directly.
+    pub fn with_notify_backend(mut self, backend: impl NotifyBackend + 'static) -> Self {
+        self.notify_backend = Some(Box::new(backend));
+        self
+    }
+
+    /// [`ResponseStage::with_notify_backend`] for an already-boxed backend.
+    pub fn with_boxed_notify_backend(mut self, backend: Box<dyn NotifyBackend>) -> Self {
+        self.notify_backend = Some(backend);
+        self
     }
 
     pub fn bhr(&self) -> &BhrHandle {
         &self.bhr
     }
 
-    /// Distinct sources blocked by this stage.
+    /// Distinct sources this stage decided to block. Includes sources
+    /// whose delivery is still pending or was abandoned — the *intent*
+    /// count, deduplicated per source.
     pub fn blocked_sources(&self) -> u64 {
         self.blocked.len() as u64
+    }
+
+    /// Retry delivery attempts for blocks (first attempts excluded).
+    pub fn blocks_retried(&self) -> u64 {
+        self.blocks_retried
+    }
+
+    /// Blocks given up on after the attempt cap or deadline.
+    pub fn blocks_abandoned(&self) -> u64 {
+        self.blocks_abandoned
+    }
+
+    /// Retry delivery attempts for notifications.
+    pub fn notifications_retried(&self) -> u64 {
+        self.notifications_retried
+    }
+
+    /// Notifications given up on after the attempt cap or deadline.
+    pub fn notifications_abandoned(&self) -> u64 {
+        self.notifications_abandoned
+    }
+
+    /// Blocks currently awaiting a retry slot.
+    pub fn pending_block_count(&self) -> usize {
+        self.pending_blocks.len()
+    }
+
+    fn note_block_failure(&mut self, ts: SimTime) {
+        self.consecutive_failures += 1;
+        if self.breaker == Breaker::Closed
+            && self.retry.breaker_threshold > 0
+            && self.consecutive_failures >= self.retry.breaker_threshold
+        {
+            let until = ts.saturating_add(self.retry.breaker_cooldown);
+            self.breaker = Breaker::Open { until };
+            self.bhr.audit_event(
+                ts,
+                "circuit-open",
+                None,
+                format!(
+                    "{} consecutive delivery failures",
+                    self.consecutive_failures
+                ),
+            );
+        }
+    }
+
+    /// Queue (or immediately deliver) one block decision.
+    fn submit_block(&mut self, ts: SimTime, addr: Ipv4Addr, reason: String) {
+        if let Breaker::Open { until } = self.breaker {
+            // No RPCs while the breaker is open: straight to the queue,
+            // first attempt when the breaker closes.
+            self.pending_blocks.push(PendingBlock {
+                addr,
+                reason,
+                ttl: self.detection_block_ttl,
+                first_failure: ts,
+                attempts: 0,
+                next_ts: until,
+            });
+            return;
+        }
+        match self
+            .bhr
+            .try_block(ts, addr, reason.clone(), self.detection_block_ttl)
+        {
+            Ok(_) => self.consecutive_failures = 0,
+            Err(_) => {
+                self.note_block_failure(ts);
+                if self.retry.max_attempts <= 1 {
+                    self.blocks_abandoned += 1;
+                    self.bhr
+                        .audit_event(ts, "block-abandoned", Some(addr), "retries disabled");
+                    return;
+                }
+                let delay = self.retry.backoff(1, &mut self.rng);
+                let mut next_ts = ts.saturating_add(delay);
+                if let Breaker::Open { until } = self.breaker {
+                    if until > next_ts {
+                        next_ts = until;
+                    }
+                }
+                self.pending_blocks.push(PendingBlock {
+                    addr,
+                    reason,
+                    ttl: self.detection_block_ttl,
+                    first_failure: ts,
+                    attempts: 1,
+                    next_ts,
+                });
+            }
+        }
+    }
+
+    /// Deliver (or queue) one notification.
+    fn deliver_note(
+        &mut self,
+        ts: SimTime,
+        note: OperatorNotification,
+        out: &mut Vec<OperatorNotification>,
+    ) {
+        let Some(backend) = self.notify_backend.as_mut() else {
+            out.push(note);
+            return;
+        };
+        match backend.try_notify(&note) {
+            Ok(()) => out.push(note),
+            Err(e) => {
+                self.bhr
+                    .audit_event(ts, "notify-failed", None, e.to_string());
+                if self.retry.max_attempts <= 1 {
+                    self.notifications_abandoned += 1;
+                    self.bhr
+                        .audit_event(ts, "notify-abandoned", None, "retries disabled");
+                    return;
+                }
+                let delay = self.retry.backoff(1, &mut self.rng);
+                self.pending_notes.push(PendingNote {
+                    note,
+                    first_failure: ts,
+                    attempts: 1,
+                    next_ts: ts.saturating_add(delay),
+                });
+            }
+        }
+    }
+
+    /// Pump the retry queues up to time `ts`: close a cooled-down
+    /// breaker, re-attempt every due pending block and notification.
+    /// Driven per detection event and by [`Stage::flush`] — never by
+    /// batch boundaries.
+    fn advance(&mut self, ts: SimTime, out: &mut Vec<OperatorNotification>) {
+        if let Breaker::Open { until } = self.breaker {
+            if ts >= until {
+                self.breaker = Breaker::Closed;
+                self.consecutive_failures = 0;
+                self.bhr
+                    .audit_event(until, "circuit-close", None, "cooldown elapsed");
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_blocks.len() {
+            if matches!(self.breaker, Breaker::Open { .. }) {
+                break;
+            }
+            if self.pending_blocks[i].next_ts > ts {
+                i += 1;
+                continue;
+            }
+            let mut pb = self.pending_blocks.swap_remove(i);
+            let attempt_ts = pb.next_ts;
+            self.blocks_retried += 1;
+            match self
+                .bhr
+                .try_block(attempt_ts, pb.addr, pb.reason.clone(), pb.ttl)
+            {
+                Ok(_) => self.consecutive_failures = 0,
+                Err(_) => {
+                    self.note_block_failure(attempt_ts);
+                    pb.attempts += 1;
+                    let over_deadline =
+                        attempt_ts.saturating_since(pb.first_failure) >= self.retry.deadline;
+                    if pb.attempts >= self.retry.max_attempts || over_deadline {
+                        self.blocks_abandoned += 1;
+                        self.bhr.audit_event(
+                            attempt_ts,
+                            "block-abandoned",
+                            Some(pb.addr),
+                            format!("after {} failed attempts", pb.attempts),
+                        );
+                    } else {
+                        let delay = self.retry.backoff(pb.attempts, &mut self.rng);
+                        pb.next_ts = attempt_ts.saturating_add(delay);
+                        if let Breaker::Open { until } = self.breaker {
+                            if until > pb.next_ts {
+                                pb.next_ts = until;
+                            }
+                        }
+                        self.pending_blocks.push(pb);
+                    }
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_notes.len() {
+            if self.pending_notes[i].next_ts > ts {
+                i += 1;
+                continue;
+            }
+            let mut pn = self.pending_notes.swap_remove(i);
+            let attempt_ts = pn.next_ts;
+            self.notifications_retried += 1;
+            let backend = self
+                .notify_backend
+                .as_mut()
+                .expect("pending notes exist only with a notify backend");
+            match backend.try_notify(&pn.note) {
+                Ok(()) => out.push(pn.note),
+                Err(e) => {
+                    pn.attempts += 1;
+                    let over_deadline =
+                        attempt_ts.saturating_since(pn.first_failure) >= self.retry.deadline;
+                    if pn.attempts >= self.retry.max_attempts || over_deadline {
+                        self.notifications_abandoned += 1;
+                        self.bhr
+                            .audit_event(attempt_ts, "notify-abandoned", None, e.to_string());
+                    } else {
+                        let delay = self.retry.backoff(pn.attempts, &mut self.rng);
+                        pn.next_ts = attempt_ts.saturating_add(delay);
+                        self.pending_notes.push(pn);
+                    }
+                }
+            }
+        }
     }
 
     /// Respond to a batch of outcomes. `now` is the response timestamp
@@ -400,19 +772,17 @@ impl ResponseStage {
                 continue;
             };
             let ts = now.unwrap_or(o.alert.ts);
+            self.advance(ts, out);
             if self.block_on_detection {
                 if let Some(src) = o.alert.src {
                     if self.blocked.insert(src) {
-                        self.pending_blocks.push((
-                            ts,
-                            src,
-                            format!("detector: {} at {}", detection.trigger, detection.stage),
-                            self.detection_block_ttl,
-                        ));
+                        let reason =
+                            format!("detector: {} at {}", detection.trigger, detection.stage);
+                        self.submit_block(ts, src, reason);
                     }
                 }
             }
-            out.push(OperatorNotification {
+            let note = OperatorNotification {
                 ts,
                 entity: o.alert.entity,
                 detection: detection.clone(),
@@ -421,10 +791,31 @@ impl ResponseStage {
                     o.alert.entity, detection.stage, detection.score, detection.trigger
                 ),
                 source: self.source.into(),
-            });
+            };
+            self.deliver_note(ts, note, out);
         }
-        if !self.pending_blocks.is_empty() {
-            self.bhr.block_batch(self.pending_blocks.drain(..));
+    }
+
+    /// Drain the retry queues at end of stream by advancing the clock to
+    /// each next scheduled attempt. Terminates: every pass delivers,
+    /// reschedules with a bounded attempt count, or abandons.
+    fn drain_pending(&mut self, out: &mut Vec<OperatorNotification>) {
+        loop {
+            let next = self
+                .pending_blocks
+                .iter()
+                .map(|p| p.next_ts)
+                .chain(self.pending_notes.iter().map(|p| p.next_ts))
+                .min();
+            let Some(mut t) = next else {
+                break;
+            };
+            if let Breaker::Open { until } = self.breaker {
+                if until > t {
+                    t = until;
+                }
+            }
+            self.advance(t, out);
         }
     }
 }
@@ -436,6 +827,10 @@ impl Stage<DetectOutcome, OperatorNotification> for ResponseStage {
 
     fn process_batch(&mut self, input: &[DetectOutcome], out: &mut Vec<OperatorNotification>) {
         self.respond(None, input, out);
+    }
+
+    fn flush(&mut self, out: &mut Vec<OperatorNotification>) {
+        self.drain_pending(out);
     }
 }
 
@@ -510,6 +905,196 @@ mod tests {
         assert_eq!(resp.blocked_sources(), 1, "block deduplicated per source");
         assert!(bhr.is_blocked(SimTime::from_secs(10), src));
         assert!(notes[0].message.contains("preemption"));
+    }
+
+    fn detection() -> Detection {
+        Detection {
+            ts: SimTime::from_secs(5),
+            alert_index: 0,
+            trigger: AlertKind::C2Communication,
+            score: 0.9,
+            stage: detect::Stage::Foothold,
+        }
+    }
+
+    fn outcome_at(t: u64, user: &str, src: Ipv4Addr) -> DetectOutcome {
+        DetectOutcome {
+            alert: alert(t, AlertKind::C2Communication, user).with_src(src),
+            detection: Some(detection()),
+        }
+    }
+
+    fn fast_retry() -> bhr::retry::RetryPolicy {
+        bhr::retry::RetryPolicy {
+            max_attempts: 12,
+            base_backoff: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(8),
+            jitter_frac: 0.0,
+            deadline: SimDuration::from_hours(1),
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn failed_blocks_retry_until_they_land() {
+        use bhr::retry::FlakyBackend;
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(2));
+        let mut resp = ResponseStage::new(bhr.clone(), true, None, "attack-tagger")
+            .with_retry(fast_retry(), 1);
+        let src: Ipv4Addr = "103.102.1.1".parse().unwrap();
+        let mut notes = Vec::new();
+        resp.respond(None, &[outcome_at(5, "eve", src)], &mut notes);
+        assert_eq!(notes.len(), 1, "notification still lands");
+        assert!(!bhr.is_blocked(SimTime::from_secs(6), src), "RPC failed");
+        assert_eq!(resp.pending_block_count(), 1);
+        // End of stream: the flush drains the retry queue on schedule.
+        resp.flush(&mut notes);
+        assert!(bhr.is_blocked(SimTime::from_secs(100), src), "block landed");
+        assert_eq!(resp.blocks_abandoned(), 0, "nothing permanently lost");
+        assert_eq!(resp.blocks_retried(), 2);
+        let commands: Vec<String> = bhr.audit_log().iter().map(|e| e.command.clone()).collect();
+        assert_eq!(commands, vec!["block-failed", "block-failed", "block"]);
+    }
+
+    #[test]
+    fn hopeless_blocks_are_abandoned_and_audited() {
+        use bhr::retry::FlakyBackend;
+        let bhr = BhrHandle::with_backend(FlakyBackend::new(1.0, 3));
+        let policy = bhr::retry::RetryPolicy {
+            max_attempts: 3,
+            breaker_threshold: 0, // breaker off; exercise the cap alone
+            ..fast_retry()
+        };
+        let mut resp =
+            ResponseStage::new(bhr.clone(), true, None, "attack-tagger").with_retry(policy, 1);
+        let src: Ipv4Addr = "103.102.1.2".parse().unwrap();
+        let mut notes = Vec::new();
+        resp.respond(None, &[outcome_at(5, "eve", src)], &mut notes);
+        resp.flush(&mut notes);
+        assert_eq!(resp.blocks_abandoned(), 1);
+        assert_eq!(resp.pending_block_count(), 0);
+        assert!(!bhr.is_blocked(SimTime::from_secs(10_000), src));
+        let log = bhr.audit_log();
+        assert!(log.iter().any(|e| e.command == "block-abandoned"));
+        assert_eq!(
+            log.iter().filter(|e| e.command == "block-failed").count(),
+            3,
+            "attempt cap respected"
+        );
+        // The intent is still recorded: the source counts as handled so
+        // the stage will not re-decide it, and the audit trail shows why
+        // no route exists.
+        assert_eq!(resp.blocked_sources(), 1);
+    }
+
+    #[test]
+    fn circuit_breaker_trips_and_recovers() {
+        use bhr::retry::FlakyBackend;
+        // Fails the first 6 RPCs, then recovers: the breaker (threshold
+        // 3) must trip, hold further RPCs, then close after cooldown and
+        // let the queued blocks through.
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(6));
+        let policy = bhr::retry::RetryPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(30),
+            ..fast_retry()
+        };
+        let mut resp =
+            ResponseStage::new(bhr.clone(), true, None, "attack-tagger").with_retry(policy, 1);
+        let mut notes = Vec::new();
+        let srcs: Vec<Ipv4Addr> = (1..=4).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect();
+        for (i, src) in srcs.iter().enumerate() {
+            resp.respond(
+                None,
+                &[outcome_at(10 * (i as u64 + 1), &format!("u{i}"), *src)],
+                &mut notes,
+            );
+        }
+        let log = bhr.audit_log();
+        assert!(
+            log.iter().any(|e| e.command == "circuit-open"),
+            "breaker tripped: {log:?}"
+        );
+        resp.flush(&mut notes);
+        assert!(bhr.audit_log().iter().any(|e| e.command == "circuit-close"));
+        assert_eq!(resp.blocks_abandoned(), 0);
+        for src in &srcs {
+            assert!(
+                bhr.is_blocked(SimTime::from_secs(100_000), *src),
+                "{src} must eventually land"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_notifications_retry_too() {
+        struct FlakyNotify {
+            fail_first: u32,
+            calls: u32,
+        }
+        impl NotifyBackend for FlakyNotify {
+            fn try_notify(&mut self, _: &OperatorNotification) -> Result<(), BlockError> {
+                self.calls += 1;
+                if self.calls <= self.fail_first {
+                    Err(BlockError::Timeout)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let bhr = BhrHandle::new();
+        let mut resp = ResponseStage::new(bhr.clone(), false, None, "attack-tagger")
+            .with_retry(fast_retry(), 1)
+            .with_notify_backend(FlakyNotify {
+                fail_first: 2,
+                calls: 0,
+            });
+        let src: Ipv4Addr = "103.102.1.3".parse().unwrap();
+        let mut notes = Vec::new();
+        resp.respond(None, &[outcome_at(5, "eve", src)], &mut notes);
+        assert!(notes.is_empty(), "first delivery failed");
+        resp.flush(&mut notes);
+        assert_eq!(notes.len(), 1, "notification re-delivered");
+        assert_eq!(resp.notifications_retried(), 2);
+        assert_eq!(resp.notifications_abandoned(), 0);
+    }
+
+    #[test]
+    fn fault_stage_is_batch_boundary_invariant() {
+        use scenario::faults::{ClockSkewConfig, FaultPlan};
+        use scenario::{record_stream, RecordStreamConfig};
+        let records = record_stream(
+            &RecordStreamConfig {
+                scan_records: 200,
+                benign_flows: 100,
+                exec_records: 100,
+                users: 10,
+                ..RecordStreamConfig::default()
+            },
+            &mut simnet::rng::SimRng::seed(8),
+        );
+        let plan = FaultPlan::clean(3)
+            .with_loss(0.1)
+            .with_duplication(0.05)
+            .with_reorder(8)
+            .with_clock(ClockSkewConfig {
+                max_skew: SimDuration::from_secs(10),
+                jitter: SimDuration::from_secs(1),
+            });
+        let run = |batch: usize| {
+            let mut stage = FaultStage::new(plan.clone());
+            let mut out = Vec::new();
+            for chunk in records.chunks(batch) {
+                stage.process_batch(chunk, &mut out);
+            }
+            stage.flush(&mut out);
+            (out, stage.stats())
+        };
+        let (a, sa) = run(1);
+        let (b, sb) = run(97);
+        assert_eq!(a, b, "batching must be unobservable");
+        assert_eq!(sa, sb);
     }
 
     #[test]

@@ -13,14 +13,15 @@ use bhr::api::BhrHandle;
 use detect::attack_tagger::AttackTagger;
 use detect::rules::RuleBasedDetector;
 use factorgraph::chain::ChainModel;
-use simnet::time::SimDuration;
+use scenario::faults::{FaultInjector, FaultPlan};
+use simnet::time::{SimDuration, SimTime};
 use telemetry::monitor::Monitor;
 use telemetry::record::LogRecord;
 
 use crate::config::{ExecutorKind, PipelineTuning, TestbedConfig};
 use crate::pipeline::PipelineSink;
 use crate::stage::adapters::{
-    DetectorStage, FilterStage, MonitorStage, ResponseStage, SymbolizeStage,
+    DetectorStage, FilterStage, MonitorStage, NotifyBackend, ResponseStage, SymbolizeStage,
 };
 use crate::stage::executor::{self, StreamReport};
 use crate::stage::AlertRetention;
@@ -35,6 +36,9 @@ pub struct PipelineBuilder {
     detection_block_ttl: Option<SimDuration>,
     tuning: PipelineTuning,
     seed: u64,
+    faults: Option<FaultPlan>,
+    blackouts: Vec<(SimTime, SimTime)>,
+    notify_backend: Option<Box<dyn NotifyBackend>>,
 }
 
 impl Default for PipelineBuilder {
@@ -60,6 +64,9 @@ impl PipelineBuilder {
             detection_block_ttl: None,
             tuning: PipelineTuning::default(),
             seed: TestbedConfig::default().seed,
+            faults: None,
+            blackouts: Vec::new(),
+            notify_backend: None,
         }
     }
 
@@ -83,6 +90,9 @@ impl PipelineBuilder {
             detection_block_ttl: cfg.detection_block_ttl,
             tuning: cfg.tuning.clone(),
             seed: cfg.seed,
+            faults: None,
+            blackouts: Vec::new(),
+            notify_backend: None,
         }
     }
 
@@ -187,24 +197,63 @@ impl PipelineBuilder {
         self
     }
 
+    /// Inject telemetry faults (loss, blackouts, duplication, reordering,
+    /// clock skew) between the record source and symbolization. The plan's
+    /// own seed keeps the faulted stream identical across executors.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Declare telemetry outage windows the *operator knows about*
+    /// (scheduled maintenance, an acknowledged sensor crash). The detector
+    /// subtracts these spans from inter-alert gaps so a blackout is not
+    /// misread as attacker silence. Deliberately separate from
+    /// [`PipelineBuilder::faults`]: an injected blackout is only also
+    /// *known* if the caller passes it here (typically via
+    /// [`FaultPlan::blackout_spans`]).
+    pub fn known_blackouts(mut self, windows: Vec<(SimTime, SimTime)>) -> Self {
+        self.blackouts = windows;
+        self
+    }
+
+    /// Route operator notifications through a fallible delivery backend
+    /// (retried under the tuning's [`RetryPolicy`]); default delivery is
+    /// direct and infallible.
+    ///
+    /// [`RetryPolicy`]: bhr::retry::RetryPolicy
+    pub fn notify_backend(mut self, backend: impl NotifyBackend + 'static) -> Self {
+        self.notify_backend = Some(Box::new(backend));
+        self
+    }
+
     /// Assemble the record-stream pipeline.
     pub fn build(mut self) -> BuiltPipeline {
         if let Some(temporal) = &self.tuning.temporal {
             self.detector.apply_temporal(temporal);
         }
+        if !self.blackouts.is_empty() {
+            self.detector.apply_blackouts(self.blackouts);
+        }
         let source = self.detector.source();
+        let mut response = ResponseStage::new(
+            self.bhr,
+            self.block_on_detection,
+            self.detection_block_ttl,
+            source,
+        )
+        .with_retry(self.tuning.retry.clone(), self.seed);
+        if let Some(backend) = self.notify_backend {
+            response = response.with_boxed_notify_backend(backend);
+        }
         BuiltPipeline {
             symbolize: SymbolizeStage::new(self.symbolizer),
             filter: FilterStage::new(self.filter),
             detect: self.detector,
-            response: ResponseStage::new(
-                self.bhr,
-                self.block_on_detection,
-                self.detection_block_ttl,
-                source,
-            ),
+            response,
             retention: AlertRetention::new(self.tuning.alert_retention),
             tuning: self.tuning,
+            faults: self.faults.map(FaultInjector::new),
         }
     }
 
@@ -225,6 +274,7 @@ pub struct BuiltPipeline {
     pub(crate) response: ResponseStage,
     pub(crate) retention: AlertRetention,
     pub(crate) tuning: PipelineTuning,
+    pub(crate) faults: Option<FaultInjector>,
 }
 
 impl BuiltPipeline {
@@ -243,6 +293,7 @@ impl BuiltPipeline {
             response: ResponseStage::new(BhrHandle::new(), false, None, "attack-tagger"),
             retention: AlertRetention::new(tuning.alert_retention),
             tuning,
+            faults: None,
         }
     }
 

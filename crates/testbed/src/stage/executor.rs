@@ -26,6 +26,7 @@ use alertlib::alert::Alert;
 use alertlib::filter::FilterStats;
 use crossbeam::channel::{bounded, Sender};
 use rayon::prelude::*;
+use scenario::faults::{FaultInjector, FaultStats};
 use simnet::time::SimTime;
 use telemetry::record::LogRecord;
 
@@ -53,6 +54,21 @@ pub struct StreamReport {
     pub alerts_dropped: u64,
     /// Distinct sources blocked at the BHR by the response stage.
     pub blocked_sources: u64,
+    /// Alerts the detector dropped as telemetry re-deliveries (0 unless a
+    /// dedup window is configured).
+    pub duplicates_suppressed: u64,
+    /// Block RPC re-deliveries attempted by the response retry queue.
+    pub blocks_retried: u64,
+    /// Blocks permanently given up on (attempt cap or deadline hit).
+    pub blocks_abandoned: u64,
+    /// Notification re-deliveries attempted by the response retry queue.
+    pub notifications_retried: u64,
+    /// Notifications permanently given up on.
+    pub notifications_abandoned: u64,
+    /// Fault-injection accounting when the pipeline was built with a
+    /// [`FaultPlan`](scenario::faults::FaultPlan); `None` on clean runs.
+    /// `stats.records` counts *post-fault* records in either case.
+    pub fault: Option<FaultStats>,
 }
 
 /// The sequential stage composition, shared by the inline executor and the
@@ -146,6 +162,12 @@ impl InlineCore {
             notifications: self.notifications,
             alerts_dropped: self.retention.dropped(),
             blocked_sources: self.response.blocked_sources(),
+            duplicates_suppressed: self.detect.duplicates_suppressed(),
+            blocks_retried: self.response.blocks_retried(),
+            blocks_abandoned: self.response.blocks_abandoned(),
+            notifications_retried: self.response.notifications_retried(),
+            notifications_abandoned: self.response.notifications_abandoned(),
+            fault: None,
             retained_alerts: self.retention.into_vec(),
         }
     }
@@ -173,50 +195,91 @@ fn finish_outcomes(
 }
 
 /// Sequential executor (the deterministic reference).
-pub(crate) fn run_inline<I>(p: BuiltPipeline, records: I) -> StreamReport
+pub(crate) fn run_inline<I>(mut p: BuiltPipeline, records: I) -> StreamReport
 where
     I: IntoIterator<Item = LogRecord>,
 {
     let batch = p.tuning.batch_size.max(1);
+    let faults = p.faults.take();
     let mut core = InlineCore::new(p);
     let mut buf: Vec<LogRecord> = Vec::with_capacity(batch);
-    for r in records {
-        buf.push(r);
-        if buf.len() == batch {
-            core.process_records_at(None, &buf);
-            buf.clear();
+    let fault = match faults {
+        None => {
+            for r in records {
+                buf.push(r);
+                if buf.len() >= batch {
+                    core.process_records_at(None, &buf);
+                    buf.clear();
+                }
+            }
+            None
         }
-    }
+        Some(mut inj) => {
+            for r in records {
+                inj.push(r, &mut buf);
+                if buf.len() >= batch {
+                    core.process_records_at(None, &buf);
+                    buf.clear();
+                }
+            }
+            inj.finish(&mut buf);
+            Some(inj.stats())
+        }
+    };
     if !buf.is_empty() {
         core.process_records_at(None, &buf);
     }
     core.flush();
-    core.into_report()
+    let mut report = core.into_report();
+    report.fault = fault;
+    report
 }
 
-/// Feed records into the first channel in batches. Returns the record
-/// count.
-fn feed<I>(records: I, tx: Sender<Vec<LogRecord>>, batch: usize) -> u64
+/// Feed records into the first channel in batches, pushing them through
+/// the fault injector when one is configured. Returns the count of records
+/// actually sent downstream (post-fault) plus the fault accounting.
+fn feed<I>(
+    records: I,
+    tx: Sender<Vec<LogRecord>>,
+    batch: usize,
+    faults: Option<FaultInjector>,
+) -> (u64, Option<FaultStats>)
 where
     I: IntoIterator<Item = LogRecord>,
 {
     let mut n = 0u64;
     let mut buf: Vec<LogRecord> = Vec::with_capacity(batch);
-    for r in records {
-        n += 1;
-        buf.push(r);
-        if buf.len() == batch
-            && tx
-                .send(std::mem::replace(&mut buf, Vec::with_capacity(batch)))
-                .is_err()
-        {
-            return n;
+    let send = |buf: &mut Vec<LogRecord>, n: &mut u64| {
+        *n += buf.len() as u64;
+        tx.send(std::mem::replace(buf, Vec::with_capacity(batch)))
+            .is_err()
+    };
+    let fault = match faults {
+        None => {
+            for r in records {
+                buf.push(r);
+                if buf.len() >= batch && send(&mut buf, &mut n) {
+                    return (n, None);
+                }
+            }
+            None
         }
-    }
+        Some(mut inj) => {
+            for r in records {
+                inj.push(r, &mut buf);
+                if buf.len() >= batch && send(&mut buf, &mut n) {
+                    return (n, Some(inj.stats()));
+                }
+            }
+            inj.finish(&mut buf);
+            Some(inj.stats())
+        }
+    };
     if !buf.is_empty() {
+        n += buf.len() as u64;
         let _ = tx.send(buf);
     }
-    n
+    (n, fault)
 }
 
 /// Threaded executor: one thread per stage, batched bounded channels.
@@ -250,6 +313,7 @@ where
         mut response,
         mut retention,
         tuning,
+        faults,
     } = p;
     let batch = tuning.batch_size.max(1);
     let depth = tuning.channel_batches();
@@ -258,7 +322,7 @@ where
     let (adm_tx, adm_rx) = bounded::<Vec<Alert>>(depth);
 
     std::thread::scope(|scope| {
-        let feeder = scope.spawn(move || feed(records, rec_tx, batch));
+        let feeder = scope.spawn(move || feed(records, rec_tx, batch, faults));
 
         let symbolizing = scope.spawn(move || {
             let mut produced = 0u64;
@@ -333,13 +397,14 @@ where
                 &mut notifications,
             );
             response.flush(&mut notifications);
-            (response, retention, detections, notifications)
+            let duplicates = pool.duplicates_suppressed();
+            (response, retention, detections, notifications, duplicates)
         });
 
-        let records = feeder.join().expect("feeder thread");
+        let (records, fault) = feeder.join().expect("feeder thread");
         let alerts = symbolizing.join().expect("symbolize thread");
         let (filter, admitted) = filtering.join().expect("filter thread");
-        let (response, retention, detections, notifications) =
+        let (response, retention, detections, notifications, duplicates_suppressed) =
             sinking.join().expect("detect/response thread");
         StreamReport {
             stats: StreamStats {
@@ -352,6 +417,12 @@ where
             notifications,
             alerts_dropped: retention.dropped(),
             blocked_sources: response.blocked_sources(),
+            duplicates_suppressed,
+            blocks_retried: response.blocks_retried(),
+            blocks_abandoned: response.blocks_abandoned(),
+            notifications_retried: response.notifications_retried(),
+            notifications_abandoned: response.notifications_abandoned(),
+            fault,
             retained_alerts: retention.into_vec(),
         }
     })
@@ -377,6 +448,12 @@ impl DetectShards {
             seqs: (0..k).map(|_| Vec::new()).collect(),
             shards,
         }
+    }
+
+    /// Re-deliveries suppressed across every shard (per-entity state lives
+    /// on exactly one shard, so the sum equals the sequential count).
+    fn duplicates_suppressed(&self) -> u64 {
+        self.shards.iter().map(|s| s.duplicates_suppressed()).sum()
     }
 
     /// Route `pending` to shards by entity hash, drive every shard (on
@@ -510,6 +587,12 @@ mod tests {
         assert_eq!(a.retained_alerts, b.retained_alerts);
         assert_eq!(a.alerts_dropped, b.alerts_dropped);
         assert_eq!(a.blocked_sources, b.blocked_sources);
+        assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+        assert_eq!(a.blocks_retried, b.blocks_retried);
+        assert_eq!(a.blocks_abandoned, b.blocks_abandoned);
+        assert_eq!(a.notifications_retried, b.notifications_retried);
+        assert_eq!(a.notifications_abandoned, b.notifications_abandoned);
+        assert_eq!(a.fault, b.fault);
     }
 
     #[test]
@@ -533,6 +616,47 @@ mod tests {
                 .run_sharded(records.clone());
             reports_equal(&inline, &sharded);
         }
+    }
+
+    #[test]
+    fn faulted_executors_agree_byte_for_byte() {
+        use scenario::faults::{BlackoutScope, BlackoutWindow, ClockSkewConfig, FaultPlan};
+        let records = workload();
+        let plan = FaultPlan::clean(0xFA017)
+            .named("mixed")
+            .with_loss(0.05)
+            .with_duplication(0.05)
+            .with_reorder(16)
+            .with_clock(ClockSkewConfig {
+                max_skew: SimDuration::from_secs(5),
+                jitter: SimDuration::from_secs(1),
+            })
+            .with_blackout(BlackoutWindow {
+                start: SimTime::from_secs(300),
+                end: SimTime::from_secs(600),
+                scope: BlackoutScope::All,
+            });
+        let build = || {
+            PipelineBuilder::new()
+                .batch_size(37)
+                .faults(plan.clone())
+                .known_blackouts(plan.blackout_spans())
+                .build()
+        };
+        let inline = build().run_inline(records.clone());
+        let stats = inline.fault.as_ref().expect("fault accounting present");
+        assert_eq!(stats.records_out, inline.stats.records);
+        assert!(stats.records_in > stats.records_out - stats.duplicated);
+        let threaded = build().run_threaded(records.clone());
+        reports_equal(&inline, &threaded);
+        let sharded = PipelineBuilder::new()
+            .batch_size(37)
+            .detect_shards(5)
+            .faults(plan.clone())
+            .known_blackouts(plan.blackout_spans())
+            .build()
+            .run_sharded(records);
+        reports_equal(&inline, &sharded);
     }
 
     #[test]

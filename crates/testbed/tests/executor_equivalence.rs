@@ -160,6 +160,10 @@ fn assert_reports_identical(a: &StreamReport, b: &StreamReport) {
     prop_assert_eq!(&a.retained_alerts, &b.retained_alerts);
     prop_assert_eq!(a.alerts_dropped, b.alerts_dropped);
     prop_assert_eq!(a.blocked_sources, b.blocked_sources);
+    prop_assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+    prop_assert_eq!(a.blocks_retried, b.blocks_retried);
+    prop_assert_eq!(a.blocks_abandoned, b.blocks_abandoned);
+    prop_assert_eq!(&a.fault, &b.fault);
 }
 
 proptest! {
@@ -322,6 +326,67 @@ proptest! {
         let eval_interned = testbed::evaluate_campaign(&interned, &campaign.truth);
         let eval_strings = testbed::evaluate_campaign(&from_strings, &campaign.truth);
         prop_assert_eq!(eval_interned, eval_strings);
+    }
+
+    /// Fault injection is part of the determinism contract: the same
+    /// `FaultPlan` seed over the same input must yield a byte-identical
+    /// faulted stream, and the in-pipeline injection must equal
+    /// pre-faulting the stream by hand — with byte-identical detections
+    /// across all three executors on top.
+    #[test]
+    fn faulted_streams_replay_identically_across_executors(
+        seed in 0u64..100_000,
+        fault_seed in 0u64..100_000,
+        batch in 1usize..300,
+        shards in 1usize..9,
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.3,
+        reorder in 0usize..48,
+        scans in 0usize..400,
+        execs in 0usize..400,
+    ) {
+        use scenario::faults::{apply_fault_plan, ClockSkewConfig, FaultPlan};
+        let records = workload(seed, scans, execs, 20);
+        let plan = FaultPlan::clean(fault_seed)
+            .named("prop-mixed")
+            .with_loss(loss)
+            .with_duplication(dup)
+            .with_reorder(reorder)
+            .with_clock(ClockSkewConfig {
+                max_skew: SimDuration::from_secs(30),
+                jitter: SimDuration::from_secs(5),
+            });
+
+        // Same plan seed ⇒ byte-identical faulted stream.
+        let (faulted_a, stats_a) = apply_fault_plan(&plan, &records);
+        let (faulted_b, stats_b) = apply_fault_plan(&plan, &records);
+        prop_assert_eq!(&faulted_a, &faulted_b);
+        prop_assert_eq!(&stats_a, &stats_b);
+
+        let capacity = batch * (1 + seed as usize % 4);
+        let inline = builder(batch, capacity, shards, 50)
+            .faults(plan.clone())
+            .build()
+            .run_inline(records.clone());
+        // In-pipeline injection ≡ pre-faulting the stream by hand.
+        prop_assert_eq!(inline.fault.as_ref(), Some(&stats_a));
+        let pre_faulted = builder(batch, capacity, shards, 50)
+            .build()
+            .run_inline(faulted_a);
+        prop_assert_eq!(inline.stats, pre_faulted.stats);
+        prop_assert_eq!(detection_keys(&inline), detection_keys(&pre_faulted));
+
+        let threaded = builder(batch, capacity, shards, 50)
+            .faults(plan.clone())
+            .build()
+            .run_threaded(records.clone());
+        assert_reports_identical(&inline, &threaded);
+
+        let sharded = builder(batch, capacity, shards, 50)
+            .faults(plan)
+            .build()
+            .run_sharded(records);
+        assert_reports_identical(&inline, &sharded);
     }
 
     /// The rule-based baseline detector shards identically too (its
