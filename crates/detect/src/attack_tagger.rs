@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use simnet::rng::FxHashMap;
 use simnet::time::{SimDuration, SimTime};
 
+use crate::correlate::CorrelationPolicy;
 use crate::stage::Stage;
 
 /// Per-entity temporal evidence policy (Insight 3 hardening).
@@ -100,6 +101,14 @@ pub struct TaggerConfig {
     /// deserialize to the default policy.
     #[serde(default)]
     pub temporal: TemporalPolicy,
+    /// Opt-in cross-entity campaign correlation
+    /// ([`crate::correlate::CampaignCorrelator`]). `None` — the default,
+    /// and what pre-correlation configs deserialize to — keeps the
+    /// detector strictly per-entity. The tagger itself never reads this;
+    /// it is the policy carrier for the layer above (pipeline builder /
+    /// [`crate::correlate::CorrelatedTagger`]).
+    #[serde(default)]
+    pub correlation: Option<CorrelationPolicy>,
 }
 
 impl Default for TaggerConfig {
@@ -109,6 +118,7 @@ impl Default for TaggerConfig {
             decision_stages: vec![Stage::Foothold, Stage::Escalation, Stage::Lateral],
             max_context: 64,
             temporal: TemporalPolicy::default(),
+            correlation: None,
         }
     }
 }
@@ -126,6 +136,18 @@ pub struct Detection {
     pub score: f64,
     /// Most likely stage at the trigger.
     pub stage: Stage,
+}
+
+/// One [`AttackTagger::observe_scored`] result: the (latched) detection
+/// verdict plus the entity's post-observe attack mass, reported on every
+/// call. The score is what the campaign correlator links and fuses on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// First threshold crossing for this entity, if it happened now.
+    pub detection: Option<Detection>,
+    /// Posterior mass over the decision stages after folding this alert
+    /// (current mass when the alert was dropped as a duplicate).
+    pub attack_score: f64,
 }
 
 /// Slots in the per-entity duplicate-suppression ring. Telemetry
@@ -208,6 +230,13 @@ impl AttackTagger {
     /// existing per-entity posteriors are kept.
     pub fn set_temporal(&mut self, temporal: TemporalPolicy) {
         self.cfg.temporal = temporal;
+    }
+
+    /// Install (or clear) the carried cross-entity correlation policy.
+    /// The tagger itself never consults it — see
+    /// [`TaggerConfig::correlation`].
+    pub fn set_correlation(&mut self, correlation: Option<CorrelationPolicy>) {
+        self.cfg.correlation = correlation;
     }
 
     pub fn model(&self) -> &ChainModel {
@@ -326,6 +355,16 @@ impl AttackTagger {
     /// map is keyed by the integer [`EntityId`], so no key string is ever
     /// built; a new entity allocates its posterior vector once.
     pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
+        self.observe_scored(alert).detection
+    }
+
+    /// [`AttackTagger::observe`], but also reporting the entity's
+    /// post-observe posterior mass over the decision stages — computed on
+    /// every call, threshold or not, latched or not. This is the
+    /// per-entity feature the campaign correlator consumes; keeping it on
+    /// the observe path means a sharded executor needs no second pass
+    /// over per-entity state.
+    pub fn observe_scored(&mut self, alert: &Alert) -> Observation {
         let temporal = &self.cfg.temporal;
         let state = self
             .states
@@ -352,7 +391,15 @@ impl AttackTagger {
             });
             if duplicate {
                 self.duplicates_suppressed += 1;
-                return None;
+                let attack_score = if state.steps > 0 {
+                    Self::decision_mass(&self.cfg.decision_stages, &state.alpha)
+                } else {
+                    0.0
+                };
+                return Observation {
+                    detection: None,
+                    attack_score,
+                };
             }
             state.recent[state.recent_head as usize] = (alert.ts, obs as u16);
             state.recent_head = (state.recent_head + 1) % DEDUP_SLOTS as u8;
@@ -395,17 +442,12 @@ impl AttackTagger {
             gap_bin,
         );
         state.steps += 1;
-        if state.detected {
-            return None;
-        }
-        let score = self
-            .cfg
-            .decision_stages
-            .iter()
-            .map(|s| state.alpha[s.index()])
-            .sum::<f64>();
-        if score < self.cfg.threshold {
-            return None;
+        let score = Self::decision_mass(&self.cfg.decision_stages, &state.alpha);
+        if state.detected || score < self.cfg.threshold {
+            return Observation {
+                detection: None,
+                attack_score: score,
+            };
         }
         state.detected = true;
         let mut best = 0;
@@ -414,46 +456,76 @@ impl AttackTagger {
                 best = s;
             }
         }
-        Some(Detection {
-            ts: alert.ts,
-            alert_index: state.steps - 1,
-            trigger: alert.kind,
-            score,
-            stage: Stage::from_index(best),
-        })
+        Observation {
+            detection: Some(Detection {
+                ts: alert.ts,
+                alert_index: state.steps - 1,
+                trigger: alert.kind,
+                score,
+                stage: Stage::from_index(best),
+            }),
+            attack_score: score,
+        }
     }
 
-    /// The current filtered posterior for an entity, if it has been seen.
-    /// Accepts the canonical key string (`user:…` / `addr:…`) — a boundary
-    /// convenience; state itself is keyed by [`EntityId`].
-    pub fn posterior(&self, entity_key: &str) -> Option<&[f64]> {
-        let id = EntityId::from_key(entity_key)?;
+    /// Posterior mass over the configured decision stages.
+    fn decision_mass(stages: &[Stage], alpha: &[f64]) -> f64 {
+        stages.iter().map(|s| alpha[s.index()]).sum()
+    }
+
+    /// The current filtered posterior for an entity — the allocation-free
+    /// primary lookup, keyed by [`EntityId`] like the state map itself.
+    pub fn posterior_id(&self, id: EntityId) -> Option<&[f64]> {
         self.states.get(&id).map(|s| s.alpha.as_slice())
     }
 
-    /// Ground-truth hook: whether a detection has latched for this entity.
-    pub fn is_detected(&self, entity_key: &str) -> bool {
-        EntityId::from_key(entity_key)
-            .and_then(|id| self.states.get(&id))
-            .is_some_and(|s| s.detected)
+    /// String-key convenience over [`AttackTagger::posterior_id`] for
+    /// tests and boundary callers holding a canonical key (`user:…` /
+    /// `addr:…`).
+    pub fn posterior(&self, entity_key: &str) -> Option<&[f64]> {
+        self.posterior_id(EntityId::from_key(entity_key)?)
     }
 
-    /// Ground-truth hook: entity keys with a latched detection, in
-    /// unspecified order. For harnesses and tests that drive a tagger
-    /// directly and want to cross-check a notification stream against
-    /// detector state (the stream-executor path scores from
-    /// notifications alone, since executors consume their detector).
-    pub fn detected_entities(&self) -> impl Iterator<Item = String> + '_ {
+    /// Ground-truth hook: whether a detection has latched for this entity
+    /// (allocation-free, [`EntityId`]-keyed).
+    pub fn is_detected_id(&self, id: EntityId) -> bool {
+        self.states.get(&id).is_some_and(|s| s.detected)
+    }
+
+    /// String-key convenience over [`AttackTagger::is_detected_id`].
+    pub fn is_detected(&self, entity_key: &str) -> bool {
+        EntityId::from_key(entity_key).is_some_and(|id| self.is_detected_id(id))
+    }
+
+    /// Ground-truth hook: entities with a latched detection, in
+    /// unspecified order — the allocation-free primary surface the
+    /// correlator and eval hooks consume. For harnesses and tests that
+    /// drive a tagger directly and want to cross-check a notification
+    /// stream against detector state (the stream-executor path scores
+    /// from notifications alone, since executors consume their detector).
+    pub fn detected_entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
         self.states
             .iter()
             .filter(|(_, s)| s.detected)
-            .map(|(id, _)| id.key())
+            .map(|(&id, _)| id)
     }
 
-    /// Ground-truth hook: alerts folded into an entity's filter so far.
-    pub fn entity_steps(&self, entity_key: &str) -> Option<usize> {
-        let id = EntityId::from_key(entity_key)?;
+    /// String-key convenience over
+    /// [`AttackTagger::detected_entity_ids`]: canonical keys, allocated
+    /// per item (tests only — hot paths use the id variant).
+    pub fn detected_entities(&self) -> impl Iterator<Item = String> + '_ {
+        self.detected_entity_ids().map(|id| id.key())
+    }
+
+    /// Ground-truth hook: alerts folded into an entity's filter so far
+    /// (allocation-free, [`EntityId`]-keyed).
+    pub fn entity_steps_id(&self, id: EntityId) -> Option<usize> {
         self.states.get(&id).map(|s| s.steps)
+    }
+
+    /// String-key convenience over [`AttackTagger::entity_steps_id`].
+    pub fn entity_steps(&self, entity_key: &str) -> Option<usize> {
+        self.entity_steps_id(EntityId::from_key(entity_key)?)
     }
 
     /// Forget all per-entity state.

@@ -1,0 +1,1556 @@
+//! Cross-entity campaign correlation.
+//!
+//! The per-entity tagger scores each user or address in isolation, so a
+//! lateral-split session — recon on hop A, damage from hop B — presents
+//! each hop with only a fragment of the kill chain. The residual misses at
+//! every dilation in BENCH_5 are exactly these: hop B sees one alert
+//! before damage and one alert is rarely enough to cross the decision
+//! threshold on its own.
+//!
+//! [`CampaignCorrelator`] is the layer between per-entity inference and
+//! response that stitches those fragments back together. It maintains a
+//! bounded, allocation-free-in-steady-state graph of entity↔entity links
+//! formed through compact join keys observed on the alert stream:
+//!
+//! - **shared victim** — two entities whose alerts target the same
+//!   destination address;
+//! - **shared source endpoint** — two entities whose alerts originate
+//!   from the same address (a common C2 or staging host);
+//! - **shared host** — two entities observed on the same monitored host;
+//! - **shared exec palette** — two entities running the same interned
+//!   cmdline / dropped binary / `COPY FROM PROGRAM` payload.
+//!
+//! A link only forms inside the policy's temporal adjacency window, and
+//! only when the *anchoring* side has accumulated real attack mass —
+//! benign traffic brushing a victim does not seed campaigns. Linked
+//! entities are unioned into **campaigns**; each campaign tracks a decayed
+//! support level (the strongest attack mass among its members, with the
+//! same half-life semantics as [`TemporalPolicy`] evidence decay). When a
+//! member's own posterior is suggestive but sub-threshold, the campaign
+//! support is fused in:
+//!
+//! ```text
+//! fused = 1 − (1 − own) · (1 − coupling · support)
+//! ```
+//!
+//! i.e. evidence from hop A raises hop B's effective prior, so hop B's
+//! *first* alert can cross the threshold pre-damage. A fused crossing is
+//! *promoted* into an ordinary [`Detection`] (stage [`Stage::Lateral`],
+//! score = fused posterior) and flows through the normal response path.
+//!
+//! Posterior fusion alone cannot recover every split: when the chain is
+//! cut so that each hop holds only weak fragments (hop A peaks at 0.6,
+//! hop B's pre-damage alert scores 0.1), no product of the two crosses
+//! 0.8 even though the *concatenated* step sequence is exactly the
+//! unsplit kill chain the tagger preempts reliably. The correlator
+//! therefore also performs **sequence stitching**: each entity keeps a
+//! bounded ring of its recent suggestive steps `(ts, kind)`, and when a
+//! campaign member's fused posterior falls short, the members' rings are
+//! merged in timestamp order and re-scored with the *same* chain model
+//! the tagger runs (forward filter with gap observations and evidence
+//! decay). If the stitched campaign sequence crosses the threshold the
+//! member is promoted — the campaign as a whole walked the kill chain,
+//! even though no single entity did.
+//!
+//! State is bounded on every axis (entities, join keys, per-campaign link
+//! provenance) with idle-first eviction reusing [`TemporalPolicy`]
+//! session-timeout semantics, so an adversarial many-entity alert storm
+//! cannot grow memory without bound.
+
+use serde::{Deserialize, Serialize};
+use simnet::rng::FxHashMap;
+use simnet::time::{SimDuration, SimTime};
+
+use alertlib::alert::{Alert, EntityId};
+use alertlib::message::MessageSpec;
+use factorgraph::chain::ChainModel;
+use factorgraph::timing::GAP_NONE;
+
+use crate::attack_tagger::{AttackTagger, Detection, TaggerConfig, TemporalPolicy};
+use crate::stage::Stage;
+
+/// Opt-in cross-entity correlation policy (carried on
+/// [`TaggerConfig::correlation`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationPolicy {
+    /// Decayed attack mass an entity needs before it *anchors* links:
+    /// cold entities never seed a campaign through a shared join key.
+    pub anchor_min_score: f64,
+    /// Attack mass an alert needs for its entity to *join* an anchored
+    /// campaign through the high-specificity keys (shared victim, shared
+    /// source endpoint) and to be eligible for promotion. Keeps benign
+    /// traffic that merely shares a victim with an attack out of the
+    /// campaign.
+    pub join_min_score: f64,
+    /// Attack mass required to link through the *low-specificity* keys
+    /// (shared host, shared cmdline palette). These recur heavily across
+    /// unrelated entities in a busy fleet — thousands of users share hosts
+    /// and command palettes — so joining through them demands anchor-level
+    /// evidence of the entity's own.
+    pub weak_join_min_score: f64,
+    /// Attack mass above which an alert is recorded into its entity's
+    /// step ring (the entity's fragment of the campaign sequence), links
+    /// through the high-specificity keys, and is eligible for
+    /// sequence-stitched promotion. This is the "suggestive at all" floor
+    /// — keep it at or below [`CorrelationPolicy::join_min_score`].
+    pub sequence_min_score: f64,
+    /// Attack mass above which an alert leaves a *trace* on the
+    /// high-specificity join keys (victim / source rings) without
+    /// anchoring anything — so a later suggestive entity touching the
+    /// same key can link back to it. This is what recovers splits whose
+    /// recon hop never scores: a VulnScan→SqlI fragment peaks well below
+    /// any anchor floor, but its trace on the victim lets the exfil hop's
+    /// first alert pull it into a campaign and re-score the stitched
+    /// sequence. Keep it low; the trace itself grants nothing but
+    /// linkability.
+    pub trace_min_score: f64,
+    /// Maximum time between two entities' alerts on the same join key for
+    /// a link to form.
+    pub adjacency_window: SimDuration,
+    /// Strength of the cross-entity prior boost in the fused posterior.
+    pub coupling: f64,
+    /// Fused posterior mass required to promote a campaign-level
+    /// detection (mirrors the tagger decision threshold).
+    pub threshold: f64,
+    /// Half-life of campaign support and per-entity peak mass — the
+    /// [`TemporalPolicy::decay_half_life`] semantics applied to
+    /// cross-entity evidence. `None` disables decay.
+    pub decay_half_life: Option<SimDuration>,
+    /// Idle gap after which an entity node is eligible for eviction — the
+    /// [`TemporalPolicy::session_timeout`] semantics applied to the
+    /// correlation graph. `None` keeps nodes until budget pressure.
+    pub idle_timeout: Option<SimDuration>,
+    /// Entity node budget; on pressure, idle-expired then oldest nodes
+    /// are evicted in deterministic `(last_ts, id)` order.
+    pub max_entities: usize,
+    /// Join-key budget (victim / source / host / palette rings).
+    pub max_join_keys: usize,
+    /// Per-campaign link provenance budget (links beyond it still merge
+    /// campaigns; only the provenance record is dropped).
+    pub max_links_per_campaign: usize,
+}
+
+impl Default for CorrelationPolicy {
+    fn default() -> Self {
+        let temporal = TemporalPolicy::default();
+        CorrelationPolicy {
+            anchor_min_score: 0.5,
+            join_min_score: 0.15,
+            weak_join_min_score: 0.5,
+            sequence_min_score: 0.05,
+            trace_min_score: 0.005,
+            adjacency_window: SimDuration::from_hours(48),
+            coupling: 0.85,
+            threshold: 0.8,
+            decay_half_life: temporal.decay_half_life,
+            idle_timeout: temporal.session_timeout,
+            max_entities: 65_536,
+            max_join_keys: 65_536,
+            max_links_per_campaign: 64,
+        }
+    }
+}
+
+/// The kind of join key a link formed through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Shared destination (victim) address.
+    Victim,
+    /// Shared source / C2 endpoint address.
+    Source,
+    /// Shared monitored host.
+    Host,
+    /// Shared interned cmdline / payload symbol.
+    Palette,
+}
+
+impl LinkKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkKind::Victim => "victim",
+            LinkKind::Source => "source",
+            LinkKind::Host => "host",
+            LinkKind::Palette => "palette",
+        }
+    }
+}
+
+/// One recorded entity↔entity link (provenance, endpoint ids normalized
+/// so `a < b`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CampaignLink {
+    ts: SimTime,
+    a: EntityId,
+    b: EntityId,
+    kind: LinkKind,
+}
+
+/// A campaign link rendered for reports: canonical entity keys plus the
+/// join-key kind that formed it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSummary {
+    pub ts: SimTime,
+    pub a: String,
+    pub b: String,
+    pub kind: LinkKind,
+}
+
+/// A campaign rendered for reports: stable id, sorted member entity keys,
+/// link provenance, and detection counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Correlator-assigned campaign id (stable across executors — the
+    /// correlator consumes the merged outcome stream in stream order).
+    pub id: u32,
+    /// Canonical member entity keys (`user:…` / `addr:…`), sorted.
+    pub members: Vec<String>,
+    /// Link provenance, bounded by
+    /// [`CorrelationPolicy::max_links_per_campaign`].
+    pub links: Vec<LinkSummary>,
+    /// Detections promoted by campaign fusion.
+    pub promotions: u32,
+    /// Total detections among members (tagger-raised + promoted).
+    pub detections: u32,
+}
+
+/// Sentinel: entity not yet part of any campaign.
+const NO_CAMPAIGN: u32 = u32::MAX;
+
+/// Slots per join-key recency ring.
+const RING: usize = 8;
+
+/// Slots per entity step-history ring (sequence stitching).
+const SEQ_RING: usize = 12;
+
+/// Sentinel kind index marking an empty step slot (no alert kind reaches
+/// `u16::MAX`).
+const STEP_EMPTY: u16 = u16::MAX;
+
+/// Campaign members folded into one stitched replay — a deterministic
+/// insertion-order prefix that bounds replay cost on merged
+/// mega-campaigns.
+const SEQ_MEMBERS: usize = 32;
+
+/// Join-key tag bits (payload is a 32-bit address/host/symbol id).
+const JK_VICTIM: u64 = 1 << 32;
+const JK_SOURCE: u64 = 2 << 32;
+const JK_HOST: u64 = 3 << 32;
+const JK_PALETTE: u64 = 4 << 32;
+
+/// Per-entity node in the correlation graph. `Copy` on purpose: inserting
+/// a node never allocates beyond amortized map growth.
+#[derive(Debug, Clone, Copy)]
+struct EntityNode {
+    /// Campaign slot, or [`NO_CAMPAIGN`].
+    campaign: u32,
+    /// Decayed peak attack mass (half-life = policy decay).
+    mass: f64,
+    /// Timestamp of the entity's last observed alert.
+    last_ts: SimTime,
+    /// Alerts observed for this entity (promotion `alert_index`).
+    seen: u32,
+    /// Whether this entity has already surfaced a detection — its own or
+    /// a promoted one. Latched; suppresses double notification.
+    promoted: bool,
+    /// Recent suggestive steps `(ts, kind index)` — the entity's fragment
+    /// of the campaign sequence, merged across members for stitched
+    /// replay. [`STEP_EMPTY`] kind marks an unused slot.
+    steps: [(SimTime, u16); SEQ_RING],
+    steps_head: u8,
+}
+
+/// Bounded recency ring of anchoring entities for one join key.
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyRing {
+    slots: [Option<(EntityId, SimTime)>; RING],
+    head: u8,
+}
+
+impl KeyRing {
+    fn newest_ts(&self) -> SimTime {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|&(_, ts)| ts)
+            .max()
+            .unwrap_or(SimTime::EPOCH)
+    }
+
+    /// Remember `(id, ts)`: refresh the entity's existing slot if present,
+    /// otherwise overwrite the rotation head.
+    fn insert(&mut self, id: EntityId, ts: SimTime) {
+        for (sid, sts) in self.slots.iter_mut().flatten() {
+            if *sid == id {
+                if ts > *sts {
+                    *sts = ts;
+                }
+                return;
+            }
+        }
+        self.slots[self.head as usize] = Some((id, ts));
+        self.head = (self.head + 1) % RING as u8;
+    }
+}
+
+/// Per-campaign state: membership, decayed support, link provenance.
+#[derive(Debug, Clone)]
+struct CampaignState {
+    members: Vec<EntityId>,
+    links: Vec<CampaignLink>,
+    /// Strongest member `(raw id, decayed mass)` — the support anchor.
+    best: (u64, f64),
+    /// Second-strongest mass, so a member never supports itself.
+    second: f64,
+    /// Timestamp the support masses were last decayed to.
+    support_ts: SimTime,
+    promotions: u32,
+    detections: u32,
+}
+
+impl CampaignState {
+    fn new(ts: SimTime, link_cap: usize) -> CampaignState {
+        CampaignState {
+            members: Vec::with_capacity(4),
+            links: Vec::with_capacity(link_cap.min(8)),
+            best: (u64::MAX, 0.0),
+            second: 0.0,
+            support_ts: ts,
+            promotions: 0,
+            detections: 0,
+        }
+    }
+
+    /// Decay support toward zero with the policy half-life (evidence-decay
+    /// semantics of [`TemporalPolicy`], applied to campaign support).
+    fn decay_to(&mut self, ts: SimTime, half_life: Option<SimDuration>) {
+        if let Some(hl) = half_life {
+            let gap = ts.saturating_since(self.support_ts).as_secs_f64();
+            if gap > 0.0 && hl.as_secs_f64() > 0.0 {
+                let lambda = 0.5f64.powf(gap / hl.as_secs_f64());
+                self.best.1 *= lambda;
+                self.second *= lambda;
+            }
+        }
+        if ts > self.support_ts {
+            self.support_ts = ts;
+        }
+    }
+
+    /// Fold one member's current mass into the top-2 support tracker.
+    fn update_support(&mut self, raw_id: u64, mass: f64) {
+        if self.best.0 == raw_id {
+            if mass > self.best.1 {
+                self.best.1 = mass;
+            }
+        } else if mass > self.best.1 {
+            self.second = self.best.1;
+            self.best = (raw_id, mass);
+        } else if mass > self.second {
+            self.second = mass;
+        }
+    }
+
+    /// Campaign support as seen by `raw_id`: the strongest *other*
+    /// member's decayed mass.
+    fn support_for(&self, raw_id: u64) -> f64 {
+        if self.best.0 == raw_id {
+            self.second
+        } else {
+            self.best.1
+        }
+    }
+
+    fn record_link(&mut self, link: CampaignLink, cap: usize) {
+        let dup = self
+            .links
+            .iter()
+            .any(|l| l.a == link.a && l.b == link.b && l.kind == link.kind);
+        if !dup && self.links.len() < cap {
+            self.links.push(link);
+        }
+    }
+}
+
+/// The cross-entity campaign correlator (see module docs).
+///
+/// Consumes the detector's outcome stream *in stream order* — executors
+/// run it over the merged, order-restored outcome sequence, which is what
+/// makes its output byte-identical across inline / threaded / sharded
+/// drivers.
+#[derive(Debug, Clone)]
+pub struct CampaignCorrelator {
+    policy: CorrelationPolicy,
+    /// The tagger's chain model, when attached — enables stitched
+    /// sequence re-scoring of merged campaign step rings. Without it the
+    /// correlator falls back to posterior fusion alone.
+    model: Option<ChainModel>,
+    /// Decision stages for stitched replay (mirrors
+    /// [`TaggerConfig::decision_stages`]).
+    decision_stages: Vec<Stage>,
+    entities: FxHashMap<EntityId, EntityNode>,
+    keys: FxHashMap<u64, KeyRing>,
+    campaigns: FxHashMap<u32, CampaignState>,
+    next_campaign: u32,
+    promotions: u64,
+    tagger_confirmations: u64,
+    /// Scratch for deterministic eviction sweeps (reused, no steady-state
+    /// allocation).
+    evict_scratch: Vec<(SimTime, u64)>,
+    /// Scratch for stitched replay: merged `(ts, entity, kind)` steps and
+    /// the forward-filter distributions (all reused).
+    seq_scratch: Vec<(SimTime, u64, u16)>,
+    seq_alpha: Vec<f64>,
+    seq_next: Vec<f64>,
+}
+
+impl CampaignCorrelator {
+    pub fn new(policy: CorrelationPolicy) -> CampaignCorrelator {
+        CampaignCorrelator {
+            policy,
+            model: None,
+            decision_stages: Vec::new(),
+            entities: FxHashMap::default(),
+            keys: FxHashMap::default(),
+            campaigns: FxHashMap::default(),
+            next_campaign: 0,
+            promotions: 0,
+            tagger_confirmations: 0,
+            evict_scratch: Vec::new(),
+            seq_scratch: Vec::new(),
+            seq_alpha: Vec::new(),
+            seq_next: Vec::new(),
+        }
+    }
+
+    /// A correlator that can stitch: attach the tagger's chain model and
+    /// decision stages so merged campaign sequences are re-scored with
+    /// the exact inference the per-entity tagger runs.
+    pub fn with_model(
+        policy: CorrelationPolicy,
+        model: ChainModel,
+        decision_stages: Vec<Stage>,
+    ) -> CampaignCorrelator {
+        let mut c = CampaignCorrelator::new(policy);
+        c.model = Some(model);
+        c.decision_stages = decision_stages;
+        c
+    }
+
+    pub fn policy(&self) -> &CorrelationPolicy {
+        &self.policy
+    }
+
+    /// Detections promoted by campaign fusion so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Tagger detections suppressed because the entity had already been
+    /// surfaced by a promotion (the tagger independently confirmed).
+    pub fn tagger_confirmations(&self) -> u64 {
+        self.tagger_confirmations
+    }
+
+    /// Entity nodes currently tracked.
+    pub fn tracked_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Join-key rings currently tracked.
+    pub fn tracked_join_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Live campaigns (≥ 2 members by construction).
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Total recorded link provenance across live campaigns.
+    pub fn link_count(&self) -> usize {
+        self.campaigns.values().map(|c| c.links.len()).sum()
+    }
+
+    /// The campaign an entity currently belongs to, if any.
+    pub fn campaign_of(&self, id: EntityId) -> Option<u32> {
+        self.entities
+            .get(&id)
+            .map(|n| n.campaign)
+            .filter(|&c| c != NO_CAMPAIGN)
+    }
+
+    /// Observe one detector outcome in stream order. `attack_score` is the
+    /// entity's post-observe posterior mass over the decision stages;
+    /// `detection` is the tagger's verdict for this alert, which the
+    /// correlator may *promote* (None → fused detection) or *suppress*
+    /// (a tagger detection on an entity already surfaced by promotion).
+    pub fn observe(&mut self, alert: &Alert, attack_score: f64, detection: &mut Option<Detection>) {
+        let ts = alert.ts;
+        let id = alert.entity.id();
+
+        // Node upkeep (budget-pressure eviction before a fresh insert).
+        if !self.entities.contains_key(&id) && self.entities.len() >= self.policy.max_entities {
+            self.evict_entities(ts);
+        }
+        let half_life = self.policy.decay_half_life;
+        let node = self.entities.entry(id).or_insert(EntityNode {
+            campaign: NO_CAMPAIGN,
+            mass: 0.0,
+            last_ts: ts,
+            seen: 0,
+            promoted: false,
+            steps: [(SimTime::EPOCH, STEP_EMPTY); SEQ_RING],
+            steps_head: 0,
+        });
+        node.mass = decayed(node.mass, ts.saturating_since(node.last_ts), half_life);
+        if attack_score > node.mass {
+            node.mass = attack_score;
+        }
+        node.last_ts = ts;
+        node.seen += 1;
+        // Every alert becomes a step in the entity's sequence fragment —
+        // including low-posterior ones: the opening moves of a kill chain
+        // score low on their own, and stitched replay must see them to
+        // reproduce what an unsplit entity's filter would have seen.
+        // Benign members' steps only dilute a stitched posterior, which
+        // errs against promotion.
+        node.steps[node.steps_head as usize] = (ts, alert.kind.index() as u16);
+        node.steps_head = (node.steps_head + 1) % SEQ_RING as u8;
+        let mut node = *node;
+
+        // Link formation through the alert's join keys. On the
+        // high-specificity keys (shared victim, shared source endpoint) an
+        // entity *occupies* a ring slot as soon as its alert clears the
+        // low trace floor — linkable-back-to, nothing more — and links
+        // into occupants when this alert clears the join floor. The
+        // low-specificity keys (host, palette) recur across thousands of
+        // unrelated entities, so both sides demand real mass there:
+        // anchor-level to occupy, the weak-join floor to link.
+        let anchors = node.mass >= self.policy.anchor_min_score || detection.is_some();
+        let mut candidates: [Option<(EntityId, LinkKind)>; 4 * RING] = [None; 4 * RING];
+        let mut n_cand = 0;
+        for (key, kind) in join_keys(alert).into_iter().flatten() {
+            let strong = matches!(kind, LinkKind::Victim | LinkKind::Source);
+            let join_floor = if strong {
+                self.policy
+                    .join_min_score
+                    .min(self.policy.sequence_min_score)
+            } else {
+                self.policy.weak_join_min_score
+            };
+            let joins = attack_score >= join_floor || detection.is_some();
+            let occupies = if strong {
+                attack_score >= self.policy.trace_min_score || anchors
+            } else {
+                anchors
+            };
+            if !self.keys.contains_key(&key) {
+                if !occupies {
+                    continue; // nothing to join, nothing to occupy
+                }
+                if self.keys.len() >= self.policy.max_join_keys {
+                    self.evict_keys(ts);
+                }
+            }
+            let ring = self.keys.entry(key).or_default();
+            if joins {
+                for &(other, ots) in ring.slots.iter().flatten() {
+                    let gap = if ots > ts {
+                        ots.saturating_since(ts)
+                    } else {
+                        ts.saturating_since(ots)
+                    };
+                    if other != id && gap <= self.policy.adjacency_window {
+                        candidates[n_cand] = Some((other, kind));
+                        n_cand += 1;
+                    }
+                }
+            }
+            if occupies {
+                ring.insert(id, ts);
+            }
+        }
+        for (other, kind) in candidates.into_iter().flatten() {
+            node.campaign = self.link(id, &mut node, other, kind, ts);
+        }
+        // Publish the updated node (step ring included) before stitched
+        // replay — the merge below reads every member through the map.
+        self.entities.insert(id, node);
+
+        // Campaign fusion: fold this member's mass into the support
+        // tracker, then either account a tagger detection or try to
+        // promote a sub-threshold posterior — first with cross-entity
+        // posterior fusion, then (when that falls short and a chain model
+        // is attached) by re-scoring the stitched campaign sequence.
+        if node.campaign != NO_CAMPAIGN {
+            let cid = node.campaign;
+            let c = self
+                .campaigns
+                .get_mut(&cid)
+                .expect("campaign slot for member");
+            c.decay_to(ts, half_life);
+            c.update_support(id.raw(), node.mass);
+            if detection.is_some() {
+                if node.promoted {
+                    self.tagger_confirmations += 1;
+                    *detection = None;
+                } else {
+                    node.promoted = true;
+                    c.detections += 1;
+                }
+            } else if !node.promoted && attack_score >= self.policy.sequence_min_score {
+                let support = c.support_for(id.raw());
+                let mut fused = if attack_score >= self.policy.join_min_score {
+                    1.0 - (1.0 - attack_score) * (1.0 - self.policy.coupling * support)
+                } else {
+                    0.0
+                };
+                if fused < self.policy.threshold {
+                    if let (Some(model), Some(c)) = (self.model.as_ref(), self.campaigns.get(&cid))
+                    {
+                        let stitched = stitched_sequence_score(
+                            model,
+                            &self.decision_stages,
+                            &self.policy,
+                            &self.entities,
+                            &c.members,
+                            ts,
+                            &mut self.seq_scratch,
+                            &mut self.seq_alpha,
+                            &mut self.seq_next,
+                        );
+                        fused = fused.max(stitched);
+                    }
+                }
+                if fused >= self.policy.threshold {
+                    *detection = Some(Detection {
+                        ts,
+                        alert_index: node.seen as usize - 1,
+                        trigger: alert.kind,
+                        score: fused,
+                        stage: Stage::Lateral,
+                    });
+                    node.promoted = true;
+                    let c = self.campaigns.get_mut(&cid).expect("campaign slot");
+                    c.promotions += 1;
+                    c.detections += 1;
+                    self.promotions += 1;
+                }
+            }
+        } else if detection.is_some() {
+            if node.promoted {
+                self.tagger_confirmations += 1;
+                *detection = None;
+            } else {
+                node.promoted = true;
+            }
+        }
+
+        self.entities.insert(id, node);
+    }
+
+    /// Union `id` with `other` (both nodes exist). Returns `id`'s campaign
+    /// after the union.
+    fn link(
+        &mut self,
+        id: EntityId,
+        node: &mut EntityNode,
+        other: EntityId,
+        kind: LinkKind,
+        ts: SimTime,
+    ) -> u32 {
+        let Some(other_node) = self.entities.get(&other).copied() else {
+            return node.campaign; // anchor evicted between ring hit and now
+        };
+        let link_cap = self.policy.max_links_per_campaign;
+        let (a, b) = if id.raw() <= other.raw() {
+            (id, other)
+        } else {
+            (other, id)
+        };
+        let link = CampaignLink { ts, a, b, kind };
+        let target = match (node.campaign, other_node.campaign) {
+            (NO_CAMPAIGN, NO_CAMPAIGN) => {
+                let cid = self.next_campaign;
+                self.next_campaign += 1;
+                let mut c = CampaignState::new(ts, link_cap);
+                c.members.push(id);
+                c.members.push(other);
+                c.update_support(other.raw(), other_node.mass);
+                if other_node.promoted {
+                    c.detections += 1;
+                }
+                self.campaigns.insert(cid, c);
+                self.entities.get_mut(&other).expect("other node").campaign = cid;
+                cid
+            }
+            (NO_CAMPAIGN, cid) => {
+                let c = self.campaigns.get_mut(&cid).expect("campaign slot");
+                c.members.push(id);
+                cid
+            }
+            (cid, NO_CAMPAIGN) => {
+                let c = self.campaigns.get_mut(&cid).expect("campaign slot");
+                c.members.push(other);
+                c.update_support(other.raw(), other_node.mass);
+                if other_node.promoted {
+                    c.detections += 1;
+                }
+                self.entities.get_mut(&other).expect("other node").campaign = cid;
+                cid
+            }
+            (x, y) if x == y => x,
+            (x, y) => self.merge_campaigns(x, y, ts),
+        };
+        let c = self.campaigns.get_mut(&target).expect("campaign slot");
+        c.record_link(link, link_cap);
+        node.campaign = target;
+        target
+    }
+
+    /// Merge the smaller campaign into the larger; returns the surviving
+    /// id.
+    fn merge_campaigns(&mut self, x: u32, y: u32, ts: SimTime) -> u32 {
+        let (keep, drop) = {
+            let cx = self.campaigns.get(&x).expect("campaign x").members.len();
+            let cy = self.campaigns.get(&y).expect("campaign y").members.len();
+            if cx >= cy {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        };
+        let mut dropped = self.campaigns.remove(&drop).expect("dropped campaign");
+        let half_life = self.policy.decay_half_life;
+        let link_cap = self.policy.max_links_per_campaign;
+        dropped.decay_to(ts, half_life);
+        for &m in &dropped.members {
+            if let Some(n) = self.entities.get_mut(&m) {
+                n.campaign = keep;
+            }
+        }
+        let c = self.campaigns.get_mut(&keep).expect("kept campaign");
+        c.decay_to(ts, half_life);
+        c.members.extend_from_slice(&dropped.members);
+        let (bid, bmass) = dropped.best;
+        if bid != u64::MAX {
+            c.update_support(bid, bmass);
+        }
+        if dropped.second > 0.0 {
+            // Attribution of the runner-up mass is lost in the merge; fold
+            // it in as anonymous support so it can still back a member.
+            c.update_support(u64::MAX - 1, dropped.second);
+        }
+        for l in dropped.links {
+            c.record_link(l, link_cap);
+        }
+        c.promotions += dropped.promotions;
+        c.detections += dropped.detections;
+        keep
+    }
+
+    /// Evict entity nodes: everything idle past the timeout, and at least
+    /// enough of the oldest nodes to fall an eighth below the budget.
+    /// Deterministic `(last_ts, raw id)` order — executors reach this with
+    /// identical state, so eviction cannot perturb byte-identity.
+    fn evict_entities(&mut self, now: SimTime) {
+        let budget = self.policy.max_entities;
+        let keep_target = budget.saturating_sub((budget / 8).max(1));
+        self.evict_scratch.clear();
+        for (id, n) in &self.entities {
+            self.evict_scratch.push((n.last_ts, id.raw()));
+        }
+        self.evict_scratch.sort_unstable();
+        let expired = match self.policy.idle_timeout {
+            Some(t) => self
+                .evict_scratch
+                .iter()
+                .take_while(|&&(ts, _)| now.saturating_since(ts) > t)
+                .count(),
+            None => 0,
+        };
+        let over = self.entities.len().saturating_sub(keep_target);
+        let n_evict = expired.max(over).min(self.evict_scratch.len());
+        for i in 0..n_evict {
+            let (_, raw) = self.evict_scratch[i];
+            self.remove_entity_raw(raw);
+        }
+    }
+
+    fn remove_entity_raw(&mut self, raw: u64) {
+        let Some((&id, _)) = self.entities.iter().find(|(id, _)| id.raw() == raw) else {
+            return;
+        };
+        let node = self.entities.remove(&id).expect("node present");
+        if node.campaign == NO_CAMPAIGN {
+            return;
+        }
+        let dissolve = {
+            let c = self
+                .campaigns
+                .get_mut(&node.campaign)
+                .expect("member campaign");
+            if let Some(pos) = c.members.iter().position(|&m| m == id) {
+                c.members.swap_remove(pos);
+            }
+            c.members.len() < 2
+        };
+        if dissolve {
+            let c = self.campaigns.remove(&node.campaign).expect("campaign");
+            for m in c.members {
+                if let Some(n) = self.entities.get_mut(&m) {
+                    n.campaign = NO_CAMPAIGN;
+                }
+            }
+        }
+    }
+
+    /// Evict join-key rings: idle-expired first, then oldest by newest
+    /// entry, down to an eighth below the budget.
+    fn evict_keys(&mut self, now: SimTime) {
+        let budget = self.policy.max_join_keys;
+        let keep_target = budget.saturating_sub((budget / 8).max(1));
+        self.evict_scratch.clear();
+        for (&key, ring) in &self.keys {
+            self.evict_scratch.push((ring.newest_ts(), key));
+        }
+        self.evict_scratch.sort_unstable();
+        let expired = match self.policy.idle_timeout {
+            Some(t) => self
+                .evict_scratch
+                .iter()
+                .take_while(|&&(ts, _)| now.saturating_since(ts) > t)
+                .count(),
+            None => 0,
+        };
+        let over = self.keys.len().saturating_sub(keep_target);
+        let n_evict = expired.max(over).min(self.evict_scratch.len());
+        for i in 0..n_evict {
+            let (_, key) = self.evict_scratch[i];
+            self.keys.remove(&key);
+        }
+    }
+
+    /// Render live campaigns for reports: members and links sorted into
+    /// canonical order, campaigns ordered by id. Allocates (report-time
+    /// only, never on the per-alert path).
+    pub fn summaries(&self) -> Vec<CampaignSummary> {
+        let mut out: Vec<CampaignSummary> = self
+            .campaigns
+            .iter()
+            .map(|(&id, c)| {
+                let mut members: Vec<String> = c.members.iter().map(|m| m.key()).collect();
+                members.sort_unstable();
+                let mut links: Vec<LinkSummary> = c
+                    .links
+                    .iter()
+                    .map(|l| LinkSummary {
+                        ts: l.ts,
+                        a: l.a.key(),
+                        b: l.b.key(),
+                        kind: l.kind,
+                    })
+                    .collect();
+                links.sort_by(|x, y| (x.ts, &x.a, &x.b, x.kind).cmp(&(y.ts, &y.a, &y.b, y.kind)));
+                CampaignSummary {
+                    id,
+                    members,
+                    links,
+                    promotions: c.promotions,
+                    detections: c.detections,
+                }
+            })
+            .collect();
+        out.sort_by_key(|c| c.id);
+        out
+    }
+
+    /// The current campaign partition as sorted member-key sets (sorted
+    /// outer list) — the order-insensitive view of link formation.
+    pub fn partition(&self) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = self
+            .campaigns
+            .values()
+            .map(|c| {
+                let mut m: Vec<String> = c.members.iter().map(|e| e.key()).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Recorded link endpoints `(a, b, kind)` across campaigns, sorted and
+    /// deduplicated — link *timestamps* depend on arrival order within a
+    /// batch, endpoints do not.
+    pub fn link_pairs(&self) -> Vec<(String, String, LinkKind)> {
+        let mut out: Vec<(String, String, LinkKind)> = self
+            .campaigns
+            .values()
+            .flat_map(|c| c.links.iter())
+            .map(|l| (l.a.key(), l.b.key(), l.kind))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Re-score the stitched campaign sequence: merge the members' step rings
+/// in `(ts, entity, kind)` order (bounded window, bounded member prefix)
+/// and run the chain model's forward filter over the merged steps —
+/// the same inference the per-entity tagger applies, including gap
+/// observations and evidence decay toward the prior. Returns the decision
+/// mass of the final posterior, or `0.0` when the merge holds fewer than
+/// two steps or only one entity contributed (a single member's fragment
+/// is the tagger's own problem; stitching exists for *cross-entity*
+/// recovery).
+///
+/// Deterministic and allocation-free in steady state: the merge and the
+/// two filter distributions live in caller-owned reusable scratch.
+#[allow(clippy::too_many_arguments)]
+fn stitched_sequence_score(
+    model: &ChainModel,
+    decision_stages: &[Stage],
+    policy: &CorrelationPolicy,
+    entities: &FxHashMap<EntityId, EntityNode>,
+    members: &[EntityId],
+    now: SimTime,
+    order: &mut Vec<(SimTime, u64, u16)>,
+    alpha: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+) -> f64 {
+    order.clear();
+    for &m in members.iter().take(SEQ_MEMBERS) {
+        let Some(n) = entities.get(&m) else { continue };
+        for &(ts, kind) in &n.steps {
+            if kind != STEP_EMPTY
+                && ts <= now
+                && now.saturating_since(ts) <= policy.adjacency_window
+            {
+                order.push((ts, m.raw(), kind));
+            }
+        }
+    }
+    if order.len() < 2 || order.iter().all(|&(_, e, _)| e == order[0].1) {
+        return 0.0;
+    }
+    order.sort_unstable();
+    let s_n = Stage::COUNT;
+    alpha.clear();
+    alpha.resize(s_n, 0.0);
+    next.clear();
+    next.resize(s_n, 0.0);
+    let mut last_ts = SimTime::EPOCH;
+    for (steps, &(ts, _, kind)) in order.iter().enumerate() {
+        let obs = kind as usize;
+        let mut gap_bin = GAP_NONE;
+        if steps > 0 {
+            let gap = ts.saturating_since(last_ts);
+            if let Some(hl) = policy.decay_half_life {
+                let hl_s = hl.as_secs_f64();
+                if hl_s > 0.0 {
+                    let lambda = 0.5f64.powf(gap.as_secs_f64() / hl_s);
+                    for (a, &p) in alpha.iter_mut().zip(model.prior()) {
+                        *a = lambda * *a + (1.0 - lambda) * p;
+                    }
+                }
+            }
+            gap_bin = model.gap_bin(gap.as_secs_f64());
+        }
+        last_ts = ts;
+        if steps == 0 {
+            for (s, n) in next.iter_mut().enumerate() {
+                *n = model.prior()[s] * model.emit(s, obs);
+            }
+        } else {
+            for (s, n) in next.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (ps, &a) in alpha.iter().enumerate() {
+                    acc += a * model.trans(ps, s);
+                }
+                *n = acc * model.emit(s, obs) * model.gap_emit(s, gap_bin);
+            }
+        }
+        let norm: f64 = next.iter().sum();
+        if norm > 0.0 {
+            for x in next.iter_mut() {
+                *x /= norm;
+            }
+        } else {
+            next.fill(1.0 / s_n as f64);
+        }
+        alpha.copy_from_slice(next);
+    }
+    decision_stages.iter().map(|s| alpha[s.index()]).sum()
+}
+
+/// Decay a mass by the half-life over `gap` (no-op when disabled).
+fn decayed(mass: f64, gap: SimDuration, half_life: Option<SimDuration>) -> f64 {
+    match half_life {
+        Some(hl) if hl.as_secs_f64() > 0.0 && gap.as_secs_f64() > 0.0 => {
+            mass * 0.5f64.powf(gap.as_secs_f64() / hl.as_secs_f64())
+        }
+        _ => mass,
+    }
+}
+
+/// Compact join keys carried by one alert (tag | 32-bit payload).
+fn join_keys(alert: &Alert) -> [Option<(u64, LinkKind)>; 4] {
+    let mut out = [None; 4];
+    if let Some(dst) = alert.dst {
+        out[0] = Some((JK_VICTIM | u64::from(u32::from(dst)), LinkKind::Victim));
+    }
+    if let Some(src) = alert.src {
+        out[1] = Some((JK_SOURCE | u64::from(u32::from(src)), LinkKind::Source));
+    }
+    if let Some(host) = alert.host {
+        out[2] = Some((JK_HOST | u64::from(host.0), LinkKind::Host));
+    }
+    if let Some(sym) = palette_sym(&alert.message) {
+        out[3] = Some((JK_PALETTE | u64::from(sym.id()), LinkKind::Palette));
+    }
+    out
+}
+
+/// The interned payload symbol of exec-flavoured messages — the
+/// "cmdline/exe palette" join key.
+fn palette_sym(msg: &MessageSpec) -> Option<simnet::intern::Sym> {
+    match *msg {
+        MessageSpec::Exec { cmdline, .. } => Some(cmdline),
+        MessageSpec::FileDrop { process, .. } => Some(process),
+        MessageSpec::CopyFromProgram { program } => Some(program),
+        _ => None,
+    }
+}
+
+/// An [`AttackTagger`] with campaign correlation fused in — the
+/// direct-drive convenience the stream executors mirror (they run the
+/// same two steps, split across the shard boundary).
+#[derive(Debug, Clone)]
+pub struct CorrelatedTagger {
+    tagger: AttackTagger,
+    correlator: CampaignCorrelator,
+}
+
+impl CorrelatedTagger {
+    /// Build from a tagger, using its configured
+    /// [`TaggerConfig::correlation`] policy (default policy if unset).
+    pub fn new(tagger: AttackTagger) -> CorrelatedTagger {
+        let policy = tagger.config().correlation.clone().unwrap_or_default();
+        CorrelatedTagger::with_policy(tagger, policy)
+    }
+
+    pub fn with_policy(tagger: AttackTagger, policy: CorrelationPolicy) -> CorrelatedTagger {
+        let correlator = CampaignCorrelator::with_model(
+            policy,
+            tagger.model().clone(),
+            tagger.config().decision_stages.clone(),
+        );
+        CorrelatedTagger { tagger, correlator }
+    }
+
+    /// Observe one alert: per-entity filter first, then campaign
+    /// correlation over the scored outcome.
+    pub fn observe(&mut self, alert: &Alert) -> Option<Detection> {
+        let scored = self.tagger.observe_scored(alert);
+        let mut detection = scored.detection;
+        self.correlator
+            .observe(alert, scored.attack_score, &mut detection);
+        detection
+    }
+
+    pub fn tagger(&self) -> &AttackTagger {
+        &self.tagger
+    }
+
+    pub fn correlator(&self) -> &CampaignCorrelator {
+        &self.correlator
+    }
+
+    pub fn into_parts(self) -> (AttackTagger, CampaignCorrelator) {
+        (self.tagger, self.correlator)
+    }
+}
+
+/// Build a correlated tagger straight from a model + config (mirrors
+/// [`AttackTagger::new`]).
+pub fn correlated_tagger(
+    model: factorgraph::chain::ChainModel,
+    cfg: TaggerConfig,
+) -> CorrelatedTagger {
+    CorrelatedTagger::new(AttackTagger::new(model, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::toy_training_model;
+    use alertlib::alert::Entity;
+    use alertlib::taxonomy::AlertKind;
+    use std::net::Ipv4Addr;
+
+    fn victim() -> Ipv4Addr {
+        "10.9.8.7".parse().unwrap()
+    }
+
+    fn hop_alert(t: u64, kind: AlertKind, ip: &str) -> Alert {
+        let src: Ipv4Addr = ip.parse().unwrap();
+        Alert::new(
+            simnet::time::SimTime::from_secs(t),
+            kind,
+            Entity::Address(src),
+        )
+        .with_src(src)
+        .with_dst(victim())
+    }
+
+    fn test_policy() -> CorrelationPolicy {
+        CorrelationPolicy {
+            join_min_score: 0.05,
+            ..CorrelationPolicy::default()
+        }
+    }
+
+    /// The tentpole behaviour: hop A walks the kill chain and is detected;
+    /// hop B — same victim — crosses on its *first* alert via campaign
+    /// fusion, where an uncorrelated tagger stays silent.
+    #[test]
+    fn second_hop_promoted_on_first_alert() {
+        let chain = [
+            (0, AlertKind::PortScan),
+            (60, AlertKind::DownloadSensitive),
+            (120, AlertKind::CompileKernelModule),
+            (180, AlertKind::LogWipe),
+        ];
+        let mut plain = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        let mut fused = CorrelatedTagger::with_policy(
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            test_policy(),
+        );
+        for (t, k) in chain {
+            let a = hop_alert(t, k, "198.18.0.1");
+            plain.observe(&a);
+            fused.observe(&a);
+        }
+        // Hop B: one suspicious (but alone sub-threshold) alert against
+        // the same victim.
+        let b = hop_alert(240, AlertKind::LogWipe, "198.18.0.2");
+        assert!(
+            plain.observe(&b).is_none(),
+            "uncorrelated tagger must not fire on one alert (else the test is vacuous)"
+        );
+        let d = fused.observe(&b).expect("campaign fusion promotes hop B");
+        assert_eq!(d.stage, Stage::Lateral);
+        assert_eq!(d.alert_index, 0, "promoted on the first alert");
+        assert!(d.score >= 0.8);
+        assert_eq!(fused.correlator().promotions(), 1);
+        assert_eq!(fused.correlator().campaign_count(), 1);
+        let summary = &fused.correlator().summaries()[0];
+        assert_eq!(summary.members.len(), 2);
+        assert_eq!(summary.promotions, 1);
+        assert!(
+            summary.links.iter().any(|l| l.kind == LinkKind::Victim),
+            "shared-victim provenance recorded"
+        );
+    }
+
+    /// Sequence stitching recovers splits posterior fusion cannot: both
+    /// hops stay below the anchor floor (0.50) and the fused posterior
+    /// peaks near 0.67, but the *concatenated* step sequence
+    /// PortScan→LogWipe→LogWipe scores 0.92 under the chain model — so
+    /// hop B is promoted on its first alert anyway.
+    #[test]
+    fn weak_fragments_recovered_by_sequence_stitching() {
+        let fragment_a = [(0, AlertKind::PortScan), (60, AlertKind::LogWipe)];
+        let hop_b = hop_alert(180, AlertKind::LogWipe, "198.18.0.2");
+
+        // Neither fragment alone moves the plain tagger.
+        let mut plain = AttackTagger::new(toy_training_model(), TaggerConfig::default());
+        for (t, k) in fragment_a {
+            assert!(plain.observe(&hop_alert(t, k, "198.18.0.1")).is_none());
+        }
+        assert!(plain.observe(&hop_b).is_none());
+
+        // Default policy — the trace floor (not an anchor) is what lets
+        // hop A's weak fragment be linked back to.
+        let mut fused = CorrelatedTagger::with_policy(
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            CorrelationPolicy::default(),
+        );
+        for (t, k) in fragment_a {
+            assert!(fused.observe(&hop_alert(t, k, "198.18.0.1")).is_none());
+        }
+        let d = fused
+            .observe(&hop_b)
+            .expect("stitched sequence promotes hop B");
+        assert_eq!(d.stage, Stage::Lateral);
+        assert_eq!(d.alert_index, 0, "promoted on hop B's first alert");
+        assert!(d.score >= 0.8, "stitched score {:.3}", d.score);
+        assert_eq!(fused.correlator().promotions(), 1);
+    }
+
+    /// Without an attached chain model the same weak-fragment split is
+    /// *not* recovered — stitching degrades to posterior fusion, which
+    /// cannot reach the threshold here.
+    #[test]
+    fn stitching_requires_a_model() {
+        let mut c = CampaignCorrelator::new(CorrelationPolicy::default());
+        let mut none = None;
+        c.observe(
+            &hop_alert(0, AlertKind::PortScan, "198.18.0.1"),
+            0.0001,
+            &mut none,
+        );
+        c.observe(
+            &hop_alert(60, AlertKind::LogWipe, "198.18.0.1"),
+            0.4957,
+            &mut none,
+        );
+        let mut det = None;
+        c.observe(
+            &hop_alert(180, AlertKind::LogWipe, "198.18.0.2"),
+            0.4361,
+            &mut det,
+        );
+        assert_eq!(c.campaign_count(), 1, "the link still forms");
+        assert!(det.is_none(), "fusion alone stays below threshold");
+        assert_eq!(c.promotions(), 0);
+    }
+
+    /// Once promoted, the entity's own later tagger detection is
+    /// suppressed (single surfaced detection per entity) and counted as a
+    /// confirmation.
+    #[test]
+    fn promotion_suppresses_later_tagger_detection() {
+        let mut fused = CorrelatedTagger::with_policy(
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            test_policy(),
+        );
+        for (t, k) in [
+            (0, AlertKind::PortScan),
+            (60, AlertKind::DownloadSensitive),
+            (120, AlertKind::CompileKernelModule),
+            (180, AlertKind::LogWipe),
+        ] {
+            fused.observe(&hop_alert(t, k, "198.18.0.1"));
+        }
+        let mut raised = 0;
+        for (t, k) in [
+            (240, AlertKind::LogWipe),
+            (300, AlertKind::DownloadSensitive),
+            (360, AlertKind::CompileKernelModule),
+            (420, AlertKind::DataExfiltration),
+        ] {
+            if fused.observe(&hop_alert(t, k, "198.18.0.2")).is_some() {
+                raised += 1;
+            }
+        }
+        assert_eq!(raised, 1, "one surfaced detection per entity");
+        assert_eq!(fused.correlator().tagger_confirmations(), 1);
+    }
+
+    /// Entities with no shared join key never correlate.
+    #[test]
+    fn unrelated_victims_do_not_correlate() {
+        let mut fused = CorrelatedTagger::with_policy(
+            AttackTagger::new(toy_training_model(), TaggerConfig::default()),
+            test_policy(),
+        );
+        for (i, ip) in ["198.18.0.1", "198.18.0.2"].iter().enumerate() {
+            for (t, k) in [
+                (0, AlertKind::DownloadSensitive),
+                (60, AlertKind::CompileKernelModule),
+            ] {
+                let src: Ipv4Addr = ip.parse().unwrap();
+                let dst: Ipv4Addr = format!("10.0.{i}.1").parse().unwrap();
+                let a = Alert::new(
+                    simnet::time::SimTime::from_secs(t + i as u64),
+                    k,
+                    Entity::Address(src),
+                )
+                .with_src(src)
+                .with_dst(dst);
+                fused.observe(&a);
+            }
+        }
+        assert_eq!(fused.correlator().campaign_count(), 0);
+        assert_eq!(fused.correlator().promotions(), 0);
+    }
+
+    /// Cold (benign-scored) traffic brushing the shared victim neither
+    /// anchors nor joins a campaign. Below the trace floor it is fully
+    /// invisible; at trace level it occupies ring slots but still cannot
+    /// form a campaign on its own.
+    #[test]
+    fn benign_traffic_stays_out_of_campaigns() {
+        let mut c = CampaignCorrelator::new(test_policy());
+        let mut none = None;
+        // Masses below the trace floor: no keys, no campaigns.
+        for (t, ip) in [(0, "192.0.2.1"), (10, "192.0.2.2")] {
+            c.observe(&hop_alert(t, AlertKind::LoginSuccess, ip), 0.001, &mut none);
+        }
+        assert_eq!(c.campaign_count(), 0);
+        assert_eq!(c.tracked_join_keys(), 0, "sub-trace entities leave nothing");
+
+        // Trace-level masses occupy rings (linkable back to) but two
+        // trace-level entities never join each other into a campaign.
+        for (t, ip) in [(20, "192.0.2.3"), (30, "192.0.2.4")] {
+            c.observe(&hop_alert(t, AlertKind::LoginSuccess, ip), 0.02, &mut none);
+        }
+        assert!(
+            c.tracked_join_keys() > 0,
+            "trace-level entities occupy rings"
+        );
+        assert_eq!(c.campaign_count(), 0, "traces alone form no campaign");
+    }
+
+    /// Shared source endpoint and shared exec palette also form links.
+    #[test]
+    fn source_and_palette_links_form() {
+        use simnet::intern::Sym;
+        let p = CorrelationPolicy {
+            anchor_min_score: 0.3,
+            join_min_score: 0.05,
+            weak_join_min_score: 0.3,
+            ..CorrelationPolicy::default()
+        };
+        // Shared C2 source: two *user* entities from one staging host.
+        let mut c = CampaignCorrelator::new(p.clone());
+        let c2: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let mk = |t: u64, user: &str| {
+            Alert::new(
+                simnet::time::SimTime::from_secs(t),
+                AlertKind::DownloadSensitive,
+                Entity::User(user.into()),
+            )
+            .with_src(c2)
+        };
+        let mut none = None;
+        c.observe(&mk(0, "mallory"), 0.6, &mut none);
+        c.observe(&mk(30, "trudy"), 0.4, &mut none);
+        assert_eq!(c.campaign_count(), 1);
+        assert_eq!(c.link_pairs()[0].2, LinkKind::Source);
+
+        // Shared cmdline palette on two different hosts.
+        let mut c = CampaignCorrelator::new(p);
+        let cmd = Sym::new("./xmrig --donate-level 0");
+        let mk = |t: u64, user: &str| {
+            Alert::new(
+                simnet::time::SimTime::from_secs(t),
+                AlertKind::SuspiciousProcessName,
+                Entity::User(user.into()),
+            )
+            .with_message(MessageSpec::Exec {
+                hostname: Sym::new("node-17"),
+                cmdline: cmd,
+            })
+        };
+        let mut none = None;
+        c.observe(&mk(0, "mallory"), 0.6, &mut none);
+        c.observe(&mk(30, "trudy"), 0.4, &mut none);
+        assert_eq!(c.campaign_count(), 1);
+        assert_eq!(c.link_pairs()[0].2, LinkKind::Palette);
+
+        // The same palette pair under the *default* policy does not link:
+        // low-specificity keys demand anchor-level (0.5) mass, so a
+        // 0.4-mass entity sharing a cmdline with a hot one stays out.
+        let mut c = CampaignCorrelator::new(CorrelationPolicy::default());
+        c.observe(&mk(0, "mallory"), 0.6, &mut none);
+        c.observe(&mk(30, "trudy"), 0.4, &mut none);
+        assert_eq!(c.campaign_count(), 0, "weak keys gated at default floor");
+    }
+
+    /// Links outside the adjacency window do not form.
+    #[test]
+    fn adjacency_window_bounds_links() {
+        let p = CorrelationPolicy {
+            adjacency_window: SimDuration::from_hours(1),
+            idle_timeout: None,
+            join_min_score: 0.05,
+            ..CorrelationPolicy::default()
+        };
+        let mut c = CampaignCorrelator::new(p);
+        let mut none = None;
+        c.observe(
+            &hop_alert(0, AlertKind::DownloadSensitive, "198.18.0.1"),
+            0.9,
+            &mut none,
+        );
+        // Two hours later: same victim, outside the window.
+        c.observe(
+            &hop_alert(7_200, AlertKind::DownloadSensitive, "198.18.0.2"),
+            0.9,
+            &mut none,
+        );
+        assert_eq!(c.campaign_count(), 0);
+    }
+
+    /// Transitive links merge campaigns into one.
+    #[test]
+    fn chained_links_merge_campaigns() {
+        let p = CorrelationPolicy {
+            anchor_min_score: 0.3,
+            join_min_score: 0.05,
+            ..CorrelationPolicy::default()
+        };
+        let mut c = CampaignCorrelator::new(p);
+        let mut none = None;
+        let mk = |t: u64, ip: &str, dst: &str| {
+            let src: Ipv4Addr = ip.parse().unwrap();
+            Alert::new(
+                simnet::time::SimTime::from_secs(t),
+                AlertKind::DownloadSensitive,
+                Entity::Address(src),
+            )
+            .with_src(src)
+            .with_dst(dst.parse().unwrap())
+        };
+        // A—B share victim 1; C—D share victim 2.
+        c.observe(&mk(0, "198.18.0.1", "10.0.0.1"), 0.9, &mut none);
+        c.observe(&mk(10, "198.18.0.2", "10.0.0.1"), 0.9, &mut none);
+        c.observe(&mk(20, "198.18.0.3", "10.0.0.2"), 0.9, &mut none);
+        c.observe(&mk(30, "198.18.0.4", "10.0.0.2"), 0.9, &mut none);
+        assert_eq!(c.campaign_count(), 2);
+        // B hits victim 2: the two campaigns become one.
+        c.observe(&mk(40, "198.18.0.2", "10.0.0.2"), 0.9, &mut none);
+        assert_eq!(c.campaign_count(), 1);
+        assert_eq!(c.summaries()[0].members.len(), 4);
+    }
+
+    /// Link formation is order-insensitive within a batch: any permutation
+    /// of the same alerts yields the same campaign partition and the same
+    /// link endpoint set.
+    #[test]
+    fn link_formation_is_order_insensitive() {
+        let alerts: Vec<Alert> = vec![
+            hop_alert(0, AlertKind::DownloadSensitive, "198.18.0.1"),
+            hop_alert(30, AlertKind::CompileKernelModule, "198.18.0.2"),
+            hop_alert(60, AlertKind::LogWipe, "198.18.0.3"),
+        ];
+        let run = |order: &[usize]| {
+            let mut c = CampaignCorrelator::new(CorrelationPolicy {
+                anchor_min_score: 0.3,
+                join_min_score: 0.05,
+                ..CorrelationPolicy::default()
+            });
+            let mut none = None;
+            for &i in order {
+                c.observe(&alerts[i], 0.9, &mut none);
+            }
+            (c.partition(), c.link_pairs())
+        };
+        let reference = run(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(run(&order), reference, "order {order:?}");
+        }
+    }
+
+    /// Satellite 6: an adversarial many-entity alert storm cannot grow
+    /// state unboundedly — entities, join keys, campaigns, and link
+    /// provenance all stay within their budgets.
+    #[test]
+    fn alert_storm_cannot_grow_state_unboundedly() {
+        let p = CorrelationPolicy {
+            anchor_min_score: 0.1,
+            join_min_score: 0.05,
+            max_entities: 128,
+            max_join_keys: 64,
+            max_links_per_campaign: 16,
+            idle_timeout: Some(SimDuration::from_hours(1)),
+            ..CorrelationPolicy::default()
+        };
+        let mut c = CampaignCorrelator::new(p);
+        let mut none = None;
+        for i in 0..10_000u32 {
+            // Every alert: a fresh hot entity, a fresh victim, plus one
+            // shared victim so campaigns and links keep forming.
+            let src = Ipv4Addr::from(0xC612_0000 | i);
+            let dst = Ipv4Addr::from(0x0A00_0000 | (i % 512));
+            let a = Alert::new(
+                simnet::time::SimTime::from_secs(u64::from(i) * 7),
+                AlertKind::DownloadSensitive,
+                Entity::Address(src),
+            )
+            .with_src(src)
+            .with_dst(dst);
+            c.observe(&a, 0.95, &mut none);
+            none = None; // promotions may fire; discard
+        }
+        assert!(
+            c.tracked_entities() <= 128,
+            "entity budget held: {}",
+            c.tracked_entities()
+        );
+        assert!(
+            c.tracked_join_keys() <= 64,
+            "join-key budget held: {}",
+            c.tracked_join_keys()
+        );
+        assert!(
+            c.campaign_count() <= c.tracked_entities(),
+            "campaigns bounded by entities"
+        );
+        for s in c.summaries() {
+            assert!(s.links.len() <= 16, "per-campaign link budget held");
+        }
+    }
+
+    /// Evicting a member keeps the campaign consistent and dissolves
+    /// campaigns that fall below two members.
+    #[test]
+    fn eviction_keeps_campaigns_consistent() {
+        let p = CorrelationPolicy {
+            anchor_min_score: 0.1,
+            join_min_score: 0.05,
+            max_entities: 4,
+            idle_timeout: Some(SimDuration::from_mins(10)),
+            ..CorrelationPolicy::default()
+        };
+        let mut c = CampaignCorrelator::new(p);
+        let mut none = None;
+        c.observe(
+            &hop_alert(0, AlertKind::DownloadSensitive, "198.18.0.1"),
+            0.9,
+            &mut none,
+        );
+        c.observe(
+            &hop_alert(10, AlertKind::DownloadSensitive, "198.18.0.2"),
+            0.9,
+            &mut none,
+        );
+        assert_eq!(c.campaign_count(), 1);
+        // A burst of fresh entities an hour later evicts the idle pair.
+        for i in 3..10 {
+            let a = hop_alert(
+                3_600 + i,
+                AlertKind::DownloadSensitive,
+                &format!("198.18.1.{i}"),
+            );
+            c.observe(&a, 0.9, &mut none);
+            none = None;
+        }
+        assert!(c.tracked_entities() <= 4);
+        for s in c.summaries() {
+            assert!(s.members.len() >= 2, "no singleton campaigns survive");
+        }
+    }
+
+    /// The default `TaggerConfig` has correlation off — pre-correlation
+    /// behaviour is preserved byte for byte — and the default policy
+    /// mirrors the `TemporalPolicy` decay/timeout semantics.
+    #[test]
+    fn correlation_defaults_off_and_mirrors_temporal_policy() {
+        assert!(TaggerConfig::default().correlation.is_none());
+        let p = CorrelationPolicy::default();
+        let t = TemporalPolicy::default();
+        assert_eq!(p.decay_half_life, t.decay_half_life);
+        assert_eq!(p.idle_timeout, t.session_timeout);
+        let cfg = TaggerConfig {
+            correlation: Some(p.clone()),
+            ..TaggerConfig::default()
+        };
+        assert_eq!(cfg.correlation, Some(p));
+    }
+}

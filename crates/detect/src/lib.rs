@@ -5,6 +5,10 @@
 //! - [`attack_tagger`] — the factor-graph detector ([5], [6]): per-entity
 //!   hidden attack-stage chains with learned observation and transition
 //!   factors; causal forward filtering raises detections *before* damage.
+//! - [`correlate`] — cross-entity campaign correlation: stitches
+//!   lateral-split hops into campaigns through shared victim / source /
+//!   host / exec-palette join keys and promotes linked sub-threshold
+//!   posteriors into fused campaign-level detections.
 //! - [`rules`] — the rule-based baseline matching recurring alert
 //!   sequences within time windows.
 //! - [`critical`] — the critical-alert-only baseline, which detects but by
@@ -18,6 +22,7 @@
 //! - [`metrics`] — detection / preemption / lead-time evaluation.
 
 pub mod attack_tagger;
+pub mod correlate;
 pub mod critical;
 pub mod fg_session;
 pub mod metrics;
@@ -27,7 +32,10 @@ pub mod sessionize;
 pub mod stage;
 pub mod train;
 
-pub use attack_tagger::{AttackTagger, Detection, TaggerConfig};
+pub use attack_tagger::{AttackTagger, Detection, Observation, TaggerConfig};
+pub use correlate::{
+    CampaignCorrelator, CampaignSummary, CorrelatedTagger, CorrelationPolicy, LinkKind, LinkSummary,
+};
 pub use critical::CriticalOnlyDetector;
 pub use fg_session::{build_session_graph, infer_session, SessionGraphConfig, SessionPosteriors};
 pub use metrics::{evaluate, prefix_sweep, EvalSummary, IncidentOutcome, SequenceDetector};

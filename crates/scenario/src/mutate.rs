@@ -489,6 +489,12 @@ pub struct SessionTruth {
     /// the recovery against.
     #[serde(default)]
     pub step_gap_secs: Vec<f64>,
+    /// Per-step hop index into `entity_keys` (parallel to `steps`): which
+    /// lateral-split entity emitted each attack step. All zeros for
+    /// unsplit sessions; the campaign-correlation evaluation uses this to
+    /// attribute detections to hops.
+    #[serde(default)]
+    pub step_entities: Vec<usize>,
 }
 
 impl SessionTruth {
@@ -626,6 +632,12 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
             .windows(2)
             .map(|w| w[1].0.saturating_since(w[0].0).as_secs_f64())
             .collect();
+        let step_entities: Vec<usize> = session
+            .steps
+            .iter()
+            .filter(|s| matches!(s.origin, StepOrigin::Template { .. }))
+            .map(|s| s.entity)
+            .collect();
         truth.sessions.push(SessionTruth {
             id: session.id,
             family: session.family.clone(),
@@ -635,6 +647,7 @@ pub fn generate_campaign(cfg: &CampaignConfig, rng: &mut SimRng) -> Campaign {
             damage_ts: session.damage_ts(),
             steps,
             step_gap_secs,
+            step_entities,
         });
     }
 

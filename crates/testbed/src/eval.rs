@@ -75,6 +75,37 @@ impl LeadTimeStats {
     }
 }
 
+/// Per-family breakdown of lateral-split (multi-hop) sessions versus
+/// unsplit (single-entity) ones — the recovery axis the campaign
+/// correlator is evaluated on. A *hop* is one entity of a split session;
+/// a hop counts as detected before damage when its own entity raised a
+/// notification strictly ahead of the session's damage step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LateralSplitEval {
+    /// Attack sessions split across ≥ 2 entities.
+    pub split_sessions: usize,
+    /// Split sessions preempted before their damage step.
+    pub split_preempted: usize,
+    /// Single-entity attack sessions (the recovery baseline).
+    pub unsplit_sessions: usize,
+    /// Unsplit sessions preempted before their damage step.
+    pub unsplit_preempted: usize,
+    /// `split_preempted / split_sessions` (0 when no split sessions).
+    pub split_preemption_rate: f64,
+    /// `unsplit_preempted / unsplit_sessions` (0 when none).
+    pub unsplit_preemption_rate: f64,
+    /// Hops of split sessions whose own entity was detected strictly
+    /// before the session's damage step (or with no damage step).
+    pub hops_detected_before_damage: usize,
+    /// Hops detected only at or after damage.
+    pub hops_detected_after_damage: usize,
+    /// Mean seconds between the earliest and latest hop detection within
+    /// split sessions that had ≥ 2 hops detected — how fast evidence
+    /// propagated across the split (0 with correlation: later hops are
+    /// promoted on their first alert).
+    pub mean_cross_hop_lead_secs: f64,
+}
+
 /// Per-family scoring of one campaign run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FamilyEval {
@@ -95,6 +126,10 @@ pub struct FamilyEval {
     /// in seconds — the tempo axis of a detection-vs-dilation curve.
     #[serde(default)]
     pub mean_step_gap_secs: f64,
+    /// Lateral-split vs unsplit breakdown (the campaign-correlation
+    /// recovery metric; all-zero when the family had no split sessions).
+    #[serde(default)]
+    pub lateral: LateralSplitEval,
 }
 
 /// The serializable evaluation report of one campaign run.
@@ -136,6 +171,17 @@ pub struct EvalReport {
     /// Blocks permanently lost (retry cap or deadline exhausted).
     #[serde(default)]
     pub blocks_abandoned: u64,
+    /// Campaigns the cross-entity correlator stitched together (0 when
+    /// correlation is disabled).
+    #[serde(default)]
+    pub correlated_campaigns: u64,
+    /// Detections the correlator raised by fusing cross-hop evidence.
+    #[serde(default)]
+    pub correlated_promotions: u64,
+    /// Tagger detections suppressed because the correlator had already
+    /// promoted the entity (would-be duplicate campaign alerts).
+    #[serde(default)]
+    pub correlated_confirmations: u64,
 }
 
 impl EvalReport {
@@ -152,6 +198,17 @@ impl EvalReport {
                 "missed": f.missed,
                 "preemption_rate": f.preemption_rate,
                 "mean_step_gap_secs": f.mean_step_gap_secs,
+                "lateral_split": {
+                    "split_sessions": f.lateral.split_sessions,
+                    "split_preempted": f.lateral.split_preempted,
+                    "split_preemption_rate": f.lateral.split_preemption_rate,
+                    "unsplit_sessions": f.lateral.unsplit_sessions,
+                    "unsplit_preempted": f.lateral.unsplit_preempted,
+                    "unsplit_preemption_rate": f.lateral.unsplit_preemption_rate,
+                    "hops_detected_before_damage": f.lateral.hops_detected_before_damage,
+                    "hops_detected_after_damage": f.lateral.hops_detected_after_damage,
+                    "mean_cross_hop_lead_secs": f.lateral.mean_cross_hop_lead_secs,
+                },
                 "lead": {
                     "count": f.lead.count,
                     "mean_secs": f.lead.mean_secs,
@@ -183,6 +240,9 @@ impl EvalReport {
             "duplicates_suppressed": self.duplicates_suppressed,
             "blocks_retried": self.blocks_retried,
             "blocks_abandoned": self.blocks_abandoned,
+            "correlated_campaigns": self.correlated_campaigns,
+            "correlated_promotions": self.correlated_promotions,
+            "correlated_confirmations": self.correlated_confirmations,
         })
     }
 
@@ -236,6 +296,14 @@ struct FamilyAccum {
     lead_records: Vec<u64>,
     gap_sum_secs: f64,
     gap_count: usize,
+    split_sessions: usize,
+    split_preempted: usize,
+    unsplit_sessions: usize,
+    unsplit_preempted: usize,
+    hops_before: usize,
+    hops_after: usize,
+    cross_hop_span_sum: f64,
+    cross_hop_span_count: usize,
 }
 
 impl FamilyAccum {
@@ -249,11 +317,26 @@ impl FamilyAccum {
             lead_records: Vec::new(),
             gap_sum_secs: 0.0,
             gap_count: 0,
+            split_sessions: 0,
+            split_preempted: 0,
+            unsplit_sessions: 0,
+            unsplit_preempted: 0,
+            hops_before: 0,
+            hops_after: 0,
+            cross_hop_span_sum: 0.0,
+            cross_hop_span_count: 0,
         }
     }
 
     fn finish(self, family: String) -> FamilyEval {
         let missed = self.sessions - self.detected;
+        let rate = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         FamilyEval {
             family,
             sessions: self.sessions,
@@ -261,16 +344,27 @@ impl FamilyAccum {
             preempted: self.preempted,
             late: self.late,
             missed,
-            preemption_rate: if self.sessions == 0 {
-                0.0
-            } else {
-                self.preempted as f64 / self.sessions as f64
-            },
+            preemption_rate: rate(self.preempted, self.sessions),
             lead: LeadTimeStats::from_leads(self.lead_secs, self.lead_records),
             mean_step_gap_secs: if self.gap_count == 0 {
                 0.0
             } else {
                 self.gap_sum_secs / self.gap_count as f64
+            },
+            lateral: LateralSplitEval {
+                split_sessions: self.split_sessions,
+                split_preempted: self.split_preempted,
+                unsplit_sessions: self.unsplit_sessions,
+                unsplit_preempted: self.unsplit_preempted,
+                split_preemption_rate: rate(self.split_preempted, self.split_sessions),
+                unsplit_preemption_rate: rate(self.unsplit_preempted, self.unsplit_sessions),
+                hops_detected_before_damage: self.hops_before,
+                hops_detected_after_damage: self.hops_after,
+                mean_cross_hop_lead_secs: if self.cross_hop_span_count == 0 {
+                    0.0
+                } else {
+                    self.cross_hop_span_sum / self.cross_hop_span_count as f64
+                },
             },
         }
     }
@@ -324,6 +418,48 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
         }
         fam.gap_count += s.step_gap_secs.len();
         overall.gap_count += s.step_gap_secs.len();
+        let split = s.entity_keys.len() > 1;
+        if split {
+            fam.split_sessions += 1;
+            overall.split_sessions += 1;
+            // Per-hop attribution: each hop's own first detection versus
+            // the shared damage deadline, plus the first-to-last detection
+            // span across hops.
+            let mut span: Option<(SimTime, SimTime)> = None;
+            let mut detected_hops = 0usize;
+            for k in &s.entity_keys {
+                let Some(&d) = first_detection.get(k) else {
+                    continue;
+                };
+                detected_hops += 1;
+                let before = match s.damage_ts {
+                    Some(damage) => d < damage,
+                    None => true,
+                };
+                if before {
+                    fam.hops_before += 1;
+                    overall.hops_before += 1;
+                } else {
+                    fam.hops_after += 1;
+                    overall.hops_after += 1;
+                }
+                span = Some(match span {
+                    None => (d, d),
+                    Some((lo, hi)) => (lo.min(d), hi.max(d)),
+                });
+            }
+            if detected_hops >= 2 {
+                let (lo, hi) = span.expect("≥2 detected hops imply a span");
+                let secs = (hi - lo).as_secs_f64();
+                fam.cross_hop_span_sum += secs;
+                fam.cross_hop_span_count += 1;
+                overall.cross_hop_span_sum += secs;
+                overall.cross_hop_span_count += 1;
+            }
+        } else {
+            fam.unsplit_sessions += 1;
+            overall.unsplit_sessions += 1;
+        }
         let det_ts = s
             .entity_keys
             .iter()
@@ -333,6 +469,7 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
         let Some(det) = det_ts else { continue };
         fam.detected += 1;
         overall.detected += 1;
+        let mut preempted = false;
         match s.damage_ts {
             Some(damage) if det < damage => {
                 let lead_secs = (damage - det).as_secs_f64();
@@ -347,6 +484,7 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
                 overall.preempted += 1;
                 overall.lead_secs.push(lead_secs);
                 overall.lead_records.push(lead_records);
+                preempted = true;
             }
             Some(_) => {
                 fam.late += 1;
@@ -355,6 +493,16 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
             None => {
                 fam.preempted += 1;
                 overall.preempted += 1;
+                preempted = true;
+            }
+        }
+        if preempted {
+            if split {
+                fam.split_preempted += 1;
+                overall.split_preempted += 1;
+            } else {
+                fam.unsplit_preempted += 1;
+                overall.unsplit_preempted += 1;
             }
         }
     }
@@ -390,6 +538,9 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
         duplicates_suppressed: report.duplicates_suppressed,
         blocks_retried: report.blocks_retried,
         blocks_abandoned: report.blocks_abandoned,
+        correlated_campaigns: report.campaigns.len() as u64,
+        correlated_promotions: report.correlated_promotions,
+        correlated_confirmations: report.correlated_confirmations,
     }
 }
 
@@ -760,6 +911,62 @@ mod tests {
             .get("mean_step_gap_secs")
             .as_f64()
             .is_some());
+    }
+
+    #[test]
+    fn lateral_split_breakdown_reaches_report_and_json() {
+        // Force every attack session to split across 3 entities and turn
+        // the correlator on (via the tagger config, the `run_campaign`
+        // path bench7 uses).
+        let mut cfg = TestbedConfig::default();
+        cfg.tagger.correlation = Some(detect::CorrelationPolicy::default());
+        let mut ccfg = campaign_cfg(32);
+        ccfg.mutation.lateral_prob = 1.0;
+        ccfg.mutation.max_lateral_entities = 3;
+        ccfg.mutation.decoy_prob = 0.0;
+        let run = run_campaign(&cfg, &ccfg, detect::train::toy_training_model());
+
+        let o = &run.eval.overall.lateral;
+        assert!(o.split_sessions > 0, "forced lateral splits present");
+        assert_eq!(
+            o.split_sessions + o.unsplit_sessions,
+            run.eval.attack_sessions,
+            "every attack session classified split or unsplit"
+        );
+        assert!(o.split_preempted <= o.split_sessions);
+        assert!(o.split_preemption_rate.is_finite());
+        assert!(o.mean_cross_hop_lead_secs >= 0.0);
+        // Ground truth carries per-step hop attribution for split sessions.
+        for s in run.truth.sessions.iter().filter(|s| !s.decoy) {
+            assert_eq!(s.step_entities.len(), s.steps.len());
+            assert!(s.step_entities.iter().all(|&e| e < s.entity_keys.len()));
+        }
+        // Correlation accounting flows StreamReport → EvalReport → JSON.
+        assert_eq!(
+            run.eval.correlated_campaigns,
+            run.stream.campaigns.len() as u64
+        );
+        let json = serde_json::to_string(&run.eval.to_json()).expect("serialize");
+        for key in [
+            "lateral_split",
+            "split_preemption_rate",
+            "hops_detected_before_damage",
+            "mean_cross_hop_lead_secs",
+            "correlated_campaigns",
+            "correlated_promotions",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(!json.contains("null"), "lateral stats stay finite: {json}");
+
+        // Without correlation the same campaign reports zero campaigns.
+        let plain = run_campaign(
+            &TestbedConfig::default(),
+            &ccfg,
+            detect::train::toy_training_model(),
+        );
+        assert_eq!(plain.eval.correlated_campaigns, 0);
+        assert_eq!(plain.eval.correlated_promotions, 0);
     }
 
     #[test]

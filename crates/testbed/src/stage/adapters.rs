@@ -222,6 +222,12 @@ impl Stage<Alert, Alert> for FilterStage {
 pub struct DetectOutcome {
     pub alert: Alert,
     pub detection: Option<Detection>,
+    /// The entity's post-observe posterior mass over the decision stages
+    /// (tagger), or 0.0 / 1.0 detection indicator (baselines). Computed
+    /// on the per-shard observe path so the cross-entity correlator —
+    /// which runs downstream on the merged outcome stream — never needs a
+    /// second look at per-entity state.
+    pub attack_score: f64,
 }
 
 /// The factor-graph [`AttackTagger`] as a detection stage.
@@ -244,8 +250,10 @@ impl TagStage {
     }
 
     fn outcome(&mut self, alert: Alert) -> DetectOutcome {
+        let scored = self.tagger.observe_scored(&alert);
         DetectOutcome {
-            detection: self.tagger.observe(&alert),
+            detection: scored.detection,
+            attack_score: scored.attack_score,
             alert,
         }
     }
@@ -280,8 +288,10 @@ impl<D: detect::SequenceDetector> BaselineStage<D> {
     }
 
     fn outcome(&mut self, alert: Alert) -> DetectOutcome {
+        let detection = self.online.observe(&alert);
         DetectOutcome {
-            detection: self.online.observe(&alert),
+            attack_score: if detection.is_some() { 1.0 } else { 0.0 },
+            detection,
             alert,
         }
     }
@@ -359,6 +369,47 @@ impl DetectorStage {
     pub fn apply_blackouts(&mut self, windows: Vec<(SimTime, SimTime)>) {
         if let DetectorStage::Tagger(s) = self {
             s.tagger_mut().set_blackouts(windows);
+        }
+    }
+
+    /// The opt-in cross-entity correlation policy carried by the tagger's
+    /// config (`None` for the baselines and for taggers without one).
+    /// The pipeline builder reads this to construct the campaign
+    /// correlator that runs over the merged outcome stream.
+    pub fn correlation_policy(&self) -> Option<detect::CorrelationPolicy> {
+        match self {
+            DetectorStage::Tagger(s) => s.tagger().config().correlation.clone(),
+            _ => None,
+        }
+    }
+
+    /// Build the campaign correlator the pipeline should run over the
+    /// merged outcome stream, when the detector carries a correlation
+    /// policy: the tagger's own chain model and decision stages are
+    /// attached so stitched campaign sequences are re-scored with the
+    /// exact inference the per-entity tagger runs.
+    pub fn build_correlator(&self) -> Option<detect::CampaignCorrelator> {
+        match self {
+            DetectorStage::Tagger(s) => {
+                let tagger = s.tagger();
+                tagger.config().correlation.clone().map(|policy| {
+                    detect::CampaignCorrelator::with_model(
+                        policy,
+                        tagger.model().clone(),
+                        tagger.config().decision_stages.clone(),
+                    )
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Install (or clear) the cross-entity correlation policy, when the
+    /// detector is the factor-graph tagger — the builder's override hook,
+    /// mirroring [`DetectorStage::apply_temporal`].
+    pub fn apply_correlation(&mut self, correlation: Option<detect::CorrelationPolicy>) {
+        if let DetectorStage::Tagger(s) = self {
+            s.tagger_mut().set_correlation(correlation);
         }
     }
 
@@ -898,6 +949,7 @@ mod tests {
         let outcome = |t: u64| DetectOutcome {
             alert: alert(t, AlertKind::C2Communication, "eve").with_src(src),
             detection: Some(d.clone()),
+            attack_score: 0.9,
         };
         let mut notes = Vec::new();
         resp.process_batch(&[outcome(5), outcome(6)], &mut notes);
@@ -921,6 +973,7 @@ mod tests {
         DetectOutcome {
             alert: alert(t, AlertKind::C2Communication, user).with_src(src),
             detection: Some(detection()),
+            attack_score: 0.9,
         }
     }
 

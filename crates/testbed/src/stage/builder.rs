@@ -11,6 +11,7 @@ use alertlib::filter::ScanFilter;
 use alertlib::symbolize::Symbolizer;
 use bhr::api::BhrHandle;
 use detect::attack_tagger::AttackTagger;
+use detect::correlate::{CampaignCorrelator, CorrelationPolicy};
 use detect::rules::RuleBasedDetector;
 use factorgraph::chain::ChainModel;
 use scenario::faults::{FaultInjector, FaultPlan};
@@ -39,6 +40,7 @@ pub struct PipelineBuilder {
     faults: Option<FaultPlan>,
     blackouts: Vec<(SimTime, SimTime)>,
     notify_backend: Option<Box<dyn NotifyBackend>>,
+    correlation: Option<CorrelationPolicy>,
 }
 
 impl Default for PipelineBuilder {
@@ -67,6 +69,7 @@ impl PipelineBuilder {
             faults: None,
             blackouts: Vec::new(),
             notify_backend: None,
+            correlation: None,
         }
     }
 
@@ -93,6 +96,7 @@ impl PipelineBuilder {
             faults: None,
             blackouts: Vec::new(),
             notify_backend: None,
+            correlation: None,
         }
     }
 
@@ -171,6 +175,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Enable cross-entity campaign correlation with the given policy,
+    /// overriding whatever the detector's [`TaggerConfig`] carries. The
+    /// correlator runs on the merged outcome stream in every executor, so
+    /// enabling it preserves cross-executor byte-identity.
+    ///
+    /// [`TaggerConfig`]: detect::TaggerConfig
+    pub fn correlation(mut self, policy: CorrelationPolicy) -> Self {
+        self.correlation = Some(policy);
+        self
+    }
+
     pub fn executor(mut self, executor: ExecutorKind) -> Self {
         self.tuning.executor = executor;
         self
@@ -235,6 +250,10 @@ impl PipelineBuilder {
         if !self.blackouts.is_empty() {
             self.detector.apply_blackouts(self.blackouts);
         }
+        if let Some(policy) = self.correlation {
+            self.detector.apply_correlation(Some(policy));
+        }
+        let correlate = self.detector.build_correlator();
         let source = self.detector.source();
         let mut response = ResponseStage::new(
             self.bhr,
@@ -250,6 +269,7 @@ impl PipelineBuilder {
             symbolize: SymbolizeStage::new(self.symbolizer),
             filter: FilterStage::new(self.filter),
             detect: self.detector,
+            correlate,
             response,
             retention: AlertRetention::new(self.tuning.alert_retention),
             tuning: self.tuning,
@@ -271,6 +291,7 @@ pub struct BuiltPipeline {
     pub(crate) symbolize: SymbolizeStage,
     pub(crate) filter: FilterStage,
     pub(crate) detect: DetectorStage,
+    pub(crate) correlate: Option<CampaignCorrelator>,
     pub(crate) response: ResponseStage,
     pub(crate) retention: AlertRetention,
     pub(crate) tuning: PipelineTuning,
@@ -286,10 +307,13 @@ impl BuiltPipeline {
         tagger: AttackTagger,
         tuning: PipelineTuning,
     ) -> Self {
+        let detect = DetectorStage::tagger(tagger);
+        let correlate = detect.build_correlator();
         BuiltPipeline {
             symbolize: SymbolizeStage::new(symbolizer),
             filter: FilterStage::new(filter),
-            detect: DetectorStage::tagger(tagger),
+            detect,
+            correlate,
             response: ResponseStage::new(BhrHandle::new(), false, None, "attack-tagger"),
             retention: AlertRetention::new(tuning.alert_retention),
             tuning,

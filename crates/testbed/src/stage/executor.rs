@@ -25,6 +25,7 @@
 use alertlib::alert::Alert;
 use alertlib::filter::FilterStats;
 use crossbeam::channel::{bounded, Sender};
+use detect::correlate::{CampaignCorrelator, CampaignSummary};
 use rayon::prelude::*;
 use scenario::faults::{FaultInjector, FaultStats};
 use simnet::time::SimTime;
@@ -69,6 +70,25 @@ pub struct StreamReport {
     /// [`FaultPlan`](scenario::faults::FaultPlan); `None` on clean runs.
     /// `stats.records` counts *post-fault* records in either case.
     pub fault: Option<FaultStats>,
+    /// Live campaigns stitched by the cross-entity correlator (empty when
+    /// correlation is off): campaign ids, member entities, and link
+    /// provenance. Identical across executors — the correlator consumes
+    /// the merged, order-restored outcome stream.
+    pub campaigns: Vec<CampaignSummary>,
+    /// Detections promoted by campaign fusion (a subset of
+    /// `stats.detections`).
+    pub correlated_promotions: u64,
+    /// Tagger detections suppressed because the entity had already been
+    /// surfaced by a campaign promotion.
+    pub correlated_confirmations: u64,
+}
+
+/// Correlation surfaces for a [`StreamReport`] from a finished correlator.
+fn correlation_report(correlate: &Option<CampaignCorrelator>) -> (Vec<CampaignSummary>, u64, u64) {
+    match correlate {
+        Some(c) => (c.summaries(), c.promotions(), c.tagger_confirmations()),
+        None => (Vec::new(), 0, 0),
+    }
 }
 
 /// The sequential stage composition, shared by the inline executor and the
@@ -77,6 +97,7 @@ pub(crate) struct InlineCore {
     pub(crate) symbolize: crate::stage::adapters::SymbolizeStage,
     pub(crate) filter: crate::stage::adapters::FilterStage,
     pub(crate) detect: DetectorStage,
+    pub(crate) correlate: Option<CampaignCorrelator>,
     pub(crate) response: ResponseStage,
     pub(crate) retention: AlertRetention,
     pub(crate) stats: StreamStats,
@@ -92,6 +113,7 @@ impl InlineCore {
             symbolize: p.symbolize,
             filter: p.filter,
             detect: p.detect,
+            correlate: p.correlate,
             response: p.response,
             retention: p.retention,
             stats: StreamStats::default(),
@@ -148,6 +170,7 @@ impl InlineCore {
         finish_outcomes(
             &mut self.outcomes_buf,
             now,
+            self.correlate.as_mut(),
             &mut self.response,
             &mut self.retention,
             &mut self.stats.detections,
@@ -156,7 +179,12 @@ impl InlineCore {
     }
 
     pub(crate) fn into_report(self) -> StreamReport {
+        let (campaigns, correlated_promotions, correlated_confirmations) =
+            correlation_report(&self.correlate);
         StreamReport {
+            campaigns,
+            correlated_promotions,
+            correlated_confirmations,
             stats: self.stats,
             filter: self.filter.stats(),
             notifications: self.notifications,
@@ -180,11 +208,20 @@ impl InlineCore {
 fn finish_outcomes(
     outcomes: &mut Vec<DetectOutcome>,
     now: Option<SimTime>,
+    correlator: Option<&mut CampaignCorrelator>,
     response: &mut ResponseStage,
     retention: &mut AlertRetention,
     detections: &mut u64,
     notifications: &mut Vec<OperatorNotification>,
 ) {
+    // Correlation runs on the merged, stream-ordered outcome sequence so
+    // every executor sees identical link formation regardless of how the
+    // detect stage was parallelised.
+    if let Some(c) = correlator {
+        for o in outcomes.iter_mut() {
+            c.observe(&o.alert, o.attack_score, &mut o.detection);
+        }
+    }
     response.respond(now, outcomes, notifications);
     for o in outcomes.drain(..) {
         if o.detection.is_some() {
@@ -310,6 +347,7 @@ where
         mut symbolize,
         mut filter,
         detect,
+        mut correlate,
         mut response,
         mut retention,
         tuning,
@@ -382,6 +420,7 @@ where
                 if pending.len() >= batch {
                     pool.drain(
                         &mut pending,
+                        correlate.as_mut(),
                         &mut response,
                         &mut retention,
                         &mut detections,
@@ -391,6 +430,7 @@ where
             }
             pool.drain(
                 &mut pending,
+                correlate.as_mut(),
                 &mut response,
                 &mut retention,
                 &mut detections,
@@ -398,15 +438,27 @@ where
             );
             response.flush(&mut notifications);
             let duplicates = pool.duplicates_suppressed();
-            (response, retention, detections, notifications, duplicates)
+            (
+                response,
+                retention,
+                detections,
+                notifications,
+                duplicates,
+                correlate,
+            )
         });
 
         let (records, fault) = feeder.join().expect("feeder thread");
         let alerts = symbolizing.join().expect("symbolize thread");
         let (filter, admitted) = filtering.join().expect("filter thread");
-        let (response, retention, detections, notifications, duplicates_suppressed) =
+        let (response, retention, detections, notifications, duplicates_suppressed, correlate) =
             sinking.join().expect("detect/response thread");
+        let (campaigns, correlated_promotions, correlated_confirmations) =
+            correlation_report(&correlate);
         StreamReport {
+            campaigns,
+            correlated_promotions,
+            correlated_confirmations,
             stats: StreamStats {
                 records,
                 alerts,
@@ -462,6 +514,7 @@ impl DetectShards {
     fn drain(
         &mut self,
         pending: &mut Vec<Alert>,
+        correlator: Option<&mut CampaignCorrelator>,
         response: &mut ResponseStage,
         retention: &mut AlertRetention,
         detections: &mut u64,
@@ -515,6 +568,7 @@ impl DetectShards {
         finish_outcomes(
             &mut batch_outcomes,
             None,
+            correlator,
             response,
             retention,
             detections,
@@ -593,6 +647,9 @@ mod tests {
         assert_eq!(a.notifications_retried, b.notifications_retried);
         assert_eq!(a.notifications_abandoned, b.notifications_abandoned);
         assert_eq!(a.fault, b.fault);
+        assert_eq!(a.campaigns, b.campaigns);
+        assert_eq!(a.correlated_promotions, b.correlated_promotions);
+        assert_eq!(a.correlated_confirmations, b.correlated_confirmations);
     }
 
     #[test]
@@ -657,6 +714,36 @@ mod tests {
             .build()
             .run_sharded(records);
         reports_equal(&inline, &sharded);
+    }
+
+    #[test]
+    fn correlated_executors_agree_byte_for_byte() {
+        // The four kernel-module sessions share HostId(3) and an identical
+        // cmdline palette, so the correlator links them into one campaign.
+        let records = workload();
+        let policy = detect::CorrelationPolicy::default();
+        let build = || {
+            PipelineBuilder::new()
+                .batch_size(37)
+                .correlation(policy.clone())
+                .build()
+        };
+        let inline = build().run_inline(records.clone());
+        assert!(
+            !inline.campaigns.is_empty(),
+            "shared host/palette workload forms at least one campaign"
+        );
+        let threaded = build().run_threaded(records.clone());
+        reports_equal(&inline, &threaded);
+        for shards in [1usize, 2, 7] {
+            let sharded = PipelineBuilder::new()
+                .batch_size(37)
+                .correlation(policy.clone())
+                .detect_shards(shards)
+                .build()
+                .run_sharded(records.clone());
+            reports_equal(&inline, &sharded);
+        }
     }
 
     #[test]

@@ -164,6 +164,9 @@ fn assert_reports_identical(a: &StreamReport, b: &StreamReport) {
     prop_assert_eq!(a.blocks_retried, b.blocks_retried);
     prop_assert_eq!(a.blocks_abandoned, b.blocks_abandoned);
     prop_assert_eq!(&a.fault, &b.fault);
+    prop_assert_eq!(&a.campaigns, &b.campaigns);
+    prop_assert_eq!(a.correlated_promotions, b.correlated_promotions);
+    prop_assert_eq!(a.correlated_confirmations, b.correlated_confirmations);
 }
 
 proptest! {
@@ -387,6 +390,139 @@ proptest! {
             .build()
             .run_sharded(records);
         assert_reports_identical(&inline, &sharded);
+    }
+
+    /// With the cross-entity campaign correlator enabled, the three
+    /// executors must still agree byte-for-byte — including the campaign
+    /// summaries, promotion counters, and the scored evaluation. Lateral
+    /// splits are forced often so correlation genuinely fires.
+    #[test]
+    fn correlated_executors_agree_on_mutated_campaigns(
+        seed in 0u64..100_000,
+        sessions in 1usize..24,
+        batch in 1usize..300,
+        shards in 1usize..9,
+        lateral_prob in 0.5f64..1.0,
+        max_lateral in 2usize..5,
+        decoy_prob in 0.0f64..0.3,
+        background in 0usize..2,
+    ) {
+        let cfg = CampaignConfig {
+            sessions,
+            horizon: SimDuration::from_hours(24),
+            mutation: MutationConfig {
+                lateral_prob,
+                max_lateral_entities: max_lateral,
+                decoy_prob,
+                ..MutationConfig::default()
+            },
+            background: (background == 1).then(|| RecordStreamConfig {
+                scan_records: 300,
+                benign_flows: 100,
+                exec_records: 200,
+                users: 25,
+                ..RecordStreamConfig::default()
+            }),
+            ..CampaignConfig::default()
+        };
+        let campaign = generate_campaign(&cfg, &mut SimRng::seed(seed));
+        let records = campaign.records;
+        let capacity = batch * (1 + seed as usize % 4);
+        let correlated = |batch, capacity, shards| {
+            builder(batch, capacity, shards, 50)
+                .correlation(detect::CorrelationPolicy::default())
+        };
+
+        let inline = correlated(batch, capacity, shards)
+            .build()
+            .run_inline(records.clone());
+        let threaded = correlated(batch, capacity, shards)
+            .build()
+            .run_threaded(records.clone());
+        assert_reports_identical(&inline, &threaded);
+
+        let sharded = correlated(batch, capacity, shards)
+            .build()
+            .run_sharded(records);
+        assert_reports_identical(&inline, &sharded);
+
+        let eval_inline = testbed::evaluate_campaign(&inline, &campaign.truth);
+        let eval_sharded = testbed::evaluate_campaign(&sharded, &campaign.truth);
+        prop_assert_eq!(eval_inline, eval_sharded);
+    }
+
+    /// Link formation is order-insensitive within a batch: alerts sharing
+    /// one timestamp (a batch arriving "at once") produce the same
+    /// campaign partition and link multiset no matter how the batch is
+    /// permuted.
+    #[test]
+    fn correlator_link_formation_is_order_insensitive(
+        seed in 0u64..100_000,
+        entities in 2usize..7,
+        rounds in 1usize..4,
+    ) {
+        use alertlib::alert::{Alert, Entity};
+        use alertlib::taxonomy::AlertKind;
+        let victim: std::net::Ipv4Addr = "141.142.20.7".parse().unwrap();
+        // Per entity: a hot anchor alert then a joinable follow-up, all
+        // aimed at one victim, timestamps equal within each round.
+        let mut batch: Vec<Alert> = Vec::new();
+        for round in 0..rounds {
+            for e in 0..entities {
+                let src: std::net::Ipv4Addr =
+                    format!("198.18.7.{}", 10 + e).parse().unwrap();
+                let kind = if round == 0 {
+                    AlertKind::PasswordFileAccess
+                } else {
+                    AlertKind::LogWipe
+                };
+                batch.push(
+                    Alert::new(
+                        simnet::time::SimTime::from_secs(1_000 + 600 * round as u64),
+                        kind,
+                        Entity::Address(src),
+                    )
+                    .with_src(src)
+                    .with_dst(victim),
+                );
+            }
+        }
+
+        let run = |order: &[usize]| {
+            let mut tagger = detect::correlate::correlated_tagger(
+                detect::train::toy_training_model(),
+                detect::TaggerConfig::default(),
+            );
+            for &i in order {
+                tagger.observe(&batch[i]);
+            }
+            let c = tagger.correlator();
+            (c.partition(), {
+                let mut links = c.link_pairs();
+                links.sort();
+                links
+            })
+        };
+
+        let identity: Vec<usize> = (0..batch.len()).collect();
+        let (base_partition, base_links) = run(&identity);
+        prop_assert!(!base_partition.is_empty(), "shared victim links campaigns");
+
+        // Fisher–Yates permutations within each equal-timestamp round.
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..4 {
+            let mut order = identity.clone();
+            for round in 0..rounds {
+                let lo = round * entities;
+                for j in (1..entities).rev() {
+                    let k = rng.index(j + 1);
+                    order.swap(lo + j, lo + k);
+                }
+            }
+            let (partition, links) = run(&order);
+            prop_assert_eq!(&partition, &base_partition);
+            prop_assert_eq!(&links, &base_links);
+        }
     }
 
     /// The rule-based baseline detector shards identically too (its
