@@ -58,6 +58,15 @@ impl EntityId {
         self.0
     }
 
+    /// Rebuild an id from its raw encoding. Raw ids embed interner-local
+    /// symbol ids for user entities, so this is only valid within the
+    /// process (and sym table) that minted `raw` — snapshot formats must
+    /// go through [`EntityId::key`] / [`EntityId::from_key`] instead.
+    #[inline]
+    pub fn from_raw(raw: u64) -> EntityId {
+        EntityId(raw)
+    }
+
     /// Reconstruct the entity this id encodes.
     pub fn entity(self) -> Entity {
         let payload = self.0 as u32;

@@ -99,7 +99,7 @@ impl ScanFilter {
     /// window map hashes the `u64` directly.
     fn source_key(entity: &Entity, src: Option<Ipv4Addr>) -> u64 {
         match (entity, src) {
-            (Entity::Unknown, Some(a)) => (4u64 << 32) | u64::from(u32::from(a)),
+            (Entity::Unknown, Some(a)) => ANON_SRC_TAG | u64::from(u32::from(a)),
             (e, _) => e.id().raw(),
         }
     }
@@ -161,6 +161,107 @@ impl ScanFilter {
     pub fn live_windows(&self) -> usize {
         self.state.len()
     }
+
+    /// Export the filter's dedup state in a process-independent form.
+    ///
+    /// Window keys embed interner-local symbol ids for user entities, so
+    /// they are rendered as canonical strings (`user:…`/`addr:…`, or
+    /// `src:<ip>` for anonymous-source windows) and re-interned on
+    /// import. Output is sorted, so identical filter states export
+    /// byte-identical snapshots regardless of hash-map iteration order.
+    pub fn export_state(&self) -> FilterSnapshot {
+        let mut windows: Vec<FilterWindowSnapshot> = self
+            .state
+            .iter()
+            .map(|(k, w)| FilterWindowSnapshot {
+                source: Self::encode_source(k.source),
+                kind: k.kind,
+                start: w.start,
+                admitted: w.admitted,
+            })
+            .collect();
+        windows.sort_by(|a, b| (&a.source, a.kind).cmp(&(&b.source, b.kind)));
+        FilterSnapshot {
+            windows,
+            stats: self.stats,
+            last_sweep: self.last_sweep,
+        }
+    }
+
+    /// Restore state previously captured by [`export_state`]
+    /// (`ScanFilter::export_state`). The config is NOT part of the
+    /// snapshot: the restoring process supplies its own (normally
+    /// identical) `FilterConfig`.
+    ///
+    /// # Panics
+    /// On malformed source keys — snapshots are produced by
+    /// `export_state`, so corruption is a caller bug, not an input error.
+    pub fn import_state(&mut self, snap: &FilterSnapshot) {
+        self.state.clear();
+        for w in &snap.windows {
+            let key = Key {
+                source: Self::decode_source(&w.source),
+                kind: w.kind,
+            };
+            self.state.insert(
+                key,
+                Window {
+                    start: w.start,
+                    admitted: w.admitted,
+                },
+            );
+        }
+        self.stats = snap.stats;
+        self.last_sweep = snap.last_sweep;
+    }
+
+    /// Render a window-map source key as a process-independent string.
+    fn encode_source(source: u64) -> String {
+        if source & !0xFFFF_FFFF == ANON_SRC_TAG {
+            format!("src:{}", Ipv4Addr::from(source as u32))
+        } else {
+            crate::alert::EntityId::from_raw(source).key()
+        }
+    }
+
+    /// Inverse of [`encode_source`](Self::encode_source), re-interning
+    /// user names in the current process.
+    fn decode_source(source: &str) -> u64 {
+        if let Some(ip) = source.strip_prefix("src:") {
+            let a: Ipv4Addr = ip.parse().expect("filter snapshot: bad src address");
+            ANON_SRC_TAG | u64::from(u32::from(a))
+        } else {
+            crate::alert::EntityId::from_key(source)
+                .expect("filter snapshot: bad entity key")
+                .raw()
+        }
+    }
+}
+
+/// Tag bits marking window keys derived from an anonymous source address
+/// (see [`ScanFilter::admit`]'s `source_key`): distinct from every
+/// [`EntityId`](crate::alert::EntityId) tag.
+const ANON_SRC_TAG: u64 = 4 << 32;
+
+/// One `(source, kind)` dedup window in process-independent form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterWindowSnapshot {
+    /// `user:…` / `addr:…` / `unknown`, or `src:<ip>` for windows keyed
+    /// by an anonymous source address.
+    pub source: String,
+    /// `AlertKind` index.
+    pub kind: u16,
+    pub start: SimTime,
+    pub admitted: u32,
+}
+
+/// Full dedup state of a [`ScanFilter`], for service snapshot/restore.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterSnapshot {
+    /// Sorted by `(source, kind)`.
+    pub windows: Vec<FilterWindowSnapshot>,
+    pub stats: FilterStats,
+    pub last_sweep: SimTime,
 }
 
 #[cfg(test)]
@@ -263,6 +364,49 @@ mod tests {
             "stale windows were not swept: {}",
             f.live_windows()
         );
+    }
+
+    /// Snapshot → import into a fresh process' filter → replay must
+    /// suppress and admit exactly as the uninterrupted filter would,
+    /// including windows keyed by user entities (whose raw ids embed
+    /// interner symbol ids) and anonymous `src:` windows.
+    #[test]
+    fn snapshot_roundtrip_preserves_dedup_decisions() {
+        let mut f = ScanFilter::default();
+        // Address-keyed, user-keyed, and anonymous-source windows.
+        assert!(f.admit(&scan_alert(10, "103.102.1.1")));
+        let user_alert = |t: u64| {
+            Alert::new(
+                SimTime::from_secs(t),
+                AlertKind::BruteForcePassword,
+                Entity::User("eve".into()),
+            )
+        };
+        let anon_alert = |t: u64| {
+            Alert::new(SimTime::from_secs(t), AlertKind::PortScan, Entity::Unknown)
+                .with_src("9.9.9.9".parse().unwrap())
+        };
+        assert!(f.admit(&user_alert(20)));
+        assert!(f.admit(&anon_alert(30)));
+
+        let snap = f.export_state();
+        assert_eq!(snap.windows.len(), 3);
+        assert!(snap.windows.iter().any(|w| w.source == "user:eve"));
+        assert!(snap.windows.iter().any(|w| w.source == "src:9.9.9.9"));
+
+        let mut restored = ScanFilter::default();
+        restored.import_state(&snap);
+        assert_eq!(restored.export_state(), snap, "import→export identity");
+        // Same-window repeats stay suppressed after restore…
+        assert!(!restored.admit(&scan_alert(40, "103.102.1.1")));
+        assert!(!restored.admit(&user_alert(50)));
+        assert!(!restored.admit(&anon_alert(60)));
+        // …and mirror the uninterrupted filter exactly.
+        assert!(!f.admit(&scan_alert(40, "103.102.1.1")));
+        assert!(!f.admit(&user_alert(50)));
+        assert!(!f.admit(&anon_alert(60)));
+        assert_eq!(restored.stats(), f.stats());
+        assert_eq!(restored.export_state(), f.export_state());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use alertlib::taxonomy::AlertKind;
 use factorgraph::chain::ChainModel;
 use factorgraph::timing::GAP_NONE;
 use serde::{Deserialize, Serialize};
-use simnet::rng::FxHashMap;
+use simnet::rng::{FxHashMap, FxHashSet};
 use simnet::time::{SimDuration, SimTime};
 
 use crate::correlate::CorrelationPolicy;
@@ -109,6 +109,19 @@ pub struct TaggerConfig {
     /// [`crate::correlate::CorrelatedTagger`]).
     #[serde(default)]
     pub correlation: Option<CorrelationPolicy>,
+    /// Soft bound on resident per-entity state (long-lived service mode).
+    /// `0` — the default, and the historical behaviour — tracks every
+    /// entity forever. With a bound set, reaching it triggers a sweep that
+    /// evicts entities whose (blackout-net) idle gap exceeds the temporal
+    /// policy's `session_timeout` — exactly the state PR 5 already defines
+    /// as dead, so eviction is detection-neutral: the next alert would
+    /// have restarted the filter from the prior anyway. Detection latches
+    /// of evicted entities are preserved in a compact side set (one id per
+    /// *detected* entity), so a re-arriving attacker is never re-counted.
+    /// Without a `session_timeout` no state is ever provably dead and the
+    /// bound is inert.
+    #[serde(default)]
+    pub max_entities: usize,
 }
 
 impl Default for TaggerConfig {
@@ -119,6 +132,7 @@ impl Default for TaggerConfig {
             max_context: 64,
             temporal: TemporalPolicy::default(),
             correlation: None,
+            max_entities: 0,
         }
     }
 }
@@ -148,6 +162,45 @@ pub struct Observation {
     /// Posterior mass over the decision stages after folding this alert
     /// (current mass when the alert was dropped as a duplicate).
     pub attack_score: f64,
+}
+
+/// Serializable per-entity filter state — one entry of a
+/// [`TaggerSnapshot`]. Entities are keyed by canonical string key
+/// (`user:…` / `addr:…`), not raw ids, so a snapshot restores correctly in
+/// a fresh process whose intern table assigns different ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityStateSnapshot {
+    /// Canonical entity key.
+    pub entity: String,
+    /// Filtered posterior over stages.
+    pub alpha: Vec<f64>,
+    /// Alerts folded in since the last session restart.
+    pub steps: usize,
+    /// Detection latch.
+    pub detected: bool,
+    /// Gap anchor.
+    pub last_ts: SimTime,
+    /// Duplicate-suppression ring, `(ts, kind index)`; `u16::MAX` kind
+    /// marks an empty slot.
+    pub recent: Vec<(SimTime, u16)>,
+    /// Next ring slot to overwrite.
+    pub recent_head: u8,
+}
+
+/// Serialized posteriors of an [`AttackTagger`] — the detector's share of
+/// a service snapshot. Restoring it with
+/// [`AttackTagger::import_state`] and replaying the stream tail yields
+/// byte-identical detections to the uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaggerSnapshot {
+    /// Per-entity filter state, sorted by entity key.
+    pub entities: Vec<EntityStateSnapshot>,
+    /// Canonical keys of evicted entities whose detection latch is held.
+    pub evicted_latches: Vec<String>,
+    /// Alerts dropped as telemetry duplicates so far.
+    pub duplicates_suppressed: u64,
+    /// Entities evicted by the bounded-state sweep so far.
+    pub entities_evicted: u64,
 }
 
 /// Slots in the per-entity duplicate-suppression ring. Telemetry
@@ -195,6 +248,17 @@ pub struct AttackTagger {
     blackouts: Vec<(SimTime, SimTime)>,
     /// Alerts dropped as telemetry duplicates.
     duplicates_suppressed: u64,
+    /// Detection latches of evicted entities (see
+    /// [`TaggerConfig::max_entities`]): a re-arriving evicted attacker
+    /// resumes `detected` instead of being re-counted.
+    evicted_latches: FxHashSet<EntityId>,
+    /// Entities evicted so far.
+    entities_evicted: u64,
+    /// Don't rescan for dead state until the map regrows to this length —
+    /// keeps sweeps amortized O(1) per alert when nothing is expiring.
+    sweep_floor: usize,
+    /// Reused eviction id buffer (alloc-free steady state).
+    evict_scratch: Vec<EntityId>,
 }
 
 impl AttackTagger {
@@ -218,6 +282,10 @@ impl AttackTagger {
             scratch: vec![0.0; Stage::COUNT],
             blackouts: Vec::new(),
             duplicates_suppressed: 0,
+            evicted_latches: FxHashSet::default(),
+            entities_evicted: 0,
+            sweep_floor: 0,
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -237,6 +305,13 @@ impl AttackTagger {
     /// [`TaggerConfig::correlation`].
     pub fn set_correlation(&mut self, correlation: Option<CorrelationPolicy>) {
         self.cfg.correlation = correlation;
+    }
+
+    /// Override the per-entity state budget (see
+    /// [`TaggerConfig::max_entities`]); `0` disables the bound. Takes
+    /// effect from the next [`AttackTagger::observe`].
+    pub fn set_max_entities(&mut self, max_entities: usize) {
+        self.cfg.max_entities = max_entities;
     }
 
     pub fn model(&self) -> &ChainModel {
@@ -365,18 +440,29 @@ impl AttackTagger {
     /// the observe path means a sharded executor needs no second pass
     /// over per-entity state.
     pub fn observe_scored(&mut self, alert: &Alert) -> Observation {
+        // Bounded-state mode: at the budget, sweep state the temporal
+        // policy already declares dead (idle past the session timeout, net
+        // of blackouts). Detection-neutral — see `TaggerConfig::max_entities`.
+        if self.cfg.max_entities != 0
+            && self.states.len() >= self.cfg.max_entities
+            && self.states.len() >= self.sweep_floor
+        {
+            self.sweep_expired(alert.ts);
+        }
+        let id = alert.entity.id();
+        // Invariant: a tracked entity is never in `evicted_latches`, so a
+        // hit here means an evicted-but-detected entity is re-arriving —
+        // its fresh state resumes with the latch set (no double-count).
+        let latched = !self.evicted_latches.is_empty() && self.evicted_latches.remove(&id);
         let temporal = &self.cfg.temporal;
-        let state = self
-            .states
-            .entry(alert.entity.id())
-            .or_insert_with(|| EntityState {
-                alpha: vec![0.0; Stage::COUNT],
-                steps: 0,
-                detected: false,
-                last_ts: alert.ts,
-                recent: [(SimTime::EPOCH, DEDUP_EMPTY); DEDUP_SLOTS],
-                recent_head: 0,
-            });
+        let state = self.states.entry(id).or_insert_with(|| EntityState {
+            alpha: vec![0.0; Stage::COUNT],
+            steps: 0,
+            detected: latched,
+            last_ts: alert.ts,
+            recent: [(SimTime::EPOCH, DEDUP_EMPTY); DEDUP_SLOTS],
+            recent_head: 0,
+        });
         let obs = alert.kind.index();
         // Degraded-mode duplicate suppression: an exact `(ts, kind)`
         // re-delivery within the window is telemetry duplication, not new
@@ -473,6 +559,56 @@ impl AttackTagger {
         stages.iter().map(|s| alpha[s.index()]).sum()
     }
 
+    /// Evict every entity whose blackout-net idle gap (relative to `now`)
+    /// exceeds the session timeout — state the temporal policy defines as
+    /// dead, whose next alert would restart the filter from the prior
+    /// regardless. Latches of detected entities move to the compact side
+    /// set. Without a `session_timeout` nothing is provably dead, so the
+    /// sweep is a no-op.
+    fn sweep_expired(&mut self, now: SimTime) {
+        let Some(timeout) = self.cfg.temporal.session_timeout else {
+            // Nothing can expire; don't rescan until the map grows again.
+            self.sweep_floor = self.states.len() + (self.cfg.max_entities / 8).max(1);
+            return;
+        };
+        let mut expired = std::mem::take(&mut self.evict_scratch);
+        expired.clear();
+        for (&id, state) in &self.states {
+            let gap = now.saturating_since(state.last_ts);
+            let effective = if self.blackouts.is_empty() {
+                gap
+            } else {
+                gap.saturating_sub(Self::overlap_of(&self.blackouts, state.last_ts, now))
+            };
+            if effective > timeout {
+                expired.push(id);
+            }
+        }
+        for &id in &expired {
+            if let Some(state) = self.states.remove(&id) {
+                if state.detected {
+                    self.evicted_latches.insert(id);
+                }
+                self.entities_evicted += 1;
+            }
+        }
+        self.evict_scratch = expired;
+        // Amortization: if the stream is so hot that little or nothing
+        // expired, let the map grow an eighth of the budget before
+        // scanning again (the bound is a soft target, not a hard cap).
+        self.sweep_floor = self.states.len() + (self.cfg.max_entities / 8).max(1);
+    }
+
+    /// Entities evicted by the bounded-state sweep so far.
+    pub fn entities_evicted(&self) -> u64 {
+        self.entities_evicted
+    }
+
+    /// Detection latches currently held for evicted entities.
+    pub fn evicted_latched_entities(&self) -> usize {
+        self.evicted_latches.len()
+    }
+
     /// The current filtered posterior for an entity — the allocation-free
     /// primary lookup, keyed by [`EntityId`] like the state map itself.
     pub fn posterior_id(&self, id: EntityId) -> Option<&[f64]> {
@@ -487,9 +623,10 @@ impl AttackTagger {
     }
 
     /// Ground-truth hook: whether a detection has latched for this entity
-    /// (allocation-free, [`EntityId`]-keyed).
+    /// (allocation-free, [`EntityId`]-keyed). Latches survive bounded-state
+    /// eviction.
     pub fn is_detected_id(&self, id: EntityId) -> bool {
-        self.states.get(&id).is_some_and(|s| s.detected)
+        self.states.get(&id).is_some_and(|s| s.detected) || self.evicted_latches.contains(&id)
     }
 
     /// String-key convenience over [`AttackTagger::is_detected_id`].
@@ -508,6 +645,7 @@ impl AttackTagger {
             .iter()
             .filter(|(_, s)| s.detected)
             .map(|(&id, _)| id)
+            .chain(self.evicted_latches.iter().copied())
     }
 
     /// String-key convenience over
@@ -528,14 +666,87 @@ impl AttackTagger {
         self.entity_steps_id(EntityId::from_key(entity_key)?)
     }
 
-    /// Forget all per-entity state.
+    /// Forget all per-entity state (including evicted-entity latches).
     pub fn reset(&mut self) {
         self.states.clear();
+        self.evicted_latches.clear();
+        self.sweep_floor = 0;
     }
 
     /// Number of tracked entities.
     pub fn tracked_entities(&self) -> usize {
         self.states.len()
+    }
+
+    /// Serialize the per-entity posteriors (and eviction side state) for
+    /// a service snapshot. Deterministic: entities and latches are sorted
+    /// by canonical key.
+    pub fn export_state(&self) -> TaggerSnapshot {
+        let mut entities: Vec<EntityStateSnapshot> = self
+            .states
+            .iter()
+            .map(|(id, s)| EntityStateSnapshot {
+                entity: id.key(),
+                alpha: s.alpha.clone(),
+                steps: s.steps,
+                detected: s.detected,
+                last_ts: s.last_ts,
+                recent: s.recent.to_vec(),
+                recent_head: s.recent_head,
+            })
+            .collect();
+        entities.sort_by(|a, b| a.entity.cmp(&b.entity));
+        let mut evicted_latches: Vec<String> =
+            self.evicted_latches.iter().map(|id| id.key()).collect();
+        evicted_latches.sort();
+        TaggerSnapshot {
+            entities,
+            evicted_latches,
+            duplicates_suppressed: self.duplicates_suppressed,
+            entities_evicted: self.entities_evicted,
+        }
+    }
+
+    /// Replace this tagger's per-entity state with a snapshot previously
+    /// produced by [`AttackTagger::export_state`] (possibly in another
+    /// process — entity keys are re-interned here). Replaying the stream
+    /// tail after a restore yields byte-identical detections to the
+    /// uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics on a malformed snapshot (unparsable entity key or wrong
+    /// posterior arity) — a snapshot is a trusted artifact, not input.
+    pub fn import_state(&mut self, snap: &TaggerSnapshot) {
+        self.states.clear();
+        self.evicted_latches.clear();
+        for e in &snap.entities {
+            let id = EntityId::from_key(&e.entity)
+                .unwrap_or_else(|| panic!("snapshot entity key {:?} is malformed", e.entity));
+            assert_eq!(e.alpha.len(), Stage::COUNT, "snapshot posterior arity");
+            let mut recent = [(SimTime::EPOCH, DEDUP_EMPTY); DEDUP_SLOTS];
+            for (slot, &entry) in recent.iter_mut().zip(e.recent.iter()) {
+                *slot = entry;
+            }
+            self.states.insert(
+                id,
+                EntityState {
+                    alpha: e.alpha.clone(),
+                    steps: e.steps,
+                    detected: e.detected,
+                    last_ts: e.last_ts,
+                    recent,
+                    recent_head: e.recent_head,
+                },
+            );
+        }
+        for key in &snap.evicted_latches {
+            let id = EntityId::from_key(key)
+                .unwrap_or_else(|| panic!("snapshot latch key {key:?} is malformed"));
+            self.evicted_latches.insert(id);
+        }
+        self.duplicates_suppressed = snap.duplicates_suppressed;
+        self.entities_evicted = snap.entities_evicted;
+        self.sweep_floor = 0;
     }
 
     /// Offline convenience: scan a whole session and return the first
@@ -548,6 +759,10 @@ impl AttackTagger {
             scratch: vec![0.0; Stage::COUNT],
             blackouts: self.blackouts.clone(),
             duplicates_suppressed: 0,
+            evicted_latches: FxHashSet::default(),
+            entities_evicted: 0,
+            sweep_floor: 0,
+            evict_scratch: Vec::new(),
         };
         for a in alerts {
             if let Some(d) = fresh.observe(a) {
@@ -922,6 +1137,191 @@ mod tests {
         assert_eq!(tagger.tracked_entities(), 1);
         tagger.reset();
         assert_eq!(tagger.tracked_entities(), 0);
+    }
+
+    /// Bounded-state mode: an endless stream of one-shot entities cannot
+    /// grow the state map unboundedly (mirror of the correlator's
+    /// alert-storm bound test), and eviction changes no detection.
+    #[test]
+    fn entity_storm_cannot_grow_state_unboundedly() {
+        let temporal = TemporalPolicy {
+            session_timeout: Some(SimDuration::from_hours(1)),
+            ..TemporalPolicy::disabled()
+        };
+        let bounded_cfg = TaggerConfig {
+            temporal: temporal.clone(),
+            max_entities: 64,
+            ..TaggerConfig::default()
+        };
+        let unbounded_cfg = TaggerConfig {
+            temporal,
+            max_entities: 0,
+            ..TaggerConfig::default()
+        };
+        let mut bounded = AttackTagger::new(toy_training_model(), bounded_cfg);
+        let mut unbounded = AttackTagger::new(toy_training_model(), unbounded_cfg);
+        let mut detections = (0u32, 0u32);
+        // 10k distinct entities, one alert each, 2 minutes apart — every
+        // entity is dead an hour after its alert. Interleave a slow
+        // malicious session so detections are exercised too.
+        for i in 0..10_000u64 {
+            let t = i * 120;
+            let a = alert(t, AlertKind::PortScan, &format!("drive-by-{i}"));
+            detections.0 += u32::from(bounded.observe(&a).is_some());
+            detections.1 += u32::from(unbounded.observe(&a).is_some());
+            if i % 1_000 == 0 {
+                let kinds = [
+                    AlertKind::DownloadSensitive,
+                    AlertKind::CompileKernelModule,
+                    AlertKind::LogWipe,
+                ];
+                let m = alert(t + 1, kinds[(i / 1_000) as usize % 3], "eve");
+                detections.0 += u32::from(bounded.observe(&m).is_some());
+                detections.1 += u32::from(unbounded.observe(&m).is_some());
+            }
+        }
+        assert!(
+            bounded.tracked_entities() <= 64 + 64 / 8 + 32,
+            "state must stay near the budget: {}",
+            bounded.tracked_entities()
+        );
+        assert_eq!(unbounded.tracked_entities(), 10_001, "baseline grows");
+        assert!(bounded.entities_evicted() > 9_000, "eviction was active");
+        assert_eq!(
+            detections.0, detections.1,
+            "eviction must not change detections"
+        );
+    }
+
+    /// A detected entity's latch survives eviction: when the attacker
+    /// returns after the idle horizon, no second detection is raised —
+    /// exactly as in the unbounded tagger.
+    #[test]
+    fn eviction_preserves_detection_latch() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                session_timeout: Some(SimDuration::from_hours(1)),
+                ..TemporalPolicy::disabled()
+            },
+            max_entities: 4,
+            ..TaggerConfig::default()
+        };
+        let mut tagger = AttackTagger::new(toy_training_model(), cfg);
+        // Detect eve.
+        let mut detections = 0;
+        for (t, k) in [
+            (0, AlertKind::DownloadSensitive),
+            (10, AlertKind::CompileKernelModule),
+            (20, AlertKind::LogWipe),
+        ] {
+            detections += u32::from(tagger.observe(&alert(t, k, "eve")).is_some());
+        }
+        assert_eq!(detections, 1);
+        // A day of unrelated one-shot entities forces eve out.
+        for i in 0..64u64 {
+            tagger.observe(&alert(
+                86_400 + i * 3_600,
+                AlertKind::PortScan,
+                &format!("bg-{i}"),
+            ));
+        }
+        assert!(
+            tagger.posterior("user:eve").is_none(),
+            "eve's filter state was evicted"
+        );
+        assert!(
+            tagger.is_detected("user:eve"),
+            "the latch survives in the side set"
+        );
+        assert!(tagger.detected_entities().any(|k| k == "user:eve"));
+        // Eve returns with the same kill chain: latched, so no re-count.
+        let t0 = 86_400 * 3;
+        for (dt, k) in [
+            (0, AlertKind::DownloadSensitive),
+            (10, AlertKind::CompileKernelModule),
+            (20, AlertKind::LogWipe),
+        ] {
+            assert!(
+                tagger.observe(&alert(t0 + dt, k, "eve")).is_none(),
+                "re-arrival must not re-detect"
+            );
+        }
+        assert_eq!(tagger.evicted_latched_entities(), 0, "latch moved back");
+        assert!(tagger.is_detected("user:eve"));
+    }
+
+    /// Without a session timeout nothing is provably dead: the bound is
+    /// inert and the historical track-everything behaviour is preserved.
+    #[test]
+    fn bound_is_inert_without_session_timeout() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy::disabled(),
+            max_entities: 8,
+            ..TaggerConfig::default()
+        };
+        let mut tagger = AttackTagger::new(toy_training_model(), cfg);
+        for i in 0..100u64 {
+            tagger.observe(&alert(i * 3_600, AlertKind::PortScan, &format!("u{i}")));
+        }
+        assert_eq!(tagger.tracked_entities(), 100);
+        assert_eq!(tagger.entities_evicted(), 0);
+    }
+
+    /// Snapshot round-trip: export → import into a fresh tagger → replay
+    /// the tail yields exactly the uninterrupted posteriors, latches and
+    /// counters.
+    #[test]
+    fn state_snapshot_round_trips() {
+        let cfg = TaggerConfig {
+            temporal: TemporalPolicy {
+                dedup_window: Some(SimDuration::from_mins(5)),
+                ..TemporalPolicy::default()
+            },
+            max_entities: 16,
+            ..TaggerConfig::default()
+        };
+        let head = [
+            (0, AlertKind::PortScan, "eve"),
+            (10, AlertKind::DownloadSensitive, "eve"),
+            (20, AlertKind::LoginSuccess, "alice"),
+            (20, AlertKind::LoginSuccess, "alice"), // duplicate
+        ];
+        let tail = [
+            (30, AlertKind::CompileKernelModule, "eve"),
+            (40, AlertKind::LogWipe, "eve"),
+            (50, AlertKind::LoginSuccess, "alice"),
+        ];
+        // Uninterrupted run.
+        let mut whole = AttackTagger::new(toy_training_model(), cfg.clone());
+        let mut whole_detections = Vec::new();
+        for (t, k, u) in head.iter().chain(tail.iter()) {
+            whole_detections.extend(whole.observe(&alert(*t, *k, u)));
+        }
+        // Interrupted run: head → snapshot → fresh tagger → tail. The
+        // concatenation of both segments' detections must equal the
+        // uninterrupted run's.
+        let mut pre = AttackTagger::new(toy_training_model(), cfg.clone());
+        let mut stitched_detections = Vec::new();
+        for (t, k, u) in head {
+            stitched_detections.extend(pre.observe(&alert(t, k, u)));
+        }
+        let snap = pre.export_state();
+        assert_eq!(snap.entities.len(), 2);
+        assert_eq!(snap.duplicates_suppressed, 1);
+        let mut post = AttackTagger::new(toy_training_model(), cfg);
+        post.import_state(&snap);
+        for (t, k, u) in tail {
+            stitched_detections.extend(post.observe(&alert(t, k, u)));
+        }
+        assert_eq!(whole_detections, stitched_detections, "detections drift");
+        assert_eq!(
+            whole.posterior("user:eve").unwrap(),
+            post.posterior("user:eve").unwrap(),
+            "posterior drift"
+        );
+        assert_eq!(whole.duplicates_suppressed(), post.duplicates_suppressed());
+        // Export of the restored tagger equals export of the original.
+        assert_eq!(whole.export_state(), post.export_state());
     }
 
     #[test]

@@ -58,7 +58,7 @@
 //! cannot grow memory without bound.
 
 use serde::{Deserialize, Serialize};
-use simnet::rng::FxHashMap;
+use simnet::rng::{FxHashMap, FxHashSet};
 use simnet::time::{SimDuration, SimTime};
 
 use alertlib::alert::{Alert, EntityId};
@@ -66,7 +66,7 @@ use alertlib::message::MessageSpec;
 use factorgraph::chain::ChainModel;
 use factorgraph::timing::GAP_NONE;
 
-use crate::attack_tagger::{AttackTagger, Detection, TaggerConfig, TemporalPolicy};
+use crate::attack_tagger::{AttackTagger, Detection, TaggerConfig, TaggerSnapshot, TemporalPolicy};
 use crate::stage::Stage;
 
 /// Opt-in cross-entity correlation policy (carried on
@@ -213,8 +213,98 @@ pub struct CampaignSummary {
     pub detections: u32,
 }
 
+/// One entity node rendered for snapshots. Process-independent on
+/// purpose: entities are canonical key strings, never raw ids — raw ids
+/// embed interner-local sym ids that do not survive a restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatorEntitySnapshot {
+    /// Canonical entity key (`user:…` / `addr:…`).
+    pub entity: String,
+    /// Campaign slot id, or `u32::MAX` when uncorrelated.
+    pub campaign: u32,
+    /// Decayed peak attack mass.
+    pub mass: f64,
+    /// Timestamp of the entity's last observed alert.
+    pub last_ts: SimTime,
+    /// Alerts observed (promotion `alert_index` base).
+    pub seen: u32,
+    /// Surfaced-detection latch.
+    pub promoted: bool,
+    /// The full step ring in slot order (`u16::MAX` kind = empty slot).
+    pub steps: Vec<(SimTime, u16)>,
+    /// Rotation head of the step ring.
+    pub steps_head: u8,
+}
+
+/// One join-key recency ring rendered for snapshots. Address-flavoured
+/// keys carry their raw 32-bit payload in `addr`; palette keys carry the
+/// *resolved* string in `palette` and are re-interned on restore (sym
+/// ids are process-local).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinKeySnapshot {
+    pub kind: LinkKind,
+    /// Address / host-id payload (0 for palette keys).
+    pub addr: u32,
+    /// Resolved palette payload (`Some` iff `kind == Palette`).
+    pub palette: Option<String>,
+    /// Ring slots in slot order: `(entity key, ts)`.
+    pub slots: Vec<Option<(String, SimTime)>>,
+    /// Rotation head.
+    pub head: u8,
+}
+
+/// One campaign rendered for snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    pub id: u32,
+    /// Member keys in *insertion order* — stitched replay folds a bounded
+    /// member prefix, so order is behaviour-bearing (unlike the sorted
+    /// members of [`CampaignSummary`]).
+    pub members: Vec<String>,
+    /// Link provenance (string-keyed endpoints).
+    pub links: Vec<LinkSummary>,
+    /// Support anchor: strongest member's key, or `None` when support is
+    /// anonymous (post-merge runner-up mass) or empty.
+    pub best_key: Option<String>,
+    /// Decayed mass of the support anchor.
+    pub best_mass: f64,
+    /// Second-strongest decayed mass.
+    pub second: f64,
+    /// Timestamp the support masses were last decayed to.
+    pub support_ts: SimTime,
+    pub promotions: u32,
+    pub detections: u32,
+}
+
+/// Full correlator state rendered for snapshots — everything
+/// [`CampaignCorrelator::import_state`] needs to resume mid-stream with
+/// byte-identical downstream detections. Policy, chain model, and
+/// decision stages are configuration, not state, and are reconstructed
+/// from config on restore.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorrelatorSnapshot {
+    /// Entity nodes, sorted by key (canonical order; the graph itself is
+    /// insertion-order independent).
+    pub entities: Vec<CorrelatorEntitySnapshot>,
+    /// Join-key rings, sorted by `(kind, addr, palette)`.
+    pub keys: Vec<JoinKeySnapshot>,
+    /// Campaigns, sorted by id.
+    pub campaigns: Vec<CampaignSnapshot>,
+    /// Evicted entities holding a surfaced-detection latch, sorted.
+    pub promoted_latches: Vec<String>,
+    pub next_campaign: u32,
+    pub promotions: u64,
+    pub tagger_confirmations: u64,
+    pub entities_evicted: u64,
+}
+
 /// Sentinel: entity not yet part of any campaign.
 const NO_CAMPAIGN: u32 = u32::MAX;
+
+/// Sentinel raw id for anonymous campaign support (runner-up mass whose
+/// attribution was lost in a merge). `u64::MAX` itself marks "no support
+/// yet"; both sit far above any real `tag | payload` entity encoding.
+const ANON_SUPPORT: u64 = u64::MAX - 1;
 
 /// Slots per join-key recency ring.
 const RING: usize = 8;
@@ -393,6 +483,15 @@ pub struct CampaignCorrelator {
     next_campaign: u32,
     promotions: u64,
     tagger_confirmations: u64,
+    /// Surfaced-detection latches of *evicted* entities. Eviction frees a
+    /// node's graph state, but the fact that the entity has already been
+    /// surfaced must survive it: a re-arriving promoted entity that walks
+    /// the kill chain again would otherwise surface a second detection
+    /// and double-count in the stream report, where the unbounded
+    /// correlator counts a confirmation.
+    promoted_latches: FxHashSet<EntityId>,
+    /// Entity nodes evicted so far (idle/budget sweeps).
+    entities_evicted: u64,
     /// Scratch for deterministic eviction sweeps (reused, no steady-state
     /// allocation).
     evict_scratch: Vec<(SimTime, u64)>,
@@ -415,6 +514,8 @@ impl CampaignCorrelator {
             next_campaign: 0,
             promotions: 0,
             tagger_confirmations: 0,
+            promoted_latches: FxHashSet::default(),
+            entities_evicted: 0,
             evict_scratch: Vec::new(),
             seq_scratch: Vec::new(),
             seq_alpha: Vec::new(),
@@ -479,6 +580,17 @@ impl CampaignCorrelator {
             .filter(|&c| c != NO_CAMPAIGN)
     }
 
+    /// Entity nodes evicted so far (idle/budget sweeps).
+    pub fn entities_evicted(&self) -> u64 {
+        self.entities_evicted
+    }
+
+    /// Evicted entities whose surfaced-detection latch is being held
+    /// outside the graph (memory-bound side set, cleared on re-arrival).
+    pub fn promoted_latched_entities(&self) -> usize {
+        self.promoted_latches.len()
+    }
+
     /// Observe one detector outcome in stream order. `attack_score` is the
     /// entity's post-observe posterior mass over the decision stages;
     /// `detection` is the tagger's verdict for this alert, which the
@@ -493,12 +605,15 @@ impl CampaignCorrelator {
             self.evict_entities(ts);
         }
         let half_life = self.policy.decay_half_life;
+        // A re-arriving evicted entity restarts with a fresh node but
+        // keeps its surfaced-detection latch (see `promoted_latches`).
+        let latched = !self.promoted_latches.is_empty() && self.promoted_latches.remove(&id);
         let node = self.entities.entry(id).or_insert(EntityNode {
             campaign: NO_CAMPAIGN,
             mass: 0.0,
             last_ts: ts,
             seen: 0,
-            promoted: false,
+            promoted: latched,
             steps: [(SimTime::EPOCH, STEP_EMPTY); SEQ_RING],
             steps_head: 0,
         });
@@ -739,7 +854,7 @@ impl CampaignCorrelator {
         if dropped.second > 0.0 {
             // Attribution of the runner-up mass is lost in the merge; fold
             // it in as anonymous support so it can still back a member.
-            c.update_support(u64::MAX - 1, dropped.second);
+            c.update_support(ANON_SUPPORT, dropped.second);
         }
         for l in dropped.links {
             c.record_link(l, link_cap);
@@ -782,6 +897,10 @@ impl CampaignCorrelator {
             return;
         };
         let node = self.entities.remove(&id).expect("node present");
+        self.entities_evicted += 1;
+        if node.promoted {
+            self.promoted_latches.insert(id);
+        }
         if node.campaign == NO_CAMPAIGN {
             return;
         }
@@ -894,6 +1013,169 @@ impl CampaignCorrelator {
         out.sort();
         out.dedup();
         out
+    }
+
+    /// Render the full correlator state as a process-independent,
+    /// deterministically ordered snapshot (see [`CorrelatorSnapshot`]).
+    /// Allocates — snapshot/report time only, never on the alert path.
+    pub fn export_state(&self) -> CorrelatorSnapshot {
+        let mut entities: Vec<CorrelatorEntitySnapshot> = self
+            .entities
+            .iter()
+            .map(|(&id, n)| CorrelatorEntitySnapshot {
+                entity: id.key(),
+                campaign: n.campaign,
+                mass: n.mass,
+                last_ts: n.last_ts,
+                seen: n.seen,
+                promoted: n.promoted,
+                steps: n.steps.to_vec(),
+                steps_head: n.steps_head,
+            })
+            .collect();
+        entities.sort_by(|a, b| a.entity.cmp(&b.entity));
+        let mut keys: Vec<JoinKeySnapshot> = self
+            .keys
+            .iter()
+            .map(|(&key, ring)| {
+                let (kind, addr, palette) = decode_join_key(key);
+                JoinKeySnapshot {
+                    kind,
+                    addr,
+                    palette,
+                    slots: ring
+                        .slots
+                        .iter()
+                        .map(|s| s.map(|(id, ts)| (id.key(), ts)))
+                        .collect(),
+                    head: ring.head,
+                }
+            })
+            .collect();
+        keys.sort_by(|a, b| (a.kind, a.addr, &a.palette).cmp(&(b.kind, b.addr, &b.palette)));
+        let mut campaigns: Vec<CampaignSnapshot> = self
+            .campaigns
+            .iter()
+            .map(|(&id, c)| {
+                let (best_key, best_mass) = if c.best.0 >= ANON_SUPPORT {
+                    // Either the initial sentinel (mass 0) or anonymous
+                    // post-merge support — attribution is absent in both.
+                    (None, c.best.1)
+                } else {
+                    (Some(EntityId::from_raw(c.best.0).key()), c.best.1)
+                };
+                CampaignSnapshot {
+                    id,
+                    members: c.members.iter().map(|m| m.key()).collect(),
+                    links: c
+                        .links
+                        .iter()
+                        .map(|l| LinkSummary {
+                            ts: l.ts,
+                            a: l.a.key(),
+                            b: l.b.key(),
+                            kind: l.kind,
+                        })
+                        .collect(),
+                    best_key,
+                    best_mass,
+                    second: c.second,
+                    support_ts: c.support_ts,
+                    promotions: c.promotions,
+                    detections: c.detections,
+                }
+            })
+            .collect();
+        campaigns.sort_by_key(|c| c.id);
+        let mut promoted_latches: Vec<String> =
+            self.promoted_latches.iter().map(|id| id.key()).collect();
+        promoted_latches.sort_unstable();
+        CorrelatorSnapshot {
+            entities,
+            keys,
+            campaigns,
+            promoted_latches,
+            next_campaign: self.next_campaign,
+            promotions: self.promotions,
+            tagger_confirmations: self.tagger_confirmations,
+            entities_evicted: self.entities_evicted,
+        }
+    }
+
+    /// Replace the correlator's state with a snapshot's. Entity keys are
+    /// re-interned in this process, so a restored correlator continues
+    /// the stream with byte-identical detections even across a restart.
+    /// Panics on a malformed snapshot (unparseable key, wrong ring
+    /// arity) — snapshots are trusted state, not user input.
+    pub fn import_state(&mut self, snap: &CorrelatorSnapshot) {
+        let from_key =
+            |k: &str| EntityId::from_key(k).unwrap_or_else(|| panic!("bad entity key {k:?}"));
+        self.entities.clear();
+        self.keys.clear();
+        self.campaigns.clear();
+        self.promoted_latches.clear();
+        for e in &snap.entities {
+            assert_eq!(e.steps.len(), SEQ_RING, "snapshot step-ring arity");
+            let mut steps = [(SimTime::EPOCH, STEP_EMPTY); SEQ_RING];
+            steps.copy_from_slice(&e.steps);
+            self.entities.insert(
+                from_key(&e.entity),
+                EntityNode {
+                    campaign: e.campaign,
+                    mass: e.mass,
+                    last_ts: e.last_ts,
+                    seen: e.seen,
+                    promoted: e.promoted,
+                    steps,
+                    steps_head: e.steps_head,
+                },
+            );
+        }
+        for k in &snap.keys {
+            assert_eq!(k.slots.len(), RING, "snapshot key-ring arity");
+            let mut ring = KeyRing::default();
+            for (slot, s) in ring.slots.iter_mut().zip(&k.slots) {
+                *slot = s.as_ref().map(|(key, ts)| (from_key(key), *ts));
+            }
+            ring.head = k.head;
+            self.keys
+                .insert(encode_join_key(k.kind, k.addr, k.palette.as_deref()), ring);
+        }
+        for c in &snap.campaigns {
+            let best = match &c.best_key {
+                Some(k) => (from_key(k).raw(), c.best_mass),
+                None if c.best_mass > 0.0 => (ANON_SUPPORT, c.best_mass),
+                None => (u64::MAX, 0.0),
+            };
+            self.campaigns.insert(
+                c.id,
+                CampaignState {
+                    members: c.members.iter().map(|m| from_key(m)).collect(),
+                    links: c
+                        .links
+                        .iter()
+                        .map(|l| CampaignLink {
+                            ts: l.ts,
+                            a: from_key(&l.a),
+                            b: from_key(&l.b),
+                            kind: l.kind,
+                        })
+                        .collect(),
+                    best,
+                    second: c.second,
+                    support_ts: c.support_ts,
+                    promotions: c.promotions,
+                    detections: c.detections,
+                },
+            );
+        }
+        for k in &snap.promoted_latches {
+            self.promoted_latches.insert(from_key(k));
+        }
+        self.next_campaign = snap.next_campaign;
+        self.promotions = snap.promotions;
+        self.tagger_confirmations = snap.tagger_confirmations;
+        self.entities_evicted = snap.entities_evicted;
     }
 }
 
@@ -1014,6 +1296,38 @@ fn join_keys(alert: &Alert) -> [Option<(u64, LinkKind)>; 4] {
     out
 }
 
+/// Decompose a compact join key for snapshots: palette payloads resolve
+/// to their interned string (sym ids are process-local), the rest keep
+/// their raw 32-bit payload.
+fn decode_join_key(key: u64) -> (LinkKind, u32, Option<String>) {
+    let payload = key as u32;
+    match key & !0xFFFF_FFFF {
+        JK_VICTIM => (LinkKind::Victim, payload, None),
+        JK_SOURCE => (LinkKind::Source, payload, None),
+        JK_HOST => (LinkKind::Host, payload, None),
+        JK_PALETTE => (
+            LinkKind::Palette,
+            0,
+            Some(simnet::intern::Sym::from_id(payload).to_string()),
+        ),
+        _ => unreachable!("join key with unknown tag"),
+    }
+}
+
+/// Rebuild a compact join key from its snapshot form, re-interning
+/// palette payloads in this process.
+fn encode_join_key(kind: LinkKind, addr: u32, palette: Option<&str>) -> u64 {
+    match kind {
+        LinkKind::Victim => JK_VICTIM | u64::from(addr),
+        LinkKind::Source => JK_SOURCE | u64::from(addr),
+        LinkKind::Host => JK_HOST | u64::from(addr),
+        LinkKind::Palette => {
+            let s = palette.expect("palette join key without payload");
+            JK_PALETTE | u64::from(simnet::intern::Sym::new(s).id())
+        }
+    }
+}
+
 /// The interned payload symbol of exec-flavoured messages — the
 /// "cmdline/exe palette" join key.
 fn palette_sym(msg: &MessageSpec) -> Option<simnet::intern::Sym> {
@@ -1071,6 +1385,17 @@ impl CorrelatedTagger {
 
     pub fn into_parts(self) -> (AttackTagger, CampaignCorrelator) {
         (self.tagger, self.correlator)
+    }
+
+    /// Export tagger + correlator state as one pair (service snapshots).
+    pub fn export_state(&self) -> (TaggerSnapshot, CorrelatorSnapshot) {
+        (self.tagger.export_state(), self.correlator.export_state())
+    }
+
+    /// Restore tagger + correlator state from a snapshot pair.
+    pub fn import_state(&mut self, tagger: &TaggerSnapshot, correlator: &CorrelatorSnapshot) {
+        self.tagger.import_state(tagger);
+        self.correlator.import_state(correlator);
     }
 }
 
@@ -1552,5 +1877,221 @@ mod tests {
             ..TaggerConfig::default()
         };
         assert_eq!(cfg.correlation, Some(p));
+    }
+
+    /// Satellite (PR 8): an evicted entity that had already surfaced a
+    /// detection keeps its latch outside the graph — re-arrival into a
+    /// hot campaign must not promote a second detection, and a later
+    /// tagger detection is still suppressed as a confirmation, exactly
+    /// as the unbounded correlator would count it.
+    #[test]
+    fn evicted_promoted_entity_rearrival_does_not_double_count() {
+        let p = CorrelationPolicy {
+            join_min_score: 0.05,
+            max_entities: 4,
+            idle_timeout: Some(SimDuration::from_mins(10)),
+            ..CorrelationPolicy::default()
+        };
+        let mut c = CampaignCorrelator::new(p);
+        // Anchor A (tagger-detected) on victim V, then B joins with a
+        // suggestive alert and is promoted through posterior fusion.
+        let tagger_det = |t: u64| {
+            Some(Detection {
+                ts: simnet::time::SimTime::from_secs(t),
+                alert_index: 0,
+                trigger: AlertKind::DownloadSensitive,
+                score: 0.9,
+                stage: Stage::Lateral,
+            })
+        };
+        let mut det = tagger_det(0);
+        c.observe(
+            &hop_alert(0, AlertKind::DownloadSensitive, "198.18.0.1"),
+            0.9,
+            &mut det,
+        );
+        let mut det = None;
+        c.observe(
+            &hop_alert(60, AlertKind::LogWipe, "198.18.0.2"),
+            0.3,
+            &mut det,
+        );
+        assert!(det.is_some(), "B promoted through campaign fusion");
+        assert_eq!(c.promotions(), 1);
+
+        // Keep A hot, leave B idle past the timeout, then let fresh
+        // entities push the map over budget: the sweep evicts B.
+        let mut det = tagger_det(700);
+        c.observe(
+            &hop_alert(700, AlertKind::DownloadSensitive, "198.18.0.1"),
+            0.9,
+            &mut det,
+        );
+        assert!(det.is_none(), "A's repeat detection is a confirmation");
+        for i in 0..3u64 {
+            let mut d = None;
+            c.observe(
+                &hop_alert(710 + i, AlertKind::LoginSuccess, &format!("198.18.9.{i}")),
+                0.0,
+                &mut d,
+            );
+        }
+        assert!(c.entities_evicted() >= 1, "budget pressure evicted B");
+        assert_eq!(
+            c.promoted_latched_entities(),
+            1,
+            "B's surfaced-detection latch survives eviction"
+        );
+        // Refresh A once more so B's re-arrival (a fresh insert at full
+        // budget) evicts a storm entity, not the anchor.
+        let mut none = None;
+        c.observe(
+            &hop_alert(713, AlertKind::DownloadSensitive, "198.18.0.1"),
+            0.9,
+            &mut none,
+        );
+
+        // B re-arrives into the still-hot campaign neighbourhood with the
+        // same suggestive score: without the latch this would promote a
+        // second detection for the same entity.
+        let mut det = None;
+        c.observe(
+            &hop_alert(720, AlertKind::LogWipe, "198.18.0.2"),
+            0.3,
+            &mut det,
+        );
+        assert!(det.is_none(), "re-arrival must not re-promote");
+        assert_eq!(c.promotions(), 1, "promotion counter does not double-count");
+        assert_eq!(
+            c.promoted_latched_entities(),
+            0,
+            "latch consumed on re-arrival"
+        );
+
+        // A later tagger detection on B is suppressed as a confirmation —
+        // the unbounded correlator's accounting, reproduced.
+        let mut det = Some(Detection {
+            ts: simnet::time::SimTime::from_secs(780),
+            alert_index: 1,
+            trigger: AlertKind::DataExfiltration,
+            score: 0.95,
+            stage: Stage::Lateral,
+        });
+        c.observe(
+            &hop_alert(780, AlertKind::DataExfiltration, "198.18.0.2"),
+            0.95,
+            &mut det,
+        );
+        assert!(
+            det.is_none(),
+            "tagger detection suppressed, not surfaced twice"
+        );
+        assert_eq!(c.tagger_confirmations(), 2, "A's repeat + B's post-restore");
+    }
+
+    /// Tentpole (PR 8): snapshot → restore → replay tail is byte-identical
+    /// to the uninterrupted run — detections, campaign summaries, and the
+    /// re-exported state all match, including campaigns, join-key rings
+    /// (palette keys round-trip through their resolved strings), merged
+    /// support, and eviction latches.
+    #[test]
+    fn state_snapshot_round_trips() {
+        use simnet::intern::Sym;
+        let policy = CorrelationPolicy {
+            anchor_min_score: 0.3,
+            join_min_score: 0.05,
+            weak_join_min_score: 0.3,
+            max_entities: 6,
+            idle_timeout: Some(SimDuration::from_mins(10)),
+            ..CorrelationPolicy::default()
+        };
+        let stages = TaggerConfig::default().decision_stages;
+        let fresh =
+            || CampaignCorrelator::with_model(policy.clone(), toy_training_model(), stages.clone());
+        let cmd = Sym::new("./miner --pool stratum+tcp://evil:3333");
+        let exec = |t: u64, user: &str| {
+            Alert::new(
+                simnet::time::SimTime::from_secs(t),
+                AlertKind::SuspiciousProcessName,
+                Entity::User(user.into()),
+            )
+            .with_message(MessageSpec::Exec {
+                hostname: Sym::new("node-42"),
+                cmdline: cmd,
+            })
+        };
+        // A mixed stream: an address campaign on a shared victim, a user
+        // palette campaign, an eviction storm (latch + counter state),
+        // then a promoted re-arrival and fresh links in the tail.
+        let stream: Vec<(Alert, f64)> = vec![
+            (hop_alert(0, AlertKind::PortScan, "198.18.0.1"), 0.2),
+            (
+                hop_alert(60, AlertKind::DownloadSensitive, "198.18.0.1"),
+                0.9,
+            ),
+            (hop_alert(120, AlertKind::LogWipe, "198.18.0.2"), 0.3), // promoted
+            (exec(180, "mallory"), 0.6),
+            (exec(240, "trudy"), 0.4), // palette link
+            (
+                hop_alert(900, AlertKind::DownloadSensitive, "198.18.0.1"),
+                0.9,
+            ),
+            (hop_alert(910, AlertKind::LoginSuccess, "198.18.9.1"), 0.0),
+            (hop_alert(911, AlertKind::LoginSuccess, "198.18.9.2"), 0.0),
+            (hop_alert(912, AlertKind::LoginSuccess, "198.18.9.3"), 0.0),
+            // -------- snapshot taken here (index 10) --------
+            (hop_alert(1000, AlertKind::LogWipe, "198.18.0.2"), 0.3), // latched re-arrival
+            (
+                hop_alert(1060, AlertKind::DownloadSensitive, "198.18.0.3"),
+                0.7,
+            ),
+            (exec(1120, "mallory"), 0.7),
+            (hop_alert(1180, AlertKind::LogWipe, "198.18.0.4"), 0.25),
+        ];
+        let drive =
+            |c: &mut CampaignCorrelator, alerts: &[(Alert, f64)]| -> Vec<Option<Detection>> {
+                alerts
+                    .iter()
+                    .map(|(a, s)| {
+                        let mut d = None;
+                        c.observe(a, *s, &mut d);
+                        d
+                    })
+                    .collect()
+            };
+
+        let mut uninterrupted = fresh();
+        let reference = drive(&mut uninterrupted, &stream);
+
+        let split = 10;
+        let mut head_run = fresh();
+        let mut detections = drive(&mut head_run, &stream[..split]);
+        let snap = head_run.export_state();
+        let mut restored = fresh();
+        restored.import_state(&snap);
+        assert_eq!(
+            restored.export_state(),
+            snap,
+            "import → export is the identity on snapshots"
+        );
+        detections.extend(drive(&mut restored, &stream[split..]));
+
+        assert_eq!(detections, reference, "stitched detections drift");
+        assert_eq!(restored.summaries(), uninterrupted.summaries());
+        assert_eq!(restored.partition(), uninterrupted.partition());
+        assert_eq!(restored.promotions(), uninterrupted.promotions());
+        assert_eq!(
+            restored.tagger_confirmations(),
+            uninterrupted.tagger_confirmations()
+        );
+        assert_eq!(
+            restored.entities_evicted(),
+            uninterrupted.entities_evicted()
+        );
+        assert_eq!(
+            restored.export_state(),
+            uninterrupted.export_state(),
+            "full state drift after tail replay"
+        );
     }
 }

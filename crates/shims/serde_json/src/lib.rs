@@ -1,8 +1,9 @@
 //! Offline stand-in for `serde_json`, covering the subset the workspace
-//! uses: the dynamic [`Value`] tree, the [`json!`] constructor macro, and
-//! compact/pretty serialization to strings. Object keys preserve
-//! insertion order (like serde_json with its `preserve_order` feature),
-//! so artifact files diff cleanly across runs.
+//! uses: the dynamic [`Value`] tree, the [`json!`] constructor macro,
+//! compact/pretty serialization to strings, and a [`from_str`] parser for
+//! reading those strings back (service snapshots round-trip through
+//! disk). Object keys preserve insertion order (like serde_json with its
+//! `preserve_order` feature), so artifact files diff cleanly across runs.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -59,9 +60,39 @@ impl Value {
         }
     }
 
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
             _ => None,
         }
     }
@@ -183,8 +214,223 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(s)
 }
 
+/// Parse a JSON document into a [`Value`] tree.
+///
+/// Accepts exactly what [`to_string`]/[`to_string_pretty`] emit (plus
+/// arbitrary standard JSON): numbers keep their integer/float identity
+/// when the text has no fraction/exponent, strings decode the usual
+/// escapes including `\uXXXX` pairs. Trailing non-whitespace after the
+/// document is an error, so truncated snapshot files fail loudly.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", b as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a `\uXXXX` low surrogate
+                            // must follow.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(Error("unpaired surrogate".into()));
+                            }
+                            *pos += 2;
+                            let second = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return Err(Error("invalid low surrogate".into()));
+                            }
+                            let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(cp).ok_or_else(|| Error("bad code point".into()))?
+                        } else {
+                            char::from_u32(first).ok_or_else(|| Error("bad code point".into()))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the whole run up to the next quote/escape in one
+                // append; the input is a &str so the boundaries are valid
+                // by construction. (Per-character validation of the full
+                // remaining input would make parsing quadratic — fatal on
+                // multi-megabyte snapshot fixtures.)
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| Error("invalid utf-8".into()))?;
+                out.push_str(s);
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    // `*pos` sits on the `u`; consume the four hex digits after it.
+    let start = *pos + 1;
+    let digits = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    let s = std::str::from_utf8(digits).map_err(|_| Error("bad \\u escape".into()))?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".into()))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error("bad number".into()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if text.starts_with('-') {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U64(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::F64(v)))
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
 /// Serialization error (cannot occur for `Value` trees; kept for API
-/// compatibility with call sites that `.expect(..)` the result).
+/// compatibility with call sites that `.expect(..)` the result), also
+/// returned by [`from_str`] on malformed input.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -448,6 +694,57 @@ mod tests {
         let years: Vec<i32> = vec![2002, 2024];
         let v = json!({ "years": years });
         assert_eq!(v.get("years").as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_and_pretty() {
+        let v = json!({
+            "name": "bp \"quoted\"\n",
+            "hits": 137u64,
+            "neg": -3i64,
+            "mass": 0.1234567890123,
+            "flag": true,
+            "gap": null,
+            "seq": [1u64, [2.5, "x"], {}],
+            "empty": [],
+        });
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "aA\n\té 😀"}"#).unwrap();
+        assert_eq!(v.get("s").as_str(), Some("aA\n\té 😀"));
+    }
+
+    #[test]
+    fn parse_number_identity() {
+        let v = from_str("[137, -3, 2.5, 1e3, 18446744073709551615]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0], Value::Number(Number::U64(137)));
+        assert_eq!(a[1], Value::Number(Number::I64(-3)));
+        assert_eq!(a[2], Value::Number(Number::F64(2.5)));
+        assert_eq!(a[3], Value::Number(Number::F64(1000.0)));
+        assert_eq!(a[4], Value::Number(Number::U64(u64::MAX)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "{} trailing",
+            "nan",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

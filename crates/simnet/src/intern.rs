@@ -13,20 +13,36 @@
 //! - [`SymTable`] — the append-only table itself. The process-wide
 //!   instance ([`global`]) is what `Sym::from`/[`intern`] use; its contents
 //!   can be snapshotted for reports ([`SymTable::snapshot`]).
+//! - [`TenantSymbols`] — a registry of per-tenant scoped tables for the
+//!   always-on service mode: each tenant's symbol universe lives in its own
+//!   table and is *freed* when the tenant is evicted, unlike the global
+//!   table whose entries live for the process.
 //!
-//! The symbol universe of a run is bounded (user population, host names,
-//! command palettes, alert symbols), so entries are leaked into `'static`
-//! storage once and never freed: resolution is lock-cheap (one uncontended
-//! read lock) and the returned `&'static str` can be held across threads.
+//! # Lock-free resolution
 //!
-//! Interning cost is paid once per *distinct* string — generators pre-
-//! intern their palettes, so the per-record hot path only copies `u32`s.
+//! Resolution used to take the table's `RwLock` read lock on every
+//! `Deref` — an uncontended-but-real atomic RMW per string view, multiplied
+//! by every comparison, `Display`, and report sort in a long-lived service.
+//! The table now stores strings in an *atomic pointer-chunked index*:
+//! a fixed ladder of exponentially-sized chunks (64, 128, 256, … slots)
+//! published through one atomic length. Chunks are never reallocated, so a
+//! slot's address is stable for the table's lifetime; a writer fills the
+//! slot *before* publishing the new length with `Release`, and readers
+//! `Acquire` the length and index straight into the chunk — no lock, no
+//! retry loop. The `RwLock` now guards only the `&str → id` map on the
+//! (cold, once-per-distinct-string) intern path.
+//!
+//! Scoped tables *own* their strings (dropping the table frees them); the
+//! global table is simply never dropped, which is what makes
+//! `Sym::as_str`'s `&'static str` sound.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasherDefault;
+use std::mem::MaybeUninit;
 use std::ops::Deref;
-use std::sync::{OnceLock, RwLock};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::rng::FxHasher;
 
@@ -37,12 +53,37 @@ use crate::rng::FxHasher;
 /// table are equal iff their strings are equal); ordering resolves and
 /// compares the underlying strings so sort-based reports keep their
 /// pre-interning order.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub struct Sym(u32);
+///
+/// In debug builds each handle additionally carries the id of the table
+/// that minted it, and resolving against any *other* table is a typed
+/// error (panic via [`SymTable::resolve`]) instead of silently returning an
+/// unrelated string. Release builds keep the handle at 32 bits and fall
+/// back to bounds-checking alone.
+#[derive(Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct Sym {
+    id: u32,
+    /// Table that minted this handle — debug builds only (see above).
+    #[cfg(debug_assertions)]
+    table: u32,
+}
+
+/// Table id of the process-wide [`global`] table.
+const GLOBAL_TABLE_ID: u32 = 0;
+
+#[inline]
+const fn sym_with_table(id: u32, table: u32) -> Sym {
+    #[cfg(not(debug_assertions))]
+    let _ = table;
+    Sym {
+        id,
+        #[cfg(debug_assertions)]
+        table,
+    }
+}
 
 impl Sym {
     /// The interned empty string.
-    pub const EMPTY: Sym = Sym(0);
+    pub const EMPTY: Sym = sym_with_table(0, GLOBAL_TABLE_ID);
 
     /// Intern `s` in the global table (idempotent).
     #[inline]
@@ -50,7 +91,8 @@ impl Sym {
         global().intern(s)
     }
 
-    /// The interned string. `&'static`: entries live for the process.
+    /// The interned string. `&'static`: global-table entries live for the
+    /// process.
     #[inline]
     pub fn as_str(self) -> &'static str {
         global().resolve(self)
@@ -59,26 +101,49 @@ impl Sym {
     /// Raw table id (stable within a process; assigned in intern order).
     #[inline]
     pub fn id(self) -> u32 {
-        self.0
+        self.id
     }
 
     /// Rebuild a handle from a raw id previously obtained via [`Sym::id`]
-    /// in this process. Resolving a fabricated id panics.
+    /// in this process. The handle is scoped to the **global** table (raw
+    /// ids of scoped tables round-trip through
+    /// [`SymTable::sym_from_id`] instead); resolving a fabricated id
+    /// panics.
     #[inline]
     pub fn from_id(id: u32) -> Sym {
-        Sym(id)
+        sym_with_table(id, GLOBAL_TABLE_ID)
     }
 
     /// Whether this symbol is the empty string.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.id == 0
     }
 }
 
 impl Default for Sym {
     fn default() -> Self {
         Sym::EMPTY
+    }
+}
+
+// Equality/hashing are over the 32-bit id alone — the hot-path property
+// (neither ever resolves the table). The debug-only minting-table tag is
+// deliberately excluded: it is a diagnostic, not part of identity, and
+// including it would make debug and release builds disagree.
+impl PartialEq for Sym {
+    #[inline]
+    fn eq(&self, other: &Sym) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
     }
 }
 
@@ -170,7 +235,7 @@ impl PartialOrd for Sym {
 
 impl Ord for Sym {
     fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
-        if self.0 == other.0 {
+        if self.id == other.id {
             return std::cmp::Ordering::Equal;
         }
         self.as_str().cmp(other.as_str())
@@ -189,89 +254,302 @@ impl fmt::Debug for Sym {
     }
 }
 
-struct Inner {
-    map: HashMap<&'static str, u32, BuildHasherDefault<FxHasher>>,
-    strings: Vec<&'static str>,
+/// Typed resolution failure — see [`SymTable::try_resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymResolveError {
+    /// The id is past the table's published length: the handle was minted
+    /// by a different (larger) table, fabricated, or deserialized against
+    /// the wrong universe.
+    OutOfRange { sym: u32, len: u32 },
+    /// Debug builds only: the handle's minting-table tag does not match
+    /// the table it is being resolved against. This is the *silent* form
+    /// of cross-table misuse — the id is in range, so release builds would
+    /// return an unrelated string.
+    WrongTable {
+        sym: u32,
+        minted_by: u32,
+        resolved_against: u32,
+    },
 }
 
-/// An append-only string table: `&str → Sym` on insert, `Sym → &'static
-/// str` on lookup. Entries are leaked (the symbol universe of a run is
-/// bounded); both directions take one `RwLock` acquisition, and reads never
-/// block each other.
+impl fmt::Display for SymResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymResolveError::OutOfRange { sym, len } => {
+                write!(f, "Sym({sym}) was not minted by this SymTable (len {len})")
+            }
+            SymResolveError::WrongTable {
+                sym,
+                minted_by,
+                resolved_against,
+            } => write!(
+                f,
+                "Sym({sym}) minted by table {minted_by} resolved against table {resolved_against}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SymResolveError {}
+
+/// One published string: raw parts of a `Box<str>` owned by the table.
+#[derive(Clone, Copy)]
+struct Slot {
+    ptr: *const u8,
+    len: usize,
+}
+
+/// First chunk holds `1 << CHUNK0_BITS` slots; chunk `k` holds twice as
+/// many as chunk `k − 1`. 27 chunks cover every `u32` id.
+const CHUNK0_BITS: u32 = 6;
+const NUM_CHUNKS: usize = 27;
+
+/// Map an id to its (chunk, offset) in the exponential ladder.
+#[inline]
+fn locate(id: u32) -> (usize, usize) {
+    let adjusted = id as u64 + (1 << CHUNK0_BITS);
+    let chunk = (63 - adjusted.leading_zeros()) - CHUNK0_BITS;
+    let offset = adjusted as usize - ((1usize << CHUNK0_BITS) << chunk);
+    (chunk as usize, offset)
+}
+
+#[inline]
+fn chunk_capacity(chunk: usize) -> usize {
+    (1usize << CHUNK0_BITS) << chunk
+}
+
+/// An append-only string table: `&str → Sym` on insert, `Sym → &str` on
+/// lookup. Inserts take a write lock (once per *distinct* string);
+/// resolution is **lock-free** — an atomic length load plus an index into
+/// a stable chunk (see the module docs for the publication protocol).
 ///
 /// **Handles are table-scoped.** A [`Sym`] minted by [`SymTable::intern`]
 /// is an index into *that* table; every convenience on `Sym` itself
 /// (`as_str`, `Deref`, `Display`, `Debug`, string comparisons, `Ord`)
-/// resolves against the [`global`] table and will panic — or, worse,
-/// produce an unrelated string — for a handle from a private table. Use a
-/// private `SymTable` only as a scoped id↔string map, resolving through
-/// [`SymTable::resolve`] on the same instance; everything on the pipeline
-/// hot path goes through the global table via `Sym::new`/`From`.
+/// resolves against the [`global`] table. Resolving a handle against the
+/// wrong table is caught: debug builds tag each handle with its minting
+/// table and panic on any mismatch, release builds bounds-check the id
+/// (see [`SymTable::try_resolve`] for the non-panicking form). Scoped
+/// tables ([`TenantSymbols`]) own their strings, so evicting a dead
+/// tenant actually returns its symbol memory — the global table's entries
+/// live for the process instead.
 pub struct SymTable {
-    inner: RwLock<Inner>,
+    /// Process-unique table id (0 is the global table).
+    table_id: u32,
+    /// Published length: slots `0..len` are initialized and immutable.
+    len: AtomicU32,
+    /// Total bytes of interned string payload (memory accounting).
+    bytes: AtomicUsize,
+    chunks: [AtomicPtr<MaybeUninit<Slot>>; NUM_CHUNKS],
+    /// `&str → id`, for the intern path only. Keys borrow from the slot
+    /// strings (see safety note on `intern`).
+    map: RwLock<HashMap<&'static str, u32, BuildHasherDefault<FxHasher>>>,
 }
 
+// SAFETY: the raw chunk/slot pointers are only written while holding the
+// map's write lock and only read after an `Acquire` load of `len`
+// publishes them (slots) or of the chunk pointer itself (chunks). All
+// published data is immutable thereafter.
+unsafe impl Send for SymTable {}
+unsafe impl Sync for SymTable {}
+
+/// Ids for tables other than the global one (0).
+static NEXT_TABLE_ID: AtomicU32 = AtomicU32::new(1);
+
 impl SymTable {
-    /// A fresh table with `""` pre-interned as [`Sym::EMPTY`].
+    /// A fresh scoped table with `""` pre-interned as id 0.
     pub fn new() -> SymTable {
-        let mut map: HashMap<&'static str, u32, BuildHasherDefault<FxHasher>> = HashMap::default();
-        map.insert("", 0);
-        SymTable {
-            inner: RwLock::new(Inner {
-                map,
-                strings: vec![""],
-            }),
-        }
+        SymTable::with_table_id(NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Intern a string, returning its stable handle.
+    fn with_table_id(table_id: u32) -> SymTable {
+        let table = SymTable {
+            table_id,
+            len: AtomicU32::new(0),
+            bytes: AtomicUsize::new(0),
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; NUM_CHUNKS],
+            map: RwLock::new(HashMap::default()),
+        };
+        table.intern("");
+        table
+    }
+
+    /// This table's process-unique id (0 is the [`global`] table).
+    pub fn table_id(&self) -> u32 {
+        self.table_id
+    }
+
+    #[inline]
+    fn tag(&self, id: u32) -> Sym {
+        sym_with_table(id, self.table_id)
+    }
+
+    /// Intern a string, returning its stable handle (scoped to this
+    /// table).
     pub fn intern(&self, s: &str) -> Sym {
-        if let Some(&id) = self.inner.read().expect("sym table").map.get(s) {
-            return Sym(id);
+        if let Some(&id) = self.map.read().expect("sym table").get(s) {
+            return self.tag(id);
         }
-        let mut w = self.inner.write().expect("sym table");
-        if let Some(&id) = w.map.get(s) {
-            return Sym(id);
+        let mut map = self.map.write().expect("sym table");
+        if let Some(&id) = map.get(s) {
+            return self.tag(id);
         }
-        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(w.strings.len()).expect("symbol universe exceeds u32");
-        w.strings.push(leaked);
-        w.map.insert(leaked, id);
-        Sym(id)
+        let id = self.len.load(Ordering::Relaxed);
+        assert!(id != u32::MAX, "symbol universe exceeds u32");
+        let owned: Box<str> = s.into();
+        let slot = Slot {
+            ptr: owned.as_ptr(),
+            len: owned.len(),
+        };
+        // The table now owns the allocation; it is freed in `drop`.
+        std::mem::forget(owned);
+        // SAFETY: we hold the write lock, so we are the only writer; slot
+        // `id == len` is not yet visible to any reader.
+        unsafe {
+            self.write_slot(id, slot);
+        }
+        // SAFETY: the slot string lives until `self` is dropped, and the
+        // map (whose keys borrow it) is dropped before the strings are
+        // freed. The `'static` is a private lie scoped to this struct.
+        let key: &'static str = unsafe {
+            std::str::from_utf8_unchecked(std::slice::from_raw_parts(slot.ptr, slot.len))
+        };
+        map.insert(key, id);
+        self.bytes.fetch_add(slot.len, Ordering::Relaxed);
+        // Publish: everything written above happens-before any reader
+        // that observes the new length.
+        self.len.store(id + 1, Ordering::Release);
+        self.tag(id)
+    }
+
+    /// Write `slot` at `id`, allocating the containing chunk on first use.
+    ///
+    /// # Safety
+    /// Caller must hold the map write lock (single writer) and `id` must
+    /// equal the unpublished length.
+    unsafe fn write_slot(&self, id: u32, slot: Slot) {
+        let (chunk, offset) = locate(id);
+        let mut base = self.chunks[chunk].load(Ordering::Acquire);
+        if base.is_null() {
+            let fresh: Box<[MaybeUninit<Slot>]> = Box::new_uninit_slice(chunk_capacity(chunk));
+            base = Box::into_raw(fresh) as *mut MaybeUninit<Slot>;
+            self.chunks[chunk].store(base, Ordering::Release);
+        }
+        unsafe { (*base.add(offset)).write(slot) };
+    }
+
+    /// Read the published slot at `id`.
+    ///
+    /// # Safety
+    /// `id` must be below the published length (the slot is then
+    /// initialized and immutable).
+    #[inline]
+    unsafe fn read_slot(&self, id: u32) -> &str {
+        let (chunk, offset) = locate(id);
+        let base = self.chunks[chunk].load(Ordering::Acquire);
+        unsafe {
+            let slot = (*base.add(offset)).assume_init_ref();
+            std::str::from_utf8_unchecked(std::slice::from_raw_parts(slot.ptr, slot.len))
+        }
     }
 
     /// Resolve a handle minted by **this** table (see the type-level note
-    /// on table scoping).
-    pub fn resolve(&self, sym: Sym) -> &'static str {
-        self.inner
-            .read()
-            .expect("sym table")
-            .strings
-            .get(sym.0 as usize)
-            .copied()
-            .unwrap_or_else(|| panic!("Sym({}) was not minted by this SymTable", sym.0))
+    /// on table scoping). Lock-free. Panics on a foreign handle; use
+    /// [`SymTable::try_resolve`] for the non-panicking form.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        match self.try_resolve(sym) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Number of interned strings (including the empty string).
+    /// Resolve a handle, reporting foreign handles as a typed error
+    /// instead of panicking. Release builds detect ids past this table's
+    /// length; debug builds additionally reject in-range handles minted
+    /// by a different table (the silently-wrong-string case).
+    #[inline]
+    pub fn try_resolve(&self, sym: Sym) -> Result<&str, SymResolveError> {
+        #[cfg(debug_assertions)]
+        if sym.table != self.table_id {
+            return Err(SymResolveError::WrongTable {
+                sym: sym.id,
+                minted_by: sym.table,
+                resolved_against: self.table_id,
+            });
+        }
+        let len = self.len.load(Ordering::Acquire);
+        if sym.id >= len {
+            return Err(SymResolveError::OutOfRange { sym: sym.id, len });
+        }
+        // SAFETY: `sym.id < len` was published with Release ordering.
+        Ok(unsafe { self.read_slot(sym.id) })
+    }
+
+    /// Rebuild a handle scoped to **this** table from a raw id previously
+    /// obtained via [`Sym::id`] on one of this table's handles.
+    pub fn sym_from_id(&self, id: u32) -> Sym {
+        self.tag(id)
+    }
+
+    /// Number of interned strings (including the empty string). Lock-free.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("sym table").strings.len()
+        self.len.load(Ordering::Acquire) as usize
     }
 
     pub fn is_empty(&self) -> bool {
         false // "" is always present
     }
 
+    /// Total bytes of interned string payload — the figure freed when a
+    /// scoped table is evicted.
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// A serializable `(id, string)` snapshot, in intern order — lets a
-    /// report or artifact embed the symbol universe it references.
+    /// report, artifact or service snapshot embed the symbol universe it
+    /// references. Lock-free; concurrent interns past the observed length
+    /// are not included.
     pub fn snapshot(&self) -> Vec<(u32, String)> {
-        self.inner
-            .read()
-            .expect("sym table")
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, (*s).to_string()))
+        let len = self.len.load(Ordering::Acquire);
+        (0..len)
+            // SAFETY: every id below the published length is initialized.
+            .map(|id| (id, unsafe { self.read_slot(id) }.to_string()))
             .collect()
+    }
+}
+
+impl Drop for SymTable {
+    fn drop(&mut self) {
+        // Drop the map first: its keys borrow the slot strings.
+        self.map.write().expect("sym table").clear();
+        let len = self.len.load(Ordering::Acquire);
+        for id in 0..len {
+            let (chunk, offset) = locate(id);
+            let base = self.chunks[chunk].load(Ordering::Acquire);
+            // SAFETY: slots below `len` hold raw parts of forgotten
+            // `Box<str>`s; rebuild and drop each exactly once.
+            unsafe {
+                let slot = (*base.add(offset)).assume_init();
+                drop(Box::from_raw(
+                    std::ptr::slice_from_raw_parts_mut(slot.ptr as *mut u8, slot.len) as *mut str,
+                ));
+            }
+        }
+        for (chunk, ptr) in self.chunks.iter().enumerate() {
+            let base = ptr.load(Ordering::Acquire);
+            if !base.is_null() {
+                // SAFETY: allocated in `write_slot` via `Box::into_raw`
+                // with this exact capacity.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        base,
+                        chunk_capacity(chunk),
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -284,13 +562,121 @@ impl Default for SymTable {
 /// The process-wide table behind [`Sym`].
 pub fn global() -> &'static SymTable {
     static TABLE: OnceLock<SymTable> = OnceLock::new();
-    TABLE.get_or_init(SymTable::new)
+    TABLE.get_or_init(|| SymTable::with_table_id(GLOBAL_TABLE_ID))
 }
 
 /// Intern into the global table (alias of [`Sym::new`]).
 #[inline]
 pub fn intern(s: &str) -> Sym {
     Sym::new(s)
+}
+
+/// A tenant of the always-on service mode — an isolated ingest scope with
+/// its own detector state and symbol universe.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Per-tenant scoped [`SymTable`]s with eviction.
+///
+/// The global table deliberately never frees: its `&'static str` contract
+/// is what makes `Sym` a zero-cost string on the hot path. A long-lived
+/// multi-tenant service cannot afford that for *tenant* universes — a
+/// tenant that stops sending traffic must not pin its user names and
+/// command palettes forever. `TenantSymbols` scopes each tenant to its own
+/// owned table; [`evict`](TenantSymbols::evict) drops the registry's
+/// reference, and the table's memory is returned as soon as the last
+/// outstanding `Arc` (e.g. a snapshot in progress) is released.
+#[derive(Default)]
+pub struct TenantSymbols {
+    tables: Mutex<HashMap<u32, Arc<SymTable>, BuildHasherDefault<FxHasher>>>,
+    /// Tables evicted so far (monotonic; for reports).
+    evicted: AtomicU64,
+}
+
+impl TenantSymbols {
+    pub fn new() -> TenantSymbols {
+        TenantSymbols::default()
+    }
+
+    /// The tenant's scoped table, created on first use.
+    pub fn scope(&self, tenant: TenantId) -> Arc<SymTable> {
+        Arc::clone(
+            self.tables
+                .lock()
+                .expect("tenant registry")
+                .entry(tenant.0)
+                .or_insert_with(|| Arc::new(SymTable::new())),
+        )
+    }
+
+    /// The tenant's table, if it exists.
+    pub fn get(&self, tenant: TenantId) -> Option<Arc<SymTable>> {
+        self.tables
+            .lock()
+            .expect("tenant registry")
+            .get(&tenant.0)
+            .cloned()
+    }
+
+    /// Drop a dead tenant's symbol universe. Returns whether the tenant
+    /// existed. Memory is freed when the last outstanding reference goes.
+    pub fn evict(&self, tenant: TenantId) -> bool {
+        let existed = self
+            .tables
+            .lock()
+            .expect("tenant registry")
+            .remove(&tenant.0)
+            .is_some();
+        if existed {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
+    }
+
+    /// Number of live tenant universes.
+    pub fn len(&self) -> usize {
+        self.tables.lock().expect("tenant registry").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tables evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Live tenants, ascending.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self
+            .tables
+            .lock()
+            .expect("tenant registry")
+            .keys()
+            .map(|&id| TenantId(id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total interned payload bytes across live tenants.
+    pub fn payload_bytes(&self) -> usize {
+        self.tables
+            .lock()
+            .expect("tenant registry")
+            .values()
+            .map(|t| t.payload_bytes())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -386,5 +772,129 @@ mod tests {
                 assert!(ids.contains(&expect));
             }
         }
+    }
+
+    #[test]
+    fn resolution_is_stable_under_concurrent_intern_storm() {
+        // Readers resolve a pinned prefix while writers grow the table
+        // across multiple chunk boundaries — the lock-free publication
+        // protocol must never show a torn or missing slot.
+        let t = std::sync::Arc::new(SymTable::new());
+        let pinned: Vec<Sym> = (0..100).map(|i| t.intern(&format!("pinned-{i}"))).collect();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let t = std::sync::Arc::clone(&t);
+                let pinned = pinned.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // At least one full round always runs (single-core
+                    // runners may not schedule a reader until `stop`).
+                    loop {
+                        for (i, &s) in pinned.iter().enumerate() {
+                            assert_eq!(t.resolve(s), format!("pinned-{i}"));
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Push well past several chunk boundaries (64, 192, 448, …).
+        for i in 0..2_000 {
+            let s = t.intern(&format!("storm-{i}"));
+            assert_eq!(t.resolve(s), format!("storm-{i}"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(t.len(), 1 + 100 + 2_000);
+    }
+
+    #[test]
+    fn try_resolve_rejects_out_of_range() {
+        let t = SymTable::new();
+        let s = t.intern("here");
+        assert_eq!(t.try_resolve(s), Ok("here"));
+        let forged = t.sym_from_id(999);
+        assert_eq!(
+            t.try_resolve(forged),
+            Err(SymResolveError::OutOfRange { sym: 999, len: 2 })
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn debug_builds_catch_cross_table_resolution() {
+        // The lethal case: the foreign id is *in range*, so a bounds check
+        // alone would silently return an unrelated string.
+        let a = SymTable::new();
+        let b = SymTable::new();
+        let from_a = a.intern("minted-in-a");
+        b.intern("minted-in-b");
+        match b.try_resolve(from_a) {
+            Err(SymResolveError::WrongTable {
+                minted_by,
+                resolved_against,
+                ..
+            }) => {
+                assert_eq!(minted_by, a.table_id());
+                assert_eq!(resolved_against, b.table_id());
+            }
+            other => panic!("cross-table resolution not caught: {other:?}"),
+        }
+        // Global-table conveniences on a scoped handle are equally caught.
+        assert!(global().try_resolve(from_a).is_err());
+    }
+
+    #[test]
+    fn dropping_a_scoped_table_frees_its_strings() {
+        let t = SymTable::new();
+        for i in 0..500 {
+            t.intern(&format!("ephemeral-{i:04}"));
+        }
+        assert!(t.payload_bytes() >= 500 * "ephemeral-0000".len());
+        drop(t); // miri/asan would flag a leak or double free here
+    }
+
+    #[test]
+    fn tenant_scopes_are_isolated_and_evictable() {
+        let reg = TenantSymbols::new();
+        let t1 = reg.scope(TenantId(1));
+        let t2 = reg.scope(TenantId(2));
+        let a = t1.intern("cluster-a-user");
+        let b = t2.intern("cluster-b-user");
+        // Same id-space position, different universes.
+        assert_eq!(a.id(), b.id());
+        assert_eq!(t1.resolve(a), "cluster-a-user");
+        assert_eq!(t2.resolve(b), "cluster-b-user");
+        assert!(Arc::ptr_eq(&reg.scope(TenantId(1)), &t1), "scope is stable");
+        assert_eq!(reg.tenants(), vec![TenantId(1), TenantId(2)]);
+        assert!(reg.payload_bytes() >= "cluster-a-user".len() * 2);
+
+        drop(t1);
+        assert!(reg.evict(TenantId(1)));
+        assert!(!reg.evict(TenantId(1)), "already gone");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.evicted(), 1);
+        assert!(reg.get(TenantId(1)).is_none());
+        // Tenant 2 is untouched.
+        assert_eq!(reg.get(TenantId(2)).unwrap().resolve(b), "cluster-b-user");
+    }
+
+    #[test]
+    fn chunk_ladder_locates_every_boundary() {
+        // First and last slot of the first few chunks, plus u32::MAX.
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        assert_eq!(locate(447), (2, 255));
+        let (chunk, offset) = locate(u32::MAX);
+        assert!(chunk < NUM_CHUNKS);
+        assert!(offset < chunk_capacity(chunk));
     }
 }

@@ -60,6 +60,13 @@ pub struct PipelineTuning {
     /// detector config (the knob the dilation sweeps turn).
     #[serde(default)]
     pub temporal: Option<TemporalPolicy>,
+    /// Per-entity detector state budget applied to the tagger at build
+    /// time (see [`TaggerConfig::max_entities`]); `0` (the default) keeps
+    /// whatever the detector config carries. The service-mode knob: a
+    /// long-lived multi-tenant deployment caps resident per-entity state
+    /// here without rebuilding the detector config.
+    #[serde(default)]
+    pub detect_max_entities: usize,
     /// Retry schedule for failed response deliveries (block RPCs and
     /// operator notifications): exponential backoff + jitter, attempt
     /// cap, per-block deadline and a circuit breaker. Irrelevant — and
@@ -78,6 +85,7 @@ impl Default for PipelineTuning {
             detect_shards: 0,
             alert_retention: 10_000,
             temporal: None,
+            detect_max_entities: 0,
             retry: RetryPolicy::default(),
         }
     }

@@ -24,6 +24,10 @@
 //!   truth (preemption rate, lead-time distributions, per-family TP/FN,
 //!   FP rate per million background records).
 //! - [`report`] — run reports and operator notifications.
+//! - [`service`] — the always-on multi-tenant daemon:
+//!   [`ServiceHandle`](service::ServiceHandle) with per-tenant scoped
+//!   interning, backpressure-aware ingestion, and JSON snapshot/restore
+//!   that survives restarts without losing detections.
 //!
 //! ## Example
 //! ```
@@ -59,6 +63,7 @@ pub mod config;
 pub mod eval;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod stage;
 pub mod streaming;
 pub mod testbed;
@@ -67,6 +72,7 @@ pub use config::{ExecutorKind, PipelineTuning, TestbedConfig};
 pub use eval::{evaluate_campaign, run_campaign, CampaignRun, EvalReport, FamilyEval};
 pub use pipeline::PipelineSink;
 pub use report::{OperatorNotification, RunReport};
+pub use service::{ServiceConfig, ServiceError, ServiceHandle, ServiceSnapshot};
 pub use stage::{BuiltPipeline, PipelineBuilder, Stage, StreamReport};
 pub use streaming::{process_records, StreamStats};
 pub use testbed::{FilterChain, Testbed};
@@ -76,6 +82,7 @@ pub mod prelude {
     pub use crate::config::{ExecutorKind, PipelineTuning, TestbedConfig};
     pub use crate::eval::{evaluate_campaign, run_campaign, CampaignRun, EvalReport};
     pub use crate::report::{OperatorNotification, RunReport};
+    pub use crate::service::{ServiceConfig, ServiceError, ServiceHandle, ServiceSnapshot};
     pub use crate::stage::{BuiltPipeline, PipelineBuilder, StreamReport};
     pub use crate::streaming::StreamStats;
     pub use crate::testbed::Testbed;

@@ -84,9 +84,14 @@ impl PipelineSink {
         self.core.retention.iter()
     }
 
-    /// Alerts not retained because of the retention cap.
+    /// Alerts not retained because the retention cap was exceeded.
     pub fn alerts_dropped(&self) -> u64 {
         self.core.retention.dropped()
+    }
+
+    /// Alerts not retained because retention is disabled (cap 0).
+    pub fn alerts_discarded(&self) -> u64 {
+        self.core.retention.discarded()
     }
 
     /// Finalize counters into the report (router stats are filled by the
@@ -103,6 +108,7 @@ impl PipelineSink {
         self.report.bhr = self.bhr().stats();
         self.report.blocked_sources = self.core.response.blocked_sources();
         self.report.alerts_dropped = self.core.retention.dropped();
+        self.report.alerts_discarded = self.core.retention.discarded();
         self.report.clone()
     }
 }

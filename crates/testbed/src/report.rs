@@ -43,8 +43,13 @@ pub struct RunReport {
     pub bhr: TableStats,
     /// Sources blocked during the run.
     pub blocked_sources: u64,
-    /// Admitted alerts not retained for analysis (retention cap).
+    /// Admitted alerts not retained for analysis because the retention
+    /// cap was exceeded. Zero when retention is disabled.
     pub alerts_dropped: u64,
+    /// Admitted alerts not retained because retention was disabled
+    /// (`alert_retention == 0`, e.g. stats-only runs) — deliberately not
+    /// counted as drops.
+    pub alerts_discarded: u64,
 }
 
 impl RunReport {

@@ -1,0 +1,502 @@
+//! JSON wire format for [`ServiceSnapshot`] — the on-disk shape of a
+//! tenant's detection state across service restarts.
+//!
+//! Hand-rolled against the `serde_json` [`Value`] tree (the offline shim
+//! has no derive-based serializer), one encode/decode pair per snapshot
+//! struct. Floats round-trip exactly: Rust's shortest-repr `Display` is
+//! re-parsed by `serde_json::from_str` into the identical bits, which is
+//! what keeps restored posterior masses byte-identical.
+
+use alertlib::filter::FilterStats;
+use alertlib::filter::{FilterSnapshot, FilterWindowSnapshot};
+use detect::attack_tagger::{EntityStateSnapshot, TaggerSnapshot};
+use detect::correlate::{
+    CampaignSnapshot, CorrelatorEntitySnapshot, CorrelatorSnapshot, JoinKeySnapshot, LinkKind,
+    LinkSummary,
+};
+use serde_json::{json, Value};
+use simnet::intern::TenantId;
+use simnet::time::SimTime;
+
+use super::ServiceSnapshot;
+use crate::streaming::StreamStats;
+
+/// Wire-format version; bumped on incompatible shape changes so a stale
+/// fixture fails loudly instead of restoring garbage.
+const FORMAT: u64 = 1;
+
+impl ServiceSnapshot {
+    /// Serialize to the pretty-printed JSON wire format.
+    pub fn to_json(&self) -> String {
+        let v = json!({
+            "format": FORMAT,
+            "tenant": self.tenant.0,
+            "stats": stats_value(&self.stats),
+            "filter": filter_value(&self.filter),
+            "tagger": match &self.tagger {
+                Some(t) => tagger_value(t),
+                None => Value::Null,
+            },
+            "correlator": match &self.correlator {
+                Some(c) => correlator_value(c),
+                None => Value::Null,
+            },
+            "sym_universe": Value::Array(
+                self.sym_universe
+                    .iter()
+                    .map(|(id, s)| json!([*id, s.as_str()]))
+                    .collect(),
+            ),
+        });
+        serde_json::to_string_pretty(&v).expect("value trees always serialize")
+    }
+
+    /// Parse the wire format back. Errors carry a field path so a
+    /// corrupt fixture points at its own breakage.
+    pub fn from_json(text: &str) -> Result<ServiceSnapshot, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("snapshot JSON: {e}"))?;
+        let format = need_u64(&v, "format")?;
+        if format != FORMAT {
+            return Err(format!(
+                "snapshot format {format} (this build reads {FORMAT})"
+            ));
+        }
+        Ok(ServiceSnapshot {
+            tenant: TenantId(need_u32(&v, "tenant")?),
+            stats: decode_stats(v.get("stats"))?,
+            filter: decode_filter(v.get("filter"))?,
+            tagger: match v.get("tagger") {
+                Value::Null => None,
+                t => Some(decode_tagger(t)?),
+            },
+            correlator: match v.get("correlator") {
+                Value::Null => None,
+                c => Some(decode_correlator(c)?),
+            },
+            sym_universe: need_array(&v, "sym_universe")?
+                .iter()
+                .map(|pair| {
+                    let id = pair
+                        .as_array()
+                        .and_then(|a| a.first())
+                        .and_then(Value::as_u64)
+                        .ok_or("sym_universe: bad id")? as u32;
+                    let s = pair
+                        .as_array()
+                        .and_then(|a| a.get(1))
+                        .and_then(Value::as_str)
+                        .ok_or("sym_universe: bad string")?;
+                    Ok((id, s.to_string()))
+                })
+                .collect::<Result<_, String>>()?,
+        })
+    }
+}
+
+// ---- encode ----
+
+fn time_value(t: SimTime) -> Value {
+    Value::from(t.as_nanos())
+}
+
+fn step_ring_value(steps: &[(SimTime, u16)]) -> Value {
+    Value::Array(
+        steps
+            .iter()
+            .map(|(ts, kind)| json!([ts.as_nanos(), *kind]))
+            .collect(),
+    )
+}
+
+fn stats_value(s: &StreamStats) -> Value {
+    json!({
+        "records": s.records,
+        "alerts": s.alerts,
+        "admitted": s.admitted,
+        "detections": s.detections,
+    })
+}
+
+fn filter_value(f: &FilterSnapshot) -> Value {
+    json!({
+        "windows": Value::Array(
+            f.windows
+                .iter()
+                .map(|w| json!({
+                    "source": w.source.as_str(),
+                    "kind": w.kind,
+                    "start": time_value(w.start),
+                    "admitted": w.admitted,
+                }))
+                .collect(),
+        ),
+        "seen": f.stats.seen,
+        "admitted": f.stats.admitted,
+        "suppressed": f.stats.suppressed,
+        "last_sweep": time_value(f.last_sweep),
+    })
+}
+
+fn tagger_value(t: &TaggerSnapshot) -> Value {
+    json!({
+        "entities": Value::Array(
+            t.entities
+                .iter()
+                .map(|e| json!({
+                    "entity": e.entity.as_str(),
+                    "alpha": Value::Array(e.alpha.iter().map(|&p| Value::from(p)).collect()),
+                    "steps": e.steps as u64,
+                    "detected": e.detected,
+                    "last_ts": time_value(e.last_ts),
+                    "recent": step_ring_value(&e.recent),
+                    "recent_head": e.recent_head,
+                }))
+                .collect(),
+        ),
+        "evicted_latches": Value::Array(
+            t.evicted_latches.iter().map(Value::from).collect(),
+        ),
+        "duplicates_suppressed": t.duplicates_suppressed,
+        "entities_evicted": t.entities_evicted,
+    })
+}
+
+fn correlator_value(c: &CorrelatorSnapshot) -> Value {
+    json!({
+        "entities": Value::Array(
+            c.entities
+                .iter()
+                .map(|e| json!({
+                    "entity": e.entity.as_str(),
+                    "campaign": e.campaign,
+                    "mass": e.mass,
+                    "last_ts": time_value(e.last_ts),
+                    "seen": e.seen,
+                    "promoted": e.promoted,
+                    "steps": step_ring_value(&e.steps),
+                    "steps_head": e.steps_head,
+                }))
+                .collect(),
+        ),
+        "keys": Value::Array(
+            c.keys
+                .iter()
+                .map(|k| json!({
+                    "kind": k.kind.as_str(),
+                    "addr": k.addr,
+                    "palette": match &k.palette {
+                        Some(p) => Value::from(p.as_str()),
+                        None => Value::Null,
+                    },
+                    "slots": Value::Array(
+                        k.slots
+                            .iter()
+                            .map(|slot| match slot {
+                                Some((entity, ts)) =>
+                                    json!([entity.as_str(), ts.as_nanos()]),
+                                None => Value::Null,
+                            })
+                            .collect(),
+                    ),
+                    "head": k.head,
+                }))
+                .collect(),
+        ),
+        "campaigns": Value::Array(
+            c.campaigns
+                .iter()
+                .map(|cs| json!({
+                    "id": cs.id,
+                    "members": Value::Array(cs.members.iter().map(Value::from).collect()),
+                    "links": Value::Array(
+                        cs.links
+                            .iter()
+                            .map(|l| json!([
+                                l.ts.as_nanos(),
+                                l.a.as_str(),
+                                l.b.as_str(),
+                                l.kind.as_str(),
+                            ]))
+                            .collect(),
+                    ),
+                    "best_key": match &cs.best_key {
+                        Some(k) => Value::from(k.as_str()),
+                        None => Value::Null,
+                    },
+                    "best_mass": cs.best_mass,
+                    "second": cs.second,
+                    "support_ts": time_value(cs.support_ts),
+                    "promotions": cs.promotions,
+                    "detections": cs.detections,
+                }))
+                .collect(),
+        ),
+        "promoted_latches": Value::Array(
+            c.promoted_latches.iter().map(Value::from).collect(),
+        ),
+        "next_campaign": c.next_campaign,
+        "promotions": c.promotions,
+        "tagger_confirmations": c.tagger_confirmations,
+        "entities_evicted": c.entities_evicted,
+    })
+}
+
+// ---- decode ----
+
+fn need_u64(v: &Value, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .as_u64()
+        .ok_or_else(|| format!("`{field}`: expected unsigned integer"))
+}
+
+fn need_u32(v: &Value, field: &str) -> Result<u32, String> {
+    let raw = need_u64(v, field)?;
+    u32::try_from(raw).map_err(|_| format!("`{field}`: {raw} out of u32 range"))
+}
+
+fn need_u16(v: &Value, field: &str) -> Result<u16, String> {
+    let raw = need_u64(v, field)?;
+    u16::try_from(raw).map_err(|_| format!("`{field}`: {raw} out of u16 range"))
+}
+
+fn need_u8(v: &Value, field: &str) -> Result<u8, String> {
+    let raw = need_u64(v, field)?;
+    u8::try_from(raw).map_err(|_| format!("`{field}`: {raw} out of u8 range"))
+}
+
+fn need_f64(v: &Value, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .as_f64()
+        .ok_or_else(|| format!("`{field}`: expected number"))
+}
+
+fn need_bool(v: &Value, field: &str) -> Result<bool, String> {
+    v.get(field)
+        .as_bool()
+        .ok_or_else(|| format!("`{field}`: expected bool"))
+}
+
+fn need_str(v: &Value, field: &str) -> Result<String, String> {
+    v.get(field)
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{field}`: expected string"))
+}
+
+fn need_time(v: &Value, field: &str) -> Result<SimTime, String> {
+    Ok(SimTime::from_nanos(need_u64(v, field)?))
+}
+
+fn need_array<'a>(v: &'a Value, field: &str) -> Result<&'a Vec<Value>, String> {
+    v.get(field)
+        .as_array()
+        .ok_or_else(|| format!("`{field}`: expected array"))
+}
+
+fn opt_str(v: &Value, field: &str) -> Result<Option<String>, String> {
+    match v.get(field) {
+        Value::Null => Ok(None),
+        other => other
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{field}`: expected string or null")),
+    }
+}
+
+fn decode_step_ring(v: &Value, field: &str) -> Result<Vec<(SimTime, u16)>, String> {
+    need_array(v, field)?
+        .iter()
+        .map(|pair| {
+            let a = pair
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("`{field}`: expected [ts, kind] pair"))?;
+            let ts = a[0]
+                .as_u64()
+                .ok_or_else(|| format!("`{field}`: bad timestamp"))?;
+            let kind = a[1]
+                .as_u64()
+                .and_then(|k| u16::try_from(k).ok())
+                .ok_or_else(|| format!("`{field}`: bad kind index"))?;
+            Ok((SimTime::from_nanos(ts), kind))
+        })
+        .collect()
+}
+
+fn link_kind(s: &str) -> Result<LinkKind, String> {
+    match s {
+        "victim" => Ok(LinkKind::Victim),
+        "source" => Ok(LinkKind::Source),
+        "host" => Ok(LinkKind::Host),
+        "palette" => Ok(LinkKind::Palette),
+        other => Err(format!("unknown link kind `{other}`")),
+    }
+}
+
+fn decode_stats(v: &Value) -> Result<StreamStats, String> {
+    Ok(StreamStats {
+        records: need_u64(v, "records")?,
+        alerts: need_u64(v, "alerts")?,
+        admitted: need_u64(v, "admitted")?,
+        detections: need_u64(v, "detections")?,
+    })
+}
+
+fn decode_filter(v: &Value) -> Result<FilterSnapshot, String> {
+    Ok(FilterSnapshot {
+        windows: need_array(v, "windows")?
+            .iter()
+            .map(|w| {
+                Ok(FilterWindowSnapshot {
+                    source: need_str(w, "source")?,
+                    kind: need_u16(w, "kind")?,
+                    start: need_time(w, "start")?,
+                    admitted: need_u32(w, "admitted")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        stats: FilterStats {
+            seen: need_u64(v, "seen")?,
+            admitted: need_u64(v, "admitted")?,
+            suppressed: need_u64(v, "suppressed")?,
+        },
+        last_sweep: need_time(v, "last_sweep")?,
+    })
+}
+
+fn decode_tagger(v: &Value) -> Result<TaggerSnapshot, String> {
+    Ok(TaggerSnapshot {
+        entities: need_array(v, "entities")?
+            .iter()
+            .map(|e| {
+                Ok(EntityStateSnapshot {
+                    entity: need_str(e, "entity")?,
+                    alpha: need_array(e, "alpha")?
+                        .iter()
+                        .map(|p| p.as_f64().ok_or("`alpha`: expected number".to_string()))
+                        .collect::<Result<_, String>>()?,
+                    steps: need_u64(e, "steps")? as usize,
+                    detected: need_bool(e, "detected")?,
+                    last_ts: need_time(e, "last_ts")?,
+                    recent: decode_step_ring(e, "recent")?,
+                    recent_head: need_u8(e, "recent_head")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        evicted_latches: decode_string_array(v, "evicted_latches")?,
+        duplicates_suppressed: need_u64(v, "duplicates_suppressed")?,
+        entities_evicted: need_u64(v, "entities_evicted")?,
+    })
+}
+
+fn decode_string_array(v: &Value, field: &str) -> Result<Vec<String>, String> {
+    need_array(v, field)?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{field}`: expected string"))
+        })
+        .collect()
+}
+
+fn decode_correlator(v: &Value) -> Result<CorrelatorSnapshot, String> {
+    Ok(CorrelatorSnapshot {
+        entities: need_array(v, "entities")?
+            .iter()
+            .map(|e| {
+                Ok(CorrelatorEntitySnapshot {
+                    entity: need_str(e, "entity")?,
+                    campaign: need_u32(e, "campaign")?,
+                    mass: need_f64(e, "mass")?,
+                    last_ts: need_time(e, "last_ts")?,
+                    seen: need_u32(e, "seen")?,
+                    promoted: need_bool(e, "promoted")?,
+                    steps: decode_step_ring(e, "steps")?,
+                    steps_head: need_u8(e, "steps_head")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        keys: need_array(v, "keys")?
+            .iter()
+            .map(|k| {
+                Ok(JoinKeySnapshot {
+                    kind: link_kind(&need_str(k, "kind")?)?,
+                    addr: need_u32(k, "addr")?,
+                    palette: opt_str(k, "palette")?,
+                    slots: need_array(k, "slots")?
+                        .iter()
+                        .map(|slot| match slot {
+                            Value::Null => Ok(None),
+                            other => {
+                                let a = other
+                                    .as_array()
+                                    .filter(|a| a.len() == 2)
+                                    .ok_or("`slots`: expected [entity, ts] or null")?;
+                                let entity =
+                                    a[0].as_str().ok_or("`slots`: bad entity key")?.to_string();
+                                let ts = a[1].as_u64().ok_or("`slots`: bad timestamp")?;
+                                Ok(Some((entity, SimTime::from_nanos(ts))))
+                            }
+                        })
+                        .collect::<Result<_, String>>()?,
+                    head: need_u8(k, "head")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        campaigns: need_array(v, "campaigns")?
+            .iter()
+            .map(|c| {
+                Ok(CampaignSnapshot {
+                    id: need_u32(c, "id")?,
+                    members: decode_string_array(c, "members")?,
+                    links: need_array(c, "links")?
+                        .iter()
+                        .map(|l| {
+                            let a = l
+                                .as_array()
+                                .filter(|a| a.len() == 4)
+                                .ok_or("`links`: expected [ts, a, b, kind]")?;
+                            Ok(LinkSummary {
+                                ts: SimTime::from_nanos(
+                                    a[0].as_u64().ok_or("`links`: bad timestamp")?,
+                                ),
+                                a: a[1].as_str().ok_or("`links`: bad endpoint")?.to_string(),
+                                b: a[2].as_str().ok_or("`links`: bad endpoint")?.to_string(),
+                                kind: link_kind(a[3].as_str().ok_or("`links`: bad kind")?)?,
+                            })
+                        })
+                        .collect::<Result<_, String>>()?,
+                    best_key: opt_str(c, "best_key")?,
+                    best_mass: need_f64(c, "best_mass")?,
+                    second: need_f64(c, "second")?,
+                    support_ts: need_time(c, "support_ts")?,
+                    promotions: need_u32(c, "promotions")?,
+                    detections: need_u32(c, "detections")?,
+                })
+            })
+            .collect::<Result<_, String>>()?,
+        promoted_latches: decode_string_array(v, "promoted_latches")?,
+        next_campaign: need_u32(v, "next_campaign")?,
+        promotions: need_u64(v, "promotions")?,
+        tagger_confirmations: need_u64(v, "tagger_confirmations")?,
+        entities_evicted: need_u64(v, "entities_evicted")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_wire_snapshots_fail_loudly() {
+        assert!(ServiceSnapshot::from_json("").is_err());
+        assert!(ServiceSnapshot::from_json("{}").is_err(), "missing format");
+        assert!(
+            ServiceSnapshot::from_json(r#"{"format": 999}"#)
+                .unwrap_err()
+                .contains("format 999"),
+            "future format version rejected by number"
+        );
+    }
+}

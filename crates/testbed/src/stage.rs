@@ -154,12 +154,17 @@ where
 /// Replaces the old unbounded `PipelineSink::alerts` vector: a 25 M-alert
 /// streaming run used to OOM if sampling was left on. Retention keeps at
 /// most `cap` alerts, dropping the *oldest* beyond that and counting the
-/// drops; `cap == 0` disables retention (every alert counts as dropped).
+/// drops. `cap == 0` disables retention entirely; alerts flowing past a
+/// disabled retention are counted as *discarded*, not dropped — a
+/// stats-only run that never intended to retain anything must not report
+/// its whole alert volume as drops (it used to: `alerts_dropped` in a
+/// retention-off streaming run equalled every admitted alert).
 #[derive(Debug, Default)]
 pub struct AlertRetention {
     cap: usize,
     buf: VecDeque<Alert>,
     dropped: u64,
+    discarded: u64,
 }
 
 impl AlertRetention {
@@ -168,6 +173,7 @@ impl AlertRetention {
             cap,
             buf: VecDeque::with_capacity(cap.min(1_024)),
             dropped: 0,
+            discarded: 0,
         }
     }
 
@@ -175,9 +181,15 @@ impl AlertRetention {
         self.cap
     }
 
-    /// Alerts dropped because the cap was exceeded (or retention is off).
+    /// Alerts dropped because the cap was exceeded. Zero when retention
+    /// is disabled — see [`AlertRetention::discarded`].
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Alerts discarded because retention is disabled (`cap == 0`).
+    pub fn discarded(&self) -> u64 {
+        self.discarded
     }
 
     pub fn len(&self) -> usize {
@@ -190,7 +202,7 @@ impl AlertRetention {
 
     pub fn push(&mut self, alert: Alert) {
         if self.cap == 0 {
-            self.dropped += 1;
+            self.discarded += 1;
             return;
         }
         if self.buf.len() == self.cap {
@@ -244,7 +256,8 @@ mod tests {
             r.push(alert(t));
         }
         assert!(r.is_empty());
-        assert_eq!(r.dropped(), 10);
+        assert_eq!(r.dropped(), 0, "retention-off is not a cap overflow");
+        assert_eq!(r.discarded(), 10, "retention-off counts discards");
     }
 
     #[test]

@@ -190,6 +190,17 @@ impl FilterStage {
         self.filter.stats()
     }
 
+    /// The underlying filter — service snapshot export reads its window
+    /// state.
+    pub fn filter(&self) -> &ScanFilter {
+        &self.filter
+    }
+
+    /// Mutable access for service snapshot restore.
+    pub fn filter_mut(&mut self) -> &mut ScanFilter {
+        &mut self.filter
+    }
+
     /// Owned-batch variant for executors: drains `batch`, moving admitted
     /// alerts into `out` (no clones on the hot path). Leaves `batch`
     /// empty with its capacity intact.
@@ -354,12 +365,31 @@ impl DetectorStage {
         }
     }
 
+    /// Mutable tagger access — service snapshot restore imports posterior
+    /// state through this.
+    pub fn as_tagger_mut(&mut self) -> Option<&mut AttackTagger> {
+        match self {
+            DetectorStage::Tagger(s) => Some(s.tagger_mut()),
+            _ => None,
+        }
+    }
+
     /// Apply a temporal-policy override to the detector, when it is the
     /// factor-graph tagger (the baselines have no temporal state). This is
     /// how [`crate::config::PipelineTuning::temporal`] reaches the stage.
     pub fn apply_temporal(&mut self, temporal: &detect::attack_tagger::TemporalPolicy) {
         if let DetectorStage::Tagger(s) = self {
             s.tagger_mut().set_temporal(temporal.clone());
+        }
+    }
+
+    /// Cap the detector's resident per-entity state (tagger only — the
+    /// baselines key state by session, not entity). This is how
+    /// [`crate::config::PipelineTuning::detect_max_entities`] reaches the
+    /// stage.
+    pub fn apply_entity_budget(&mut self, max_entities: usize) {
+        if let DetectorStage::Tagger(s) = self {
+            s.tagger_mut().set_max_entities(max_entities);
         }
     }
 

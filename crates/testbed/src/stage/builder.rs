@@ -175,6 +175,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Cap the detector's resident per-entity state (`0` = unbounded) —
+    /// recorded in the tuning and applied to the tagger stage at
+    /// [`PipelineBuilder::build`]. Eviction is detection-neutral: only
+    /// session-timeout-expired entities are swept, so a bounded run's
+    /// detections stay byte-identical to the unbounded baseline (see
+    /// [`TaggerConfig::max_entities`](detect::TaggerConfig::max_entities)).
+    pub fn detect_max_entities(mut self, max_entities: usize) -> Self {
+        self.tuning.detect_max_entities = max_entities;
+        self
+    }
+
     /// Enable cross-entity campaign correlation with the given policy,
     /// overriding whatever the detector's [`TaggerConfig`] carries. The
     /// correlator runs on the merged outcome stream in every executor, so
@@ -246,6 +257,10 @@ impl PipelineBuilder {
     pub fn build(mut self) -> BuiltPipeline {
         if let Some(temporal) = &self.tuning.temporal {
             self.detector.apply_temporal(temporal);
+        }
+        if self.tuning.detect_max_entities != 0 {
+            self.detector
+                .apply_entity_budget(self.tuning.detect_max_entities);
         }
         if !self.blackouts.is_empty() {
             self.detector.apply_blackouts(self.blackouts);
@@ -374,12 +389,14 @@ mod tests {
             .stage_capacity(512)
             .detect_shards(3)
             .alert_retention(7)
+            .detect_max_entities(100)
             .executor(ExecutorKind::Sharded)
             .build();
         assert_eq!(p.tuning().batch_size, 64);
         assert_eq!(p.tuning().stage_capacity, 512);
         assert_eq!(p.tuning().shards(), 3);
         assert_eq!(p.retention.cap(), 7);
+        assert_eq!(p.tuning().detect_max_entities, 100);
         assert_eq!(p.tuning().executor, ExecutorKind::Sharded);
     }
 

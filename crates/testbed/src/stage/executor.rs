@@ -51,8 +51,14 @@ pub struct StreamReport {
     pub notifications: Vec<OperatorNotification>,
     /// Post-filter alerts retained for analysis (capped, oldest dropped).
     pub retained_alerts: Vec<Alert>,
-    /// Alerts not retained because of the retention cap.
+    /// Alerts not retained because the retention cap was exceeded
+    /// (oldest-first evictions). Zero when retention is disabled.
     pub alerts_dropped: u64,
+    /// Alerts not retained because retention was disabled (`cap == 0`,
+    /// e.g. stats-only runs). Kept apart from `alerts_dropped` so a run
+    /// that never intended to retain does not report its whole admitted
+    /// volume as drops.
+    pub alerts_discarded: u64,
     /// Distinct sources blocked at the BHR by the response stage.
     pub blocked_sources: u64,
     /// Alerts the detector dropped as telemetry re-deliveries (0 unless a
@@ -189,6 +195,7 @@ impl InlineCore {
             filter: self.filter.stats(),
             notifications: self.notifications,
             alerts_dropped: self.retention.dropped(),
+            alerts_discarded: self.retention.discarded(),
             blocked_sources: self.response.blocked_sources(),
             duplicates_suppressed: self.detect.duplicates_suppressed(),
             blocks_retried: self.response.blocks_retried(),
@@ -468,6 +475,7 @@ where
             filter: filter.stats(),
             notifications,
             alerts_dropped: retention.dropped(),
+            alerts_discarded: retention.discarded(),
             blocked_sources: response.blocked_sources(),
             duplicates_suppressed,
             blocks_retried: response.blocks_retried(),
@@ -640,6 +648,7 @@ mod tests {
         assert_eq!(a.notifications, b.notifications);
         assert_eq!(a.retained_alerts, b.retained_alerts);
         assert_eq!(a.alerts_dropped, b.alerts_dropped);
+        assert_eq!(a.alerts_discarded, b.alerts_discarded);
         assert_eq!(a.blocked_sources, b.blocked_sources);
         assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
         assert_eq!(a.blocks_retried, b.blocks_retried);

@@ -51,6 +51,8 @@ pub fn process_records(
     tagger: AttackTagger,
 ) -> StreamStats {
     // Stats-only entry point: retention off, like the pre-redesign code.
+    // Retention-off alerts are counted as *discarded*, not dropped, so
+    // this mode no longer reports its entire admitted volume as drops.
     let tuning = PipelineTuning {
         alert_retention: 0,
         ..PipelineTuning::default()
@@ -126,6 +128,31 @@ mod tests {
         let (sym, filt, tag) = stages();
         let stats = process_records(Vec::<LogRecord>::new(), sym, filt, tag);
         assert_eq!(stats, StreamStats::default());
+    }
+
+    /// Regression (PR 8): a stats-only (retention-off) run used to count
+    /// every admitted alert as "dropped", reporting huge drop counts in a
+    /// mode that never retains. Disabled retention must report discards,
+    /// not drops.
+    #[test]
+    fn stats_only_run_reports_discards_not_drops() {
+        let records: Vec<LogRecord> = (0..2_000).map(probe_record).collect();
+        let (sym, filt, tag) = stages();
+        let tuning = PipelineTuning {
+            alert_retention: 0,
+            ..PipelineTuning::default()
+        };
+        let report = BuiltPipeline::from_stages(sym, filt, tag, tuning).run_threaded(records);
+        assert!(report.stats.admitted > 0, "workload admits alerts");
+        assert_eq!(
+            report.alerts_dropped, 0,
+            "retention-off must not report cap drops"
+        );
+        assert_eq!(
+            report.alerts_discarded, report.stats.admitted,
+            "every admitted alert accounted as a discard"
+        );
+        assert!(report.retained_alerts.is_empty());
     }
 
     #[test]

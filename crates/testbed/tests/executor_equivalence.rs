@@ -159,6 +159,7 @@ fn assert_reports_identical(a: &StreamReport, b: &StreamReport) {
     prop_assert_eq!(&a.notifications, &b.notifications);
     prop_assert_eq!(&a.retained_alerts, &b.retained_alerts);
     prop_assert_eq!(a.alerts_dropped, b.alerts_dropped);
+    prop_assert_eq!(a.alerts_discarded, b.alerts_discarded);
     prop_assert_eq!(a.blocked_sources, b.blocked_sources);
     prop_assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
     prop_assert_eq!(a.blocks_retried, b.blocks_retried);
@@ -195,7 +196,7 @@ proptest! {
         prop_assert_eq!(inline.stats, seq_stats);
         prop_assert_eq!(detection_keys(&inline), seq_detections.clone());
         prop_assert_eq!(
-            inline.retained_alerts.len() as u64 + inline.alerts_dropped,
+            inline.retained_alerts.len() as u64 + inline.alerts_dropped + inline.alerts_discarded,
             inline.stats.admitted
         );
 

@@ -46,7 +46,7 @@ fn retention_one_past_cap_drops_exactly_the_oldest() {
 }
 
 #[test]
-fn retention_cap_zero_retains_nothing_counts_everything() {
+fn retention_cap_zero_discards_without_counting_drops() {
     let mut r = AlertRetention::new(0);
     assert_eq!(r.cap(), 0);
     assert!(r.is_empty());
@@ -55,7 +55,12 @@ fn retention_cap_zero_retains_nothing_counts_everything() {
     }
     assert_eq!(r.len(), 0);
     assert!(r.is_empty());
-    assert_eq!(r.dropped(), 7);
+    assert_eq!(
+        r.dropped(),
+        0,
+        "retention-off must not masquerade as cap overflow"
+    );
+    assert_eq!(r.discarded(), 7, "retention-off still accounts every alert");
     assert_eq!(r.iter().count(), 0);
     assert!(r.into_vec().is_empty());
 }
@@ -105,20 +110,32 @@ fn dropped_counter_is_exact_through_pipeline_runs() {
             .run_inline(records.clone());
         assert_eq!(report.stats.admitted, admitted, "same workload");
         assert_eq!(
-            report.retained_alerts.len() as u64 + report.alerts_dropped,
+            report.retained_alerts.len() as u64 + report.alerts_dropped + report.alerts_discarded,
             admitted,
-            "cap {cap}: retained + dropped must equal admitted"
+            "cap {cap}: retained + dropped + discarded must equal admitted"
         );
         assert_eq!(
             report.retained_alerts.len(),
             cap.min(admitted as usize),
             "cap {cap}: retained count"
         );
-        assert_eq!(
-            report.alerts_dropped,
-            admitted.saturating_sub(cap as u64),
-            "cap {cap}: dropped count"
-        );
+        if cap == 0 {
+            assert_eq!(report.alerts_dropped, 0, "retention-off drops nothing");
+            assert_eq!(
+                report.alerts_discarded, admitted,
+                "retention-off discards everything"
+            );
+        } else {
+            assert_eq!(
+                report.alerts_dropped,
+                admitted.saturating_sub(cap as u64),
+                "cap {cap}: dropped count"
+            );
+            assert_eq!(
+                report.alerts_discarded, 0,
+                "enabled retention discards nothing"
+            );
+        }
     }
 }
 
@@ -213,5 +230,6 @@ fn empty_stream_retention_is_empty_everywhere() {
             .run(Vec::<LogRecord>::new());
         assert!(report.retained_alerts.is_empty());
         assert_eq!(report.alerts_dropped, 0);
+        assert_eq!(report.alerts_discarded, 0);
     }
 }

@@ -1,0 +1,178 @@
+//! Service-mode restart properties (proptest):
+//!
+//! On randomized adversarial campaign workloads, snapshotting a tenant
+//! mid-stream, serializing the snapshot through its JSON wire format,
+//! restoring it into a *fresh* service process, and replaying the stream
+//! tail must reproduce the uninterrupted run exactly: same cumulative
+//! stream counters, same detection stream, same campaign graph. And the
+//! per-entity state budget (`detect_max_entities`) must be
+//! detection-neutral: a bounded pipeline with eviction active yields
+//! byte-identical detections to the unbounded one.
+
+use proptest::prelude::*;
+use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
+use scenario::stream::{record_stream, RecordStreamConfig};
+use simnet::intern::TenantId;
+use simnet::rng::SimRng;
+use simnet::time::SimDuration;
+use telemetry::record::LogRecord;
+use testbed::stage::{BuiltPipeline, PipelineBuilder, StreamReport};
+use testbed::{ServiceConfig, ServiceHandle, ServiceSnapshot};
+
+fn campaign_records(seed: u64, sessions: usize, lateral_prob: f64) -> Vec<LogRecord> {
+    let cfg = CampaignConfig {
+        sessions,
+        horizon: SimDuration::from_hours(24),
+        mutation: MutationConfig {
+            lateral_prob,
+            ..MutationConfig::default()
+        },
+        background: Some(RecordStreamConfig {
+            scan_records: 200,
+            benign_flows: 80,
+            exec_records: 150,
+            users: 20,
+            ..RecordStreamConfig::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    generate_campaign(&cfg, &mut SimRng::seed(seed)).records
+}
+
+fn service_factory() -> impl FnMut() -> BuiltPipeline + Send + 'static {
+    || {
+        PipelineBuilder::new()
+            .tagger(detect::AttackTagger::new(
+                detect::train::toy_training_model(),
+                detect::TaggerConfig::default(),
+            ))
+            .correlation(detect::CorrelationPolicy::default())
+            .build()
+    }
+}
+
+fn ingest_all(service: &ServiceHandle, tenant: TenantId, records: &[LogRecord], batch: usize) {
+    for chunk in records.chunks(batch.max(1)) {
+        service
+            .ingest(tenant, chunk.to_vec())
+            .expect("worker alive");
+    }
+}
+
+fn detection_keys(report: &StreamReport) -> Vec<String> {
+    report
+        .notifications
+        .iter()
+        .map(|n| {
+            format!(
+                "{}|{}|{}|{}",
+                n.entity, n.detection.ts, n.detection.trigger, n.detection.stage
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Snapshot → JSON → restore → replay-tail ≡ the uninterrupted run.
+    #[test]
+    fn restart_from_json_snapshot_loses_no_detections(
+        seed in 0u64..100_000,
+        sessions in 2usize..16,
+        lateral_x10 in 0u64..10,
+        split_pct in 1usize..100,
+        batch in 1usize..200,
+    ) {
+        let records = campaign_records(seed, sessions, lateral_x10 as f64 / 10.0);
+        let tenant = TenantId(3);
+        let split = records.len() * split_pct / 100;
+        let (head, tail) = records.split_at(split);
+
+        // Reference: one service, never restarted.
+        let uninterrupted = ServiceHandle::spawn(ServiceConfig::default(), service_factory());
+        ingest_all(&uninterrupted, tenant, &records, batch);
+        let mut reports = uninterrupted.shutdown();
+        prop_assert_eq!(reports.len(), 1);
+        let full = reports.pop().unwrap().1;
+
+        // Interrupted: ingest the head, snapshot, kill the process...
+        let first = ServiceHandle::spawn(ServiceConfig::default(), service_factory());
+        ingest_all(&first, tenant, head, batch);
+        let snap = first.snapshot(tenant).expect("live tenant snapshots");
+        let mut head_reports = first.shutdown();
+        let head_report = head_reports.pop().unwrap().1;
+
+        // ...round-trip the snapshot through its wire format...
+        let wire = snap.to_json();
+        let restored = ServiceSnapshot::from_json(&wire).expect("wire format round-trips");
+        prop_assert_eq!(&restored, &snap);
+
+        // ...and restore into a fresh service, replaying only the tail.
+        let second = ServiceHandle::spawn(ServiceConfig::default(), service_factory());
+        second.restore(restored).expect("snapshot fits the factory pipeline");
+        ingest_all(&second, tenant, tail, batch);
+        let mut tail_reports = second.shutdown();
+        let tail_report = tail_reports.pop().unwrap().1;
+
+        // Counters are cumulative across the restart; detections are the
+        // prefix's plus the tail's, byte for byte; the campaign graph is
+        // whole.
+        prop_assert_eq!(tail_report.stats, full.stats);
+        prop_assert_eq!(&tail_report.filter, &full.filter);
+        let mut stitched = detection_keys(&head_report);
+        stitched.extend(detection_keys(&tail_report));
+        prop_assert_eq!(stitched, detection_keys(&full));
+        prop_assert_eq!(&tail_report.campaigns, &full.campaigns);
+        prop_assert_eq!(tail_report.correlated_promotions, full.correlated_promotions);
+        prop_assert_eq!(tail_report.correlated_confirmations, full.correlated_confirmations);
+        prop_assert_eq!(tail_report.duplicates_suppressed, full.duplicates_suppressed);
+    }
+
+    /// The per-entity state budget evicts aggressively but never changes
+    /// what is detected — bounded and unbounded pipelines agree on the
+    /// whole report, on both the inline and sharded executors.
+    #[test]
+    fn entity_budget_is_detection_neutral(
+        seed in 0u64..100_000,
+        budget in 8usize..64,
+        scans in 0usize..400,
+        execs in 100usize..500,
+        users in 30usize..80,
+        shards in 1usize..6,
+    ) {
+        let cfg = RecordStreamConfig {
+            scan_records: scans,
+            scanners: 1 + seed as usize % 7,
+            benign_flows: scans / 2,
+            exec_records: execs,
+            users,
+            ..RecordStreamConfig::default()
+        };
+        let records = record_stream(&cfg, &mut SimRng::seed(seed));
+        let build = |max_entities: usize| {
+            PipelineBuilder::new()
+                .tagger(detect::AttackTagger::new(
+                    detect::train::toy_training_model(),
+                    detect::TaggerConfig::default(),
+                ))
+                .detect_shards(shards)
+                .detect_max_entities(max_entities)
+                .build()
+        };
+
+        let unbounded = build(0).run_inline(records.clone());
+        let bounded = build(budget).run_inline(records.clone());
+        prop_assert_eq!(bounded.stats, unbounded.stats);
+        prop_assert_eq!(detection_keys(&bounded), detection_keys(&unbounded));
+        prop_assert_eq!(&bounded.notifications, &unbounded.notifications);
+        prop_assert_eq!(bounded.duplicates_suppressed, unbounded.duplicates_suppressed);
+
+        let bounded_sharded = build(budget).run_sharded(records);
+        prop_assert_eq!(bounded_sharded.stats, bounded.stats);
+        prop_assert_eq!(
+            detection_keys(&bounded_sharded),
+            detection_keys(&bounded)
+        );
+    }
+}
