@@ -1,0 +1,369 @@
+//! BENCH_9 — closed-loop adaptive attackers: the worst-case robustness
+//! frontier and reactive evasion in the detect→respond→adapt loop.
+//!
+//! Three phases, all deterministic under the fixed seed:
+//!
+//! 1. **Worst-case frontier** — per attack family, a seeded hill-climb
+//!    ([`testbed::worst_case_frontier`]) over the `MutationConfig` space
+//!    maximizing missed damage. The converged per-family worst config is
+//!    attached to the artifact, and the whole search is run twice and
+//!    asserted identical (hard, at any scale).
+//! 2. **Reactive vs open loop** — the same seeded campaign driven through
+//!    [`testbed::run_reactive_campaign`] twice: once with the default
+//!    reactive policy (attacker rotates / stretches / re-splits on every
+//!    observed block decision) and once open-loop. Gates: no block is
+//!    permanently lost in either arm (hard), the recorded closed-loop
+//!    stream replays byte-identically through the inline, threaded, and
+//!    sharded executors (hard), and reactive preemption stays within
+//!    0.80x of the open-loop baseline (full scale).
+//! 3. **Learning curve** — models trained on growing longitudinal corpora
+//!    (20/60/120/228 incidents) replay one fixed adversarial campaign;
+//!    the curve must be monotone up to ±0.10 noise with the largest
+//!    corpus no worse than the smallest (full scale).
+//!
+//! Emits `BENCH_9.json` (at the workspace root, or `$BENCH_OUT`).
+//! Run with: `cargo run --release -p bench --bin bench9`
+//! Scale the workload with `BENCH_SCALE` (default 1.0; CI uses 0.2 —
+//! the quality gates are asserted at full scale, recorded otherwise).
+
+use std::time::Instant;
+
+use bench::detection_bytes;
+use detect::CorrelationPolicy;
+use scenario::adapt::ReactivePolicy;
+use scenario::library::standard_library;
+use scenario::mutate::CampaignConfig;
+use simnet::alloc_count::CountingAllocator;
+use simnet::time::SimDuration;
+use testbed::adapt::{learning_curve, run_reactive_campaign, worst_case_frontier, FrontierConfig};
+use testbed::stage::PipelineBuilder;
+use testbed::TestbedConfig;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Reactive preemption must stay within this fraction of the paired
+/// open-loop baseline: evasion buys the attacker tempo, not immunity.
+const REACTIVE_PREEMPTION_RATIO: f64 = 0.80;
+/// Adjacent learning-curve points may dip at most this much (sampling
+/// noise on a finite campaign); the endpoints must still be ordered.
+const CURVE_NOISE_TOL: f64 = 0.10;
+/// Longitudinal corpus sizes swept by the learning curve. 228 is the
+/// paper's full corpus; critical occurrences scale proportionally (98 at
+/// full size).
+const CURVE_SIZES: [usize; 4] = [20, 60, 120, 228];
+
+fn reactive_campaign_cfg(scale: f64) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        sessions: ((120.0 * scale) as usize).max(12),
+        horizon: SimDuration::from_days(2),
+        families: standard_library(),
+        background: None,
+        ..CampaignConfig::default()
+    };
+    // Every session is a real kill chain (no decoys), stretched enough
+    // that block decisions land mid-session and feedback matters.
+    cfg.mutation.decoy_prob = 0.0;
+    cfg.mutation.dilation = 4.0;
+    cfg
+}
+
+fn curve_model(incidents: usize) -> factorgraph::chain::ChainModel {
+    let corpus = scenario::generate_corpus(&scenario::LongitudinalConfig {
+        total_incidents: incidents,
+        critical_occurrences: (98 * incidents / 228).max(1),
+        ..scenario::LongitudinalConfig::default()
+    });
+    detect::train::train(
+        &corpus,
+        &bench::standard_benign(400),
+        &detect::train::TrainConfig::default(),
+    )
+}
+
+fn main() {
+    let scale: f64 = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    bench::banner("BENCH_9: closed-loop adaptive attackers — frontier + reactive evasion");
+
+    let mut cfg = TestbedConfig::default();
+    cfg.tagger.correlation = Some(CorrelationPolicy::default());
+    let cores = rayon::current_num_threads();
+    let model = bench::standard_model();
+
+    // ---- Phase 1: per-family worst-case robustness frontier -------------
+    let fcfg = FrontierConfig {
+        probes: ((12.0 * scale) as usize).max(4),
+        sessions: ((48.0 * scale) as usize).max(8),
+        horizon: SimDuration::from_days(2),
+        ..FrontierConfig::default()
+    };
+    let families = standard_library();
+    let t0 = Instant::now();
+    let frontier = worst_case_frontier(&cfg, &model, &families, &fcfg);
+    let frontier_s = t0.elapsed().as_secs_f64();
+    // Determinism is a correctness property, not a quality gate: the
+    // search must replay exactly at any scale.
+    let rerun = worst_case_frontier(&cfg, &model, &families, &fcfg);
+    assert_eq!(
+        frontier, rerun,
+        "frontier search must be seed-deterministic"
+    );
+
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>7} {:>6} {:>6} {:>9}",
+        "family", "worst p%", "base p%", "lead med", "dilate", "drop", "lat", "accepted"
+    );
+    let mut frontier_json = Vec::new();
+    for p in &frontier {
+        println!(
+            "{:<16} {:>7.1}% {:>8.1}% {:>8.1}s {:>7.2} {:>6.2} {:>6.2} {:>6}/{}",
+            p.family,
+            p.preemption_rate * 100.0,
+            p.baseline_preemption * 100.0,
+            p.lead_median_secs,
+            p.config.dilation,
+            p.config.drop_prob,
+            p.config.lateral_prob,
+            p.accepted,
+            p.probes,
+        );
+        frontier_json.push(serde_json::json!({
+            "family": p.family.as_str(),
+            "preemption_rate": p.preemption_rate,
+            "missed_damage_rate": p.missed_damage_rate,
+            "lead_median_secs": p.lead_median_secs,
+            "baseline_preemption": p.baseline_preemption,
+            "probes": p.probes,
+            "accepted": p.accepted,
+            "config": {
+                "drop_prob": p.config.drop_prob,
+                "swap_prob": p.config.swap_prob,
+                "noise_steps": p.config.noise_steps,
+                "dilation": p.config.dilation,
+                "decoy_prob": p.config.decoy_prob,
+                "lateral_prob": p.config.lateral_prob,
+                "max_lateral_entities": p.config.max_lateral_entities,
+                "force_damage": p.config.force_damage,
+            },
+        }));
+    }
+    let worst_overall = frontier
+        .iter()
+        .map(|p| p.preemption_rate)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "frontier: {} families, worst-case preemption {:.1}%, searched in {:.1}s (x2 for determinism)\n",
+        frontier.len(),
+        worst_overall * 100.0,
+        frontier_s,
+    );
+
+    // ---- Phase 2: reactive evasion vs the open-loop baseline ------------
+    let ccfg = reactive_campaign_cfg(scale);
+    let round = SimDuration::from_mins(10);
+    let t0 = Instant::now();
+    let closed = run_reactive_campaign(
+        &cfg,
+        &ccfg,
+        model.clone(),
+        Some(ReactivePolicy::default()),
+        round,
+    );
+    let closed_s = t0.elapsed().as_secs_f64();
+    let open = run_reactive_campaign(&cfg, &ccfg, model.clone(), None, round);
+
+    // The response path must never permanently lose a block in either arm.
+    assert_eq!(
+        closed.stream.blocks_abandoned, 0,
+        "closed loop permanently lost blocks"
+    );
+    assert_eq!(
+        open.stream.blocks_abandoned, 0,
+        "open loop permanently lost blocks"
+    );
+
+    // Replay the recorded closed-loop stream through all three executors:
+    // adaptivity must not break executor equivalence (hard, any scale).
+    let closed_bytes = detection_bytes(&closed.stream);
+    let inline = PipelineBuilder::from_config(&cfg, model.clone())
+        .build()
+        .run_inline(closed.records.clone());
+    let threaded = PipelineBuilder::from_config(&cfg, model.clone())
+        .build()
+        .run_threaded(closed.records.clone());
+    let sharded = PipelineBuilder::from_config(&cfg, model.clone())
+        .detect_shards(4)
+        .build()
+        .run_sharded(closed.records.clone());
+    for (name, replay) in [
+        ("inline", &inline),
+        ("threaded", &threaded),
+        ("sharded", &sharded),
+    ] {
+        assert_eq!(
+            closed_bytes,
+            detection_bytes(replay),
+            "{name} replay of the closed-loop stream must be byte-identical"
+        );
+        assert_eq!(closed.stream.stats, replay.stats);
+    }
+
+    let open_p = open.eval.overall.preemption_rate;
+    let closed_p = closed.eval.overall.preemption_rate;
+    let preemption_ratio = if open_p > 0.0 { closed_p / open_p } else { 1.0 };
+    let reactive_pass = preemption_ratio >= REACTIVE_PREEMPTION_RATIO;
+    println!(
+        "reactive loop : {} records, {} rounds, {} rotations ({} re-splits, {} fresh entities, \
+         {} tempo stretches), {:.1}s",
+        closed.records.len(),
+        closed.rounds,
+        closed.stats.rotations,
+        closed.stats.resplits,
+        closed.stats.fresh_entities,
+        closed.stats.tempo_stretches,
+        closed_s,
+    );
+    println!(
+        "preemption    : reactive {:.1}% vs open-loop {:.1}% ({:.2}x, floor {:.2}x) -> {}",
+        closed_p * 100.0,
+        open_p * 100.0,
+        preemption_ratio,
+        REACTIVE_PREEMPTION_RATIO,
+        if reactive_pass { "PASS" } else { "FAIL" },
+    );
+
+    // ---- Phase 3: corpus learning curve under mutation -------------------
+    let models: Vec<(usize, factorgraph::chain::ChainModel)> =
+        CURVE_SIZES.iter().map(|&k| (k, curve_model(k))).collect();
+    let curve_ccfg = CampaignConfig {
+        sessions: ((120.0 * scale) as usize).max(16),
+        horizon: SimDuration::from_days(2),
+        families: standard_library(),
+        background: None,
+        ..CampaignConfig::default()
+    };
+    let curve = learning_curve(&cfg, &curve_ccfg, &models);
+    let mut curve_monotone = true;
+    for w in curve.windows(2) {
+        if w[1].preemption_rate < w[0].preemption_rate - CURVE_NOISE_TOL {
+            curve_monotone = false;
+        }
+    }
+    let curve_ordered = curve
+        .last()
+        .zip(curve.first())
+        .is_some_and(|(last, first)| last.preemption_rate >= first.preemption_rate);
+    let curve_pass = curve_monotone && curve_ordered;
+    println!(
+        "\n{:<10} {:>12} {:>12}",
+        "incidents", "preempt %", "detect %"
+    );
+    let mut curve_json = Vec::new();
+    for p in &curve {
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}%",
+            p.corpus_incidents,
+            p.preemption_rate * 100.0,
+            p.detection_rate * 100.0,
+        );
+        curve_json.push(serde_json::json!({
+            "corpus_incidents": p.corpus_incidents,
+            "preemption_rate": p.preemption_rate,
+            "detection_rate": p.detection_rate,
+        }));
+    }
+    println!(
+        "learning curve: monotone(±{CURVE_NOISE_TOL}) {}, endpoints ordered {} -> {}",
+        curve_monotone,
+        curve_ordered,
+        if curve_pass { "PASS" } else { "FAIL" },
+    );
+
+    let artifact = serde_json::json!({
+        "workload": {
+            "scale": scale,
+            "seed": cfg.seed,
+            "frontier_probes": fcfg.probes,
+            "frontier_sessions": fcfg.sessions,
+            "reactive_sessions": ccfg.sessions,
+            "round_secs": round.as_secs_f64(),
+            "curve_sizes": CURVE_SIZES.to_vec(),
+        },
+        "cores": cores,
+        "frontier": serde_json::Value::Array(frontier_json),
+        "frontier_worst_preemption": worst_overall,
+        "frontier_seconds": frontier_s,
+        "reactive": {
+            "records": closed.records.len(),
+            "rounds": closed.rounds,
+            "rotations": closed.stats.rotations,
+            "resplits": closed.stats.resplits,
+            "fresh_entities": closed.stats.fresh_entities,
+            "tempo_stretches": closed.stats.tempo_stretches,
+            "preemption_rate": closed_p,
+            "open_loop_preemption_rate": open_p,
+            "preemption_ratio": preemption_ratio,
+            "blocks_abandoned": closed.stream.blocks_abandoned,
+            "open_loop_blocks_abandoned": open.stream.blocks_abandoned,
+            "closed_loop_seconds": closed_s,
+        },
+        "learning_curve": serde_json::Value::Array(curve_json),
+        "detections_byte_identical": true,
+        "acceptance": {
+            "frontier_deterministic": {
+                "pass": true,
+            },
+            "reactive_no_lost_blocks": {
+                "pass": true,
+            },
+            "executor_replay_byte_identical": {
+                "pass": true,
+            },
+            "reactive_preemption_ratio": {
+                "min_ratio": REACTIVE_PREEMPTION_RATIO,
+                "ratio": preemption_ratio,
+                "applicable": scale >= 1.0,
+                "pass": scale < 1.0 || reactive_pass,
+            },
+            "learning_curve_monotone": {
+                "noise_tolerance": CURVE_NOISE_TOL,
+                "applicable": scale >= 1.0,
+                "pass": scale < 1.0 || curve_pass,
+            },
+        },
+    });
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_9.json".to_string());
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&artifact).expect("serialize"),
+    )
+    .expect("write BENCH_9.json");
+    println!("[artifact] {out}");
+
+    // Hard gates at full scale; determinism, byte-identity, and lost-block
+    // invariants were asserted unconditionally above.
+    let enforce = std::env::var("BENCH_ENFORCE").map_or(true, |v| v != "0");
+    if enforce && scale >= 1.0 {
+        assert!(
+            reactive_pass,
+            "reactive evasion gate failed: {preemption_ratio:.2}x of open-loop preemption \
+             (floor {REACTIVE_PREEMPTION_RATIO:.2}x)"
+        );
+        assert!(
+            curve_pass,
+            "learning curve gate failed: monotone {curve_monotone}, ordered {curve_ordered}"
+        );
+    } else if !(reactive_pass && curve_pass) {
+        println!(
+            "NOTE: quality gates not enforced ({})",
+            if scale < 1.0 {
+                format!("BENCH_SCALE={scale} < 1")
+            } else {
+                "BENCH_ENFORCE=0".to_string()
+            }
+        );
+    }
+}

@@ -182,6 +182,16 @@ impl RetryPolicy {
         let jitter = 1.0 + self.jitter_frac.clamp(0.0, 1.0) * (rng.f64() * 2.0 - 1.0);
         delay.mul_f64(jitter)
     }
+
+    /// Whether a delivery that failed `elapsed` after the first failure
+    /// is past the overall deadline. The deadline is inclusive: an
+    /// attempt landing *exactly* on `first_failure + deadline` is still
+    /// inside its retry budget ("past it the block is abandoned" — not
+    /// "at it"), so a backend that recovers exactly at the boundary gets
+    /// its probe.
+    pub fn deadline_exceeded(&self, elapsed: SimDuration) -> bool {
+        elapsed > self.deadline
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +256,19 @@ mod tests {
         assert_eq!(policy.backoff(5, &mut rng), SimDuration::from_secs(16));
         // Far past the doubling range: clamped to the ceiling.
         assert_eq!(policy.backoff(30, &mut rng), SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        let policy = RetryPolicy::default(); // deadline: 1h
+        assert!(!policy.deadline_exceeded(SimDuration::ZERO));
+        assert!(
+            !policy.deadline_exceeded(SimDuration::from_hours(1)),
+            "an attempt exactly at the deadline is still inside the budget"
+        );
+        assert!(policy.deadline_exceeded(SimDuration::from_nanos(
+            SimDuration::from_hours(1).as_nanos() + 1
+        )));
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //!   dilation, decoys, lateral campaigns) and the [`Campaign`](mutate::Campaign)
 //!   driver multiplexing hundreds of mutated sessions with background load
 //!   into one ground-truthed record stream.
+//! - [`adapt`] — closed-loop adaptive attackers: a seeded hill-climbing
+//!   search over [`MutationConfig`](mutate::MutationConfig) (worst-case
+//!   robustness frontier) and a reactive mid-stream generator that
+//!   observes block decisions through a [`FeedbackTap`](adapt::FeedbackTap)
+//!   and rotates sources / stretches tempo / re-splits laterally.
 
+pub mod adapt;
 pub mod background;
 pub mod faults;
 pub mod incident;
@@ -36,6 +42,10 @@ pub mod ransomware;
 pub mod stream;
 pub mod template;
 
+pub use adapt::{
+    AdaptiveSearch, BlockEvent, FeedbackTap, ReactiveGenerator, ReactivePolicy, ReactiveStats,
+    SearchSpace,
+};
 pub use background::{
     fig1_flows, sample_daily_volume, stream_day, stream_days, Fig1Config, Fig1GroundTruth,
     VolumeModel,

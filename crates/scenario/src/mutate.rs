@@ -41,7 +41,7 @@ use crate::template::AttackTemplate;
 /// Mutation knobs. All probabilities are per-session or per-step as noted;
 /// everything is driven by the caller's [`SimRng`], so a campaign is
 /// byte-identical under the same seed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MutationConfig {
     /// Per-step probability of dropping a droppable step (never the first
     /// step, never a damage step when [`force_damage`](Self::force_damage)).
@@ -575,7 +575,7 @@ pub struct Campaign {
 /// range): disjoint from both the scanner pools and the internal networks
 /// of `scenario::stream`, so session entities never collide with
 /// background entities.
-fn campaign_entity_addr(n: u32) -> Ipv4Addr {
+pub(crate) fn campaign_entity_addr(n: u32) -> Ipv4Addr {
     let base = u32::from_be_bytes([198, 18, 0, 0]);
     Ipv4Addr::from(base + 1 + (n % ((1 << 17) - 2)))
 }

@@ -252,7 +252,7 @@ impl EvalReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>8} {:>12} {:>12}",
+            "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>8} {:>12} {:>12} {:>6} {:>8} {:>9}",
             "family",
             "sessions",
             "detected",
@@ -261,12 +261,15 @@ impl EvalReport {
             "missed",
             "preempt%",
             "lead(med s)",
-            "lead(med rec)"
+            "lead(med rec)",
+            "split",
+            "split p%",
+            "unspl p%"
         );
         for f in self.families.iter().chain(std::iter::once(&self.overall)) {
             let _ = writeln!(
                 out,
-                "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>7.1}% {:>12.0} {:>12.1}",
+                "{:<16} {:>8} {:>8} {:>9} {:>5} {:>7} {:>7.1}% {:>12.0} {:>12.1} {:>6} {:>7.1}% {:>8.1}%",
                 f.family,
                 f.sessions,
                 f.detected,
@@ -276,6 +279,9 @@ impl EvalReport {
                 f.preemption_rate * 100.0,
                 f.lead.median_secs,
                 f.lead.median_records,
+                f.lateral.split_sessions,
+                f.lateral.split_preemption_rate * 100.0,
+                f.lateral.unsplit_preemption_rate * 100.0,
             );
         }
         let _ = writeln!(
@@ -667,6 +673,17 @@ mod tests {
         let table = run.eval.table();
         assert!(table.contains("overall"));
         assert!(table.contains("preempt%"));
+        // PR 7's lateral-split breakdown is part of the rendered table,
+        // not just the JSON.
+        assert!(table.contains("split p%"));
+        assert!(table.contains("unspl p%"));
+        for line in table.lines().skip(1).take(run.eval.families.len() + 1) {
+            assert_eq!(
+                line.split_whitespace().count(),
+                12,
+                "every row carries the split columns: {line}"
+            );
+        }
     }
 
     #[test]

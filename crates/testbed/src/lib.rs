@@ -59,6 +59,7 @@
 //! assert_eq!(report.stats.records, 0);
 //! ```
 
+pub mod adapt;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
@@ -68,6 +69,10 @@ pub mod stage;
 pub mod streaming;
 pub mod testbed;
 
+pub use adapt::{
+    learning_curve, run_reactive_campaign, worst_case_frontier, FrontierConfig, FrontierPoint,
+    LearningPoint, ReactiveRun,
+};
 pub use config::{ExecutorKind, PipelineTuning, TestbedConfig};
 pub use eval::{evaluate_campaign, run_campaign, CampaignRun, EvalReport, FamilyEval};
 pub use pipeline::PipelineSink;

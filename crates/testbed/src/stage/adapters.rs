@@ -17,6 +17,7 @@ use detect::critical::CriticalOnlyDetector;
 use detect::online::OnlineSessionDetector;
 use detect::rules::RuleBasedDetector;
 use detect::Detection;
+use scenario::adapt::FeedbackTap;
 use simnet::action::Action;
 use simnet::engine::EventCtx;
 use simnet::flow::Direction;
@@ -550,6 +551,11 @@ pub struct ResponseStage {
     /// so the clean path draws nothing.
     rng: SimRng,
     notify_backend: Option<Box<dyn NotifyBackend>>,
+    /// Optional adaptive-attacker observation channel: every block
+    /// *decision* is published here (see [`FeedbackTap`]). A pure side
+    /// channel — publishing never touches pipeline state, so tapped and
+    /// untapped runs produce byte-identical detections.
+    feedback: Option<FeedbackTap>,
     pending_blocks: Vec<PendingBlock>,
     pending_notes: Vec<PendingNote>,
     breaker: Breaker,
@@ -580,6 +586,7 @@ impl ResponseStage {
             retry: RetryPolicy::default(),
             rng: SimRng::seed(Self::RETRY_SEED),
             notify_backend: None,
+            feedback: None,
             pending_blocks: Vec::new(),
             pending_notes: Vec::new(),
             breaker: Breaker::Closed,
@@ -609,6 +616,17 @@ impl ResponseStage {
     /// [`ResponseStage::with_notify_backend`] for an already-boxed backend.
     pub fn with_boxed_notify_backend(mut self, backend: Box<dyn NotifyBackend>) -> Self {
         self.notify_backend = Some(backend);
+        self
+    }
+
+    /// Publish every block decision into `tap` — the adaptive attacker's
+    /// observation surface (`scenario::adapt::ReactiveGenerator` drains
+    /// it at its round boundaries). Decision-time, not delivery-time:
+    /// what an adversary observes is the defense *choosing* to null-route
+    /// them, and the decision stream is identical across executors and
+    /// unaffected by flaky delivery backends.
+    pub fn with_block_feedback(mut self, tap: FeedbackTap) -> Self {
+        self.feedback = Some(tap);
         self
     }
 
@@ -781,8 +799,9 @@ impl ResponseStage {
                 Err(_) => {
                     self.note_block_failure(attempt_ts);
                     pb.attempts += 1;
-                    let over_deadline =
-                        attempt_ts.saturating_since(pb.first_failure) >= self.retry.deadline;
+                    let over_deadline = self
+                        .retry
+                        .deadline_exceeded(attempt_ts.saturating_since(pb.first_failure));
                     if pb.attempts >= self.retry.max_attempts || over_deadline {
                         self.blocks_abandoned += 1;
                         self.bhr.audit_event(
@@ -821,8 +840,9 @@ impl ResponseStage {
                 Ok(()) => out.push(pn.note),
                 Err(e) => {
                     pn.attempts += 1;
-                    let over_deadline =
-                        attempt_ts.saturating_since(pn.first_failure) >= self.retry.deadline;
+                    let over_deadline = self
+                        .retry
+                        .deadline_exceeded(attempt_ts.saturating_since(pn.first_failure));
                     if pn.attempts >= self.retry.max_attempts || over_deadline {
                         self.notifications_abandoned += 1;
                         self.bhr
@@ -857,6 +877,9 @@ impl ResponseStage {
             if self.block_on_detection {
                 if let Some(src) = o.alert.src {
                     if self.blocked.insert(src) {
+                        if let Some(tap) = &self.feedback {
+                            tap.publish(ts, src);
+                        }
                         let reason =
                             format!("detector: {} at {}", detection.trigger, detection.stage);
                         self.submit_block(ts, src, reason);
@@ -1069,6 +1092,111 @@ mod tests {
         // the stage will not re-decide it, and the audit trail shows why
         // no route exists.
         assert_eq!(resp.blocked_sources(), 1);
+    }
+
+    #[test]
+    fn block_landing_exactly_at_the_deadline_is_not_abandoned() {
+        use bhr::retry::FlakyBackend;
+        // fast_retry (jitter 0) retries at +1s, +3s, +7s, +15s after the
+        // first failure. With deadline = 7s the third retry lands
+        // *exactly* on the boundary: per RetryPolicy ("past it the block
+        // is abandoned") the boundary attempt is still inside the
+        // budget, so a backend that recovers right after it gets probed
+        // again and the block lands.
+        let policy = bhr::retry::RetryPolicy {
+            deadline: SimDuration::from_secs(7),
+            ..fast_retry()
+        };
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(4));
+        let mut resp =
+            ResponseStage::new(bhr.clone(), true, None, "attack-tagger").with_retry(policy, 1);
+        let src: Ipv4Addr = "103.102.2.1".parse().unwrap();
+        let mut notes = Vec::new();
+        resp.respond(None, &[outcome_at(100, "eve", src)], &mut notes);
+        resp.flush(&mut notes);
+        assert_eq!(
+            resp.blocks_abandoned(),
+            0,
+            "the boundary attempt must not be the abandoning one"
+        );
+        assert!(bhr.is_blocked(SimTime::from_secs(200), src), "block landed");
+        assert_eq!(resp.blocks_retried(), 4, "retries at +1, +3, +7, +15");
+    }
+
+    #[test]
+    fn block_failing_past_the_deadline_is_abandoned() {
+        use bhr::retry::FlakyBackend;
+        // Same schedule, one more scripted failure: the +15s retry is
+        // past the 7s deadline, so when it fails the block is abandoned
+        // even though attempts remain.
+        let policy = bhr::retry::RetryPolicy {
+            deadline: SimDuration::from_secs(7),
+            breaker_threshold: 0,
+            ..fast_retry()
+        };
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(5));
+        let mut resp =
+            ResponseStage::new(bhr.clone(), true, None, "attack-tagger").with_retry(policy, 1);
+        let src: Ipv4Addr = "103.102.2.2".parse().unwrap();
+        let mut notes = Vec::new();
+        resp.respond(None, &[outcome_at(100, "eve", src)], &mut notes);
+        resp.flush(&mut notes);
+        assert_eq!(resp.blocks_abandoned(), 1, "past-deadline failure gives up");
+        assert!(!bhr.is_blocked(SimTime::from_secs(200), src));
+        assert!(bhr
+            .audit_log()
+            .iter()
+            .any(|e| e.command == "block-abandoned"));
+    }
+
+    #[test]
+    fn breaker_half_open_probe_fires_exactly_at_the_cooldown_boundary() {
+        use bhr::retry::FlakyBackend;
+        // Two failures trip the breaker (threshold 2, cooldown 30s). A
+        // block submitted while the breaker is open queues its first
+        // attempt for the close instant; the backend has recovered by
+        // then, so the probe at *exactly* `until` must land.
+        let policy = bhr::retry::RetryPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::from_secs(30),
+            ..fast_retry()
+        };
+        let bhr = BhrHandle::with_backend(FlakyBackend::failing_first(2));
+        let mut resp =
+            ResponseStage::new(bhr.clone(), true, None, "attack-tagger").with_retry(policy, 1);
+        let mut notes = Vec::new();
+        let s1: Ipv4Addr = "10.1.0.1".parse().unwrap();
+        let s2: Ipv4Addr = "10.1.0.2".parse().unwrap();
+        let s3: Ipv4Addr = "10.1.0.3".parse().unwrap();
+        resp.respond(None, &[outcome_at(5, "u1", s1)], &mut notes);
+        resp.respond(None, &[outcome_at(5, "u2", s2)], &mut notes);
+        assert!(
+            bhr.audit_log().iter().any(|e| e.command == "circuit-open"),
+            "two consecutive failures trip the breaker"
+        );
+        // Submitted while open: queued untried, probe scheduled for the
+        // breaker close at t = 5 + 30 = 35.
+        resp.respond(None, &[outcome_at(10, "u3", s3)], &mut notes);
+        assert!(!bhr.is_blocked(SimTime::from_secs(34), s3), "held open");
+        // A detection at exactly the boundary closes the breaker and
+        // releases the probe in the same advance.
+        let s4: Ipv4Addr = "10.1.0.4".parse().unwrap();
+        resp.respond(None, &[outcome_at(35, "u4", s4)], &mut notes);
+        let log = bhr.audit_log();
+        let close = log
+            .iter()
+            .find(|e| e.command == "circuit-close")
+            .expect("breaker closed at the boundary");
+        assert_eq!(close.ts, SimTime::from_secs(35));
+        assert!(
+            bhr.is_blocked(SimTime::from_secs(36), s3),
+            "boundary probe landed"
+        );
+        resp.flush(&mut notes);
+        assert_eq!(resp.blocks_abandoned(), 0, "nothing permanently lost");
+        for s in [s1, s2, s3, s4] {
+            assert!(bhr.is_blocked(SimTime::from_secs(100_000), s));
+        }
     }
 
     #[test]

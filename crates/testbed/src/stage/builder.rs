@@ -14,6 +14,7 @@ use detect::attack_tagger::AttackTagger;
 use detect::correlate::{CampaignCorrelator, CorrelationPolicy};
 use detect::rules::RuleBasedDetector;
 use factorgraph::chain::ChainModel;
+use scenario::adapt::FeedbackTap;
 use scenario::faults::{FaultInjector, FaultPlan};
 use simnet::time::{SimDuration, SimTime};
 use telemetry::monitor::Monitor;
@@ -41,6 +42,7 @@ pub struct PipelineBuilder {
     blackouts: Vec<(SimTime, SimTime)>,
     notify_backend: Option<Box<dyn NotifyBackend>>,
     correlation: Option<CorrelationPolicy>,
+    block_feedback: Option<FeedbackTap>,
 }
 
 impl Default for PipelineBuilder {
@@ -70,6 +72,7 @@ impl PipelineBuilder {
             blackouts: Vec::new(),
             notify_backend: None,
             correlation: None,
+            block_feedback: None,
         }
     }
 
@@ -97,6 +100,7 @@ impl PipelineBuilder {
             blackouts: Vec::new(),
             notify_backend: None,
             correlation: None,
+            block_feedback: None,
         }
     }
 
@@ -253,6 +257,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Publish every block decision into `tap` — the detect→respond→adapt
+    /// feedback channel a closed-loop adaptive attacker
+    /// ([`scenario::adapt::ReactiveGenerator`]) observes. A pure side
+    /// channel: detections stay byte-identical with or without the tap.
+    pub fn block_feedback(mut self, tap: FeedbackTap) -> Self {
+        self.block_feedback = Some(tap);
+        self
+    }
+
     /// Assemble the record-stream pipeline.
     pub fn build(mut self) -> BuiltPipeline {
         if let Some(temporal) = &self.tuning.temporal {
@@ -279,6 +292,9 @@ impl PipelineBuilder {
         .with_retry(self.tuning.retry.clone(), self.seed);
         if let Some(backend) = self.notify_backend {
             response = response.with_boxed_notify_backend(backend);
+        }
+        if let Some(tap) = self.block_feedback {
+            response = response.with_block_feedback(tap);
         }
         BuiltPipeline {
             symbolize: SymbolizeStage::new(self.symbolizer),

@@ -1,0 +1,183 @@
+//! Differential and determinism properties of the closed-loop adaptive
+//! attacker (PR 9):
+//!
+//! - the worst-case frontier search is a pure function of its seed —
+//!   identical frontiers (configs attached) across two runs;
+//! - the reactive detect→respond→adapt loop is replayable: same seed,
+//!   same emitted stream, same evolved ground truth, same reactions;
+//! - the recorded closed-loop stream replayed through the inline,
+//!   threaded, and sharded executors reproduces the closed-loop run's
+//!   report byte-for-byte — adaptivity does not break executor
+//!   equivalence;
+//! - ground-truth bookkeeping: every rotated entity is attributed to its
+//!   session, so reactive evasion never inflates background-FP counts.
+
+use proptest::prelude::*;
+use scenario::adapt::ReactivePolicy;
+use scenario::library::standard_library;
+use scenario::mutate::CampaignConfig;
+use simnet::time::SimDuration;
+use testbed::adapt::{run_reactive_campaign, worst_case_frontier, FrontierConfig};
+use testbed::stage::{PipelineBuilder, StreamReport};
+use testbed::TestbedConfig;
+
+fn assert_reports_identical(a: &StreamReport, b: &StreamReport) {
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.filter, b.filter);
+    assert_eq!(a.notifications, b.notifications);
+    assert_eq!(a.retained_alerts, b.retained_alerts);
+    assert_eq!(a.blocked_sources, b.blocked_sources);
+    assert_eq!(a.blocks_retried, b.blocks_retried);
+    assert_eq!(a.blocks_abandoned, b.blocks_abandoned);
+    assert_eq!(a.campaigns, b.campaigns);
+    assert_eq!(a.correlated_promotions, b.correlated_promotions);
+    assert_eq!(a.correlated_confirmations, b.correlated_confirmations);
+}
+
+fn reactive_campaign_cfg(sessions: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        sessions,
+        horizon: SimDuration::from_hours(12),
+        families: standard_library(),
+        ..CampaignConfig::default()
+    };
+    // No decoys: every session is a real kill chain, so rotations are
+    // about evading response, not mimicry.
+    cfg.mutation.decoy_prob = 0.0;
+    // Stretch sessions enough that blocks land mid-session.
+    cfg.mutation.dilation = 4.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The frontier search replays exactly under any seed.
+    #[test]
+    fn frontier_is_seed_deterministic(seed in 0u64..10_000) {
+        let cfg = TestbedConfig { seed, ..TestbedConfig::default() };
+        let model = detect::train::toy_training_model();
+        let families = standard_library();
+        let fcfg = FrontierConfig {
+            probes: 2,
+            sessions: 6,
+            horizon: SimDuration::from_hours(6),
+            ..FrontierConfig::default()
+        };
+        let a = worst_case_frontier(&cfg, &model, &families[..1], &fcfg);
+        let b = worst_case_frontier(&cfg, &model, &families[..1], &fcfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The reactive closed loop replays exactly under any seed: emitted
+    /// stream, evolved ground truth, attacker reactions, and the
+    /// pipeline report all match.
+    #[test]
+    fn reactive_loop_is_seed_deterministic(seed in 0u64..10_000) {
+        let cfg = TestbedConfig { seed, ..TestbedConfig::default() };
+        let ccfg = reactive_campaign_cfg(10);
+        let run = || run_reactive_campaign(
+            &cfg,
+            &ccfg,
+            detect::train::toy_training_model(),
+            Some(ReactivePolicy::default()),
+            SimDuration::from_mins(10),
+        );
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(&a.truth, &b.truth);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.rounds, b.rounds);
+        assert_reports_identical(&a.stream, &b.stream);
+    }
+}
+
+/// The block feedback actually reaches the attacker: under the default
+/// reactive policy a blocking pipeline causes rotations, fresh entities
+/// appear in ground truth, and no emitted attack step is unattributable.
+#[test]
+fn reactive_loop_rotates_and_truth_attributes_rotated_entities() {
+    let cfg = TestbedConfig::default();
+    let ccfg = reactive_campaign_cfg(16);
+    let run = run_reactive_campaign(
+        &cfg,
+        &ccfg,
+        detect::train::toy_training_model(),
+        Some(ReactivePolicy::default()),
+        SimDuration::from_mins(10),
+    );
+    assert!(
+        run.stats.rotations > 0,
+        "a blocking pipeline must trigger rotations: {:?}",
+        run.stats
+    );
+    assert!(run.stats.fresh_entities >= run.stats.rotations);
+    for s in &run.truth.sessions {
+        assert_eq!(s.step_entities.len(), s.steps.len());
+        for &e in &s.step_entities {
+            assert!(e < s.entity_keys.len(), "step entity attributed");
+        }
+    }
+    // Rotated entities are part of session truth, not background: with
+    // zero background records there is nothing to count an FP against.
+    assert_eq!(run.truth.background_records, 0);
+    assert_eq!(
+        run.eval.background_false_positives, 0,
+        "rotated-entity detections must not leak into background FPs"
+    );
+}
+
+/// The open-loop arm of the harness emits the planned campaign unchanged
+/// and never reacts — the paired baseline is honest.
+#[test]
+fn open_loop_arm_never_reacts() {
+    let cfg = TestbedConfig::default();
+    let ccfg = reactive_campaign_cfg(10);
+    let run = run_reactive_campaign(
+        &cfg,
+        &ccfg,
+        detect::train::toy_training_model(),
+        None,
+        SimDuration::from_mins(10),
+    );
+    assert_eq!(run.stats.rotations, 0);
+    assert_eq!(run.stats.fresh_entities, 0);
+    let replan =
+        scenario::mutate::generate_campaign(&ccfg, &mut simnet::rng::SimRng::seed(cfg.seed));
+    assert_eq!(
+        run.records, replan.records,
+        "open loop emits exactly the planned stream"
+    );
+    assert_eq!(run.truth, replan.truth);
+}
+
+/// Executor equivalence survives adaptivity: replaying the recorded
+/// closed-loop stream through all three executors reproduces the
+/// closed-loop report exactly. The pipeline is a pure function of its
+/// record stream; the feedback tap is a side channel.
+#[test]
+fn reactive_stream_replays_identically_through_all_executors() {
+    let cfg = TestbedConfig::default();
+    let ccfg = reactive_campaign_cfg(12);
+    let run = run_reactive_campaign(
+        &cfg,
+        &ccfg,
+        detect::train::toy_training_model(),
+        Some(ReactivePolicy::default()),
+        SimDuration::from_mins(10),
+    );
+    assert!(run.stats.rotations > 0, "exercise the adapted stream");
+    let replay = |f: fn(PipelineBuilder, Vec<telemetry::record::LogRecord>) -> StreamReport| {
+        f(
+            PipelineBuilder::from_config(&cfg, detect::train::toy_training_model()),
+            run.records.clone(),
+        )
+    };
+    let inline = replay(|b, r| b.build().run_inline(r));
+    let threaded = replay(|b, r| b.build().run_threaded(r));
+    let sharded = replay(|b, r| b.detect_shards(4).build().run_sharded(r));
+    assert_reports_identical(&run.stream, &inline);
+    assert_reports_identical(&run.stream, &threaded);
+    assert_reports_identical(&run.stream, &sharded);
+}
