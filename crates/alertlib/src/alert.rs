@@ -19,7 +19,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::time::SimTime;
 use simnet::topology::HostId;
 
@@ -79,19 +79,40 @@ impl EntityId {
 
     /// The canonical key string (`user:…` / `addr:…` / `unknown`) —
     /// allocation on purpose; reports and ground-truth tables only.
+    /// Resolves user symbols against the global scope; snapshot paths
+    /// carrying tenant-scoped ids use [`EntityId::key_in`].
     pub fn key(self) -> String {
-        self.entity().key()
+        self.key_in(&SymScope::global())
+    }
+
+    /// [`EntityId::key`] against an explicit symbol scope. Rebuilds the
+    /// user handle via [`SymScope::sym_from_id`] (not
+    /// [`EntityId::entity`], whose handles are global-tagged) so
+    /// tenant-scoped ids resolve against the table that minted them.
+    pub fn key_in(self, scope: &SymScope) -> String {
+        let payload = self.0 as u32;
+        match self.0 & !0xFFFF_FFFF {
+            TAG_USER => format!("user:{}", scope.resolve(scope.sym_from_id(payload))),
+            TAG_ADDR => format!("addr:{}", Ipv4Addr::from(payload)),
+            _ => "unknown".to_string(),
+        }
     }
 
     /// Parse a canonical key string back to an id (interning the user
     /// name if it has not been seen). The ground-truth hooks accept keys
     /// so evaluation harnesses can keep using strings at the boundary.
     pub fn from_key(key: &str) -> Option<EntityId> {
+        EntityId::from_key_in(key, &SymScope::global())
+    }
+
+    /// [`EntityId::from_key`] interning the user name into an explicit
+    /// scope — the restore path of tenant snapshots.
+    pub fn from_key_in(key: &str, scope: &SymScope) -> Option<EntityId> {
         if key == "unknown" {
             return Some(Entity::Unknown.id());
         }
         if let Some(user) = key.strip_prefix("user:") {
-            return Some(Entity::User(user.into()).id());
+            return Some(Entity::User(scope.sym(user)).id());
         }
         if let Some(addr) = key.strip_prefix("addr:") {
             return addr
@@ -105,10 +126,16 @@ impl EntityId {
 
 impl Entity {
     /// Canonical string key for reports, ground truth and sessionization
-    /// *boundaries*. Hot paths key by [`Entity::id`] instead.
+    /// *boundaries*. Hot paths key by [`Entity::id`] instead. Resolves
+    /// user symbols against the global scope; see [`Entity::key_in`].
     pub fn key(&self) -> String {
+        self.key_in(&SymScope::global())
+    }
+
+    /// [`Entity::key`] against an explicit symbol scope.
+    pub fn key_in(&self, scope: &SymScope) -> String {
         match self {
-            Entity::User(u) => format!("user:{u}"),
+            Entity::User(u) => format!("user:{}", scope.resolve(*u)),
             Entity::Address(a) => format!("addr:{a}"),
             Entity::Unknown => "unknown".to_string(),
         }
@@ -132,6 +159,24 @@ impl Entity {
         }
     }
 
+    /// The user name resolved against an explicit scope.
+    pub fn user_in<'a>(&self, scope: &'a SymScope) -> Option<&'a str> {
+        match self {
+            Entity::User(u) => Some(scope.resolve(*u)),
+            _ => None,
+        }
+    }
+
+    /// A `Display` adapter resolving user symbols against an explicit
+    /// scope — what notification/report formatting uses when the entity
+    /// came from a tenant-scoped record.
+    pub fn display_in<'a>(&'a self, scope: &'a SymScope) -> impl fmt::Display + 'a {
+        ScopedEntityDisplay {
+            entity: self,
+            scope,
+        }
+    }
+
     /// Stable 64-bit hash of the entity, for partitioning per-entity work
     /// (detector shards). All alerts of one entity land on the same shard,
     /// which is what makes per-entity detector state shardable at all
@@ -149,6 +194,21 @@ impl fmt::Display for Entity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Entity::User(u) => write!(f, "user {u}"),
+            Entity::Address(a) => write!(f, "address {a}"),
+            Entity::Unknown => write!(f, "unknown entity"),
+        }
+    }
+}
+
+struct ScopedEntityDisplay<'a> {
+    entity: &'a Entity,
+    scope: &'a SymScope,
+}
+
+impl fmt::Display for ScopedEntityDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.entity {
+            Entity::User(u) => write!(f, "user {}", self.scope.resolve(*u)),
             Entity::Address(a) => write!(f, "address {a}"),
             Entity::Unknown => write!(f, "unknown entity"),
         }

@@ -13,13 +13,19 @@
 //! Sanitization (§II-A) happens at render time: [`MessageSpec::render`]
 //! applies [`SanitizeConfig::default`], and [`MessageSpec::render_with`]
 //! takes an explicit config for deployments that tune scrubbing.
+//!
+//! Symbols in a spec are resolved at render time too, against an explicit
+//! [`SymScope`]: [`MessageSpec::render_in`]/[`render_with_in`]
+//! (MessageSpec::render_with_in) render a spec whose symbols were minted
+//! in a tenant scope; the scope-less [`MessageSpec::render`]/`Display`
+//! path resolves against the global scope, as before.
 
 use std::fmt;
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 use simnet::flow::{ConnState, Proto};
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope, SymTable};
 
 use crate::sanitize::{sanitize, SanitizeConfig};
 
@@ -92,13 +98,15 @@ impl MessageSpec {
         matches!(self, MessageSpec::Empty)
     }
 
-    /// Write the *raw* (unsanitized) message into `out`.
-    fn write_raw(&self, out: &mut String) {
+    /// Write the *raw* (unsanitized) message into `out`, resolving
+    /// symbols against `table`.
+    fn write_raw(&self, table: &SymTable, out: &mut String) {
         use std::fmt::Write as _;
+        let r = |s: Sym| table.resolve(s);
         match *self {
             MessageSpec::Empty => {}
             MessageSpec::Static(s) => out.push_str(s),
-            MessageSpec::Text(s) => out.push_str(s.as_str()),
+            MessageSpec::Text(s) => out.push_str(r(s)),
             MessageSpec::Probe {
                 proto,
                 resp_h,
@@ -125,13 +133,13 @@ impl MessageSpec {
                 uri,
                 status,
             } => {
-                let _ = write!(out, "{method} {host}{uri} ({status})");
+                let _ = write!(out, "{} {}{} ({status})", r(method), r(host), r(uri));
             }
             MessageSpec::SshFailed { orig_h } => {
                 let _ = write!(out, "failed ssh auth from {orig_h}");
             }
             MessageSpec::GhostLogin { user } => {
-                let _ = write!(out, "ghost account {user} login");
+                let _ = write!(out, "ghost account {} login", r(user));
             }
             MessageSpec::InternalSsh { orig_h, resp_h } => {
                 let _ = write!(out, "internal ssh {orig_h} -> {resp_h}");
@@ -140,45 +148,60 @@ impl MessageSpec {
                 let _ = write!(out, "login at {hour:02}h");
             }
             MessageSpec::Exec { hostname, cmdline } => {
-                let _ = write!(out, "[{hostname}] {cmdline}");
+                let _ = write!(out, "[{}] {}", r(hostname), r(cmdline));
             }
             MessageSpec::FileOp { verb, path } => {
-                let _ = write!(out, "{verb} {path}");
+                let _ = write!(out, "{verb} {}", r(path));
             }
             MessageSpec::FileDrop { path, process } => {
-                let _ = write!(out, "drop {path} by {process}");
+                let _ = write!(out, "drop {} by {}", r(path), r(process));
             }
             MessageSpec::DbDefaultCred { user } => {
-                let _ = write!(out, "db auth as default account {user}");
+                let _ = write!(out, "db auth as default account {}", r(user));
             }
             MessageSpec::DbAuthFailed { user } => {
-                let _ = write!(out, "db auth failed for {user}");
+                let _ = write!(out, "db auth failed for {}", r(user));
             }
             MessageSpec::ElfBlob { bytes, hex_prefix } => {
                 let _ = write!(
                     out,
-                    "largeobject ELF payload ({bytes}B) prefix={hex_prefix}"
+                    "largeobject ELF payload ({bytes}B) prefix={}",
+                    r(hex_prefix)
                 );
             }
             MessageSpec::LoExport { path } => {
-                let _ = write!(out, "lo_export to {path}");
+                let _ = write!(out, "lo_export to {}", r(path));
             }
             MessageSpec::CopyFromProgram { program } => {
-                let _ = write!(out, "COPY FROM PROGRAM '{program}'");
+                let _ = write!(out, "COPY FROM PROGRAM '{}'", r(program));
             }
             MessageSpec::Setuid { hostname, user } => {
-                let _ = write!(out, "[{hostname}] setuid(0) by {user}");
+                let _ = write!(out, "[{}] setuid(0) by {}", r(hostname), r(user));
             }
             MessageSpec::MonitorPtrace { hostname } => {
-                let _ = write!(out, "[{hostname}] ptrace on monitor");
+                let _ = write!(out, "[{}] ptrace on monitor", r(hostname));
             }
         }
     }
 
-    /// Render and sanitize with an explicit config.
+    /// Render and sanitize with an explicit config, resolving symbols
+    /// against an explicit scope — required when the spec's symbols were
+    /// minted in a tenant scope rather than the global one.
+    pub fn render_with_in(&self, cfg: &SanitizeConfig, scope: &SymScope) -> String {
+        let mut raw = String::new();
+        self.write_raw(scope.table(), &mut raw);
+        sanitize(cfg, &raw)
+    }
+
+    /// Render with [`SanitizeConfig::default`] in an explicit scope.
+    pub fn render_in(&self, scope: &SymScope) -> String {
+        self.render_with_in(&SanitizeConfig::default(), scope)
+    }
+
+    /// Render and sanitize with an explicit config (global scope).
     pub fn render_with(&self, cfg: &SanitizeConfig) -> String {
         let mut raw = String::new();
-        self.write_raw(&mut raw);
+        self.write_raw(simnet::intern::global(), &mut raw);
         sanitize(cfg, &raw)
     }
 

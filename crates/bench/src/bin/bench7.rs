@@ -218,7 +218,7 @@ fn main() {
                 std::collections::HashMap::new();
             for note in &inline.notifications {
                 let e = first_detection
-                    .entry(note.entity.key())
+                    .entry(note.entity.clone())
                     .or_insert(note.detection.ts);
                 *e = (*e).min(note.detection.ts);
             }

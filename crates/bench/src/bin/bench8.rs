@@ -37,7 +37,7 @@ use bench::detection_bytes;
 use detect::attack_tagger::{AttackTagger, TaggerConfig, TemporalPolicy};
 use detect::train::toy_training_model;
 use simnet::alloc_count::{allocations, CountingAllocator};
-use simnet::intern::TenantId;
+use simnet::intern::{SymScope, TenantId};
 use simnet::time::{SimDuration, SimTime};
 use telemetry::record::{LogRecord, ProcessRecord};
 use testbed::stage::{BuiltPipeline, PipelineBuilder};
@@ -109,7 +109,7 @@ fn churn_workload(entities: usize) -> (Vec<LogRecord>, usize) {
     (records, attackers)
 }
 
-fn pipeline(max_entities: usize) -> BuiltPipeline {
+fn pipeline(max_entities: usize, scope: SymScope) -> BuiltPipeline {
     PipelineBuilder::new()
         .tagger(AttackTagger::new(
             toy_training_model(),
@@ -120,11 +120,14 @@ fn pipeline(max_entities: usize) -> BuiltPipeline {
             ..TemporalPolicy::default()
         })
         .detect_max_entities(max_entities)
+        .scope(scope)
         .build()
 }
 
 fn service(max_entities: usize) -> ServiceHandle {
-    ServiceHandle::spawn(ServiceConfig::default(), move || pipeline(max_entities))
+    ServiceHandle::spawn(ServiceConfig::default(), move |_, scope| {
+        pipeline(max_entities, scope)
+    })
 }
 
 fn ingest_all(svc: &ServiceHandle, tenant: TenantId, records: &[LogRecord]) {
@@ -147,10 +150,10 @@ fn main() {
 
     // Detection neutrality: bounded vs unbounded, byte for byte.
     let t0 = Instant::now();
-    let unbounded = pipeline(0).run_inline(records.clone());
+    let unbounded = pipeline(0, SymScope::global()).run_inline(records.clone());
     let unbounded_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let bounded = pipeline(BUDGET).run_inline(records.clone());
+    let bounded = pipeline(BUDGET, SymScope::global()).run_inline(records.clone());
     let bounded_s = t0.elapsed().as_secs_f64();
     let byte_identical = detection_bytes(&bounded) == detection_bytes(&unbounded)
         && bounded.stats == unbounded.stats;

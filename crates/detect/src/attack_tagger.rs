@@ -680,13 +680,20 @@ impl AttackTagger {
 
     /// Serialize the per-entity posteriors (and eviction side state) for
     /// a service snapshot. Deterministic: entities and latches are sorted
-    /// by canonical key.
+    /// by canonical key. Resolves entity keys against the global scope;
+    /// tenant pipelines use [`AttackTagger::export_state_in`].
     pub fn export_state(&self) -> TaggerSnapshot {
+        self.export_state_in(&simnet::intern::SymScope::global())
+    }
+
+    /// [`AttackTagger::export_state`] resolving user symbols against an
+    /// explicit scope.
+    pub fn export_state_in(&self, scope: &simnet::intern::SymScope) -> TaggerSnapshot {
         let mut entities: Vec<EntityStateSnapshot> = self
             .states
             .iter()
             .map(|(id, s)| EntityStateSnapshot {
-                entity: id.key(),
+                entity: id.key_in(scope),
                 alpha: s.alpha.clone(),
                 steps: s.steps,
                 detected: s.detected,
@@ -696,8 +703,11 @@ impl AttackTagger {
             })
             .collect();
         entities.sort_by(|a, b| a.entity.cmp(&b.entity));
-        let mut evicted_latches: Vec<String> =
-            self.evicted_latches.iter().map(|id| id.key()).collect();
+        let mut evicted_latches: Vec<String> = self
+            .evicted_latches
+            .iter()
+            .map(|id| id.key_in(scope))
+            .collect();
         evicted_latches.sort();
         TaggerSnapshot {
             entities,
@@ -717,10 +727,16 @@ impl AttackTagger {
     /// Panics on a malformed snapshot (unparsable entity key or wrong
     /// posterior arity) — a snapshot is a trusted artifact, not input.
     pub fn import_state(&mut self, snap: &TaggerSnapshot) {
+        self.import_state_in(snap, &simnet::intern::SymScope::global())
+    }
+
+    /// [`AttackTagger::import_state`] interning user symbols into an
+    /// explicit scope.
+    pub fn import_state_in(&mut self, snap: &TaggerSnapshot, scope: &simnet::intern::SymScope) {
         self.states.clear();
         self.evicted_latches.clear();
         for e in &snap.entities {
-            let id = EntityId::from_key(&e.entity)
+            let id = EntityId::from_key_in(&e.entity, scope)
                 .unwrap_or_else(|| panic!("snapshot entity key {:?} is malformed", e.entity));
             assert_eq!(e.alpha.len(), Stage::COUNT, "snapshot posterior arity");
             let mut recent = [(SimTime::EPOCH, DEDUP_EMPTY); DEDUP_SLOTS];
@@ -740,7 +756,7 @@ impl AttackTagger {
             );
         }
         for key in &snap.evicted_latches {
-            let id = EntityId::from_key(key)
+            let id = EntityId::from_key_in(key, scope)
                 .unwrap_or_else(|| panic!("snapshot latch key {key:?} is malformed"));
             self.evicted_latches.insert(id);
         }

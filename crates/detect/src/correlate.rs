@@ -470,6 +470,12 @@ impl CampaignState {
 #[derive(Debug, Clone)]
 pub struct CampaignCorrelator {
     policy: CorrelationPolicy,
+    /// The scope entity-key symbols resolve against in reports and
+    /// default snapshots — global unless [`set_scope`] rebinds a
+    /// tenant-scoped pipeline's correlator.
+    ///
+    /// [`set_scope`]: CampaignCorrelator::set_scope
+    scope: simnet::intern::SymScope,
     /// The tagger's chain model, when attached — enables stitched
     /// sequence re-scoring of merged campaign step rings. Without it the
     /// correlator falls back to posterior fusion alone.
@@ -506,6 +512,7 @@ impl CampaignCorrelator {
     pub fn new(policy: CorrelationPolicy) -> CampaignCorrelator {
         CampaignCorrelator {
             policy,
+            scope: simnet::intern::SymScope::global(),
             model: None,
             decision_stages: Vec::new(),
             entities: FxHashMap::default(),
@@ -539,6 +546,19 @@ impl CampaignCorrelator {
 
     pub fn policy(&self) -> &CorrelationPolicy {
         &self.policy
+    }
+
+    /// Bind the scope this correlator's alerts are minted in. Report
+    /// rendering ([`summaries`](Self::summaries) and friends) and the
+    /// no-arg snapshot pair resolve entity keys against it; the default
+    /// is the global scope, so only tenant pipelines need to call this.
+    pub fn set_scope(&mut self, scope: simnet::intern::SymScope) {
+        self.scope = scope;
+    }
+
+    /// The scope report rendering resolves against.
+    pub fn scope(&self) -> &simnet::intern::SymScope {
+        &self.scope
     }
 
     /// Detections promoted by campaign fusion so far.
@@ -954,19 +974,20 @@ impl CampaignCorrelator {
     /// canonical order, campaigns ordered by id. Allocates (report-time
     /// only, never on the per-alert path).
     pub fn summaries(&self) -> Vec<CampaignSummary> {
+        let scope = &self.scope;
         let mut out: Vec<CampaignSummary> = self
             .campaigns
             .iter()
             .map(|(&id, c)| {
-                let mut members: Vec<String> = c.members.iter().map(|m| m.key()).collect();
+                let mut members: Vec<String> = c.members.iter().map(|m| m.key_in(scope)).collect();
                 members.sort_unstable();
                 let mut links: Vec<LinkSummary> = c
                     .links
                     .iter()
                     .map(|l| LinkSummary {
                         ts: l.ts,
-                        a: l.a.key(),
-                        b: l.b.key(),
+                        a: l.a.key_in(scope),
+                        b: l.b.key_in(scope),
                         kind: l.kind,
                     })
                     .collect();
@@ -991,7 +1012,7 @@ impl CampaignCorrelator {
             .campaigns
             .values()
             .map(|c| {
-                let mut m: Vec<String> = c.members.iter().map(|e| e.key()).collect();
+                let mut m: Vec<String> = c.members.iter().map(|e| e.key_in(&self.scope)).collect();
                 m.sort_unstable();
                 m
             })
@@ -1008,7 +1029,7 @@ impl CampaignCorrelator {
             .campaigns
             .values()
             .flat_map(|c| c.links.iter())
-            .map(|l| (l.a.key(), l.b.key(), l.kind))
+            .map(|l| (l.a.key_in(&self.scope), l.b.key_in(&self.scope), l.kind))
             .collect();
         out.sort();
         out.dedup();
@@ -1019,11 +1040,18 @@ impl CampaignCorrelator {
     /// deterministically ordered snapshot (see [`CorrelatorSnapshot`]).
     /// Allocates — snapshot/report time only, never on the alert path.
     pub fn export_state(&self) -> CorrelatorSnapshot {
+        self.export_state_in(&self.scope)
+    }
+
+    /// [`export_state`](Self::export_state) resolving entity keys and
+    /// palette payloads against an explicit scope — required when the
+    /// correlator's alerts were minted in a tenant scope.
+    pub fn export_state_in(&self, scope: &simnet::intern::SymScope) -> CorrelatorSnapshot {
         let mut entities: Vec<CorrelatorEntitySnapshot> = self
             .entities
             .iter()
             .map(|(&id, n)| CorrelatorEntitySnapshot {
-                entity: id.key(),
+                entity: id.key_in(scope),
                 campaign: n.campaign,
                 mass: n.mass,
                 last_ts: n.last_ts,
@@ -1038,7 +1066,7 @@ impl CampaignCorrelator {
             .keys
             .iter()
             .map(|(&key, ring)| {
-                let (kind, addr, palette) = decode_join_key(key);
+                let (kind, addr, palette) = decode_join_key(key, scope);
                 JoinKeySnapshot {
                     kind,
                     addr,
@@ -1046,7 +1074,7 @@ impl CampaignCorrelator {
                     slots: ring
                         .slots
                         .iter()
-                        .map(|s| s.map(|(id, ts)| (id.key(), ts)))
+                        .map(|s| s.map(|(id, ts)| (id.key_in(scope), ts)))
                         .collect(),
                     head: ring.head,
                 }
@@ -1062,18 +1090,18 @@ impl CampaignCorrelator {
                     // post-merge support — attribution is absent in both.
                     (None, c.best.1)
                 } else {
-                    (Some(EntityId::from_raw(c.best.0).key()), c.best.1)
+                    (Some(EntityId::from_raw(c.best.0).key_in(scope)), c.best.1)
                 };
                 CampaignSnapshot {
                     id,
-                    members: c.members.iter().map(|m| m.key()).collect(),
+                    members: c.members.iter().map(|m| m.key_in(scope)).collect(),
                     links: c
                         .links
                         .iter()
                         .map(|l| LinkSummary {
                             ts: l.ts,
-                            a: l.a.key(),
-                            b: l.b.key(),
+                            a: l.a.key_in(scope),
+                            b: l.b.key_in(scope),
                             kind: l.kind,
                         })
                         .collect(),
@@ -1087,8 +1115,11 @@ impl CampaignCorrelator {
             })
             .collect();
         campaigns.sort_by_key(|c| c.id);
-        let mut promoted_latches: Vec<String> =
-            self.promoted_latches.iter().map(|id| id.key()).collect();
+        let mut promoted_latches: Vec<String> = self
+            .promoted_latches
+            .iter()
+            .map(|id| id.key_in(scope))
+            .collect();
         promoted_latches.sort_unstable();
         CorrelatorSnapshot {
             entities,
@@ -1108,8 +1139,15 @@ impl CampaignCorrelator {
     /// Panics on a malformed snapshot (unparseable key, wrong ring
     /// arity) — snapshots are trusted state, not user input.
     pub fn import_state(&mut self, snap: &CorrelatorSnapshot) {
-        let from_key =
-            |k: &str| EntityId::from_key(k).unwrap_or_else(|| panic!("bad entity key {k:?}"));
+        self.import_state_in(snap, &self.scope.clone());
+    }
+
+    /// [`import_state`](Self::import_state) re-interning entity keys and
+    /// palette payloads into an explicit scope.
+    pub fn import_state_in(&mut self, snap: &CorrelatorSnapshot, scope: &simnet::intern::SymScope) {
+        let from_key = |k: &str| {
+            EntityId::from_key_in(k, scope).unwrap_or_else(|| panic!("bad entity key {k:?}"))
+        };
         self.entities.clear();
         self.keys.clear();
         self.campaigns.clear();
@@ -1138,8 +1176,10 @@ impl CampaignCorrelator {
                 *slot = s.as_ref().map(|(key, ts)| (from_key(key), *ts));
             }
             ring.head = k.head;
-            self.keys
-                .insert(encode_join_key(k.kind, k.addr, k.palette.as_deref()), ring);
+            self.keys.insert(
+                encode_join_key(k.kind, k.addr, k.palette.as_deref(), scope),
+                ring,
+            );
         }
         for c in &snap.campaigns {
             let best = match &c.best_key {
@@ -1297,9 +1337,9 @@ fn join_keys(alert: &Alert) -> [Option<(u64, LinkKind)>; 4] {
 }
 
 /// Decompose a compact join key for snapshots: palette payloads resolve
-/// to their interned string (sym ids are process-local), the rest keep
+/// to their interned string (sym ids are scope-local), the rest keep
 /// their raw 32-bit payload.
-fn decode_join_key(key: u64) -> (LinkKind, u32, Option<String>) {
+fn decode_join_key(key: u64, scope: &simnet::intern::SymScope) -> (LinkKind, u32, Option<String>) {
     let payload = key as u32;
     match key & !0xFFFF_FFFF {
         JK_VICTIM => (LinkKind::Victim, payload, None),
@@ -1308,22 +1348,27 @@ fn decode_join_key(key: u64) -> (LinkKind, u32, Option<String>) {
         JK_PALETTE => (
             LinkKind::Palette,
             0,
-            Some(simnet::intern::Sym::from_id(payload).to_string()),
+            Some(scope.resolve(scope.sym_from_id(payload)).to_string()),
         ),
         _ => unreachable!("join key with unknown tag"),
     }
 }
 
 /// Rebuild a compact join key from its snapshot form, re-interning
-/// palette payloads in this process.
-fn encode_join_key(kind: LinkKind, addr: u32, palette: Option<&str>) -> u64 {
+/// palette payloads in the restoring scope.
+fn encode_join_key(
+    kind: LinkKind,
+    addr: u32,
+    palette: Option<&str>,
+    scope: &simnet::intern::SymScope,
+) -> u64 {
     match kind {
         LinkKind::Victim => JK_VICTIM | u64::from(addr),
         LinkKind::Source => JK_SOURCE | u64::from(addr),
         LinkKind::Host => JK_HOST | u64::from(addr),
         LinkKind::Palette => {
             let s = palette.expect("palette join key without payload");
-            JK_PALETTE | u64::from(simnet::intern::Sym::new(s).id())
+            JK_PALETTE | u64::from(scope.sym(s).id())
         }
     }
 }
@@ -1392,10 +1437,34 @@ impl CorrelatedTagger {
         (self.tagger.export_state(), self.correlator.export_state())
     }
 
+    /// [`export_state`](Self::export_state) resolving interned keys
+    /// against an explicit scope (tenant pipelines).
+    pub fn export_state_in(
+        &self,
+        scope: &simnet::intern::SymScope,
+    ) -> (TaggerSnapshot, CorrelatorSnapshot) {
+        (
+            self.tagger.export_state_in(scope),
+            self.correlator.export_state_in(scope),
+        )
+    }
+
     /// Restore tagger + correlator state from a snapshot pair.
     pub fn import_state(&mut self, tagger: &TaggerSnapshot, correlator: &CorrelatorSnapshot) {
         self.tagger.import_state(tagger);
         self.correlator.import_state(correlator);
+    }
+
+    /// [`import_state`](Self::import_state) re-interning keys into an
+    /// explicit scope.
+    pub fn import_state_in(
+        &mut self,
+        tagger: &TaggerSnapshot,
+        correlator: &CorrelatorSnapshot,
+        scope: &simnet::intern::SymScope,
+    ) {
+        self.tagger.import_state_in(tagger, scope);
+        self.correlator.import_state_in(correlator, scope);
     }
 }
 

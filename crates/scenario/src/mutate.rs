@@ -218,8 +218,19 @@ impl MutatedSession {
     /// for the formatted message — the campaign generator's scratch-buffer
     /// path (one `String` serves every session of a campaign).
     pub fn records_into(&self, out: &mut Vec<LogRecord>, scratch: &mut String) {
+        self.records_into_scoped(&simnet::intern::SymScope::global(), out, scratch)
+    }
+
+    /// [`MutatedSession::records_into`] minting symbols into an explicit
+    /// scope.
+    pub fn records_into_scoped(
+        &self,
+        scope: &simnet::intern::SymScope,
+        out: &mut Vec<LogRecord>,
+        scratch: &mut String,
+    ) {
         use std::fmt::Write as _;
-        let family: Sym = self.family.as_str().into();
+        let family: Sym = scope.sym(self.family.as_str());
         out.reserve(self.steps.len());
         for s in &self.steps {
             let symbol = s.kind.symbol();
@@ -227,8 +238,8 @@ impl MutatedSession {
             let _ = write!(scratch, "campaign session {} {}", self.id, symbol);
             out.push(LogRecord::Notice(NoticeRecord {
                 ts: self.start.saturating_add(s.offset),
-                note: NoticeKind::Custom(symbol.into()),
-                msg: scratch.as_str().into(),
+                note: NoticeKind::Custom(scope.sym(symbol)),
+                msg: scope.sym(scratch.as_str()),
                 src: self.entities[s.entity],
                 dst: Some(self.victim),
                 sub: family,

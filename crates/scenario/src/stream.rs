@@ -14,7 +14,7 @@
 //! entity popularity, not a uniform idealization.
 
 use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::rng::{SimRng, Zipf};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
@@ -83,15 +83,26 @@ const INDICATIVE_CMDS: &[&str] = &[
     "crontab /tmp/cron.txt",
 ];
 
-/// Generate a time-ordered mixed record stream.
+/// Generate a time-ordered mixed record stream in the global scope.
 ///
 /// Allocation-light by construction: command/exe palettes, hostnames and
 /// the user population are interned once up front (reused verbatim across
-/// calls — the global [`Sym`] table deduplicates), scanner addresses are
+/// calls — the [`Sym`] table deduplicates), scanner addresses are
 /// computed numerically instead of `format!`+parse, and each emitted
 /// record is a flat `Sym`-carrying value. The only per-call heap cost is
 /// the records vector itself.
 pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecord> {
+    record_stream_in(&SymScope::global(), cfg, rng)
+}
+
+/// [`record_stream`] minting its palettes into an explicit scope — what a
+/// tenant pipeline feeds on so the stream's symbols live (and die) with
+/// the tenant.
+pub fn record_stream_in(
+    scope: &SymScope,
+    cfg: &RecordStreamConfig,
+    rng: &mut SimRng,
+) -> Vec<LogRecord> {
     use std::fmt::Write as _;
 
     let total = cfg.scan_records + cfg.benign_flows + cfg.exec_records;
@@ -148,22 +159,22 @@ pub fn record_stream(cfg: &RecordStreamConfig, rng: &mut SimRng) -> Vec<LogRecor
     let zipf = Zipf::new(users, cfg.zipf_exponent);
     // Interned palettes: one intern per distinct string per process, one
     // scratch buffer for the formatted names.
-    let benign_cmds: Vec<Sym> = BENIGN_CMDS.iter().map(|c| Sym::new(c)).collect();
-    let indicative_cmds: Vec<Sym> = INDICATIVE_CMDS.iter().map(|c| Sym::new(c)).collect();
-    let exe: Sym = Sym::new("/bin/bash");
+    let benign_cmds: Vec<Sym> = BENIGN_CMDS.iter().map(|c| scope.sym(c)).collect();
+    let indicative_cmds: Vec<Sym> = INDICATIVE_CMDS.iter().map(|c| scope.sym(c)).collect();
+    let exe: Sym = scope.sym("/bin/bash");
     let mut scratch = String::new();
     let hostnames: Vec<Sym> = (0..64u32)
         .map(|h| {
             scratch.clear();
             let _ = write!(scratch, "compute-{h}");
-            Sym::new(&scratch)
+            scope.sym(&scratch)
         })
         .collect();
     let user_names: Vec<Sym> = (0..users)
         .map(|rank| {
             scratch.clear();
             let _ = write!(scratch, "user{rank:05}");
-            Sym::new(&scratch)
+            scope.sym(&scratch)
         })
         .collect();
     for i in 0..cfg.exec_records {

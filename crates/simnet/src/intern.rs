@@ -10,43 +10,60 @@
 //!   hashing and moving a `Sym` never touches the heap; resolving one
 //!   (`as_str`, `Deref<Target = str>`) returns a `&'static str` backed by
 //!   the process-wide table.
-//! - [`SymTable`] — the append-only table itself. The process-wide
-//!   instance ([`global`]) is what `Sym::from`/[`intern`] use; its contents
-//!   can be snapshotted for reports ([`SymTable::snapshot`]).
-//! - [`TenantSymbols`] — a registry of per-tenant scoped tables for the
+//! - [`SymTable`] — the append-only table itself: one implementation
+//!   backing *every* interning scope in the process.
+//! - [`SymScope`] — a cheap clonable handle to one table. The process-wide
+//!   default scope ([`SymScope::global`]) is what `Sym::from`/[`intern`]
+//!   use; tenant scopes are the same type with a bounded lifetime.
+//! - [`TenantSymbols`] — a registry of per-tenant [`SymScope`]s for the
 //!   always-on service mode: each tenant's symbol universe lives in its own
-//!   table and is *freed* when the tenant is evicted, unlike the global
-//!   table whose entries live for the process.
+//!   scope and is *freed* when the tenant is evicted, unlike the global
+//!   scope whose entries live for the process.
 //!
-//! # Lock-free resolution
+//! # Lock-free interning and resolution
 //!
-//! Resolution used to take the table's `RwLock` read lock on every
-//! `Deref` — an uncontended-but-real atomic RMW per string view, multiplied
-//! by every comparison, `Display`, and report sort in a long-lived service.
-//! The table now stores strings in an *atomic pointer-chunked index*:
-//! a fixed ladder of exponentially-sized chunks (64, 128, 256, … slots)
-//! published through one atomic length. Chunks are never reallocated, so a
-//! slot's address is stable for the table's lifetime; a writer fills the
-//! slot *before* publishing the new length with `Release`, and readers
-//! `Acquire` the length and index straight into the chunk — no lock, no
-//! retry loop. The `RwLock` now guards only the `&str → id` map on the
-//! (cold, once-per-distinct-string) intern path.
+//! Both directions of the hot path are lock-free:
+//!
+//! - **`Sym → &str` (resolve)**: strings live in an *atomic
+//!   pointer-chunked arena* — a fixed ladder of exponentially-sized chunks
+//!   (64, 128, 256, … slots) published through one atomic length. Chunks
+//!   are never reallocated, so a slot's address is stable for the table's
+//!   lifetime; a writer fills the slot *before* publishing, and readers
+//!   index straight into the chunk — no lock, no retry loop.
+//! - **`&str → Sym` (intern hit)**: the id map is an open-addressing
+//!   probe table of `AtomicU64` entries (hash tag in the upper half,
+//!   `id + 1` in the lower), published through an `AtomicPtr`. A hit is a
+//!   hash, a linear probe and one string compare — zero lock
+//!   acquisitions, zero atomic RMWs. This used to take the table's
+//!   `RwLock` read lock on *every* intern hit — an uncontended-but-real
+//!   atomic RMW per record field at replay volume, and the last shared
+//!   mutable structure on the per-record path before multi-core shard
+//!   scaling.
+//!
+//! Only a **miss** — once per *distinct* string per scope — takes the
+//! short append path: a `Mutex` serializes writers while the new slot is
+//! filled and its index entry is published with `Release` ordering.
+//! Readers racing a resize may probe a just-retired index and miss an
+//! entry that is in fact present; they fall through to the append lock and
+//! re-probe the current index there, so the result is still exactly one id
+//! per distinct string. Retired probe tables are kept alive until the
+//! table drops (their memory is bounded by a geometric series), which is
+//! what lets concurrent readers probe them without any epoch scheme.
 //!
 //! Scoped tables *own* their strings (dropping the table frees them); the
 //! global table is simply never dropped, which is what makes
 //! `Sym::as_str`'s `&'static str` sound.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::hash::BuildHasherDefault;
+use std::hash::Hasher as _;
 use std::mem::MaybeUninit;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::rng::FxHasher;
+use crate::rng::{FxHashMap, FxHasher};
 
-/// A `Copy` handle to an interned string in the process-wide [`SymTable`].
+/// A `Copy` handle to an interned string in a [`SymTable`].
 ///
 /// `Sym` is the string type of every record field on the pipeline hot path.
 /// Equality and hashing operate on the 32-bit id (two `Sym`s from the same
@@ -318,21 +335,109 @@ fn chunk_capacity(chunk: usize) -> usize {
     (1usize << CHUNK0_BITS) << chunk
 }
 
-/// An append-only string table: `&str → Sym` on insert, `Sym → &str` on
-/// lookup. Inserts take a write lock (once per *distinct* string);
-/// resolution is **lock-free** — an atomic length load plus an index into
-/// a stable chunk (see the module docs for the publication protocol).
+/// Hash used by the id index. The full 64 bits are split: the low half
+/// picks the probe start, the high half is the in-entry tag that screens
+/// out almost every non-matching slot before the string compare.
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// Initial id-index capacity (entries). Power of two.
+const INDEX_INITIAL_CAP: usize = 64;
+
+/// The lock-free `&str → id` map: an open-addressing probe table of
+/// `(tag, id + 1)` entries. Entries go empty → occupied exactly once and
+/// are never mutated afterwards, so readers need no synchronization beyond
+/// the `Acquire` entry load that also publishes the id's slot. Grown
+/// copies are published through the owning table's `AtomicPtr`; stale
+/// copies stay readable (a reader may miss a fresh entry and fall through
+/// to the append lock, never observe a wrong one).
+struct IdIndex {
+    mask: usize,
+    entries: Box<[AtomicU64]>,
+}
+
+impl IdIndex {
+    fn with_capacity(cap: usize) -> Box<IdIndex> {
+        debug_assert!(cap.is_power_of_two());
+        let entries: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        Box::new(IdIndex {
+            mask: cap - 1,
+            entries,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Probe for `s`. Lock-free; sound against concurrent appends because
+    /// an entry is stored (`Release`) only after its slot string is
+    /// written and the table length published.
+    #[inline]
+    fn lookup(&self, hash: u64, s: &str, table: &SymTable) -> Option<u32> {
+        let tag = hash >> 32;
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            let e = self.entries[i].load(Ordering::Acquire);
+            if e == 0 {
+                return None;
+            }
+            if e >> 32 == tag {
+                let id = (e as u32) - 1;
+                // SAFETY: a published entry happens-after its slot write.
+                if unsafe { table.read_slot(id) } == s {
+                    return Some(id);
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert `(hash, id)`. Caller must hold the append lock (single
+    /// writer) and have published the id's slot already.
+    fn insert(&self, hash: u64, id: u32) {
+        let tag = hash >> 32;
+        let mut i = (hash as usize) & self.mask;
+        loop {
+            if self.entries[i].load(Ordering::Relaxed) == 0 {
+                self.entries[i].store((tag << 32) | (id as u64 + 1), Ordering::Release);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Cold state behind the append mutex.
+struct AppendState {
+    /// Probe tables retired by growth, kept alive for concurrent readers
+    /// until the table drops. Geometric sizes: total retired memory is
+    /// bounded by the live index's size.
+    retired: Vec<*mut IdIndex>,
+}
+
+/// An append-only string table: `&str → Sym` on intern, `Sym → &str` on
+/// resolve — **both lock-free on the hot path** (see the module docs for
+/// the publication protocol). A miss takes the short append path once per
+/// distinct string.
 ///
-/// **Handles are table-scoped.** A [`Sym`] minted by [`SymTable::intern`]
-/// is an index into *that* table; every convenience on `Sym` itself
-/// (`as_str`, `Deref`, `Display`, `Debug`, string comparisons, `Ord`)
-/// resolves against the [`global`] table. Resolving a handle against the
-/// wrong table is caught: debug builds tag each handle with its minting
-/// table and panic on any mismatch, release builds bounds-check the id
-/// (see [`SymTable::try_resolve`] for the non-panicking form). Scoped
-/// tables ([`TenantSymbols`]) own their strings, so evicting a dead
-/// tenant actually returns its symbol memory — the global table's entries
-/// live for the process instead.
+/// This one type backs every interning scope in the process: the
+/// [`global`] table and every tenant table are the same implementation,
+/// differing only in ownership ([`SymScope`]). **Handles are
+/// table-scoped.** A [`Sym`] minted by [`SymTable::intern`] is an index
+/// into *that* table; every convenience on `Sym` itself (`as_str`,
+/// `Deref`, `Display`, `Debug`, string comparisons, `Ord`) resolves
+/// against the [`global`] table. Resolving a handle against the wrong
+/// table is caught: debug builds tag each handle with its minting table
+/// and panic on any mismatch, release builds bounds-check the id (see
+/// [`SymTable::try_resolve`] for the non-panicking form). Scoped tables
+/// ([`TenantSymbols`]) own their strings, so evicting a dead tenant
+/// actually returns its symbol memory — the global table's entries live
+/// for the process instead.
 pub struct SymTable {
     /// Process-unique table id (0 is the global table).
     table_id: u32,
@@ -341,15 +446,16 @@ pub struct SymTable {
     /// Total bytes of interned string payload (memory accounting).
     bytes: AtomicUsize,
     chunks: [AtomicPtr<MaybeUninit<Slot>>; NUM_CHUNKS],
-    /// `&str → id`, for the intern path only. Keys borrow from the slot
-    /// strings (see safety note on `intern`).
-    map: RwLock<HashMap<&'static str, u32, BuildHasherDefault<FxHasher>>>,
+    /// The live `&str → id` probe table (lock-free readers).
+    index: AtomicPtr<IdIndex>,
+    /// Serializes the miss/append path; guards index growth.
+    append: Mutex<AppendState>,
 }
 
-// SAFETY: the raw chunk/slot pointers are only written while holding the
-// map's write lock and only read after an `Acquire` load of `len`
-// publishes them (slots) or of the chunk pointer itself (chunks). All
-// published data is immutable thereafter.
+// SAFETY: the raw chunk/slot/index pointers are only written while holding
+// the append lock and only read after an `Acquire` load publishes them
+// (index entries for slots, the atomic index pointer for probe tables).
+// All published data is immutable thereafter.
 unsafe impl Send for SymTable {}
 unsafe impl Sync for SymTable {}
 
@@ -363,12 +469,16 @@ impl SymTable {
     }
 
     fn with_table_id(table_id: u32) -> SymTable {
+        let index = Box::into_raw(IdIndex::with_capacity(INDEX_INITIAL_CAP));
         let table = SymTable {
             table_id,
             len: AtomicU32::new(0),
             bytes: AtomicUsize::new(0),
             chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; NUM_CHUNKS],
-            map: RwLock::new(HashMap::default()),
+            index: AtomicPtr::new(index),
+            append: Mutex::new(AppendState {
+                retired: Vec::new(),
+            }),
         };
         table.intern("");
         table
@@ -385,13 +495,30 @@ impl SymTable {
     }
 
     /// Intern a string, returning its stable handle (scoped to this
-    /// table).
+    /// table). **Lock-free on a hit**; a miss (once per distinct string)
+    /// takes the append lock.
+    #[inline]
     pub fn intern(&self, s: &str) -> Sym {
-        if let Some(&id) = self.map.read().expect("sym table").get(s) {
+        let hash = hash_str(s);
+        // SAFETY: the index pointer is always a live IdIndex (retired
+        // copies are freed only on drop).
+        let index = unsafe { &*self.index.load(Ordering::Acquire) };
+        if let Some(id) = index.lookup(hash, s, self) {
             return self.tag(id);
         }
-        let mut map = self.map.write().expect("sym table");
-        if let Some(&id) = map.get(s) {
+        self.intern_slow(hash, s)
+    }
+
+    /// The append path: serialize writers, re-probe (the miss may have
+    /// raced an append or a resize), then publish slot + index entry.
+    #[cold]
+    fn intern_slow(&self, hash: u64, s: &str) -> Sym {
+        let mut state = self.append.lock().expect("sym table");
+        // Re-probe under the lock against the *current* index: a racing
+        // writer may have interned `s`, or a resize may have moved it past
+        // the copy we probed lock-free.
+        let mut index = unsafe { &*self.index.load(Ordering::Relaxed) };
+        if let Some(id) = index.lookup(hash, s, self) {
             return self.tag(id);
         }
         let id = self.len.load(Ordering::Relaxed);
@@ -403,29 +530,45 @@ impl SymTable {
         };
         // The table now owns the allocation; it is freed in `drop`.
         std::mem::forget(owned);
-        // SAFETY: we hold the write lock, so we are the only writer; slot
+        // SAFETY: we hold the append lock, so we are the only writer; slot
         // `id == len` is not yet visible to any reader.
         unsafe {
             self.write_slot(id, slot);
         }
-        // SAFETY: the slot string lives until `self` is dropped, and the
-        // map (whose keys borrow it) is dropped before the strings are
-        // freed. The `'static` is a private lie scoped to this struct.
-        let key: &'static str = unsafe {
-            std::str::from_utf8_unchecked(std::slice::from_raw_parts(slot.ptr, slot.len))
-        };
-        map.insert(key, id);
         self.bytes.fetch_add(slot.len, Ordering::Relaxed);
-        // Publish: everything written above happens-before any reader
-        // that observes the new length.
+        // Publish the arena length first: an index entry must never point
+        // past it.
         self.len.store(id + 1, Ordering::Release);
+        // Grow at 7/8 load so probes stay short and never cycle.
+        if (id as usize + 1) * 8 >= index.capacity() * 7 {
+            index = self.grow_index(&mut state, index.capacity() * 2);
+        }
+        index.insert(hash, id);
         self.tag(id)
+    }
+
+    /// Build a doubled probe table holding every published id, publish it,
+    /// and retire the old copy (freed on drop; concurrent readers may
+    /// still be probing it).
+    fn grow_index(&self, state: &mut AppendState, new_cap: usize) -> &IdIndex {
+        let fresh = IdIndex::with_capacity(new_cap);
+        let len = self.len.load(Ordering::Relaxed);
+        for id in 0..len {
+            // SAFETY: ids below the published length are initialized.
+            let s = unsafe { self.read_slot(id) };
+            fresh.insert(hash_str(s), id);
+        }
+        let fresh = Box::into_raw(fresh);
+        let old = self.index.swap(fresh, Ordering::Release);
+        state.retired.push(old);
+        // SAFETY: just published; freed only on drop.
+        unsafe { &*fresh }
     }
 
     /// Write `slot` at `id`, allocating the containing chunk on first use.
     ///
     /// # Safety
-    /// Caller must hold the map write lock (single writer) and `id` must
+    /// Caller must hold the append lock (single writer) and `id` must
     /// equal the unpublished length.
     unsafe fn write_slot(&self, id: u32, slot: Slot) {
         let (chunk, offset) = locate(id);
@@ -522,8 +665,6 @@ impl SymTable {
 
 impl Drop for SymTable {
     fn drop(&mut self) {
-        // Drop the map first: its keys borrow the slot strings.
-        self.map.write().expect("sym table").clear();
         let len = self.len.load(Ordering::Acquire);
         for id in 0..len {
             let (chunk, offset) = locate(id);
@@ -550,6 +691,15 @@ impl Drop for SymTable {
                 }
             }
         }
+        // The live probe table plus every retired copy.
+        let index = self.index.load(Ordering::Acquire);
+        // SAFETY: allocated via Box::into_raw; no readers can outlive the
+        // table (resolution borrows it).
+        unsafe { drop(Box::from_raw(index)) };
+        for retired in self.append.get_mut().expect("sym table").retired.drain(..) {
+            // SAFETY: as above — retired copies are never freed earlier.
+            unsafe { drop(Box::from_raw(retired)) };
+        }
     }
 }
 
@@ -559,16 +709,152 @@ impl Default for SymTable {
     }
 }
 
-/// The process-wide table behind [`Sym`].
+fn global_scope_arc() -> &'static Arc<SymTable> {
+    static TABLE: OnceLock<Arc<SymTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Arc::new(SymTable::with_table_id(GLOBAL_TABLE_ID)))
+}
+
+/// The process-wide table behind [`Sym`] — the default [`SymScope`].
 pub fn global() -> &'static SymTable {
-    static TABLE: OnceLock<SymTable> = OnceLock::new();
-    TABLE.get_or_init(|| SymTable::with_table_id(GLOBAL_TABLE_ID))
+    global_scope_arc()
 }
 
 /// Intern into the global table (alias of [`Sym::new`]).
 #[inline]
 pub fn intern(s: &str) -> Sym {
     Sym::new(s)
+}
+
+/// A clonable handle to one interning scope — the unified way every layer
+/// names *which* symbol universe it mints into and resolves against.
+///
+/// The process-global table and per-tenant tables are the **same
+/// implementation type** ([`SymTable`]); a `SymScope` is just shared
+/// ownership of one of them. [`SymScope::global`] is the default scope
+/// (what `Sym::from`/[`intern`] use implicitly); [`TenantSymbols::scope`]
+/// hands out tenant scopes whose strings are freed when the last handle
+/// goes. Cloning is one `Arc` bump; interning and resolving through a
+/// scope are exactly as lock-free as the underlying table.
+///
+/// Holding a `SymScope` keeps its table alive: a reader resolving through
+/// a clone of an evicted tenant's scope still sees valid strings — the
+/// memory is returned when the last clone drops, never under a live
+/// reader.
+#[derive(Clone)]
+pub struct SymScope {
+    table: Arc<SymTable>,
+}
+
+impl SymScope {
+    /// The process-wide default scope (table id 0, entries live forever).
+    #[inline]
+    pub fn global() -> SymScope {
+        SymScope {
+            table: Arc::clone(global_scope_arc()),
+        }
+    }
+
+    /// A fresh private scope with its own table (for tests, tools, and
+    /// registries like [`TenantSymbols`]).
+    pub fn fresh() -> SymScope {
+        SymScope {
+            table: Arc::new(SymTable::new()),
+        }
+    }
+
+    /// Whether this is the process-global scope.
+    #[inline]
+    pub fn is_global(&self) -> bool {
+        self.table.table_id == GLOBAL_TABLE_ID
+    }
+
+    /// The underlying table.
+    #[inline]
+    pub fn table(&self) -> &SymTable {
+        &self.table
+    }
+
+    /// This scope's process-unique table id (0 is the global scope).
+    /// Table ids are never reused, so the id also distinguishes a
+    /// re-created tenant scope from the evicted one it replaced — which is
+    /// what makes it a sound cache key for per-scope memoization.
+    #[inline]
+    pub fn scope_id(&self) -> u32 {
+        self.table.table_id
+    }
+
+    /// Intern `s` in this scope. Lock-free on a hit.
+    #[inline]
+    pub fn sym(&self, s: &str) -> Sym {
+        self.table.intern(s)
+    }
+
+    /// Resolve a handle minted by this scope. Lock-free. The borrow ties
+    /// the string to the scope handle, so an evicted tenant's strings
+    /// outlive every outstanding reader.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.table.resolve(sym)
+    }
+
+    /// Non-panicking [`SymScope::resolve`].
+    #[inline]
+    pub fn try_resolve(&self, sym: Sym) -> Result<&str, SymResolveError> {
+        self.table.try_resolve(sym)
+    }
+
+    /// Rebuild a handle scoped to this table from a raw id.
+    #[inline]
+    pub fn sym_from_id(&self, id: u32) -> Sym {
+        self.table.sym_from_id(id)
+    }
+
+    /// Whether two handles name the same underlying table.
+    pub fn ptr_eq(&self, other: &SymScope) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
+    }
+
+    /// Number of interned strings in this scope.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // "" is always present
+    }
+
+    /// Total bytes of interned string payload in this scope.
+    pub fn payload_bytes(&self) -> usize {
+        self.table.payload_bytes()
+    }
+
+    /// `(id, string)` snapshot of this scope, in intern order.
+    pub fn snapshot(&self) -> Vec<(u32, String)> {
+        self.table.snapshot()
+    }
+}
+
+impl Default for SymScope {
+    fn default() -> Self {
+        SymScope::global()
+    }
+}
+
+impl PartialEq for SymScope {
+    fn eq(&self, other: &SymScope) -> bool {
+        self.table.table_id == other.table.table_id
+    }
+}
+
+impl Eq for SymScope {}
+
+impl fmt::Debug for SymScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymScope")
+            .field("table_id", &self.table.table_id)
+            .field("len", &self.table.len())
+            .finish()
+    }
 }
 
 /// A tenant of the always-on service mode — an isolated ingest scope with
@@ -584,19 +870,21 @@ impl fmt::Display for TenantId {
     }
 }
 
-/// Per-tenant scoped [`SymTable`]s with eviction.
+/// Per-tenant [`SymScope`]s with eviction.
 ///
-/// The global table deliberately never frees: its `&'static str` contract
+/// The global scope deliberately never frees: its `&'static str` contract
 /// is what makes `Sym` a zero-cost string on the hot path. A long-lived
 /// multi-tenant service cannot afford that for *tenant* universes — a
 /// tenant that stops sending traffic must not pin its user names and
 /// command palettes forever. `TenantSymbols` scopes each tenant to its own
-/// owned table; [`evict`](TenantSymbols::evict) drops the registry's
-/// reference, and the table's memory is returned as soon as the last
-/// outstanding `Arc` (e.g. a snapshot in progress) is released.
+/// table (the same [`SymTable`] implementation as the global scope, not a
+/// parallel one); [`evict`](TenantSymbols::evict) drops the registry's
+/// handle, and the table's memory is returned as soon as the last
+/// outstanding [`SymScope`] clone (e.g. a snapshot in progress) is
+/// released.
 #[derive(Default)]
 pub struct TenantSymbols {
-    tables: Mutex<HashMap<u32, Arc<SymTable>, BuildHasherDefault<FxHasher>>>,
+    scopes: Mutex<FxHashMap<u32, SymScope>>,
     /// Tables evicted so far (monotonic; for reports).
     evicted: AtomicU64,
 }
@@ -606,20 +894,19 @@ impl TenantSymbols {
         TenantSymbols::default()
     }
 
-    /// The tenant's scoped table, created on first use.
-    pub fn scope(&self, tenant: TenantId) -> Arc<SymTable> {
-        Arc::clone(
-            self.tables
-                .lock()
-                .expect("tenant registry")
-                .entry(tenant.0)
-                .or_insert_with(|| Arc::new(SymTable::new())),
-        )
+    /// The tenant's scope, created on first use.
+    pub fn scope(&self, tenant: TenantId) -> SymScope {
+        self.scopes
+            .lock()
+            .expect("tenant registry")
+            .entry(tenant.0)
+            .or_insert_with(SymScope::fresh)
+            .clone()
     }
 
-    /// The tenant's table, if it exists.
-    pub fn get(&self, tenant: TenantId) -> Option<Arc<SymTable>> {
-        self.tables
+    /// The tenant's scope, if it exists.
+    pub fn get(&self, tenant: TenantId) -> Option<SymScope> {
+        self.scopes
             .lock()
             .expect("tenant registry")
             .get(&tenant.0)
@@ -627,10 +914,11 @@ impl TenantSymbols {
     }
 
     /// Drop a dead tenant's symbol universe. Returns whether the tenant
-    /// existed. Memory is freed when the last outstanding reference goes.
+    /// existed. Memory is freed when the last outstanding scope handle
+    /// goes.
     pub fn evict(&self, tenant: TenantId) -> bool {
         let existed = self
-            .tables
+            .scopes
             .lock()
             .expect("tenant registry")
             .remove(&tenant.0)
@@ -643,7 +931,7 @@ impl TenantSymbols {
 
     /// Number of live tenant universes.
     pub fn len(&self) -> usize {
-        self.tables.lock().expect("tenant registry").len()
+        self.scopes.lock().expect("tenant registry").len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -658,7 +946,7 @@ impl TenantSymbols {
     /// Live tenants, ascending.
     pub fn tenants(&self) -> Vec<TenantId> {
         let mut ids: Vec<TenantId> = self
-            .tables
+            .scopes
             .lock()
             .expect("tenant registry")
             .keys()
@@ -670,7 +958,7 @@ impl TenantSymbols {
 
     /// Total interned payload bytes across live tenants.
     pub fn payload_bytes(&self) -> usize {
-        self.tables
+        self.scopes
             .lock()
             .expect("tenant registry")
             .values()
@@ -682,6 +970,7 @@ impl TenantSymbols {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn intern_is_idempotent_and_copy() {
@@ -752,6 +1041,33 @@ mod tests {
     }
 
     #[test]
+    fn id_assignment_matches_locked_reference_model() {
+        // The lock-free probe table must assign exactly the ids the old
+        // RwLock<HashMap> implementation would have: first-come,
+        // dense, idempotent.
+        let t = SymTable::new();
+        let mut reference: HashMap<String, u32> = HashMap::new();
+        reference.insert(String::new(), 0);
+        let mut next = 1u32;
+        // A workload with heavy repeats and enough distinct strings to
+        // force several index growths (64 → 128 → … entries).
+        for round in 0..3 {
+            for i in 0..600 {
+                let s = format!("ref-model-{}", i % 400);
+                let expect = *reference.entry(s.clone()).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                let got = t.intern(&s);
+                assert_eq!(got.id(), expect, "round {round}, string {s}");
+                assert_eq!(t.resolve(got), s);
+            }
+        }
+        assert_eq!(t.len(), 401);
+    }
+
+    #[test]
     fn concurrent_intern_agrees() {
         let handles: Vec<_> = (0..8)
             .map(|i| {
@@ -772,6 +1088,53 @@ mod tests {
                 assert!(ids.contains(&expect));
             }
         }
+    }
+
+    #[test]
+    fn concurrent_overlapping_palettes_yield_one_id_per_string() {
+        // The satellite stress test: N threads intern overlapping
+        // palettes into one scope; every distinct string must get exactly
+        // one id and every resolution must return the exact bytes
+        // (no torn publication), across many index growths.
+        let scope = SymScope::fresh();
+        let threads = 8;
+        let palette = 900; // overlapping window per thread
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let scope = scope.clone();
+                std::thread::spawn(move || {
+                    let mut seen: Vec<(String, u32)> = Vec::new();
+                    for j in 0..palette {
+                        // Each thread walks a shifted window over a shared
+                        // universe, so most interns race another thread.
+                        let s = format!("palette-{:04}", (t * 128 + j) % 1200);
+                        let sym = scope.sym(&s);
+                        assert_eq!(scope.resolve(sym), s, "torn resolution");
+                        seen.push((s, sym.id()));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut by_string: HashMap<String, u32> = HashMap::new();
+        for h in handles {
+            for (s, id) in h.join().unwrap() {
+                match by_string.entry(s) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        assert_eq!(*e.get(), id, "{}: two ids for one string", e.key());
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(id);
+                    }
+                }
+            }
+        }
+        assert_eq!(by_string.len(), 1200);
+        assert_eq!(scope.len(), 1 + 1200, "dense ids, no gaps");
+        // Ids are dense 1..=1200 (the empty string is 0).
+        let mut ids: Vec<u32> = by_string.values().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=1200).collect::<Vec<u32>>());
     }
 
     #[test]
@@ -801,16 +1164,68 @@ mod tests {
                 })
             })
             .collect();
-        // Push well past several chunk boundaries (64, 192, 448, …).
+        // Push well past several chunk boundaries (64, 192, 448, …) and
+        // index growths; interleave re-interns of the pinned prefix so
+        // lock-free hits race the appends.
         for i in 0..2_000 {
             let s = t.intern(&format!("storm-{i}"));
             assert_eq!(t.resolve(s), format!("storm-{i}"));
+            if i % 7 == 0 {
+                let p = i % 100;
+                assert_eq!(t.intern(&format!("pinned-{p}")), pinned[p]);
+            }
         }
         stop.store(true, Ordering::Relaxed);
         for r in readers {
             r.join().unwrap();
         }
         assert_eq!(t.len(), 1 + 100 + 2_000);
+    }
+
+    #[test]
+    fn evict_then_reintern_is_safe_under_concurrent_readers() {
+        // The satellite eviction stress test: readers hold a clone of a
+        // tenant's scope and resolve its symbols while the registry
+        // evicts the tenant and a successor scope re-interns the same
+        // strings. The readers' strings must stay valid (their clone
+        // keeps the table alive) and the successor must mint fresh ids in
+        // a fresh table, never aliasing the evicted universe.
+        let reg = std::sync::Arc::new(TenantSymbols::new());
+        let tenant = TenantId(7);
+        let first = reg.scope(tenant);
+        let pinned: Vec<Sym> = (0..256)
+            .map(|i| first.sym(&format!("tenant-string-{i}")))
+            .collect();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let scope = first.clone();
+                let pinned = pinned.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    for (i, &s) in pinned.iter().enumerate() {
+                        assert_eq!(scope.resolve(s), format!("tenant-string-{i}"));
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        let first_id = first.scope_id();
+        drop(first); // registry handle is now the readers' only peer
+        assert!(reg.evict(tenant));
+        // Successor scope: same tenant id, same strings, new table.
+        let second = reg.scope(tenant);
+        assert_ne!(second.scope_id(), first_id, "table ids are never reused");
+        for i in 0..256 {
+            let s = second.sym(&format!("tenant-string-{i}"));
+            assert_eq!(second.resolve(s), format!("tenant-string-{i}"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
     }
 
     #[test]
@@ -860,17 +1275,30 @@ mod tests {
     }
 
     #[test]
+    fn global_scope_is_the_default_scope_of_the_same_type() {
+        let scope = SymScope::default();
+        assert!(scope.is_global());
+        assert_eq!(scope.scope_id(), 0);
+        let via_scope = scope.sym("default-scope-roundtrip");
+        let via_global = Sym::new("default-scope-roundtrip");
+        assert_eq!(via_scope, via_global);
+        assert_eq!(scope.resolve(via_scope), "default-scope-roundtrip");
+        assert!(scope.ptr_eq(&SymScope::global()));
+        assert!(!scope.ptr_eq(&SymScope::fresh()));
+    }
+
+    #[test]
     fn tenant_scopes_are_isolated_and_evictable() {
         let reg = TenantSymbols::new();
         let t1 = reg.scope(TenantId(1));
         let t2 = reg.scope(TenantId(2));
-        let a = t1.intern("cluster-a-user");
-        let b = t2.intern("cluster-b-user");
+        let a = t1.sym("cluster-a-user");
+        let b = t2.sym("cluster-b-user");
         // Same id-space position, different universes.
         assert_eq!(a.id(), b.id());
         assert_eq!(t1.resolve(a), "cluster-a-user");
         assert_eq!(t2.resolve(b), "cluster-b-user");
-        assert!(Arc::ptr_eq(&reg.scope(TenantId(1)), &t1), "scope is stable");
+        assert!(reg.scope(TenantId(1)).ptr_eq(&t1), "scope is stable");
         assert_eq!(reg.tenants(), vec![TenantId(1), TenantId(2)]);
         assert!(reg.payload_bytes() >= "cluster-a-user".len() * 2);
 

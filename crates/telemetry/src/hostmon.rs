@@ -8,7 +8,7 @@
 
 use simnet::action::Action;
 use simnet::engine::EventCtx;
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::topology::HostId;
 
 use crate::monitor::Monitor;
@@ -18,17 +18,36 @@ use crate::record::{AuditRecord, AuthRecord, DbRecord, FileRecord, LogRecord, Pr
 /// state is immaterial to the record streams, so modelling a single
 /// collector keeps the pipeline simple without changing what downstream
 /// stages see.
-#[derive(Debug, Default)]
+///
+/// Records are minted into the monitor's [`SymScope`] (global by default;
+/// see [`HostMonitor::with_scope`] for tenant-scoped emission).
+#[derive(Debug)]
 pub struct HostMonitor {
+    scope: SymScope,
     records_emitted: u64,
     /// Hosts whose agent has been tampered with / disabled (an attacker
     /// with local root may kill one agent; §III-B).
     disabled: Vec<HostId>,
 }
 
+impl Default for HostMonitor {
+    fn default() -> Self {
+        Self::with_scope(SymScope::global())
+    }
+}
+
 impl HostMonitor {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A monitor minting record symbols into an explicit scope.
+    pub fn with_scope(scope: SymScope) -> Self {
+        HostMonitor {
+            scope,
+            records_emitted: 0,
+            disabled: Vec::new(),
+        }
     }
 
     /// Simulate an attacker disabling the agent on one host. Records from
@@ -47,8 +66,8 @@ impl HostMonitor {
         !self.disabled.contains(&host) && ctx.topo.host(host).monitored
     }
 
-    fn hostname(ctx: &EventCtx<'_>, host: HostId) -> Sym {
-        ctx.topo.host(host).name.as_str().into()
+    fn hostname(&self, ctx: &EventCtx<'_>, host: HostId) -> Sym {
+        self.scope.sym(ctx.topo.host(host).name.as_str())
     }
 }
 
@@ -65,12 +84,12 @@ impl Monitor for HostMonitor {
                     out.push(LogRecord::Process(ProcessRecord {
                         ts: ctx.time,
                         host: e.host,
-                        hostname: Self::hostname(ctx, e.host),
-                        user: e.user.as_str().into(),
+                        hostname: self.hostname(ctx, e.host),
+                        user: self.scope.sym(e.user.as_str()),
                         pid: e.pid,
                         ppid: e.ppid,
-                        exe: e.exe.as_str().into(),
-                        cmdline: e.cmdline.as_str().into(),
+                        exe: self.scope.sym(e.exe.as_str()),
+                        cmdline: self.scope.sym(e.cmdline.as_str()),
                     }));
                 }
             }
@@ -80,11 +99,11 @@ impl Monitor for HostMonitor {
                     out.push(LogRecord::File(FileRecord {
                         ts: ctx.time,
                         host: f.host,
-                        hostname: Self::hostname(ctx, f.host),
-                        user: f.user.as_str().into(),
-                        path: f.path.as_str().into(),
+                        hostname: self.hostname(ctx, f.host),
+                        user: self.scope.sym(f.user.as_str()),
+                        path: self.scope.sym(f.path.as_str()),
                         op: f.op,
-                        process: f.process.as_str().into(),
+                        process: self.scope.sym(f.process.as_str()),
                     }));
                 }
             }
@@ -94,10 +113,10 @@ impl Monitor for HostMonitor {
                     out.push(LogRecord::Audit(AuditRecord {
                         ts: ctx.time,
                         host: a.host,
-                        hostname: Self::hostname(ctx, a.host),
-                        user: a.user.as_str().into(),
-                        syscall: a.syscall.as_str().into(),
-                        args: a.args.as_str().into(),
+                        hostname: self.hostname(ctx, a.host),
+                        user: self.scope.sym(a.user.as_str()),
+                        syscall: self.scope.sym(a.syscall.as_str()),
+                        args: self.scope.sym(a.args.as_str()),
                         exit_code: a.exit_code,
                     }));
                 }
@@ -113,8 +132,8 @@ impl Monitor for HostMonitor {
                         out.push(LogRecord::Auth(AuthRecord {
                             ts: ctx.time,
                             host: target,
-                            hostname: Self::hostname(ctx, target),
-                            user: s.user.as_str().into(),
+                            hostname: self.hostname(ctx, target),
+                            user: self.scope.sym(s.user.as_str()),
                             method: s.method,
                             success: s.success,
                             src_addr: Some(s.flow.src),
@@ -136,9 +155,9 @@ impl Monitor for HostMonitor {
                             orig_h: d.flow.src,
                             resp_h: d.flow.dst,
                             host: Some(target),
-                            user: d.user.as_str().into(),
+                            user: self.scope.sym(d.user.as_str()),
                             command: d.command.clone(),
-                            statement: d.statement.as_str().into(),
+                            statement: self.scope.sym(d.statement.as_str()),
                         }));
                     }
                 }

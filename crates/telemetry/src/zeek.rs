@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 use simnet::action::Action;
 use simnet::engine::EventCtx;
 use simnet::flow::Flow;
-use simnet::intern::Sym;
+use simnet::intern::{Sym, SymScope};
 use simnet::rng::{FxHashMap, FxHashSet};
 use simnet::time::{SimDuration, SimTime};
 
@@ -70,8 +70,12 @@ struct GuessTrack {
 }
 
 /// The Zeek-like monitor.
+///
+/// Records are minted into the monitor's [`SymScope`] (global by default;
+/// see [`ZeekMonitor::with_scope`] for tenant-scoped emission).
 pub struct ZeekMonitor {
     cfg: ZeekConfig,
+    scope: SymScope,
     scans: FxHashMap<Ipv4Addr, ScanTrack>,
     guesses: FxHashMap<Ipv4Addr, GuessTrack>,
     conn_count: u64,
@@ -80,8 +84,14 @@ pub struct ZeekMonitor {
 
 impl ZeekMonitor {
     pub fn new(cfg: ZeekConfig) -> Self {
+        Self::with_scope(cfg, SymScope::global())
+    }
+
+    /// A monitor minting record symbols into an explicit scope.
+    pub fn with_scope(cfg: ZeekConfig, scope: SymScope) -> Self {
         ZeekMonitor {
             cfg,
+            scope,
             scans: FxHashMap::default(),
             guesses: FxHashMap::default(),
             conn_count: 0,
@@ -142,11 +152,10 @@ impl ZeekMonitor {
             out.push(LogRecord::Notice(NoticeRecord {
                 ts: t,
                 note: NoticeKind::AddressScan,
-                msg: format!(
+                msg: self.scope.sym(&format!(
                     "{} scanned at least {} unique hosts on port {}",
                     flow.src, self.cfg.scan_threshold, flow.dst_port
-                )
-                .into(),
+                )),
                 src: flow.src,
                 dst: None,
                 sub: Sym::EMPTY,
@@ -161,11 +170,10 @@ impl ZeekMonitor {
             out.push(LogRecord::Notice(NoticeRecord {
                 ts: t,
                 note: NoticeKind::PortScan,
-                msg: format!(
+                msg: self.scope.sym(&format!(
                     "{} scanned at least {} unique ports of host {}",
                     flow.src, self.cfg.port_scan_threshold, flow.dst
-                )
-                .into(),
+                )),
                 src: flow.src,
                 dst: Some(flow.dst),
                 sub: Sym::EMPTY,
@@ -190,10 +198,12 @@ impl ZeekMonitor {
             out.push(LogRecord::Notice(NoticeRecord {
                 ts: t,
                 note: NoticeKind::PasswordGuessing,
-                msg: format!("{} appears to be guessing SSH passwords", src).into(),
+                msg: self
+                    .scope
+                    .sym(&format!("{} appears to be guessing SSH passwords", src)),
                 src,
                 dst: None,
-                sub: format!("{} failures", track.failures).into(),
+                sub: self.scope.sym(&format!("{} failures", track.failures)),
             }));
         }
     }
@@ -240,23 +250,25 @@ impl Monitor for ZeekMonitor {
                     uid: h.flow.id,
                     orig_h: h.flow.src,
                     resp_h: h.flow.dst,
-                    method: h.method.as_str().into(),
-                    host: h.host.as_str().into(),
-                    uri: h.uri.as_str().into(),
+                    method: self.scope.sym(h.method.as_str()),
+                    host: self.scope.sym(h.host.as_str()),
+                    uri: self.scope.sym(h.uri.as_str()),
                     status: h.status,
-                    mime: h.mime.as_str().into(),
-                    user_agent: h.user_agent.as_str().into(),
+                    mime: self.scope.sym(h.mime.as_str()),
+                    user_agent: self.scope.sym(h.user_agent.as_str()),
                 }));
                 if Self::is_raw_ip_host(&h.host) && Self::fetches_executable(&h.uri, &h.mime) {
                     self.notice_count += 1;
                     out.push(LogRecord::Notice(NoticeRecord {
                         ts: ctx.time,
                         note: NoticeKind::ExecutableFromRawIp,
-                        msg: format!("executable fetched from raw IP host {}{}", h.host, h.uri)
-                            .into(),
+                        msg: self.scope.sym(&format!(
+                            "executable fetched from raw IP host {}{}",
+                            h.host, h.uri
+                        )),
                         src: h.flow.src,
                         dst: Some(h.flow.dst),
-                        sub: h.mime.as_str().into(),
+                        sub: self.scope.sym(h.mime.as_str()),
                     }));
                 }
             }
@@ -268,10 +280,10 @@ impl Monitor for ZeekMonitor {
                     uid: s.flow.id,
                     orig_h: s.flow.src,
                     resp_h: s.flow.dst,
-                    user: s.user.as_str().into(),
+                    user: self.scope.sym(s.user.as_str()),
                     method: s.method,
                     success: s.success,
-                    client_banner: s.client_banner.as_str().into(),
+                    client_banner: self.scope.sym(s.client_banner.as_str()),
                     direction: ctx.direction,
                 }));
                 self.track_guess(ctx.time, s.flow.src, s.success, out);

@@ -388,7 +388,7 @@ pub fn evaluate_campaign(report: &StreamReport, truth: &CampaignGroundTruth) -> 
     // Earliest notification per entity key.
     let mut first_detection: HashMap<String, SimTime> = HashMap::new();
     for n in &report.notifications {
-        let key = n.entity.key();
+        let key = n.entity.clone();
         let e = first_detection.entry(key).or_insert(n.detection.ts);
         if n.detection.ts < *e {
             *e = n.detection.ts;
@@ -744,7 +744,7 @@ mod tests {
         let notified: std::collections::HashSet<String> = report
             .notifications
             .iter()
-            .map(|n| n.entity.key())
+            .map(|n| n.entity.clone())
             .collect();
         let latched: std::collections::HashSet<String> = tagger.detected_entities().collect();
         assert_eq!(notified, latched, "hooks and notifications must agree");

@@ -1,6 +1,5 @@
 //! Run reports and operator notifications.
 
-use alertlib::alert::Entity;
 use alertlib::filter::FilterStats;
 use bhr::table::TableStats;
 use detect::attack_tagger::Detection;
@@ -13,7 +12,11 @@ use simnet::time::SimTime;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatorNotification {
     pub ts: SimTime,
-    pub entity: Entity,
+    /// Canonical entity key (`user:…` / `addr:…`), resolved against the
+    /// pipeline's scope at notification time. A plain string rather than
+    /// an interned handle so notifications stay valid after a tenant's
+    /// symbol scope is evicted.
+    pub entity: String,
     pub detection: Detection,
     pub message: String,
     /// Which detector raised it.
@@ -131,14 +134,14 @@ mod tests {
         };
         r.notifications.push(OperatorNotification {
             ts: SimTime::from_secs(100),
-            entity: Entity::User("postgres".into()),
+            entity: "user:postgres".into(),
             detection: det.clone(),
             message: "ransomware".into(),
             source: "attack-tagger".into(),
         });
         r.notifications.push(OperatorNotification {
             ts: SimTime::from_secs(50),
-            entity: Entity::User("x".into()),
+            entity: "user:x".into(),
             detection: det,
             message: "other".into(),
             source: "attack-tagger".into(),
@@ -155,7 +158,7 @@ mod tests {
 
         r.notifications.push(OperatorNotification {
             ts: SimTime::from_datetime(2024, 10, 30, 3, 44, 0),
-            entity: Entity::User("postgres".into()),
+            entity: "user:postgres".into(),
             detection: Detection {
                 ts: SimTime::from_datetime(2024, 10, 30, 3, 44, 0),
                 alert_index: 3,
@@ -172,7 +175,7 @@ mod tests {
             "snippet-style timestamp: {rendered}"
         );
         assert!(rendered.contains("alert_elf_in_db_blob"));
-        assert!(rendered.contains("user postgres"));
+        assert!(rendered.contains("user:postgres"));
         assert!(rendered.contains("First warning delivered"));
     }
 }

@@ -11,10 +11,13 @@
 //!   [`ServiceError::Backpressure`] instead.
 //! - **Tenant isolation**: each tenant gets its own detector state and —
 //!   via [`TenantSymbols`] — its own symbol universe, evicted when the
-//!   tenant goes away ([`ServiceHandle::evict_tenant`]). Detect-layer
-//!   symbols (alert kinds, command palettes) stay in the process-global
-//!   table: they are shared vocabulary, not tenant data, and snapshots
-//!   never persist raw symbol ids anyway.
+//!   tenant goes away ([`ServiceHandle::evict_tenant`]). The tenant's
+//!   [`SymScope`] is threaded through the whole pipeline: the factory
+//!   receives it so the symbolizer, correlator and response stage all
+//!   mint and resolve in the tenant's table, and ingest re-mints
+//!   record symbols from the caller's global scope into it
+//!   ([`LogRecord::rescope`]). Snapshots persist canonical strings,
+//!   never raw symbol ids.
 //! - **Snapshot / restore**: [`ServiceHandle::snapshot`] captures a
 //!   tenant's full mid-stream detection state — scan-filter windows,
 //!   tagger posteriors, the campaign graph, stream counters, and the
@@ -36,7 +39,7 @@ use std::thread::JoinHandle;
 use alertlib::filter::FilterSnapshot;
 use detect::attack_tagger::TaggerSnapshot;
 use detect::correlate::CorrelatorSnapshot;
-use simnet::intern::{SymTable, TenantId, TenantSymbols};
+use simnet::intern::{SymScope, TenantId, TenantSymbols};
 use simnet::rng::FxHashMap;
 use telemetry::record::LogRecord;
 
@@ -117,7 +120,7 @@ pub struct ServiceSnapshot {
 /// One tenant's live pipeline session inside the worker.
 struct TenantSession {
     core: InlineCore,
-    scope: Arc<SymTable>,
+    scope: SymScope,
 }
 
 enum Control {
@@ -144,10 +147,13 @@ pub struct ServiceHandle {
 impl ServiceHandle {
     /// Start the service worker. `factory` builds one fresh pipeline per
     /// tenant session (tenants never share detector state); it runs on
-    /// the worker thread.
+    /// the worker thread and receives the tenant's id plus its scoped
+    /// symbol table — wire the scope into the pipeline with
+    /// [`PipelineBuilder::scope`](crate::stage::PipelineBuilder::scope)
+    /// so the session's symbols live in the tenant's universe.
     pub fn spawn(
         config: ServiceConfig,
-        mut factory: impl FnMut() -> BuiltPipeline + Send + 'static,
+        mut factory: impl FnMut(TenantId, SymScope) -> BuiltPipeline + Send + 'static,
     ) -> ServiceHandle {
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
         let symbols = Arc::new(TenantSymbols::new());
@@ -261,9 +267,10 @@ impl Drop for ServiceHandle {
 fn worker_loop(
     rx: Receiver<Control>,
     symbols: &TenantSymbols,
-    factory: &mut (impl FnMut() -> BuiltPipeline + Send),
+    factory: &mut (impl FnMut(TenantId, SymScope) -> BuiltPipeline + Send),
 ) -> Vec<(TenantId, StreamReport)> {
     let mut sessions: FxHashMap<TenantId, TenantSession> = FxHashMap::default();
+    let global = SymScope::global();
     loop {
         let msg = match rx.recv() {
             Ok(m) => m,
@@ -273,15 +280,14 @@ fn worker_loop(
         match msg {
             Control::Ingest(tenant, records) => {
                 let session = session_entry(&mut sessions, symbols, factory, tenant);
-                // Track the tenant's symbol universe in its scoped
-                // table; detection state itself references entities by
-                // canonical string in snapshots, never by id.
-                for r in &records {
-                    if let Some(user) = r.user() {
-                        session.scope.intern(user);
-                    }
-                }
-                session.core.process_records_at(None, &records);
+                // Callers mint record symbols in the global scope;
+                // re-mint them into the tenant's universe so every
+                // symbol the session touches lives (and dies) with it.
+                let scoped: Vec<LogRecord> = records
+                    .iter()
+                    .map(|r| r.rescope(&global, &session.scope))
+                    .collect();
+                session.core.process_records_at(None, &scoped);
             }
             Control::Snapshot(tenant, reply) => {
                 let result = match sessions.get(&tenant) {
@@ -326,24 +332,28 @@ fn worker_loop(
 fn session_entry<'a>(
     sessions: &'a mut FxHashMap<TenantId, TenantSession>,
     symbols: &TenantSymbols,
-    factory: &mut (impl FnMut() -> BuiltPipeline + Send),
+    factory: &mut (impl FnMut(TenantId, SymScope) -> BuiltPipeline + Send),
     tenant: TenantId,
 ) -> &'a mut TenantSession {
-    sessions.entry(tenant).or_insert_with(|| TenantSession {
-        core: InlineCore::new(factory()),
-        scope: symbols.scope(tenant),
+    sessions.entry(tenant).or_insert_with(|| {
+        let scope = symbols.scope(tenant);
+        TenantSession {
+            core: InlineCore::new(factory(tenant, scope.clone())),
+            scope,
+        }
     })
 }
 
 fn export_session(tenant: TenantId, session: &TenantSession) -> ServiceSnapshot {
     let core = &session.core;
+    let scope = &session.scope;
     ServiceSnapshot {
         tenant,
         stats: core.stats,
         filter: core.filter.filter().export_state(),
-        tagger: core.detect.as_tagger().map(|t| t.export_state()),
-        correlator: core.correlate.as_ref().map(|c| c.export_state()),
-        sym_universe: session.scope.snapshot(),
+        tagger: core.detect.as_tagger().map(|t| t.export_state_in(scope)),
+        correlator: core.correlate.as_ref().map(|c| c.export_state_in(scope)),
+        sym_universe: scope.snapshot(),
     }
 }
 
@@ -366,13 +376,23 @@ fn import_session(session: &mut TenantSession, snap: &ServiceSnapshot) -> Result
     }
     session.core.stats = snap.stats;
     session.core.filter.filter_mut().import_state(&snap.filter);
+    let scope = session.scope.clone();
+    // Replay the symbol universe FIRST, in intern order, so every string
+    // gets the id it had in the snapshotting process. State import below
+    // re-interns entity and palette strings in snapshot-iteration order;
+    // if those assignments came first, ids (and everything derived from
+    // them — entity raw keys, link orientation, join-key values) would
+    // drift from the uninterrupted run.
+    for (_, s) in &snap.sym_universe {
+        scope.sym(s);
+    }
     if let Some(tagger_snap) = &snap.tagger {
         session
             .core
             .detect
             .as_tagger_mut()
             .expect("validated above")
-            .import_state(tagger_snap);
+            .import_state_in(tagger_snap, &scope);
     }
     if let Some(corr_snap) = &snap.correlator {
         session
@@ -380,10 +400,7 @@ fn import_session(session: &mut TenantSession, snap: &ServiceSnapshot) -> Result
             .correlate
             .as_mut()
             .expect("validated above")
-            .import_state(corr_snap);
-    }
-    for (_, s) in &snap.sym_universe {
-        session.scope.intern(s);
+            .import_state_in(corr_snap, &scope);
     }
     Ok(())
 }
@@ -442,13 +459,14 @@ mod tests {
         })
     }
 
-    fn factory() -> impl FnMut() -> BuiltPipeline + Send + 'static {
-        || {
+    fn factory() -> impl FnMut(TenantId, SymScope) -> BuiltPipeline + Send + 'static {
+        |_, scope| {
             PipelineBuilder::new()
                 .tagger(AttackTagger::new(
                     toy_training_model(),
                     TaggerConfig::default(),
                 ))
+                .scope(scope)
                 .build()
         }
     }
@@ -547,8 +565,11 @@ mod tests {
         service.ingest(tenant, attack_records("eve", 0)).unwrap();
         let snap = service.snapshot(tenant).unwrap();
         drop(service);
-        let baseline = ServiceHandle::spawn(ServiceConfig::default(), || {
-            PipelineBuilder::new().critical_detector().build()
+        let baseline = ServiceHandle::spawn(ServiceConfig::default(), |_, scope| {
+            PipelineBuilder::new()
+                .critical_detector()
+                .scope(scope)
+                .build()
         });
         match baseline.restore(snap) {
             Err(ServiceError::MalformedSnapshot(why)) => {
@@ -563,7 +584,7 @@ mod tests {
     /// and detections must be byte-identical to the uninterrupted run.
     #[test]
     fn snapshot_restore_replay_matches_uninterrupted_run() {
-        let correlated_factory = || {
+        let correlated_factory = |_, scope: SymScope| {
             PipelineBuilder::new()
                 .tagger(AttackTagger::new(
                     toy_training_model(),
@@ -577,6 +598,7 @@ mod tests {
                     },
                 ))
                 .correlation(CorrelationPolicy::default())
+                .scope(scope)
                 .build()
         };
         let tenant = TenantId(42);
@@ -659,12 +681,13 @@ mod tests {
     fn stats_only_tuning_flows_through_service() {
         // Retention-off pipelines report discards, not drops, through
         // the service path too (PR 8 accounting fix).
-        let service = ServiceHandle::spawn(ServiceConfig::default(), || {
+        let service = ServiceHandle::spawn(ServiceConfig::default(), |_, scope| {
             PipelineBuilder::new()
                 .tuning(PipelineTuning {
                     alert_retention: 0,
                     ..PipelineTuning::default()
                 })
+                .scope(scope)
                 .build()
         });
         let tenant = TenantId(1);

@@ -21,6 +21,7 @@ use scenario::adapt::FeedbackTap;
 use simnet::action::Action;
 use simnet::engine::EventCtx;
 use simnet::flow::Direction;
+use simnet::intern::SymScope;
 use simnet::rng::{FxHashSet, SimRng};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::Topology;
@@ -546,6 +547,9 @@ pub struct ResponseStage {
     detection_block_ttl: Option<SimDuration>,
     blocked: FxHashSet<Ipv4Addr>,
     source: &'static str,
+    /// Scope the pipeline's alert symbols were minted in — notification
+    /// text resolves entity names against it (global by default).
+    scope: SymScope,
     retry: RetryPolicy,
     /// Jitter stream for backoff scheduling; consumed only on failures,
     /// so the clean path draws nothing.
@@ -583,6 +587,7 @@ impl ResponseStage {
             detection_block_ttl,
             blocked: FxHashSet::default(),
             source,
+            scope: SymScope::global(),
             retry: RetryPolicy::default(),
             rng: SimRng::seed(Self::RETRY_SEED),
             notify_backend: None,
@@ -616,6 +621,13 @@ impl ResponseStage {
     /// [`ResponseStage::with_notify_backend`] for an already-boxed backend.
     pub fn with_boxed_notify_backend(mut self, backend: Box<dyn NotifyBackend>) -> Self {
         self.notify_backend = Some(backend);
+        self
+    }
+
+    /// Resolve notification entity names against an explicit scope —
+    /// required when the pipeline's alerts carry tenant-scoped symbols.
+    pub fn with_scope(mut self, scope: SymScope) -> Self {
+        self.scope = scope;
         self
     }
 
@@ -888,11 +900,14 @@ impl ResponseStage {
             }
             let note = OperatorNotification {
                 ts,
-                entity: o.alert.entity,
+                entity: o.alert.entity.key_in(&self.scope),
                 detection: detection.clone(),
                 message: format!(
                     "preemption: {} reached stage '{}' (p={:.2}) on alert {}",
-                    o.alert.entity, detection.stage, detection.score, detection.trigger
+                    o.alert.entity.display_in(&self.scope),
+                    detection.stage,
+                    detection.score,
+                    detection.trigger
                 ),
                 source: self.source.into(),
             };

@@ -16,6 +16,7 @@ use detect::rules::RuleBasedDetector;
 use factorgraph::chain::ChainModel;
 use scenario::adapt::FeedbackTap;
 use scenario::faults::{FaultInjector, FaultPlan};
+use simnet::intern::SymScope;
 use simnet::time::{SimDuration, SimTime};
 use telemetry::monitor::Monitor;
 use telemetry::record::LogRecord;
@@ -43,6 +44,7 @@ pub struct PipelineBuilder {
     notify_backend: Option<Box<dyn NotifyBackend>>,
     correlation: Option<CorrelationPolicy>,
     block_feedback: Option<FeedbackTap>,
+    scope: Option<SymScope>,
 }
 
 impl Default for PipelineBuilder {
@@ -73,6 +75,7 @@ impl PipelineBuilder {
             notify_backend: None,
             correlation: None,
             block_feedback: None,
+            scope: None,
         }
     }
 
@@ -101,6 +104,7 @@ impl PipelineBuilder {
             notify_backend: None,
             correlation: None,
             block_feedback: None,
+            scope: None,
         }
     }
 
@@ -121,6 +125,18 @@ impl PipelineBuilder {
 
     pub fn symbolizer(mut self, symbolizer: Symbolizer) -> Self {
         self.symbolizer = symbolizer;
+        self
+    }
+
+    /// Mint and resolve the pipeline's symbols in an explicit
+    /// [`SymScope`] instead of the process-global default. At
+    /// [`build`](PipelineBuilder::build) the symbolizer, the campaign
+    /// correlator's report rendering and the response stage's
+    /// notification text are all rebound to the scope — the wiring a
+    /// per-tenant service pipeline needs so its symbol universe lives
+    /// (and dies) with the tenant.
+    pub fn scope(mut self, scope: SymScope) -> Self {
+        self.scope = Some(scope);
         self
     }
 
@@ -281,7 +297,7 @@ impl PipelineBuilder {
         if let Some(policy) = self.correlation {
             self.detector.apply_correlation(Some(policy));
         }
-        let correlate = self.detector.build_correlator();
+        let mut correlate = self.detector.build_correlator();
         let source = self.detector.source();
         let mut response = ResponseStage::new(
             self.bhr,
@@ -290,6 +306,13 @@ impl PipelineBuilder {
             source,
         )
         .with_retry(self.tuning.retry.clone(), self.seed);
+        if let Some(scope) = &self.scope {
+            self.symbolizer.set_scope(scope.clone());
+            if let Some(c) = correlate.as_mut() {
+                c.set_scope(scope.clone());
+            }
+            response = response.with_scope(scope.clone());
+        }
         if let Some(backend) = self.notify_backend {
             response = response.with_boxed_notify_backend(backend);
         }

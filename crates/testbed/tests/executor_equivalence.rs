@@ -123,7 +123,13 @@ fn sequential_reference(records: &[LogRecord]) -> (StreamStats, Vec<String>) {
                 stats.admitted += 1;
                 if let Some(d) = tag.observe(&a) {
                     stats.detections += 1;
-                    detections.push(format!("{}|{}|{}|{}", a.entity, d.ts, d.trigger, d.stage));
+                    detections.push(format!(
+                        "{}|{}|{}|{}",
+                        a.entity.key(),
+                        d.ts,
+                        d.trigger,
+                        d.stage
+                    ));
                 }
             }
         }

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use scenario::mutate::{generate_campaign, CampaignConfig, MutationConfig};
 use scenario::stream::{record_stream, RecordStreamConfig};
-use simnet::intern::TenantId;
+use simnet::intern::{SymScope, TenantId};
 use simnet::rng::SimRng;
 use simnet::time::SimDuration;
 use telemetry::record::LogRecord;
@@ -39,14 +39,15 @@ fn campaign_records(seed: u64, sessions: usize, lateral_prob: f64) -> Vec<LogRec
     generate_campaign(&cfg, &mut SimRng::seed(seed)).records
 }
 
-fn service_factory() -> impl FnMut() -> BuiltPipeline + Send + 'static {
-    || {
+fn service_factory() -> impl FnMut(TenantId, SymScope) -> BuiltPipeline + Send + 'static {
+    |_, scope| {
         PipelineBuilder::new()
             .tagger(detect::AttackTagger::new(
                 detect::train::toy_training_model(),
                 detect::TaggerConfig::default(),
             ))
             .correlation(detect::CorrelationPolicy::default())
+            .scope(scope)
             .build()
     }
 }
